@@ -1,0 +1,67 @@
+// Command twibench regenerates the paper's tables and figures: it
+// builds the dataset and both engines, then runs the selected
+// experiment (or all of them) and prints paper-style reports.
+//
+// Usage:
+//
+//	twibench -exp all
+//	twibench -exp fig4a -users 8000
+//	twibench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twigraph/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id or 'all'")
+	list := flag.Bool("list", false, "list experiments and exit")
+	work := flag.String("work", "", "working directory (default: a temp dir)")
+	cfg := bench.DefaultConfig()
+	flag.IntVar(&cfg.Users, "users", cfg.Users, "dataset scale in users")
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "dataset PRNG seed")
+	flag.Parse()
+
+	if *list {
+		for _, ex := range bench.All() {
+			fmt.Printf("  %-12s %s\n", ex.ID, ex.Title)
+		}
+		return
+	}
+
+	dir := *work
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "twibench-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+	}
+	env := bench.NewEnv(cfg, dir)
+	defer env.Close()
+
+	if *exp == "all" {
+		if err := bench.RunAll(env, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	ex, err := bench.Lookup(*exp)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("=== %s — %s ===\n\n", ex.ID, ex.Title)
+	if err := ex.Run(env, os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "twibench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Command twiload bulk-loads a generated CSV dataset into one or both
+// engines, printing the import progress series (the data behind the
+// paper's Figures 2 and 3) and the phase report.
+//
+// Usage:
+//
+//	twiload -csv data/ -engine both -out dbs/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"twigraph/internal/load"
+	"twigraph/internal/neodb"
+	"twigraph/internal/sparkdb"
+)
+
+func main() {
+	csvDir := flag.String("csv", "data", "directory with the generated CSV files")
+	engine := flag.String("engine", "both", "neo | sparksee | both")
+	out := flag.String("out", "dbs", "output directory for the store files")
+	batch := flag.Int("batch", 100000, "progress sampling granularity (rows)")
+	cache := flag.Int64("spark-cache", 0, "sparksee extent-cache bytes (0 = script default, 5 GiB)")
+	materialize := flag.Bool("materialize", false, "sparksee: materialise neighbor indexes during import")
+	flag.Parse()
+
+	if *engine == "neo" || *engine == "both" {
+		if err := loadNeo(*csvDir, filepath.Join(*out, "neo"), *batch); err != nil {
+			fmt.Fprintln(os.Stderr, "twiload:", err)
+			os.Exit(1)
+		}
+	}
+	if *engine == "sparksee" || *engine == "both" {
+		if err := loadSpark(*csvDir, filepath.Join(*out, "sparksee.img"), *batch, *cache, *materialize); err != nil {
+			fmt.Fprintln(os.Stderr, "twiload:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func loadNeo(csvDir, dbDir string, batch int) error {
+	fmt.Printf("== importing into the Neo4j-analog at %s ==\n", dbDir)
+	res, err := load.BuildNeo(csvDir, dbDir, neodb.Config{}, batch)
+	if err != nil {
+		return err
+	}
+	defer res.Store.Close()
+	for _, p := range res.Series {
+		fmt.Printf("  %-8s %-10s %10d rows  %8dms\n", p.Phase, p.Label, p.Count, p.Elapsed.Milliseconds())
+	}
+	r := res.Report
+	fmt.Printf("nodes %d, edges %d\nphases: nodes %v | dense %v | edges %v | indexes %v | total %v\n\n",
+		r.Nodes, r.Edges, r.NodePhase, r.DensePhase, r.EdgePhase, r.IndexPhase, r.Total)
+	return nil
+}
+
+func loadSpark(csvDir, imagePath string, batch int, cache int64, materialize bool) error {
+	fmt.Printf("== importing into the Sparksee-analog image %s ==\n", imagePath)
+	res, err := load.BuildSpark(csvDir, sparkdb.ScriptOptions{
+		BatchRows:   batch,
+		CacheSize:   cache,
+		Materialize: materialize,
+		ImagePath:   imagePath,
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range res.Series {
+		flush := ""
+		if p.Flushed {
+			flush = "  FLUSH"
+		}
+		fmt.Printf("  %-16s %10d rows  %8dms%s\n", p.Phase, p.Rows, p.Elapsed.Milliseconds(), flush)
+	}
+	r := res.Report
+	fmt.Printf("nodes %d, edges %d, flushes %d, total %v\n", r.Nodes, r.Edges, r.Flushes, r.Duration)
+	return nil
+}

@@ -1,0 +1,128 @@
+// Command twiql is an interactive shell for the Neo4j-analog engine's
+// declarative query language. Point it at a database directory built by
+// twiload (or let it bootstrap a demo dataset) and type queries;
+// prefix a query with PROFILE to see the plan, db hits and timing.
+//
+// Usage:
+//
+//	twiql -db dbs/neo
+//	twiql -demo          # generate and import a small dataset first
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"twigraph/internal/cypher"
+	"twigraph/internal/gen"
+	"twigraph/internal/load"
+	"twigraph/internal/neodb"
+)
+
+func main() {
+	dbDir := flag.String("db", "", "neodb database directory")
+	demo := flag.Bool("demo", false, "bootstrap a demo dataset in a temp dir")
+	flag.Parse()
+
+	var db *neodb.DB
+	switch {
+	case *demo:
+		dir, err := os.MkdirTemp("", "twiql-demo-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		fmt.Println("generating and importing a demo dataset...")
+		cfg := gen.Default()
+		cfg.Users = 1000
+		if _, err := gen.Generate(cfg, filepath.Join(dir, "csv")); err != nil {
+			fatal(err)
+		}
+		res, err := load.BuildNeo(filepath.Join(dir, "csv"), filepath.Join(dir, "neo"), neodb.Config{}, 0)
+		if err != nil {
+			fatal(err)
+		}
+		db = res.Store.DB()
+	case *dbDir != "":
+		var err error
+		db, err = neodb.Open(*dbDir, neodb.Config{})
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "twiql: need -db <dir> or -demo")
+		os.Exit(2)
+	}
+	defer db.Close()
+
+	engine := cypher.NewEngine(db)
+	fmt.Println(`twiql — type a query ending with ';', or \q to quit.`)
+	fmt.Println(`example: MATCH (u:user {uid: 1})-[:follows]->(f) RETURN f.uid LIMIT 5;`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	fmt.Print("twiql> ")
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == `\q` {
+			return
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			fmt.Print("   ..> ")
+			continue
+		}
+		query := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(pending.String()), ";"))
+		pending.Reset()
+		if query != "" {
+			runQuery(os.Stdout, engine, query)
+		}
+		fmt.Print("twiql> ")
+	}
+}
+
+func runQuery(w io.Writer, engine *cypher.Engine, query string) {
+	start := time.Now()
+	res, err := engine.Query(query, nil)
+	if err != nil {
+		fmt.Fprintln(w, "error:", err)
+		return
+	}
+	elapsed := time.Since(start)
+
+	fmt.Fprintln(w, strings.Join(res.Columns, " | "))
+	const maxRows = 50
+	for i, row := range res.Rows {
+		if i >= maxRows {
+			fmt.Fprintf(w, "... (%d more rows)\n", len(res.Rows)-maxRows)
+			break
+		}
+		cells := make([]string, len(row))
+		for j, c := range row {
+			cells[j] = fmt.Sprint(c)
+		}
+		fmt.Fprintln(w, strings.Join(cells, " | "))
+	}
+	fmt.Fprintf(w, "%d rows in %v\n", len(res.Rows), elapsed)
+	if res.Profile != nil {
+		fmt.Fprintf(w, "profile: %d db hits, compile %v, execute %v, plan cached: %v\n",
+			res.Profile.TotalDBHits, res.Profile.Compile, res.Profile.Execute, res.Profile.PlanCached)
+		for _, st := range res.Profile.Stages {
+			fmt.Fprintf(w, "  %-8s rows=%-8d dbhits=%-8d %v  %s\n",
+				st.Name, st.Rows, st.DBHits, st.Elapsed, strings.Join(st.Ops, " -> "))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "twiql:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"twigraph/internal/cypher"
+	"twigraph/internal/graph"
+	"twigraph/internal/neodb"
+)
+
+func testEngine(t *testing.T) *cypher.Engine {
+	t.Helper()
+	db, err := neodb.Open(t.TempDir(), neodb.Config{CachePages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	user := db.Label("user")
+	uid := db.PropKey("uid")
+	if err := db.CreateIndex(user, uid); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	for i := 1; i <= 60; i++ {
+		tx.CreateNode(user, graph.Properties{"uid": graph.IntValue(int64(i))})
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return cypher.NewEngine(db)
+}
+
+func TestRunQueryPrintsRows(t *testing.T) {
+	e := testEngine(t)
+	var buf bytes.Buffer
+	runQuery(&buf, e, `MATCH (u:user {uid: 7}) RETURN u.uid AS id`)
+	out := buf.String()
+	if !strings.Contains(out, "id") || !strings.Contains(out, "7") {
+		t.Errorf("output = %q", out)
+	}
+	if !strings.Contains(out, "1 rows in") {
+		t.Errorf("missing row count: %q", out)
+	}
+}
+
+func TestRunQueryTruncatesLongResults(t *testing.T) {
+	e := testEngine(t)
+	var buf bytes.Buffer
+	runQuery(&buf, e, `MATCH (u:user) RETURN u.uid`)
+	out := buf.String()
+	if !strings.Contains(out, "more rows") {
+		t.Errorf("60-row result not truncated: %q", out)
+	}
+	if !strings.Contains(out, "60 rows in") {
+		t.Errorf("missing total count: %q", out)
+	}
+}
+
+func TestRunQueryPrintsErrors(t *testing.T) {
+	e := testEngine(t)
+	var buf bytes.Buffer
+	runQuery(&buf, e, `THIS IS NOT CYPHER`)
+	if !strings.Contains(buf.String(), "error:") {
+		t.Errorf("output = %q", buf.String())
+	}
+}
+
+func TestRunQueryProfileOutput(t *testing.T) {
+	e := testEngine(t)
+	var buf bytes.Buffer
+	runQuery(&buf, e, `PROFILE MATCH (u:user {uid: 3}) RETURN u.uid`)
+	out := buf.String()
+	if !strings.Contains(out, "profile:") || !strings.Contains(out, "db hits") {
+		t.Errorf("missing profile block: %q", out)
+	}
+	if !strings.Contains(out, "NodeIndexSeek") {
+		t.Errorf("missing operator list: %q", out)
+	}
+}

@@ -1,0 +1,3 @@
+module twigraph
+
+go 1.22

@@ -1,0 +1,127 @@
+package bitmap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Serialization format (little-endian):
+//
+//	magic      uint32  'T','B','M','1'
+//	nContainer uint32
+//	per container:
+//	  key   uint64
+//	  mode  uint8   0 = array, 1 = bitset
+//	  card  uint32
+//	  array: card × uint16    |    bitset: 1024 × uint64
+const ioMagic = 0x314d4254 // "TBM1"
+
+// WriteTo serialises the bitmap. It returns the number of bytes written.
+func (b *Bitmap) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint32(hdr[0:4], ioMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(b.containers)))
+	if _, err := cw.Write(hdr); err != nil {
+		return cw.n, err
+	}
+	for _, c := range b.containers {
+		chdr := make([]byte, 13)
+		binary.LittleEndian.PutUint64(chdr[0:8], c.key)
+		if c.set != nil {
+			chdr[8] = 1
+			binary.LittleEndian.PutUint32(chdr[9:13], uint32(c.card))
+		} else {
+			binary.LittleEndian.PutUint32(chdr[9:13], uint32(len(c.array)))
+		}
+		if _, err := cw.Write(chdr); err != nil {
+			return cw.n, err
+		}
+		if c.set != nil {
+			buf := make([]byte, 8*wordsPerSet)
+			for i, word := range c.set {
+				binary.LittleEndian.PutUint64(buf[i*8:], word)
+			}
+			if _, err := cw.Write(buf); err != nil {
+				return cw.n, err
+			}
+			continue
+		}
+		buf := make([]byte, 2*len(c.array))
+		for i, low := range c.array {
+			binary.LittleEndian.PutUint16(buf[i*2:], low)
+		}
+		if _, err := cw.Write(buf); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// ReadFrom replaces the bitmap contents with a serialised image.
+func (b *Bitmap) ReadFrom(r io.Reader) (int64, error) {
+	cr := &countingReader{r: r}
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(cr, hdr); err != nil {
+		return cr.n, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != ioMagic {
+		return cr.n, fmt.Errorf("bitmap: bad magic %#x", binary.LittleEndian.Uint32(hdr[0:4]))
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	containers := make([]*container, 0, n)
+	for i := 0; i < n; i++ {
+		chdr := make([]byte, 13)
+		if _, err := io.ReadFull(cr, chdr); err != nil {
+			return cr.n, err
+		}
+		c := &container{key: binary.LittleEndian.Uint64(chdr[0:8])}
+		card := int(binary.LittleEndian.Uint32(chdr[9:13]))
+		if chdr[8] == 1 {
+			buf := make([]byte, 8*wordsPerSet)
+			if _, err := io.ReadFull(cr, buf); err != nil {
+				return cr.n, err
+			}
+			c.set = make([]uint64, wordsPerSet)
+			for w := range c.set {
+				c.set[w] = binary.LittleEndian.Uint64(buf[w*8:])
+			}
+			c.card = card
+		} else {
+			buf := make([]byte, 2*card)
+			if _, err := io.ReadFull(cr, buf); err != nil {
+				return cr.n, err
+			}
+			c.array = make([]uint16, card)
+			for j := range c.array {
+				c.array[j] = binary.LittleEndian.Uint16(buf[j*2:])
+			}
+		}
+		containers = append(containers, c)
+	}
+	b.containers = containers
+	return cr.n, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

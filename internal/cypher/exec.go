@@ -1,0 +1,665 @@
+package cypher
+
+import (
+	"fmt"
+	"sort"
+
+	"twigraph/internal/graph"
+	"twigraph/internal/neodb"
+)
+
+// execCtx carries per-execution state: the engine's database handle,
+// query parameters, and a property-key name cache.
+type execCtx struct {
+	db     *neodb.DB
+	params map[string]graph.Value
+}
+
+func (ec *execCtx) propKey(name string) graph.AttrID {
+	return ec.db.PropKeyID(name)
+}
+
+// stage is one pipeline segment: it consumes materialised rows and
+// produces materialised rows.
+type stage interface {
+	run(ec *execCtx, in []row) ([]row, error)
+	name() string
+}
+
+// ---------- match stage ----------
+
+type matchStage struct {
+	optional bool
+	steps    []step
+	where    Expr
+	vars     *varMap
+	width    int
+}
+
+func (st *matchStage) name() string { return "Match" }
+
+func (st *matchStage) run(ec *execCtx, in []row) ([]row, error) {
+	var out []row
+	for _, r := range in {
+		// Widen the row to this stage's slot count.
+		base := make(row, st.width)
+		copy(base, r)
+		rows := []row{base}
+		for _, s := range st.steps {
+			var err error
+			rows, err = s.apply(ec, rows)
+			if err != nil {
+				return nil, err
+			}
+			if len(rows) == 0 {
+				break
+			}
+		}
+		if st.where != nil {
+			filtered := rows[:0]
+			for _, rr := range rows {
+				v, err := evalExpr(ec, st.vars, st.where, rr)
+				if err != nil {
+					return nil, err
+				}
+				if cellTruth(v) {
+					filtered = append(filtered, rr)
+				}
+			}
+			rows = filtered
+		}
+		if len(rows) == 0 && st.optional {
+			rows = []row{base} // unmatched vars stay nil
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+// step is one primitive operation inside a match stage.
+type step interface {
+	apply(ec *execCtx, in []row) ([]row, error)
+	describe() string
+}
+
+type stepIndexSeek struct {
+	slot  int
+	label graph.TypeID
+	key   graph.AttrID
+	val   Expr
+}
+
+func (s *stepIndexSeek) describe() string { return "NodeIndexSeek" }
+
+func (s *stepIndexSeek) apply(ec *execCtx, in []row) ([]row, error) {
+	var out []row
+	for _, r := range in {
+		v, err := evalExpr(ec, nil, s.val, r)
+		if err != nil {
+			return nil, err
+		}
+		gv, ok := v.(graph.Value)
+		if !ok {
+			return nil, fmt.Errorf("cypher: index seek value is not a scalar")
+		}
+		ids := ec.db.FindNodes(s.label, s.key, gv)
+		if ids == nil {
+			continue
+		}
+		ids.ForEach(func(id uint64) bool {
+			nr := cloneRow(r)
+			nr[s.slot] = NodeRef(id)
+			out = append(out, nr)
+			return true
+		})
+	}
+	return out, nil
+}
+
+type stepLabelScan struct {
+	slot  int
+	label graph.TypeID
+}
+
+func (s *stepLabelScan) describe() string { return "NodeByLabelScan" }
+
+func (s *stepLabelScan) apply(ec *execCtx, in []row) ([]row, error) {
+	var out []row
+	for _, r := range in {
+		nodes := ec.db.NodesByLabel(s.label)
+		if nodes == nil {
+			continue
+		}
+		nodes.ForEach(func(id uint64) bool {
+			nr := cloneRow(r)
+			nr[s.slot] = NodeRef(id)
+			out = append(out, nr)
+			return true
+		})
+	}
+	return out, nil
+}
+
+type stepAllNodes struct{ slot int }
+
+func (s *stepAllNodes) describe() string { return "AllNodesScan" }
+
+func (s *stepAllNodes) apply(ec *execCtx, in []row) ([]row, error) {
+	// Enumerate all labels through the label scan store.
+	var out []row
+	for _, r := range in {
+		for label := graph.TypeID(1); ; label++ {
+			if ec.db.LabelName(label) == "" {
+				break
+			}
+			nodes := ec.db.NodesByLabel(label)
+			if nodes == nil {
+				continue
+			}
+			nodes.ForEach(func(id uint64) bool {
+				nr := cloneRow(r)
+				nr[s.slot] = NodeRef(id)
+				out = append(out, nr)
+				return true
+			})
+		}
+	}
+	return out, nil
+}
+
+type stepLabelFilter struct {
+	slot  int
+	label graph.TypeID
+}
+
+func (s *stepLabelFilter) describe() string { return "Filter(label)" }
+
+func (s *stepLabelFilter) apply(ec *execCtx, in []row) ([]row, error) {
+	out := in[:0]
+	for _, r := range in {
+		ref, ok := r[s.slot].(NodeRef)
+		if !ok {
+			continue
+		}
+		n, err := ec.db.NodeByID(graph.NodeID(ref))
+		if err != nil {
+			continue
+		}
+		if n.Label == s.label {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+type stepPropFilter struct {
+	slot int
+	key  string
+	val  Expr
+}
+
+func (s *stepPropFilter) describe() string { return "Filter(property)" }
+
+func (s *stepPropFilter) apply(ec *execCtx, in []row) ([]row, error) {
+	key := ec.propKey(s.key)
+	out := in[:0]
+	for _, r := range in {
+		ref, ok := r[s.slot].(NodeRef)
+		if !ok {
+			continue
+		}
+		want, err := evalExpr(ec, nil, s.val, r)
+		if err != nil {
+			return nil, err
+		}
+		got, err := ec.db.NodeProp(graph.NodeID(ref), key)
+		if err != nil {
+			continue
+		}
+		if wv, ok := want.(graph.Value); ok && got.Equal(wv) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+type stepExpand struct {
+	fromSlot, toSlot, relSlot int
+	relType                   string
+	dir                       graph.Direction
+	minHops, maxHops          int
+	toBound                   bool
+}
+
+func (s *stepExpand) describe() string {
+	if s.maxHops != 1 || s.minHops != 1 {
+		return "VarLengthExpand"
+	}
+	if s.toBound {
+		return "ExpandInto"
+	}
+	return "Expand"
+}
+
+func (s *stepExpand) apply(ec *execCtx, in []row) ([]row, error) {
+	t := graph.NilType
+	if s.relType != "" {
+		t = ec.db.RelTypeID(s.relType)
+		if t == graph.NilType {
+			return nil, nil // unknown type matches nothing
+		}
+	}
+	var out []row
+	for _, r := range in {
+		from, ok := r[s.fromSlot].(NodeRef)
+		if !ok {
+			continue
+		}
+		err := expandPaths(ec.db, graph.NodeID(from), t, s.dir, s.minHops, s.maxHops,
+			func(end graph.NodeID, rels []graph.EdgeID) bool {
+				if s.toBound {
+					want, ok := r[s.toSlot].(NodeRef)
+					if !ok || graph.NodeID(want) != end {
+						return true
+					}
+				}
+				nr := cloneRow(r)
+				nr[s.toSlot] = NodeRef(end)
+				if s.relSlot >= 0 {
+					if len(rels) == 1 {
+						nr[s.relSlot] = RelRef(rels[0])
+					} else {
+						lv := make(ListVal, len(rels))
+						for i, e := range rels {
+							lv[i] = RelRef(e)
+						}
+						nr[s.relSlot] = lv
+					}
+				}
+				out = append(out, nr)
+				return true
+			})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// expandPaths enumerates every path of length [minHops, maxHops] from
+// start following rels of type t in direction dir, with
+// relationship-uniqueness per path (Cypher semantics). fn receives the
+// path's end node and relationship ids; returning false stops the
+// enumeration.
+func expandPaths(db *neodb.DB, start graph.NodeID, t graph.TypeID, dir graph.Direction, minHops, maxHops int, fn func(graph.NodeID, []graph.EdgeID) bool) error {
+	if maxHops < 0 {
+		maxHops = 15
+	}
+	var rels []graph.EdgeID
+	used := map[graph.EdgeID]bool{}
+	stop := false
+	var dfs func(cur graph.NodeID, depth int) error
+	dfs = func(cur graph.NodeID, depth int) error {
+		if stop {
+			return nil
+		}
+		if depth >= minHops && depth > 0 {
+			if !fn(cur, rels) {
+				stop = true
+				return nil
+			}
+		}
+		if depth >= maxHops {
+			return nil
+		}
+		return db.Relationships(cur, t, dir, func(r neodb.Rel) bool {
+			if stop || used[r.ID] {
+				return !stop
+			}
+			next := r.Dst
+			if next == cur && r.Src != r.Dst {
+				next = r.Src
+			}
+			used[r.ID] = true
+			rels = append(rels, r.ID)
+			if err := dfs(next, depth+1); err != nil {
+				return false
+			}
+			rels = rels[:len(rels)-1]
+			delete(used, r.ID)
+			return !stop
+		})
+	}
+	if minHops == 0 {
+		if !fn(start, nil) {
+			return nil
+		}
+	}
+	return dfs(start, 0)
+}
+
+type stepShortestPath struct {
+	pathSlot, fromSlot, toSlot int
+	relType                    string
+	dir                        graph.Direction
+	maxHops                    int
+}
+
+func (s *stepShortestPath) describe() string { return "ShortestPath" }
+
+func (s *stepShortestPath) apply(ec *execCtx, in []row) ([]row, error) {
+	t := graph.NilType
+	if s.relType != "" {
+		t = ec.db.RelTypeID(s.relType)
+	}
+	var out []row
+	for _, r := range in {
+		from, ok1 := r[s.fromSlot].(NodeRef)
+		to, ok2 := r[s.toSlot].(NodeRef)
+		if !ok1 || !ok2 {
+			continue
+		}
+		p, found, err := ec.db.ShortestPath(graph.NodeID(from), graph.NodeID(to),
+			[]neodb.Expander{{Type: t, Dir: s.dir}}, s.maxHops)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			continue
+		}
+		nr := cloneRow(r)
+		if s.pathSlot >= 0 {
+			nr[s.pathSlot] = PathVal{Nodes: p.Nodes, Rels: p.Rels}
+		}
+		out = append(out, nr)
+	}
+	return out, nil
+}
+
+func cloneRow(r row) row {
+	nr := make(row, len(r))
+	copy(nr, r)
+	return nr
+}
+
+// ---------- unwind stage ----------
+
+type unwindStage struct {
+	expr    Expr
+	vars    *varMap
+	outSlot int
+	width   int
+}
+
+func (st *unwindStage) name() string { return "Unwind" }
+
+func (st *unwindStage) run(ec *execCtx, in []row) ([]row, error) {
+	var out []row
+	for _, r := range in {
+		v, err := evalExpr(ec, st.vars, st.expr, r)
+		if err != nil {
+			return nil, err
+		}
+		list, ok := v.(ListVal)
+		if !ok {
+			if cellIsNull(v) {
+				continue
+			}
+			list = ListVal{v}
+		}
+		for _, item := range list {
+			nr := make(row, st.width)
+			copy(nr, r)
+			nr[st.outSlot] = item
+			out = append(out, nr)
+		}
+	}
+	return out, nil
+}
+
+// ---------- projection stage (WITH / RETURN) ----------
+
+type projectStage struct {
+	clause  *WithClause
+	inVars  *varMap
+	outVars *varMap
+	hasAgg  bool
+}
+
+func (st *projectStage) name() string {
+	if st.clause.Final {
+		return "Return"
+	}
+	return "With"
+}
+
+// projRow pairs a projected output row with a representative input row
+// so ORDER BY can reference pre-projection variables (Cypher allows
+// `RETURN f.uid ORDER BY f.followers`).
+type projRow struct {
+	out row
+	in  row
+}
+
+func (st *projectStage) run(ec *execCtx, in []row) ([]row, error) {
+	var rows []projRow
+	var err error
+	if st.hasAgg {
+		rows, err = st.aggregate(ec, in)
+	} else {
+		rows = make([]projRow, 0, len(in))
+		for _, r := range in {
+			nr := make(row, len(st.clause.Items))
+			for i, it := range st.clause.Items {
+				nr[i], err = evalExpr(ec, st.inVars, it.Expr, r)
+				if err != nil {
+					return nil, err
+				}
+			}
+			rows = append(rows, projRow{out: nr, in: r})
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	// DISTINCT.
+	if st.clause.Distinct {
+		seen := map[string]bool{}
+		dedup := rows[:0]
+		for _, r := range rows {
+			k := rowKey(r.out)
+			if !seen[k] {
+				seen[k] = true
+				dedup = append(dedup, r)
+			}
+		}
+		rows = dedup
+	}
+	// WITH ... WHERE (post-projection filter).
+	if st.clause.Where != nil {
+		filtered := rows[:0]
+		for _, r := range rows {
+			v, err := st.evalPost(ec, st.clause.Where, r)
+			if err != nil {
+				return nil, err
+			}
+			if cellTruth(v) {
+				filtered = append(filtered, r)
+			}
+		}
+		rows = filtered
+	}
+	// ORDER BY: expressions may reference projected aliases or (for
+	// non-aggregating projections) original variables.
+	if len(st.clause.OrderBy) > 0 {
+		keys := make([][]any, len(rows))
+		for i, r := range rows {
+			ks := make([]any, len(st.clause.OrderBy))
+			for j, si := range st.clause.OrderBy {
+				v, err := st.evalPost(ec, si.Expr, r)
+				if err != nil {
+					return nil, err
+				}
+				ks[j] = v
+			}
+			keys[i] = ks
+		}
+		idxs := make([]int, len(rows))
+		for i := range idxs {
+			idxs[i] = i
+		}
+		sort.SliceStable(idxs, func(a, b int) bool {
+			for j, si := range st.clause.OrderBy {
+				c := cellCompare(keys[idxs[a]][j], keys[idxs[b]][j])
+				if c != 0 {
+					if si.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		sorted := make([]projRow, len(rows))
+		for i, ix := range idxs {
+			sorted[i] = rows[ix]
+		}
+		rows = sorted
+	}
+	out := make([]row, len(rows))
+	for i, r := range rows {
+		out[i] = r.out
+	}
+	// SKIP / LIMIT.
+	if st.clause.Skip != nil {
+		n, err := evalInt(ec, st.outVars, st.clause.Skip, nil)
+		if err != nil {
+			return nil, err
+		}
+		if n >= len(out) {
+			out = nil
+		} else {
+			out = out[n:]
+		}
+	}
+	if st.clause.Limit != nil {
+		n, err := evalInt(ec, st.outVars, st.clause.Limit, nil)
+		if err != nil {
+			return nil, err
+		}
+		if n < len(out) {
+			out = out[:n]
+		}
+	}
+	return out, nil
+}
+
+func rowKey(r row) string {
+	k := ""
+	for _, c := range r {
+		k += cellKey(c) + "|"
+	}
+	return k
+}
+
+// evalPost evaluates a post-projection expression (WHERE-on-WITH or
+// ORDER BY). If the expression's text names a projected alias, the
+// projected cell is used; otherwise, for non-aggregating projections,
+// the expression is evaluated against the representative input row.
+func (st *projectStage) evalPost(ec *execCtx, e Expr, r projRow) (any, error) {
+	if txt := exprText(e); txt != "" {
+		if slot, ok := st.outVars.lookup(txt); ok {
+			return r.out[slot], nil
+		}
+	}
+	if st.hasAgg || r.in == nil {
+		// Only aliases (and expressions over them) are visible after
+		// aggregation.
+		return evalExpr(ec, st.outVars, e, r.out)
+	}
+	// Try the original bindings first; fall back to aliases.
+	v, err := evalExpr(ec, st.inVars, e, r.in)
+	if err != nil {
+		return evalExpr(ec, st.outVars, e, r.out)
+	}
+	return v, nil
+}
+
+// exprText renders simple expressions to their canonical source text for
+// alias matching (Var "c" -> "c", PropAccess u.uid -> "u.uid").
+func exprText(e Expr) string {
+	switch x := e.(type) {
+	case *Var:
+		return x.Name
+	case *PropAccess:
+		return x.Var + "." + x.Key
+	}
+	return ""
+}
+
+// aggregate groups rows by the non-aggregate items and evaluates the
+// aggregate items per group.
+func (st *projectStage) aggregate(ec *execCtx, in []row) ([]projRow, error) {
+	type group struct {
+		keyCells []any
+		rows     []row
+	}
+	groups := map[string]*group{}
+	var order []string
+
+	var keyItems, aggItems []int
+	for i, it := range st.clause.Items {
+		if hasAggregate(it.Expr) {
+			aggItems = append(aggItems, i)
+		} else {
+			keyItems = append(keyItems, i)
+		}
+	}
+	for _, r := range in {
+		cells := make([]any, len(keyItems))
+		k := ""
+		for j, idx := range keyItems {
+			v, err := evalExpr(ec, st.inVars, st.clause.Items[idx].Expr, r)
+			if err != nil {
+				return nil, err
+			}
+			cells[j] = v
+			k += cellKey(v) + "|"
+		}
+		g, ok := groups[k]
+		if !ok {
+			g = &group{keyCells: cells}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.rows = append(g.rows, r)
+	}
+	// Aggregation over zero rows with no grouping keys yields one row
+	// (count(*) = 0).
+	if len(in) == 0 && len(keyItems) == 0 {
+		groups[""] = &group{}
+		order = append(order, "")
+	}
+
+	var out []projRow
+	for _, k := range order {
+		g := groups[k]
+		nr := make(row, len(st.clause.Items))
+		for j, idx := range keyItems {
+			nr[idx] = g.keyCells[j]
+		}
+		for _, idx := range aggItems {
+			v, err := evalAggregate(ec, st.inVars, st.clause.Items[idx].Expr, g.rows)
+			if err != nil {
+				return nil, err
+			}
+			nr[idx] = v
+		}
+		var rep row
+		if len(g.rows) > 0 {
+			rep = g.rows[0]
+		}
+		out = append(out, projRow{out: nr, in: rep})
+	}
+	return out, nil
+}

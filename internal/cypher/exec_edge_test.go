@@ -1,0 +1,135 @@
+package cypher
+
+import (
+	"testing"
+
+	"twigraph/internal/graph"
+)
+
+// Edge cases of the pipeline executor that the workload queries don't
+// reach.
+
+func TestOptionalMatchWithMultipleMatches(t *testing.T) {
+	e, _ := newTestEngine(t)
+	// carol posts two tweets: OPTIONAL MATCH multiplies her row.
+	res := mustQuery(t, e,
+		`MATCH (u:user {uid: 3}) OPTIONAL MATCH (u)-[:posts]->(t:tweet) RETURN t.tid ORDER BY t.tid`, nil)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// OPTIONAL MATCH with a WHERE that kills all matches still emits a
+	// null row.
+	res = mustQuery(t, e,
+		`MATCH (u:user {uid: 3}) OPTIONAL MATCH (u)-[:posts]->(t:tweet) WHERE t.tid > 9999 RETURN u.uid, t.tid`, nil)
+	if len(res.Rows) != 1 || !cellIsNull(res.Rows[0][1]) {
+		t.Fatalf("optional+where rows = %v", res.Rows)
+	}
+}
+
+func TestUnwindNullAndScalar(t *testing.T) {
+	e, _ := newTestEngine(t)
+	// UNWIND of a null drops the row.
+	res := mustQuery(t, e,
+		`MATCH (u:user {uid: 5}) OPTIONAL MATCH (u)-[:posts]->(t:tweet)
+		 WITH collect(t.tid) AS ids
+		 UNWIND ids AS id RETURN id`, nil)
+	if len(res.Rows) != 0 {
+		t.Errorf("unwind of empty collect = %v", res.Rows)
+	}
+	// UNWIND of a scalar treats it as a one-element list.
+	res = mustQuery(t, e, `MATCH (u:user {uid: 1}) WITH u.uid AS x UNWIND x AS y RETURN y`, nil)
+	if len(res.Rows) != 1 || intCell(t, res.Rows[0][0]) != 1 {
+		t.Errorf("unwind scalar = %v", res.Rows)
+	}
+}
+
+func TestInWithNonListIsFalse(t *testing.T) {
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e, `MATCH (u:user {uid: 1}) RETURN 1 IN u.uid`, nil)
+	if res.Rows[0][0].(graph.Value).Bool() {
+		t.Error("IN non-list returned true")
+	}
+}
+
+func TestShortestPathUnboundEndpointRejected(t *testing.T) {
+	e, _ := newTestEngine(t)
+	if _, err := e.Query(`MATCH p = shortestPath((a)-[:follows*..3]->(b)) RETURN p`, nil); err == nil {
+		t.Error("unbound shortestPath endpoints accepted")
+	}
+}
+
+func TestNamedPathOutsideShortestPathRejected(t *testing.T) {
+	e, _ := newTestEngine(t)
+	if _, err := e.Query(`MATCH p = (a:user)-[:follows]->(b) RETURN p`, nil); err == nil {
+		t.Error("named non-shortestPath pattern accepted")
+	}
+}
+
+func TestSkipBeyondResultSet(t *testing.T) {
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e, `MATCH (u:user) RETURN u.uid ORDER BY u.uid SKIP 100`, nil)
+	if len(res.Rows) != 0 {
+		t.Errorf("skip-beyond = %v", res.Rows)
+	}
+	if _, err := e.Query(`MATCH (u:user) RETURN u LIMIT -1`, nil); err == nil {
+		t.Error("negative LIMIT accepted")
+	}
+}
+
+func TestOrderByNullsLast(t *testing.T) {
+	e, _ := newTestEngine(t)
+	// Users without posts get null counts via OPTIONAL MATCH + WITH.
+	res := mustQuery(t, e,
+		`MATCH (u:user) OPTIONAL MATCH (u)-[:posts]->(t:tweet)
+		 WITH u.uid AS uid, t.tid AS tid
+		 RETURN uid, tid ORDER BY tid, uid`, nil)
+	// Null tids must sort after real tids.
+	sawNull := false
+	for _, r := range res.Rows {
+		if cellIsNull(r[1]) {
+			sawNull = true
+		} else if sawNull {
+			t.Fatalf("non-null after null: %v", res.Rows)
+		}
+	}
+	if !sawNull {
+		t.Fatal("no null rows produced")
+	}
+}
+
+func TestDistinctOnNodes(t *testing.T) {
+	e, _ := newTestEngine(t)
+	// carol reached twice from alice (direct + via bob) — DISTINCT on
+	// the node binding dedups.
+	res := mustQuery(t, e,
+		`MATCH (a:user {uid: 1})-[:follows*1..2]->(f:user) RETURN count(f), count(DISTINCT f)`, nil)
+	all := intCell(t, res.Rows[0][0])
+	distinct := intCell(t, res.Rows[0][1])
+	if all <= distinct {
+		t.Errorf("count %d vs distinct %d: multigraph paths not visible", all, distinct)
+	}
+}
+
+func TestExpandIntoBoundTarget(t *testing.T) {
+	e, _ := newTestEngine(t)
+	// Both endpoints bound: the expand verifies rather than enumerates.
+	res := mustQuery(t, e,
+		`MATCH (a:user {uid: 1}), (b:user {uid: 2}) MATCH (a)-[:follows]->(b) RETURN count(*)`, nil)
+	if intCell(t, res.Rows[0][0]) != 1 {
+		t.Errorf("expand-into = %v", res.Rows)
+	}
+	res = mustQuery(t, e,
+		`MATCH (a:user {uid: 2}), (b:user {uid: 1}) MATCH (a)-[:follows]->(b) RETURN count(*)`, nil)
+	if intCell(t, res.Rows[0][0]) != 0 {
+		t.Errorf("reverse expand-into = %v", res.Rows)
+	}
+}
+
+func TestWhereOnRelationshipVariable(t *testing.T) {
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e,
+		`MATCH (a:user {uid: 1})-[r:follows]->(b:user) WHERE id(r) > 0 RETURN count(r)`, nil)
+	if intCell(t, res.Rows[0][0]) != 2 {
+		t.Errorf("rel var rows = %v", res.Rows)
+	}
+}

@@ -1,0 +1,88 @@
+package cypher
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics feeds random byte soup to the parser: every
+// input must either parse or return an error, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	check := func(s string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", s, r)
+				ok = false
+			}
+		}()
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNeverPanicsOnMangledQueries mutates real queries, which
+// reaches deeper parser states than pure noise.
+func TestParseNeverPanicsOnMangledQueries(t *testing.T) {
+	base := `MATCH (a:user {uid: $uid})-[:follows*2..2]->(f:user) WHERE NOT (a)-[:follows]->(f) RETURN f.uid AS id, count(*) AS c ORDER BY c DESC LIMIT 10`
+	for cut := 0; cut < len(base); cut++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on prefix %q: %v", base[:cut], r)
+				}
+			}()
+			_, _ = Parse(base[:cut])
+		}()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on suffix %q: %v", base[cut:], r)
+				}
+			}()
+			_, _ = Parse(base[cut:])
+		}()
+	}
+	// Byte flips.
+	for i := 0; i < len(base); i += 3 {
+		mangled := []byte(base)
+		mangled[i] ^= 0x5A
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mangled %q: %v", mangled, r)
+				}
+			}()
+			_, _ = Parse(string(mangled))
+		}()
+	}
+}
+
+// TestValidQueriesRoundTripThroughPlanner compiles a battery of valid
+// queries against a live engine to check the planner rejects nothing it
+// should accept.
+func TestValidQueriesRoundTripThroughPlanner(t *testing.T) {
+	e, _ := newTestEngine(t)
+	queries := []string{
+		`MATCH (u:user) RETURN u`,
+		`MATCH (u:user) RETURN u.uid ORDER BY u.uid DESC SKIP 1 LIMIT 3`,
+		`MATCH (u:user)-[r:follows]->(v) RETURN id(r), v.uid`,
+		`MATCH (u:user {uid: 1})-[:follows*1..3]->(v) RETURN DISTINCT v.uid`,
+		`MATCH (u:user) WHERE u.uid >= 2 AND u.uid <= 4 RETURN collect(u.uid)`,
+		`MATCH (u:user) WITH u.followers AS f, count(*) AS n RETURN f, n ORDER BY f`,
+		`MATCH (u:user) RETURN u.uid + 1, u.uid * 2 - 3, u.uid % 2`,
+		`MATCH (t:tweet) WHERE size(t.text) > 5 RETURN count(*)`,
+		`MATCH (a:user {uid: 1}), (b:user {uid: 4}), p = shortestPath((a)-[:follows*..5]-(b)) RETURN length(p)`,
+		`MATCH (u:user) WHERE exists(u.followers) OR u.uid = 0 RETURN count(DISTINCT u)`,
+		`MATCH (u:user {uid:2}) OPTIONAL MATCH (u)-[:posts]->(t) RETURN u.uid, count(t)`,
+		`MATCH (u:user) WITH collect(u.uid) AS ids UNWIND ids AS i RETURN i ORDER BY i LIMIT 2`,
+		`PROFILE MATCH (u:user {uid: 3}) RETURN u.screen_name`,
+	}
+	for _, q := range queries {
+		if _, err := e.Query(q, nil); err != nil {
+			t.Errorf("valid query rejected: %q: %v", q, err)
+		}
+	}
+}

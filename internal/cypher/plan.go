@@ -1,0 +1,305 @@
+package cypher
+
+import (
+	"fmt"
+
+	"twigraph/internal/graph"
+	"twigraph/internal/neodb"
+)
+
+// The planner compiles an AST into a pipeline of stages. Each MATCH
+// becomes a matchStage holding primitive steps (anchor, expand, filter);
+// WITH and RETURN become projectStages. Anchor selection is cost-based
+// using store statistics: an index seek costs ~1, a label scan costs the
+// label cardinality, a full node scan costs the node count, and an
+// already-bound variable costs nothing. This mirrors the paper's
+// observation that phrasings compile to different plans whose database
+// access counts differ.
+
+// varMap assigns row slots to variable names for one pipeline segment.
+type varMap struct {
+	slots map[string]int
+	n     int
+}
+
+func newVarMap() *varMap { return &varMap{slots: map[string]int{}} }
+
+func (m *varMap) lookup(name string) (int, bool) {
+	s, ok := m.slots[name]
+	return s, ok
+}
+
+func (m *varMap) bind(name string) int {
+	if s, ok := m.slots[name]; ok {
+		return s
+	}
+	s := m.n
+	m.n++
+	if name != "" {
+		m.slots[name] = s
+	}
+	return s
+}
+
+func (m *varMap) clone() *varMap {
+	c := &varMap{slots: make(map[string]int, len(m.slots)), n: m.n}
+	for k, v := range m.slots {
+		c.slots[k] = v
+	}
+	return c
+}
+
+// Prepared is a compiled, cacheable execution plan.
+type Prepared struct {
+	text     string
+	profiled bool
+	stages   []stage
+	columns  []string
+}
+
+// Columns returns the result column names.
+func (p *Prepared) Columns() []string { return p.columns }
+
+// compile builds the stage pipeline for a parsed query.
+func compile(db *neodb.DB, q *Query, text string) (*Prepared, error) {
+	prep := &Prepared{text: text, profiled: q.Profiled}
+	vm := newVarMap()
+	var lastProjection *WithClause
+	for i, cl := range q.Clauses {
+		switch c := cl.(type) {
+		case *MatchClause:
+			st, err := compileMatch(db, c, vm)
+			if err != nil {
+				return nil, err
+			}
+			prep.stages = append(prep.stages, st)
+		case *UnwindClause:
+			st := &unwindStage{expr: c.Expr, vars: vm.clone(), outSlot: vm.bind(c.Alias), width: vm.n}
+			prep.stages = append(prep.stages, st)
+		case *WithClause:
+			st, nvm, err := compileProjection(db, c, vm)
+			if err != nil {
+				return nil, err
+			}
+			prep.stages = append(prep.stages, st)
+			vm = nvm
+			if c.Final {
+				if i != len(q.Clauses)-1 {
+					return nil, fmt.Errorf("cypher: RETURN must be the final clause")
+				}
+				lastProjection = c
+			}
+		}
+	}
+	if lastProjection == nil {
+		return nil, fmt.Errorf("cypher: missing RETURN")
+	}
+	for _, it := range lastProjection.Items {
+		prep.columns = append(prep.columns, it.Alias)
+	}
+	return prep, nil
+}
+
+// ---------- MATCH compilation ----------
+
+func compileMatch(db *neodb.DB, c *MatchClause, vm *varMap) (*matchStage, error) {
+	st := &matchStage{optional: c.Optional, where: c.Where}
+	for _, pat := range c.Patterns {
+		if err := compilePattern(db, pat, vm, st); err != nil {
+			return nil, err
+		}
+	}
+	st.vars = vm.clone()
+	st.width = vm.n
+	return st, nil
+}
+
+func compilePattern(db *neodb.DB, pat Pattern, vm *varMap, st *matchStage) error {
+	nodes, rels := splitChain(pat.Parts)
+	if pat.ShortestPath {
+		if len(rels) != 1 {
+			return fmt.Errorf("cypher: shortestPath wants a single relationship pattern")
+		}
+		fromSlot, ok := vm.lookup(nodes[0].Var)
+		if !ok {
+			return fmt.Errorf("cypher: shortestPath endpoint %q must be bound", nodes[0].Var)
+		}
+		toSlot, ok := vm.lookup(nodes[1].Var)
+		if !ok {
+			return fmt.Errorf("cypher: shortestPath endpoint %q must be bound", nodes[1].Var)
+		}
+		maxHops := rels[0].MaxHops
+		if maxHops < 0 {
+			maxHops = 15 // Cypher's default upper bound for shortestPath
+		}
+		pathSlot := -1
+		if pat.Name != "" {
+			pathSlot = vm.bind(pat.Name)
+		}
+		st.steps = append(st.steps, &stepShortestPath{
+			pathSlot: pathSlot, fromSlot: fromSlot, toSlot: toSlot,
+			relType: rels[0].Type, dir: rels[0].Dir, maxHops: maxHops,
+		})
+		return nil
+	}
+	if pat.Name != "" {
+		return fmt.Errorf("cypher: named paths are only supported with shortestPath")
+	}
+
+	// Assign a slot per chain position. Named variables share slots
+	// across mentions; anonymous nodes get fresh slots.
+	slots := make([]int, len(nodes))
+	bound := make([]bool, len(nodes))
+	for i, n := range nodes {
+		if n.Var != "" {
+			if s, ok := vm.lookup(n.Var); ok {
+				slots[i], bound[i] = s, true
+				continue
+			}
+		}
+		slots[i] = vm.bind(n.Var)
+	}
+
+	// Choose the cheapest anchor position, then expand rightward and
+	// leftward from it.
+	anchor := chooseAnchor(db, nodes, bound)
+	emitAnchor(db, nodes[anchor], slots[anchor], bound[anchor], st)
+	reached := make([]bool, len(nodes))
+	reached[anchor] = true
+	for i := anchor; i+1 < len(nodes); i++ {
+		emitExpand(db, vm, rels[i], slots[i], slots[i+1], bound[i+1] || reached[i+1], false, nodes[i+1], st)
+		reached[i+1] = true
+	}
+	for i := anchor; i-1 >= 0; i-- {
+		emitExpand(db, vm, rels[i-1], slots[i], slots[i-1], bound[i-1] || reached[i-1], true, nodes[i-1], st)
+		reached[i-1] = true
+	}
+	return nil
+}
+
+func splitChain(parts []PatternPart) ([]NodePattern, []RelPattern) {
+	var nodes []NodePattern
+	var rels []RelPattern
+	for _, p := range parts {
+		if p.IsRel {
+			rels = append(rels, p.Rel)
+		} else {
+			nodes = append(nodes, p.Node)
+		}
+	}
+	return nodes, rels
+}
+
+// chooseAnchor returns the cheapest node position to start matching
+// from.
+func chooseAnchor(db *neodb.DB, nodes []NodePattern, bound []bool) int {
+	best, bestCost := 0, float64(1e18)
+	for i, n := range nodes {
+		cost := anchorCost(db, n, bound[i])
+		if cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	return best
+}
+
+func anchorCost(db *neodb.DB, n NodePattern, bound bool) float64 {
+	if bound {
+		return 0
+	}
+	if n.Label != "" {
+		label := db.LabelID(n.Label)
+		for _, pm := range n.Props {
+			key := db.PropKeyID(pm.Key)
+			if key != graph.NilAttr && db.HasIndex(label, key) {
+				return 1
+			}
+		}
+		return float64(db.LabelCount(label))
+	}
+	return float64(db.NodeCount())
+}
+
+func emitAnchor(db *neodb.DB, n NodePattern, slot int, bound bool, st *matchStage) {
+	if bound {
+		// Already bound: just verify label/props.
+		emitNodeFilters(db, n, slot, st, "")
+		return
+	}
+	label := graph.NilType
+	if n.Label != "" {
+		label = db.LabelID(n.Label)
+	}
+	// Index seek when an equality prop is indexed.
+	if label != graph.NilType {
+		for _, pm := range n.Props {
+			key := db.PropKeyID(pm.Key)
+			if key != graph.NilAttr && db.HasIndex(label, key) {
+				st.steps = append(st.steps, &stepIndexSeek{slot: slot, label: label, key: key, val: pm.Expr})
+				emitNodeFilters(db, n, slot, st, pm.Key)
+				return
+			}
+		}
+		st.steps = append(st.steps, &stepLabelScan{slot: slot, label: label})
+		emitNodeFilters(db, n, slot, st, "")
+		return
+	}
+	st.steps = append(st.steps, &stepAllNodes{slot: slot})
+	emitNodeFilters(db, n, slot, st, "")
+}
+
+// emitNodeFilters adds label and property-equality filters for a node
+// already bound at slot. skipKey names a property already satisfied by
+// an index seek.
+func emitNodeFilters(db *neodb.DB, n NodePattern, slot int, st *matchStage, skipKey string) {
+	if n.Label != "" {
+		st.steps = append(st.steps, &stepLabelFilter{slot: slot, label: db.LabelID(n.Label)})
+	}
+	for _, pm := range n.Props {
+		if skipKey != "" && pm.Key == skipKey {
+			continue
+		}
+		st.steps = append(st.steps, &stepPropFilter{slot: slot, key: pm.Key, val: pm.Expr})
+	}
+}
+
+// emitExpand adds an expand step from one chain position to the next,
+// filtering the target's label and property constraints afterwards.
+func emitExpand(db *neodb.DB, vm *varMap, rel RelPattern, fromSlot, toSlot int, toBound, reversed bool, to NodePattern, st *matchStage) {
+	dir := rel.Dir
+	if reversed {
+		dir = dir.Reverse()
+	}
+	relSlot := -1
+	if rel.Var != "" {
+		relSlot = vm.bind(rel.Var) // single-hop binding; lists for var-length
+	}
+	st.steps = append(st.steps, &stepExpand{
+		fromSlot: fromSlot, toSlot: toSlot, relSlot: relSlot,
+		relType: rel.Type, dir: dir,
+		minHops: rel.MinHops, maxHops: rel.MaxHops,
+		toBound: toBound,
+	})
+	emitNodeFilters(db, to, toSlot, st, "")
+}
+
+// ---------- projection compilation ----------
+
+func compileProjection(db *neodb.DB, c *WithClause, vm *varMap) (*projectStage, *varMap, error) {
+	st := &projectStage{clause: c, inVars: vm.clone()}
+	out := newVarMap()
+	for _, it := range c.Items {
+		if _, dup := out.lookup(it.Alias); dup {
+			return nil, nil, fmt.Errorf("cypher: duplicate column %q", it.Alias)
+		}
+		out.bind(it.Alias)
+	}
+	st.outVars = out
+	for _, it := range c.Items {
+		if hasAggregate(it.Expr) {
+			st.hasAgg = true
+			break
+		}
+	}
+	return st, out, nil
+}

@@ -1,0 +1,283 @@
+// Package cypher implements the declarative query layer of the
+// Neo4j-analog engine: a Cypher-subset language with a lexer, parser,
+// cost-based planner, pipelined executor, plan cache and profiler.
+//
+// The subset covers everything the paper's workload needs:
+//
+//	MATCH (u:user {uid: $uid})-[:posts]->(t:tweet) RETURN t.text
+//	MATCH (a:user {uid:$u})-[:follows*2..2]->(f) WHERE NOT (a)-[:follows]->(f)
+//	  RETURN f.uid, count(*) AS c ORDER BY c DESC LIMIT 10
+//	MATCH p = shortestPath((a)-[:follows*..3]->(b)) RETURN length(p)
+//
+// including variable-length expansion, pattern predicates, WITH
+// pipelines, DISTINCT, aggregation (count, collect), ORDER BY, SKIP and
+// LIMIT, and $parameters. Parameterised queries share cached execution
+// plans, reproducing the paper's observation that "a good speedup can be
+// achieved by specifying parameters, because it allows Cypher to cache
+// the execution plans".
+package cypher
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokParam  // $name
+	tokLParen // (
+	tokRParen // )
+	tokLBrack // [
+	tokRBrack // ]
+	tokLBrace // {
+	tokRBrace // }
+	tokComma
+	tokColon
+	tokDot
+	tokDotDot // ..
+	tokStar
+	tokPlus
+	tokDash  // -
+	tokArrow // ->
+	tokLArrow
+	tokEq    // =
+	tokNeq   // <>
+	tokLt    // <
+	tokLte   // <=
+	tokGt    // >
+	tokGte   // >=
+	tokPipe  // |
+	tokSlash // /
+	tokPct   // %
+)
+
+// keywords recognised case-insensitively.
+var keywords = map[string]bool{
+	"MATCH": true, "OPTIONAL": true, "WHERE": true, "RETURN": true,
+	"WITH": true, "ORDER": true, "BY": true, "SKIP": true, "LIMIT": true,
+	"DISTINCT": true, "AS": true, "AND": true, "OR": true, "NOT": true,
+	"XOR": true, "ASC": true, "DESC": true, "TRUE": true, "FALSE": true,
+	"NULL": true, "IN": true, "PROFILE": true, "EXPLAIN": true,
+	"COUNT": true, "COLLECT": true, "EXISTS": true, "UNWIND": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string // identifier/keyword/literal text (keywords uppercased)
+	pos  int    // byte offset for error reporting
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+// lex tokenises the whole query up front (queries are short).
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.tokens = append(l.tokens, tok)
+		if tok.kind == tokEOF {
+			return l.tokens, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case c == ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case c == '[':
+		l.pos++
+		return token{tokLBrack, "[", start}, nil
+	case c == ']':
+		l.pos++
+		return token{tokRBrack, "]", start}, nil
+	case c == '{':
+		l.pos++
+		return token{tokLBrace, "{", start}, nil
+	case c == '}':
+		l.pos++
+		return token{tokRBrace, "}", start}, nil
+	case c == ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case c == ':':
+		l.pos++
+		return token{tokColon, ":", start}, nil
+	case c == '|':
+		l.pos++
+		return token{tokPipe, "|", start}, nil
+	case c == '+':
+		l.pos++
+		return token{tokPlus, "+", start}, nil
+	case c == '/':
+		l.pos++
+		return token{tokSlash, "/", start}, nil
+	case c == '%':
+		l.pos++
+		return token{tokPct, "%", start}, nil
+	case c == '*':
+		l.pos++
+		return token{tokStar, "*", start}, nil
+	case c == '.':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '.' {
+			l.pos += 2
+			return token{tokDotDot, "..", start}, nil
+		}
+		l.pos++
+		return token{tokDot, ".", start}, nil
+	case c == '-':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '>' {
+			l.pos += 2
+			return token{tokArrow, "->", start}, nil
+		}
+		l.pos++
+		return token{tokDash, "-", start}, nil
+	case c == '=':
+		l.pos++
+		return token{tokEq, "=", start}, nil
+	case c == '<':
+		if l.pos+1 < len(l.src) {
+			switch l.src[l.pos+1] {
+			case '>':
+				l.pos += 2
+				return token{tokNeq, "<>", start}, nil
+			case '=':
+				l.pos += 2
+				return token{tokLte, "<=", start}, nil
+			case '-':
+				l.pos += 2
+				return token{tokLArrow, "<-", start}, nil
+			}
+		}
+		l.pos++
+		return token{tokLt, "<", start}, nil
+	case c == '>':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{tokGte, ">=", start}, nil
+		}
+		l.pos++
+		return token{tokGt, ">", start}, nil
+	case c == '$':
+		l.pos++
+		id := l.ident()
+		if id == "" {
+			return token{}, fmt.Errorf("cypher: empty parameter name at %d", start)
+		}
+		return token{tokParam, id, start}, nil
+	case c == '\'' || c == '"':
+		return l.stringLit(c)
+	case c >= '0' && c <= '9':
+		return l.number()
+	case isIdentStart(c):
+		id := l.ident()
+		up := strings.ToUpper(id)
+		if keywords[up] {
+			return token{tokKeyword, up, start}, nil
+		}
+		return token{tokIdent, id, start}, nil
+	case c == '`':
+		// Backtick-quoted identifier.
+		l.pos++
+		end := strings.IndexByte(l.src[l.pos:], '`')
+		if end < 0 {
+			return token{}, fmt.Errorf("cypher: unterminated quoted identifier at %d", start)
+		}
+		id := l.src[l.pos : l.pos+end]
+		l.pos += end + 1
+		return token{tokIdent, id, start}, nil
+	}
+	return token{}, fmt.Errorf("cypher: unexpected character %q at %d", c, start)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (l *lexer) ident() string {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) number() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	// A float has a single '.' followed by digits ('..' is a range).
+	if l.pos+1 < len(l.src) && l.src[l.pos] == '.' && l.src[l.pos+1] != '.' &&
+		l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+		return token{tokFloat, l.src[start:l.pos], start}, nil
+	}
+	return token{tokInt, l.src[start:l.pos], start}, nil
+}
+
+func (l *lexer) stringLit(quote byte) (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\\' && l.pos+1 < len(l.src) {
+			next := l.src[l.pos+1]
+			switch next {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '\\', '\'', '"':
+				sb.WriteByte(next)
+			default:
+				sb.WriteByte(next)
+			}
+			l.pos += 2
+			continue
+		}
+		if c == quote {
+			l.pos++
+			return token{tokString, sb.String(), start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return token{}, fmt.Errorf("cypher: unterminated string at %d", start)
+}

@@ -1,0 +1,192 @@
+package cypher
+
+import (
+	"fmt"
+	"strings"
+
+	"twigraph/internal/graph"
+)
+
+// Runtime cells are `any` values holding one of:
+//
+//	graph.Value  — scalar property values and literals
+//	NodeRef      — a node binding
+//	RelRef       — a relationship binding
+//	PathVal      — a named path (shortestPath results)
+//	ListVal      — collect() results and list literals
+//
+// The paper's result tables only ever contain scalars, but nodes and
+// paths flow through intermediate rows.
+
+// NodeRef is a node binding in a result row.
+type NodeRef graph.NodeID
+
+// RelRef is a relationship binding in a result row.
+type RelRef graph.EdgeID
+
+// PathVal is a bound path.
+type PathVal struct {
+	Nodes []graph.NodeID
+	Rels  []graph.EdgeID
+}
+
+// Length returns the number of relationships in the path.
+func (p PathVal) Length() int { return len(p.Rels) }
+
+// ListVal is a list cell.
+type ListVal []any
+
+// row is one binding tuple; slots are assigned by the compiler.
+type row []any
+
+// cellEqual compares two runtime cells for equality (ternary logic
+// collapsed to bool; nil equals nothing, matching Cypher's null).
+func cellEqual(a, b any) bool {
+	switch x := a.(type) {
+	case graph.Value:
+		if y, ok := b.(graph.Value); ok {
+			if x.IsNil() || y.IsNil() {
+				return false
+			}
+			return x.Equal(y)
+		}
+		return false
+	case NodeRef:
+		y, ok := b.(NodeRef)
+		return ok && x == y
+	case RelRef:
+		y, ok := b.(RelRef)
+		return ok && x == y
+	case nil:
+		return false
+	case ListVal:
+		y, ok := b.(ListVal)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !cellEqual(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	case PathVal:
+		return false // paths are never compared in this subset
+	}
+	return false
+}
+
+// cellCompare orders two cells for ORDER BY. Scalars order by
+// graph.Value.Compare; node/rel refs by id; mixed kinds by a stable
+// class rank. Nil sorts last (Cypher null ordering).
+func cellCompare(a, b any) int {
+	ra, rb := cellRank(a), cellRank(b)
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	switch x := a.(type) {
+	case graph.Value:
+		return x.Compare(b.(graph.Value))
+	case NodeRef:
+		y := b.(NodeRef)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case RelRef:
+		y := b.(RelRef)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case ListVal:
+		y := b.(ListVal)
+		for i := 0; i < len(x) && i < len(y); i++ {
+			if c := cellCompare(x[i], y[i]); c != 0 {
+				return c
+			}
+		}
+		return len(x) - len(y)
+	}
+	return 0
+}
+
+func cellRank(a any) int {
+	switch v := a.(type) {
+	case graph.Value:
+		if v.IsNil() {
+			return 9 // nulls last
+		}
+		return 0
+	case NodeRef:
+		return 1
+	case RelRef:
+		return 2
+	case PathVal:
+		return 3
+	case ListVal:
+		return 4
+	case nil:
+		return 9
+	}
+	return 8
+}
+
+// cellKey returns a stable string key for DISTINCT and grouping.
+func cellKey(a any) string {
+	switch v := a.(type) {
+	case graph.Value:
+		return "v:" + v.Key()
+	case NodeRef:
+		return fmt.Sprintf("n:%d", v)
+	case RelRef:
+		return fmt.Sprintf("r:%d", v)
+	case PathVal:
+		var sb strings.Builder
+		sb.WriteString("p:")
+		for _, n := range v.Nodes {
+			fmt.Fprintf(&sb, "%d,", n)
+		}
+		return sb.String()
+	case ListVal:
+		var sb strings.Builder
+		sb.WriteString("l:[")
+		for _, e := range v {
+			sb.WriteString(cellKey(e))
+			sb.WriteByte(';')
+		}
+		sb.WriteByte(']')
+		return sb.String()
+	case nil:
+		return "nil"
+	}
+	return fmt.Sprintf("?:%v", a)
+}
+
+// cellTruth evaluates a cell as a boolean predicate result.
+func cellTruth(a any) bool {
+	if v, ok := a.(graph.Value); ok {
+		return v.Kind() == graph.KindBool && v.Bool()
+	}
+	return false
+}
+
+// cellIsNull reports whether the cell is a Cypher null.
+func cellIsNull(a any) bool {
+	if a == nil {
+		return true
+	}
+	if v, ok := a.(graph.Value); ok {
+		return v.IsNil()
+	}
+	return false
+}

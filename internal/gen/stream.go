@@ -1,0 +1,171 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file implements the paper's §5 future work: "investigate how the
+// graph could be generated on-the-fly with new incoming users, tweets
+// and follow relationships ... simulate the true real-time nature of
+// microblogs. With this setting, it would be possible to test for the
+// ability of systems to handle update workloads."
+//
+// Stream produces an endless, deterministic sequence of events against
+// an existing dataset; the update benchmarks apply them through the
+// engines' transactional write paths.
+
+// EventKind discriminates stream events.
+type EventKind uint8
+
+// Stream event kinds.
+const (
+	EventNewUser EventKind = iota
+	EventNewFollow
+	EventNewTweet
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventNewUser:
+		return "new-user"
+	case EventNewFollow:
+		return "new-follow"
+	case EventNewTweet:
+		return "new-tweet"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one real-time update: a new user, a new follow edge, or a
+// new tweet carrying mentions and hashtags.
+type Event struct {
+	Kind EventKind
+
+	UID        int64 // acting user (all kinds)
+	ScreenName string
+
+	TargetUID int64 // new-follow target
+
+	TID      int64 // new-tweet id
+	Text     string
+	Mentions []int64
+	Tags     []string
+}
+
+// Stream generates events continuing an existing dataset: it knows the
+// current user and tweet id high-water marks and keeps the same
+// popularity skews as the static generator (new users follow
+// preferentially, mentions favour the well-followed).
+type Stream struct {
+	rng      *rand.Rand
+	nextUID  int64
+	nextTID  int64
+	cfg      Config
+	pool     []int64 // follower-weighted target pool, as in followerGraph
+	hashtags int
+}
+
+// NewStream creates a stream continuing after a generated dataset. The
+// summary provides the id high-water marks; cfg controls event shape
+// (the same knobs as static generation).
+func NewStream(cfg Config, sum Summary) *Stream {
+	s := &Stream{
+		rng:      rand.New(rand.NewSource(cfg.Seed + 1)),
+		nextUID:  int64(sum.Users) + 1,
+		nextTID:  int64(sum.Tweets) + 1,
+		cfg:      cfg,
+		hashtags: cfg.Hashtags,
+	}
+	// Seed the preference pool with every existing user once; follower
+	// weight accrues as the stream emits follows.
+	s.pool = make([]int64, 0, sum.Users*2)
+	for uid := int64(1); uid <= int64(sum.Users); uid++ {
+		s.pool = append(s.pool, uid)
+	}
+	return s
+}
+
+// Next returns the next event. The mix approximates a live feed: most
+// events are tweets, follows are common, fresh signups are rare.
+func (s *Stream) Next() Event {
+	switch r := s.rng.Float64(); {
+	case r < 0.05:
+		return s.newUser()
+	case r < 0.35:
+		return s.newFollow()
+	default:
+		return s.newTweet()
+	}
+}
+
+// Take returns the next n events.
+func (s *Stream) Take(n int) []Event {
+	out := make([]Event, n)
+	for i := range out {
+		out[i] = s.Next()
+	}
+	return out
+}
+
+func (s *Stream) newUser() Event {
+	uid := s.nextUID
+	s.nextUID++
+	s.pool = append(s.pool, uid)
+	return Event{
+		Kind:       EventNewUser,
+		UID:        uid,
+		ScreenName: fmt.Sprintf("user%d", uid),
+	}
+}
+
+func (s *Stream) existingUser() int64 {
+	return s.pool[s.rng.Intn(len(s.pool))]
+}
+
+func (s *Stream) newFollow() Event {
+	src := s.existingUser()
+	dst := s.existingUser()
+	for dst == src {
+		dst = s.existingUser()
+	}
+	// Preferential attachment continues into the live stream.
+	s.pool = append(s.pool, dst)
+	return Event{Kind: EventNewFollow, UID: src, TargetUID: dst}
+}
+
+func (s *Stream) newTweet() Event {
+	uid := s.existingUser()
+	tid := s.nextTID
+	s.nextTID++
+	ev := Event{
+		Kind: EventNewTweet,
+		UID:  uid,
+		TID:  tid,
+		Text: fmt.Sprintf("live status %d from user%d", tid, uid),
+	}
+	seenM := map[int64]bool{}
+	for m := sampleCount(s.rng, s.cfg.MentionsPer); m > 0; m-- {
+		target := s.existingUser()
+		if target == uid || seenM[target] {
+			continue
+		}
+		seenM[target] = true
+		ev.Mentions = append(ev.Mentions, target)
+		ev.Text += fmt.Sprintf(" @user%d", target)
+	}
+	seenT := map[int]bool{}
+	for h := sampleCount(s.rng, s.cfg.TagsPer); h > 0 && s.hashtags > 0; h-- {
+		tag := 1 + s.rng.Intn(s.hashtags)
+		if seenT[tag] {
+			continue
+		}
+		seenT[tag] = true
+		name := fmt.Sprintf("topic%d", tag)
+		ev.Tags = append(ev.Tags, name)
+		ev.Text += " #" + name
+	}
+	return ev
+}

@@ -1,0 +1,33 @@
+package graph
+
+import "errors"
+
+// Shared error values returned by both engines. Callers should test with
+// errors.Is; engines may wrap these with context.
+var (
+	// ErrNotFound reports that a node, edge, type, or attribute does
+	// not exist.
+	ErrNotFound = errors.New("graph: not found")
+
+	// ErrTypeExists reports an attempt to register a duplicate node
+	// label or edge type.
+	ErrTypeExists = errors.New("graph: type already exists")
+
+	// ErrAttrExists reports an attempt to register a duplicate
+	// attribute on a type.
+	ErrAttrExists = errors.New("graph: attribute already exists")
+
+	// ErrClosed reports use of a database after Close.
+	ErrClosed = errors.New("graph: database is closed")
+
+	// ErrReadOnlyTx reports a write attempted through a read
+	// transaction.
+	ErrReadOnlyTx = errors.New("graph: transaction is read-only")
+
+	// ErrTxDone reports use of a transaction after Commit or Rollback.
+	ErrTxDone = errors.New("graph: transaction already finished")
+
+	// ErrKindMismatch reports a value whose kind does not match the
+	// declared attribute kind.
+	ErrKindMismatch = errors.New("graph: value kind mismatch")
+)

@@ -1,0 +1,300 @@
+// Package graph defines the data model shared by both graph database
+// engines in this repository: identifiers, directions, property values,
+// and the schema vocabulary of a directed property multigraph.
+//
+// The model follows the paper's requirements for representing the
+// Twittersphere (Section 2.1): nodes and edges carry a type label and an
+// arbitrary set of key-value properties, and two nodes may be connected
+// by any number of parallel edges (a directed multigraph).
+package graph
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// NodeID identifies a node within an engine. IDs are engine-assigned and
+// dense; zero is never a valid ID so it can serve as a sentinel.
+type NodeID uint64
+
+// EdgeID identifies an edge (relationship) within an engine. As with
+// NodeID, zero is reserved.
+type EdgeID uint64
+
+// NilNode and NilEdge are the reserved "no such object" identifiers.
+const (
+	NilNode NodeID = 0
+	NilEdge EdgeID = 0
+)
+
+// TypeID identifies a node label or an edge type in an engine's schema
+// catalog. Small and dense, suitable for array indexing.
+type TypeID uint32
+
+// AttrID identifies a property key registered for some node or edge type.
+type AttrID uint32
+
+// NilType and NilAttr are returned by catalog lookups that find nothing.
+const (
+	NilType TypeID = 0
+	NilAttr AttrID = 0
+)
+
+// Direction selects which incident edges a navigation operation follows.
+type Direction uint8
+
+// Directions of traversal relative to the anchor node.
+const (
+	Outgoing Direction = iota // edges whose tail is the anchor
+	Incoming                  // edges whose head is the anchor
+	Any                       // both
+)
+
+// String returns the conventional lowercase name of the direction.
+func (d Direction) String() string {
+	switch d {
+	case Outgoing:
+		return "outgoing"
+	case Incoming:
+		return "incoming"
+	case Any:
+		return "any"
+	default:
+		return fmt.Sprintf("direction(%d)", uint8(d))
+	}
+}
+
+// Reverse flips Outgoing and Incoming; Any is its own reverse.
+func (d Direction) Reverse() Direction {
+	switch d {
+	case Outgoing:
+		return Incoming
+	case Incoming:
+		return Outgoing
+	default:
+		return Any
+	}
+}
+
+// Kind enumerates the dynamic types a property value can take. The two
+// engines store values differently (records vs. attribute maps) but agree
+// on this vocabulary.
+type Kind uint8
+
+// Property value kinds.
+const (
+	KindNil Kind = iota
+	KindInt
+	KindString
+	KindBool
+	KindFloat
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNil:
+		return "nil"
+	case KindInt:
+		return "int"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	case KindFloat:
+		return "float"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed property value. It is a small immutable
+// struct passed by value; the zero Value has KindNil.
+//
+// This mirrors Sparksee's Value class, which the paper's example query
+// uses (`attrval.setinteger(531)`), and doubles as the literal/parameter
+// representation in the declarative query layer.
+type Value struct {
+	kind Kind
+	i    int64   // KindInt, KindBool (0/1)
+	f    float64 // KindFloat
+	s    string  // KindString
+}
+
+// NilValue is the absent value.
+var NilValue = Value{}
+
+// IntValue returns a Value holding i.
+func IntValue(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// StringValue returns a Value holding s.
+func StringValue(s string) Value { return Value{kind: KindString, s: s} }
+
+// BoolValue returns a Value holding b.
+func BoolValue(b bool) Value {
+	var i int64
+	if b {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// FloatValue returns a Value holding f.
+func FloatValue(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Kind reports the dynamic type of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNil reports whether the value is absent.
+func (v Value) IsNil() bool { return v.kind == KindNil }
+
+// Int returns the integer payload; it is 0 unless Kind is KindInt or
+// KindBool.
+func (v Value) Int() int64 {
+	if v.kind == KindInt || v.kind == KindBool {
+		return v.i
+	}
+	return 0
+}
+
+// Float returns the float payload, converting from int if necessary.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	}
+	return 0
+}
+
+// Str returns the string payload; it is "" unless Kind is KindString.
+func (v Value) Str() string {
+	if v.kind == KindString {
+		return v.s
+	}
+	return ""
+}
+
+// Bool returns the boolean payload; it is false unless Kind is KindBool.
+func (v Value) Bool() bool { return v.kind == KindBool && v.i != 0 }
+
+// Equal reports deep equality of two values. Values of different kinds
+// are never equal, except that int and float compare numerically.
+func (v Value) Equal(o Value) bool {
+	if v.kind == o.kind {
+		switch v.kind {
+		case KindNil:
+			return true
+		case KindString:
+			return v.s == o.s
+		case KindFloat:
+			return v.f == o.f
+		default:
+			return v.i == o.i
+		}
+	}
+	if (v.kind == KindInt && o.kind == KindFloat) || (v.kind == KindFloat && o.kind == KindInt) {
+		return v.Float() == o.Float()
+	}
+	return false
+}
+
+// Compare orders two values: nil < bool < numeric < string, with values
+// of the same class ordered naturally. It returns -1, 0, or +1. Numeric
+// values of different kinds compare by magnitude.
+func (v Value) Compare(o Value) int {
+	ra, rb := v.rank(), o.rank()
+	if ra != rb {
+		return cmp(ra, rb)
+	}
+	switch {
+	case v.kind == KindNil:
+		return 0
+	case v.kind == KindString:
+		switch {
+		case v.s < o.s:
+			return -1
+		case v.s > o.s:
+			return 1
+		}
+		return 0
+	case v.kind == KindBool && o.kind == KindBool:
+		return cmp(v.i, o.i)
+	default: // numeric
+		if v.kind == KindInt && o.kind == KindInt {
+			return cmp(v.i, o.i)
+		}
+		a, b := v.Float(), o.Float()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+}
+
+func (v Value) rank() int {
+	switch v.kind {
+	case KindNil:
+		return 0
+	case KindBool:
+		return 1
+	case KindInt, KindFloat:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func cmp[T int | int64](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// String renders the value for display and for stable map keys.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNil:
+		return "nil"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindBool:
+		return strconv.FormatBool(v.i != 0)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	default:
+		return "?"
+	}
+}
+
+// Key returns a compact representation usable as a map key that never
+// collides across kinds (unlike String, which quotes only strings).
+func (v Value) Key() string {
+	return v.Kind().String() + ":" + v.String()
+}
+
+// Properties is a property map attached to a node or edge.
+type Properties map[string]Value
+
+// Clone returns a shallow copy (Values are immutable, so this is a deep
+// copy in effect).
+func (p Properties) Clone() Properties {
+	if p == nil {
+		return nil
+	}
+	q := make(Properties, len(p))
+	for k, v := range p {
+		q[k] = v
+	}
+	return q
+}

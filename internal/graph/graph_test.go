@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDirectionString(t *testing.T) {
+	cases := map[Direction]string{
+		Outgoing:     "outgoing",
+		Incoming:     "incoming",
+		Any:          "any",
+		Direction(9): "direction(9)",
+	}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestDirectionReverse(t *testing.T) {
+	if Outgoing.Reverse() != Incoming {
+		t.Error("Outgoing.Reverse() != Incoming")
+	}
+	if Incoming.Reverse() != Outgoing {
+		t.Error("Incoming.Reverse() != Outgoing")
+	}
+	if Any.Reverse() != Any {
+		t.Error("Any.Reverse() != Any")
+	}
+}
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	v := IntValue(531)
+	if v.Kind() != KindInt || v.Int() != 531 || v.IsNil() {
+		t.Errorf("IntValue(531) = %v", v)
+	}
+	s := StringValue("#hashtag")
+	if s.Kind() != KindString || s.Str() != "#hashtag" {
+		t.Errorf("StringValue = %v", s)
+	}
+	b := BoolValue(true)
+	if b.Kind() != KindBool || !b.Bool() || b.Int() != 1 {
+		t.Errorf("BoolValue(true) = %v", b)
+	}
+	f := FloatValue(2.5)
+	if f.Kind() != KindFloat || f.Float() != 2.5 {
+		t.Errorf("FloatValue = %v", f)
+	}
+	if !NilValue.IsNil() || NilValue.Kind() != KindNil {
+		t.Errorf("NilValue = %v", NilValue)
+	}
+	// Cross-kind accessors return zero values.
+	if s.Int() != 0 || v.Str() != "" || s.Bool() {
+		t.Error("cross-kind accessor leaked a payload")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{IntValue(1), IntValue(1), true},
+		{IntValue(1), IntValue(2), false},
+		{StringValue("a"), StringValue("a"), true},
+		{StringValue("a"), StringValue("b"), false},
+		{BoolValue(true), BoolValue(true), true},
+		{BoolValue(true), BoolValue(false), false},
+		{IntValue(2), FloatValue(2), true},
+		{FloatValue(2), IntValue(2), true},
+		{IntValue(2), FloatValue(2.5), false},
+		{NilValue, NilValue, true},
+		{NilValue, IntValue(0), false},
+		{IntValue(1), BoolValue(true), false},
+		{StringValue("1"), IntValue(1), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompareOrdering(t *testing.T) {
+	// nil < bool < numeric < string
+	ordered := []Value{
+		NilValue,
+		BoolValue(false),
+		BoolValue(true),
+		IntValue(-5),
+		FloatValue(-1.5),
+		IntValue(0),
+		FloatValue(0.5),
+		IntValue(1),
+		IntValue(100),
+		StringValue(""),
+		StringValue("a"),
+		StringValue("b"),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			want := cmp(i, j)
+			// Equal-by-magnitude values in the slice are strictly
+			// increasing, so rank comparison matches index order.
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestValueCompareProperties(t *testing.T) {
+	gen := func(vals []int64) bool {
+		// Antisymmetry and reflexivity over int values.
+		for _, a := range vals {
+			va := IntValue(a)
+			if va.Compare(va) != 0 {
+				return false
+			}
+			for _, b := range vals {
+				vb := IntValue(b)
+				if va.Compare(vb) != -vb.Compare(va) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(gen, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueStringAndKey(t *testing.T) {
+	if IntValue(7).String() != "7" {
+		t.Errorf("IntValue(7).String() = %q", IntValue(7).String())
+	}
+	if StringValue("x").String() != `"x"` {
+		t.Errorf("StringValue(x).String() = %q", StringValue("x").String())
+	}
+	if BoolValue(true).String() != "true" {
+		t.Errorf("BoolValue(true).String() = %q", BoolValue(true).String())
+	}
+	if NilValue.String() != "nil" {
+		t.Errorf("NilValue.String() = %q", NilValue.String())
+	}
+	// Keys must not collide across kinds.
+	if IntValue(1).Key() == BoolValue(true).Key() {
+		t.Error("Key collision between int 1 and bool true")
+	}
+	if StringValue("1").Key() == IntValue(1).Key() {
+		t.Error("Key collision between string and int")
+	}
+}
+
+func TestPropertiesClone(t *testing.T) {
+	p := Properties{"uid": IntValue(531), "name": StringValue("bob")}
+	q := p.Clone()
+	q["uid"] = IntValue(9)
+	if p["uid"].Int() != 531 {
+		t.Error("Clone aliases the original map")
+	}
+	if Properties(nil).Clone() != nil {
+		t.Error("Clone(nil) should be nil")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[Kind]string{
+		KindNil: "nil", KindInt: "int", KindString: "string",
+		KindBool: "bool", KindFloat: "float", Kind(42): "kind(42)",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

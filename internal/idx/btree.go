@@ -1,0 +1,225 @@
+package idx
+
+import (
+	"sort"
+
+	"twigraph/internal/graph"
+)
+
+// btreeDegree is the maximum number of keys per node (order 2*t-1 with
+// t=32); nodes split at 63 keys.
+const btreeDegree = 64
+
+// Entry is one B-tree key: a property value plus the id of the entity
+// holding it. Entries order by value first (graph.Value.Compare) and id
+// second, so duplicate values coexist.
+type Entry struct {
+	Value graph.Value
+	ID    uint64
+}
+
+func entryLess(a, b Entry) bool {
+	if c := a.Value.Compare(b.Value); c != 0 {
+		return c < 0
+	}
+	return a.ID < b.ID
+}
+
+type btreeNode struct {
+	entries  []Entry
+	children []*btreeNode // nil for leaves
+}
+
+func (n *btreeNode) leaf() bool { return n.children == nil }
+
+// BTree is an in-memory B-tree over (value, id) entries, used for range
+// predicates (e.g. Q1.1's "follower count greater than a threshold") and
+// ORDER BY scans. Not safe for concurrent mutation.
+type BTree struct {
+	root *btreeNode
+	size int
+}
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree { return &BTree{root: &btreeNode{}} }
+
+// Len returns the number of entries.
+func (t *BTree) Len() int { return t.size }
+
+// Insert adds e; duplicates (same value and id) are ignored.
+func (t *BTree) Insert(e Entry) {
+	if t.contains(e) {
+		return
+	}
+	t.size++
+	r := t.root
+	if len(r.entries) == btreeDegree-1 {
+		newRoot := &btreeNode{children: []*btreeNode{r}}
+		newRoot.splitChild(0)
+		t.root = newRoot
+	}
+	t.root.insertNonFull(e)
+}
+
+func (t *BTree) contains(e Entry) bool {
+	n := t.root
+	for {
+		i := sort.Search(len(n.entries), func(i int) bool { return !entryLess(n.entries[i], e) })
+		if i < len(n.entries) && !entryLess(e, n.entries[i]) {
+			return true
+		}
+		if n.leaf() {
+			return false
+		}
+		n = n.children[i]
+	}
+}
+
+func (n *btreeNode) splitChild(i int) {
+	child := n.children[i]
+	mid := len(child.entries) / 2
+	midEntry := child.entries[mid]
+	right := &btreeNode{entries: append([]Entry(nil), child.entries[mid+1:]...)}
+	if !child.leaf() {
+		right.children = append([]*btreeNode(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.entries = child.entries[:mid]
+	n.entries = append(n.entries, Entry{})
+	copy(n.entries[i+1:], n.entries[i:])
+	n.entries[i] = midEntry
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func (n *btreeNode) insertNonFull(e Entry) {
+	i := sort.Search(len(n.entries), func(i int) bool { return !entryLess(n.entries[i], e) })
+	if n.leaf() {
+		n.entries = append(n.entries, Entry{})
+		copy(n.entries[i+1:], n.entries[i:])
+		n.entries[i] = e
+		return
+	}
+	if len(n.children[i].entries) == btreeDegree-1 {
+		n.splitChild(i)
+		if entryLess(n.entries[i], e) {
+			i++
+		}
+	}
+	n.children[i].insertNonFull(e)
+}
+
+// Delete removes e if present and reports whether it was found.
+// Deletion uses lazy rebalancing: underflowed nodes are tolerated, which
+// keeps the implementation simple while preserving ordering invariants
+// (the tree is read-heavy in this workload).
+func (t *BTree) Delete(e Entry) bool {
+	if !t.contains(e) {
+		return false
+	}
+	t.size--
+	t.root.delete(e)
+	// Shrink an empty root with a single child.
+	for !t.root.leaf() && len(t.root.entries) == 0 && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	return true
+}
+
+func (n *btreeNode) delete(e Entry) bool {
+	i := sort.Search(len(n.entries), func(i int) bool { return !entryLess(n.entries[i], e) })
+	if i < len(n.entries) && !entryLess(e, n.entries[i]) {
+		if n.leaf() {
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+			return true
+		}
+		// Replace with predecessor from the left subtree.
+		pred := n.children[i].maxEntry()
+		n.entries[i] = pred
+		return n.children[i].delete(pred)
+	}
+	if n.leaf() {
+		return false
+	}
+	return n.children[i].delete(e)
+}
+
+func (n *btreeNode) maxEntry() Entry {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.entries[len(n.entries)-1]
+}
+
+// Ascend visits all entries in ascending order until fn returns false.
+func (t *BTree) Ascend(fn func(Entry) bool) {
+	t.root.ascend(fn)
+}
+
+func (n *btreeNode) ascend(fn func(Entry) bool) bool {
+	for i, e := range n.entries {
+		if !n.leaf() && !n.children[i].ascend(fn) {
+			return false
+		}
+		if !fn(e) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.children)-1].ascend(fn)
+	}
+	return true
+}
+
+// AscendRange visits entries with from ≤ value < to (by value ordering,
+// ignoring id) until fn returns false. A nil from starts at the minimum;
+// a nil to ends at the maximum.
+func (t *BTree) AscendRange(from, to *graph.Value, fn func(Entry) bool) {
+	t.root.ascendRange(from, to, fn)
+}
+
+func (n *btreeNode) ascendRange(from, to *graph.Value, fn func(Entry) bool) bool {
+	lo := 0
+	if from != nil {
+		lo = sort.Search(len(n.entries), func(i int) bool {
+			return n.entries[i].Value.Compare(*from) >= 0
+		})
+	}
+	for i := lo; i < len(n.entries); i++ {
+		if !n.leaf() && !n.children[i].ascendRange(from, to, fn) {
+			return false
+		}
+		e := n.entries[i]
+		if to != nil && e.Value.Compare(*to) >= 0 {
+			return false
+		}
+		if !fn(e) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.children)-1].ascendRange(from, to, fn)
+	}
+	return true
+}
+
+// Descend visits all entries in descending order until fn returns false.
+func (t *BTree) Descend(fn func(Entry) bool) {
+	t.root.descend(fn)
+}
+
+func (n *btreeNode) descend(fn func(Entry) bool) bool {
+	if !n.leaf() && !n.children[len(n.children)-1].descend(fn) {
+		return false
+	}
+	for i := len(n.entries) - 1; i >= 0; i-- {
+		if !fn(n.entries[i]) {
+			return false
+		}
+		if !n.leaf() && !n.children[i].descend(fn) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,198 @@
+// Package idx implements the index structures used by the Neo4j-analog
+// engine: an equality hash index (the schema indexes the paper creates
+// on "all unique node identifiers" after import), an in-memory B-tree
+// for ordered and range scans, and a label scan store mapping each node
+// label to the set of its nodes.
+//
+// Indexes are held in memory and snapshot to disk on Sync/Close; on open
+// the snapshot is loaded if present. This mirrors the operational shape
+// the paper describes (indexes built after bulk import, then reused).
+package idx
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"twigraph/internal/bitmap"
+	"twigraph/internal/graph"
+)
+
+// HashIndex maps property values to sets of entity ids. Lookup is O(1)
+// in the number of distinct values; each posting set is a compressed
+// bitmap. Safe for concurrent use: lookups return snapshot copies, so
+// readers never observe a posting set mid-mutation.
+type HashIndex struct {
+	mu       sync.RWMutex
+	path     string
+	postings map[string]*bitmap.Bitmap // Value.Key() -> ids
+	vals     map[string]graph.Value    // Value.Key() -> value (for iteration)
+	lookups  atomic.Uint64
+}
+
+// NewHashIndex creates an index that snapshots to path (empty path means
+// memory-only).
+func NewHashIndex(path string) *HashIndex {
+	return &HashIndex{
+		path:     path,
+		postings: make(map[string]*bitmap.Bitmap),
+		vals:     make(map[string]graph.Value),
+	}
+}
+
+// OpenHashIndex loads the snapshot at path if it exists.
+func OpenHashIndex(path string) (*HashIndex, error) {
+	ix := NewHashIndex(path)
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return ix, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	if err := ix.load(bufio.NewReader(f)); err != nil {
+		return nil, fmt.Errorf("idx: loading %s: %w", path, err)
+	}
+	return ix, nil
+}
+
+// Add indexes id under v.
+func (ix *HashIndex) Add(v graph.Value, id uint64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	k := v.Key()
+	b, ok := ix.postings[k]
+	if !ok {
+		b = bitmap.New()
+		ix.postings[k] = b
+		ix.vals[k] = v
+	}
+	b.Add(id)
+}
+
+// Remove drops id from v's posting set.
+func (ix *HashIndex) Remove(v graph.Value, id uint64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	k := v.Key()
+	if b, ok := ix.postings[k]; ok {
+		b.Remove(id)
+		if b.IsEmpty() {
+			delete(ix.postings, k)
+			delete(ix.vals, k)
+		}
+	}
+}
+
+// Lookup returns a snapshot of the posting set for v, or nil when
+// absent. The caller owns the returned bitmap.
+func (ix *HashIndex) Lookup(v graph.Value) *bitmap.Bitmap {
+	ix.lookups.Add(1)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if b, ok := ix.postings[v.Key()]; ok {
+		return b.Clone()
+	}
+	return nil
+}
+
+// LookupOne returns an arbitrary (lowest) id indexed under v, for unique
+// indexes.
+func (ix *HashIndex) LookupOne(v graph.Value) (uint64, bool) {
+	b := ix.Lookup(v)
+	if b == nil {
+		return 0, false
+	}
+	return b.Min()
+}
+
+// Len returns the number of distinct indexed values.
+func (ix *HashIndex) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.postings)
+}
+
+// Lookups returns how many Lookup calls have been served.
+func (ix *HashIndex) Lookups() uint64 { return ix.lookups.Load() }
+
+// ForEach visits every (value, postings) pair in unspecified order,
+// holding the read lock; fn must not mutate the index or the bitmaps.
+func (ix *HashIndex) ForEach(fn func(v graph.Value, ids *bitmap.Bitmap) bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	for k, b := range ix.postings {
+		if !fn(ix.vals[k], b) {
+			return
+		}
+	}
+}
+
+// Sync writes the snapshot to the index path.
+func (ix *HashIndex) Sync() error {
+	if ix.path == "" {
+		return nil
+	}
+	tmp := ix.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := ix.save(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, ix.path)
+}
+
+// Snapshot format: count, then per entry a serialised value and bitmap.
+func (ix *HashIndex) save(w io.Writer) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(ix.postings))); err != nil {
+		return err
+	}
+	for k, b := range ix.postings {
+		if err := graph.WriteValue(w, ix.vals[k]); err != nil {
+			return err
+		}
+		if _, err := b.WriteTo(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ix *HashIndex) load(r io.Reader) error {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		v, err := graph.ReadValue(r)
+		if err != nil {
+			return err
+		}
+		b := bitmap.New()
+		if _, err := b.ReadFrom(r); err != nil {
+			return err
+		}
+		k := v.Key()
+		ix.postings[k] = b
+		ix.vals[k] = v
+	}
+	return nil
+}

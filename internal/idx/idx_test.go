@@ -1,0 +1,326 @@
+package idx
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"twigraph/internal/bitmap"
+	"twigraph/internal/graph"
+)
+
+func TestHashIndexAddLookupRemove(t *testing.T) {
+	ix := NewHashIndex("")
+	ix.Add(graph.IntValue(531), 10)
+	ix.Add(graph.IntValue(531), 11)
+	ix.Add(graph.StringValue("531"), 99) // distinct kind must not collide
+
+	b := ix.Lookup(graph.IntValue(531))
+	if b == nil || b.Cardinality() != 2 {
+		t.Fatalf("Lookup = %v", b)
+	}
+	if got := ix.Lookup(graph.StringValue("531")); got == nil || !got.Contains(99) || got.Cardinality() != 1 {
+		t.Errorf("string posting = %v", got)
+	}
+	if id, ok := ix.LookupOne(graph.IntValue(531)); !ok || id != 10 {
+		t.Errorf("LookupOne = %d,%v", id, ok)
+	}
+	ix.Remove(graph.IntValue(531), 10)
+	ix.Remove(graph.IntValue(531), 11)
+	if ix.Lookup(graph.IntValue(531)) != nil {
+		t.Error("posting not removed when empty")
+	}
+	if ix.Len() != 1 {
+		t.Errorf("Len = %d", ix.Len())
+	}
+	if ix.Lookups() != 4 {
+		t.Errorf("Lookups = %d", ix.Lookups())
+	}
+}
+
+func TestHashIndexLookupMissing(t *testing.T) {
+	ix := NewHashIndex("")
+	if ix.Lookup(graph.IntValue(1)) != nil {
+		t.Error("missing value returned postings")
+	}
+	if _, ok := ix.LookupOne(graph.IntValue(1)); ok {
+		t.Error("LookupOne found missing value")
+	}
+}
+
+func TestHashIndexPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "uid.idx")
+	ix := NewHashIndex(path)
+	ix.Add(graph.IntValue(1), 100)
+	ix.Add(graph.IntValue(1), 101)
+	ix.Add(graph.StringValue("#go"), 7)
+	ix.Add(graph.FloatValue(2.5), 8)
+	ix.Add(graph.BoolValue(true), 9)
+	if err := ix.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	ix2, err := OpenHashIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := ix2.Lookup(graph.IntValue(1)); b == nil || b.Cardinality() != 2 {
+		t.Errorf("int posting after reload = %v", b)
+	}
+	if b := ix2.Lookup(graph.StringValue("#go")); b == nil || !b.Contains(7) {
+		t.Errorf("string posting after reload = %v", b)
+	}
+	if b := ix2.Lookup(graph.FloatValue(2.5)); b == nil || !b.Contains(8) {
+		t.Errorf("float posting after reload = %v", b)
+	}
+	if b := ix2.Lookup(graph.BoolValue(true)); b == nil || !b.Contains(9) {
+		t.Errorf("bool posting after reload = %v", b)
+	}
+	// ForEach sees all four distinct values after reload.
+	n := 0
+	ix2.ForEach(func(graph.Value, *bitmap.Bitmap) bool { n++; return true })
+	if n != 4 {
+		t.Errorf("ForEach visited %d values, want 4", n)
+	}
+}
+
+func TestHashIndexForEach(t *testing.T) {
+	ix := NewHashIndex("")
+	ix.Add(graph.IntValue(1), 1)
+	ix.Add(graph.IntValue(2), 2)
+	ix.Add(graph.IntValue(3), 3)
+	n := 0
+	ix.ForEach(func(v graph.Value, b *bitmap.Bitmap) bool {
+		if b.Cardinality() != 1 {
+			t.Errorf("posting for %v has cardinality %d", v, b.Cardinality())
+		}
+		n++
+		return n < 2 // early stop works
+	})
+	if n != 2 {
+		t.Errorf("visited %d", n)
+	}
+}
+
+func TestOpenHashIndexMissingFile(t *testing.T) {
+	ix, err := OpenHashIndex(filepath.Join(t.TempDir(), "nope.idx"))
+	if err != nil || ix.Len() != 0 {
+		t.Errorf("ix=%v err=%v", ix, err)
+	}
+}
+
+func TestBTreeInsertAscend(t *testing.T) {
+	tr := NewBTree()
+	rng := rand.New(rand.NewSource(5))
+	vals := rng.Perm(2000)
+	for _, v := range vals {
+		tr.Insert(Entry{Value: graph.IntValue(int64(v)), ID: uint64(v)})
+	}
+	if tr.Len() != 2000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	prev := int64(-1)
+	n := 0
+	tr.Ascend(func(e Entry) bool {
+		if e.Value.Int() <= prev {
+			t.Fatalf("out of order: %d after %d", e.Value.Int(), prev)
+		}
+		prev = e.Value.Int()
+		n++
+		return true
+	})
+	if n != 2000 {
+		t.Errorf("visited %d", n)
+	}
+}
+
+func TestBTreeDuplicateInsertIgnored(t *testing.T) {
+	tr := NewBTree()
+	e := Entry{Value: graph.IntValue(5), ID: 9}
+	tr.Insert(e)
+	tr.Insert(e)
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	// Same value, different id is kept.
+	tr.Insert(Entry{Value: graph.IntValue(5), ID: 10})
+	if tr.Len() != 2 {
+		t.Errorf("Len with dup value = %d", tr.Len())
+	}
+}
+
+func TestBTreeAscendRange(t *testing.T) {
+	tr := NewBTree()
+	for i := 0; i < 100; i++ {
+		tr.Insert(Entry{Value: graph.IntValue(int64(i)), ID: uint64(i)})
+	}
+	from, to := graph.IntValue(10), graph.IntValue(20)
+	var got []int64
+	tr.AscendRange(&from, &to, func(e Entry) bool {
+		got = append(got, e.Value.Int())
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Errorf("range = %v", got)
+	}
+	// Open-ended from.
+	var got2 []int64
+	tr.AscendRange(nil, &from, func(e Entry) bool {
+		got2 = append(got2, e.Value.Int())
+		return true
+	})
+	if len(got2) != 10 {
+		t.Errorf("open range = %v", got2)
+	}
+	// Open-ended to.
+	n := 0
+	tr.AscendRange(&to, nil, func(Entry) bool { n++; return true })
+	if n != 80 {
+		t.Errorf("to-open counted %d", n)
+	}
+}
+
+func TestBTreeDescend(t *testing.T) {
+	tr := NewBTree()
+	for i := 0; i < 500; i++ {
+		tr.Insert(Entry{Value: graph.IntValue(int64(i)), ID: uint64(i)})
+	}
+	prev := int64(500)
+	n := 0
+	tr.Descend(func(e Entry) bool {
+		if e.Value.Int() >= prev {
+			t.Fatalf("descend out of order: %d then %d", prev, e.Value.Int())
+		}
+		prev = e.Value.Int()
+		n++
+		return n < 100 // early stop
+	})
+	if n != 100 {
+		t.Errorf("visited %d", n)
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	tr := NewBTree()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(Entry{Value: graph.IntValue(int64(i)), ID: uint64(i)})
+	}
+	rng := rand.New(rand.NewSource(11))
+	deleted := map[int]bool{}
+	for _, i := range rng.Perm(1000)[:600] {
+		if !tr.Delete(Entry{Value: graph.IntValue(int64(i)), ID: uint64(i)}) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+		deleted[i] = true
+	}
+	if tr.Delete(Entry{Value: graph.IntValue(99999), ID: 1}) {
+		t.Error("deleted a missing entry")
+	}
+	if tr.Len() != 400 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	prev := int64(-1)
+	tr.Ascend(func(e Entry) bool {
+		if deleted[int(e.Value.Int())] {
+			t.Fatalf("deleted entry %d still present", e.Value.Int())
+		}
+		if e.Value.Int() <= prev {
+			t.Fatalf("order violated after deletes")
+		}
+		prev = e.Value.Int()
+		return true
+	})
+}
+
+func TestBTreeAgainstModel(t *testing.T) {
+	check := func(ops []int16) bool {
+		tr := NewBTree()
+		model := map[int64]bool{}
+		for _, op := range ops {
+			v := int64(op) % 64
+			if v < 0 {
+				v = -v
+			}
+			if op%2 == 0 {
+				tr.Insert(Entry{Value: graph.IntValue(v), ID: uint64(v)})
+				model[v] = true
+			} else {
+				tr.Delete(Entry{Value: graph.IntValue(v), ID: uint64(v)})
+				delete(model, v)
+			}
+		}
+		var want []int64
+		for v := range model {
+			want = append(want, v)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		var got []int64
+		tr.Ascend(func(e Entry) bool {
+			got = append(got, e.Value.Int())
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabelScan(t *testing.T) {
+	ls := NewLabelScan("")
+	ls.Add(1, 10)
+	ls.Add(1, 11)
+	ls.Add(2, 12)
+	if ls.Count(1) != 2 || ls.Count(2) != 1 || ls.Count(3) != 0 {
+		t.Errorf("counts = %d,%d,%d", ls.Count(1), ls.Count(2), ls.Count(3))
+	}
+	if b := ls.Nodes(1); b == nil || !b.Contains(10) || !b.Contains(11) {
+		t.Errorf("Nodes(1) = %v", b)
+	}
+	ls.Remove(1, 10)
+	if ls.Count(1) != 1 {
+		t.Errorf("after Remove Count(1) = %d", ls.Count(1))
+	}
+	ls.Remove(9, 1) // removing from an unknown label is a no-op
+}
+
+func TestLabelScanPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "labels.idx")
+	ls := NewLabelScan(path)
+	ls.Add(1, 100)
+	ls.Add(2, 200)
+	if err := ls.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	ls2, err := OpenLabelScan(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls2.Count(1) != 1 || !ls2.Nodes(2).Contains(200) {
+		t.Error("reload mismatch")
+	}
+	// Missing file opens empty.
+	ls3, err := OpenLabelScan(filepath.Join(t.TempDir(), "none.idx"))
+	if err != nil || ls3.Count(1) != 0 {
+		t.Errorf("missing file: %v %d", err, ls3.Count(1))
+	}
+}
+
+func TestMemoryOnlySyncIsNoop(t *testing.T) {
+	if err := NewHashIndex("").Sync(); err != nil {
+		t.Error(err)
+	}
+	if err := NewLabelScan("").Sync(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package neodb
+
+import (
+	"sync"
+	"testing"
+
+	"twigraph/internal/graph"
+)
+
+// TestConcurrentReadersAndWriter exercises the read-committed contract:
+// many readers traverse while a writer commits, with no torn reads (run
+// under -race to verify synchronisation).
+func TestConcurrentReadersAndWriter(t *testing.T) {
+	db := openTemp(t)
+	ids := seedSocial(t, db)
+	follows := db.RelTypeID("follows")
+	user := db.LabelID("user")
+	uid := db.PropKeyID("uid")
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 8)
+
+	// Four readers hammer traversals and index seeks.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := db.Neighbors(ids[1], follows, graph.Any); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := db.NodeProps(ids[3]); err != nil {
+					errs <- err
+					return
+				}
+				db.FindNode(user, uid, graph.IntValue(2))
+			}
+		}()
+	}
+
+	// One writer commits a stream of new users and edges.
+	for i := 0; i < 200; i++ {
+		tx := db.Begin()
+		n := tx.CreateNode(user, graph.Properties{"uid": graph.IntValue(int64(1000 + i))})
+		tx.CreateRel(follows, n, ids[1])
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// All 200 edges landed.
+	d, err := db.Degree(ids[1], graph.Incoming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 200 { // u1 had no incoming follows in the seed... except eve->alice? seedSocial has no 5->1
+		// seedSocial: edges 1->2,1->3,2->3,3->4,4->5; u1 in-degree 0.
+		t.Errorf("in-degree = %d, want 200", d)
+	}
+}
+
+// TestConcurrentReadersDuringImportFlush covers the importer's
+// background flusher racing record writes (the original -race finding).
+func TestConcurrentReadersDuringImportFlush(t *testing.T) {
+	csvDir := writeTinyCSVDir(t)
+	db := openTemp(t)
+	imp := db.NewImporter(1, nil)
+	nodes, edges := ImportDirLayout(csvDir)
+	if _, err := imp.Run(nodes, edges); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent read storm after import (stores stay consistent).
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			user := db.LabelID("user")
+			uid := db.PropKeyID("uid")
+			for i := 0; i < 100; i++ {
+				if n, ok := db.FindNode(user, uid, graph.IntValue(int64(i%3)+1)); ok {
+					db.NodeProps(n)
+					db.Neighbors(n, graph.NilType, graph.Any)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,493 @@
+// Package neodb is the Neo4j-analog graph database engine: a fully
+// transactional property-graph store built on fixed-size record files
+// (internal/storage), a page cache (internal/pagecache), a write-ahead
+// log (internal/wal) and index structures (internal/idx).
+//
+// The engine reproduces the mechanisms behind the paper's Neo4j
+// observations:
+//
+//   - relationships are records in per-node doubly-linked chains, so a
+//     traversal hop costs one record fetch — a "db hit";
+//   - all record fetches go through a page cache, so cold-cache first
+//     runs are slow and warm up as the working set becomes resident;
+//   - schema indexes (hash) accelerate `MATCH (u:user {uid: $id})`
+//     seeks, and a label scan store backs bare label matches;
+//   - commits are redo-logged to the WAL before store pages are
+//     mutated, with idempotent replay on recovery;
+//   - a batch import tool (importer.go) bypasses transactions, then
+//     performs the dense-node degree computation and post-import index
+//     build the paper times.
+//
+// The declarative query layer lives in internal/cypher; the imperative
+// traversal framework in traverse.go.
+package neodb
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"twigraph/internal/graph"
+	"twigraph/internal/idx"
+	"twigraph/internal/storage"
+	"twigraph/internal/wal"
+)
+
+// Config tunes an engine instance.
+type Config struct {
+	// CachePages is the page-cache capacity per store file; 0 means
+	// DefaultCachePages.
+	CachePages int
+	// SyncCommits fsyncs the WAL on every commit (durable but slow);
+	// off by default, as in the paper's import-oriented setup.
+	SyncCommits bool
+	// DenseThreshold is the degree at which a node switches to
+	// relationship groups; 0 means DefaultDenseThreshold.
+	DenseThreshold int
+}
+
+// DefaultCachePages gives each store file a 32 MiB cache by default.
+const DefaultCachePages = 4096
+
+// DB is an embedded transactional property-graph database. Reads may
+// run concurrently; writes are serialised by a single-writer lock held
+// for the duration of each write transaction's commit.
+type DB struct {
+	dir string
+	cfg Config
+
+	nodes  storage.NodeStore
+	rels   storage.RelStore
+	props  storage.PropStore
+	strs   storage.DynStore
+	groups storage.GroupStore
+	log    *wal.Log
+
+	catalogMu sync.RWMutex
+	labels    *nameTable
+	relTypes  *nameTable
+	propKeys  *nameTable
+
+	labelScan *idx.LabelScan
+	indexMu   sync.RWMutex
+	indexes   map[indexKey]*idx.HashIndex
+
+	statsMu  sync.RWMutex
+	relStats map[graph.TypeID]uint64 // per-type relationship counts
+
+	writeMu sync.Mutex // single writer
+	closed  bool
+}
+
+type indexKey struct {
+	label graph.TypeID
+	key   graph.AttrID
+}
+
+// nameTable is a bidirectional name <-> id registry for labels,
+// relationship types and property keys.
+type nameTable struct {
+	byName map[string]uint32
+	byID   []string // index = id-1
+}
+
+func newNameTable() *nameTable {
+	return &nameTable{byName: make(map[string]uint32)}
+}
+
+func (t *nameTable) id(name string) (uint32, bool) {
+	id, ok := t.byName[name]
+	return id, ok
+}
+
+func (t *nameTable) idOrCreate(name string) uint32 {
+	if id, ok := t.byName[name]; ok {
+		return id
+	}
+	t.byID = append(t.byID, name)
+	id := uint32(len(t.byID))
+	t.byName[name] = id
+	return id
+}
+
+func (t *nameTable) name(id uint32) string {
+	if id == 0 || int(id) > len(t.byID) {
+		return ""
+	}
+	return t.byID[id-1]
+}
+
+// Open opens or creates a database in dir.
+func Open(dir string, cfg Config) (*DB, error) {
+	if cfg.CachePages <= 0 {
+		cfg.CachePages = DefaultCachePages
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	db := &DB{
+		dir:      dir,
+		cfg:      cfg,
+		labels:   newNameTable(),
+		relTypes: newNameTable(),
+		propKeys: newNameTable(),
+		indexes:  make(map[indexKey]*idx.HashIndex),
+		relStats: make(map[graph.TypeID]uint64),
+	}
+	var err error
+	if db.nodes, err = storage.OpenNodeStore(dir, cfg.CachePages); err != nil {
+		return nil, err
+	}
+	if db.rels, err = storage.OpenRelStore(dir, cfg.CachePages); err != nil {
+		db.nodes.Close()
+		return nil, err
+	}
+	if db.props, err = storage.OpenPropStore(dir, cfg.CachePages); err != nil {
+		db.closePartial()
+		return nil, err
+	}
+	if db.strs, err = storage.OpenDynStore(dir, cfg.CachePages); err != nil {
+		db.closePartial()
+		return nil, err
+	}
+	if db.groups, err = storage.OpenGroupStore(dir, cfg.CachePages); err != nil {
+		db.closePartial()
+		return nil, err
+	}
+	if err = db.loadCatalog(); err != nil {
+		db.closePartial()
+		return nil, err
+	}
+	if db.labelScan, err = idx.OpenLabelScan(filepath.Join(dir, "labelscan.idx")); err != nil {
+		db.closePartial()
+		return nil, err
+	}
+	if err = db.loadIndexes(); err != nil {
+		db.closePartial()
+		return nil, err
+	}
+	if db.log, err = wal.Open(filepath.Join(dir, "neodb.wal")); err != nil {
+		db.closePartial()
+		return nil, err
+	}
+	if err = db.recover(); err != nil {
+		db.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+func (db *DB) closePartial() {
+	if db.nodes.RecordFile != nil {
+		db.nodes.Close()
+	}
+	if db.rels.RecordFile != nil {
+		db.rels.Close()
+	}
+	if db.props.RecordFile != nil {
+		db.props.Close()
+	}
+	if db.strs.RecordFile != nil {
+		db.strs.Close()
+	}
+	if db.groups.RecordFile != nil {
+		db.groups.Close()
+	}
+}
+
+// catalogFile is the on-disk JSON catalog: name tables, declared
+// indexes, and statistics.
+type catalogFile struct {
+	Labels   []string          `json:"labels"`
+	RelTypes []string          `json:"rel_types"`
+	PropKeys []string          `json:"prop_keys"`
+	Indexes  [][2]uint32       `json:"indexes"` // (label, propKey) pairs
+	RelStats map[string]uint64 `json:"rel_stats"`
+}
+
+func (db *DB) catalogPath() string { return filepath.Join(db.dir, "catalog.json") }
+
+func (db *DB) loadCatalog() error {
+	data, err := os.ReadFile(db.catalogPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var cf catalogFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return fmt.Errorf("neodb: corrupt catalog: %w", err)
+	}
+	for _, n := range cf.Labels {
+		db.labels.idOrCreate(n)
+	}
+	for _, n := range cf.RelTypes {
+		db.relTypes.idOrCreate(n)
+	}
+	for _, n := range cf.PropKeys {
+		db.propKeys.idOrCreate(n)
+	}
+	for _, pair := range cf.Indexes {
+		k := indexKey{graph.TypeID(pair[0]), graph.AttrID(pair[1])}
+		db.indexes[k] = nil // opened in loadIndexes
+	}
+	for name, n := range cf.RelStats {
+		if id, ok := db.relTypes.id(name); ok {
+			db.relStats[graph.TypeID(id)] = n
+		}
+	}
+	return nil
+}
+
+func (db *DB) saveCatalog() error {
+	db.catalogMu.RLock()
+	db.statsMu.RLock()
+	db.indexMu.RLock()
+	cf := catalogFile{
+		Labels:   append([]string(nil), db.labels.byID...),
+		RelTypes: append([]string(nil), db.relTypes.byID...),
+		PropKeys: append([]string(nil), db.propKeys.byID...),
+		RelStats: make(map[string]uint64, len(db.relStats)),
+	}
+	for k := range db.indexes {
+		cf.Indexes = append(cf.Indexes, [2]uint32{uint32(k.label), uint32(k.key)})
+	}
+	for id, n := range db.relStats {
+		cf.RelStats[db.relTypes.name(uint32(id))] = n
+	}
+	db.indexMu.RUnlock()
+	db.statsMu.RUnlock()
+	db.catalogMu.RUnlock()
+
+	data, err := json.MarshalIndent(cf, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := db.catalogPath() + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, db.catalogPath())
+}
+
+func (db *DB) indexPath(k indexKey) string {
+	return filepath.Join(db.dir, fmt.Sprintf("index-%d-%d.idx", k.label, k.key))
+}
+
+func (db *DB) loadIndexes() error {
+	for k := range db.indexes {
+		ix, err := idx.OpenHashIndex(db.indexPath(k))
+		if err != nil {
+			return err
+		}
+		db.indexes[k] = ix
+	}
+	return nil
+}
+
+// ---------- catalog API ----------
+
+// Label returns the id for a node label, creating it on first use.
+func (db *DB) Label(name string) graph.TypeID {
+	db.catalogMu.Lock()
+	defer db.catalogMu.Unlock()
+	return graph.TypeID(db.labels.idOrCreate(name))
+}
+
+// LabelID returns the id of an existing label, or NilType.
+func (db *DB) LabelID(name string) graph.TypeID {
+	db.catalogMu.RLock()
+	defer db.catalogMu.RUnlock()
+	id, _ := db.labels.id(name)
+	return graph.TypeID(id)
+}
+
+// LabelName returns the name of a label id.
+func (db *DB) LabelName(id graph.TypeID) string {
+	db.catalogMu.RLock()
+	defer db.catalogMu.RUnlock()
+	return db.labels.name(uint32(id))
+}
+
+// RelType returns the id for a relationship type, creating it on first
+// use.
+func (db *DB) RelType(name string) graph.TypeID {
+	db.catalogMu.Lock()
+	defer db.catalogMu.Unlock()
+	return graph.TypeID(db.relTypes.idOrCreate(name))
+}
+
+// RelTypeID returns the id of an existing relationship type, or
+// NilType.
+func (db *DB) RelTypeID(name string) graph.TypeID {
+	db.catalogMu.RLock()
+	defer db.catalogMu.RUnlock()
+	id, _ := db.relTypes.id(name)
+	return graph.TypeID(id)
+}
+
+// RelTypeName returns the name of a relationship type id.
+func (db *DB) RelTypeName(id graph.TypeID) string {
+	db.catalogMu.RLock()
+	defer db.catalogMu.RUnlock()
+	return db.relTypes.name(uint32(id))
+}
+
+// PropKey returns the id for a property key, creating it on first use.
+func (db *DB) PropKey(name string) graph.AttrID {
+	db.catalogMu.Lock()
+	defer db.catalogMu.Unlock()
+	return graph.AttrID(db.propKeys.idOrCreate(name))
+}
+
+// PropKeyID returns the id of an existing property key, or NilAttr.
+func (db *DB) PropKeyID(name string) graph.AttrID {
+	db.catalogMu.RLock()
+	defer db.catalogMu.RUnlock()
+	id, _ := db.propKeys.id(name)
+	return graph.AttrID(id)
+}
+
+// PropKeyName returns the name of a property key id.
+func (db *DB) PropKeyName(id graph.AttrID) string {
+	db.catalogMu.RLock()
+	defer db.catalogMu.RUnlock()
+	return db.propKeys.name(uint32(id))
+}
+
+// ---------- index management ----------
+
+// CreateIndex declares a schema index on (label, property key). If the
+// store already has data, the index is populated by a label scan — the
+// post-import index build the paper times at about eight minutes.
+func (db *DB) CreateIndex(label graph.TypeID, key graph.AttrID) error {
+	db.indexMu.Lock()
+	k := indexKey{label, key}
+	if _, exists := db.indexes[k]; exists {
+		db.indexMu.Unlock()
+		return nil
+	}
+	ix := idx.NewHashIndex(db.indexPath(k))
+	db.indexes[k] = ix
+	db.indexMu.Unlock()
+
+	// Populate from existing nodes.
+	nodes := db.labelScan.Nodes(label)
+	if nodes == nil {
+		return nil
+	}
+	var scanErr error
+	nodes.ForEach(func(id uint64) bool {
+		v, err := db.NodeProp(graph.NodeID(id), key)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if !v.IsNil() {
+			ix.Add(v, id)
+		}
+		return true
+	})
+	return scanErr
+}
+
+// index returns the index for (label, key), or nil.
+func (db *DB) index(label graph.TypeID, key graph.AttrID) *idx.HashIndex {
+	db.indexMu.RLock()
+	defer db.indexMu.RUnlock()
+	return db.indexes[indexKey{label, key}]
+}
+
+// ---------- statistics ----------
+
+// LabelCount returns the number of nodes with the label.
+func (db *DB) LabelCount(label graph.TypeID) int {
+	return db.labelScan.Count(label)
+}
+
+// RelTypeCount returns the number of relationships of the type.
+func (db *DB) RelTypeCount(t graph.TypeID) uint64 {
+	db.statsMu.RLock()
+	defer db.statsMu.RUnlock()
+	return db.relStats[t]
+}
+
+// NodeCount returns the number of live nodes.
+func (db *DB) NodeCount() uint64 { return db.nodes.Count() }
+
+// RelCount returns the number of live relationships.
+func (db *DB) RelCount() uint64 { return db.rels.Count() }
+
+// DBHits returns the cumulative record-fetch count across all stores —
+// the "db hits" metric the paper reads from Cypher's profiler.
+func (db *DB) DBHits() uint64 {
+	return db.nodes.Hits() + db.rels.Hits() + db.props.Hits() + db.strs.Hits() + db.groups.Hits()
+}
+
+// CacheFaults returns the cumulative page-fault count across all store
+// page caches.
+func (db *DB) CacheFaults() uint64 {
+	return db.nodes.CacheStats().Faults + db.rels.CacheStats().Faults +
+		db.props.CacheStats().Faults + db.strs.CacheStats().Faults +
+		db.groups.CacheStats().Faults
+}
+
+// CoolCaches evicts every page cache (cold-cache experiments).
+func (db *DB) CoolCaches() error {
+	for _, f := range []interface{ Cool() error }{db.nodes, db.rels, db.props, db.strs, db.groups} {
+		if err := f.Cool(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync flushes all stores, indexes and the catalog to disk and
+// truncates the WAL (checkpoint).
+func (db *DB) Sync() error {
+	for _, f := range []interface{ Sync() error }{db.nodes, db.rels, db.props, db.strs, db.groups} {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := db.labelScan.Sync(); err != nil {
+		return err
+	}
+	db.indexMu.RLock()
+	for _, ix := range db.indexes {
+		if err := ix.Sync(); err != nil {
+			db.indexMu.RUnlock()
+			return err
+		}
+	}
+	db.indexMu.RUnlock()
+	if err := db.saveCatalog(); err != nil {
+		return err
+	}
+	return db.log.Truncate()
+}
+
+// Close checkpoints and closes the database.
+func (db *DB) Close() error {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	if err := db.Sync(); err != nil {
+		return err
+	}
+	for _, f := range []interface{ Close() error }{db.nodes, db.rels, db.props, db.strs, db.groups} {
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return db.log.Close()
+}
+
+// Dir returns the database directory.
+func (db *DB) Dir() string { return db.dir }

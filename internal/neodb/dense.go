@@ -1,0 +1,282 @@
+package neodb
+
+import (
+	"fmt"
+
+	"twigraph/internal/graph"
+	"twigraph/internal/storage"
+)
+
+// Dense-node support — Neo4j's relationship groups, the structure the
+// paper's import step "computing the dense nodes" prepares. A node
+// whose degree crosses the threshold trades its single mixed
+// relationship chain for a chain of per-type group records, each
+// heading separate outgoing and incoming chains. A typed traversal from
+// a hub then touches only that type's records instead of scanning every
+// incident relationship.
+//
+// Chain-slot convention for dense nodes: a node's outgoing chain links
+// relationship records through their Src-side pointers (every member
+// has Src == node), the incoming chain through Dst-side pointers. A
+// self-loop is a member of both chains, using different slots.
+
+// DefaultDenseThreshold matches Neo4j's dense-node cutoff.
+const DefaultDenseThreshold = 50
+
+// denseThreshold returns the configured degree cutoff.
+func (db *DB) denseThreshold() uint32 {
+	if db.cfg.DenseThreshold > 0 {
+		return uint32(db.cfg.DenseThreshold)
+	}
+	return DefaultDenseThreshold
+}
+
+// groupFor returns the id and record of node's group for relationship
+// type t, creating and prepending one to the group chain (and updating
+// *nodeRec) if absent.
+func (db *DB) groupFor(nodeRec *storage.NodeRecord, t graph.TypeID) (uint64, storage.GroupRecord, error) {
+	gid := uint64(nodeRec.FirstRel)
+	for gid != 0 {
+		g, err := db.groups.Get(gid)
+		if err != nil {
+			return 0, storage.GroupRecord{}, err
+		}
+		if g.Type == t {
+			return gid, g, nil
+		}
+		gid = g.Next
+	}
+	g := storage.GroupRecord{InUse: true, Type: t, Next: uint64(nodeRec.FirstRel)}
+	gid = db.groups.Allocate()
+	if err := db.groups.Put(gid, g); err != nil {
+		return 0, storage.GroupRecord{}, err
+	}
+	nodeRec.FirstRel = graph.EdgeID(gid)
+	return gid, g, nil
+}
+
+// ---------- side-explicit pointer helpers ----------
+
+func (db *DB) setPrevSide(id graph.EdgeID, srcSide bool, prev graph.EdgeID) error {
+	rec, err := db.rels.Get(id)
+	if err != nil {
+		return err
+	}
+	if srcSide {
+		rec.SrcPrev = prev
+	} else {
+		rec.DstPrev = prev
+	}
+	return db.rels.Put(id, rec)
+}
+
+func (db *DB) setNextSide(id graph.EdgeID, srcSide bool, next graph.EdgeID) error {
+	rec, err := db.rels.Get(id)
+	if err != nil {
+		return err
+	}
+	if srcSide {
+		rec.SrcNext = next
+	} else {
+		rec.DstNext = next
+	}
+	return db.rels.Put(id, rec)
+}
+
+// linkDenseSide prepends rel id to the (node, type, side) chain of a
+// dense node, mutating newRec's side pointers in place (the caller
+// writes newRec afterwards).
+func (db *DB) linkDenseSide(nodeRec *storage.NodeRecord, id graph.EdgeID, newRec *storage.RelRecord, t graph.TypeID, srcSide bool) error {
+	gid, g, err := db.groupFor(nodeRec, t)
+	if err != nil {
+		return err
+	}
+	if srcSide {
+		newRec.SrcPrev = 0
+		newRec.SrcNext = g.FirstOut
+		if g.FirstOut != 0 {
+			if err := db.setPrevSide(g.FirstOut, true, id); err != nil {
+				return err
+			}
+		}
+		g.FirstOut = id
+	} else {
+		newRec.DstPrev = 0
+		newRec.DstNext = g.FirstIn
+		if g.FirstIn != 0 {
+			if err := db.setPrevSide(g.FirstIn, false, id); err != nil {
+				return err
+			}
+		}
+		g.FirstIn = id
+	}
+	return db.groups.Put(gid, g)
+}
+
+// linkSparseSide prepends rel id to a sparse node's single chain,
+// mutating newRec's side pointers in place.
+func (db *DB) linkSparseSide(n graph.NodeID, nodeRec *storage.NodeRecord, id graph.EdgeID, newRec *storage.RelRecord, srcSide bool) error {
+	head := nodeRec.FirstRel
+	if srcSide {
+		newRec.SrcPrev = 0
+		newRec.SrcNext = head
+	} else {
+		newRec.DstPrev = 0
+		newRec.DstNext = head
+	}
+	if head != 0 {
+		if err := db.setPrevPointer(head, n, id); err != nil {
+			return err
+		}
+	}
+	nodeRec.FirstRel = id
+	return nil
+}
+
+// unlinkDenseSide removes rel id from the (node, type, side) chain of a
+// dense node. rec is the relationship's current record.
+func (db *DB) unlinkDenseSide(nodeRec *storage.NodeRecord, id graph.EdgeID, rec storage.RelRecord, srcSide bool) error {
+	var prev, next graph.EdgeID
+	if srcSide {
+		prev, next = rec.SrcPrev, rec.SrcNext
+	} else {
+		prev, next = rec.DstPrev, rec.DstNext
+	}
+	if prev == 0 {
+		// Head of the group chain.
+		gid := uint64(nodeRec.FirstRel)
+		for gid != 0 {
+			g, err := db.groups.Get(gid)
+			if err != nil {
+				return err
+			}
+			if g.Type == rec.Type {
+				if srcSide {
+					g.FirstOut = next
+				} else {
+					g.FirstIn = next
+				}
+				if err := db.groups.Put(gid, g); err != nil {
+					return err
+				}
+				break
+			}
+			gid = g.Next
+		}
+		if gid == 0 {
+			return fmt.Errorf("neodb: dense node missing group for type %d", rec.Type)
+		}
+	} else {
+		if err := db.setNextSide(prev, srcSide, next); err != nil {
+			return err
+		}
+	}
+	if next != 0 {
+		if err := db.setPrevSide(next, srcSide, prev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// convertToDense rewrites a sparse node's single mixed chain into
+// per-type group chains. Called when the degree crosses the threshold;
+// the paper's import tool performs the equivalent preparation during
+// its dense-node step.
+func (db *DB) convertToDense(n graph.NodeID, nodeRec *storage.NodeRecord) error {
+	// Collect the chain (walking it one last time).
+	type member struct {
+		id  graph.EdgeID
+		rec storage.RelRecord
+	}
+	var chain []member
+	cur := nodeRec.FirstRel
+	for cur != 0 {
+		rec, err := db.rels.Get(cur)
+		if err != nil {
+			return err
+		}
+		chain = append(chain, member{cur, rec})
+		if rec.Src == n {
+			cur = rec.SrcNext
+		} else {
+			cur = rec.DstNext
+		}
+	}
+	nodeRec.FirstRel = 0
+	nodeRec.Dense = true
+	// Relink in reverse so the new chains preserve the old order.
+	for i := len(chain) - 1; i >= 0; i-- {
+		m := chain[i]
+		rec, err := db.rels.Get(m.id) // reread: earlier relinks may have touched it
+		if err != nil {
+			return err
+		}
+		if rec.Src == n {
+			if err := db.linkDenseSide(nodeRec, m.id, &rec, rec.Type, true); err != nil {
+				return err
+			}
+		}
+		if rec.Dst == n {
+			if err := db.linkDenseSide(nodeRec, m.id, &rec, rec.Type, false); err != nil {
+				return err
+			}
+		}
+		if err := db.rels.Put(m.id, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// relationshipsDense iterates a dense node's group chains.
+func (db *DB) relationshipsDense(id graph.NodeID, nodeRec storage.NodeRecord, t graph.TypeID, dir graph.Direction, fn func(Rel) bool) error {
+	gid := uint64(nodeRec.FirstRel)
+	for gid != 0 {
+		g, err := db.groups.Get(gid)
+		if err != nil {
+			return err
+		}
+		gid = g.Next
+		if t != graph.NilType && g.Type != t {
+			continue
+		}
+		if dir == graph.Outgoing || dir == graph.Any {
+			cur := g.FirstOut
+			for cur != 0 {
+				rec, err := db.rels.Get(cur)
+				if err != nil {
+					return err
+				}
+				if !rec.InUse {
+					return fmt.Errorf("neodb: dense out-chain of node %d reaches dead relationship %d", id, cur)
+				}
+				if !fn(Rel{ID: cur, Type: rec.Type, Src: rec.Src, Dst: rec.Dst}) {
+					return nil
+				}
+				cur = rec.SrcNext
+			}
+		}
+		if dir == graph.Incoming || dir == graph.Any {
+			cur := g.FirstIn
+			for cur != 0 {
+				rec, err := db.rels.Get(cur)
+				if err != nil {
+					return err
+				}
+				if !rec.InUse {
+					return fmt.Errorf("neodb: dense in-chain of node %d reaches dead relationship %d", id, cur)
+				}
+				// A self-loop sits in both chains; emit it only once
+				// when both directions are being walked.
+				if !(dir == graph.Any && rec.Src == rec.Dst) {
+					if !fn(Rel{ID: cur, Type: rec.Type, Src: rec.Src, Dst: rec.Dst}) {
+						return nil
+					}
+				}
+				cur = rec.DstNext
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package neodb
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"twigraph/internal/graph"
+)
+
+// The paper's §5 closes with a future-work idea: "the studied graph
+// management systems treat all node (and edge) types equally ... It
+// would be an interesting extension to explore the possibility of a
+// semantic-aware strategy to speed up the queries, and to see how
+// semantically related nodes can be stored/partitioned when the queries
+// are known."
+//
+// The batch importer's default layout already *is* semantic-aware: it
+// ingests one edge file per relationship type, so each type's records
+// occupy contiguous pages and a follows-only traversal touches
+// follows-dominated pages. SetInterleaved(true) deliberately destroys
+// that locality — it shuffles all edge rows across types before
+// insertion, producing the type-blind layout the paper describes — so
+// the `semantic` experiment can measure what the partitioning is worth.
+
+// SetInterleaved switches the importer to the type-blind edge layout.
+func (imp *Importer) SetInterleaved(on bool) { imp.interleaved = on }
+
+// importEdgesInterleaved loads every edge spec's rows into memory,
+// shuffles them deterministically across types, and inserts them in the
+// shuffled order, scattering each relationship type across the
+// relationship store's pages.
+func (imp *Importer) importEdgesInterleaved(specs []EdgeSpec) (int, error) {
+	type row struct {
+		spec     int
+		src, dst graph.NodeID
+	}
+	var rows []row
+	for si, spec := range specs {
+		srcMap := imp.idMaps[spec.SrcLabel]
+		dstMap := imp.idMaps[spec.DstLabel]
+		if srcMap == nil || dstMap == nil {
+			return 0, fmt.Errorf("edge %s references unimported labels %s/%s", spec.Type, spec.SrcLabel, spec.DstLabel)
+		}
+		err := forEachCSVRow(spec.File, func(rec []string) error {
+			if len(rec) < 2 {
+				return fmt.Errorf("edge row has %d columns, want 2", len(rec))
+			}
+			sv, err := strconv.ParseInt(rec[0], 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad source id %q", rec[0])
+			}
+			dv, err := strconv.ParseInt(rec[1], 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad target id %q", rec[1])
+			}
+			src, ok := srcMap[sv]
+			if !ok {
+				return fmt.Errorf("unknown %s id %d", spec.SrcLabel, sv)
+			}
+			dst, ok := dstMap[dv]
+			if !ok {
+				return fmt.Errorf("unknown %s id %d", spec.DstLabel, dv)
+			}
+			rows = append(rows, row{spec: si, src: src, dst: dst})
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	// Deterministic Fisher-Yates with an LCG, independent of map
+	// iteration order.
+	seed := uint64(0x9E3779B97F4A7C15)
+	for i := len(rows) - 1; i > 0; i-- {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		j := int(seed % uint64(i+1))
+		rows[i], rows[j] = rows[j], rows[i]
+	}
+
+	types := make([]graph.TypeID, len(specs))
+	for i, spec := range specs {
+		types[i] = imp.db.RelType(spec.Type)
+	}
+	phaseStart := time.Now()
+	for i, r := range rows {
+		id := graph.EdgeID(imp.db.rels.Allocate())
+		if err := imp.db.applyCreateRel(id, types[r.spec], r.src, r.dst); err != nil {
+			return i, err
+		}
+		if imp.progress != nil && (i+1)%imp.batchRows == 0 {
+			imp.progress(ProgressPoint{Phase: "edges", Label: "interleaved", Count: i + 1, Elapsed: time.Since(phaseStart)})
+		}
+	}
+	if imp.progress != nil {
+		imp.progress(ProgressPoint{Phase: "edges", Label: "interleaved", Count: len(rows), Elapsed: time.Since(phaseStart)})
+	}
+	return len(rows), nil
+}

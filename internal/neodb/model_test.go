@@ -1,0 +1,155 @@
+package neodb
+
+import (
+	"math/rand"
+	"testing"
+
+	"twigraph/internal/graph"
+)
+
+// TestChainStoreAgainstAdjacencyModel drives random edge insertions and
+// deletions through the relationship-chain store and checks, after
+// every batch, that the chains agree with a plain in-memory adjacency
+// model — the invariant that makes every traversal correct.
+func TestChainStoreAgainstAdjacencyModel(t *testing.T) {
+	db := openTemp(t)
+	user := db.Label("user")
+	follows := db.RelType("follows")
+
+	const nNodes = 25
+	rng := rand.New(rand.NewSource(99))
+
+	tx := db.Begin()
+	nodes := make([]graph.NodeID, nNodes)
+	for i := range nodes {
+		nodes[i] = tx.CreateNode(user, nil)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	type edge struct {
+		id       graph.EdgeID
+		src, dst int
+	}
+	var live []edge
+
+	check := func() {
+		t.Helper()
+		// Model adjacency per node.
+		outModel := make(map[int]map[graph.EdgeID]bool, nNodes)
+		inModel := make(map[int]map[graph.EdgeID]bool, nNodes)
+		for _, e := range live {
+			if outModel[e.src] == nil {
+				outModel[e.src] = map[graph.EdgeID]bool{}
+			}
+			if inModel[e.dst] == nil {
+				inModel[e.dst] = map[graph.EdgeID]bool{}
+			}
+			outModel[e.src][e.id] = true
+			inModel[e.dst][e.id] = true
+		}
+		for i, n := range nodes {
+			var gotOut, gotIn []graph.EdgeID
+			err := db.Relationships(n, follows, graph.Outgoing, func(r Rel) bool {
+				gotOut = append(gotOut, r.ID)
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = db.Relationships(n, follows, graph.Incoming, func(r Rel) bool {
+				gotIn = append(gotIn, r.ID)
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(gotOut) != len(outModel[i]) {
+				t.Fatalf("node %d out-chain has %d rels, model %d", i, len(gotOut), len(outModel[i]))
+			}
+			for _, id := range gotOut {
+				if !outModel[i][id] {
+					t.Fatalf("node %d out-chain has ghost rel %d", i, id)
+				}
+			}
+			if len(gotIn) != len(inModel[i]) {
+				t.Fatalf("node %d in-chain has %d rels, model %d", i, len(gotIn), len(inModel[i]))
+			}
+			for _, id := range gotIn {
+				if !inModel[i][id] {
+					t.Fatalf("node %d in-chain has ghost rel %d", i, id)
+				}
+			}
+			// Cached degrees agree with the chains.
+			if d, _ := db.Degree(n, graph.Outgoing); d != len(gotOut) {
+				t.Fatalf("node %d DegOut %d != chain %d", i, d, len(gotOut))
+			}
+			if d, _ := db.Degree(n, graph.Incoming); d != len(gotIn) {
+				t.Fatalf("node %d DegIn %d != chain %d", i, d, len(gotIn))
+			}
+		}
+	}
+
+	for round := 0; round < 30; round++ {
+		tx := db.Begin()
+		// Insert a few random edges (parallel edges allowed).
+		for k := 0; k < 5; k++ {
+			s, d := rng.Intn(nNodes), rng.Intn(nNodes)
+			if s == d {
+				continue
+			}
+			id := tx.CreateRel(follows, nodes[s], nodes[d])
+			live = append(live, edge{id, s, d})
+		}
+		// Delete a few random live edges.
+		for k := 0; k < 2 && len(live) > 0; k++ {
+			i := rng.Intn(len(live))
+			tx.DeleteRel(live[i].id)
+			live = append(live[:i], live[i+1:]...)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		check()
+	}
+}
+
+// TestStringPropertyUpdateFreesBlocks updates a long string property
+// repeatedly and checks the dynamic store reuses blocks instead of
+// leaking them.
+func TestStringPropertyUpdateFreesBlocks(t *testing.T) {
+	db := openTemp(t)
+	user := db.Label("user")
+	bio := db.PropKey("bio")
+	tx := db.Begin()
+	n := tx.CreateNode(user, nil)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	long := make([]byte, 500)
+	for i := range long {
+		long[i] = byte('a' + i%26)
+	}
+	tx2 := db.Begin()
+	tx2.SetNodeProp(n, bio, graph.StringValue(string(long)))
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	baseline := db.strs.HighWater()
+	for i := 0; i < 50; i++ {
+		tx := db.Begin()
+		tx.SetNodeProp(n, bio, graph.StringValue(string(long)))
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if grown := db.strs.HighWater() - baseline; grown > 16 {
+		t.Errorf("string store leaked %d blocks over 50 same-size updates", grown)
+	}
+	// Value still reads back intact.
+	v, err := db.NodeProp(n, bio)
+	if err != nil || v.Str() != string(long) {
+		t.Errorf("bio corrupted after updates")
+	}
+}

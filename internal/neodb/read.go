@@ -1,0 +1,214 @@
+package neodb
+
+import (
+	"fmt"
+
+	"twigraph/internal/bitmap"
+	"twigraph/internal/graph"
+)
+
+// Node is a read snapshot of a node: its id and label. Properties are
+// fetched lazily through NodeProp/NodeProps, matching the record-store
+// cost model (reading a property walks the chain).
+type Node struct {
+	ID    graph.NodeID
+	Label graph.TypeID
+}
+
+// Rel is a read snapshot of a relationship.
+type Rel struct {
+	ID       graph.EdgeID
+	Type     graph.TypeID
+	Src, Dst graph.NodeID
+}
+
+// NodeByID returns the node with the given id.
+func (db *DB) NodeByID(id graph.NodeID) (Node, error) {
+	rec, err := db.nodes.Get(id)
+	if err != nil {
+		return Node{}, err
+	}
+	if !rec.InUse {
+		return Node{}, fmt.Errorf("%w: node %d", graph.ErrNotFound, id)
+	}
+	return Node{ID: id, Label: rec.Label}, nil
+}
+
+// RelByID returns the relationship with the given id.
+func (db *DB) RelByID(id graph.EdgeID) (Rel, error) {
+	rec, err := db.rels.Get(id)
+	if err != nil {
+		return Rel{}, err
+	}
+	if !rec.InUse {
+		return Rel{}, fmt.Errorf("%w: relationship %d", graph.ErrNotFound, id)
+	}
+	return Rel{ID: id, Type: rec.Type, Src: rec.Src, Dst: rec.Dst}, nil
+}
+
+// NodeProp returns the value of one property on a node (NilValue when
+// unset). Cost: one node record plus one property record per chain
+// entry scanned.
+func (db *DB) NodeProp(id graph.NodeID, key graph.AttrID) (graph.Value, error) {
+	rec, err := db.nodes.Get(id)
+	if err != nil {
+		return graph.NilValue, err
+	}
+	if !rec.InUse {
+		return graph.NilValue, fmt.Errorf("%w: node %d", graph.ErrNotFound, id)
+	}
+	pid := rec.FirstProp
+	for pid != 0 {
+		prec, err := db.props.Get(pid)
+		if err != nil {
+			return graph.NilValue, err
+		}
+		if prec.Key == key {
+			return db.decodePropValue(prec)
+		}
+		pid = prec.Next
+	}
+	return graph.NilValue, nil
+}
+
+// NodeProps returns all properties of a node.
+func (db *DB) NodeProps(id graph.NodeID) (graph.Properties, error) {
+	rec, err := db.nodes.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if !rec.InUse {
+		return nil, fmt.Errorf("%w: node %d", graph.ErrNotFound, id)
+	}
+	props := graph.Properties{}
+	pid := rec.FirstProp
+	for pid != 0 {
+		prec, err := db.props.Get(pid)
+		if err != nil {
+			return nil, err
+		}
+		if prec.Kind != graph.KindNil {
+			v, err := db.decodePropValue(prec)
+			if err != nil {
+				return nil, err
+			}
+			props[db.PropKeyName(prec.Key)] = v
+		}
+		pid = prec.Next
+	}
+	return props, nil
+}
+
+// Degree returns a node's cached degree. Per the record layout this is
+// O(1): the counters live in the node record.
+func (db *DB) Degree(id graph.NodeID, dir graph.Direction) (int, error) {
+	rec, err := db.nodes.Get(id)
+	if err != nil {
+		return 0, err
+	}
+	if !rec.InUse {
+		return 0, fmt.Errorf("%w: node %d", graph.ErrNotFound, id)
+	}
+	switch dir {
+	case graph.Outgoing:
+		return int(rec.DegOut), nil
+	case graph.Incoming:
+		return int(rec.DegIn), nil
+	default:
+		return int(rec.DegOut) + int(rec.DegIn), nil
+	}
+}
+
+// Relationships iterates a node's relationship chain, invoking fn for
+// each relationship matching the type filter (NilType matches all) and
+// direction. Each chain step costs one relationship-record fetch. fn
+// returning false stops the iteration.
+func (db *DB) Relationships(id graph.NodeID, t graph.TypeID, dir graph.Direction, fn func(Rel) bool) error {
+	nodeRec, err := db.nodes.Get(id)
+	if err != nil {
+		return err
+	}
+	if !nodeRec.InUse {
+		return fmt.Errorf("%w: node %d", graph.ErrNotFound, id)
+	}
+	if nodeRec.Dense {
+		return db.relationshipsDense(id, nodeRec, t, dir, fn)
+	}
+	cur := nodeRec.FirstRel
+	for cur != 0 {
+		rec, err := db.rels.Get(cur)
+		if err != nil {
+			return err
+		}
+		if !rec.InUse {
+			return fmt.Errorf("neodb: chain of node %d reaches dead relationship %d", id, cur)
+		}
+		isOut := rec.Src == id
+		isIn := rec.Dst == id
+		match := (t == graph.NilType || rec.Type == t) &&
+			((dir == graph.Outgoing && isOut) || (dir == graph.Incoming && isIn) || dir == graph.Any)
+		if match {
+			if !fn(Rel{ID: cur, Type: rec.Type, Src: rec.Src, Dst: rec.Dst}) {
+				return nil
+			}
+		}
+		if isOut {
+			cur = rec.SrcNext
+		} else {
+			cur = rec.DstNext
+		}
+	}
+	return nil
+}
+
+// Neighbors collects the distinct far endpoints of a node's
+// relationships of type t in the given direction.
+func (db *DB) Neighbors(id graph.NodeID, t graph.TypeID, dir graph.Direction) (*bitmap.Bitmap, error) {
+	out := bitmap.New()
+	err := db.Relationships(id, t, dir, func(r Rel) bool {
+		if r.Src == id {
+			out.Add(uint64(r.Dst))
+		}
+		if r.Dst == id {
+			out.Add(uint64(r.Src))
+		}
+		return true
+	})
+	return out, err
+}
+
+// NodesByLabel returns a snapshot of the node ids with the label
+// (possibly nil). The caller owns the bitmap.
+func (db *DB) NodesByLabel(label graph.TypeID) *bitmap.Bitmap {
+	return db.labelScan.Nodes(label)
+}
+
+// FindNodes returns a snapshot of the node ids where the indexed
+// (label, key) equals v. It returns nil when no index exists — callers
+// fall back to a label scan.
+func (db *DB) FindNodes(label graph.TypeID, key graph.AttrID, v graph.Value) *bitmap.Bitmap {
+	ix := db.index(label, key)
+	if ix == nil {
+		return nil
+	}
+	if b := ix.Lookup(v); b != nil {
+		return b
+	}
+	return bitmap.New()
+}
+
+// FindNode returns the single node where the indexed (label, key)
+// equals v, for unique keys like uid.
+func (db *DB) FindNode(label graph.TypeID, key graph.AttrID, v graph.Value) (graph.NodeID, bool) {
+	b := db.FindNodes(label, key, v)
+	if b == nil {
+		return graph.NilNode, false
+	}
+	id, ok := b.Min()
+	return graph.NodeID(id), ok
+}
+
+// HasIndex reports whether a schema index exists on (label, key).
+func (db *DB) HasIndex(label graph.TypeID, key graph.AttrID) bool {
+	return db.index(label, key) != nil
+}

@@ -1,0 +1,97 @@
+package neodb
+
+import (
+	"math/rand"
+	"testing"
+
+	"twigraph/internal/graph"
+)
+
+// TestBidirectionalBFSAgainstFloydWarshall cross-checks the
+// bidirectional shortest-path search against an all-pairs reference on
+// random directed graphs — the optimality-stopping rule is subtle
+// enough to deserve an oracle.
+func TestBidirectionalBFSAgainstFloydWarshall(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := openTemp(t)
+		user := db.Label("user")
+		follows := db.RelType("follows")
+		const n = 14
+		tx := db.Begin()
+		nodes := make([]graph.NodeID, n)
+		for i := range nodes {
+			nodes[i] = tx.CreateNode(user, nil)
+		}
+		const inf = 1 << 20
+		dist := make([][]int, n)
+		for i := range dist {
+			dist[i] = make([]int, n)
+			for j := range dist[i] {
+				if i != j {
+					dist[i][j] = inf
+				}
+			}
+		}
+		for k := 0; k < 30; k++ {
+			s, d := rng.Intn(n), rng.Intn(n)
+			if s == d {
+				continue
+			}
+			tx.CreateRel(follows, nodes[s], nodes[d])
+			dist[s][d] = 1
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if dist[i][k]+dist[k][j] < dist[i][j] {
+						dist[i][j] = dist[i][k] + dist[k][j]
+					}
+				}
+			}
+		}
+		ex := []Expander{{follows, graph.Outgoing}}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				for _, maxHops := range []int{2, 3, n} {
+					p, ok, err := db.ShortestPath(nodes[i], nodes[j], ex, maxHops)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := dist[i][j]
+					reachable := want < inf && want <= maxHops
+					switch {
+					case reachable && !ok:
+						t.Fatalf("seed %d maxHops %d: path %d->%d missing, reference %d", seed, maxHops, i, j, want)
+					case !reachable && ok:
+						t.Fatalf("seed %d maxHops %d: path %d->%d found (len %d), reference %d", seed, maxHops, i, j, p.Length(), want)
+					case ok && p.Length() != want:
+						t.Fatalf("seed %d maxHops %d: path %d->%d length %d, reference %d", seed, maxHops, i, j, p.Length(), want)
+					}
+					// Returned path is well-formed: consecutive nodes
+					// joined by the listed relationships.
+					if ok {
+						if p.Nodes[0] != nodes[i] || p.End() != nodes[j] {
+							t.Fatalf("path endpoints wrong: %+v", p)
+						}
+						if len(p.Nodes) != len(p.Rels)+1 {
+							t.Fatalf("path shape wrong: %+v", p)
+						}
+						for h, rid := range p.Rels {
+							r, err := db.RelByID(rid)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if r.Src != p.Nodes[h] || r.Dst != p.Nodes[h+1] {
+								t.Fatalf("hop %d rel %d does not join %d->%d: %+v", h, rid, p.Nodes[h], p.Nodes[h+1], r)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

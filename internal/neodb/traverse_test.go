@@ -1,0 +1,185 @@
+package neodb
+
+import (
+	"testing"
+
+	"twigraph/internal/graph"
+)
+
+func TestTraversalDepths(t *testing.T) {
+	db := openTemp(t)
+	ids := seedSocial(t, db)
+	follows := db.RelTypeID("follows")
+
+	// Depth 1..2 from u1: u2,u3 at 1; u4 at 2 (u3 at 2 pruned by
+	// global uniqueness).
+	var got []Path
+	err := db.NewTraversal().
+		Expand(follows, graph.Outgoing).
+		Depths(1, 2).
+		Traverse(ids[1], func(p Path) bool {
+			got = append(got, p)
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ends := map[graph.NodeID]int{}
+	for _, p := range got {
+		ends[p.End()] = p.Length()
+	}
+	if len(got) != 3 || ends[ids[2]] != 1 || ends[ids[3]] != 1 || ends[ids[4]] != 2 {
+		t.Errorf("paths = %v", ends)
+	}
+
+	// minDepth filters shallow paths out.
+	var deep []graph.NodeID
+	db.NewTraversal().
+		Expand(follows, graph.Outgoing).
+		Depths(2, 2).
+		Traverse(ids[1], func(p Path) bool {
+			deep = append(deep, p.End())
+			return true
+		})
+	if len(deep) != 1 || deep[0] != ids[4] {
+		t.Errorf("depth-2 ends = %v", deep)
+	}
+}
+
+func TestTraversalNoUniquenessFindsAllPaths(t *testing.T) {
+	db := openTemp(t)
+	ids := seedSocial(t, db)
+	follows := db.RelTypeID("follows")
+	// u1->u3 directly and via u2: with NoneUnique both paths reach u3.
+	count := 0
+	db.NewTraversal().
+		Expand(follows, graph.Outgoing).
+		Depths(1, 2).
+		Uniqueness(NoneUnique).
+		Traverse(ids[1], func(p Path) bool {
+			if p.End() == ids[3] {
+				count++
+			}
+			return true
+		})
+	if count != 2 {
+		t.Errorf("paths to u3 = %d, want 2", count)
+	}
+}
+
+func TestTraversalEvaluatorPrunes(t *testing.T) {
+	db := openTemp(t)
+	ids := seedSocial(t, db)
+	follows := db.RelTypeID("follows")
+	// Prune at u3: u4 (only reachable through u3) must not appear.
+	var ends []graph.NodeID
+	db.NewTraversal().
+		Expand(follows, graph.Outgoing).
+		Depths(1, 3).
+		Evaluate(func(p Path) Evaluation {
+			if p.End() == ids[3] {
+				return IncludeAndPrune
+			}
+			return IncludeAndContinue
+		}).
+		Traverse(ids[1], func(p Path) bool {
+			ends = append(ends, p.End())
+			return true
+		})
+	for _, e := range ends {
+		if e == ids[4] || e == ids[5] {
+			t.Errorf("pruned subtree reached: %v", ends)
+		}
+	}
+	// Exclude filtering.
+	var filtered []graph.NodeID
+	db.NewTraversal().
+		Expand(follows, graph.Outgoing).
+		Depths(1, 2).
+		Evaluate(func(p Path) Evaluation {
+			if p.End() == ids[2] {
+				return ExcludeAndContinue
+			}
+			return IncludeAndContinue
+		}).
+		Traverse(ids[1], func(p Path) bool {
+			filtered = append(filtered, p.End())
+			return true
+		})
+	for _, e := range filtered {
+		if e == ids[2] {
+			t.Error("excluded node emitted")
+		}
+	}
+}
+
+func TestTraversalDFSVisitsAll(t *testing.T) {
+	db := openTemp(t)
+	ids := seedSocial(t, db)
+	follows := db.RelTypeID("follows")
+	var ends []graph.NodeID
+	db.NewTraversal().
+		Expand(follows, graph.Outgoing).
+		Depths(1, 4).
+		DepthFirst().
+		Traverse(ids[1], func(p Path) bool {
+			ends = append(ends, p.End())
+			return true
+		})
+	if len(ends) != 4 { // u2,u3,u4,u5
+		t.Errorf("DFS ends = %v", ends)
+	}
+}
+
+func TestTraversalEarlyStop(t *testing.T) {
+	db := openTemp(t)
+	ids := seedSocial(t, db)
+	follows := db.RelTypeID("follows")
+	n := 0
+	db.NewTraversal().
+		Expand(follows, graph.Outgoing).
+		Depths(1, 4).
+		Traverse(ids[1], func(Path) bool {
+			n++
+			return false
+		})
+	if n != 1 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	db := openTemp(t)
+	ids := seedSocial(t, db)
+	follows := db.RelTypeID("follows")
+	ex := []Expander{{follows, graph.Outgoing}}
+
+	p, ok, err := db.ShortestPath(ids[1], ids[5], ex, 10)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	// u1->u3->u4->u5 = 3 hops.
+	if p.Length() != 3 || p.Nodes[0] != ids[1] || p.End() != ids[5] {
+		t.Errorf("path = %+v", p)
+	}
+	if len(p.Rels) != 3 {
+		t.Errorf("rels = %v", p.Rels)
+	}
+	// Hop bound.
+	if _, ok, _ := db.ShortestPath(ids[1], ids[5], ex, 2); ok {
+		t.Error("path found within too-small bound")
+	}
+	// Self.
+	if p, ok, _ := db.ShortestPath(ids[2], ids[2], ex, 3); !ok || p.Length() != 0 {
+		t.Errorf("self path = %+v, %v", p, ok)
+	}
+	// Unreachable against direction.
+	if _, ok, _ := db.ShortestPath(ids[5], ids[1], ex, 10); ok {
+		t.Error("path against direction")
+	}
+	// Undirected expander finds it.
+	exAny := []Expander{{follows, graph.Any}}
+	if _, ok, _ := db.ShortestPath(ids[5], ids[1], exAny, 10); !ok {
+		t.Error("undirected path not found")
+	}
+}

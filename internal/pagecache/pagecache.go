@@ -1,0 +1,340 @@
+// Package pagecache implements a fixed-size page cache over a backing
+// file, the buffer-management substrate of the Neo4j-analog engine.
+//
+// Neo4j's query latencies in the paper are dominated by whether the
+// relevant region of the store files is resident in the page cache: the
+// authors report that "Neo4j takes a long time to warm up the caches for
+// a new query" and that cold-cache first runs are expensive even for
+// small neighbourhoods. This package reproduces that mechanism: every
+// record access goes through Get, which either hits a resident page or
+// faults it in from the backing file, and the cache exposes hit/fault
+// statistics plus an explicit Cool operation used by the cold-cache
+// experiments.
+package pagecache
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// PageSize is the fixed page size in bytes. 8 KiB matches Neo4j's page
+// cache unit.
+const PageSize = 8192
+
+// Stats aggregates cache activity counters. All counters are cumulative
+// since the cache was opened.
+type Stats struct {
+	Hits      uint64 // Get found the page resident
+	Faults    uint64 // Get read the page from the backing file
+	Evictions uint64 // resident pages evicted to make room
+	Flushes   uint64 // dirty pages written back
+}
+
+// Cache is a pinned-page LRU cache over one backing file. It is safe for
+// concurrent use: structural state (residency, LRU, pins) is guarded by
+// mu, while page *contents* are guarded by dataMu — readers and the
+// write-back path share it, mutators take it exclusively. Lock order is
+// always mu before dataMu.
+type Cache struct {
+	mu       sync.Mutex
+	dataMu   sync.RWMutex
+	file     *os.File
+	capacity int // max resident pages
+	pages    map[int64]*page
+	lruHead  *page // most recently used
+	lruTail  *page // least recently used
+	stats    Stats
+	size     int64 // logical file size in bytes
+	closed   bool
+}
+
+type page struct {
+	id         int64
+	buf        []byte
+	dirty      bool
+	pins       int
+	prev, next *page // LRU list
+}
+
+// Open creates a cache of the given capacity (in pages) over path. The
+// file is created if missing. Capacity must be at least 1.
+func Open(path string, capacity int) (*Cache, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("pagecache: capacity %d < 1", capacity)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Cache{
+		file:     f,
+		capacity: capacity,
+		pages:    make(map[int64]*page, capacity),
+		size:     fi.Size(),
+	}, nil
+}
+
+// Page is a pinned reference to a resident page. The caller must Unpin
+// it when done; writes must go through MarkDirty.
+type Page struct {
+	c *Cache
+	p *page
+}
+
+// Data returns the page's byte slice (always PageSize long). The slice
+// is valid until Unpin. Callers using Data directly must serialise
+// against concurrent mutators themselves; prefer Read/Write, which
+// synchronise with the write-back path.
+func (pg Page) Data() []byte { return pg.p.buf }
+
+// Read invokes fn with the page bytes under the shared data lock, so it
+// is safe against concurrent Write and write-back.
+func (pg Page) Read(fn func(buf []byte)) {
+	pg.c.dataMu.RLock()
+	fn(pg.p.buf)
+	pg.c.dataMu.RUnlock()
+}
+
+// Write invokes fn with the page bytes under the exclusive data lock
+// and marks the page dirty.
+func (pg Page) Write(fn func(buf []byte)) {
+	pg.c.dataMu.Lock()
+	fn(pg.p.buf)
+	pg.c.dataMu.Unlock()
+	pg.MarkDirty()
+}
+
+// MarkDirty records that the page was modified and must be written back
+// before eviction.
+func (pg Page) MarkDirty() {
+	pg.c.mu.Lock()
+	pg.p.dirty = true
+	pg.c.mu.Unlock()
+}
+
+// Unpin releases the pin taken by Get.
+func (pg Page) Unpin() {
+	pg.c.mu.Lock()
+	if pg.p.pins > 0 {
+		pg.p.pins--
+	}
+	pg.c.mu.Unlock()
+}
+
+// Get pins the page with the given id, faulting it in if necessary. Page
+// ids map to byte offset id*PageSize; reading past the current file size
+// yields zero bytes (the file grows lazily on flush).
+func (c *Cache) Get(id int64) (Page, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return Page{}, fmt.Errorf("pagecache: closed")
+	}
+	if p, ok := c.pages[id]; ok {
+		c.stats.Hits++
+		p.pins++
+		c.touch(p)
+		return Page{c: c, p: p}, nil
+	}
+	c.stats.Faults++
+	if err := c.evictIfFullLocked(); err != nil {
+		return Page{}, err
+	}
+	p := &page{id: id, buf: make([]byte, PageSize), pins: 1}
+	off := id * PageSize
+	if off < c.size {
+		if _, err := c.file.ReadAt(p.buf, off); err != nil {
+			// Short read at EOF leaves the tail zeroed, which is
+			// exactly what a lazily-grown file should produce.
+			n := c.size - off
+			if n < 0 || n >= PageSize {
+				return Page{}, err
+			}
+		}
+	}
+	c.pages[id] = p
+	c.pushFront(p)
+	return Page{c: c, p: p}, nil
+}
+
+// evictIfFullLocked evicts the least-recently-used unpinned page when at
+// capacity. It fails if every resident page is pinned.
+func (c *Cache) evictIfFullLocked() error {
+	for len(c.pages) >= c.capacity {
+		victim := c.lruTail
+		for victim != nil && victim.pins > 0 {
+			victim = victim.prev
+		}
+		if victim == nil {
+			return fmt.Errorf("pagecache: all %d pages pinned", len(c.pages))
+		}
+		if victim.dirty {
+			if err := c.writeBackLocked(victim); err != nil {
+				return err
+			}
+		}
+		c.unlink(victim)
+		delete(c.pages, victim.id)
+		c.stats.Evictions++
+	}
+	return nil
+}
+
+func (c *Cache) writeBackLocked(p *page) error {
+	off := p.id * PageSize
+	c.dataMu.RLock()
+	_, err := c.file.WriteAt(p.buf, off)
+	c.dataMu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if end := off + PageSize; end > c.size {
+		c.size = end
+	}
+	p.dirty = false
+	c.stats.Flushes++
+	return nil
+}
+
+// FlushAll writes back every dirty page without evicting.
+func (c *Cache) FlushAll() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range c.pages {
+		if p.dirty {
+			if err := c.writeBackLocked(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Sync flushes all dirty pages and fsyncs the backing file.
+func (c *Cache) Sync() error {
+	if err := c.FlushAll(); err != nil {
+		return err
+	}
+	return c.file.Sync()
+}
+
+// Cool flushes and evicts every resident page, simulating a cold cache.
+// Pinned pages are flushed but stay resident.
+func (c *Cache) Cool() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, p := range c.pages {
+		if p.dirty {
+			if err := c.writeBackLocked(p); err != nil {
+				return err
+			}
+		}
+		if p.pins == 0 {
+			c.unlink(p)
+			delete(c.pages, id)
+			c.stats.Evictions++
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ResetStats zeroes the counters (used between experiment phases).
+func (c *Cache) ResetStats() {
+	c.mu.Lock()
+	c.stats = Stats{}
+	c.mu.Unlock()
+}
+
+// Resident returns the number of pages currently cached.
+func (c *Cache) Resident() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pages)
+}
+
+// Size returns the logical size of the backing file in bytes, including
+// pages not yet flushed.
+func (c *Cache) Size() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sz := c.size
+	for _, p := range c.pages {
+		if end := (p.id + 1) * PageSize; p.dirty && end > sz {
+			sz = end
+		}
+	}
+	return sz
+}
+
+// Close flushes and closes the backing file. The cache is unusable
+// afterwards.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	for _, p := range c.pages {
+		if p.dirty {
+			if err := c.writeBackLocked(p); err != nil {
+				c.mu.Unlock()
+				return err
+			}
+		}
+	}
+	c.closed = true
+	f := c.file
+	c.pages = nil
+	c.lruHead, c.lruTail = nil, nil
+	c.mu.Unlock()
+	return f.Close()
+}
+
+// ---------- LRU list maintenance (c.mu held) ----------
+
+func (c *Cache) pushFront(p *page) {
+	p.prev = nil
+	p.next = c.lruHead
+	if c.lruHead != nil {
+		c.lruHead.prev = p
+	}
+	c.lruHead = p
+	if c.lruTail == nil {
+		c.lruTail = p
+	}
+}
+
+func (c *Cache) unlink(p *page) {
+	if p.prev != nil {
+		p.prev.next = p.next
+	} else {
+		c.lruHead = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else {
+		c.lruTail = p.prev
+	}
+	p.prev, p.next = nil, nil
+}
+
+func (c *Cache) touch(p *page) {
+	if c.lruHead == p {
+		return
+	}
+	c.unlink(p)
+	c.pushFront(p)
+}

@@ -1,0 +1,284 @@
+package pagecache
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTemp(t *testing.T, capacity int) *Cache {
+	t.Helper()
+	c, err := Open(filepath.Join(t.TempDir(), "store.db"), capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestGetZeroFilledBeyondEOF(t *testing.T) {
+	c := openTemp(t, 4)
+	pg, err := c.Get(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pg.Unpin()
+	for i, b := range pg.Data() {
+		if b != 0 {
+			t.Fatalf("byte %d = %d, want 0", i, b)
+		}
+	}
+	if s := c.Stats(); s.Faults != 1 || s.Hits != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestWriteReadBack(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.db")
+	c, err := Open(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := c.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(pg.Data(), []byte("hello"))
+	pg.MarkDirty()
+	pg.Unpin()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	pg2, err := c2.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pg2.Unpin()
+	if string(pg2.Data()[:5]) != "hello" {
+		t.Errorf("read back %q", pg2.Data()[:5])
+	}
+	// Page 0 and 1 should be zero (lazily grown hole).
+	pg0, _ := c2.Get(0)
+	defer pg0.Unpin()
+	if pg0.Data()[0] != 0 {
+		t.Error("hole page not zero")
+	}
+}
+
+func TestHitAndFaultAccounting(t *testing.T) {
+	c := openTemp(t, 4)
+	for i := 0; i < 3; i++ {
+		pg, err := c.Get(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Unpin()
+	}
+	s := c.Stats()
+	if s.Faults != 1 || s.Hits != 2 {
+		t.Errorf("stats = %+v, want 1 fault 2 hits", s)
+	}
+}
+
+func TestEvictionLRUOrder(t *testing.T) {
+	c := openTemp(t, 2)
+	get := func(id int64) {
+		pg, err := c.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg.Unpin()
+	}
+	get(0)
+	get(1)
+	get(0) // 0 is now MRU
+	get(2) // must evict 1
+	get(0) // should still hit
+	s := c.Stats()
+	if s.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions)
+	}
+	// 0 was touched twice after its fault, so faults: 0,1,2 = 3.
+	if s.Faults != 3 {
+		t.Errorf("faults = %d, want 3", s.Faults)
+	}
+}
+
+func TestPinnedPagesAreNotEvicted(t *testing.T) {
+	c := openTemp(t, 2)
+	p0, err := c.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := c.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cache full with both pinned: next Get must fail.
+	if _, err := c.Get(2); err == nil {
+		t.Error("expected error when all pages pinned")
+	}
+	p1.Unpin()
+	if _, err := c.Get(2); err != nil {
+		t.Errorf("Get after unpin: %v", err)
+	}
+	p0.Unpin()
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	c := openTemp(t, 1)
+	pg, err := c.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg.Data()[0] = 0xAB
+	pg.MarkDirty()
+	pg.Unpin()
+	// Evict page 0 by faulting page 1.
+	pg1, err := c.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg1.Unpin()
+	if s := c.Stats(); s.Flushes != 1 {
+		t.Errorf("flushes = %d, want 1", s.Flushes)
+	}
+	// Re-fault page 0 and verify contents survived eviction.
+	pg0, err := c.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pg0.Unpin()
+	if pg0.Data()[0] != 0xAB {
+		t.Error("dirty data lost on eviction")
+	}
+}
+
+func TestCoolEmptiesCache(t *testing.T) {
+	c := openTemp(t, 8)
+	for i := int64(0); i < 5; i++ {
+		pg, _ := c.Get(i)
+		pg.MarkDirty()
+		pg.Unpin()
+	}
+	if err := c.Cool(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Resident() != 0 {
+		t.Errorf("resident = %d after Cool", c.Resident())
+	}
+	// All subsequent accesses must fault.
+	before := c.Stats().Faults
+	pg, _ := c.Get(0)
+	pg.Unpin()
+	if c.Stats().Faults != before+1 {
+		t.Error("Get after Cool did not fault")
+	}
+}
+
+func TestSizeTracksDirtyPages(t *testing.T) {
+	c := openTemp(t, 4)
+	if c.Size() != 0 {
+		t.Errorf("fresh size = %d", c.Size())
+	}
+	pg, _ := c.Get(3)
+	pg.MarkDirty()
+	pg.Unpin()
+	if got := c.Size(); got != 4*PageSize {
+		t.Errorf("Size = %d, want %d", got, 4*PageSize)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := openTemp(t, 4)
+	pg, _ := c.Get(0)
+	pg.Unpin()
+	c.ResetStats()
+	if s := c.Stats(); s != (Stats{}) {
+		t.Errorf("stats after reset = %+v", s)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "x"), 0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, err := Open(filepath.Join(t.TempDir(), "nodir", "x"), 4); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}
+
+func TestCloseIsIdempotentAndFlushes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.db")
+	c, err := Open(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, _ := c.Get(0)
+	pg.Data()[7] = 9
+	pg.MarkDirty()
+	pg.Unpin()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal("second Close:", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[7] != 9 {
+		t.Error("dirty page not flushed on Close")
+	}
+	if _, err := c.Get(0); err == nil {
+		t.Error("Get after Close should fail")
+	}
+}
+
+func TestRandomizedReadWrite(t *testing.T) {
+	c := openTemp(t, 8)
+	rng := rand.New(rand.NewSource(3))
+	model := map[int64]byte{}
+	for i := 0; i < 2000; i++ {
+		id := int64(rng.Intn(64))
+		pg, err := c.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want, ok := model[id]; ok && pg.Data()[0] != want {
+			t.Fatalf("page %d byte0 = %d, want %d", id, pg.Data()[0], want)
+		}
+		if rng.Intn(2) == 0 {
+			v := byte(rng.Intn(256))
+			pg.Data()[0] = v
+			pg.MarkDirty()
+			model[id] = v
+		}
+		pg.Unpin()
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	c, err := Open(filepath.Join(b.TempDir(), "s.db"), 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	pg, _ := c.Get(0)
+	pg.Unpin()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pg, _ := c.Get(0)
+		pg.Unpin()
+	}
+}

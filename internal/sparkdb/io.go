@@ -1,0 +1,306 @@
+package sparkdb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"twigraph/internal/graph"
+)
+
+// Image format version tag.
+const imageMagic = 0x31444b53 // "SKD1"
+
+// Save writes the database image to path atomically. Link maps,
+// materialised neighbor indexes and attribute inverted indexes are not
+// stored: they are derived structures rebuilt on Load from the edge
+// endpoint arrays and attribute value maps.
+func (db *DB) Save(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := db.save(w); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func (db *DB) save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	le := binary.LittleEndian
+	put32 := func(v uint32) error { return binary.Write(w, le, v) }
+	put64 := func(v uint64) error { return binary.Write(w, le, v) }
+	putStr := func(s string) error {
+		if err := put32(uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := io.WriteString(w, s)
+		return err
+	}
+	putBool := func(b bool) error {
+		x := byte(0)
+		if b {
+			x = 1
+		}
+		_, err := w.Write([]byte{x})
+		return err
+	}
+
+	if err := put32(imageMagic); err != nil {
+		return err
+	}
+	if err := put64(db.maxObjects); err != nil {
+		return err
+	}
+	if err := put64(db.objects); err != nil {
+		return err
+	}
+	if err := put32(uint32(len(db.types))); err != nil {
+		return err
+	}
+	for _, ti := range db.types {
+		if err := putStr(ti.name); err != nil {
+			return err
+		}
+		if err := putBool(ti.isEdge); err != nil {
+			return err
+		}
+		if err := putBool(ti.materialized); err != nil {
+			return err
+		}
+		if err := put64(ti.nextSeq); err != nil {
+			return err
+		}
+		if _, err := ti.objects.WriteTo(w); err != nil {
+			return err
+		}
+		if ti.isEdge {
+			if err := put64(uint64(len(ti.tails))); err != nil {
+				return err
+			}
+			for i := range ti.tails {
+				if err := put64(ti.tails[i]); err != nil {
+					return err
+				}
+				if err := put64(ti.heads[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := put32(uint32(len(db.attrs))); err != nil {
+		return err
+	}
+	for _, ai := range db.attrs {
+		if err := put32(uint32(ai.typeID)); err != nil {
+			return err
+		}
+		if err := putStr(ai.name); err != nil {
+			return err
+		}
+		if _, err := w.Write([]byte{byte(ai.kind)}); err != nil {
+			return err
+		}
+		if err := putBool(ai.indexed); err != nil {
+			return err
+		}
+		if err := put64(uint64(len(ai.values))); err != nil {
+			return err
+		}
+		for oid, v := range ai.values {
+			if err := put64(oid); err != nil {
+				return err
+			}
+			if err := graph.WriteValue(w, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Load reads a database image written by Save and rebuilds all derived
+// structures (link maps, neighbor indexes, attribute inverted indexes).
+func Load(path string) (*DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	db := New(Config{})
+	if err := db.load(bufio.NewReader(f)); err != nil {
+		return nil, fmt.Errorf("sparkdb: loading %s: %w", path, err)
+	}
+	return db, nil
+}
+
+func (db *DB) load(r io.Reader) error {
+	le := binary.LittleEndian
+	get32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(r, le, &v)
+		return v, err
+	}
+	get64 := func() (uint64, error) {
+		var v uint64
+		err := binary.Read(r, le, &v)
+		return v, err
+	}
+	getStr := func() (string, error) {
+		n, err := get32()
+		if err != nil {
+			return "", err
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	getBool := func() (bool, error) {
+		var b [1]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return false, err
+		}
+		return b[0] != 0, nil
+	}
+
+	magic, err := get32()
+	if err != nil {
+		return err
+	}
+	if magic != imageMagic {
+		return fmt.Errorf("bad magic %#x", magic)
+	}
+	if db.maxObjects, err = get64(); err != nil {
+		return err
+	}
+	if db.objects, err = get64(); err != nil {
+		return err
+	}
+	nTypes, err := get32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < nTypes; i++ {
+		name, err := getStr()
+		if err != nil {
+			return err
+		}
+		isEdge, err := getBool()
+		if err != nil {
+			return err
+		}
+		materialized, err := getBool()
+		if err != nil {
+			return err
+		}
+		id, err := db.newType(name, isEdge, materialized)
+		if err != nil {
+			return err
+		}
+		ti := db.types[id-1]
+		if ti.nextSeq, err = get64(); err != nil {
+			return err
+		}
+		if _, err := ti.objects.ReadFrom(r); err != nil {
+			return err
+		}
+		if isEdge {
+			nEdges, err := get64()
+			if err != nil {
+				return err
+			}
+			ti.tails = make([]uint64, nEdges)
+			ti.heads = make([]uint64, nEdges)
+			for j := uint64(0); j < nEdges; j++ {
+				if ti.tails[j], err = get64(); err != nil {
+					return err
+				}
+				if ti.heads[j], err = get64(); err != nil {
+					return err
+				}
+			}
+			// Rebuild link maps and neighbor indexes.
+			for j := range ti.tails {
+				oid := makeOID(id, uint64(j+1))
+				link(ti.outLinks, ti.tails[j], oid)
+				link(ti.inLinks, ti.heads[j], oid)
+				if ti.materialized {
+					link(ti.outNbrs, ti.tails[j], ti.heads[j])
+					link(ti.inNbrs, ti.heads[j], ti.tails[j])
+				}
+			}
+		}
+	}
+	nAttrs, err := get32()
+	if err != nil {
+		return err
+	}
+	for i := uint32(0); i < nAttrs; i++ {
+		typeID, err := get32()
+		if err != nil {
+			return err
+		}
+		name, err := getStr()
+		if err != nil {
+			return err
+		}
+		var kindB [1]byte
+		if _, err := io.ReadFull(r, kindB[:]); err != nil {
+			return err
+		}
+		indexed, err := getBool()
+		if err != nil {
+			return err
+		}
+		aid, err := db.NewAttribute(graph.TypeID(typeID), name, graph.Kind(kindB[0]), indexed)
+		if err != nil {
+			return err
+		}
+		nVals, err := get64()
+		if err != nil {
+			return err
+		}
+		ai := db.attrs[aid-1]
+		for j := uint64(0); j < nVals; j++ {
+			oid, err := get64()
+			if err != nil {
+				return err
+			}
+			v, err := graph.ReadValue(r)
+			if err != nil {
+				return err
+			}
+			ai.values[oid] = v
+			if indexed {
+				k := v.Key()
+				b, ok := ai.index[k]
+				if !ok {
+					b = newPostings(ai, k, v)
+				}
+				b.Add(oid)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package sparkdb
+
+import (
+	"math/rand"
+	"testing"
+
+	"twigraph/internal/graph"
+)
+
+// TestNavigationAgainstAdjacencyModel drives random edge creation
+// through the bitmap store and checks Neighbors, Explode and Degree
+// against a plain adjacency model after every batch.
+func TestNavigationAgainstAdjacencyModel(t *testing.T) {
+	db := New(Config{})
+	user, err := db.NewNodeType("user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	follows, err := db.NewEdgeType("follows", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nNodes = 20
+	nodes := make([]uint64, nNodes)
+	for i := range nodes {
+		if nodes[i], err = db.NewNode(user); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(41))
+	outEdges := map[int][]uint64{} // node index -> edge oids
+	inEdges := map[int][]uint64{}
+	outNbrs := map[int]map[uint64]bool{}
+	inNbrs := map[int]map[uint64]bool{}
+
+	for round := 0; round < 40; round++ {
+		s, d := rng.Intn(nNodes), rng.Intn(nNodes)
+		if s == d {
+			continue
+		}
+		e, err := db.NewEdge(follows, nodes[s], nodes[d])
+		if err != nil {
+			t.Fatal(err)
+		}
+		outEdges[s] = append(outEdges[s], e)
+		inEdges[d] = append(inEdges[d], e)
+		if outNbrs[s] == nil {
+			outNbrs[s] = map[uint64]bool{}
+		}
+		if inNbrs[d] == nil {
+			inNbrs[d] = map[uint64]bool{}
+		}
+		outNbrs[s][nodes[d]] = true
+		inNbrs[d][nodes[s]] = true
+
+		for i, n := range nodes {
+			if got := db.Degree(n, follows, graph.Outgoing); got != len(outEdges[i]) {
+				t.Fatalf("round %d node %d out-degree %d, model %d", round, i, got, len(outEdges[i]))
+			}
+			if got := db.Degree(n, follows, graph.Incoming); got != len(inEdges[i]) {
+				t.Fatalf("round %d node %d in-degree %d, model %d", round, i, got, len(inEdges[i]))
+			}
+			nb := db.Neighbors(n, follows, graph.Outgoing)
+			if nb.Count() != len(outNbrs[i]) {
+				t.Fatalf("round %d node %d out-neighbors %d, model %d", round, i, nb.Count(), len(outNbrs[i]))
+			}
+			nb.ForEach(func(m uint64) bool {
+				if !outNbrs[i][m] {
+					t.Fatalf("ghost neighbor %d of node %d", m, i)
+				}
+				return true
+			})
+			ex := db.Explode(n, follows, graph.Outgoing)
+			if ex.Count() != len(outEdges[i]) {
+				t.Fatalf("round %d node %d explode %d, model %d", round, i, ex.Count(), len(outEdges[i]))
+			}
+			ex.ForEach(func(eoid uint64) bool {
+				tail, _, err := db.EdgeEndpoints(eoid)
+				if err != nil || tail != n {
+					t.Fatalf("explode edge %d has tail %d, want %d (%v)", eoid, tail, n, err)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// TestShortestPathAgainstFloydWarshall cross-checks the native BFS
+// against an all-pairs reference on random graphs.
+func TestShortestPathAgainstFloydWarshall(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		db := New(Config{})
+		user, _ := db.NewNodeType("user")
+		follows, _ := db.NewEdgeType("follows", false)
+		const n = 14
+		nodes := make([]uint64, n)
+		for i := range nodes {
+			nodes[i], _ = db.NewNode(user)
+		}
+		const inf = 1 << 20
+		dist := make([][]int, n)
+		for i := range dist {
+			dist[i] = make([]int, n)
+			for j := range dist[i] {
+				if i != j {
+					dist[i][j] = inf
+				}
+			}
+		}
+		for k := 0; k < 30; k++ {
+			s, d := rng.Intn(n), rng.Intn(n)
+			if s == d {
+				continue
+			}
+			if _, err := db.NewEdge(follows, nodes[s], nodes[d]); err != nil {
+				t.Fatal(err)
+			}
+			dist[s][d] = 1
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if dist[i][k]+dist[k][j] < dist[i][j] {
+						dist[i][j] = dist[i][k] + dist[k][j]
+					}
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				path, ok := db.SinglePairShortestPathBFS(nodes[i], nodes[j], []graph.TypeID{follows}, graph.Outgoing, n)
+				want := dist[i][j]
+				switch {
+				case want >= inf && ok:
+					t.Fatalf("seed %d: path %d->%d found, reference says none", seed, i, j)
+				case want < inf && !ok:
+					t.Fatalf("seed %d: path %d->%d missing, reference length %d", seed, i, j, want)
+				case ok && len(path)-1 != want:
+					t.Fatalf("seed %d: path %d->%d length %d, reference %d", seed, i, j, len(path)-1, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package sparkdb
+
+import "twigraph/internal/bitmap"
+
+// Objects is an unordered set of object identifiers, the result type of
+// every navigation and selection operation — Sparksee's Objects class.
+// Combining predicates means combining Objects sets with Union,
+// Intersection and Difference; there is no server-side LIMIT, so callers
+// wanting top-n must materialise and rank the whole set themselves (the
+// overhead the paper discusses in Section 4).
+type Objects struct {
+	bits *bitmap.Bitmap
+}
+
+func newObjects(b *bitmap.Bitmap) *Objects { return &Objects{bits: b} }
+
+// NewObjects returns an empty set.
+func NewObjects() *Objects { return newObjects(bitmap.New()) }
+
+// ObjectsOf returns a set holding the given OIDs.
+func ObjectsOf(oids ...uint64) *Objects { return newObjects(bitmap.Of(oids...)) }
+
+// Count returns the set cardinality.
+func (o *Objects) Count() int { return o.bits.Cardinality() }
+
+// IsEmpty reports whether the set has no members.
+func (o *Objects) IsEmpty() bool { return o.bits.IsEmpty() }
+
+// Contains reports membership of oid.
+func (o *Objects) Contains(oid uint64) bool { return o.bits.Contains(oid) }
+
+// Add inserts oid, reporting whether it was new.
+func (o *Objects) Add(oid uint64) bool { return o.bits.Add(oid) }
+
+// Remove deletes oid, reporting whether it was present.
+func (o *Objects) Remove(oid uint64) bool { return o.bits.Remove(oid) }
+
+// Copy returns an independent copy of the set.
+func (o *Objects) Copy() *Objects { return newObjects(o.bits.Clone()) }
+
+// Union returns a new set with every member of o and p.
+func (o *Objects) Union(p *Objects) *Objects {
+	return newObjects(bitmap.Or(o.bits, p.bits))
+}
+
+// Intersection returns a new set with the members common to o and p.
+func (o *Objects) Intersection(p *Objects) *Objects {
+	return newObjects(bitmap.And(o.bits, p.bits))
+}
+
+// Difference returns a new set with the members of o not in p.
+func (o *Objects) Difference(p *Objects) *Objects {
+	return newObjects(bitmap.AndNot(o.bits, p.bits))
+}
+
+// Equal reports whether o and p contain the same members.
+func (o *Objects) Equal(p *Objects) bool { return o.bits.Equal(p.bits) }
+
+// ForEach visits every member in ascending OID order until fn returns
+// false.
+func (o *Objects) ForEach(fn func(uint64) bool) { o.bits.ForEach(fn) }
+
+// Slice returns the members in ascending OID order.
+func (o *Objects) Slice() []uint64 { return o.bits.Slice() }
+
+// Any returns an arbitrary member (the minimum) or false when empty.
+func (o *Objects) Any() (uint64, bool) { return o.bits.Min() }
+
+// UnionWith adds every member of p to o in place.
+func (o *Objects) UnionWith(p *Objects) { o.bits.Union(p.bits) }
+
+// IntersectWith keeps only members of o also in p, in place.
+func (o *Objects) IntersectWith(p *Objects) { o.bits.Intersect(p.bits) }
+
+// DifferenceWith removes every member of p from o, in place.
+func (o *Objects) DifferenceWith(p *Objects) { o.bits.Difference(p.bits) }

@@ -1,0 +1,206 @@
+package sparkdb
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"twigraph/internal/graph"
+)
+
+func writeFiles(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const tinyScript = `# tiny twitter graph
+options cache_size=1048576 extent_size=65536 materialize=false recovery=false
+node user users.csv uid:int:index screen_name:string
+node tweet tweets.csv tid:int:index text:string
+edge follows follows.csv user.uid user.uid
+edge posts posts.csv user.uid tweet.tid
+`
+
+var tinyCSVs = map[string]string{
+	"script.sks": tinyScript,
+	"users.csv":  "uid,screen_name\n1,alice\n2,bob\n3,carol\n",
+	"tweets.csv": "tid,text\n10,hello #go\n11,hi @alice\n",
+	"follows.csv": `src,dst
+1,2
+2,3
+1,3
+`,
+	"posts.csv": "uid,tid\n2,10\n3,11\n",
+}
+
+func TestRunScriptLoadsGraph(t *testing.T) {
+	dir := writeFiles(t, tinyCSVs)
+	db := New(Config{})
+	res, err := db.RunScript(filepath.Join(dir, "script.sks"), ScriptOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != 5 || res.Edges != 5 {
+		t.Errorf("result = %+v", res)
+	}
+	user := db.FindType("user")
+	uid := db.FindAttribute(user, "uid")
+	alice, ok := db.FindObject(uid, graph.IntValue(1))
+	if !ok {
+		t.Fatal("alice missing")
+	}
+	follows := db.FindType("follows")
+	if n := db.Neighbors(alice, follows, graph.Outgoing).Count(); n != 2 {
+		t.Errorf("alice followees = %d", n)
+	}
+	name := db.FindAttribute(user, "screen_name")
+	if got := db.GetAttribute(alice, name); got.Str() != "alice" {
+		t.Errorf("screen_name = %v", got)
+	}
+	// Tweets loaded with text payloads.
+	tweet := db.FindType("tweet")
+	tid := db.FindAttribute(tweet, "tid")
+	tw, ok := db.FindObject(tid, graph.IntValue(10))
+	if !ok {
+		t.Fatal("tweet missing")
+	}
+	text := db.FindAttribute(tweet, "text")
+	if got := db.GetAttribute(tw, text); got.Str() != "hello #go" {
+		t.Errorf("text = %v", got)
+	}
+	// Image persisted by the final flush.
+	if _, err := os.Stat(filepath.Join(dir, "sparkdb.img")); err != nil {
+		t.Errorf("image not written: %v", err)
+	}
+}
+
+func TestRunScriptProgressAndFlushes(t *testing.T) {
+	dir := writeFiles(t, tinyCSVs)
+	db := New(Config{})
+	var events []Progress
+	// A minuscule cache forces flush stalls mid-import.
+	opts := ScriptOptions{CacheSize: 64, BatchRows: 1}
+	res, err := db.RunScript(filepath.Join(dir, "script.sks"), opts, func(p Progress) {
+		events = append(events, p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flushes < 2 {
+		t.Errorf("flushes = %d, want several with tiny cache", res.Flushes)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	var sawFlush, sawNodes, sawEdges bool
+	for _, e := range events {
+		if e.Flushed {
+			sawFlush = true
+		}
+		if strings.HasPrefix(e.Phase, "nodes:") {
+			sawNodes = true
+		}
+		if strings.HasPrefix(e.Phase, "edges:") {
+			sawEdges = true
+		}
+	}
+	if !sawFlush || !sawNodes || !sawEdges {
+		t.Errorf("event coverage: flush=%v nodes=%v edges=%v", sawFlush, sawNodes, sawEdges)
+	}
+}
+
+func TestRunScriptMaterializeOption(t *testing.T) {
+	files := map[string]string{}
+	for k, v := range tinyCSVs {
+		files[k] = v
+	}
+	files["script.sks"] = strings.Replace(tinyScript, "materialize=false", "materialize=true", 1)
+	dir := writeFiles(t, files)
+	db := New(Config{})
+	if _, err := db.RunScript(filepath.Join(dir, "script.sks"), ScriptOptions{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The follows type must have been created with a neighbor index.
+	follows := db.FindType("follows")
+	db.mu.RLock()
+	materialized := db.types[follows-1].materialized
+	db.mu.RUnlock()
+	if !materialized {
+		t.Error("materialize option ignored")
+	}
+}
+
+func TestScriptErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		script string
+		files  map[string]string
+	}{
+		{"unknown statement", "bogus line\n", nil},
+		{"bad option", "options nothing\n", nil},
+		{"node too short", "node user\n", nil},
+		{"bad attr", "node user u.csv uid\n", nil},
+		{"bad kind", "node user u.csv uid:uuid\n", nil},
+		{"edge arity", "edge follows f.csv user.uid\n", nil},
+		{"bad ref", "edge follows f.csv useruid user.uid\n", nil},
+		{"missing csv", "node user missing.csv uid:int:index\n", nil},
+		{"unknown tail", "node user u.csv uid:int:index\nedge follows f.csv user.uid user.uid\n", map[string]string{
+			"u.csv": "uid\n1\n",
+			"f.csv": "src,dst\n1,99\n",
+		}},
+		{"bad int", "node user u.csv uid:int:index\n", map[string]string{
+			"u.csv": "uid\n1\nnot-a-number\n",
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			files := map[string]string{"s.sks": c.script}
+			for k, v := range c.files {
+				files[k] = v
+			}
+			dir := writeFiles(t, files)
+			db := New(Config{})
+			if _, err := db.RunScript(filepath.Join(dir, "s.sks"), ScriptOptions{}, nil); err == nil {
+				t.Errorf("script %q loaded without error", c.name)
+			}
+		})
+	}
+}
+
+func TestRunScriptMissingFile(t *testing.T) {
+	db := New(Config{})
+	if _, err := db.RunScript(filepath.Join(t.TempDir(), "none.sks"), ScriptOptions{}, nil); err == nil {
+		t.Error("missing script accepted")
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	if v, err := coerce("42", graph.KindInt); err != nil || v.Int() != 42 {
+		t.Errorf("int: %v %v", v, err)
+	}
+	if v, err := coerce("x", graph.KindString); err != nil || v.Str() != "x" {
+		t.Errorf("string: %v %v", v, err)
+	}
+	if v, err := coerce("true", graph.KindBool); err != nil || !v.Bool() {
+		t.Errorf("bool: %v %v", v, err)
+	}
+	if v, err := coerce("2.5", graph.KindFloat); err != nil || v.Float() != 2.5 {
+		t.Errorf("float: %v %v", v, err)
+	}
+	if _, err := coerce("zz", graph.KindBool); err == nil {
+		t.Error("bad bool accepted")
+	}
+	if _, err := coerce("zz", graph.KindFloat); err == nil {
+		t.Error("bad float accepted")
+	}
+	if _, err := coerce("zz", graph.KindNil); err == nil {
+		t.Error("nil kind accepted")
+	}
+}

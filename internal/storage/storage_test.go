@@ -1,0 +1,390 @@
+package storage
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"twigraph/internal/graph"
+)
+
+func TestRecordFileAllocateReleaseReuse(t *testing.T) {
+	f, err := OpenRecordFile(filepath.Join(t.TempDir(), "r.store"), 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	a, b := f.Allocate(), f.Allocate()
+	if a != 1 || b != 2 {
+		t.Fatalf("ids = %d,%d", a, b)
+	}
+	if f.Count() != 2 {
+		t.Errorf("Count = %d", f.Count())
+	}
+	f.Release(a)
+	if f.Count() != 1 {
+		t.Errorf("Count after release = %d", f.Count())
+	}
+	if c := f.Allocate(); c != a {
+		t.Errorf("Allocate after release = %d, want %d", c, a)
+	}
+	if f.HighWater() != 2 {
+		t.Errorf("HighWater = %d", f.HighWater())
+	}
+}
+
+func TestRecordFileReadWritePersists(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.store")
+	f, err := OpenRecordFile(path, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.Allocate()
+	if err := f.Update(id, func(rec []byte) { copy(rec, "abcdef") }); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f2, err := OpenRecordFile(path, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if f2.HighWater() != 1 || f2.Count() != 1 {
+		t.Errorf("reopened: highwater %d count %d", f2.HighWater(), f2.Count())
+	}
+	var got string
+	if err := f2.Read(id, func(rec []byte) { got = string(rec[:6]) }); err != nil {
+		t.Fatal(err)
+	}
+	if got != "abcdef" {
+		t.Errorf("read back %q", got)
+	}
+}
+
+func TestRecordFileRecordSizeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.store")
+	f, err := OpenRecordFile(path, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Allocate()
+	f.Close()
+	if _, err := OpenRecordFile(path, 32, 8); err == nil {
+		t.Error("expected mismatch error")
+	}
+}
+
+func TestRecordFileNilRecordRejected(t *testing.T) {
+	f, err := OpenRecordFile(filepath.Join(t.TempDir(), "r.store"), 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Read(0, func([]byte) {}); err == nil {
+		t.Error("Read(0) accepted")
+	}
+	if err := f.Update(0, func([]byte) {}); err == nil {
+		t.Error("Update(0) accepted")
+	}
+	if _, err := OpenRecordFile(filepath.Join(t.TempDir(), "x"), 0, 8); err == nil {
+		t.Error("record size 0 accepted")
+	}
+}
+
+func TestRecordFileHitsCount(t *testing.T) {
+	f, err := OpenRecordFile(filepath.Join(t.TempDir(), "r.store"), 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	id := f.Allocate()
+	f.Update(id, func([]byte) {})
+	f.Read(id, func([]byte) {})
+	f.Read(id, func([]byte) {})
+	if f.Hits() != 3 {
+		t.Errorf("Hits = %d, want 3", f.Hits())
+	}
+}
+
+func TestRecordsSpanPages(t *testing.T) {
+	// 64-byte records: 128 per page. Write across 3 pages.
+	f, err := OpenRecordFile(filepath.Join(t.TempDir(), "r.store"), 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	const n = 300
+	for i := 0; i < n; i++ {
+		id := f.Allocate()
+		v := byte(i % 251)
+		if err := f.Update(id, func(rec []byte) { rec[0] = v }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		var got byte
+		if err := f.Read(uint64(i+1), func(rec []byte) { got = rec[0] }); err != nil {
+			t.Fatal(err)
+		}
+		if got != byte(i%251) {
+			t.Fatalf("record %d = %d", i+1, got)
+		}
+	}
+}
+
+func TestNodeRecordRoundTrip(t *testing.T) {
+	rt := func(label uint32, rel, prop uint64, dOut, dIn uint32) bool {
+		r := NodeRecord{
+			InUse: true, Label: graph.TypeID(label),
+			FirstRel: graph.EdgeID(rel), FirstProp: prop,
+			DegOut: dOut, DegIn: dIn,
+		}
+		buf := make([]byte, NodeRecordSize)
+		encodeNode(buf, r)
+		return decodeNode(buf) == r
+	}
+	if err := quick.Check(rt, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelRecordRoundTrip(t *testing.T) {
+	rt := func(typ uint32, src, dst, sp, sn, dp, dn, fp uint64) bool {
+		r := RelRecord{
+			InUse: true, Type: graph.TypeID(typ),
+			Src: graph.NodeID(src), Dst: graph.NodeID(dst),
+			SrcPrev: graph.EdgeID(sp), SrcNext: graph.EdgeID(sn),
+			DstPrev: graph.EdgeID(dp), DstNext: graph.EdgeID(dn),
+			FirstProp: fp,
+		}
+		buf := make([]byte, RelRecordSize)
+		encodeRel(buf, r)
+		return decodeRel(buf) == r
+	}
+	if err := quick.Check(rt, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropRecordRoundTrip(t *testing.T) {
+	rt := func(key uint32, payload, next uint64) bool {
+		for _, kind := range []graph.Kind{graph.KindInt, graph.KindString, graph.KindBool, graph.KindFloat} {
+			r := PropRecord{InUse: true, Key: graph.AttrID(key), Kind: kind, Payload: payload, Next: next}
+			buf := make([]byte, PropRecordSize)
+			encodeProp(buf, r)
+			if decodeProp(buf) != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(rt, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypedStores(t *testing.T) {
+	dir := t.TempDir()
+	ns, err := OpenNodeStore(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+	rs, err := OpenRelStore(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	ps, err := OpenPropStore(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+
+	nid := graph.NodeID(ns.Allocate())
+	want := NodeRecord{InUse: true, Label: 3, FirstRel: 9, FirstProp: 4, DegOut: 2, DegIn: 1}
+	if err := ns.Put(nid, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ns.Get(nid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("node = %+v, want %+v", got, want)
+	}
+
+	eid := graph.EdgeID(rs.Allocate())
+	wr := RelRecord{InUse: true, Type: 1, Src: 5, Dst: 6, SrcNext: 2, DstNext: 3}
+	if err := rs.Put(eid, wr); err != nil {
+		t.Fatal(err)
+	}
+	gr, err := rs.Get(eid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr != wr {
+		t.Errorf("rel = %+v, want %+v", gr, wr)
+	}
+
+	pid := ps.Allocate()
+	wp := PropRecord{InUse: true, Key: 2, Kind: graph.KindInt, Payload: 531, Next: 0}
+	if err := ps.Put(pid, wp); err != nil {
+		t.Fatal(err)
+	}
+	gp, err := ps.Get(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp != wp {
+		t.Errorf("prop = %+v, want %+v", gp, wp)
+	}
+}
+
+func TestDynStoreShortString(t *testing.T) {
+	ds, err := OpenDynStore(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	id, err := ds.PutString("hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.GetString(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "hello" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestDynStoreEmptyAndLongStrings(t *testing.T) {
+	ds, err := OpenDynStore(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	// Empty string still allocates one block.
+	id, err := ds.PutString("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := ds.GetString(id); got != "" {
+		t.Errorf("empty round-trip = %q", got)
+	}
+	// A tweet-length string spans multiple blocks.
+	long := strings.Repeat("tweet text with #hashtags and @mentions ", 10)
+	id2, err := ds.PutString(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.GetString(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != long {
+		t.Errorf("long round-trip mismatch: %d vs %d bytes", len(got), len(long))
+	}
+}
+
+func TestDynStoreRoundTripProperty(t *testing.T) {
+	ds, err := OpenDynStore(t.TempDir(), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	rt := func(s string) bool {
+		id, err := ds.PutString(s)
+		if err != nil {
+			return false
+		}
+		got, err := ds.GetString(id)
+		return err == nil && got == s
+	}
+	if err := quick.Check(rt, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDynStoreFreeReusesBlocks(t *testing.T) {
+	ds, err := OpenDynStore(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	long := strings.Repeat("x", 200)
+	id, err := ds.PutString(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := ds.HighWater()
+	if err := ds.FreeString(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.PutString(long); err != nil {
+		t.Fatal(err)
+	}
+	if ds.HighWater() != hw {
+		t.Errorf("blocks not reused: highwater %d -> %d", hw, ds.HighWater())
+	}
+}
+
+func TestCoolSurvivesAndFaultsAfter(t *testing.T) {
+	f, err := OpenRecordFile(filepath.Join(t.TempDir(), "r.store"), 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	id := f.Allocate()
+	f.Update(id, func(rec []byte) { rec[0] = 7 })
+	if err := f.Cool(); err != nil {
+		t.Fatal(err)
+	}
+	before := f.CacheStats().Faults
+	var got byte
+	f.Read(id, func(rec []byte) { got = rec[0] })
+	if got != 7 {
+		t.Errorf("data lost across Cool: %d", got)
+	}
+	if f.CacheStats().Faults != before+1 {
+		t.Error("read after Cool did not fault")
+	}
+}
+
+func TestGroupRecordRoundTrip(t *testing.T) {
+	rt := func(typ uint32, next, out, in uint64) bool {
+		r := GroupRecord{InUse: true, Type: graph.TypeID(typ), Next: next,
+			FirstOut: graph.EdgeID(out), FirstIn: graph.EdgeID(in)}
+		buf := make([]byte, GroupRecordSize)
+		encodeGroup(buf, r)
+		return decodeGroup(buf) == r
+	}
+	if err := quick.Check(rt, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupStore(t *testing.T) {
+	gs, err := OpenGroupStore(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gs.Close()
+	id := gs.Allocate()
+	want := GroupRecord{InUse: true, Type: 2, Next: 9, FirstOut: 4, FirstIn: 5}
+	if err := gs.Put(id, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := gs.Get(id)
+	if err != nil || got != want {
+		t.Errorf("group = %+v, want %+v (%v)", got, want, err)
+	}
+}

@@ -1,0 +1,364 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+
+	"twigraph/internal/graph"
+)
+
+// Record sizes, chosen to mirror the compactness of Neo4j's store
+// format while keeping encodings byte-aligned.
+const (
+	NodeRecordSize = 32
+	RelRecordSize  = 64
+	PropRecordSize = 24
+	DynRecordSize  = 64
+
+	dynPayload = DynRecordSize - 10 // usable bytes per dynamic block
+)
+
+const (
+	flagInUse = 1
+	flagDense = 2
+)
+
+// NodeRecord is the decoded form of a node store record. For sparse
+// nodes FirstRel heads the node's single relationship chain; for dense
+// nodes (Dense set) it heads a chain of relationship-group records in
+// the group store, one per relationship type. FirstProp heads the
+// property chain. DegOut/DegIn cache the node's degree so degree
+// predicates (Q1.1) do not have to walk the chain.
+type NodeRecord struct {
+	InUse     bool
+	Dense     bool
+	Label     graph.TypeID
+	FirstRel  graph.EdgeID // rel id (sparse) or group id (dense)
+	FirstProp uint64
+	DegOut    uint32
+	DegIn     uint32
+}
+
+// RelRecord is the decoded form of a relationship store record. The four
+// chain pointers place the record in two doubly-linked lists: the chain
+// of Src's relationships and the chain of Dst's relationships — exactly
+// Neo4j's layout, which makes one traversal hop cost one record fetch.
+type RelRecord struct {
+	InUse     bool
+	Type      graph.TypeID
+	Src, Dst  graph.NodeID
+	SrcPrev   graph.EdgeID
+	SrcNext   graph.EdgeID
+	DstPrev   graph.EdgeID
+	DstNext   graph.EdgeID
+	FirstProp uint64
+}
+
+// PropRecord is the decoded form of a property store record: one
+// key/value pair in a singly-linked property chain. String payloads
+// larger than the inline slot live in the dynamic store, referenced by
+// block id.
+type PropRecord struct {
+	InUse   bool
+	Key     graph.AttrID
+	Kind    graph.Kind
+	Payload uint64 // int64 bits, float64 bits, bool, or dyn-store ref
+	Next    uint64
+}
+
+// NodeStore is a RecordFile of NodeRecords.
+type NodeStore struct{ *RecordFile }
+
+// RelStore is a RecordFile of RelRecords.
+type RelStore struct{ *RecordFile }
+
+// PropStore is a RecordFile of PropRecords.
+type PropStore struct{ *RecordFile }
+
+// DynStore is a RecordFile of chained dynamic blocks holding string
+// payloads, mirroring Neo4j's dynamic string store.
+type DynStore struct{ *RecordFile }
+
+// OpenNodeStore opens the node store file in dir.
+func OpenNodeStore(dir string, cachePages int) (NodeStore, error) {
+	f, err := OpenRecordFile(filepath.Join(dir, "nodes.store"), NodeRecordSize, cachePages)
+	return NodeStore{f}, err
+}
+
+// OpenRelStore opens the relationship store file in dir.
+func OpenRelStore(dir string, cachePages int) (RelStore, error) {
+	f, err := OpenRecordFile(filepath.Join(dir, "rels.store"), RelRecordSize, cachePages)
+	return RelStore{f}, err
+}
+
+// OpenPropStore opens the property store file in dir.
+func OpenPropStore(dir string, cachePages int) (PropStore, error) {
+	f, err := OpenRecordFile(filepath.Join(dir, "props.store"), PropRecordSize, cachePages)
+	return PropStore{f}, err
+}
+
+// OpenDynStore opens the dynamic string store file in dir.
+func OpenDynStore(dir string, cachePages int) (DynStore, error) {
+	f, err := OpenRecordFile(filepath.Join(dir, "strings.store"), DynRecordSize, cachePages)
+	return DynStore{f}, err
+}
+
+// ---------- node records ----------
+
+func encodeNode(rec []byte, r NodeRecord) {
+	rec[0] = 0
+	if r.InUse {
+		rec[0] |= flagInUse
+	}
+	if r.Dense {
+		rec[0] |= flagDense
+	}
+	binary.LittleEndian.PutUint32(rec[1:5], uint32(r.Label))
+	binary.LittleEndian.PutUint64(rec[5:13], uint64(r.FirstRel))
+	binary.LittleEndian.PutUint64(rec[13:21], r.FirstProp)
+	binary.LittleEndian.PutUint32(rec[21:25], r.DegOut)
+	binary.LittleEndian.PutUint32(rec[25:29], r.DegIn)
+}
+
+func decodeNode(rec []byte) NodeRecord {
+	return NodeRecord{
+		InUse:     rec[0]&flagInUse != 0,
+		Dense:     rec[0]&flagDense != 0,
+		Label:     graph.TypeID(binary.LittleEndian.Uint32(rec[1:5])),
+		FirstRel:  graph.EdgeID(binary.LittleEndian.Uint64(rec[5:13])),
+		FirstProp: binary.LittleEndian.Uint64(rec[13:21]),
+		DegOut:    binary.LittleEndian.Uint32(rec[21:25]),
+		DegIn:     binary.LittleEndian.Uint32(rec[25:29]),
+	}
+}
+
+// Get reads the node record with the given id.
+func (s NodeStore) Get(id graph.NodeID) (NodeRecord, error) {
+	var r NodeRecord
+	err := s.Read(uint64(id), func(rec []byte) { r = decodeNode(rec) })
+	return r, err
+}
+
+// Put writes the node record with the given id.
+func (s NodeStore) Put(id graph.NodeID, r NodeRecord) error {
+	return s.Update(uint64(id), func(rec []byte) { encodeNode(rec, r) })
+}
+
+// ---------- relationship records ----------
+
+func encodeRel(rec []byte, r RelRecord) {
+	rec[0] = 0
+	if r.InUse {
+		rec[0] = flagInUse
+	}
+	binary.LittleEndian.PutUint32(rec[1:5], uint32(r.Type))
+	binary.LittleEndian.PutUint64(rec[5:13], uint64(r.Src))
+	binary.LittleEndian.PutUint64(rec[13:21], uint64(r.Dst))
+	binary.LittleEndian.PutUint64(rec[21:29], uint64(r.SrcPrev))
+	binary.LittleEndian.PutUint64(rec[29:37], uint64(r.SrcNext))
+	binary.LittleEndian.PutUint64(rec[37:45], uint64(r.DstPrev))
+	binary.LittleEndian.PutUint64(rec[45:53], uint64(r.DstNext))
+	binary.LittleEndian.PutUint64(rec[53:61], r.FirstProp)
+}
+
+func decodeRel(rec []byte) RelRecord {
+	return RelRecord{
+		InUse:     rec[0]&flagInUse != 0,
+		Type:      graph.TypeID(binary.LittleEndian.Uint32(rec[1:5])),
+		Src:       graph.NodeID(binary.LittleEndian.Uint64(rec[5:13])),
+		Dst:       graph.NodeID(binary.LittleEndian.Uint64(rec[13:21])),
+		SrcPrev:   graph.EdgeID(binary.LittleEndian.Uint64(rec[21:29])),
+		SrcNext:   graph.EdgeID(binary.LittleEndian.Uint64(rec[29:37])),
+		DstPrev:   graph.EdgeID(binary.LittleEndian.Uint64(rec[37:45])),
+		DstNext:   graph.EdgeID(binary.LittleEndian.Uint64(rec[45:53])),
+		FirstProp: binary.LittleEndian.Uint64(rec[53:61]),
+	}
+}
+
+// Get reads the relationship record with the given id.
+func (s RelStore) Get(id graph.EdgeID) (RelRecord, error) {
+	var r RelRecord
+	err := s.Read(uint64(id), func(rec []byte) { r = decodeRel(rec) })
+	return r, err
+}
+
+// Put writes the relationship record with the given id.
+func (s RelStore) Put(id graph.EdgeID, r RelRecord) error {
+	return s.Update(uint64(id), func(rec []byte) { encodeRel(rec, r) })
+}
+
+// ---------- property records ----------
+
+func encodeProp(rec []byte, r PropRecord) {
+	rec[0] = 0
+	if r.InUse {
+		rec[0] = flagInUse
+	}
+	binary.LittleEndian.PutUint32(rec[1:5], uint32(r.Key))
+	rec[5] = byte(r.Kind)
+	binary.LittleEndian.PutUint64(rec[6:14], r.Payload)
+	binary.LittleEndian.PutUint64(rec[14:22], r.Next)
+}
+
+func decodeProp(rec []byte) PropRecord {
+	return PropRecord{
+		InUse:   rec[0]&flagInUse != 0,
+		Key:     graph.AttrID(binary.LittleEndian.Uint32(rec[1:5])),
+		Kind:    graph.Kind(rec[5]),
+		Payload: binary.LittleEndian.Uint64(rec[6:14]),
+		Next:    binary.LittleEndian.Uint64(rec[14:22]),
+	}
+}
+
+// Get reads the property record with the given id.
+func (s PropStore) Get(id uint64) (PropRecord, error) {
+	var r PropRecord
+	err := s.Read(id, func(rec []byte) { r = decodeProp(rec) })
+	return r, err
+}
+
+// Put writes the property record with the given id.
+func (s PropStore) Put(id uint64, r PropRecord) error {
+	return s.Update(id, func(rec []byte) { encodeProp(rec, r) })
+}
+
+// ---------- dynamic (string) records ----------
+
+// PutString stores s as a chain of dynamic blocks and returns the head
+// block id.
+func (s DynStore) PutString(str string) (uint64, error) {
+	data := []byte(str)
+	// Allocate blocks first so each block can point at its successor.
+	nBlocks := (len(data) + dynPayload - 1) / dynPayload
+	if nBlocks == 0 {
+		nBlocks = 1
+	}
+	ids := make([]uint64, nBlocks)
+	for i := range ids {
+		ids[i] = s.Allocate()
+	}
+	for i := 0; i < nBlocks; i++ {
+		chunk := data[i*dynPayload:]
+		if len(chunk) > dynPayload {
+			chunk = chunk[:dynPayload]
+		}
+		next := uint64(0)
+		if i+1 < nBlocks {
+			next = ids[i+1]
+		}
+		err := s.Update(ids[i], func(rec []byte) {
+			rec[0] = flagInUse
+			binary.LittleEndian.PutUint64(rec[1:9], next)
+			rec[9] = byte(len(chunk))
+			copy(rec[10:], chunk)
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return ids[0], nil
+}
+
+// GetString reads the string chain headed at id.
+func (s DynStore) GetString(id uint64) (string, error) {
+	var out []byte
+	for id != 0 {
+		var next uint64
+		err := s.Read(id, func(rec []byte) {
+			if rec[0]&flagInUse == 0 {
+				next = 0
+				return
+			}
+			next = binary.LittleEndian.Uint64(rec[1:9])
+			n := int(rec[9])
+			out = append(out, rec[10:10+n]...)
+		})
+		if err != nil {
+			return "", err
+		}
+		if next == id {
+			return "", fmt.Errorf("storage: dynamic chain cycle at block %d", id)
+		}
+		id = next
+	}
+	return string(out), nil
+}
+
+// FreeString releases the chain headed at id.
+func (s DynStore) FreeString(id uint64) error {
+	for id != 0 {
+		var next uint64
+		err := s.Update(id, func(rec []byte) {
+			next = binary.LittleEndian.Uint64(rec[1:9])
+			for i := range rec {
+				rec[i] = 0
+			}
+		})
+		if err != nil {
+			return err
+		}
+		s.Release(id)
+		id = next
+	}
+	return nil
+}
+
+// GroupRecordSize is the size of a relationship-group record.
+const GroupRecordSize = 32
+
+// GroupRecord is the decoded form of a relationship-group record — the
+// dense-node structure of Neo4j's store format. A node whose degree
+// crosses the dense threshold replaces its single relationship chain
+// with a chain of groups, one per relationship type, each heading
+// separate outgoing and incoming chains. Typed traversals from hubs
+// then skip every unrelated relationship record.
+type GroupRecord struct {
+	InUse    bool
+	Type     graph.TypeID
+	Next     uint64 // next group in the node's group chain
+	FirstOut graph.EdgeID
+	FirstIn  graph.EdgeID
+}
+
+// GroupStore is a RecordFile of GroupRecords.
+type GroupStore struct{ *RecordFile }
+
+// OpenGroupStore opens the relationship-group store file in dir.
+func OpenGroupStore(dir string, cachePages int) (GroupStore, error) {
+	f, err := OpenRecordFile(filepath.Join(dir, "groups.store"), GroupRecordSize, cachePages)
+	return GroupStore{f}, err
+}
+
+func encodeGroup(rec []byte, r GroupRecord) {
+	rec[0] = 0
+	if r.InUse {
+		rec[0] = flagInUse
+	}
+	binary.LittleEndian.PutUint32(rec[1:5], uint32(r.Type))
+	binary.LittleEndian.PutUint64(rec[5:13], r.Next)
+	binary.LittleEndian.PutUint64(rec[13:21], uint64(r.FirstOut))
+	binary.LittleEndian.PutUint64(rec[21:29], uint64(r.FirstIn))
+}
+
+func decodeGroup(rec []byte) GroupRecord {
+	return GroupRecord{
+		InUse:    rec[0]&flagInUse != 0,
+		Type:     graph.TypeID(binary.LittleEndian.Uint32(rec[1:5])),
+		Next:     binary.LittleEndian.Uint64(rec[5:13]),
+		FirstOut: graph.EdgeID(binary.LittleEndian.Uint64(rec[13:21])),
+		FirstIn:  graph.EdgeID(binary.LittleEndian.Uint64(rec[21:29])),
+	}
+}
+
+// Get reads the group record with the given id.
+func (s GroupStore) Get(id uint64) (GroupRecord, error) {
+	var r GroupRecord
+	err := s.Read(id, func(rec []byte) { r = decodeGroup(rec) })
+	return r, err
+}
+
+// Put writes the group record with the given id.
+func (s GroupStore) Put(id uint64, r GroupRecord) error {
+	return s.Update(id, func(rec []byte) { encodeGroup(rec, r) })
+}

@@ -1,0 +1,32 @@
+package twitter
+
+import (
+	"fmt"
+
+	"twigraph/internal/gen"
+)
+
+// Apply replays one live-stream event (gen.Stream) against a store's
+// transactional write path — the paper's §5 real-time update scenario.
+func Apply(s UpdateStore, ev gen.Event) error {
+	switch ev.Kind {
+	case gen.EventNewUser:
+		return s.AddUser(ev.UID, ev.ScreenName)
+	case gen.EventNewFollow:
+		return s.AddFollow(ev.UID, ev.TargetUID)
+	case gen.EventNewTweet:
+		return s.AddTweet(ev.UID, ev.TID, ev.Text, ev.Mentions, ev.Tags)
+	}
+	return fmt.Errorf("twitter: unknown event kind %v", ev.Kind)
+}
+
+// ApplyAll replays a batch of events, stopping at the first error. It
+// returns how many events were applied.
+func ApplyAll(s UpdateStore, evs []gen.Event) (int, error) {
+	for i, ev := range evs {
+		if err := Apply(s, ev); err != nil {
+			return i, fmt.Errorf("event %d (%v): %w", i, ev.Kind, err)
+		}
+	}
+	return len(evs), nil
+}

@@ -1,0 +1,77 @@
+package twitter_test
+
+import (
+	"reflect"
+	"testing"
+
+	"twigraph/internal/gen"
+	"twigraph/internal/twitter"
+)
+
+func TestStreamReplayKeepsEnginesInSync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two databases")
+	}
+	cfg := smallCfg()
+	cfg.Users = 120
+	neo, spark, sum := buildBoth(t, cfg)
+
+	// Replay the same live stream into both engines.
+	events := gen.NewStream(cfg, sum).Take(300)
+	for _, s := range []twitter.UpdateStore{neo, spark} {
+		n, err := twitter.ApplyAll(s, events)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if n != len(events) {
+			t.Fatalf("%s applied %d of %d", s.Name(), n, len(events))
+		}
+	}
+
+	// The engines still agree on the workload after 300 live updates.
+	for _, uid := range []int64{1, 5, 50, 119} {
+		a, err := neo.Followees(uid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := spark.Followees(uid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("uid %d followees diverged: %v vs %v", uid, a, b)
+		}
+		am, _ := neo.CoMentionedUsers(uid, 10)
+		bm, _ := spark.CoMentionedUsers(uid, 10)
+		if !countedEqual(am, bm) {
+			t.Fatalf("uid %d co-mentions diverged: %v vs %v", uid, am, bm)
+		}
+		ap, _ := neo.PotentialInfluence(uid, 10)
+		bp, _ := spark.PotentialInfluence(uid, 10)
+		if !countedEqual(ap, bp) {
+			t.Fatalf("uid %d influence diverged: %v vs %v", uid, ap, bp)
+		}
+	}
+
+	// New users from the stream are queryable.
+	var newUID int64
+	for _, ev := range events {
+		if ev.Kind == gen.EventNewUser {
+			newUID = ev.UID
+			break
+		}
+	}
+	if newUID != 0 {
+		a, _ := neo.Followees(newUID)
+		b, _ := spark.Followees(newUID)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("streamed user %d diverged: %v vs %v", newUID, a, b)
+		}
+	}
+}
+
+func TestApplyUnknownEvent(t *testing.T) {
+	if _, err := twitter.ApplyAll(nil, []gen.Event{{Kind: gen.EventKind(99)}}); err == nil {
+		t.Error("unknown event kind accepted")
+	}
+}

@@ -1,0 +1,190 @@
+// Package wal implements the redo-style write-ahead log behind the
+// Neo4j-analog engine's transactions. Committed transactions append
+// their logical changes here before the store files are mutated, so a
+// crash between commit and page flush is recoverable by replay.
+//
+// Each entry is framed as
+//
+//	length  uint32   payload length
+//	kind    uint8    caller-defined record type
+//	lsn     uint64   monotonically increasing sequence number
+//	crc     uint32   IEEE CRC-32 of kind, lsn and payload
+//	payload [length]byte
+//
+// Replay stops cleanly at the first torn or corrupt frame, which is the
+// standard redo-log recovery contract.
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+const frameHeader = 4 + 1 + 8 + 4
+
+// Log is an append-only write-ahead log. It is safe for concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	file    *os.File
+	nextLSN uint64
+	offset  int64 // append position
+	appends uint64
+	syncs   uint64
+}
+
+// Stats reports WAL activity counters.
+type Stats struct {
+	Appends uint64
+	Syncs   uint64
+	Bytes   int64
+}
+
+// Open opens or creates the log at path and positions the append cursor
+// after the last intact entry (truncating any trailing torn frame).
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{file: f, nextLSN: 1}
+	if err := l.recoverTail(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// recoverTail scans the log to find the end of the intact prefix, sets
+// the append offset and next LSN, and truncates any torn tail.
+func (l *Log) recoverTail() error {
+	off := int64(0)
+	err := l.scan(func(lsn uint64, kind uint8, payload []byte, end int64) error {
+		off = end
+		l.nextLSN = lsn + 1
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	l.offset = off
+	return l.file.Truncate(off)
+}
+
+// Append writes one entry and returns its LSN. The entry is buffered by
+// the OS; call Sync to force durability.
+func (l *Log) Append(kind uint8, payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsn := l.nextLSN
+	buf := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	buf[4] = kind
+	binary.LittleEndian.PutUint64(buf[5:13], lsn)
+	crc := crc32.NewIEEE()
+	crc.Write(buf[4:13])
+	crc.Write(payload)
+	binary.LittleEndian.PutUint32(buf[13:17], crc.Sum32())
+	copy(buf[frameHeader:], payload)
+	if _, err := l.file.WriteAt(buf, l.offset); err != nil {
+		return 0, err
+	}
+	l.offset += int64(len(buf))
+	l.nextLSN++
+	l.appends++
+	return lsn, nil
+}
+
+// Sync forces all appended entries to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.syncs++
+	return l.file.Sync()
+}
+
+// Replay invokes fn for every intact entry in order. It is typically
+// called once on startup before new appends.
+func (l *Log) Replay(fn func(lsn uint64, kind uint8, payload []byte) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.scan(func(lsn uint64, kind uint8, payload []byte, _ int64) error {
+		return fn(lsn, kind, payload)
+	})
+}
+
+// scan reads intact frames from the start, calling fn with each frame
+// and the offset just past it. Corrupt or torn frames end the scan
+// without error. Caller holds l.mu (or is Open-time single threaded).
+func (l *Log) scan(fn func(lsn uint64, kind uint8, payload []byte, end int64) error) error {
+	off := int64(0)
+	hdr := make([]byte, frameHeader)
+	for {
+		if _, err := l.file.ReadAt(hdr, off); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil
+			}
+			return err
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		if n > 1<<30 {
+			return nil // implausible length: torn frame
+		}
+		payload := make([]byte, n)
+		if _, err := l.file.ReadAt(payload, off+frameHeader); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil
+			}
+			return err
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(hdr[4:13])
+		crc.Write(payload)
+		if crc.Sum32() != binary.LittleEndian.Uint32(hdr[13:17]) {
+			return nil // corrupt frame ends the intact prefix
+		}
+		lsn := binary.LittleEndian.Uint64(hdr[5:13])
+		end := off + frameHeader + int64(n)
+		if err := fn(lsn, hdr[4], payload, end); err != nil {
+			return err
+		}
+		off = end
+	}
+}
+
+// Truncate discards the whole log after a checkpoint has made the store
+// files durable. LSNs keep increasing across truncation.
+func (l *Log) Truncate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.file.Truncate(0); err != nil {
+		return err
+	}
+	l.offset = 0
+	return l.file.Sync()
+}
+
+// Stats returns activity counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Appends: l.appends, Syncs: l.syncs, Bytes: l.offset}
+}
+
+// Close syncs and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file == nil {
+		return nil
+	}
+	if err := l.file.Sync(); err != nil {
+		l.file.Close()
+		return err
+	}
+	err := l.file.Close()
+	l.file = nil
+	return err
+}
