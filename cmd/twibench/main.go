@@ -21,6 +21,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
 	work := flag.String("work", "", "working directory (default: a temp dir)")
+	jsonPath := flag.String("json", "", "write a machine-readable snapshot (latency histograms + engine counters) to this path")
 	cfg := bench.DefaultConfig()
 	flag.IntVar(&cfg.Users, "users", cfg.Users, "dataset scale in users")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "dataset PRNG seed")
@@ -49,6 +50,7 @@ func main() {
 		if err := bench.RunAll(env, os.Stdout); err != nil {
 			fatal(err)
 		}
+		writeSnapshot(env, "all", *jsonPath)
 		return
 	}
 	ex, err := bench.Lookup(*exp)
@@ -59,6 +61,17 @@ func main() {
 	if err := ex.Run(env, os.Stdout); err != nil {
 		fatal(err)
 	}
+	writeSnapshot(env, ex.ID, *jsonPath)
+}
+
+func writeSnapshot(env *bench.Env, experiment, path string) {
+	if path == "" {
+		return
+	}
+	if err := bench.WriteSnapshot(path, env.Snapshot(experiment)); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nsnapshot written to %s\n", path)
 }
 
 func fatal(err error) {

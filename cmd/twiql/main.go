@@ -3,6 +3,11 @@
 // twiload (or let it bootstrap a demo dataset) and type queries;
 // prefix a query with PROFILE to see the plan, db hits and timing.
 //
+// Lines starting with ':' are shell commands rather than queries:
+// :stats dumps the engine's observability registry, :trace on|off
+// toggles span tracing (each traced query prints its span tree),
+// :slow shows the slow-query log, :reset zeroes the counters.
+//
 // Usage:
 //
 //	twiql -db dbs/neo
@@ -62,7 +67,8 @@ func main() {
 	defer db.Close()
 
 	engine := cypher.NewEngine(db)
-	fmt.Println(`twiql — type a query ending with ';', or \q to quit.`)
+	queryHist := db.Obs().Histogram("repl_query")
+	fmt.Println(`twiql — type a query ending with ';', :help for shell commands, \q to quit.`)
 	fmt.Println(`example: MATCH (u:user {uid: 1})-[:follows]->(f) RETURN f.uid LIMIT 5;`)
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -74,6 +80,11 @@ func main() {
 		if strings.TrimSpace(line) == `\q` {
 			return
 		}
+		if pending.Len() == 0 && strings.HasPrefix(strings.TrimSpace(line), ":") {
+			runMeta(os.Stdout, db, strings.TrimSpace(line))
+			fmt.Print("twiql> ")
+			continue
+		}
 		pending.WriteString(line)
 		pending.WriteByte('\n')
 		if !strings.Contains(line, ";") {
@@ -83,18 +94,67 @@ func main() {
 		query := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(pending.String()), ";"))
 		pending.Reset()
 		if query != "" {
-			runQuery(os.Stdout, engine, query)
+			if d := runQuery(os.Stdout, engine, query); d > 0 {
+				queryHist.Observe(int64(d))
+			}
+			if db.Tracer().Enabled() {
+				if log := db.Tracer().SlowLog(); len(log) > 0 {
+					fmt.Print(log[len(log)-1].Format())
+				}
+			}
 		}
 		fmt.Print("twiql> ")
 	}
 }
 
-func runQuery(w io.Writer, engine *cypher.Engine, query string) {
+// runMeta executes a ':'-prefixed shell command.
+func runMeta(w io.Writer, db *neodb.DB, line string) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ":help":
+		fmt.Fprintln(w, "  :stats          dump the engine's counters, gauges and histograms")
+		fmt.Fprintln(w, "  :trace on|off   toggle span tracing (traced queries print their span tree)")
+		fmt.Fprintln(w, "  :slow           show the slow-query log (most recent last)")
+		fmt.Fprintln(w, "  :reset          zero all counters and histograms")
+		fmt.Fprintln(w, `  \q              quit`)
+	case ":stats":
+		fmt.Fprint(w, db.Obs().Snapshot().Format())
+	case ":trace":
+		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
+			fmt.Fprintln(w, "usage: :trace on|off")
+			return
+		}
+		on := fields[1] == "on"
+		db.Tracer().SetEnabled(on)
+		if on {
+			// Capture every query while interactive tracing is on.
+			db.Tracer().SetSlowThreshold(0)
+		}
+		fmt.Fprintln(w, "tracing", fields[1])
+	case ":slow":
+		log := db.Tracer().SlowLog()
+		if len(log) == 0 {
+			fmt.Fprintln(w, "slow-query log is empty (enable with :trace on)")
+			return
+		}
+		for _, snap := range log {
+			fmt.Fprint(w, snap.Format())
+		}
+	case ":reset":
+		db.ResetCounters()
+		db.Tracer().ClearSlowLog()
+		fmt.Fprintln(w, "counters reset")
+	default:
+		fmt.Fprintf(w, "unknown command %s (try :help)\n", fields[0])
+	}
+}
+
+func runQuery(w io.Writer, engine *cypher.Engine, query string) time.Duration {
 	start := time.Now()
 	res, err := engine.Query(query, nil)
 	if err != nil {
 		fmt.Fprintln(w, "error:", err)
-		return
+		return 0
 	}
 	elapsed := time.Since(start)
 
@@ -120,6 +180,7 @@ func runQuery(w io.Writer, engine *cypher.Engine, query string) {
 				st.Name, st.Rows, st.DBHits, st.Elapsed, strings.Join(st.Ops, " -> "))
 		}
 	}
+	return elapsed
 }
 
 func fatal(err error) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 
@@ -64,6 +65,63 @@ func TestRunQueryPrintsErrors(t *testing.T) {
 	runQuery(&buf, e, `THIS IS NOT CYPHER`)
 	if !strings.Contains(buf.String(), "error:") {
 		t.Errorf("output = %q", buf.String())
+	}
+}
+
+func TestMetaCommands(t *testing.T) {
+	db, err := neodb.Open(t.TempDir(), neodb.Config{CachePages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	user := db.Label("user")
+	tx := db.Begin()
+	for i := 1; i <= 5; i++ {
+		tx.CreateNode(user, graph.Properties{"uid": graph.IntValue(int64(i))})
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	e := cypher.NewEngine(db)
+
+	var buf bytes.Buffer
+	runMeta(&buf, db, ":trace on")
+	if !db.Tracer().Enabled() {
+		t.Fatal(":trace on did not enable the tracer")
+	}
+	runQuery(io.Discard, e, `MATCH (u:user) RETURN count(*)`)
+
+	buf.Reset()
+	runMeta(&buf, db, ":slow")
+	if !strings.Contains(buf.String(), "cypher:") {
+		t.Errorf(":slow after a traced query = %q", buf.String())
+	}
+
+	buf.Reset()
+	runMeta(&buf, db, ":stats")
+	if !strings.Contains(buf.String(), "record_fetches") {
+		t.Errorf(":stats missing core counters: %q", buf.String())
+	}
+
+	buf.Reset()
+	runMeta(&buf, db, ":reset")
+	if db.RecordFetches() != 0 {
+		t.Errorf("record fetches after :reset = %d", db.RecordFetches())
+	}
+	if len(db.Tracer().SlowLog()) != 0 {
+		t.Error(":reset did not clear the slow log")
+	}
+
+	buf.Reset()
+	runMeta(&buf, db, ":bogus")
+	if !strings.Contains(buf.String(), "unknown command") {
+		t.Errorf("bogus command output = %q", buf.String())
+	}
+
+	buf.Reset()
+	runMeta(&buf, db, ":trace off")
+	if db.Tracer().Enabled() {
+		t.Fatal(":trace off left the tracer enabled")
 	}
 }
 

@@ -15,10 +15,12 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"twigraph/internal/gen"
 	"twigraph/internal/load"
 	"twigraph/internal/neodb"
+	"twigraph/internal/obs"
 	"twigraph/internal/sparkdb"
 	"twigraph/internal/twitter"
 )
@@ -30,6 +32,11 @@ import (
 type Env struct {
 	Cfg     gen.Config
 	WorkDir string
+
+	// Reg collects the harness's own measurements: one latency histogram
+	// per experiment/engine series ("fig4a/neo", "coldcache/cold", ...).
+	// Engine-internal counters live in each engine's own registry.
+	Reg *obs.Registry
 
 	genOnce sync.Once
 	genErr  error
@@ -51,7 +58,29 @@ type Env struct {
 // NewEnv creates an environment; workDir receives the CSVs and store
 // files.
 func NewEnv(cfg gen.Config, workDir string) *Env {
-	return &Env{Cfg: cfg, WorkDir: workDir}
+	return &Env{Cfg: cfg, WorkDir: workDir, Reg: obs.NewRegistry()}
+}
+
+// Hist returns the named harness latency histogram, creating it on
+// first use.
+func (e *Env) Hist(name string) *obs.Histogram { return e.Reg.Histogram(name) }
+
+// timeInto runs f, records its wall time into h (nil h skips
+// recording), and returns the elapsed duration. Every timed section of
+// the harness funnels through here so each experiment series
+// accumulates a full latency distribution, not just the printed
+// average.
+func timeInto(h *obs.Histogram, f func() error) (time.Duration, error) {
+	start := time.Now()
+	err := f()
+	d := time.Since(start)
+	if err != nil {
+		return 0, err
+	}
+	if h != nil {
+		h.Observe(int64(d))
+	}
+	return d, nil
 }
 
 // DefaultConfig is the experiment-scale dataset: big enough for the

@@ -10,6 +10,7 @@ import (
 	"twigraph/internal/graph"
 	"twigraph/internal/load"
 	"twigraph/internal/neodb"
+	"twigraph/internal/obs"
 	"twigraph/internal/sparkdb"
 	"twigraph/internal/twitter"
 )
@@ -27,19 +28,20 @@ func medianDuration(ds []time.Duration) time.Duration {
 // interleavedMedians times two variants in alternating rounds and
 // returns each variant's median round time — robust against the cache
 // and GC noise of neighbouring experiments in a full twibench run.
-func interleavedMedians(rounds int, a, b func() error) (time.Duration, time.Duration, error) {
+// Round times are recorded into ha and hb (nil skips recording).
+func interleavedMedians(rounds int, ha, hb *obs.Histogram, a, b func() error) (time.Duration, time.Duration, error) {
 	var as, bs []time.Duration
 	for r := 0; r < rounds; r++ {
-		start := time.Now()
-		if err := a(); err != nil {
+		da, err := timeInto(ha, a)
+		if err != nil {
 			return 0, 0, err
 		}
-		as = append(as, time.Since(start))
-		start = time.Now()
-		if err := b(); err != nil {
+		as = append(as, da)
+		db, err := timeInto(hb, b)
+		if err != nil {
 			return 0, 0, err
 		}
-		bs = append(bs, time.Since(start))
+		bs = append(bs, db)
 	}
 	return medianDuration(as), medianDuration(bs), nil
 }
@@ -72,11 +74,14 @@ func runPhrasings(e *Env, w io.Writer) error {
 			if _, err := neo.RecommendFolloweesMethod(m.key, uid, 10); err != nil {
 				return err
 			}
-			start := time.Now()
-			if _, err := neo.RecommendFolloweesMethod(m.key, uid, 10); err != nil {
+			d, err := timeInto(e.Hist("phrasings/"+m.key), func() error {
+				_, err := neo.RecommendFolloweesMethod(m.key, uid, 10)
+				return err
+			})
+			if err != nil {
 				return err
 			}
-			total += time.Since(start)
+			total += d
 		}
 		t.rowf(m.key, m.desc,
 			fmt.Sprintf("%.2f", float64(total.Microseconds())/1000),
@@ -123,7 +128,8 @@ func runPlanCache(e *Env, w io.Writer) error {
 	if _, err := engine.Query(q, p); err != nil {
 		return err
 	}
-	on, off, err := interleavedMedians(7, sweep(true), sweep(false))
+	on, off, err := interleavedMedians(7,
+		e.Hist("plancache/on"), e.Hist("plancache/off"), sweep(true), sweep(false))
 	if err != nil {
 		return err
 	}
@@ -180,7 +186,8 @@ func runTopN(e *Env, w io.Writer) error {
 	if err := sweep(runQ(full))(); err != nil {
 		return err
 	}
-	fullT, bareT, err := interleavedMedians(9, sweep(runQ(full)), sweep(runQ(bare)))
+	fullT, bareT, err := interleavedMedians(9,
+		e.Hist("topn/full"), e.Hist("topn/bare"), sweep(runQ(full)), sweep(runQ(bare)))
 	if err != nil {
 		return err
 	}
@@ -193,11 +200,11 @@ func runTopN(e *Env, w io.Writer) error {
 	}
 	var sparkRounds []time.Duration
 	for r := 0; r < 9; r++ {
-		start := time.Now()
-		if err := sparkSweep(); err != nil {
+		d, err := timeInto(e.Hist("topn/sparksee"), sparkSweep)
+		if err != nil {
 			return err
 		}
-		sparkRounds = append(sparkRounds, time.Since(start))
+		sparkRounds = append(sparkRounds, d)
 	}
 	sparkT := medianDuration(sparkRounds)
 	t := newTable(w, "variant", "median round (20 queries)", "avg_ms")
@@ -240,31 +247,43 @@ func runColdCache(e *Env, w io.Writer) error {
 			lowRows, lowUID = len(rows), uid
 		}
 	}
-	t := newTable(w, "2-step neighbourhood", "median cold first run", "warm avg (10 runs)", "cold/warm")
+	t := newTable(w, "2-step neighbourhood", "median cold first run", "warm avg (10 runs)", "cold/warm", "cold faults", "warm faults")
 	for _, uid := range []int64{lowUID, highUID} {
 		// Median of five cold first-runs (each behind a full cache
-		// eviction) against the mean of ten warm runs.
+		// eviction) against the mean of ten warm runs. Counters reset
+		// between the two phases so each fault count attributes to its
+		// own phase, not to whatever ran before.
+		neo.ResetCounters()
 		var colds []time.Duration
 		for r := 0; r < 5; r++ {
 			if err := neo.DB().CoolCaches(); err != nil {
 				return err
 			}
-			start := time.Now()
-			if _, err := neo.TweetsOfFollowees(uid); err != nil {
+			d, err := timeInto(e.Hist("coldcache/cold"), func() error {
+				_, err := neo.TweetsOfFollowees(uid)
+				return err
+			})
+			if err != nil {
 				return err
 			}
-			colds = append(colds, time.Since(start))
+			colds = append(colds, d)
 		}
 		cold := medianDuration(colds)
+		coldFaults := neo.DB().PageFaults()
+		neo.ResetCounters()
 		var warm time.Duration
 		for i := 0; i < 10; i++ {
-			start := time.Now()
-			if _, err := neo.TweetsOfFollowees(uid); err != nil {
+			d, err := timeInto(e.Hist("coldcache/warm"), func() error {
+				_, err := neo.TweetsOfFollowees(uid)
+				return err
+			})
+			if err != nil {
 				return err
 			}
-			warm += time.Since(start)
+			warm += d
 		}
 		warm /= 10
+		warmFaults := neo.DB().PageFaults()
 		ratio := "inf"
 		if warm > 0 {
 			ratio = fmt.Sprintf("%.1fx", float64(cold)/float64(warm))
@@ -273,7 +292,7 @@ func runColdCache(e *Env, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		t.rowf(fmt.Sprintf("%d tweets loaded", len(rows)), cold, warm, ratio)
+		t.rowf(fmt.Sprintf("%d tweets loaded", len(rows)), cold, warm, ratio, coldFaults, warmFaults)
 	}
 	fmt.Fprintln(w, "\nPaper shape: first runs pay page faults even for small neighbourhoods;")
 	fmt.Fprintln(w, "the absolute warm-up cost grows with how much of the graph the source's")
@@ -295,22 +314,22 @@ func runNavVsTraversal(e *Env, w io.Writer) error {
 	}
 	users := e.sampleUsers(20, outDeg)
 	variants := []struct {
-		name string
-		run  func(uid int64) error
+		key, name string
+		run       func(uid int64) error
 	}{
-		{"neo: declarative (Cypher method b)", func(uid int64) error {
+		{"neo-cypher", "neo: declarative (Cypher method b)", func(uid int64) error {
 			_, err := neo.RecommendFollowees(uid, 10)
 			return err
 		}},
-		{"neo: traversal framework", func(uid int64) error {
+		{"neo-traversal", "neo: traversal framework", func(uid int64) error {
 			_, err := neo.RecommendFolloweesTraversal(uid, 10)
 			return err
 		}},
-		{"sparksee: raw Neighbors calls", func(uid int64) error {
+		{"sparksee-nav", "sparksee: raw Neighbors calls", func(uid int64) error {
 			_, err := spark.RecommendFollowees(uid, 10)
 			return err
 		}},
-		{"sparksee: Traversal class", func(uid int64) error {
+		{"sparksee-traversal", "sparksee: Traversal class", func(uid int64) error {
 			_, err := spark.RecommendFolloweesTraversal(uid, 10)
 			return err
 		}},
@@ -322,13 +341,17 @@ func runNavVsTraversal(e *Env, w io.Writer) error {
 				return err
 			}
 		}
-		start := time.Now()
-		for _, uid := range users {
-			if err := v.run(uid); err != nil {
-				return err
+		total, err := timeInto(e.Hist("navtrav/"+v.key), func() error {
+			for _, uid := range users {
+				if err := v.run(uid); err != nil {
+					return err
+				}
 			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
-		total := time.Since(start)
 		t.rowf(v.name, total, fmt.Sprintf("%.3f", float64(total.Microseconds())/float64(len(users))/1000))
 	}
 	return nil
@@ -342,12 +365,15 @@ func runDerived(e *Env, w io.Writer) error {
 	}
 	t := newTable(w, "engine", "experts", "top expert uid", "distance", "elapsed_ms")
 	for _, s := range []twitter.Store{neo, spark} {
-		start := time.Now()
-		experts, err := twitter.TopicExperts(s, 1, "topic1", 10)
+		var experts []twitter.TopicExpert
+		elapsed, err := timeInto(e.Hist("derived/"+s.Name()), func() error {
+			var err error
+			experts, err = twitter.TopicExperts(s, 1, "topic1", 10)
+			return err
+		})
 		if err != nil {
 			return err
 		}
-		elapsed := time.Since(start)
 		top, dist := int64(0), 0
 		if len(experts) > 0 {
 			top, dist = experts[0].UID, experts[0].Distance
@@ -385,21 +411,25 @@ func runUpdates(e *Env, w io.Writer) error {
 	const updates = 500
 	t := newTable(w, "engine", "mixed updates", "elapsed", "updates/sec")
 	for _, s := range []twitter.UpdateStore{neoRes.Store, sparkRes.Store} {
-		start := time.Now()
-		for i := 0; i < updates; i++ {
-			uid := int64(10_000 + i)
-			if err := s.AddUser(uid, fmt.Sprintf("new%d", i)); err != nil {
-				return err
+		elapsed, err := timeInto(e.Hist("updates/"+s.Name()), func() error {
+			for i := 0; i < updates; i++ {
+				uid := int64(10_000 + i)
+				if err := s.AddUser(uid, fmt.Sprintf("new%d", i)); err != nil {
+					return err
+				}
+				if err := s.AddFollow(uid, int64(i%cfg.Users)+1); err != nil {
+					return err
+				}
+				if err := s.AddTweet(uid, 100_000+int64(i), "fresh tweet #topic1",
+					[]int64{int64(i%cfg.Users) + 1}, []string{"topic1"}); err != nil {
+					return err
+				}
 			}
-			if err := s.AddFollow(uid, int64(i%cfg.Users)+1); err != nil {
-				return err
-			}
-			if err := s.AddTweet(uid, 100_000+int64(i), "fresh tweet #topic1",
-				[]int64{int64(i%cfg.Users) + 1}, []string{"topic1"}); err != nil {
-				return err
-			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
-		elapsed := time.Since(start)
 		rate := float64(3*updates) / elapsed.Seconds()
 		t.rowf(s.Name(), 3*updates, elapsed, fmt.Sprintf("%.0f", rate))
 	}

@@ -67,7 +67,7 @@ func runDenseNodes(e *Env, w io.Writer) error {
 	}
 	hubs := e.sampleUsers(10, totalDeg)[:5]
 
-	measure := func(s *twitter.NeoStore, cold bool) (time.Duration, uint64, uint64, error) {
+	measure := func(key string, s *twitter.NeoStore, cold bool) (time.Duration, uint64, uint64, error) {
 		var rounds []time.Duration
 		var hits, faults uint64
 		for r := 0; r < 5; r++ {
@@ -82,39 +82,44 @@ func runDenseNodes(e *Env, w io.Writer) error {
 					}
 				}
 			}
-			hitsBefore := s.DB().DBHits()
-			faultsBefore := s.DB().CacheFaults()
-			start := time.Now()
-			for k := 0; k < 20; k++ {
-				for _, uid := range hubs {
-					// Typed 1-hop from a hub that also has many
-					// mention edges: exactly where groups skip
-					// unrelated records.
-					if _, err := s.Followees(uid); err != nil {
-						return 0, 0, 0, err
+			hitsBefore := s.DB().RecordFetches()
+			faultsBefore := s.DB().PageFaults()
+			d, err := timeInto(e.Hist("densenodes/"+key), func() error {
+				for k := 0; k < 20; k++ {
+					for _, uid := range hubs {
+						// Typed 1-hop from a hub that also has many
+						// mention edges: exactly where groups skip
+						// unrelated records.
+						if _, err := s.Followees(uid); err != nil {
+							return err
+						}
 					}
 				}
+				return nil
+			})
+			if err != nil {
+				return 0, 0, 0, err
 			}
-			rounds = append(rounds, time.Since(start))
-			hits = s.DB().DBHits() - hitsBefore
-			faults = s.DB().CacheFaults() - faultsBefore
+			rounds = append(rounds, d)
+			hits = s.DB().RecordFetches() - hitsBefore
+			faults = s.DB().PageFaults() - faultsBefore
 		}
 		return medianDuration(rounds), hits, faults, nil
 	}
 	t := newTable(w, "engine", "cache", "median 100 hub traversals", "db hits", "page faults")
 	for _, v := range []struct {
-		name  string
-		store *twitter.NeoStore
+		key, name string
+		store     *twitter.NeoStore
 	}{
-		{"relationship groups (dense threshold 50)", grouped},
-		{"single mixed chains (groups disabled)", flat},
+		{"grouped", "relationship groups (dense threshold 50)", grouped},
+		{"flat", "single mixed chains (groups disabled)", flat},
 	} {
 		for _, cold := range []bool{true, false} {
 			label := "warm"
 			if cold {
 				label = "cold"
 			}
-			elapsed, hits, faults, err := measure(v.store, cold)
+			elapsed, hits, faults, err := measure(v.key+"-"+label, v.store, cold)
 			if err != nil {
 				return err
 			}

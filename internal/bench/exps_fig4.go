@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"twigraph/internal/obs"
 	"twigraph/internal/twitter"
 )
 
@@ -25,17 +26,23 @@ type point struct {
 }
 
 // measureAvg warms the query once, then averages figRuns executions.
-func measureAvg(run func() (int, error)) (rows int, avg time.Duration, err error) {
+// Each timed run is also recorded into h, so the series' full latency
+// distribution (p50/p95/p99) lands in the harness registry.
+func measureAvg(h *obs.Histogram, run func() (int, error)) (rows int, avg time.Duration, err error) {
 	if rows, err = run(); err != nil { // warm-up
 		return 0, 0, err
 	}
 	var total time.Duration
 	for i := 0; i < figRuns; i++ {
-		start := time.Now()
-		if rows, err = run(); err != nil {
+		d, err := timeInto(h, func() error {
+			var rerr error
+			rows, rerr = run()
+			return rerr
+		})
+		if err != nil {
 			return 0, 0, err
 		}
-		total += time.Since(start)
+		total += d
 	}
 	return rows, total / figRuns, nil
 }
@@ -116,7 +123,7 @@ func runFig4Q31(e *Env, w io.Writer) error {
 		uid := uid
 		for _, s := range []twitter.Store{neo, spark} {
 			s := s
-			rows, avg, err := measureAvg(func() (int, error) {
+			rows, avg, err := measureAvg(e.Hist("fig4a/"+s.Name()), func() (int, error) {
 				r, err := s.CoMentionedUsers(uid, unbounded)
 				return len(r), err
 			})
@@ -147,7 +154,7 @@ func runFig4Q41(e *Env, w io.Writer) error {
 		uid := uid
 		for _, s := range []twitter.Store{neo, spark} {
 			s := s
-			rows, avg, err := measureAvg(func() (int, error) {
+			rows, avg, err := measureAvg(e.Hist("fig4c/"+s.Name()), func() (int, error) {
 				r, err := s.RecommendFollowees(uid, unbounded)
 				return len(r), err
 			})
@@ -180,7 +187,7 @@ func runFig4Q52(e *Env, w io.Writer) error {
 		uid := uid
 		for _, s := range []twitter.Store{neo, spark} {
 			s := s
-			_, avg, err := measureAvg(func() (int, error) {
+			_, avg, err := measureAvg(e.Hist("fig4e/"+s.Name()), func() (int, error) {
 				r, err := s.PotentialInfluence(uid, unbounded)
 				return len(r), err
 			})
@@ -241,7 +248,7 @@ func runFig4Q61(e *Env, w io.Writer) error {
 	for _, sm := range samples {
 		for _, s := range []twitter.Store{neo, spark} {
 			s, sm := s, sm
-			_, avg, err := measureAvg(func() (int, error) {
+			_, avg, err := measureAvg(e.Hist("fig4g/"+s.Name()), func() (int, error) {
 				_, _, err := s.ShortestPathLength(sm.a, sm.b, 3)
 				return 0, err
 			})

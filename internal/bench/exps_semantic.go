@@ -56,7 +56,7 @@ func runSemantic(e *Env, w io.Writer) error {
 	for i := 0; i < 30; i++ {
 		users = append(users, int64(i*(e.Cfg.Users/30))+1)
 	}
-	measure := func(s *twitter.NeoStore) (time.Duration, uint64, error) {
+	measure := func(key string, s *twitter.NeoStore) (time.Duration, uint64, error) {
 		var rounds []time.Duration
 		var faults uint64
 		for r := 0; r < 5; r++ {
@@ -64,26 +64,31 @@ func runSemantic(e *Env, w io.Writer) error {
 				return 0, 0, err
 			}
 			faultsBefore := cacheFaults(s)
-			start := time.Now()
-			for _, uid := range users {
-				if _, err := s.TweetsOfFollowees(uid); err != nil {
-					return 0, 0, err
+			d, err := timeInto(e.Hist("semantic/"+key), func() error {
+				for _, uid := range users {
+					if _, err := s.TweetsOfFollowees(uid); err != nil {
+						return err
+					}
 				}
+				return nil
+			})
+			if err != nil {
+				return 0, 0, err
 			}
-			rounds = append(rounds, time.Since(start))
+			rounds = append(rounds, d)
 			faults = cacheFaults(s) - faultsBefore
 		}
 		return medianDuration(rounds), faults, nil
 	}
 	t := newTable(w, "layout", "median cold sweep (30 users)", "page faults")
 	for _, v := range []struct {
-		name  string
-		store *twitter.NeoStore
+		key, name string
+		store     *twitter.NeoStore
 	}{
-		{"type-partitioned (semantic-aware)", partitioned},
-		{"interleaved (type-blind)", blind},
+		{"partitioned", "type-partitioned (semantic-aware)", partitioned},
+		{"interleaved", "interleaved (type-blind)", blind},
 	} {
-		elapsed, faults, err := measure(v.store)
+		elapsed, faults, err := measure(v.key, v.store)
 		if err != nil {
 			return err
 		}
@@ -102,5 +107,5 @@ func runSemantic(e *Env, w io.Writer) error {
 func cacheFaults(s *twitter.NeoStore) uint64 {
 	// The relationship store dominates traversal faults; node and
 	// property stores are identical across layouts.
-	return s.DB().CacheFaults()
+	return s.DB().PageFaults()
 }

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+
+	"twigraph/internal/obs"
+)
+
+// SnapshotSchema versions the machine-readable snapshot layout.
+const SnapshotSchema = "twigraph-bench/v1"
+
+// Snapshot is the machine-readable result of a bench session: the
+// harness's own latency histograms (per experiment/engine series, with
+// p50/p95/p99) plus a full dump of each built engine's observability
+// registry — page-cache, record-fetch, WAL, transaction and navigation
+// counters. Snapshots from different commits diff cleanly, which is
+// what makes them useful as checked-in regression baselines.
+type Snapshot struct {
+	Schema     string `json:"schema"`
+	Experiment string `json:"experiment"`
+	Users      int    `json:"users"`
+	Seed       int64  `json:"seed"`
+
+	// Engines maps engine name ("neo", "sparksee") to its registry
+	// dump. An engine absent from the map was never built during the
+	// session (not all experiments touch both).
+	Engines map[string]obs.Snapshot `json:"engines"`
+
+	// Bench holds the harness histograms keyed "experiment/series",
+	// e.g. "fig4a/neo" or "coldcache/cold".
+	Bench obs.Snapshot `json:"bench"`
+}
+
+// Snapshot captures the current observability state of the session.
+func (e *Env) Snapshot(experiment string) Snapshot {
+	s := Snapshot{
+		Schema:     SnapshotSchema,
+		Experiment: experiment,
+		Users:      e.Cfg.Users,
+		Seed:       e.Cfg.Seed,
+		Engines:    map[string]obs.Snapshot{},
+		Bench:      e.Reg.Snapshot(),
+	}
+	if e.neoRes != nil && e.neoErr == nil {
+		s.Engines[e.neoRes.Store.Name()] = e.neoRes.Store.Obs().Snapshot()
+	}
+	if e.sparkRes != nil && e.sparkErr == nil {
+		s.Engines[e.sparkRes.Store.Name()] = e.sparkRes.Store.Obs().Snapshot()
+	}
+	return s
+}
+
+// WriteSnapshot marshals s as indented JSON to path.
+func WriteSnapshot(path string, s Snapshot) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

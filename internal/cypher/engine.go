@@ -6,6 +6,7 @@ import (
 
 	"twigraph/internal/graph"
 	"twigraph/internal/neodb"
+	"twigraph/internal/obs"
 )
 
 // Engine executes queries against a neodb database. It owns the plan
@@ -138,38 +139,59 @@ func (e *Engine) execute(prep *Prepared, params map[string]graph.Value, cached b
 		prof = &ProfileInfo{PlanCached: cached, Compile: compileTime}
 	}
 
+	// PROFILE and tracing share one mechanism: a root span for the query
+	// with one child span per pipeline stage. Stage db hits are the
+	// span's watched record-fetch delta, so the profiler reports exactly
+	// what the engine registry counted. When the tracer is enabled the
+	// root span also feeds the slow-query log.
+	tr := e.db.Tracer()
+	traced := prof != nil || tr.Enabled()
+	var root *obs.Span
+	if traced {
+		root = tr.Start("cypher: " + prep.text)
+	}
+
 	rows := []row{{}}
 	execStart := time.Now()
 	for _, st := range prep.stages {
-		var stageStart time.Time
-		var hitsBefore uint64
-		if prof != nil {
-			stageStart = time.Now()
-			hitsBefore = e.db.DBHits()
+		var span *obs.Span
+		if traced {
+			span = tr.Start(st.name())
 		}
 		var err error
 		rows, err = st.run(ec, rows)
+		if span != nil {
+			span.Finish()
+		}
 		if err != nil {
+			if root != nil {
+				root.Finish()
+			}
 			return nil, err
 		}
 		if prof != nil {
 			sp := StageProfile{
 				Name:    st.name(),
 				Rows:    len(rows),
-				DBHits:  e.db.DBHits() - hitsBefore,
-				Elapsed: time.Since(stageStart),
+				DBHits:  span.Delta(obs.CRecordFetches),
+				Elapsed: span.Duration(),
 			}
 			if ms, ok := st.(*matchStage); ok {
 				for _, s := range ms.steps {
 					sp.Ops = append(sp.Ops, s.describe())
 				}
 			}
-			prof.TotalDBHits += sp.DBHits
 			prof.Stages = append(prof.Stages, sp)
 		}
 	}
 	for _, r := range rows {
 		res.Rows = append(res.Rows, []any(r))
+	}
+	if root != nil {
+		root.Finish()
+		if prof != nil {
+			prof.TotalDBHits = root.Delta(obs.CRecordFetches)
+		}
 	}
 	if prof != nil {
 		prof.Execute = time.Since(execStart)

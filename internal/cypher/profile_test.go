@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"twigraph/internal/graph"
+	"twigraph/internal/obs"
 )
 
 // TestProfileGuidesRephrasing reproduces the paper's methodology: "We
@@ -99,5 +100,57 @@ func TestParameterTypesInSeek(t *testing.T) {
 		map[string]graph.Value{"name": graph.StringValue("eve")})
 	if len(res.Rows) != 1 || intCell(t, res.Rows[0][0]) != 5 {
 		t.Errorf("string param = %v", res.Rows)
+	}
+}
+
+// TestProfileHitsMatchRegistry pins the profiler to the observability
+// registry: PROFILE's TotalDBHits must equal the delta of the engine's
+// record_fetches counter across the query, and the per-stage hits must
+// sum to the total — both now come from the same span machinery.
+func TestProfileHitsMatchRegistry(t *testing.T) {
+	e, _ := newTestEngine(t)
+	fetches := e.DB().Obs().Counter(obs.CRecordFetches)
+	before := fetches.Load()
+	res := mustQuery(t, e,
+		`PROFILE MATCH (u:user)-[:follows]->(v:user) RETURN count(*)`, nil)
+	delta := fetches.Load() - before
+	p := res.Profile
+	if p == nil {
+		t.Fatal("no profile")
+	}
+	if p.TotalDBHits == 0 {
+		t.Fatal("zero db hits for a traversal")
+	}
+	if p.TotalDBHits != delta {
+		t.Errorf("TotalDBHits = %d, registry record-fetch delta = %d", p.TotalDBHits, delta)
+	}
+	var sum uint64
+	for _, st := range p.Stages {
+		sum += st.DBHits
+	}
+	if sum != p.TotalDBHits {
+		t.Errorf("stage hits sum %d != total %d", sum, p.TotalDBHits)
+	}
+}
+
+// TestTracerSlowLogCapturesQuery verifies that an enabled tracer records
+// finished query spans (stage children included) in the slow log.
+func TestTracerSlowLogCapturesQuery(t *testing.T) {
+	e, _ := newTestEngine(t)
+	tr := e.DB().Tracer()
+	tr.SetEnabled(true)
+	tr.SetSlowThreshold(0) // record everything
+	defer tr.SetEnabled(false)
+	mustQuery(t, e, `MATCH (u:user) RETURN count(*)`, nil)
+	log := tr.SlowLog()
+	if len(log) == 0 {
+		t.Fatal("slow log empty after traced query")
+	}
+	last := log[len(log)-1]
+	if len(last.Children) == 0 {
+		t.Errorf("root span %q has no stage children", last.Name)
+	}
+	if last.Deltas[obs.CRecordFetches] == 0 {
+		t.Errorf("root span has zero record-fetch delta: %+v", last.Deltas)
 	}
 }

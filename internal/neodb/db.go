@@ -31,8 +31,21 @@ import (
 
 	"twigraph/internal/graph"
 	"twigraph/internal/idx"
+	"twigraph/internal/obs"
+	"twigraph/internal/pagecache"
 	"twigraph/internal/storage"
 	"twigraph/internal/wal"
+)
+
+// Engine-specific counter names registered on top of the obs core set.
+const (
+	CWALAppends      = "wal_appends"
+	CWALSyncs        = "wal_syncs"
+	CTxBegin         = "tx_begin"
+	CTxCommit        = "tx_commit"
+	CTxAbort         = "tx_abort"
+	CRelChainHops    = "rel_chain_hops"
+	CDenseGroupScans = "dense_group_scans"
 )
 
 // Config tunes an engine instance.
@@ -76,6 +89,19 @@ type DB struct {
 
 	statsMu  sync.RWMutex
 	relStats map[graph.TypeID]uint64 // per-type relationship counts
+
+	// Observability: the registry carries every engine counter; the
+	// tracer carries query spans. Hot-path counters are cached here so
+	// traversal loops skip the registry map lookup.
+	reg         *obs.Registry
+	tracer      *obs.Tracer
+	cFetches    *obs.Counter
+	cFaults     *obs.Counter
+	cChainHops  *obs.Counter
+	cGroupScans *obs.Counter
+	cTxBegin    *obs.Counter
+	cTxCommit   *obs.Counter
+	cTxAbort    *obs.Counter
 
 	writeMu sync.Mutex // single writer
 	closed  bool
@@ -135,7 +161,18 @@ func Open(dir string, cfg Config) (*DB, error) {
 		propKeys: newNameTable(),
 		indexes:  make(map[indexKey]*idx.HashIndex),
 		relStats: make(map[graph.TypeID]uint64),
+		reg:      obs.NewEngineRegistry(),
+		tracer:   obs.NewTracer(),
 	}
+	db.cFetches = db.reg.Counter(obs.CRecordFetches)
+	db.cFaults = db.reg.Counter(obs.CPageFaults)
+	db.cChainHops = db.reg.Counter(CRelChainHops)
+	db.cGroupScans = db.reg.Counter(CDenseGroupScans)
+	db.cTxBegin = db.reg.Counter(CTxBegin)
+	db.cTxCommit = db.reg.Counter(CTxCommit)
+	db.cTxAbort = db.reg.Counter(CTxAbort)
+	db.tracer.Watch(obs.CRecordFetches, db.cFetches)
+	db.tracer.Watch(obs.CPageFaults, db.cFaults)
 	var err error
 	if db.nodes, err = storage.OpenNodeStore(dir, cfg.CachePages); err != nil {
 		return nil, err
@@ -156,6 +193,21 @@ func Open(dir string, cfg Config) (*DB, error) {
 		db.closePartial()
 		return nil, err
 	}
+	// All five stores share one set of registry counters, so the
+	// aggregate equals what DBHits/PageFaults used to sum by hand.
+	cacheIns := pagecache.Instruments{
+		Hits:      db.reg.Counter(obs.CPageHits),
+		Faults:    db.cFaults,
+		Evictions: db.reg.Counter(obs.CPageEvictions),
+		Flushes:   db.reg.Counter(obs.CPageFlushes),
+		Tracer:    db.tracer,
+	}
+	for _, f := range []*storage.RecordFile{
+		db.nodes.RecordFile, db.rels.RecordFile, db.props.RecordFile,
+		db.strs.RecordFile, db.groups.RecordFile,
+	} {
+		f.Instrument(db.cFetches, cacheIns)
+	}
 	if err = db.loadCatalog(); err != nil {
 		db.closePartial()
 		return nil, err
@@ -172,6 +224,7 @@ func Open(dir string, cfg Config) (*DB, error) {
 		db.closePartial()
 		return nil, err
 	}
+	db.log.Instrument(db.reg.Counter(CWALAppends), db.reg.Counter(CWALSyncs))
 	if err = db.recover(); err != nil {
 		db.Close()
 		return nil, err
@@ -421,18 +474,46 @@ func (db *DB) NodeCount() uint64 { return db.nodes.Count() }
 // RelCount returns the number of live relationships.
 func (db *DB) RelCount() uint64 { return db.rels.Count() }
 
-// DBHits returns the cumulative record-fetch count across all stores —
-// the "db hits" metric the paper reads from Cypher's profiler.
-func (db *DB) DBHits() uint64 {
-	return db.nodes.Hits() + db.rels.Hits() + db.props.Hits() + db.strs.Hits() + db.groups.Hits()
-}
+// RecordFetches returns the cumulative *logical* record-fetch count
+// across all stores — the "db hits" unit the paper reads from Cypher's
+// profiler. One fetch may or may not touch disk; the physical side is
+// PageFaults.
+func (db *DB) RecordFetches() uint64 { return db.cFetches.Load() }
 
-// CacheFaults returns the cumulative page-fault count across all store
-// page caches.
-func (db *DB) CacheFaults() uint64 {
-	return db.nodes.CacheStats().Faults + db.rels.CacheStats().Faults +
-		db.props.CacheStats().Faults + db.strs.CacheStats().Faults +
-		db.groups.CacheStats().Faults
+// PageFaults returns the cumulative *physical* page-fault count across
+// all store page caches — the cold-cache warm-up cost, distinct from
+// the logical fetch count above.
+func (db *DB) PageFaults() uint64 { return db.cFaults.Load() }
+
+// DBHits is a deprecated alias of RecordFetches, kept for callers that
+// predate the logical/physical split.
+//
+// Deprecated: use RecordFetches (logical) or PageFaults (physical).
+func (db *DB) DBHits() uint64 { return db.RecordFetches() }
+
+// CacheFaults is a deprecated alias of PageFaults.
+//
+// Deprecated: use PageFaults.
+func (db *DB) CacheFaults() uint64 { return db.PageFaults() }
+
+// Obs returns the engine's observability registry.
+func (db *DB) Obs() *obs.Registry { return db.reg }
+
+// Tracer returns the engine's query tracer.
+func (db *DB) Tracer() *obs.Tracer { return db.tracer }
+
+// ResetCounters zeroes every observability counter: the shared
+// registry, each store's db-hit counter and its page-cache stats. Call
+// it between experiment phases so cold-vs-warm comparisons are not
+// contaminated by import-time activity (mirrors pagecache.ResetStats).
+func (db *DB) ResetCounters() {
+	db.reg.Reset()
+	for _, f := range []*storage.RecordFile{
+		db.nodes.RecordFile, db.rels.RecordFile, db.props.RecordFile,
+		db.strs.RecordFile, db.groups.RecordFile,
+	} {
+		f.ResetCounters()
+	}
 }
 
 // CoolCaches evicts every page cache (cold-cache experiments).

@@ -110,6 +110,14 @@ func (db *DB) linkDenseSide(nodeRec *storage.NodeRecord, id graph.EdgeID, newRec
 		}
 		g.FirstIn = id
 	}
+	// Publish the relationship record before the group head points at it:
+	// readers walk group chains without the write lock, so the record
+	// must be in use by the time the chain can reach it. (The sparse path
+	// gets this ordering for free — its chain head lives in the node
+	// record, written last.)
+	if err := db.rels.Put(id, *newRec); err != nil {
+		return err
+	}
 	return db.groups.Put(gid, g)
 }
 
@@ -233,6 +241,7 @@ func (db *DB) convertToDense(n graph.NodeID, nodeRec *storage.NodeRecord) error 
 func (db *DB) relationshipsDense(id graph.NodeID, nodeRec storage.NodeRecord, t graph.TypeID, dir graph.Direction, fn func(Rel) bool) error {
 	gid := uint64(nodeRec.FirstRel)
 	for gid != 0 {
+		db.cGroupScans.Inc()
 		g, err := db.groups.Get(gid)
 		if err != nil {
 			return err
@@ -244,6 +253,7 @@ func (db *DB) relationshipsDense(id graph.NodeID, nodeRec storage.NodeRecord, t 
 		if dir == graph.Outgoing || dir == graph.Any {
 			cur := g.FirstOut
 			for cur != 0 {
+				db.cChainHops.Inc()
 				rec, err := db.rels.Get(cur)
 				if err != nil {
 					return err

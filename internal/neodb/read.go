@@ -136,6 +136,7 @@ func (db *DB) Relationships(id graph.NodeID, t graph.TypeID, dir graph.Direction
 	}
 	cur := nodeRec.FirstRel
 	for cur != 0 {
+		db.cChainHops.Inc()
 		rec, err := db.rels.Get(cur)
 		if err != nil {
 			return err

@@ -40,7 +40,10 @@ type txOp struct {
 }
 
 // Begin starts a write transaction.
-func (db *DB) Begin() *Tx { return &Tx{db: db} }
+func (db *DB) Begin() *Tx {
+	db.cTxBegin.Inc()
+	return &Tx{db: db}
+}
 
 // CreateNode buffers the creation of a node with the given label and
 // properties, returning its id immediately.
@@ -123,6 +126,7 @@ func (tx *Tx) Commit() error {
 			return err
 		}
 	}
+	db.cTxCommit.Inc()
 	return nil
 }
 
@@ -132,6 +136,7 @@ func (tx *Tx) Rollback() {
 		return
 	}
 	tx.done = true
+	tx.db.cTxAbort.Inc()
 	// Release eagerly allocated ids so they are reused.
 	for _, op := range tx.ops {
 		id := binary.LittleEndian.Uint64(op.payload[0:8])

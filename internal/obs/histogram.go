@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// defaultLatencyBounds are the upper bounds (in nanoseconds) of the
+// default latency buckets: roughly 3 buckets per decade from 1µs to
+// 100s, which brackets everything from a warm index seek to a cold
+// full-graph import phase. Observations above the last bound land in a
+// +Inf overflow bucket.
+var defaultLatencyBounds = []int64{
+	1_000, 2_000, 5_000, // µs
+	10_000, 20_000, 50_000,
+	100_000, 200_000, 500_000,
+	1_000_000, 2_000_000, 5_000_000, // ms
+	10_000_000, 20_000_000, 50_000_000,
+	100_000_000, 200_000_000, 500_000_000,
+	1_000_000_000, 2_000_000_000, 5_000_000_000, // s
+	10_000_000_000, 30_000_000_000, 100_000_000_000,
+}
+
+// Histogram is a fixed-bucket histogram of int64 observations
+// (canonically latencies in nanoseconds). Recording is lock-free:
+// bucket counts, the sum and the extrema are all atomics, so hot query
+// loops on both engines can record concurrently without serialising.
+type Histogram struct {
+	bounds  []int64 // sorted upper bounds; len(buckets) = len(bounds)+1
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid when count > 0
+	max     atomic.Int64
+}
+
+// NewHistogram creates a histogram with the given sorted upper bounds,
+// or the default latency buckets when bounds is nil.
+func NewHistogram(bounds []int64) *Histogram {
+	if bounds == nil {
+		bounds = defaultLatencyBounds
+	}
+	h := &Histogram{
+		bounds:  bounds,
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.buckets[lo].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Time runs f and records its wall time, returning the elapsed
+// duration.
+func (h *Histogram) Time(f func()) time.Duration {
+	start := time.Now()
+	f()
+	d := time.Since(start)
+	h.ObserveDuration(d)
+	return d
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Reset zeroes all state.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+}
+
+// Quantile returns the value at quantile q in [0, 1], interpolated
+// linearly within the containing bucket. Results are clamped to the
+// observed [min, max] range, so exact-percentile checks on known
+// distributions behave sensibly at the edges. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.buckets {
+		n := float64(h.buckets[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo, hi := h.bucketRange(i)
+			frac := 0.0
+			if n > 0 {
+				frac = (rank - cum) / n
+			}
+			v := lo + frac*(hi-lo)
+			return h.clamp(v)
+		}
+		cum += n
+	}
+	return h.clamp(float64(h.max.Load()))
+}
+
+// bucketRange returns the [lo, hi) value range of bucket i, treating
+// the overflow bucket as ending at the observed max.
+func (h *Histogram) bucketRange(i int) (float64, float64) {
+	lo := 0.0
+	if i > 0 {
+		lo = float64(h.bounds[i-1])
+	}
+	hi := float64(h.max.Load())
+	if i < len(h.bounds) {
+		hi = float64(h.bounds[i])
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+func (h *Histogram) clamp(v float64) float64 {
+	if min := h.min.Load(); min != math.MaxInt64 && v < float64(min) {
+		v = float64(min)
+	}
+	if max := h.max.Load(); max != math.MinInt64 && v > float64(max) {
+		v = float64(max)
+	}
+	return v
+}
+
+// HistogramSnapshot is the serialisable state of a histogram. Latency
+// values are nanoseconds.
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   int64   `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	// Buckets holds the non-empty buckets only: parallel slices of
+	// upper bound (ns; 0 marks the overflow bucket) and count.
+	BucketBounds []int64  `json:"bucket_bounds,omitempty"`
+	BucketCounts []uint64 `json:"bucket_counts,omitempty"`
+}
+
+// Snapshot captures the histogram state, including p50/p95/p99.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+	if s.Count > 0 {
+		s.Min = h.min.Load()
+		s.Max = h.max.Load()
+	}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		bound := int64(0) // overflow bucket
+		if i < len(h.bounds) {
+			bound = h.bounds[i]
+		}
+		s.BucketBounds = append(s.BucketBounds, bound)
+		s.BucketCounts = append(s.BucketCounts, n)
+	}
+	return s
+}

@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	const workers, perWorker = 16, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestRegistryGetOrCreateConcurrent(t *testing.T) {
+	r := NewEngineRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter(CRecordFetches).Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter(CRecordFetches).Load(); got != 8000 {
+		t.Errorf("shared counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestEngineRegistryHasCoreSet(t *testing.T) {
+	r := NewEngineRegistry()
+	snap := r.Snapshot()
+	for _, name := range CoreCounters {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("core counter %q missing from snapshot", name)
+		}
+	}
+}
+
+// TestHistogramPercentilesUniform checks the quantile extraction on a
+// known uniform distribution: values 1..1000µs, so p50 ≈ 500µs within
+// one bucket's resolution.
+func TestHistogramPercentilesUniform(t *testing.T) {
+	h := NewHistogram(nil)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(int64(i) * 1000) // 1µs .. 1000µs
+	}
+	checks := []struct {
+		q    float64
+		want float64 // ns
+	}{
+		{0.50, 500_000},
+		{0.95, 950_000},
+		{0.99, 990_000},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		// Buckets are ~2-2.5x wide, so allow half-bucket error.
+		if math.Abs(got-c.want)/c.want > 0.5 {
+			t.Errorf("p%.0f = %.0fns, want ~%.0fns", c.q*100, got, c.want)
+		}
+	}
+	if h.Quantile(0) < 1000 || h.Quantile(1) > 1_000_000 {
+		t.Errorf("quantiles escape observed range: q0=%.0f q1=%.0f", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+// TestHistogramPercentilesExact uses custom unit-width buckets where
+// interpolation is exact.
+func TestHistogramPercentilesExact(t *testing.T) {
+	bounds := make([]int64, 100)
+	for i := range bounds {
+		bounds[i] = int64(i + 1)
+	}
+	h := NewHistogram(bounds)
+	for i := 1; i <= 100; i++ {
+		h.Observe(int64(i))
+	}
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		got := h.Quantile(q)
+		want := q * 100
+		if math.Abs(got-want) > 1 {
+			t.Errorf("p%.0f = %.2f, want %.2f±1", q*100, got, want)
+		}
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 || s.Sum != 5050 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestHistogramSkewedDistribution(t *testing.T) {
+	h := NewHistogram(nil)
+	// 95 fast observations at ~10µs, five slow outliers at 1s.
+	for i := 0; i < 95; i++ {
+		h.Observe(10_000)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(1_000_000_000)
+	}
+	if p50 := h.Quantile(0.50); p50 > 20_000 {
+		t.Errorf("p50 = %.0f, want <= 20µs", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 100_000_000 {
+		t.Errorf("p99 = %.0f, want >= 100ms (the outlier)", p99)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				h.Observe(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 40_000 {
+		t.Errorf("count = %d", h.Count())
+	}
+}
+
+func TestHistogramEmptyAndReset(t *testing.T) {
+	h := NewHistogram(nil)
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v", q)
+	}
+	h.Observe(500)
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.99) != 0 {
+		t.Errorf("reset did not clear: count=%d", h.Count())
+	}
+	s := h.Snapshot()
+	if s.Min != 0 || s.Max != 0 {
+		t.Errorf("empty snapshot extrema = %+v", s)
+	}
+}
+
+func TestSpanCapturesWatchedDeltas(t *testing.T) {
+	r := NewRegistry()
+	fetch := r.Counter(CRecordFetches)
+	tr := NewTracer()
+	tr.Watch(CRecordFetches, fetch)
+
+	fetch.Add(7) // pre-span activity must not leak into the delta
+	root := tr.Start("query")
+	fetch.Add(3)
+	child := tr.Start("stage")
+	fetch.Add(5)
+	tr.Event("page_faults", 2)
+	child.Finish()
+	fetch.Add(1)
+	root.Finish()
+
+	if d := child.Delta(CRecordFetches); d != 5 {
+		t.Errorf("child delta = %d, want 5", d)
+	}
+	if d := root.Delta(CRecordFetches); d != 9 {
+		t.Errorf("root delta = %d, want 9", d)
+	}
+	if ev := child.Events()["page_faults"]; ev != 2 {
+		t.Errorf("child events = %d, want 2", ev)
+	}
+	snap := root.Snapshot()
+	if len(snap.Children) != 1 || snap.Children[0].Name != "stage" {
+		t.Errorf("span tree = %+v", snap)
+	}
+	if snap.Format() == "" {
+		t.Error("empty formatted span")
+	}
+}
+
+func TestSlowLogRecordsRoots(t *testing.T) {
+	tr := NewTracer()
+	tr.SetEnabled(true)
+	tr.SetSlowThreshold(0)
+	for i := 0; i < slowLogSize+5; i++ {
+		tr.Start("q").Finish()
+	}
+	log := tr.SlowLog()
+	if len(log) != slowLogSize {
+		t.Errorf("slow log length = %d, want %d", len(log), slowLogSize)
+	}
+	tr.ClearSlowLog()
+	if len(tr.SlowLog()) != 0 {
+		t.Error("clear left entries")
+	}
+}
+
+func TestSlowLogThreshold(t *testing.T) {
+	tr := NewTracer()
+	tr.SetEnabled(true)
+	tr.SetSlowThreshold(time.Hour)
+	tr.Start("fast").Finish()
+	if len(tr.SlowLog()) != 0 {
+		t.Error("fast query recorded despite threshold")
+	}
+}
+
+func TestTracerDisabledStillMeasures(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start("profile")
+	sp.Finish()
+	if len(tr.SlowLog()) != 0 {
+		t.Error("disabled tracer recorded slow log entry")
+	}
+	if sp.Duration() < 0 {
+		t.Error("negative duration")
+	}
+}
+
+func TestTracerEventConcurrent(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Start("root")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.Event("page_faults", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	sp.Finish()
+	if ev := sp.Events()["page_faults"]; ev != 8000 {
+		t.Errorf("events = %d, want 8000", ev)
+	}
+}

@@ -1,0 +1,253 @@
+// Package obs is the unified observability layer shared by both
+// engines: atomic counters, gauges and fixed-bucket latency histograms
+// collected in named registries, plus lightweight trace spans with a
+// slow-query ring buffer (trace.go).
+//
+// The paper explains Neo4j-vs-Sparksee latencies through internal
+// mechanisms — db hits, page-cache warm-up, plan caching, dense-node
+// chains. Cross-engine comparisons of those mechanisms are only
+// meaningful when every engine exposes the *same* counters and latency
+// distributions, so this package defines a canonical counter catalogue
+// that both engines pre-register (zero stays zero for a mechanism an
+// engine does not have: the Sparksee-analog never page-faults, and the
+// snapshot says so explicitly instead of omitting the counter).
+//
+// The package is stdlib-only and imports nothing from the repository,
+// so every layer down to the page cache can depend on it.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Canonical counter names shared by both engines. Engine-specific
+// counters (WAL, transactions, bitmap operations, ...) are registered
+// on top of this core set.
+const (
+	// CRecordFetches counts logical record/object fetches — the
+	// engine-neutral "db hits" unit. For the Neo4j-analog this is one
+	// per store-record access; for the Sparksee-analog one per object
+	// touched during navigation, selection or attribute access.
+	CRecordFetches = "record_fetches"
+
+	CPageHits      = "pagecache_hits"
+	CPageFaults    = "pagecache_faults"
+	CPageEvictions = "pagecache_evictions"
+	CPageFlushes   = "pagecache_flushes"
+)
+
+// CoreCounters is the counter set every engine registry starts with.
+var CoreCounters = []string{
+	CRecordFetches, CPageHits, CPageFaults, CPageEvictions, CPageFlushes,
+}
+
+// Counter is a monotonically increasing atomic counter (resettable
+// between experiment phases).
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.v.Store(0) }
+
+// Gauge is an instantaneous signed value (cache residency, queue
+// depth).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Reset zeroes the gauge.
+func (g *Gauge) Reset() { g.v.Store(0) }
+
+// Registry is a named collection of counters, gauges and histograms.
+// Get-or-create lookups are safe for concurrent use, as are all updates
+// on the returned instruments.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// NewEngineRegistry creates a registry with the canonical cross-engine
+// counter set pre-registered, so snapshots from both engines always
+// carry the same core names.
+func NewEngineRegistry() *Registry {
+	r := NewRegistry()
+	for _, name := range CoreCounters {
+		r.Counter(name)
+	}
+	return r
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the default
+// latency buckets on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = NewHistogram(nil)
+	r.hists[name] = h
+	return h
+}
+
+// Reset zeroes every registered instrument (between experiment phases).
+func (r *Registry) Reset() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counters {
+		c.Reset()
+	}
+	for _, g := range r.gauges {
+		g.Reset()
+	}
+	for _, h := range r.hists {
+		h.Reset()
+	}
+}
+
+// Snapshot is a point-in-time, JSON-serialisable copy of a registry.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies every instrument's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Load()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Load()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.Snapshot()
+		}
+	}
+	return s
+}
+
+// Format renders the snapshot as an aligned text block — counters,
+// then gauges, then histograms with count and p50/p95/p99 — for
+// human-facing surfaces such as the twiql :stats command.
+func (s Snapshot) Format() string {
+	var b strings.Builder
+	for _, name := range sortedNames(s.Counters) {
+		fmt.Fprintf(&b, "  %-28s %d\n", name, s.Counters[name])
+	}
+	for _, name := range sortedNames(s.Gauges) {
+		fmt.Fprintf(&b, "  %-28s %d\n", name, s.Gauges[name])
+	}
+	for _, name := range sortedNames(s.Histograms) {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "  %-28s n=%d p50=%v p95=%v p99=%v\n",
+			name, h.Count,
+			time.Duration(h.P50), time.Duration(h.P95), time.Duration(h.P99))
+	}
+	return b.String()
+}
+
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CounterNames returns the registered counter names, sorted.
+func (r *Registry) CounterNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// slowLogSize is the capacity of the slow-query ring buffer.
+const slowLogSize = 32
+
+// Tracer produces spans — one per query, with children per execution
+// stage (parse/plan/execute, traversal expansions). Every span captures
+// the delta of the tracer's watched counters between start and finish,
+// so a span carries "db hits during this stage" without any per-fetch
+// bookkeeping; low-frequency events such as page faults are attributed
+// to the active span directly via Event.
+//
+// A tracer tracks one active span stack (queries on one engine handle
+// are traced one at a time; concurrent queries still record race-free,
+// but their events may attribute to whichever span is active).
+type Tracer struct {
+	mu      sync.Mutex
+	watched []watchedCounter
+	active  *Span
+
+	enabled   bool
+	threshold time.Duration // minimum root duration for the slow log
+	slow      [slowLogSize]*SpanSnapshot
+	slowN     int // total roots recorded (ring position = slowN % size)
+}
+
+type watchedCounter struct {
+	name string
+	c    *Counter
+}
+
+// NewTracer creates a disabled tracer. Watch counters, then Enable.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Watch registers a counter whose delta every span records.
+func (t *Tracer) Watch(name string, c *Counter) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.watched = append(t.watched, watchedCounter{name, c})
+}
+
+// SetEnabled turns continuous tracing (and slow-log capture) on or off.
+// PROFILE queries force spans regardless.
+func (t *Tracer) SetEnabled(on bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.enabled = on
+}
+
+// Enabled reports whether continuous tracing is on.
+func (t *Tracer) Enabled() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.enabled
+}
+
+// SetSlowThreshold sets the minimum root-span duration recorded in the
+// slow log (0 records every traced root).
+func (t *Tracer) SetSlowThreshold(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.threshold = d
+}
+
+// Span is one traced operation. Start spans via Tracer.Start; a span
+// becomes the tracer's active span until Finish, which restores its
+// parent. All methods are safe for concurrent use with Event.
+type Span struct {
+	tracer   *Tracer
+	parent   *Span
+	name     string
+	start    time.Time
+	dur      time.Duration
+	startVal []uint64 // watched counter values at Start
+	deltas   map[string]uint64
+	events   map[string]uint64
+	children []*Span
+	finished bool
+}
+
+// Start begins a span as a child of the currently active span and makes
+// it active. It always returns a usable span; callers gate on Enabled()
+// (or a PROFILE flag) to skip tracing entirely on hot paths.
+func (t *Tracer) Start(name string) *Span {
+	s := &Span{tracer: t, name: name, start: time.Now()}
+	t.mu.Lock()
+	s.parent = t.active
+	if s.parent != nil {
+		s.parent.children = append(s.parent.children, s)
+	}
+	t.active = s
+	s.startVal = make([]uint64, len(t.watched))
+	for i, w := range t.watched {
+		s.startVal[i] = w.c.Load()
+	}
+	t.mu.Unlock()
+	return s
+}
+
+// Event attributes n occurrences of a named event (e.g. a page fault)
+// to the currently active span; it is a no-op when no span is active.
+func (t *Tracer) Event(name string, n uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.active == nil {
+		return
+	}
+	if t.active.events == nil {
+		t.active.events = make(map[string]uint64)
+	}
+	t.active.events[name] += n
+}
+
+// Finish ends the span: captures watched-counter deltas, restores the
+// parent as active, and (for roots over the slow threshold, while
+// tracing is enabled) records a snapshot in the slow log.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	t := s.tracer
+	t.mu.Lock()
+	if s.finished {
+		t.mu.Unlock()
+		return
+	}
+	s.finished = true
+	s.dur = time.Since(s.start)
+	s.deltas = make(map[string]uint64, len(t.watched))
+	for i, w := range t.watched {
+		if i < len(s.startVal) {
+			s.deltas[w.name] = w.c.Load() - s.startVal[i]
+		}
+	}
+	if t.active == s {
+		t.active = s.parent
+	}
+	record := s.parent == nil && t.enabled && s.dur >= t.threshold
+	var snap *SpanSnapshot
+	if record {
+		snap = s.snapshotLocked()
+		t.slow[t.slowN%slowLogSize] = snap
+		t.slowN++
+	}
+	t.mu.Unlock()
+}
+
+// Duration returns the span's wall time (valid after Finish).
+func (s *Span) Duration() time.Duration {
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	return s.dur
+}
+
+// Delta returns the finished span's delta for a watched counter.
+func (s *Span) Delta(name string) uint64 {
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	return s.deltas[name]
+}
+
+// Events returns the finished span's attributed event counts.
+func (s *Span) Events() map[string]uint64 {
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	out := make(map[string]uint64, len(s.events))
+	for k, v := range s.events {
+		out[k] = v
+	}
+	return out
+}
+
+// Snapshot returns an immutable copy of the span tree (call after
+// Finish).
+func (s *Span) Snapshot() *SpanSnapshot {
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+func (s *Span) snapshotLocked() *SpanSnapshot {
+	snap := &SpanSnapshot{
+		Name:     s.name,
+		Start:    s.start,
+		Duration: s.dur,
+	}
+	if len(s.deltas) > 0 {
+		snap.Deltas = make(map[string]uint64, len(s.deltas))
+		for k, v := range s.deltas {
+			snap.Deltas[k] = v
+		}
+	}
+	if len(s.events) > 0 {
+		snap.Events = make(map[string]uint64, len(s.events))
+		for k, v := range s.events {
+			snap.Events[k] = v
+		}
+	}
+	for _, c := range s.children {
+		snap.Children = append(snap.Children, c.snapshotLocked())
+	}
+	return snap
+}
+
+// SpanSnapshot is the immutable, serialisable form of a finished span.
+type SpanSnapshot struct {
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"duration_ns"`
+	Deltas   map[string]uint64 `json:"deltas,omitempty"`
+	Events   map[string]uint64 `json:"events,omitempty"`
+	Children []*SpanSnapshot   `json:"children,omitempty"`
+}
+
+// SlowLog returns the recorded root spans, most recent last.
+func (t *Tracer) SlowLog() []*SpanSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.slowN
+	if n > slowLogSize {
+		n = slowLogSize
+	}
+	out := make([]*SpanSnapshot, 0, n)
+	for i := t.slowN - n; i < t.slowN; i++ {
+		out = append(out, t.slow[i%slowLogSize])
+	}
+	return out
+}
+
+// ClearSlowLog empties the slow-query ring buffer.
+func (t *Tracer) ClearSlowLog() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.slow {
+		t.slow[i] = nil
+	}
+	t.slowN = 0
+}
+
+// Format renders the span tree as an indented text block.
+func (s *SpanSnapshot) Format() string {
+	var b strings.Builder
+	s.format(&b, 0)
+	return b.String()
+}
+
+func (s *SpanSnapshot) format(b *strings.Builder, depth int) {
+	fmt.Fprintf(b, "%s%-10s %v", strings.Repeat("  ", depth), s.Name, s.Duration)
+	for _, k := range sortedKeys(s.Deltas) {
+		if s.Deltas[k] > 0 {
+			fmt.Fprintf(b, " %s=%d", k, s.Deltas[k])
+		}
+	}
+	for _, k := range sortedKeys(s.Events) {
+		fmt.Fprintf(b, " %s=%d", k, s.Events[k])
+	}
+	b.WriteByte('\n')
+	for _, c := range s.Children {
+		c.format(b, depth+1)
+	}
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"sync"
+
+	"twigraph/internal/obs"
 )
 
 // PageSize is the fixed page size in bytes. 8 KiB matches Neo4j's page
@@ -45,8 +47,30 @@ type Cache struct {
 	lruHead  *page // most recently used
 	lruTail  *page // least recently used
 	stats    Stats
+	ins      Instruments
 	size     int64 // logical file size in bytes
 	closed   bool
+}
+
+// Instruments binds a cache to the shared observability registry: each
+// non-nil counter is incremented alongside the cache's own Stats, and
+// faults are attributed to the tracer's active span (the mechanism the
+// cold-cache experiments and `twiql :trace` observe). Several caches
+// may share one set of counters — the Neo4j-analog aggregates its five
+// store files this way.
+type Instruments struct {
+	Hits      *obs.Counter
+	Faults    *obs.Counter
+	Evictions *obs.Counter
+	Flushes   *obs.Counter
+	Tracer    *obs.Tracer
+}
+
+// Instrument attaches registry counters and a tracer to the cache.
+func (c *Cache) Instrument(ins Instruments) {
+	c.mu.Lock()
+	c.ins = ins
+	c.mu.Unlock()
 }
 
 type page struct {
@@ -138,11 +162,20 @@ func (c *Cache) Get(id int64) (Page, error) {
 	}
 	if p, ok := c.pages[id]; ok {
 		c.stats.Hits++
+		if c.ins.Hits != nil {
+			c.ins.Hits.Inc()
+		}
 		p.pins++
 		c.touch(p)
 		return Page{c: c, p: p}, nil
 	}
 	c.stats.Faults++
+	if c.ins.Faults != nil {
+		c.ins.Faults.Inc()
+	}
+	if c.ins.Tracer != nil {
+		c.ins.Tracer.Event("page_faults", 1)
+	}
 	if err := c.evictIfFullLocked(); err != nil {
 		return Page{}, err
 	}
@@ -182,6 +215,9 @@ func (c *Cache) evictIfFullLocked() error {
 		c.unlink(victim)
 		delete(c.pages, victim.id)
 		c.stats.Evictions++
+		if c.ins.Evictions != nil {
+			c.ins.Evictions.Inc()
+		}
 	}
 	return nil
 }
@@ -199,6 +235,9 @@ func (c *Cache) writeBackLocked(p *page) error {
 	}
 	p.dirty = false
 	c.stats.Flushes++
+	if c.ins.Flushes != nil {
+		c.ins.Flushes.Inc()
+	}
 	return nil
 }
 
@@ -239,6 +278,9 @@ func (c *Cache) Cool() error {
 			c.unlink(p)
 			delete(c.pages, id)
 			c.stats.Evictions++
+			if c.ins.Evictions != nil {
+				c.ins.Evictions.Inc()
+			}
 		}
 	}
 	return nil

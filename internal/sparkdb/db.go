@@ -26,10 +26,10 @@ package sparkdb
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"twigraph/internal/bitmap"
 	"twigraph/internal/graph"
+	"twigraph/internal/obs"
 )
 
 // oidTypeShift positions the type id in the top bits of an OID, leaving
@@ -45,6 +45,22 @@ type Config struct {
 	// DefaultMaxObjects.
 	MaxObjects uint64
 }
+
+// Engine-specific counter names registered alongside obs.CoreCounters.
+// The nav_* counters are the paper's Sparksee introspection; the bitmap
+// and index counters break one navigation call into its primitive set
+// operations, and record_fetches (a core counter) is the engine's
+// "db hit" equivalent: one increment per object or edge record resolved.
+const (
+	CBitmapAndOps  = "bitmap_and_ops"
+	CBitmapOrOps   = "bitmap_or_ops"
+	CBitmapScanOps = "bitmap_scan_ops"
+	CIndexProbes   = "attr_index_probes"
+	CNavNeighbors  = "nav_neighbors"
+	CNavExplodes   = "nav_explodes"
+	CNavSelects    = "nav_selects"
+	CNavFinds      = "nav_finds"
+)
 
 // Counters aggregates navigation-operation statistics, the introspection
 // the paper performs on Sparksee executions.
@@ -70,10 +86,17 @@ type DB struct {
 
 	attrs []*attrInfo // index = AttrID-1
 
-	navNeighbors atomic.Uint64
-	navExplodes  atomic.Uint64
-	navSelects   atomic.Uint64
-	navFinds     atomic.Uint64
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	hooks  *setHooks // bitmap-op counters shared with Objects results
+
+	cFetches      *obs.Counter // record_fetches: per object/edge resolved
+	cIndexProbes  *obs.Counter
+	cBitmapScan   *obs.Counter
+	cNavNeighbors *obs.Counter
+	cNavExplodes  *obs.Counter
+	cNavSelects   *obs.Counter
+	cNavFinds     *obs.Counter
 }
 
 type typeInfo struct {
@@ -114,11 +137,38 @@ func New(cfg Config) *DB {
 	if max == 0 {
 		max = DefaultMaxObjects
 	}
-	return &DB{
+	reg := obs.NewEngineRegistry()
+	db := &DB{
 		maxObjects:  max,
 		typesByName: make(map[string]graph.TypeID),
+		reg:         reg,
+		tracer:      obs.NewTracer(),
+		hooks: &setHooks{
+			and:  reg.Counter(CBitmapAndOps),
+			or:   reg.Counter(CBitmapOrOps),
+			scan: reg.Counter(CBitmapScanOps),
+		},
+		cFetches:      reg.Counter(obs.CRecordFetches),
+		cIndexProbes:  reg.Counter(CIndexProbes),
+		cBitmapScan:   reg.Counter(CBitmapScanOps),
+		cNavNeighbors: reg.Counter(CNavNeighbors),
+		cNavExplodes:  reg.Counter(CNavExplodes),
+		cNavSelects:   reg.Counter(CNavSelects),
+		cNavFinds:     reg.Counter(CNavFinds),
 	}
+	db.tracer.Watch(obs.CRecordFetches, db.cFetches)
+	return db
 }
+
+// Obs returns the engine's observability registry.
+func (db *DB) Obs() *obs.Registry { return db.reg }
+
+// Tracer returns the engine's query tracer.
+func (db *DB) Tracer() *obs.Tracer { return db.tracer }
+
+// RecordFetches returns the cumulative object/edge record resolutions —
+// the engine's "db hit" equivalent, comparable to neodb.RecordFetches.
+func (db *DB) RecordFetches() uint64 { return db.cFetches.Load() }
 
 // ---------- schema ----------
 
@@ -332,9 +382,9 @@ func (db *DB) Objects(typeID graph.TypeID) *Objects {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if ti := db.typeInfo(typeID); ti != nil {
-		return newObjects(ti.objects.Clone())
+		return db.newObjects(ti.objects.Clone())
 	}
-	return newObjects(bitmap.New())
+	return db.newObjects(bitmap.New())
 }
 
 // ---------- attributes ----------
@@ -396,6 +446,7 @@ func unindex(ai *attrInfo, v graph.Value, oid uint64) {
 
 // GetAttribute returns the value of attr on oid (NilValue when unset).
 func (db *DB) GetAttribute(oid uint64, attr graph.AttrID) graph.Value {
+	db.cFetches.Inc()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	ai := db.attrInfo(attr)
@@ -408,14 +459,16 @@ func (db *DB) GetAttribute(oid uint64, attr graph.AttrID) graph.Value {
 // FindObject returns the first object whose attr equals v, mirroring
 // Sparksee's findObject. The attribute must be indexed.
 func (db *DB) FindObject(attr graph.AttrID, v graph.Value) (uint64, bool) {
-	db.navFinds.Add(1)
+	db.cNavFinds.Inc()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	ai := db.attrInfo(attr)
 	if ai == nil || !ai.indexed {
 		return 0, false
 	}
+	db.cIndexProbes.Inc()
 	if b, ok := ai.index[v.Key()]; ok {
+		db.cFetches.Inc()
 		return b.Min()
 	}
 	return 0, false
@@ -423,33 +476,37 @@ func (db *DB) FindObject(attr graph.AttrID, v graph.Value) (uint64, bool) {
 
 // FindObjects returns all objects whose attr equals v.
 func (db *DB) FindObjects(attr graph.AttrID, v graph.Value) *Objects {
-	db.navFinds.Add(1)
+	db.cNavFinds.Inc()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	ai := db.attrInfo(attr)
 	if ai == nil || !ai.indexed {
-		return newObjects(bitmap.New())
+		return db.newObjects(bitmap.New())
 	}
+	db.cIndexProbes.Inc()
 	if b, ok := ai.index[v.Key()]; ok {
-		return newObjects(b.Clone())
+		db.cFetches.Inc()
+		return db.newObjects(b.Clone())
 	}
-	return newObjects(bitmap.New())
+	return db.newObjects(bitmap.New())
 }
 
-// Stats returns the navigation counters.
+// Stats returns the navigation counters (now backed by the registry).
 func (db *DB) Stats() Counters {
 	return Counters{
-		Neighbors: db.navNeighbors.Load(),
-		Explodes:  db.navExplodes.Load(),
-		Selects:   db.navSelects.Load(),
-		Finds:     db.navFinds.Load(),
+		Neighbors: db.cNavNeighbors.Load(),
+		Explodes:  db.cNavExplodes.Load(),
+		Selects:   db.cNavSelects.Load(),
+		Finds:     db.cNavFinds.Load(),
 	}
 }
 
-// ResetStats zeroes the navigation counters.
-func (db *DB) ResetStats() {
-	db.navNeighbors.Store(0)
-	db.navExplodes.Store(0)
-	db.navSelects.Store(0)
-	db.navFinds.Store(0)
-}
+// ResetStats zeroes every registry counter, histogram and gauge —
+// navigation counters included. Alias ResetCounters matches the
+// neodb method of the same name so harness code can treat the two
+// engines uniformly.
+func (db *DB) ResetStats() { db.reg.Reset() }
+
+// ResetCounters zeroes all observability counters (between experiment
+// phases); identical to ResetStats.
+func (db *DB) ResetCounters() { db.reg.Reset() }

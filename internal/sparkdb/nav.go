@@ -13,30 +13,41 @@ import (
 // bitmap copy; otherwise each incident edge is resolved to its far
 // endpoint.
 func (db *DB) Neighbors(oid uint64, edgeType graph.TypeID, dir graph.Direction) *Objects {
-	db.navNeighbors.Add(1)
+	db.cNavNeighbors.Inc()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	ti := db.typeInfo(edgeType)
 	if ti == nil || !ti.isEdge {
-		return NewObjects()
+		return db.newObjects(bitmap.New())
 	}
 	out := bitmap.New()
 	if ti.materialized {
+		// One bitmap union per direction: the neighbor set is the
+		// stored record, so this is a single "fetch" regardless of
+		// degree — the cost profile materialisation buys.
 		if dir == graph.Outgoing || dir == graph.Any {
 			if b := ti.outNbrs[oid]; b != nil {
+				db.cFetches.Inc()
+				db.hooks.orOp()
 				out.Union(b)
 			}
 		}
 		if dir == graph.Incoming || dir == graph.Any {
 			if b := ti.inNbrs[oid]; b != nil {
+				db.cFetches.Inc()
+				db.hooks.orOp()
 				out.Union(b)
 			}
 		}
-		return newObjects(out)
+		return db.newObjects(out)
 	}
+	// Without materialisation every incident edge record is resolved to
+	// its far endpoint: one scan per link bitmap, one fetch per edge.
 	if dir == graph.Outgoing || dir == graph.Any {
 		if edges := ti.outLinks[oid]; edges != nil {
+			db.cBitmapScan.Inc()
 			edges.ForEach(func(e uint64) bool {
+				db.cFetches.Inc()
 				out.Add(ti.heads[seqOf(e)-1])
 				return true
 			})
@@ -44,13 +55,15 @@ func (db *DB) Neighbors(oid uint64, edgeType graph.TypeID, dir graph.Direction) 
 	}
 	if dir == graph.Incoming || dir == graph.Any {
 		if edges := ti.inLinks[oid]; edges != nil {
+			db.cBitmapScan.Inc()
 			edges.ForEach(func(e uint64) bool {
+				db.cFetches.Inc()
 				out.Add(ti.tails[seqOf(e)-1])
 				return true
 			})
 		}
 	}
-	return newObjects(out)
+	return db.newObjects(out)
 }
 
 // Explode returns the set of edge OIDs of edgeType incident to oid in
@@ -58,25 +71,29 @@ func (db *DB) Neighbors(oid uint64, edgeType graph.TypeID, dir graph.Direction) 
 // when the edge objects themselves (for their attributes or endpoints)
 // are needed.
 func (db *DB) Explode(oid uint64, edgeType graph.TypeID, dir graph.Direction) *Objects {
-	db.navExplodes.Add(1)
+	db.cNavExplodes.Inc()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	ti := db.typeInfo(edgeType)
 	if ti == nil || !ti.isEdge {
-		return NewObjects()
+		return db.newObjects(bitmap.New())
 	}
 	out := bitmap.New()
 	if dir == graph.Outgoing || dir == graph.Any {
 		if b := ti.outLinks[oid]; b != nil {
+			db.cFetches.Inc()
+			db.hooks.orOp()
 			out.Union(b)
 		}
 	}
 	if dir == graph.Incoming || dir == graph.Any {
 		if b := ti.inLinks[oid]; b != nil {
+			db.cFetches.Inc()
+			db.hooks.orOp()
 			out.Union(b)
 		}
 	}
-	return newObjects(out)
+	return db.newObjects(out)
 }
 
 // Degree returns the number of edges of edgeType incident to oid in the
@@ -91,11 +108,13 @@ func (db *DB) Degree(oid uint64, edgeType graph.TypeID, dir graph.Direction) int
 	n := 0
 	if dir == graph.Outgoing || dir == graph.Any {
 		if b := ti.outLinks[oid]; b != nil {
+			db.cFetches.Inc()
 			n += b.Cardinality()
 		}
 	}
 	if dir == graph.Incoming || dir == graph.Any {
 		if b := ti.inLinks[oid]; b != nil {
+			db.cFetches.Inc()
 			n += b.Cardinality()
 		}
 	}
@@ -123,26 +142,31 @@ const (
 // Equality on an indexed attribute is a bitmap lookup; every other case
 // scans the attribute's value map.
 func (db *DB) Select(attr graph.AttrID, op CompareOp, v graph.Value) *Objects {
-	db.navSelects.Add(1)
+	db.cNavSelects.Inc()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	ai := db.attrInfo(attr)
 	if ai == nil {
-		return NewObjects()
+		return db.newObjects(bitmap.New())
 	}
 	if op == Eq && ai.indexed {
+		db.cIndexProbes.Inc()
 		if b, ok := ai.index[v.Key()]; ok {
-			return newObjects(b.Clone())
+			db.cFetches.Inc()
+			return db.newObjects(b.Clone())
 		}
-		return NewObjects()
+		return db.newObjects(bitmap.New())
 	}
+	// Full value-map scan: one fetch per attribute value compared.
+	db.cBitmapScan.Inc()
 	out := bitmap.New()
 	for oid, val := range ai.values {
+		db.cFetches.Inc()
 		if matchOp(val.Compare(v), op) {
 			out.Add(oid)
 		}
 	}
-	return newObjects(out)
+	return db.newObjects(out)
 }
 
 func matchOp(cmp int, op CompareOp) bool {

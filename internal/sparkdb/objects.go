@@ -1,6 +1,47 @@
 package sparkdb
 
-import "twigraph/internal/bitmap"
+import (
+	"twigraph/internal/bitmap"
+	"twigraph/internal/obs"
+)
+
+// setHooks mirrors Objects set operations into the owning engine's
+// registry: and counts intersections and differences (AND/AND-NOT),
+// or counts unions, scan counts full-set iterations. A nil receiver
+// (sets built outside any DB, e.g. ObjectsOf in tests) counts nothing.
+type setHooks struct {
+	and, or, scan *obs.Counter
+}
+
+func (h *setHooks) andOp() {
+	if h != nil && h.and != nil {
+		h.and.Inc()
+	}
+}
+
+func (h *setHooks) orOp() {
+	if h != nil && h.or != nil {
+		h.or.Inc()
+	}
+}
+
+func (h *setHooks) scanOp() {
+	if h != nil && h.scan != nil {
+		h.scan.Inc()
+	}
+}
+
+// pick returns the first non-nil hook set of two operands, so derived
+// sets keep reporting to the engine that produced their inputs.
+func (h *setHooks) pick(p *Objects) *setHooks {
+	if h != nil {
+		return h
+	}
+	if p != nil {
+		return p.hooks
+	}
+	return nil
+}
 
 // Objects is an unordered set of object identifiers, the result type of
 // every navigation and selection operation — Sparksee's Objects class.
@@ -9,10 +50,16 @@ import "twigraph/internal/bitmap"
 // wanting top-n must materialise and rank the whole set themselves (the
 // overhead the paper discusses in Section 4).
 type Objects struct {
-	bits *bitmap.Bitmap
+	bits  *bitmap.Bitmap
+	hooks *setHooks
 }
 
 func newObjects(b *bitmap.Bitmap) *Objects { return &Objects{bits: b} }
+
+// newObjects builds a set attached to the engine's bitmap-op counters.
+func (db *DB) newObjects(b *bitmap.Bitmap) *Objects {
+	return &Objects{bits: b, hooks: db.hooks}
+}
 
 // NewObjects returns an empty set.
 func NewObjects() *Objects { return newObjects(bitmap.New()) }
@@ -36,21 +83,29 @@ func (o *Objects) Add(oid uint64) bool { return o.bits.Add(oid) }
 func (o *Objects) Remove(oid uint64) bool { return o.bits.Remove(oid) }
 
 // Copy returns an independent copy of the set.
-func (o *Objects) Copy() *Objects { return newObjects(o.bits.Clone()) }
+func (o *Objects) Copy() *Objects {
+	return &Objects{bits: o.bits.Clone(), hooks: o.hooks}
+}
 
 // Union returns a new set with every member of o and p.
 func (o *Objects) Union(p *Objects) *Objects {
-	return newObjects(bitmap.Or(o.bits, p.bits))
+	h := o.hooks.pick(p)
+	h.orOp()
+	return &Objects{bits: bitmap.Or(o.bits, p.bits), hooks: h}
 }
 
 // Intersection returns a new set with the members common to o and p.
 func (o *Objects) Intersection(p *Objects) *Objects {
-	return newObjects(bitmap.And(o.bits, p.bits))
+	h := o.hooks.pick(p)
+	h.andOp()
+	return &Objects{bits: bitmap.And(o.bits, p.bits), hooks: h}
 }
 
 // Difference returns a new set with the members of o not in p.
 func (o *Objects) Difference(p *Objects) *Objects {
-	return newObjects(bitmap.AndNot(o.bits, p.bits))
+	h := o.hooks.pick(p)
+	h.andOp()
+	return &Objects{bits: bitmap.AndNot(o.bits, p.bits), hooks: h}
 }
 
 // Equal reports whether o and p contain the same members.
@@ -58,7 +113,10 @@ func (o *Objects) Equal(p *Objects) bool { return o.bits.Equal(p.bits) }
 
 // ForEach visits every member in ascending OID order until fn returns
 // false.
-func (o *Objects) ForEach(fn func(uint64) bool) { o.bits.ForEach(fn) }
+func (o *Objects) ForEach(fn func(uint64) bool) {
+	o.hooks.scanOp()
+	o.bits.ForEach(fn)
+}
 
 // Slice returns the members in ascending OID order.
 func (o *Objects) Slice() []uint64 { return o.bits.Slice() }
@@ -67,10 +125,19 @@ func (o *Objects) Slice() []uint64 { return o.bits.Slice() }
 func (o *Objects) Any() (uint64, bool) { return o.bits.Min() }
 
 // UnionWith adds every member of p to o in place.
-func (o *Objects) UnionWith(p *Objects) { o.bits.Union(p.bits) }
+func (o *Objects) UnionWith(p *Objects) {
+	o.hooks.pick(p).orOp()
+	o.bits.Union(p.bits)
+}
 
 // IntersectWith keeps only members of o also in p, in place.
-func (o *Objects) IntersectWith(p *Objects) { o.bits.Intersect(p.bits) }
+func (o *Objects) IntersectWith(p *Objects) {
+	o.hooks.pick(p).andOp()
+	o.bits.Intersect(p.bits)
+}
 
 // DifferenceWith removes every member of p from o, in place.
-func (o *Objects) DifferenceWith(p *Objects) { o.bits.Difference(p.bits) }
+func (o *Objects) DifferenceWith(p *Objects) {
+	o.hooks.pick(p).andOp()
+	o.bits.Difference(p.bits)
+}

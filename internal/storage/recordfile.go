@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"twigraph/internal/obs"
 	"twigraph/internal/pagecache"
 )
 
@@ -44,7 +45,17 @@ type RecordFile struct {
 	free      []uint64
 	inUse     uint64 // highWater minus freed records
 
-	hits atomic.Uint64
+	hits    atomic.Uint64
+	fetches *obs.Counter // shared registry counter, nil until Instrument
+}
+
+// Instrument binds the file to the engine's observability registry:
+// fetches receives one increment per record access (the logical "db
+// hit" unit), and the cache instruments cover the physical page layer.
+// Several stores typically share one set of counters.
+func (f *RecordFile) Instrument(fetches *obs.Counter, cache pagecache.Instruments) {
+	f.fetches = fetches
+	f.cache.Instrument(cache)
 }
 
 // OpenRecordFile opens or creates a record file at path with the given
@@ -162,6 +173,9 @@ func (f *RecordFile) Read(id uint64, fn func(rec []byte)) error {
 		return fmt.Errorf("storage: read of nil record")
 	}
 	f.hits.Add(1)
+	if f.fetches != nil {
+		f.fetches.Inc()
+	}
 	pageID, off := f.pageFor(id)
 	pg, err := f.cache.Get(pageID)
 	if err != nil {
@@ -179,6 +193,9 @@ func (f *RecordFile) Update(id uint64, fn func(rec []byte)) error {
 		return fmt.Errorf("storage: update of nil record")
 	}
 	f.hits.Add(1)
+	if f.fetches != nil {
+		f.fetches.Inc()
+	}
 	pageID, off := f.pageFor(id)
 	pg, err := f.cache.Get(pageID)
 	if err != nil {
@@ -205,6 +222,13 @@ func (f *RecordFile) Count() uint64 {
 
 // Hits returns the cumulative db-hit count for this store.
 func (f *RecordFile) Hits() uint64 { return f.hits.Load() }
+
+// ResetCounters zeroes the db-hit counter and the page-cache stats
+// (between experiment phases).
+func (f *RecordFile) ResetCounters() {
+	f.hits.Store(0)
+	f.cache.ResetStats()
+}
 
 // CacheStats exposes the underlying page-cache counters.
 func (f *RecordFile) CacheStats() pagecache.Stats { return f.cache.Stats() }

@@ -7,6 +7,7 @@ import (
 	"twigraph/internal/cypher"
 	"twigraph/internal/graph"
 	"twigraph/internal/neodb"
+	"twigraph/internal/obs"
 )
 
 // NeoStore implements the workload on the Neo4j-analog engine through
@@ -39,6 +40,15 @@ func (s *NeoStore) DB() *neodb.DB { return s.db }
 
 // Engine exposes the query engine (plan-cache ablations).
 func (s *NeoStore) Engine() *cypher.Engine { return s.engine }
+
+// Obs exposes the engine's observability registry (bench snapshots).
+func (s *NeoStore) Obs() *obs.Registry { return s.db.Obs() }
+
+// Tracer exposes the engine's query tracer.
+func (s *NeoStore) Tracer() *obs.Tracer { return s.db.Tracer() }
+
+// ResetCounters zeroes the engine's observability counters.
+func (s *NeoStore) ResetCounters() { s.db.ResetCounters() }
 
 func params(kv ...any) map[string]graph.Value {
 	m := make(map[string]graph.Value, len(kv)/2)

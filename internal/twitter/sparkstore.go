@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"twigraph/internal/graph"
+	"twigraph/internal/obs"
 	"twigraph/internal/sparkdb"
 )
 
@@ -54,6 +55,15 @@ func NewSparkStore(db *sparkdb.DB) (*SparkStore, error) {
 
 // Name implements Store.
 func (s *SparkStore) Name() string { return "sparksee" }
+
+// Obs exposes the engine's observability registry (bench snapshots).
+func (s *SparkStore) Obs() *obs.Registry { return s.db.Obs() }
+
+// Tracer exposes the engine's query tracer.
+func (s *SparkStore) Tracer() *obs.Tracer { return s.db.Tracer() }
+
+// ResetCounters zeroes the engine's observability counters.
+func (s *SparkStore) ResetCounters() { s.db.ResetCounters() }
 
 // Close implements Store. The sparkdb engine is in-memory; nothing to
 // release.

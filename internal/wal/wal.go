@@ -21,6 +21,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"twigraph/internal/obs"
 )
 
 const frameHeader = 4 + 1 + 8 + 4
@@ -33,6 +35,17 @@ type Log struct {
 	offset  int64 // append position
 	appends uint64
 	syncs   uint64
+
+	cAppends *obs.Counter // registry counters, nil until Instrument
+	cSyncs   *obs.Counter
+}
+
+// Instrument mirrors the log's activity counters into the engine's
+// observability registry.
+func (l *Log) Instrument(appends, syncs *obs.Counter) {
+	l.mu.Lock()
+	l.cAppends, l.cSyncs = appends, syncs
+	l.mu.Unlock()
 }
 
 // Stats reports WAL activity counters.
@@ -94,6 +107,9 @@ func (l *Log) Append(kind uint8, payload []byte) (uint64, error) {
 	l.offset += int64(len(buf))
 	l.nextLSN++
 	l.appends++
+	if l.cAppends != nil {
+		l.cAppends.Inc()
+	}
 	return lsn, nil
 }
 
@@ -102,6 +118,9 @@ func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.syncs++
+	if l.cSyncs != nil {
+		l.cSyncs.Inc()
+	}
 	return l.file.Sync()
 }
 
