@@ -22,6 +22,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	work := flag.String("work", "", "working directory (default: a temp dir)")
 	jsonPath := flag.String("json", "", "write a machine-readable snapshot (latency histograms + engine counters) to this path")
+	workers := flag.Int("workers", 0, "multi-hop query workers per store (0 = GOMAXPROCS, 1 = sequential)")
 	cfg := bench.DefaultConfig()
 	flag.IntVar(&cfg.Users, "users", cfg.Users, "dataset scale in users")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "dataset PRNG seed")
@@ -44,6 +45,7 @@ func main() {
 		defer os.RemoveAll(dir)
 	}
 	env := bench.NewEnv(cfg, dir)
+	env.Workers = *workers
 	defer env.Close()
 
 	if *exp == "all" {

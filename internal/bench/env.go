@@ -33,6 +33,11 @@ type Env struct {
 	Cfg     gen.Config
 	WorkDir string
 
+	// Workers sets each store's worker count after build: 0 leaves the
+	// default (GOMAXPROCS), 1 forces the sequential paths, N>1 pins the
+	// parallel paths to N shards.
+	Workers int
+
 	// Reg collects the harness's own measurements: one latency histogram
 	// per experiment/engine series ("fig4a/neo", "coldcache/cold", ...).
 	// Engine-internal counters live in each engine's own registry.
@@ -53,6 +58,10 @@ type Env struct {
 	degOnce    sync.Once
 	mentionDeg map[int64]int // uid -> times mentioned
 	outDeg     map[int64]int // uid -> followees
+
+	scriptOnce sync.Once
+	scriptErr  error
+	scriptPath string
 }
 
 // NewEnv creates an environment; workDir receives the CSVs and store
@@ -114,6 +123,9 @@ func (e *Env) Neo() (*load.NeoResult, error) {
 	e.neoOnce.Do(func() {
 		e.neoRes, e.neoErr = load.BuildNeo(e.csvDir, filepath.Join(e.WorkDir, "neo"),
 			neodb.Config{CachePages: 8192}, e.Cfg.Users/4+1)
+		if e.neoErr == nil && e.Workers > 0 {
+			e.neoRes.Store.SetWorkers(e.Workers)
+		}
 	})
 	return e.neoRes, e.neoErr
 }
@@ -128,8 +140,27 @@ func (e *Env) Spark() (*load.SparkResult, error) {
 		e.sparkRes, e.sparkErr = load.BuildSpark(e.csvDir, sparkdb.ScriptOptions{
 			BatchRows: e.Cfg.Users/4 + 1,
 		})
+		if e.sparkErr == nil && e.Workers > 0 {
+			e.sparkRes.Store.SetWorkers(e.Workers)
+		}
 	})
 	return e.sparkRes, e.sparkErr
+}
+
+// SparkScript writes (once) the sparkdb loader script for the generated
+// dataset into the work dir — not the CSV dir, which stays pristine —
+// and returns its path. Experiments that re-run the import with custom
+// options use it with ScriptOptions.DataDir pointed at the CSV dir.
+func (e *Env) SparkScript() (string, error) {
+	_, sum, err := e.Dataset()
+	if err != nil {
+		return "", err
+	}
+	e.scriptOnce.Do(func() {
+		e.scriptPath = filepath.Join(e.WorkDir, "twitter.sks")
+		e.scriptErr = os.WriteFile(e.scriptPath, []byte(load.Script(sum.Retweets > 0)), 0o644)
+	})
+	return e.scriptPath, e.scriptErr
 }
 
 // Stores returns both engine stores.

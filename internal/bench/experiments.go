@@ -34,6 +34,7 @@ func All() []Experiment {
 		{"densenodes", "§3.2.1: relationship groups — the payoff of the dense-node import step", runDenseNodes},
 		{"derived", "§3.3: derived topic-experts query on both engines", runDerived},
 		{"updates", "§5 future work: incremental update workload on both engines", runUpdates},
+		{"parallel", "Parallel multi-hop execution: Workers=1 vs Workers=N speedup", runParallel},
 	}
 }
 

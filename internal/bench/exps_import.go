@@ -56,8 +56,12 @@ func runFig3(e *Env, w io.Writer) error {
 		CacheSize: 96 << 10,
 		BatchRows: sum.Tweets/8 + 1,
 		ImagePath: filepath.Join(e.WorkDir, "fig3.img"),
+		DataDir:   csvDir,
 	}
-	scriptPath := filepath.Join(csvDir, "twitter.sks")
+	scriptPath, err := e.SparkScript()
+	if err != nil {
+		return err
+	}
 	rep, err := db.RunScript(scriptPath, opts, func(p sparkdb.Progress) {
 		series = append(series, p)
 	})
@@ -97,12 +101,16 @@ func runMaterialize(e *Env, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	scriptPath := filepath.Join(csvDir, "twitter.sks")
+	scriptPath, err := e.SparkScript()
+	if err != nil {
+		return err
+	}
 	run := func(materialize bool) (time.Duration, error) {
 		db := sparkdb.New(sparkdb.Config{})
 		rep, err := db.RunScript(scriptPath, sparkdb.ScriptOptions{
 			Materialize: materialize,
 			ImagePath:   filepath.Join(e.WorkDir, fmt.Sprintf("mat-%v.img", materialize)),
+			DataDir:     csvDir,
 		}, nil)
 		return rep.Duration, err
 	}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"twigraph/internal/twitter"
+)
+
+// parRuns is the per-configuration run count of the parallel scaling
+// experiment; each configuration is warmed once first.
+const parRuns = 5
+
+// workered is a store whose multi-hop worker count can be toggled; both
+// engine stores satisfy it.
+type workered interface {
+	twitter.Store
+	SetWorkers(int)
+	Workers() int
+}
+
+// runParallel measures the multi-hop workload at Workers=1 against
+// Workers=N on both engines over hub users (the heaviest frontiers,
+// where sharding pays), printing the per-query speedup. Latencies land
+// in the harness registry as parallel/<query>/<engine>/w<K> histograms.
+func runParallel(e *Env, w io.Writer) error {
+	neo, spark, err := e.Stores()
+	if err != nil {
+		return err
+	}
+	mentionDeg, err := e.MentionDegree()
+	if err != nil {
+		return err
+	}
+	outDeg, err := e.OutDegree()
+	if err != nil {
+		return err
+	}
+	hubsMention := e.sampleUsers(24, mentionDeg)
+	hubsOut := e.sampleUsers(24, outDeg)
+	// Endpoint pairs for the path search: far-apart hubs keep the BFS
+	// frontiers wide.
+	type pair struct{ a, b int64 }
+	var pairs []pair
+	for i := 0; i < len(hubsOut)/2 && len(pairs) < 12; i++ {
+		if a, b := hubsOut[i], hubsOut[len(hubsOut)-1-i]; a != b {
+			pairs = append(pairs, pair{a, b})
+		}
+	}
+	wN := e.Workers
+	if wN <= 1 {
+		wN = runtime.GOMAXPROCS(0)
+	}
+	if wN < 2 {
+		wN = 2
+	}
+
+	type task struct {
+		id  string
+		run func(s twitter.Store) error
+	}
+	sweep := func(uids []int64, q func(s twitter.Store, uid int64) error) func(twitter.Store) error {
+		return func(s twitter.Store) error {
+			for _, uid := range uids {
+				if err := q(s, uid); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	tasks := []task{
+		{"q3.1", sweep(hubsMention, func(s twitter.Store, uid int64) error {
+			_, err := s.CoMentionedUsers(uid, unbounded)
+			return err
+		})},
+		{"q4.1", sweep(hubsOut, func(s twitter.Store, uid int64) error {
+			_, err := s.RecommendFollowees(uid, unbounded)
+			return err
+		})},
+		{"q4.2", sweep(hubsOut, func(s twitter.Store, uid int64) error {
+			_, err := s.RecommendFollowersOfFollowees(uid, unbounded)
+			return err
+		})},
+		{"q5.2", sweep(hubsMention, func(s twitter.Store, uid int64) error {
+			_, err := s.PotentialInfluence(uid, unbounded)
+			return err
+		})},
+		{"q6.1", func(s twitter.Store) error {
+			for _, p := range pairs {
+				if _, _, err := s.ShortestPathLength(p.a, p.b, 4); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+	}
+
+	measure := func(s workered, t task, workers int) (time.Duration, error) {
+		prev := s.Workers()
+		s.SetWorkers(workers)
+		defer s.SetWorkers(prev)
+		if err := t.run(s); err != nil { // warm-up
+			return 0, err
+		}
+		h := e.Hist(fmt.Sprintf("parallel/%s/%s/w%d", t.id, s.Name(), workers))
+		var total time.Duration
+		for i := 0; i < parRuns; i++ {
+			d, err := timeInto(h, func() error { return t.run(s) })
+			if err != nil {
+				return 0, err
+			}
+			total += d
+		}
+		return total / parRuns, nil
+	}
+
+	fmt.Fprintf(w, "Multi-hop workload over hub users, Workers=1 vs Workers=%d (avg of %d sweeps):\n", wN, parRuns)
+	t := newTable(w, "query", "engine", "w1 avg_ms", fmt.Sprintf("w%d avg_ms", wN), "speedup")
+	for _, task := range tasks {
+		for _, s := range []workered{neo, spark} {
+			seq, err := measure(s, task, 1)
+			if err != nil {
+				return err
+			}
+			par, err := measure(s, task, wN)
+			if err != nil {
+				return err
+			}
+			speedup := float64(seq) / float64(par)
+			t.rowf(task.id, s.Name(),
+				fmt.Sprintf("%.3f", float64(seq.Microseconds())/1000),
+				fmt.Sprintf("%.3f", float64(par.Microseconds())/1000),
+				fmt.Sprintf("%.2fx", speedup))
+		}
+	}
+	fmt.Fprintln(w, "\nWorkers=1 runs the original sequential paths (Cypher on the Neo4j-analog);")
+	fmt.Fprintln(w, "Workers=N shards each query's first-hop frontier across the worker pool.")
+	fmt.Fprintln(w, "Results are byte-identical across worker counts (see the determinism tests).")
+	return nil
+}

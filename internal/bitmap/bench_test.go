@@ -1,0 +1,160 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Benchmark fixtures: array/array (sparse), set/set (dense), skewed
+// (tiny probe vs dense set — the shape of "is this candidate in the
+// 2-hop frontier"), and an OrMany fan-in like a sharded BFS level
+// merge.
+
+func benchPair(n1, n2 int, max uint64) (*Bitmap, *Bitmap) {
+	rng := rand.New(rand.NewSource(1))
+	return randomBitmap(rng, n1, max), randomBitmap(rng, n2, max)
+}
+
+func BenchmarkIntersectArrayArray(b *testing.B) {
+	x, y := benchPair(1000, 1200, 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Clone().Intersect(y)
+	}
+}
+
+func BenchmarkAndArrayArray(b *testing.B) { // allocating baseline for comparison
+	x, y := benchPair(1000, 1200, 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		And(x, y)
+	}
+}
+
+func BenchmarkIntersectSetSet(b *testing.B) {
+	x, y := benchPair(60000, 60000, 1<<17)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Clone().Intersect(y)
+	}
+}
+
+func BenchmarkIntersectSkewedGalloping(b *testing.B) {
+	x, y := benchPair(64, 3500, 1<<13) // arrays at ~55x skew: galloping path
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Clone().Intersect(y)
+	}
+}
+
+func BenchmarkUnionArrayArray(b *testing.B) {
+	x, y := benchPair(1000, 1200, 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Clone().Union(y)
+	}
+}
+
+func BenchmarkOrArrayArray(b *testing.B) { // allocating baseline for comparison
+	x, y := benchPair(1000, 1200, 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Or(x, y)
+	}
+}
+
+func BenchmarkUnionSetSet(b *testing.B) {
+	x, y := benchPair(60000, 60000, 1<<17)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Clone().Union(y)
+	}
+}
+
+func BenchmarkDifferenceArrayArray(b *testing.B) {
+	x, y := benchPair(1000, 1200, 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Clone().Difference(y)
+	}
+}
+
+func BenchmarkAndCardinality(b *testing.B) {
+	x, y := benchPair(1000, 1200, 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AndCardinality(x, y)
+	}
+}
+
+func BenchmarkAndCardinalitySkewed(b *testing.B) {
+	x, y := benchPair(64, 3500, 1<<13)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AndCardinality(x, y)
+	}
+}
+
+func BenchmarkOrCardinality(b *testing.B) {
+	x, y := benchPair(60000, 60000, 1<<17)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OrCardinality(x, y)
+	}
+}
+
+func BenchmarkOrManyFanIn8(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	inputs := make([]*Bitmap, 8)
+	for i := range inputs {
+		inputs[i] = randomBitmap(rng, 5000, 1<<18)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OrMany(inputs...)
+	}
+}
+
+func BenchmarkUnionAccumulate8(b *testing.B) { // in-place accumulator (the BFS visited-set pattern)
+	rng := rand.New(rand.NewSource(2))
+	inputs := make([]*Bitmap, 8)
+	for i := range inputs {
+		inputs[i] = randomBitmap(rng, 5000, 1<<18)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := New()
+		for _, in := range inputs {
+			acc.Union(in)
+		}
+	}
+}
+
+func BenchmarkOrFold8(b *testing.B) { // pairwise-fold baseline for OrMany
+	rng := rand.New(rand.NewSource(2))
+	inputs := make([]*Bitmap, 8)
+	for i := range inputs {
+		inputs[i] = randomBitmap(rng, 5000, 1<<18)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := New()
+		for _, in := range inputs {
+			acc = Or(acc, in)
+		}
+	}
+}

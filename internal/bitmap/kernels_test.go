@@ -1,0 +1,175 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomBitmap draws n values below max; the density (n vs max) decides
+// whether containers end up as arrays, sets or a mix.
+func randomBitmap(rng *rand.Rand, n int, max uint64) *Bitmap {
+	b := New()
+	for i := 0; i < n; i++ {
+		b.Add(rng.Uint64() % max)
+	}
+	return b
+}
+
+// kernelCases covers the representation matrix: array/array, set/set,
+// mixed, skewed cardinalities, disjoint key ranges and empty operands.
+func kernelCases(rng *rand.Rand) [][2]*Bitmap {
+	return [][2]*Bitmap{
+		{randomBitmap(rng, 100, 1<<14), randomBitmap(rng, 120, 1<<14)},     // array vs array
+		{randomBitmap(rng, 60000, 1<<16), randomBitmap(rng, 60000, 1<<16)}, // set vs set
+		{randomBitmap(rng, 40, 1<<16), randomBitmap(rng, 60000, 1<<16)},    // skewed: tiny array vs dense set
+		{randomBitmap(rng, 30, 1<<15), randomBitmap(rng, 3000, 1<<15)},     // skewed arrays (galloping path)
+		{randomBitmap(rng, 500, 1<<13), randomBitmap(rng, 500, 1<<20)},     // overlapping + disjoint keys
+		{New(), randomBitmap(rng, 200, 1<<14)},                             // empty lhs
+		{randomBitmap(rng, 200, 1<<14), New()},                             // empty rhs
+		{randomBitmap(rng, 3000, 1<<12), randomBitmap(rng, 3000, 1<<12)},   // arrays whose union crosses the set threshold
+		{randomBitmap(rng, 2500, 1<<16), randomBitmap(rng, 60000, 1<<16)},  // set shrinking below threshold on intersect
+	}
+}
+
+func TestInPlaceOpsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i, tc := range kernelCases(rng) {
+		a, b := tc[0], tc[1]
+		if got, want := a.Clone().Union(b), Or(a, b); !got.Equal(want) {
+			t.Fatalf("case %d: Union diverges from Or (got %d, want %d values)", i, got.Cardinality(), want.Cardinality())
+		}
+		if got, want := a.Clone().Intersect(b), And(a, b); !got.Equal(want) {
+			t.Fatalf("case %d: Intersect diverges from And (got %d, want %d values)", i, got.Cardinality(), want.Cardinality())
+		}
+		if got, want := a.Clone().Difference(b), AndNot(a, b); !got.Equal(want) {
+			t.Fatalf("case %d: Difference diverges from AndNot (got %d, want %d values)", i, got.Cardinality(), want.Cardinality())
+		}
+		// In-place ops must not corrupt the operand.
+		snapshot := b.Clone()
+		a.Clone().Union(b)
+		a.Clone().Intersect(b)
+		a.Clone().Difference(b)
+		if !b.Equal(snapshot) {
+			t.Fatalf("case %d: operand mutated by in-place ops", i)
+		}
+	}
+}
+
+func TestInPlaceSelfOperands(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	b := randomBitmap(rng, 1000, 1<<16)
+	want := b.Clone()
+	if got := b.Union(b); !got.Equal(want) {
+		t.Fatalf("b.Union(b) changed the set")
+	}
+	if got := b.Intersect(b); !got.Equal(want) {
+		t.Fatalf("b.Intersect(b) changed the set")
+	}
+	if got := b.Difference(b); !got.IsEmpty() {
+		t.Fatalf("b.Difference(b) = %d values, want empty", got.Cardinality())
+	}
+}
+
+// TestUnionResultIndependentOfOperand guards the no-aliasing contract:
+// after Union the receiver must own all its storage, so mutating the
+// operand later cannot leak into it.
+func TestUnionResultIndependentOfOperand(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomBitmap(rng, 50, 1<<14)
+	o := randomBitmap(rng, 50, 1<<24) // mostly distinct container keys
+	a.Union(o)
+	want := a.Clone()
+	o.ForEach(func(v uint64) bool { o.Remove(v); return false })
+	o.Add(1 << 30)
+	if !a.Equal(want) {
+		t.Fatalf("receiver changed when operand was mutated after Union")
+	}
+}
+
+func TestCardinalityKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for i, tc := range kernelCases(rng) {
+		a, b := tc[0], tc[1]
+		if got, want := AndCardinality(a, b), And(a, b).Cardinality(); got != want {
+			t.Fatalf("case %d: AndCardinality = %d, want %d", i, got, want)
+		}
+		if got, want := OrCardinality(a, b), Or(a, b).Cardinality(); got != want {
+			t.Fatalf("case %d: OrCardinality = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestGallopToBoundaries(t *testing.T) {
+	b := []uint16{2, 4, 4, 8, 100, 5000}
+	for _, tc := range []struct {
+		from int
+		v    uint16
+		want int
+	}{
+		{0, 0, 0}, {0, 2, 0}, {0, 3, 1}, {0, 4, 1}, {0, 5, 3},
+		{2, 4, 2}, {0, 101, 5}, {0, 5000, 5}, {0, 5001, 6}, {6, 1, 6},
+	} {
+		if got := gallopTo(b, tc.from, tc.v); got != tc.want {
+			t.Fatalf("gallopTo(from=%d, v=%d) = %d, want %d", tc.from, tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestOrManyMatchesPairwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	inputs := []*Bitmap{
+		randomBitmap(rng, 100, 1<<14),
+		randomBitmap(rng, 60000, 1<<16),
+		nil,
+		New(),
+		randomBitmap(rng, 10, 1<<24),
+		randomBitmap(rng, 3000, 1<<12),
+		randomBitmap(rng, 500, 1<<16),
+	}
+	want := New()
+	for _, b := range inputs {
+		if b != nil {
+			want = Or(want, b)
+		}
+	}
+	got := OrMany(inputs...)
+	if !got.Equal(want) {
+		t.Fatalf("OrMany = %d values, pairwise Or = %d values", got.Cardinality(), want.Cardinality())
+	}
+	// Result must not share storage with single-contributor inputs.
+	got.Add(1 << 40)
+	for i, b := range inputs {
+		if b != nil && b.Contains(1<<40) {
+			t.Fatalf("OrMany result aliases input %d", i)
+		}
+	}
+	if out := OrMany(); !out.IsEmpty() {
+		t.Fatalf("OrMany() = %v, want empty", out)
+	}
+	if out := OrMany(nil, New()); !out.IsEmpty() {
+		t.Fatalf("OrMany(nil, empty) = %v, want empty", out)
+	}
+}
+
+func TestMergeArraysInPlace(t *testing.T) {
+	for _, tc := range []struct{ a, b, want []uint16 }{
+		{[]uint16{1, 3, 5}, []uint16{2, 4, 6}, []uint16{1, 2, 3, 4, 5, 6}},
+		{[]uint16{1, 3, 5}, []uint16{1, 3, 5}, []uint16{1, 3, 5}},
+		{[]uint16{1, 2, 3}, []uint16{4, 5, 6}, []uint16{1, 2, 3, 4, 5, 6}},
+		{[]uint16{4, 5, 6}, []uint16{1, 2, 3}, []uint16{1, 2, 3, 4, 5, 6}},
+		{[]uint16{}, []uint16{1}, []uint16{1}},
+		{[]uint16{1}, []uint16{}, []uint16{1}},
+		{[]uint16{1, 5, 9}, []uint16{1, 2, 9, 10}, []uint16{1, 2, 5, 9, 10}},
+	} {
+		a := append([]uint16(nil), tc.a...)
+		got := mergeArraysInPlace(a, tc.b)
+		if len(got) != len(tc.want) {
+			t.Fatalf("merge(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("merge(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		}
+	}
+}

@@ -64,28 +64,106 @@ func AndNot(a, b *Bitmap) *Bitmap {
 	return out
 }
 
-// Union mutates b to include every value of o, returning b.
+// Union mutates b to include every value of o, returning b. Receiver
+// containers are updated in place; only containers for keys b does not
+// yet have are cloned from o (b never aliases o's storage afterwards).
 func (b *Bitmap) Union(o *Bitmap) *Bitmap {
-	merged := Or(b, o)
-	b.containers = merged.containers
+	if b == o || len(o.containers) == 0 {
+		return b
+	}
+	if len(b.containers) == 0 {
+		b.containers = make([]*container, len(o.containers))
+		for i, c := range o.containers {
+			b.containers[i] = c.clone()
+		}
+		return b
+	}
+	merged := make([]*container, 0, len(b.containers)+len(o.containers))
+	i, j := 0, 0
+	for i < len(b.containers) && j < len(o.containers) {
+		ca, cb := b.containers[i], o.containers[j]
+		switch {
+		case ca.key < cb.key:
+			merged = append(merged, ca)
+			i++
+		case ca.key > cb.key:
+			merged = append(merged, cb.clone())
+			j++
+		default:
+			ca.unionInPlace(cb)
+			merged = append(merged, ca)
+			i++
+			j++
+		}
+	}
+	merged = append(merged, b.containers[i:]...)
+	for ; j < len(o.containers); j++ {
+		merged = append(merged, o.containers[j].clone())
+	}
+	b.containers = merged
 	return b
 }
 
-// Intersect mutates b to keep only values also in o, returning b.
+// Intersect mutates b to keep only values also in o, returning b. The
+// container slice and the surviving containers' storage are reused; no
+// allocation happens unless a set container shrinks below the array
+// threshold.
 func (b *Bitmap) Intersect(o *Bitmap) *Bitmap {
-	merged := And(b, o)
-	b.containers = merged.containers
+	if b == o {
+		return b
+	}
+	out := b.containers[:0]
+	j := 0
+	for _, ca := range b.containers {
+		for j < len(o.containers) && o.containers[j].key < ca.key {
+			j++
+		}
+		if j < len(o.containers) && o.containers[j].key == ca.key {
+			ca.intersectInPlace(o.containers[j])
+			if ca.cardinality() > 0 {
+				out = append(out, ca)
+			}
+			j++
+		}
+	}
+	for k := len(out); k < len(b.containers); k++ {
+		b.containers[k] = nil // release dropped containers to the GC
+	}
+	b.containers = out
 	return b
 }
 
 // Difference mutates b to remove every value of o, returning b.
+// Receiver containers are edited in place and the container slice is
+// reused.
 func (b *Bitmap) Difference(o *Bitmap) *Bitmap {
-	merged := AndNot(b, o)
-	b.containers = merged.containers
+	if b == o {
+		b.containers = nil
+		return b
+	}
+	out := b.containers[:0]
+	j := 0
+	for _, ca := range b.containers {
+		for j < len(o.containers) && o.containers[j].key < ca.key {
+			j++
+		}
+		if j < len(o.containers) && o.containers[j].key == ca.key {
+			ca.differenceInPlace(o.containers[j])
+			if ca.cardinality() == 0 {
+				continue
+			}
+		}
+		out = append(out, ca)
+	}
+	for k := len(out); k < len(b.containers); k++ {
+		b.containers[k] = nil
+	}
+	b.containers = out
 	return b
 }
 
-// AndCardinality returns |a ∩ b| without materialising the result.
+// AndCardinality returns |a ∩ b| without materialising the result and
+// without allocating.
 func AndCardinality(a, b *Bitmap) int {
 	n := 0
 	i, j := 0, 0
@@ -101,6 +179,35 @@ func AndCardinality(a, b *Bitmap) int {
 			i++
 			j++
 		}
+	}
+	return n
+}
+
+// OrCardinality returns |a ∪ b| without materialising the result and
+// without allocating, via |A| + |B| − |A ∩ B| per shared container.
+func OrCardinality(a, b *Bitmap) int {
+	n := 0
+	i, j := 0, 0
+	for i < len(a.containers) && j < len(b.containers) {
+		ca, cb := a.containers[i], b.containers[j]
+		switch {
+		case ca.key < cb.key:
+			n += ca.cardinality()
+			i++
+		case ca.key > cb.key:
+			n += cb.cardinality()
+			j++
+		default:
+			n += ca.cardinality() + cb.cardinality() - andCardinality(ca, cb)
+			i++
+			j++
+		}
+	}
+	for ; i < len(a.containers); i++ {
+		n += a.containers[i].cardinality()
+	}
+	for ; j < len(b.containers); j++ {
+		n += b.containers[j].cardinality()
 	}
 	return n
 }
@@ -178,7 +285,7 @@ func andCardinality(a, b *container) int {
 		}
 		return n
 	case a.array != nil && b.array != nil:
-		return len(intersectArrays(a.array, b.array))
+		return intersectArraysCount(a.array, b.array)
 	default:
 		arr, set := a, b
 		if a.set != nil {
@@ -288,11 +395,179 @@ func andNotContainers(a, b *container) *container {
 	}
 }
 
+// ---------- in-place container kernels ----------
+
+// unionInPlace folds o into c, reusing c's storage where possible. When
+// both sides are arrays that fit the array representation, the merge
+// happens inside c.array's (grown) backing slice; otherwise c is
+// promoted to a set and o is OR-ed in word by word. A set result never
+// needs demotion: its cardinality is at least max(|c|, |o|), and any
+// set operand already has card ≥ arrayToBitmapThreshold/2.
+func (c *container) unionInPlace(o *container) {
+	if c.array != nil && o.array != nil {
+		if len(c.array)+len(o.array) <= arrayToBitmapThreshold {
+			c.array = mergeArraysInPlace(c.array, o.array)
+			return
+		}
+		c.toSet()
+	} else if c.array != nil { // o is a set
+		c.toSet()
+	}
+	if o.set != nil {
+		card := 0
+		for w := range c.set {
+			c.set[w] |= o.set[w]
+			card += bits.OnesCount64(c.set[w])
+		}
+		c.card = card
+		return
+	}
+	for _, low := range o.array {
+		w, m := low>>6, uint64(1)<<(low&63)
+		if c.set[w]&m == 0 {
+			c.set[w] |= m
+			c.card++
+		}
+	}
+}
+
+// intersectInPlace keeps only the values of c also present in o,
+// editing c's storage in place (writes trail reads, so filtering within
+// the same backing slice is safe). The only allocation is the demotion
+// of a surviving set below the array threshold, or a set receiver
+// intersected with an array operand (where the result is at most the
+// operand's size).
+func (c *container) intersectInPlace(o *container) {
+	switch {
+	case c.set != nil && o.set != nil:
+		card := 0
+		for w := range c.set {
+			c.set[w] &= o.set[w]
+			card += bits.OnesCount64(c.set[w])
+		}
+		c.card = card
+		if card > 0 && card < arrayToBitmapThreshold/2 {
+			c.toArray()
+		}
+	case c.array != nil && o.array != nil:
+		c.array = intersectArraysInPlace(c.array, o.array)
+	case c.array != nil: // o is a set
+		k := 0
+		for _, low := range c.array {
+			if o.set[low>>6]&(1<<(low&63)) != 0 {
+				c.array[k] = low
+				k++
+			}
+		}
+		c.array = c.array[:k]
+	default: // c is a set, o is an array
+		out := make([]uint16, 0, len(o.array))
+		for _, low := range o.array {
+			if c.set[low>>6]&(1<<(low&63)) != 0 {
+				out = append(out, low)
+			}
+		}
+		c.array, c.set, c.card = out, nil, 0
+	}
+}
+
+// differenceInPlace removes every value of o from c, editing c's
+// storage in place.
+func (c *container) differenceInPlace(o *container) {
+	switch {
+	case c.set != nil && o.set != nil:
+		card := 0
+		for w := range c.set {
+			c.set[w] &^= o.set[w]
+			card += bits.OnesCount64(c.set[w])
+		}
+		c.card = card
+		if card > 0 && card < arrayToBitmapThreshold/2 {
+			c.toArray()
+		}
+	case c.array != nil && o.array != nil:
+		c.array = subtractArraysInPlace(c.array, o.array)
+	case c.array != nil: // o is a set
+		k := 0
+		for _, low := range c.array {
+			if o.set[low>>6]&(1<<(low&63)) == 0 {
+				c.array[k] = low
+				k++
+			}
+		}
+		c.array = c.array[:k]
+	default: // c is a set, o is an array
+		for _, low := range o.array {
+			w, m := low>>6, uint64(1)<<(low&63)
+			if c.set[w]&m != 0 {
+				c.set[w] &^= m
+				c.card--
+			}
+		}
+		if c.card > 0 && c.card < arrayToBitmapThreshold/2 {
+			c.toArray()
+		}
+	}
+}
+
+// ---------- sorted-array kernels ----------
+
+// gallopMinRatio is the length skew beyond which array intersection
+// switches from the linear two-pointer merge to galloping (exponential
+// probe + binary search) through the longer side. Below the ratio the
+// branch-predictable linear merge wins.
+const gallopMinRatio = 16
+
+// gallopTo returns the smallest index i ≥ from with b[i] ≥ v, using
+// exponential search from the current position so a pass over a short
+// array costs O(short · log(long/short)) instead of O(long).
+func gallopTo(b []uint16, from int, v uint16) int {
+	if from >= len(b) || b[from] >= v {
+		return from
+	}
+	// b[from] < v: probe exponentially for an upper bound.
+	step, hi := 1, from+1
+	for hi < len(b) && b[hi] < v {
+		from = hi
+		hi += step
+		step <<= 1
+	}
+	if hi > len(b) {
+		hi = len(b)
+	}
+	// Invariant: b[from] < v and (hi == len(b) or b[hi] ≥ v); binary
+	// search (from, hi] for the boundary.
+	lo := from + 1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 func intersectArrays(a, b []uint16) []uint16 {
 	if len(a) > len(b) {
 		a, b = b, a
 	}
 	out := make([]uint16, 0, len(a))
+	if len(b) >= gallopMinRatio*len(a) {
+		j := 0
+		for _, v := range a {
+			j = gallopTo(b, j, v)
+			if j == len(b) {
+				break
+			}
+			if b[j] == v {
+				out = append(out, v)
+				j++
+			}
+		}
+		return out
+	}
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -307,4 +582,159 @@ func intersectArrays(a, b []uint16) []uint16 {
 		}
 	}
 	return out
+}
+
+// intersectArraysCount is the allocation-free counting twin of
+// intersectArrays.
+func intersectArraysCount(a, b []uint16) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	n := 0
+	if len(b) >= gallopMinRatio*len(a) {
+		j := 0
+		for _, v := range a {
+			j = gallopTo(b, j, v)
+			if j == len(b) {
+				break
+			}
+			if b[j] == v {
+				n++
+				j++
+			}
+		}
+		return n
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// intersectArraysInPlace filters a down to a ∩ b inside a's backing
+// slice. Matches are written at index k ≤ the current read position, so
+// no value is overwritten before it is read. Gallops through whichever
+// side is much longer.
+func intersectArraysInPlace(a, b []uint16) []uint16 {
+	k := 0
+	switch {
+	case len(b) >= gallopMinRatio*len(a):
+		j := 0
+		for _, v := range a {
+			j = gallopTo(b, j, v)
+			if j == len(b) {
+				break
+			}
+			if b[j] == v {
+				a[k] = v
+				k++
+				j++
+			}
+		}
+	case len(a) >= gallopMinRatio*len(b):
+		i := 0
+		for _, v := range b {
+			i = gallopTo(a, i, v)
+			if i == len(a) {
+				break
+			}
+			if a[i] == v {
+				a[k] = v
+				k++
+				i++
+			}
+		}
+	default:
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			switch {
+			case a[i] < b[j]:
+				i++
+			case a[i] > b[j]:
+				j++
+			default:
+				a[k] = a[i]
+				k++
+				i++
+				j++
+			}
+		}
+	}
+	return a[:k]
+}
+
+// subtractArraysInPlace filters a down to a − b inside a's backing
+// slice.
+func subtractArraysInPlace(a, b []uint16) []uint16 {
+	k, j := 0, 0
+	gallop := len(b) >= gallopMinRatio*len(a)
+	for _, v := range a {
+		if gallop {
+			j = gallopTo(b, j, v)
+		} else {
+			for j < len(b) && b[j] < v {
+				j++
+			}
+		}
+		if j < len(b) && b[j] == v {
+			j++
+			continue
+		}
+		a[k] = v
+		k++
+	}
+	return a[:k]
+}
+
+// mergeArraysInPlace merges sorted b into sorted a, reusing (growing)
+// a's backing slice. The merge runs back-to-front into the grown tail —
+// positions it writes are always at or beyond the last unread element
+// of a — then compacts over the duplicate gap. b must not alias a.
+func mergeArraysInPlace(a, b []uint16) []uint16 {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return append(a, b...)
+	}
+	n, m := len(a), len(b)
+	a = append(a, b...) // grow to n+m; the tail is overwritten below
+	i, j, k := n-1, m-1, n+m-1
+	for i >= 0 && j >= 0 {
+		switch {
+		case a[i] > b[j]:
+			a[k] = a[i]
+			i--
+		case a[i] < b[j]:
+			a[k] = b[j]
+			j--
+		default:
+			a[k] = a[i]
+			i--
+			j--
+		}
+		k--
+	}
+	for j >= 0 {
+		a[k] = b[j]
+		j--
+		k--
+	}
+	// a[0..i] is already in place; the merged run occupies a[k+1:]. A
+	// gap of size (k-i) appears when duplicates were coalesced.
+	if k > i {
+		copy(a[i+1:], a[k+1:])
+		a = a[:i+1+(n+m-1-k)]
+	}
+	return a
 }

@@ -1,0 +1,81 @@
+package bitmap
+
+import "math/bits"
+
+// OrMany returns the union of any number of bitmaps as a new bitmap.
+// Nil and empty inputs are skipped. Instead of folding pairwise (which
+// re-materialises the accumulator once per input), it runs a tournament
+// over container keys: each round finds the minimum key among the input
+// cursors, gathers every container with that key, and assembles the
+// output container with a single set-buffer allocation no matter how
+// many inputs contribute. Inputs are never mutated and the result
+// shares no storage with them.
+func OrMany(inputs ...*Bitmap) *Bitmap {
+	bs := make([]*Bitmap, 0, len(inputs))
+	for _, b := range inputs {
+		if b != nil && len(b.containers) > 0 {
+			bs = append(bs, b)
+		}
+	}
+	switch len(bs) {
+	case 0:
+		return New()
+	case 1:
+		return bs[0].Clone()
+	}
+	out := New()
+	idx := make([]int, len(bs)) // per-input container cursor
+	contrib := make([]*container, 0, len(bs))
+	for {
+		minKey, found := ^uint64(0), false
+		for k, b := range bs {
+			if idx[k] < len(b.containers) {
+				if key := b.containers[idx[k]].key; !found || key < minKey {
+					minKey, found = key, true
+				}
+			}
+		}
+		if !found {
+			return out
+		}
+		contrib = contrib[:0]
+		for k, b := range bs {
+			if idx[k] < len(b.containers) && b.containers[idx[k]].key == minKey {
+				contrib = append(contrib, b.containers[idx[k]])
+				idx[k]++
+			}
+		}
+		out.containers = append(out.containers, orManyContainers(minKey, contrib))
+	}
+}
+
+// orManyContainers unions k containers sharing a key. With one
+// contributor the container is cloned; otherwise every contributor is
+// OR-ed into one freshly allocated set buffer and the population count
+// runs once at the end (demoting to an array if the result is sparse).
+func orManyContainers(key uint64, cs []*container) *container {
+	if len(cs) == 1 {
+		return cs[0].clone()
+	}
+	set := make([]uint64, wordsPerSet)
+	for _, c := range cs {
+		if c.set != nil {
+			for w, word := range c.set {
+				set[w] |= word
+			}
+			continue
+		}
+		for _, low := range c.array {
+			set[low>>6] |= 1 << (low & 63)
+		}
+	}
+	card := 0
+	for _, w := range set {
+		card += bits.OnesCount64(w)
+	}
+	out := &container{key: key, set: set, card: card}
+	if card < arrayToBitmapThreshold/2 {
+		out.toArray()
+	}
+	return out
+}

@@ -56,20 +56,30 @@ type SparkResult struct {
 	Series []sparkdb.Progress
 }
 
-// BuildSpark writes a loader script for the conventional layout into
-// csvDir and executes it against a fresh sparkdb database.
+// BuildSpark generates a loader script for the conventional layout and
+// executes it against a fresh sparkdb database, reading the CSVs from
+// csvDir. The script — and, unless opts.ImagePath names a destination,
+// the persisted image — live in a temporary directory that is removed
+// on return, so csvDir itself is never written to.
 func BuildSpark(csvDir string, opts sparkdb.ScriptOptions) (*SparkResult, error) {
 	hasRetweets := false
 	if _, err := os.Stat(filepath.Join(csvDir, "retweets.csv")); err == nil {
 		hasRetweets = true
 	}
-	scriptPath := filepath.Join(csvDir, "twitter.sks")
+	workDir, err := os.MkdirTemp("", "twigraph-spark-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(workDir)
+	scriptPath := filepath.Join(workDir, "twitter.sks")
 	if err := os.WriteFile(scriptPath, []byte(Script(hasRetweets)), 0o644); err != nil {
 		return nil, err
 	}
+	if opts.DataDir == "" {
+		opts.DataDir = csvDir
+	}
 	db := sparkdb.New(sparkdb.Config{})
 	res := &SparkResult{}
-	var err error
 	res.Report, err = db.RunScript(scriptPath, opts, func(p sparkdb.Progress) {
 		res.Series = append(res.Series, p)
 	})

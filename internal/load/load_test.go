@@ -1,7 +1,9 @@
 package load
 
 import (
+	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"testing"
 
@@ -110,4 +112,33 @@ func TestBuildNeoBadDir(t *testing.T) {
 	if _, err := BuildNeo(t.TempDir(), filepath.Join(t.TempDir(), "neo"), neodb.Config{CachePages: 64}, 0); err == nil {
 		t.Error("empty csv dir accepted")
 	}
+}
+
+// TestBuildSparkLeavesCSVDirPristine guards against the loader writing
+// its script or image into the dataset directory: a generated CSV dir
+// must hold exactly the same files after BuildSpark as before.
+func TestBuildSparkLeavesCSVDirPristine(t *testing.T) {
+	csvDir, _ := generate(t, smallCfg())
+	before := dirNames(t, csvDir)
+	if _, err := BuildSpark(csvDir, sparkdb.ScriptOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	after := dirNames(t, csvDir)
+	if !slices.Equal(before, after) {
+		t.Errorf("csv dir changed:\n before %v\n after  %v", before, after)
+	}
+}
+
+func dirNames(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	slices.Sort(names)
+	return names
 }

@@ -33,6 +33,7 @@ import (
 	"twigraph/internal/idx"
 	"twigraph/internal/obs"
 	"twigraph/internal/pagecache"
+	"twigraph/internal/par"
 	"twigraph/internal/storage"
 	"twigraph/internal/wal"
 )
@@ -103,6 +104,8 @@ type DB struct {
 	cTxCommit   *obs.Counter
 	cTxAbort    *obs.Counter
 
+	parMetrics par.Metrics // par_shards / par_merge_nanos for parallel traversals
+
 	writeMu sync.Mutex // single writer
 	closed  bool
 }
@@ -171,6 +174,7 @@ func Open(dir string, cfg Config) (*DB, error) {
 	db.cTxBegin = db.reg.Counter(CTxBegin)
 	db.cTxCommit = db.reg.Counter(CTxCommit)
 	db.cTxAbort = db.reg.Counter(CTxAbort)
+	db.parMetrics = par.MetricsFrom(db.reg)
 	db.tracer.Watch(obs.CRecordFetches, db.cFetches)
 	db.tracer.Watch(obs.CPageFaults, db.cFaults)
 	var err error

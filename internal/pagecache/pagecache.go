@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"twigraph/internal/obs"
 )
@@ -23,6 +24,16 @@ import (
 // PageSize is the fixed page size in bytes. 8 KiB matches Neo4j's page
 // cache unit.
 const PageSize = 8192
+
+// Striping: at bench capacities (thousands of pages) a single mutex
+// serialises the whole read path of the parallel query executor, so the
+// cache shards its residency state into independent stripes keyed by
+// page id. Small caches keep one stripe — eviction then considers every
+// resident page globally, which the exact-count eviction tests rely on.
+const (
+	stripeCount        = 8
+	stripedMinCapacity = 64
+)
 
 // Stats aggregates cache activity counters. All counters are cumulative
 // since the cache was opened.
@@ -33,23 +44,42 @@ type Stats struct {
 	Flushes   uint64 // dirty pages written back
 }
 
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.Faults += o.Faults
+	s.Evictions += o.Evictions
+	s.Flushes += o.Flushes
+}
+
 // Cache is a pinned-page LRU cache over one backing file. It is safe for
-// concurrent use: structural state (residency, LRU, pins) is guarded by
-// mu, while page *contents* are guarded by dataMu — readers and the
-// write-back path share it, mutators take it exclusively. Lock order is
-// always mu before dataMu.
+// concurrent use: residency state (pages, LRU, pins, stats) lives in
+// per-stripe shards each guarded by their own mu, while page *contents*
+// are guarded by the stripe's dataMu — readers and the write-back path
+// share it, mutators take it exclusively. Lock order within a stripe is
+// always mu before dataMu; no operation holds two stripes at once except
+// the whole-cache walks (FlushAll, Cool, ...), which visit stripes one
+// at a time.
 type Cache struct {
+	file     *os.File
+	capacity int // max resident pages, summed over stripes
+	stripes  []*stripe
+	ins      atomic.Pointer[Instruments]
+	size     atomic.Int64 // logical file size in bytes
+	closed   atomic.Bool
+}
+
+// stripe owns the residency state for the page ids hashed to it. Each
+// stripe runs the same LRU protocol the cache used to run globally, over
+// its share of the capacity.
+type stripe struct {
+	c        *Cache
 	mu       sync.Mutex
 	dataMu   sync.RWMutex
-	file     *os.File
-	capacity int // max resident pages
+	capacity int
 	pages    map[int64]*page
 	lruHead  *page // most recently used
 	lruTail  *page // least recently used
 	stats    Stats
-	ins      Instruments
-	size     int64 // logical file size in bytes
-	closed   bool
 }
 
 // Instruments binds a cache to the shared observability registry: each
@@ -68,9 +98,7 @@ type Instruments struct {
 
 // Instrument attaches registry counters and a tracer to the cache.
 func (c *Cache) Instrument(ins Instruments) {
-	c.mu.Lock()
-	c.ins = ins
-	c.mu.Unlock()
+	c.ins.Store(&ins)
 }
 
 type page struct {
@@ -96,18 +124,36 @@ func Open(path string, capacity int) (*Cache, error) {
 		f.Close()
 		return nil, err
 	}
-	return &Cache{
-		file:     f,
-		capacity: capacity,
-		pages:    make(map[int64]*page, capacity),
-		size:     fi.Size(),
-	}, nil
+	n := 1
+	if capacity >= stripedMinCapacity {
+		n = stripeCount
+	}
+	c := &Cache{file: f, capacity: capacity}
+	c.size.Store(fi.Size())
+	c.ins.Store(&Instruments{})
+	c.stripes = make([]*stripe, n)
+	for i := range c.stripes {
+		share := capacity / n
+		if i < capacity%n {
+			share++
+		}
+		c.stripes[i] = &stripe{
+			c:        c,
+			capacity: share,
+			pages:    make(map[int64]*page, share),
+		}
+	}
+	return c, nil
+}
+
+func (c *Cache) stripeFor(id int64) *stripe {
+	return c.stripes[uint64(id)%uint64(len(c.stripes))]
 }
 
 // Page is a pinned reference to a resident page. The caller must Unpin
 // it when done; writes must go through MarkDirty.
 type Page struct {
-	c *Cache
+	s *stripe
 	p *page
 }
 
@@ -120,137 +166,150 @@ func (pg Page) Data() []byte { return pg.p.buf }
 // Read invokes fn with the page bytes under the shared data lock, so it
 // is safe against concurrent Write and write-back.
 func (pg Page) Read(fn func(buf []byte)) {
-	pg.c.dataMu.RLock()
+	pg.s.dataMu.RLock()
 	fn(pg.p.buf)
-	pg.c.dataMu.RUnlock()
+	pg.s.dataMu.RUnlock()
 }
 
 // Write invokes fn with the page bytes under the exclusive data lock
 // and marks the page dirty.
 func (pg Page) Write(fn func(buf []byte)) {
-	pg.c.dataMu.Lock()
+	pg.s.dataMu.Lock()
 	fn(pg.p.buf)
-	pg.c.dataMu.Unlock()
+	pg.s.dataMu.Unlock()
 	pg.MarkDirty()
 }
 
 // MarkDirty records that the page was modified and must be written back
 // before eviction.
 func (pg Page) MarkDirty() {
-	pg.c.mu.Lock()
+	pg.s.mu.Lock()
 	pg.p.dirty = true
-	pg.c.mu.Unlock()
+	pg.s.mu.Unlock()
 }
 
 // Unpin releases the pin taken by Get.
 func (pg Page) Unpin() {
-	pg.c.mu.Lock()
+	pg.s.mu.Lock()
 	if pg.p.pins > 0 {
 		pg.p.pins--
 	}
-	pg.c.mu.Unlock()
+	pg.s.mu.Unlock()
 }
 
 // Get pins the page with the given id, faulting it in if necessary. Page
 // ids map to byte offset id*PageSize; reading past the current file size
 // yields zero bytes (the file grows lazily on flush).
 func (c *Cache) Get(id int64) (Page, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+	return c.stripeFor(id).get(id)
+}
+
+func (s *stripe) get(id int64) (Page, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pages == nil {
 		return Page{}, fmt.Errorf("pagecache: closed")
 	}
-	if p, ok := c.pages[id]; ok {
-		c.stats.Hits++
-		if c.ins.Hits != nil {
-			c.ins.Hits.Inc()
+	ins := s.c.ins.Load()
+	if p, ok := s.pages[id]; ok {
+		s.stats.Hits++
+		if ins.Hits != nil {
+			ins.Hits.Inc()
 		}
 		p.pins++
-		c.touch(p)
-		return Page{c: c, p: p}, nil
+		s.touch(p)
+		return Page{s: s, p: p}, nil
 	}
-	c.stats.Faults++
-	if c.ins.Faults != nil {
-		c.ins.Faults.Inc()
+	s.stats.Faults++
+	if ins.Faults != nil {
+		ins.Faults.Inc()
 	}
-	if c.ins.Tracer != nil {
-		c.ins.Tracer.Event("page_faults", 1)
+	if ins.Tracer != nil {
+		ins.Tracer.Event("page_faults", 1)
 	}
-	if err := c.evictIfFullLocked(); err != nil {
+	if err := s.evictIfFullLocked(ins); err != nil {
 		return Page{}, err
 	}
 	p := &page{id: id, buf: make([]byte, PageSize), pins: 1}
 	off := id * PageSize
-	if off < c.size {
-		if _, err := c.file.ReadAt(p.buf, off); err != nil {
+	if size := s.c.size.Load(); off < size {
+		if _, err := s.c.file.ReadAt(p.buf, off); err != nil {
 			// Short read at EOF leaves the tail zeroed, which is
 			// exactly what a lazily-grown file should produce.
-			n := c.size - off
+			n := size - off
 			if n < 0 || n >= PageSize {
 				return Page{}, err
 			}
 		}
 	}
-	c.pages[id] = p
-	c.pushFront(p)
-	return Page{c: c, p: p}, nil
+	s.pages[id] = p
+	s.pushFront(p)
+	return Page{s: s, p: p}, nil
 }
 
 // evictIfFullLocked evicts the least-recently-used unpinned page when at
 // capacity. It fails if every resident page is pinned.
-func (c *Cache) evictIfFullLocked() error {
-	for len(c.pages) >= c.capacity {
-		victim := c.lruTail
+func (s *stripe) evictIfFullLocked(ins *Instruments) error {
+	for len(s.pages) >= s.capacity {
+		victim := s.lruTail
 		for victim != nil && victim.pins > 0 {
 			victim = victim.prev
 		}
 		if victim == nil {
-			return fmt.Errorf("pagecache: all %d pages pinned", len(c.pages))
+			return fmt.Errorf("pagecache: all %d pages pinned", len(s.pages))
 		}
 		if victim.dirty {
-			if err := c.writeBackLocked(victim); err != nil {
+			if err := s.writeBackLocked(victim, ins); err != nil {
 				return err
 			}
 		}
-		c.unlink(victim)
-		delete(c.pages, victim.id)
-		c.stats.Evictions++
-		if c.ins.Evictions != nil {
-			c.ins.Evictions.Inc()
+		s.unlink(victim)
+		delete(s.pages, victim.id)
+		s.stats.Evictions++
+		if ins.Evictions != nil {
+			ins.Evictions.Inc()
 		}
 	}
 	return nil
 }
 
-func (c *Cache) writeBackLocked(p *page) error {
+func (s *stripe) writeBackLocked(p *page, ins *Instruments) error {
 	off := p.id * PageSize
-	c.dataMu.RLock()
-	_, err := c.file.WriteAt(p.buf, off)
-	c.dataMu.RUnlock()
+	s.dataMu.RLock()
+	_, err := s.c.file.WriteAt(p.buf, off)
+	s.dataMu.RUnlock()
 	if err != nil {
 		return err
 	}
-	if end := off + PageSize; end > c.size {
-		c.size = end
+	end := off + PageSize
+	for {
+		size := s.c.size.Load()
+		if end <= size || s.c.size.CompareAndSwap(size, end) {
+			break
+		}
 	}
 	p.dirty = false
-	c.stats.Flushes++
-	if c.ins.Flushes != nil {
-		c.ins.Flushes.Inc()
+	s.stats.Flushes++
+	if ins.Flushes != nil {
+		ins.Flushes.Inc()
 	}
 	return nil
 }
 
 // FlushAll writes back every dirty page without evicting.
 func (c *Cache) FlushAll() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, p := range c.pages {
-		if p.dirty {
-			if err := c.writeBackLocked(p); err != nil {
-				return err
+	ins := c.ins.Load()
+	for _, s := range c.stripes {
+		s.mu.Lock()
+		for _, p := range s.pages {
+			if p.dirty {
+				if err := s.writeBackLocked(p, ins); err != nil {
+					s.mu.Unlock()
+					return err
+				}
 			}
 		}
+		s.mu.Unlock()
 	}
 	return nil
 }
@@ -266,57 +325,73 @@ func (c *Cache) Sync() error {
 // Cool flushes and evicts every resident page, simulating a cold cache.
 // Pinned pages are flushed but stay resident.
 func (c *Cache) Cool() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for id, p := range c.pages {
-		if p.dirty {
-			if err := c.writeBackLocked(p); err != nil {
-				return err
+	ins := c.ins.Load()
+	for _, s := range c.stripes {
+		s.mu.Lock()
+		for id, p := range s.pages {
+			if p.dirty {
+				if err := s.writeBackLocked(p, ins); err != nil {
+					s.mu.Unlock()
+					return err
+				}
+			}
+			if p.pins == 0 {
+				s.unlink(p)
+				delete(s.pages, id)
+				s.stats.Evictions++
+				if ins.Evictions != nil {
+					ins.Evictions.Inc()
+				}
 			}
 		}
-		if p.pins == 0 {
-			c.unlink(p)
-			delete(c.pages, id)
-			c.stats.Evictions++
-			if c.ins.Evictions != nil {
-				c.ins.Evictions.Inc()
-			}
-		}
+		s.mu.Unlock()
 	}
 	return nil
 }
 
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var out Stats
+	for _, s := range c.stripes {
+		s.mu.Lock()
+		out.add(s.stats)
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // ResetStats zeroes the counters (used between experiment phases).
 func (c *Cache) ResetStats() {
-	c.mu.Lock()
-	c.stats = Stats{}
-	c.mu.Unlock()
+	for _, s := range c.stripes {
+		s.mu.Lock()
+		s.stats = Stats{}
+		s.mu.Unlock()
+	}
 }
 
 // Resident returns the number of pages currently cached.
 func (c *Cache) Resident() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.pages)
+	n := 0
+	for _, s := range c.stripes {
+		s.mu.Lock()
+		n += len(s.pages)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Size returns the logical size of the backing file in bytes, including
 // pages not yet flushed.
 func (c *Cache) Size() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	sz := c.size
-	for _, p := range c.pages {
-		if end := (p.id + 1) * PageSize; p.dirty && end > sz {
-			sz = end
+	sz := c.size.Load()
+	for _, s := range c.stripes {
+		s.mu.Lock()
+		for _, p := range s.pages {
+			if end := (p.id + 1) * PageSize; p.dirty && end > sz {
+				sz = end
+			}
 		}
+		s.mu.Unlock()
 	}
 	return sz
 }
@@ -324,59 +399,59 @@ func (c *Cache) Size() int64 {
 // Close flushes and closes the backing file. The cache is unusable
 // afterwards.
 func (c *Cache) Close() error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if c.closed.Swap(true) {
 		return nil
 	}
-	for _, p := range c.pages {
-		if p.dirty {
-			if err := c.writeBackLocked(p); err != nil {
-				c.mu.Unlock()
-				return err
+	ins := c.ins.Load()
+	for _, s := range c.stripes {
+		s.mu.Lock()
+		for _, p := range s.pages {
+			if p.dirty {
+				if err := s.writeBackLocked(p, ins); err != nil {
+					s.mu.Unlock()
+					return err
+				}
 			}
 		}
+		s.pages = nil
+		s.lruHead, s.lruTail = nil, nil
+		s.mu.Unlock()
 	}
-	c.closed = true
-	f := c.file
-	c.pages = nil
-	c.lruHead, c.lruTail = nil, nil
-	c.mu.Unlock()
-	return f.Close()
+	return c.file.Close()
 }
 
-// ---------- LRU list maintenance (c.mu held) ----------
+// ---------- LRU list maintenance (s.mu held) ----------
 
-func (c *Cache) pushFront(p *page) {
+func (s *stripe) pushFront(p *page) {
 	p.prev = nil
-	p.next = c.lruHead
-	if c.lruHead != nil {
-		c.lruHead.prev = p
+	p.next = s.lruHead
+	if s.lruHead != nil {
+		s.lruHead.prev = p
 	}
-	c.lruHead = p
-	if c.lruTail == nil {
-		c.lruTail = p
+	s.lruHead = p
+	if s.lruTail == nil {
+		s.lruTail = p
 	}
 }
 
-func (c *Cache) unlink(p *page) {
+func (s *stripe) unlink(p *page) {
 	if p.prev != nil {
 		p.prev.next = p.next
 	} else {
-		c.lruHead = p.next
+		s.lruHead = p.next
 	}
 	if p.next != nil {
 		p.next.prev = p.prev
 	} else {
-		c.lruTail = p.prev
+		s.lruTail = p.prev
 	}
 	p.prev, p.next = nil, nil
 }
 
-func (c *Cache) touch(p *page) {
-	if c.lruHead == p {
+func (s *stripe) touch(p *page) {
+	if s.lruHead == p {
 		return
 	}
-	c.unlink(p)
-	c.pushFront(p)
+	s.unlink(p)
+	s.pushFront(p)
 }

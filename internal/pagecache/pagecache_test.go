@@ -1,9 +1,11 @@
 package pagecache
 
 import (
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -280,5 +282,77 @@ func BenchmarkGetHit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pg, _ := c.Get(0)
 		pg.Unpin()
+	}
+}
+
+func TestStripedModeActivates(t *testing.T) {
+	small := openTemp(t, stripedMinCapacity-1)
+	if got := len(small.stripes); got != 1 {
+		t.Fatalf("capacity %d: want 1 stripe, got %d", stripedMinCapacity-1, got)
+	}
+	big := openTemp(t, stripedMinCapacity)
+	if got := len(big.stripes); got != stripeCount {
+		t.Fatalf("capacity %d: want %d stripes, got %d", stripedMinCapacity, stripeCount, got)
+	}
+	total := 0
+	for _, s := range big.stripes {
+		total += s.capacity
+	}
+	if total != stripedMinCapacity {
+		t.Fatalf("stripe capacities sum to %d, want %d", total, stripedMinCapacity)
+	}
+}
+
+// TestConcurrentStripedAccess hammers a striped cache from many
+// goroutines mixing hits, faults, evictions and write-backs; run under
+// -race it checks the striped read path is actually concurrency-safe.
+func TestConcurrentStripedAccess(t *testing.T) {
+	c := openTemp(t, 128)
+	if len(c.stripes) != stripeCount {
+		t.Fatalf("want striped mode, got %d stripes", len(c.stripes))
+	}
+	const (
+		goroutines = 8
+		iters      = 400
+		idSpace    = 512 // 4x capacity so evictions happen constantly
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				id := rng.Int63n(idSpace)
+				pg, err := c.Get(id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if rng.Intn(2) == 0 {
+					pg.Write(func(buf []byte) { buf[0] = byte(id) })
+				} else {
+					pg.Read(func(buf []byte) {
+						if buf[0] != 0 && buf[0] != byte(id) {
+							errs <- fmt.Errorf("page %d: corrupt byte %d", id, buf[0])
+						}
+					})
+				}
+				pg.Unpin()
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Faults == 0 || st.Evictions == 0 {
+		t.Fatalf("expected faults and evictions, got %+v", st)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
 	}
 }

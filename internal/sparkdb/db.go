@@ -30,6 +30,7 @@ import (
 	"twigraph/internal/bitmap"
 	"twigraph/internal/graph"
 	"twigraph/internal/obs"
+	"twigraph/internal/par"
 )
 
 // oidTypeShift positions the type id in the top bits of an OID, leaving
@@ -97,6 +98,8 @@ type DB struct {
 	cNavExplodes  *obs.Counter
 	cNavSelects   *obs.Counter
 	cNavFinds     *obs.Counter
+
+	parMetrics par.Metrics // par_shards / par_merge_nanos for parallel queries
 }
 
 type typeInfo struct {
@@ -155,6 +158,7 @@ func New(cfg Config) *DB {
 		cNavExplodes:  reg.Counter(CNavExplodes),
 		cNavSelects:   reg.Counter(CNavSelects),
 		cNavFinds:     reg.Counter(CNavFinds),
+		parMetrics:    par.MetricsFrom(reg),
 	}
 	db.tracer.Watch(obs.CRecordFetches, db.cFetches)
 	return db

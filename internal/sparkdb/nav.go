@@ -5,6 +5,7 @@ import (
 
 	"twigraph/internal/bitmap"
 	"twigraph/internal/graph"
+	"twigraph/internal/par"
 )
 
 // Neighbors returns the set of nodes adjacent to oid through edges of
@@ -20,27 +21,29 @@ func (db *DB) Neighbors(oid uint64, edgeType graph.TypeID, dir graph.Direction) 
 	if ti == nil || !ti.isEdge {
 		return db.newObjects(bitmap.New())
 	}
-	out := bitmap.New()
 	if ti.materialized {
 		// One bitmap union per direction: the neighbor set is the
 		// stored record, so this is a single "fetch" regardless of
-		// degree — the cost profile materialisation buys.
+		// degree — the cost profile materialisation buys. OrMany
+		// assembles the answer with one output allocation.
+		var outNbrs, inNbrs *bitmap.Bitmap
 		if dir == graph.Outgoing || dir == graph.Any {
 			if b := ti.outNbrs[oid]; b != nil {
 				db.cFetches.Inc()
 				db.hooks.orOp()
-				out.Union(b)
+				outNbrs = b
 			}
 		}
 		if dir == graph.Incoming || dir == graph.Any {
 			if b := ti.inNbrs[oid]; b != nil {
 				db.cFetches.Inc()
 				db.hooks.orOp()
-				out.Union(b)
+				inNbrs = b
 			}
 		}
-		return db.newObjects(out)
+		return db.newObjects(bitmap.OrMany(outNbrs, inNbrs))
 	}
+	out := bitmap.New()
 	// Without materialisation every incident edge record is resolved to
 	// its far endpoint: one scan per link bitmap, one fetch per edge.
 	if dir == graph.Outgoing || dir == graph.Any {
@@ -78,22 +81,22 @@ func (db *DB) Explode(oid uint64, edgeType graph.TypeID, dir graph.Direction) *O
 	if ti == nil || !ti.isEdge {
 		return db.newObjects(bitmap.New())
 	}
-	out := bitmap.New()
+	var outLinks, inLinks *bitmap.Bitmap
 	if dir == graph.Outgoing || dir == graph.Any {
 		if b := ti.outLinks[oid]; b != nil {
 			db.cFetches.Inc()
 			db.hooks.orOp()
-			out.Union(b)
+			outLinks = b
 		}
 	}
 	if dir == graph.Incoming || dir == graph.Any {
 		if b := ti.inLinks[oid]; b != nil {
 			db.cFetches.Inc()
 			db.hooks.orOp()
-			out.Union(b)
+			inLinks = b
 		}
 	}
-	return db.newObjects(out)
+	return db.newObjects(bitmap.OrMany(outLinks, inLinks))
 }
 
 // Degree returns the number of edges of edgeType incident to oid in the
@@ -223,6 +226,51 @@ func (db *DB) SinglePairShortestPathBFS(src, dst uint64, edgeTypes []graph.TypeI
 		frontier = next
 	}
 	return nil, false
+}
+
+// SinglePairShortestPathLength is the length-only variant of
+// SinglePairShortestPathBFS with level-synchronous frontier
+// parallelism: each BFS level is sharded across workers goroutines
+// (every shard unions its nodes' neighbor bitmaps into a shard-local
+// set), the shard frontiers are merged in shard order with a k-way
+// OrMany, and the visited set is subtracted in place. The returned
+// (length, found) pair is identical for every worker count — a node's
+// BFS level does not depend on the order frontiers are expanded in.
+func (db *DB) SinglePairShortestPathLength(src, dst uint64, edgeTypes []graph.TypeID, dir graph.Direction, maxHops, workers int) (int, bool) {
+	if src == dst {
+		return 0, true
+	}
+	// Below this frontier width a level expands inline: unioning a few
+	// link bitmaps is cheaper than forking goroutines for them.
+	const minPerShard = 128
+	visited := bitmap.Of(src)
+	frontier := []uint64{src}
+	for hop := 1; hop <= maxHops && len(frontier) > 0; hop++ {
+		w := par.WorkersForSize(workers, len(frontier), minPerShard)
+		shards := par.RunRanges(w, len(frontier), db.parMetrics, func(lo, hi int) *bitmap.Bitmap {
+			local := bitmap.New()
+			for _, n := range frontier[lo:hi] {
+				for _, et := range edgeTypes {
+					local.Union(db.Neighbors(n, et, dir).bits)
+				}
+			}
+			return local
+		})
+		var next *bitmap.Bitmap
+		db.parMetrics.TimeMerge(func() {
+			next = bitmap.OrMany(shards...)
+			next.Difference(visited)
+		})
+		if next.Contains(dst) {
+			return hop, true
+		}
+		if next.IsEmpty() {
+			return 0, false
+		}
+		visited.Union(next)
+		frontier = next.Slice()
+	}
+	return 0, false
 }
 
 func rebuildPath(parent map[uint64]uint64, src, dst uint64) []uint64 {

@@ -30,7 +30,8 @@ type ScriptOptions struct {
 	CacheSize   int64  // bytes buffered before a flush; default 5 GiB
 	Materialize bool   // materialise neighbor indexes during import
 	Recovery    bool   // enable recovery/rollback (slows insertion)
-	ImagePath   string // where flushes persist the image; default <script>.img
+	ImagePath   string // where flushes persist the image; default <script dir>/sparkdb.img
+	DataDir     string // directory CSV references resolve against; default the script's directory
 	BatchRows   int    // progress callback granularity; default 100k
 }
 
@@ -166,9 +167,9 @@ func parseRef(s string) (endpointRef, error) {
 }
 
 // RunScript parses and executes the script at path against db. CSV
-// files are resolved relative to the script's directory. The optional
-// progress callback receives one event per BatchRows rows and after
-// every flush stall.
+// files are resolved relative to opts.DataDir, or to the script's
+// directory when unset. The optional progress callback receives one
+// event per BatchRows rows and after every flush stall.
 func (db *DB) RunScript(path string, opts ScriptOptions, progress func(Progress)) (ScriptResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -220,9 +221,13 @@ func (db *DB) runDecls(dir string, decls []scriptDecl, opts ScriptOptions, progr
 	if opts.ImagePath == "" {
 		opts.ImagePath = filepath.Join(dir, "sparkdb.img")
 	}
+	dataDir := opts.DataDir
+	if dataDir == "" {
+		dataDir = dir
+	}
 
 	start := time.Now()
-	ld := &scriptLoader{db: db, dir: dir, opts: opts, progress: progress}
+	ld := &scriptLoader{db: db, dir: dataDir, opts: opts, progress: progress}
 	for _, d := range decls {
 		switch d.kind {
 		case "node":

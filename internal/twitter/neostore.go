@@ -8,6 +8,7 @@ import (
 	"twigraph/internal/graph"
 	"twigraph/internal/neodb"
 	"twigraph/internal/obs"
+	"twigraph/internal/par"
 )
 
 // NeoStore implements the workload on the Neo4j-analog engine through
@@ -21,15 +22,33 @@ import (
 type NeoStore struct {
 	db     *neodb.DB
 	engine *cypher.Engine
+
+	workers int         // per-query parallelism (1 = declarative/Cypher path)
+	parm    par.Metrics // shard/merge counters on the engine registry
 }
 
 // NewNeoStore wraps an opened neodb database.
 func NewNeoStore(db *neodb.DB) *NeoStore {
-	return &NeoStore{db: db, engine: cypher.NewEngine(db)}
+	return &NeoStore{
+		db:      db,
+		engine:  cypher.NewEngine(db),
+		workers: par.Workers(0),
+		parm:    par.MetricsFrom(db.Obs()),
+	}
 }
 
 // Name implements Store.
 func (s *NeoStore) Name() string { return "neo" }
+
+// SetWorkers sets the per-query parallelism. With n = 1 every query
+// runs through the declarative engine exactly as before; with n > 1 the
+// multi-hop queries switch to frontier-sharded imperative equivalents
+// (neostore_parallel.go) that return byte-identical results. n <= 0
+// resets to the default (GOMAXPROCS).
+func (s *NeoStore) SetWorkers(n int) { s.workers = par.Workers(n) }
+
+// Workers returns the current per-query parallelism.
+func (s *NeoStore) Workers() int { return s.workers }
 
 // Close implements Store.
 func (s *NeoStore) Close() error { return s.db.Close() }
@@ -140,6 +159,9 @@ func (s *NeoStore) HashtagsOfFollowees(uid int64) ([]string, error) {
 
 // CoMentionedUsers implements Q3.1.
 func (s *NeoStore) CoMentionedUsers(uid int64, n int) ([]Counted, error) {
+	if s.workers > 1 {
+		return s.coMentionedParallel(uid, n)
+	}
 	return s.queryCounted(
 		`MATCH (a:user {uid: $uid})<-[:mentions]-(t:tweet)-[:mentions]->(o:user)
 		 WHERE o.uid <> $uid
@@ -149,6 +171,9 @@ func (s *NeoStore) CoMentionedUsers(uid int64, n int) ([]Counted, error) {
 
 // CoOccurringHashtags implements Q3.2.
 func (s *NeoStore) CoOccurringHashtags(tag string, n int) ([]CountedTag, error) {
+	if s.workers > 1 {
+		return s.coOccurringTagsParallel(tag, n)
+	}
 	res, err := s.engine.Query(
 		`MATCH (h:hashtag {tag: $tag})<-[:tags]-(t:tweet)-[:tags]->(o:hashtag)
 		 WHERE o.tag <> $tag
@@ -168,6 +193,9 @@ func (s *NeoStore) CoOccurringHashtags(tag string, n int) ([]CountedTag, error) 
 // collect the 1-step followees, then check depth-2 candidates against
 // the collection — which the authors found fastest.
 func (s *NeoStore) RecommendFollowees(uid int64, n int) ([]Counted, error) {
+	if s.workers > 1 {
+		return s.recommendFolloweesParallel(uid, n)
+	}
 	return s.queryCounted(QueryRecommendMethodB, params("uid", uid, "n", n))
 }
 
@@ -271,6 +299,9 @@ func (s *NeoStore) topNByNode(counts map[graph.NodeID]int64, uidKey graph.AttrID
 
 // RecommendFollowersOfFollowees implements Q4.2.
 func (s *NeoStore) RecommendFollowersOfFollowees(uid int64, n int) ([]Counted, error) {
+	if s.workers > 1 {
+		return s.recommendFollowersParallel(uid, n)
+	}
 	return s.queryCounted(
 		`MATCH (a:user {uid: $uid})-[:follows]->(f:user)<-[:follows]-(x:user)
 		 WHERE x.uid <> $uid AND NOT (a)-[:follows]->(x)
@@ -280,6 +311,9 @@ func (s *NeoStore) RecommendFollowersOfFollowees(uid int64, n int) ([]Counted, e
 
 // CurrentInfluence implements Q5.1.
 func (s *NeoStore) CurrentInfluence(uid int64, n int) ([]Counted, error) {
+	if s.workers > 1 {
+		return s.influenceParallel(uid, n, true)
+	}
 	return s.queryCounted(
 		`MATCH (a:user {uid: $uid})<-[:mentions]-(t:tweet)<-[:posts]-(m:user)
 		 WHERE m.uid <> $uid AND (m)-[:follows]->(a)
@@ -289,6 +323,9 @@ func (s *NeoStore) CurrentInfluence(uid int64, n int) ([]Counted, error) {
 
 // PotentialInfluence implements Q5.2.
 func (s *NeoStore) PotentialInfluence(uid int64, n int) ([]Counted, error) {
+	if s.workers > 1 {
+		return s.influenceParallel(uid, n, false)
+	}
 	return s.queryCounted(
 		`MATCH (a:user {uid: $uid})<-[:mentions]-(t:tweet)<-[:posts]-(m:user)
 		 WHERE m.uid <> $uid AND NOT (m)-[:follows]->(a)
@@ -297,8 +334,14 @@ func (s *NeoStore) PotentialInfluence(uid int64, n int) ([]Counted, error) {
 }
 
 // ShortestPathLength implements Q6.1 via the Cypher shortestPath
-// function with the paper's hop bound.
+// function with the paper's hop bound. With Workers > 1 it runs the
+// same bidirectional search imperatively with frontier-parallel levels
+// (ShortestPathLength on the engine), returning the identical
+// (length, found) pair.
 func (s *NeoStore) ShortestPathLength(fromUID, toUID int64, maxHops int) (int, bool, error) {
+	if s.workers > 1 {
+		return s.shortestPathParallel(fromUID, toUID, maxHops)
+	}
 	res, err := s.engine.Query(fmt.Sprintf(
 		`MATCH (a:user {uid: $a}), (b:user {uid: $b}),
 		        p = shortestPath((a)-[:follows*..%d]->(b))

@@ -1,0 +1,257 @@
+package twitter
+
+import (
+	"sync"
+
+	"twigraph/internal/graph"
+	"twigraph/internal/neodb"
+	"twigraph/internal/par"
+)
+
+// This file holds the Workers>1 execution paths of the NeoStore
+// multi-hop queries. The declarative engine executes one plan on one
+// goroutine; parallelising *inside* it would mean a concurrent operator
+// tree, so instead each query's semantics are restated imperatively
+// over the concurrent-safe read path (FindNode / Relationships /
+// NodeProp) and the first hop's result list is sharded with
+// internal/par, exactly like the SparkStore. Every implementation
+// mirrors its Cypher text row-for-row: per-edge path counting, the same
+// WHERE filters, and the same ORDER BY c DESC, id LIMIT n ranking — so
+// Workers=1 (Cypher) and Workers=N (sharded imperative) return
+// byte-identical results, which the determinism tests pin.
+
+// minItemsPerShard is the 2-hop sharding cutoff for both stores: an
+// anchor whose first hop is smaller than workers*minItemsPerShard uses
+// fewer shards (down to inline execution), since expanding a handful of
+// nodes is cheaper than forking goroutines for them.
+const minItemsPerShard = 32
+
+// errOnce captures the first error seen across worker shards.
+type errOnce struct {
+	once sync.Once
+	err  error
+}
+
+func (e *errOnce) set(err error) {
+	if err != nil {
+		e.once.Do(func() { e.err = err })
+	}
+}
+
+// coMentionedParallel is Q3.1: tweets mentioning A fan out to the other
+// users they mention, counted per path.
+func (s *NeoStore) coMentionedParallel(uid int64, n int) ([]Counted, error) {
+	user := s.db.LabelID(LabelUser)
+	uidKey := s.db.PropKeyID(PropUID)
+	mentions := s.db.RelTypeID(RelMentions)
+	a, ok := s.db.FindNode(user, uidKey, graph.IntValue(uid))
+	if !ok {
+		return []Counted{}, nil
+	}
+	var tweets []graph.NodeID // one entry per mention edge into A
+	if err := s.db.Relationships(a, mentions, graph.Incoming, func(r neodb.Rel) bool {
+		tweets = append(tweets, r.Src)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	var eo errOnce
+	counts := par.CountSharded(par.WorkersForSize(s.workers, len(tweets), minItemsPerShard), s.parm, tweets, func(t graph.NodeID, acc map[graph.NodeID]int64) {
+		eo.set(s.db.Relationships(t, mentions, graph.Outgoing, func(r neodb.Rel) bool {
+			if r.Dst != a {
+				acc[r.Dst]++
+			}
+			return true
+		}))
+	})
+	if eo.err != nil {
+		return nil, eo.err
+	}
+	return s.topNByNode(counts, uidKey, n)
+}
+
+// coOccurringTagsParallel is Q3.2: same shape as Q3.1 over the tags
+// relationship, ranked by tag string.
+func (s *NeoStore) coOccurringTagsParallel(tag string, n int) ([]CountedTag, error) {
+	hashtag := s.db.LabelID(LabelHashtag)
+	tagKey := s.db.PropKeyID(PropTag)
+	tags := s.db.RelTypeID(RelTags)
+	h, ok := s.db.FindNode(hashtag, tagKey, graph.StringValue(tag))
+	if !ok {
+		return []CountedTag{}, nil
+	}
+	var tweets []graph.NodeID
+	if err := s.db.Relationships(h, tags, graph.Incoming, func(r neodb.Rel) bool {
+		tweets = append(tweets, r.Src)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	var eo errOnce
+	counts := par.CountSharded(par.WorkersForSize(s.workers, len(tweets), minItemsPerShard), s.parm, tweets, func(t graph.NodeID, acc map[graph.NodeID]int64) {
+		eo.set(s.db.Relationships(t, tags, graph.Outgoing, func(r neodb.Rel) bool {
+			if r.Dst != h {
+				acc[r.Dst]++
+			}
+			return true
+		}))
+	})
+	if eo.err != nil {
+		return nil, eo.err
+	}
+	out := make([]CountedTag, 0, len(counts))
+	for node, c := range counts {
+		v, err := s.db.NodeProp(node, tagKey)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CountedTag{Tag: v.Str(), Count: c})
+	}
+	sortCountedTags(out)
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out, nil
+}
+
+// followeeFirstHop resolves A and walks its outgoing follows edges
+// once, returning the anchor, the per-edge followee list (path
+// semantics) and the distinct followee set (the collected `direct`
+// exclusion list of Q4's method b).
+func (s *NeoStore) followeeFirstHop(uid int64) (a graph.NodeID, ok bool, followees []graph.NodeID, direct map[graph.NodeID]bool, err error) {
+	user := s.db.LabelID(LabelUser)
+	uidKey := s.db.PropKeyID(PropUID)
+	follows := s.db.RelTypeID(RelFollows)
+	a, ok = s.db.FindNode(user, uidKey, graph.IntValue(uid))
+	if !ok {
+		return 0, false, nil, nil, nil
+	}
+	direct = map[graph.NodeID]bool{}
+	err = s.db.Relationships(a, follows, graph.Outgoing, func(r neodb.Rel) bool {
+		followees = append(followees, r.Dst)
+		direct[r.Dst] = true
+		return true
+	})
+	return a, true, followees, direct, err
+}
+
+// recommendFolloweesParallel is Q4.1 (method b): count depth-2 followee
+// paths, excluding A and its direct followees. Workers share the
+// read-only direct set.
+func (s *NeoStore) recommendFolloweesParallel(uid int64, n int) ([]Counted, error) {
+	a, ok, followees, direct, err := s.followeeFirstHop(uid)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return []Counted{}, nil
+	}
+	follows := s.db.RelTypeID(RelFollows)
+	var eo errOnce
+	counts := par.CountSharded(par.WorkersForSize(s.workers, len(followees), minItemsPerShard), s.parm, followees, func(f graph.NodeID, acc map[graph.NodeID]int64) {
+		eo.set(s.db.Relationships(f, follows, graph.Outgoing, func(r neodb.Rel) bool {
+			if g := r.Dst; g != a && !direct[g] {
+				acc[g]++
+			}
+			return true
+		}))
+	})
+	if eo.err != nil {
+		return nil, eo.err
+	}
+	return s.topNByNode(counts, s.db.PropKeyID(PropUID), n)
+}
+
+// recommendFollowersParallel is Q4.2: followers of A's followees,
+// excluding A and users A already follows.
+func (s *NeoStore) recommendFollowersParallel(uid int64, n int) ([]Counted, error) {
+	a, ok, followees, direct, err := s.followeeFirstHop(uid)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return []Counted{}, nil
+	}
+	follows := s.db.RelTypeID(RelFollows)
+	var eo errOnce
+	counts := par.CountSharded(par.WorkersForSize(s.workers, len(followees), minItemsPerShard), s.parm, followees, func(f graph.NodeID, acc map[graph.NodeID]int64) {
+		eo.set(s.db.Relationships(f, follows, graph.Incoming, func(r neodb.Rel) bool {
+			if x := r.Src; x != a && !direct[x] {
+				acc[x]++
+			}
+			return true
+		}))
+	})
+	if eo.err != nil {
+		return nil, eo.err
+	}
+	return s.topNByNode(counts, s.db.PropKeyID(PropUID), n)
+}
+
+// influenceParallel serves Q5.1 (keepFollowers=true) and Q5.2
+// (keepFollowers=false): count the users posting tweets that mention A,
+// then keep or drop the ones already following A. The follower check is
+// existential, matching the Cypher pattern predicate
+// `(m)-[:follows]->(a)`.
+func (s *NeoStore) influenceParallel(uid int64, n int, keepFollowers bool) ([]Counted, error) {
+	user := s.db.LabelID(LabelUser)
+	uidKey := s.db.PropKeyID(PropUID)
+	mentions := s.db.RelTypeID(RelMentions)
+	posts := s.db.RelTypeID(RelPosts)
+	follows := s.db.RelTypeID(RelFollows)
+	a, ok := s.db.FindNode(user, uidKey, graph.IntValue(uid))
+	if !ok {
+		return []Counted{}, nil
+	}
+	var tweets []graph.NodeID
+	if err := s.db.Relationships(a, mentions, graph.Incoming, func(r neodb.Rel) bool {
+		tweets = append(tweets, r.Src)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	var eo errOnce
+	counts := par.CountSharded(par.WorkersForSize(s.workers, len(tweets), minItemsPerShard), s.parm, tweets, func(t graph.NodeID, acc map[graph.NodeID]int64) {
+		eo.set(s.db.Relationships(t, posts, graph.Incoming, func(r neodb.Rel) bool {
+			if m := r.Src; m != a {
+				acc[m]++
+			}
+			return true
+		}))
+	})
+	if eo.err != nil {
+		return nil, eo.err
+	}
+	followers := map[graph.NodeID]bool{}
+	if err := s.db.Relationships(a, follows, graph.Incoming, func(r neodb.Rel) bool {
+		followers[r.Src] = true
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	for m := range counts {
+		if followers[m] != keepFollowers {
+			delete(counts, m)
+		}
+	}
+	return s.topNByNode(counts, uidKey, n)
+}
+
+// shortestPathParallel is Q6.1: the bidirectional length-only search
+// with frontier-parallel levels. An unknown endpoint yields no rows in
+// Cypher, hence (0, false) here.
+func (s *NeoStore) shortestPathParallel(fromUID, toUID int64, maxHops int) (int, bool, error) {
+	user := s.db.LabelID(LabelUser)
+	uidKey := s.db.PropKeyID(PropUID)
+	follows := s.db.RelTypeID(RelFollows)
+	a, ok := s.db.FindNode(user, uidKey, graph.IntValue(fromUID))
+	if !ok {
+		return 0, false, nil
+	}
+	b, ok := s.db.FindNode(user, uidKey, graph.IntValue(toUID))
+	if !ok {
+		return 0, false, nil
+	}
+	return s.db.ShortestPathLength(a, b,
+		[]neodb.Expander{{Type: follows, Dir: graph.Outgoing}}, maxHops, s.workers)
+}

@@ -1,0 +1,106 @@
+package twitter_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"twigraph/internal/gen"
+	"twigraph/internal/twitter"
+)
+
+// benchCfg is larger than the differential config so the frontiers are
+// wide enough for sharding to matter.
+func benchCfg() gen.Config {
+	cfg := gen.Default()
+	cfg.Users = 1500
+	cfg.AvgFollowees = 12
+	cfg.Hashtags = 60
+	cfg.MentionsPer = 0.9
+	cfg.TagsPer = 0.6
+	return cfg
+}
+
+var benchProbes = []int64{1, 2, 3, 5, 17, 42, 100, 700, 1499}
+
+// benchWorkloads compares each multi-hop query at Workers=1 against
+// Workers=GOMAXPROCS on both engines; one op sweeps all probes.
+func benchWorkloads(b *testing.B, sweep func(s twitter.Store) error) {
+	neo, spark, _ := buildBoth(b, benchCfg())
+	// At least 2 workers for the parallel arm, so the sharded paths run
+	// even on single-core machines.
+	wN := runtime.GOMAXPROCS(0)
+	if wN < 2 {
+		wN = 2
+	}
+	for _, s := range []workerStore{neo, spark} {
+		for _, wk := range []int{1, wN} {
+			b.Run(fmt.Sprintf("%s/w%d", s.Name(), wk), func(b *testing.B) {
+				s.SetWorkers(wk)
+				defer s.SetWorkers(0)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := sweep(s); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkQ31CoMentioned(b *testing.B) {
+	benchWorkloads(b, func(s twitter.Store) error {
+		for _, uid := range benchProbes {
+			if _, err := s.CoMentionedUsers(uid, 1<<30); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func BenchmarkQ41RecommendFollowees(b *testing.B) {
+	benchWorkloads(b, func(s twitter.Store) error {
+		for _, uid := range benchProbes {
+			if _, err := s.RecommendFollowees(uid, 1<<30); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func BenchmarkQ42RecommendFollowers(b *testing.B) {
+	benchWorkloads(b, func(s twitter.Store) error {
+		for _, uid := range benchProbes {
+			if _, err := s.RecommendFollowersOfFollowees(uid, 1<<30); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func BenchmarkQ52PotentialInfluence(b *testing.B) {
+	benchWorkloads(b, func(s twitter.Store) error {
+		for _, uid := range benchProbes {
+			if _, err := s.PotentialInfluence(uid, 1<<30); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func BenchmarkQ61ShortestPath(b *testing.B) {
+	pairs := [][2]int64{{1, 750}, {2, 1400}, {5, 1000}, {17, 1200}}
+	benchWorkloads(b, func(s twitter.Store) error {
+		for _, p := range pairs {
+			if _, _, err := s.ShortestPathLength(p[0], p[1], 4); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

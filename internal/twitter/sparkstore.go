@@ -6,6 +6,7 @@ import (
 
 	"twigraph/internal/graph"
 	"twigraph/internal/obs"
+	"twigraph/internal/par"
 	"twigraph/internal/sparkdb"
 )
 
@@ -18,6 +19,9 @@ import (
 type SparkStore struct {
 	db *sparkdb.DB
 
+	workers int         // per-query parallelism (1 = sequential)
+	parm    par.Metrics // shard/merge counters on the engine registry
+
 	user, tweet, hashtag           graph.TypeID
 	follows, posts, mentions, tags graph.TypeID
 	retweets                       graph.TypeID
@@ -29,7 +33,7 @@ type SparkStore struct {
 // NewSparkStore wraps an opened sparkdb database whose schema matches
 // the generator layout.
 func NewSparkStore(db *sparkdb.DB) (*SparkStore, error) {
-	s := &SparkStore{db: db}
+	s := &SparkStore{db: db, workers: par.Workers(0), parm: par.MetricsFrom(db.Obs())}
 	s.user = db.FindType(LabelUser)
 	s.tweet = db.FindType(LabelTweet)
 	s.hashtag = db.FindType(LabelHashtag)
@@ -55,6 +59,14 @@ func NewSparkStore(db *sparkdb.DB) (*SparkStore, error) {
 
 // Name implements Store.
 func (s *SparkStore) Name() string { return "sparksee" }
+
+// SetWorkers sets the per-query parallelism. n = 1 forces sequential
+// execution; n <= 0 resets to the default (GOMAXPROCS). Results are
+// identical for every setting — only latency changes.
+func (s *SparkStore) SetWorkers(n int) { s.workers = par.Workers(n) }
+
+// Workers returns the current per-query parallelism.
+func (s *SparkStore) Workers() int { return s.workers }
 
 // Obs exposes the engine's observability registry (bench snapshots).
 func (s *SparkStore) Obs() *obs.Registry { return s.db.Obs() }
@@ -163,24 +175,24 @@ func (s *SparkStore) CoMentionedUsers(uid int64, n int) ([]Counted, error) {
 	if !ok {
 		return nil, nil
 	}
-	counts := map[uint64]int64{}
 	// Tweets that mention A — iterated per mention *edge* (Explode),
 	// so parallel edges multiply the count exactly as the declarative
-	// engine's path counting does.
-	s.db.Explode(a, s.mentions, graph.Incoming).ForEach(func(e1 uint64) bool {
+	// engine's path counting does. The first-hop edge list is the
+	// sharding frontier; each worker counts into a private map.
+	mentionsIn := s.db.Explode(a, s.mentions, graph.Incoming).Slice()
+	counts := par.CountSharded(par.WorkersForSize(s.workers, len(mentionsIn), minItemsPerShard), s.parm, mentionsIn, func(e1 uint64, acc map[uint64]int64) {
 		t, _, err := s.db.EdgeEndpoints(e1)
 		if err != nil {
-			return true
+			return
 		}
 		// Other users mentioned in those tweets.
 		s.db.Explode(t, s.mentions, graph.Outgoing).ForEach(func(e2 uint64) bool {
 			_, o, err := s.db.EdgeEndpoints(e2)
 			if err == nil && o != a {
-				counts[o]++
+				acc[o]++
 			}
 			return true
 		})
-		return true
 	})
 	return s.topN(counts, n), nil
 }
@@ -191,20 +203,19 @@ func (s *SparkStore) CoOccurringHashtags(tag string, n int) ([]CountedTag, error
 	if !ok {
 		return nil, nil
 	}
-	counts := map[uint64]int64{}
-	s.db.Explode(h, s.tags, graph.Incoming).ForEach(func(e1 uint64) bool {
+	tagsIn := s.db.Explode(h, s.tags, graph.Incoming).Slice()
+	counts := par.CountSharded(par.WorkersForSize(s.workers, len(tagsIn), minItemsPerShard), s.parm, tagsIn, func(e1 uint64, acc map[uint64]int64) {
 		t, _, err := s.db.EdgeEndpoints(e1)
 		if err != nil {
-			return true
+			return
 		}
 		s.db.Explode(t, s.tags, graph.Outgoing).ForEach(func(e2 uint64) bool {
 			_, o, err := s.db.EdgeEndpoints(e2)
 			if err == nil && o != h {
-				counts[o]++
+				acc[o]++
 			}
 			return true
 		})
-		return true
 	})
 	out := make([]CountedTag, 0, len(counts))
 	for oid, c := range counts {
@@ -226,22 +237,23 @@ func (s *SparkStore) RecommendFollowees(uid int64, n int) ([]Counted, error) {
 		return nil, nil
 	}
 	direct := s.db.Neighbors(a, s.follows, graph.Outgoing)
-	counts := map[uint64]int64{}
 	// Per-edge (Explode) at both hops, so the path counts match the
 	// declarative engine on multigraphs with parallel follows edges.
-	s.db.Explode(a, s.follows, graph.Outgoing).ForEach(func(e1 uint64) bool {
+	// Workers share the read-only direct set and count into private
+	// maps, merged in shard order.
+	followEdges := s.db.Explode(a, s.follows, graph.Outgoing).Slice()
+	counts := par.CountSharded(par.WorkersForSize(s.workers, len(followEdges), minItemsPerShard), s.parm, followEdges, func(e1 uint64, acc map[uint64]int64) {
 		_, f, err := s.db.EdgeEndpoints(e1)
 		if err != nil {
-			return true
+			return
 		}
 		s.db.Explode(f, s.follows, graph.Outgoing).ForEach(func(e2 uint64) bool {
 			_, g, err := s.db.EdgeEndpoints(e2)
 			if err == nil && g != a && !direct.Contains(g) {
-				counts[g]++
+				acc[g]++
 			}
 			return true
 		})
-		return true
 	})
 	return s.topN(counts, n), nil
 }
@@ -288,20 +300,19 @@ func (s *SparkStore) RecommendFollowersOfFollowees(uid int64, n int) ([]Counted,
 		return nil, nil
 	}
 	direct := s.db.Neighbors(a, s.follows, graph.Outgoing)
-	counts := map[uint64]int64{}
-	s.db.Explode(a, s.follows, graph.Outgoing).ForEach(func(e1 uint64) bool {
+	followEdges := s.db.Explode(a, s.follows, graph.Outgoing).Slice()
+	counts := par.CountSharded(par.WorkersForSize(s.workers, len(followEdges), minItemsPerShard), s.parm, followEdges, func(e1 uint64, acc map[uint64]int64) {
 		_, f, err := s.db.EdgeEndpoints(e1)
 		if err != nil {
-			return true
+			return
 		}
 		s.db.Explode(f, s.follows, graph.Incoming).ForEach(func(e2 uint64) bool {
 			x, _, err := s.db.EdgeEndpoints(e2)
 			if err == nil && x != a && !direct.Contains(x) && e1 != e2 {
-				counts[x]++
+				acc[x]++
 			}
 			return true
 		})
-		return true
 	})
 	return s.topN(counts, n), nil
 }
@@ -323,20 +334,19 @@ func (s *SparkStore) influence(uid int64, n int, keepFollowers bool) ([]Counted,
 	if !ok {
 		return nil, nil
 	}
-	counts := map[uint64]int64{}
-	s.db.Explode(a, s.mentions, graph.Incoming).ForEach(func(e1 uint64) bool {
+	mentionsIn := s.db.Explode(a, s.mentions, graph.Incoming).Slice()
+	counts := par.CountSharded(par.WorkersForSize(s.workers, len(mentionsIn), minItemsPerShard), s.parm, mentionsIn, func(e1 uint64, acc map[uint64]int64) {
 		t, _, err := s.db.EdgeEndpoints(e1)
 		if err != nil {
-			return true
+			return
 		}
 		s.db.Explode(t, s.posts, graph.Incoming).ForEach(func(e2 uint64) bool {
 			m, _, err := s.db.EdgeEndpoints(e2)
 			if err == nil && m != a {
-				counts[m]++
+				acc[m]++
 			}
 			return true
 		})
-		return true
 	})
 	followers := s.db.Neighbors(a, s.follows, graph.Incoming)
 	for m := range counts {
@@ -347,8 +357,12 @@ func (s *SparkStore) influence(uid int64, n int, keepFollowers bool) ([]Counted,
 	return s.topN(counts, n), nil
 }
 
-// ShortestPathLength implements Q6.1 via the native
-// SinglePairShortestPathBFS with the paper's 3-hop bound.
+// ShortestPathLength implements Q6.1 via the native shortest-path
+// machinery with the paper's 3-hop bound. With Workers > 1 the BFS
+// expands each level's frontier across worker shards
+// (SinglePairShortestPathLength); with Workers = 1 it runs the classic
+// path-materialising BFS. Both return the same (length, found) pair —
+// a node's BFS level does not depend on expansion order.
 func (s *SparkStore) ShortestPathLength(fromUID, toUID int64, maxHops int) (int, bool, error) {
 	a, ok := s.userByUID(fromUID)
 	if !ok {
@@ -357,6 +371,10 @@ func (s *SparkStore) ShortestPathLength(fromUID, toUID int64, maxHops int) (int,
 	b, ok := s.userByUID(toUID)
 	if !ok {
 		return 0, false, nil
+	}
+	if s.workers > 1 {
+		hops, found := s.db.SinglePairShortestPathLength(a, b, []graph.TypeID{s.follows}, graph.Outgoing, maxHops, s.workers)
+		return hops, found, nil
 	}
 	path, found := s.db.SinglePairShortestPathBFS(a, b, []graph.TypeID{s.follows}, graph.Outgoing, maxHops)
 	if !found {
