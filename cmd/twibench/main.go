@@ -23,6 +23,7 @@ func main() {
 	work := flag.String("work", "", "working directory (default: a temp dir)")
 	jsonPath := flag.String("json", "", "write a machine-readable snapshot (latency histograms + engine counters) to this path")
 	workers := flag.Int("workers", 0, "multi-hop query workers per store (0 = GOMAXPROCS, 1 = sequential)")
+	timeout := flag.Duration("timeout", 0, "per-query deadline; timed-out queries abort and count into queries_timed_out (0 = unbounded)")
 	cfg := bench.DefaultConfig()
 	flag.IntVar(&cfg.Users, "users", cfg.Users, "dataset scale in users")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "dataset PRNG seed")
@@ -46,6 +47,7 @@ func main() {
 	}
 	env := bench.NewEnv(cfg, dir)
 	env.Workers = *workers
+	env.QueryTimeout = *timeout
 	defer env.Close()
 
 	if *exp == "all" {

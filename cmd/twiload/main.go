@@ -5,6 +5,7 @@
 // Usage:
 //
 //	twiload -csv data/ -engine both -out dbs/
+//	twiload -csv data/ -engine both -out dbs/ -verify
 package main
 
 import (
@@ -25,23 +26,24 @@ func main() {
 	batch := flag.Int("batch", 100000, "progress sampling granularity (rows)")
 	cache := flag.Int64("spark-cache", 0, "sparksee extent-cache bytes (0 = script default, 5 GiB)")
 	materialize := flag.Bool("materialize", false, "sparksee: materialise neighbor indexes during import")
+	verify := flag.Bool("verify", false, "run a structural integrity check on each store after import")
 	flag.Parse()
 
 	if *engine == "neo" || *engine == "both" {
-		if err := loadNeo(*csvDir, filepath.Join(*out, "neo"), *batch); err != nil {
+		if err := loadNeo(*csvDir, filepath.Join(*out, "neo"), *batch, *verify); err != nil {
 			fmt.Fprintln(os.Stderr, "twiload:", err)
 			os.Exit(1)
 		}
 	}
 	if *engine == "sparksee" || *engine == "both" {
-		if err := loadSpark(*csvDir, filepath.Join(*out, "sparksee.img"), *batch, *cache, *materialize); err != nil {
+		if err := loadSpark(*csvDir, filepath.Join(*out, "sparksee.img"), *batch, *cache, *materialize, *verify); err != nil {
 			fmt.Fprintln(os.Stderr, "twiload:", err)
 			os.Exit(1)
 		}
 	}
 }
 
-func loadNeo(csvDir, dbDir string, batch int) error {
+func loadNeo(csvDir, dbDir string, batch int, verify bool) error {
 	fmt.Printf("== importing into the Neo4j-analog at %s ==\n", dbDir)
 	res, err := load.BuildNeo(csvDir, dbDir, neodb.Config{}, batch)
 	if err != nil {
@@ -54,10 +56,17 @@ func loadNeo(csvDir, dbDir string, batch int) error {
 	r := res.Report
 	fmt.Printf("nodes %d, edges %d\nphases: nodes %v | dense %v | edges %v | indexes %v | total %v\n\n",
 		r.Nodes, r.Edges, r.NodePhase, r.DensePhase, r.EdgePhase, r.IndexPhase, r.Total)
+	if verify {
+		rep := res.Store.DB().CheckIntegrity()
+		if !rep.OK() {
+			return fmt.Errorf("neo store failed the integrity check:\n%s", rep)
+		}
+		fmt.Println("integrity check passed")
+	}
 	return nil
 }
 
-func loadSpark(csvDir, imagePath string, batch int, cache int64, materialize bool) error {
+func loadSpark(csvDir, imagePath string, batch int, cache int64, materialize, verify bool) error {
 	fmt.Printf("== importing into the Sparksee-analog image %s ==\n", imagePath)
 	res, err := load.BuildSpark(csvDir, sparkdb.ScriptOptions{
 		BatchRows:   batch,
@@ -77,5 +86,12 @@ func loadSpark(csvDir, imagePath string, batch int, cache int64, materialize boo
 	}
 	r := res.Report
 	fmt.Printf("nodes %d, edges %d, flushes %d, total %v\n", r.Nodes, r.Edges, r.Flushes, r.Duration)
+	if verify {
+		rep := res.Store.DB().CheckIntegrity()
+		if !rep.OK() {
+			return fmt.Errorf("sparksee store failed the integrity check:\n%s", rep)
+		}
+		fmt.Println("integrity check passed")
+	}
 	return nil
 }

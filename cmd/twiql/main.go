@@ -6,7 +6,9 @@
 // Lines starting with ':' are shell commands rather than queries:
 // :stats dumps the engine's observability registry, :trace on|off
 // toggles span tracing (each traced query prints its span tree),
-// :slow shows the slow-query log, :reset zeroes the counters.
+// :slow shows the slow-query log, :reset zeroes the counters, and
+// :timeout <dur>|off bounds each query by a deadline (timed-out queries
+// abort gracefully and count into queries_timed_out).
 //
 // Usage:
 //
@@ -16,6 +18,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -29,6 +32,14 @@ import (
 	"twigraph/internal/load"
 	"twigraph/internal/neodb"
 )
+
+// shell is the REPL's mutable state: the open database, its query
+// engine, and the per-query deadline set with :timeout.
+type shell struct {
+	db      *neodb.DB
+	engine  *cypher.Engine
+	timeout time.Duration
+}
 
 func main() {
 	dbDir := flag.String("db", "", "neodb database directory")
@@ -66,7 +77,7 @@ func main() {
 	}
 	defer db.Close()
 
-	engine := cypher.NewEngine(db)
+	sh := &shell{db: db, engine: cypher.NewEngine(db)}
 	queryHist := db.Obs().Histogram("repl_query")
 	fmt.Println(`twiql — type a query ending with ';', :help for shell commands, \q to quit.`)
 	fmt.Println(`example: MATCH (u:user {uid: 1})-[:follows]->(f) RETURN f.uid LIMIT 5;`)
@@ -81,7 +92,7 @@ func main() {
 			return
 		}
 		if pending.Len() == 0 && strings.HasPrefix(strings.TrimSpace(line), ":") {
-			runMeta(os.Stdout, db, strings.TrimSpace(line))
+			sh.runMeta(os.Stdout, strings.TrimSpace(line))
 			fmt.Print("twiql> ")
 			continue
 		}
@@ -94,7 +105,7 @@ func main() {
 		query := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(pending.String()), ";"))
 		pending.Reset()
 		if query != "" {
-			if d := runQuery(os.Stdout, engine, query); d > 0 {
+			if d := sh.runQuery(os.Stdout, query); d > 0 {
 				queryHist.Observe(int64(d))
 			}
 			if db.Tracer().Enabled() {
@@ -108,7 +119,8 @@ func main() {
 }
 
 // runMeta executes a ':'-prefixed shell command.
-func runMeta(w io.Writer, db *neodb.DB, line string) {
+func (sh *shell) runMeta(w io.Writer, line string) {
+	db := sh.db
 	fields := strings.Fields(line)
 	switch fields[0] {
 	case ":help":
@@ -116,6 +128,7 @@ func runMeta(w io.Writer, db *neodb.DB, line string) {
 		fmt.Fprintln(w, "  :trace on|off   toggle span tracing (traced queries print their span tree)")
 		fmt.Fprintln(w, "  :slow           show the slow-query log (most recent last)")
 		fmt.Fprintln(w, "  :reset          zero all counters and histograms")
+		fmt.Fprintln(w, "  :timeout d|off  bound each query by a deadline (e.g. :timeout 500ms)")
 		fmt.Fprintln(w, `  \q              quit`)
 	case ":stats":
 		fmt.Fprint(w, db.Obs().Snapshot().Format())
@@ -144,14 +157,41 @@ func runMeta(w io.Writer, db *neodb.DB, line string) {
 		db.ResetCounters()
 		db.Tracer().ClearSlowLog()
 		fmt.Fprintln(w, "counters reset")
+	case ":timeout":
+		if len(fields) != 2 {
+			if sh.timeout > 0 {
+				fmt.Fprintf(w, "query timeout is %v\n", sh.timeout)
+			} else {
+				fmt.Fprintln(w, "query timeout is off")
+			}
+			return
+		}
+		if fields[1] == "off" {
+			sh.timeout = 0
+			fmt.Fprintln(w, "query timeout off")
+			return
+		}
+		d, err := time.ParseDuration(fields[1])
+		if err != nil || d <= 0 {
+			fmt.Fprintln(w, "usage: :timeout <duration>|off (e.g. :timeout 500ms)")
+			return
+		}
+		sh.timeout = d
+		fmt.Fprintf(w, "query timeout %v\n", d)
 	default:
 		fmt.Fprintf(w, "unknown command %s (try :help)\n", fields[0])
 	}
 }
 
-func runQuery(w io.Writer, engine *cypher.Engine, query string) time.Duration {
+func (sh *shell) runQuery(w io.Writer, query string) time.Duration {
+	var ctx context.Context
+	if sh.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(context.Background(), sh.timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	res, err := engine.Query(query, nil)
+	res, err := sh.engine.QueryCtx(ctx, query, nil)
 	if err != nil {
 		fmt.Fprintln(w, "error:", err)
 		return 0

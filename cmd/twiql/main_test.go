@@ -5,6 +5,7 @@ import (
 	"io"
 	"strings"
 	"testing"
+	"time"
 
 	"twigraph/internal/cypher"
 	"twigraph/internal/graph"
@@ -36,7 +37,7 @@ func testEngine(t *testing.T) *cypher.Engine {
 func TestRunQueryPrintsRows(t *testing.T) {
 	e := testEngine(t)
 	var buf bytes.Buffer
-	runQuery(&buf, e, `MATCH (u:user {uid: 7}) RETURN u.uid AS id`)
+	(&shell{db: e.DB(), engine: e}).runQuery(&buf, `MATCH (u:user {uid: 7}) RETURN u.uid AS id`)
 	out := buf.String()
 	if !strings.Contains(out, "id") || !strings.Contains(out, "7") {
 		t.Errorf("output = %q", out)
@@ -49,7 +50,7 @@ func TestRunQueryPrintsRows(t *testing.T) {
 func TestRunQueryTruncatesLongResults(t *testing.T) {
 	e := testEngine(t)
 	var buf bytes.Buffer
-	runQuery(&buf, e, `MATCH (u:user) RETURN u.uid`)
+	(&shell{db: e.DB(), engine: e}).runQuery(&buf, `MATCH (u:user) RETURN u.uid`)
 	out := buf.String()
 	if !strings.Contains(out, "more rows") {
 		t.Errorf("60-row result not truncated: %q", out)
@@ -62,7 +63,7 @@ func TestRunQueryTruncatesLongResults(t *testing.T) {
 func TestRunQueryPrintsErrors(t *testing.T) {
 	e := testEngine(t)
 	var buf bytes.Buffer
-	runQuery(&buf, e, `THIS IS NOT CYPHER`)
+	(&shell{db: e.DB(), engine: e}).runQuery(&buf, `THIS IS NOT CYPHER`)
 	if !strings.Contains(buf.String(), "error:") {
 		t.Errorf("output = %q", buf.String())
 	}
@@ -82,29 +83,29 @@ func TestMetaCommands(t *testing.T) {
 	if err := tx.Commit(); err != nil {
 		t.Fatal(err)
 	}
-	e := cypher.NewEngine(db)
+	sh := &shell{db: db, engine: cypher.NewEngine(db)}
 
 	var buf bytes.Buffer
-	runMeta(&buf, db, ":trace on")
+	sh.runMeta(&buf, ":trace on")
 	if !db.Tracer().Enabled() {
 		t.Fatal(":trace on did not enable the tracer")
 	}
-	runQuery(io.Discard, e, `MATCH (u:user) RETURN count(*)`)
+	sh.runQuery(io.Discard, `MATCH (u:user) RETURN count(*)`)
 
 	buf.Reset()
-	runMeta(&buf, db, ":slow")
+	sh.runMeta(&buf, ":slow")
 	if !strings.Contains(buf.String(), "cypher:") {
 		t.Errorf(":slow after a traced query = %q", buf.String())
 	}
 
 	buf.Reset()
-	runMeta(&buf, db, ":stats")
+	sh.runMeta(&buf, ":stats")
 	if !strings.Contains(buf.String(), "record_fetches") {
 		t.Errorf(":stats missing core counters: %q", buf.String())
 	}
 
 	buf.Reset()
-	runMeta(&buf, db, ":reset")
+	sh.runMeta(&buf, ":reset")
 	if db.RecordFetches() != 0 {
 		t.Errorf("record fetches after :reset = %d", db.RecordFetches())
 	}
@@ -113,13 +114,13 @@ func TestMetaCommands(t *testing.T) {
 	}
 
 	buf.Reset()
-	runMeta(&buf, db, ":bogus")
+	sh.runMeta(&buf, ":bogus")
 	if !strings.Contains(buf.String(), "unknown command") {
 		t.Errorf("bogus command output = %q", buf.String())
 	}
 
 	buf.Reset()
-	runMeta(&buf, db, ":trace off")
+	sh.runMeta(&buf, ":trace off")
 	if db.Tracer().Enabled() {
 		t.Fatal(":trace off left the tracer enabled")
 	}
@@ -128,12 +129,48 @@ func TestMetaCommands(t *testing.T) {
 func TestRunQueryProfileOutput(t *testing.T) {
 	e := testEngine(t)
 	var buf bytes.Buffer
-	runQuery(&buf, e, `PROFILE MATCH (u:user {uid: 3}) RETURN u.uid`)
+	(&shell{db: e.DB(), engine: e}).runQuery(&buf, `PROFILE MATCH (u:user {uid: 3}) RETURN u.uid`)
 	out := buf.String()
 	if !strings.Contains(out, "profile:") || !strings.Contains(out, "db hits") {
 		t.Errorf("missing profile block: %q", out)
 	}
 	if !strings.Contains(out, "NodeIndexSeek") {
 		t.Errorf("missing operator list: %q", out)
+	}
+}
+
+func TestQueryTimeoutAbortsAndCounts(t *testing.T) {
+	e := testEngine(t)
+	sh := &shell{db: e.DB(), engine: e}
+
+	var buf bytes.Buffer
+	sh.runMeta(&buf, ":timeout 1ns")
+	if sh.timeout != time.Nanosecond {
+		t.Fatalf(":timeout 1ns set %v", sh.timeout)
+	}
+	buf.Reset()
+	sh.runQuery(&buf, `MATCH (u:user) RETURN u.uid`)
+	if !strings.Contains(buf.String(), "error:") {
+		t.Fatalf("expired deadline did not abort the query: %q", buf.String())
+	}
+	if got := sh.db.Obs().Counter(neodb.CQueriesTimedOut).Load(); got == 0 {
+		t.Error("queries_timed_out counter not incremented")
+	}
+
+	// The store stays fully usable once the bound is lifted.
+	sh.runMeta(&buf, ":timeout off")
+	if sh.timeout != 0 {
+		t.Fatalf(":timeout off left %v", sh.timeout)
+	}
+	buf.Reset()
+	sh.runQuery(&buf, `MATCH (u:user {uid: 7}) RETURN u.uid AS id`)
+	if !strings.Contains(buf.String(), "1 rows in") {
+		t.Errorf("query after timeout removal = %q", buf.String())
+	}
+
+	buf.Reset()
+	sh.runMeta(&buf, ":stats")
+	if !strings.Contains(buf.String(), "queries_timed_out") {
+		t.Errorf(":stats missing queries_timed_out: %q", buf.String())
 	}
 }

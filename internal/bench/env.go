@@ -38,6 +38,11 @@ type Env struct {
 	// parallel paths to N shards.
 	Workers int
 
+	// QueryTimeout bounds every store query by a deadline. Queries that
+	// run past it abort with a context error and count into the engine's
+	// queries_timed_out counter; 0 leaves queries unbounded.
+	QueryTimeout time.Duration
+
 	// Reg collects the harness's own measurements: one latency histogram
 	// per experiment/engine series ("fig4a/neo", "coldcache/cold", ...).
 	// Engine-internal counters live in each engine's own registry.
@@ -126,6 +131,9 @@ func (e *Env) Neo() (*load.NeoResult, error) {
 		if e.neoErr == nil && e.Workers > 0 {
 			e.neoRes.Store.SetWorkers(e.Workers)
 		}
+		if e.neoErr == nil && e.QueryTimeout > 0 {
+			e.neoRes.Store.SetQueryTimeout(e.QueryTimeout)
+		}
 	})
 	return e.neoRes, e.neoErr
 }
@@ -142,6 +150,9 @@ func (e *Env) Spark() (*load.SparkResult, error) {
 		})
 		if e.sparkErr == nil && e.Workers > 0 {
 			e.sparkRes.Store.SetWorkers(e.Workers)
+		}
+		if e.sparkErr == nil && e.QueryTimeout > 0 {
+			e.sparkRes.Store.SetQueryTimeout(e.QueryTimeout)
 		}
 	})
 	return e.sparkRes, e.sparkErr

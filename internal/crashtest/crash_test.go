@@ -1,0 +1,343 @@
+package crashtest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twigraph/internal/graph"
+	"twigraph/internal/neodb"
+	"twigraph/internal/vfs"
+	"twigraph/internal/wal"
+)
+
+const workloadTxs = 30
+
+// runWorkload executes up to workloadTxs transactions, stopping at the
+// first commit failure (the crash boundary).
+func runWorkload(t *testing.T, h *Harness) {
+	t.Helper()
+	for i := 0; i < workloadTxs; i++ {
+		if err := h.RunTx(); err != nil {
+			return
+		}
+	}
+}
+
+// recoverAndCheck is the post-crash assertion bundle: reopen, match the
+// oracle, pass the integrity check, and accept new writes.
+func recoverAndCheck(t *testing.T, h *Harness) {
+	t.Helper()
+	if err := h.CrashAndReopen(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	// The recovered store must accept and persist new transactions.
+	if err := h.RunTx(); err != nil {
+		t.Fatalf("post-recovery transaction: %v", err)
+	}
+	if err := h.Verify(); err != nil {
+		t.Fatalf("post-recovery state: %v", err)
+	}
+	if err := h.CheckIntegrity(); err != nil {
+		t.Fatalf("post-recovery integrity: %v", err)
+	}
+}
+
+// TestCrashAtEverySyncBoundary halts the filesystem after each WAL
+// fsync in turn. With one fsync per commit, this crashes the engine
+// immediately after every transaction in the workload; recovery must
+// reproduce exactly the committed prefix every time.
+func TestCrashAtEverySyncBoundary(t *testing.T) {
+	for k := uint64(1); k <= workloadTxs; k++ {
+		t.Run(fmt.Sprintf("sync%02d", k), func(t *testing.T) {
+			h, err := New(42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.FS.CrashAfter(vfs.OpSync, k)
+			runWorkload(t, h)
+			if !h.FS.Halted() {
+				t.Fatalf("crash point %d never reached", k)
+			}
+			recoverAndCheck(t, h)
+		})
+	}
+}
+
+// TestCrashDuringTornWALWrite halts the filesystem partway through a
+// randomized WAL write: only a prefix of the frame lands, the process
+// "dies", and recovery must truncate the torn tail and keep exactly the
+// committed prefix.
+func TestCrashDuringTornWALWrite(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 24; trial++ {
+		n := uint64(1 + rng.Intn(80))
+		keep := rng.Intn(24)
+		t.Run(fmt.Sprintf("write%02d-keep%02d", n, keep), func(t *testing.T) {
+			h, err := New(42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.FS.CrashDuringWrite(n, keep)
+			runWorkload(t, h)
+			if !h.FS.Halted() {
+				t.Fatalf("crash point (write %d) never reached", n)
+			}
+			recoverAndCheck(t, h)
+		})
+	}
+}
+
+// TestTornDurableTailTruncatedOnReopen plants garbage bytes directly in
+// the durable WAL image — the on-disk effect of a torn sector write —
+// and verifies reopen truncates the tail cleanly without touching the
+// committed prefix.
+func TestTornDurableTailTruncatedOnReopen(t *testing.T) {
+	for _, garbage := range [][]byte{
+		{0xFF},                         // lone junk byte
+		{0x05, 0x00, 0x00, 0x00, 0x01}, // plausible length, truncated frame
+		make([]byte, 64),               // a run of zeros (implausible frame)
+	} {
+		h, err := New(42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			if err := h.RunTx(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		walPath := filepath.Join(h.Dir, WALPath)
+		f, err := h.FS.OpenFile(walPath, os.O_RDWR, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		intact, err := f.Size()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteAt(garbage, intact); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil { // the torn tail survives the crash
+			t.Fatal(err)
+		}
+		f.Close()
+
+		recoverAndCheck(t, h)
+		if got := h.FS.VolatileLen(walPath); int64(got) <= intact-1 && got != -1 {
+			t.Errorf("WAL shorter than intact prefix after reopen: %d < %d", got, intact)
+		}
+	}
+}
+
+// TestWALSyncFailureStickyAndObservable injects one fsync failure on
+// the WAL and verifies the full degradation contract: the commit fails,
+// the log is poisoned (later commits fail with ErrPoisoned without
+// reaching the disk), the failure is visible in the observability
+// registry, reads still work, and a restart restores service.
+func TestWALSyncFailureStickyAndObservable(t *testing.T) {
+	h, err := New(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.FS.AddFault(vfs.Fault{Op: vfs.OpSync, PathSubstr: WALPath, Nth: 1, Kind: vfs.KindErr})
+
+	if err := h.RunTx(); err == nil {
+		t.Fatal("commit with failed fsync reported success")
+	}
+	err2 := h.RunTx()
+	if err2 == nil {
+		t.Fatal("commit on poisoned log reported success")
+	}
+	if !errors.Is(err2, wal.ErrPoisoned) {
+		t.Errorf("second commit error = %v, want ErrPoisoned", err2)
+	}
+	if got := h.DB.Obs().Counter(neodb.CWALSyncFailures).Load(); got == 0 {
+		t.Error("wal_sync_failures counter not incremented")
+	}
+	if got := h.FS.SyncFailures(); got == 0 {
+		t.Error("filesystem recorded no sync failures")
+	}
+	// Reads remain available while writes are refused.
+	for id := range h.Model.Nodes {
+		if _, err := h.DB.NodeByID(id); err != nil {
+			t.Errorf("read after poisoning: %v", err)
+		}
+		break
+	}
+	// A checkpoint must refuse to truncate a poisoned log.
+	if err := h.DB.Sync(); err == nil {
+		t.Error("checkpoint truncated a poisoned log")
+	}
+	// Restart restores service with the committed prefix.
+	recoverAndCheck(t, h)
+}
+
+// TestCrashBetweenAppendsIsAtomic halts the filesystem on a write
+// (an Append) rather than a sync, so a transaction dies with only part
+// of its intent in the volatile log. None of it may survive.
+func TestCrashBetweenAppendsIsAtomic(t *testing.T) {
+	for _, n := range []uint64{1, 2, 3, 5, 8, 13, 21, 34} {
+		t.Run(fmt.Sprintf("write%02d", n), func(t *testing.T) {
+			h, err := New(64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.FS.CrashAfter(vfs.OpWrite, n)
+			runWorkload(t, h)
+			if !h.FS.Halted() {
+				t.Fatalf("crash point %d never reached", n)
+			}
+			recoverAndCheck(t, h)
+		})
+	}
+}
+
+// TestReadCorruptionDetectedNotSilent flips a bit in a store-page read
+// and verifies the engine reports an error or the integrity check flags
+// the store — a flipped bit must never produce a silently wrong answer.
+func TestReadCorruptionDetectedNotSilent(t *testing.T) {
+	h, err := New(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := h.RunTx(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Force the caches cold so the next reads hit the filesystem, then
+	// corrupt one node-store read.
+	if err := h.DB.CoolCaches(); err != nil {
+		t.Fatal(err)
+	}
+	h.FS.AddFault(vfs.Fault{Op: vfs.OpRead, PathSubstr: "nodes.store", Nth: 1, Kind: vfs.KindBitFlip, BitOffset: 137})
+	if err := h.Verify(); err == nil {
+		if err := h.CheckIntegrity(); err == nil {
+			t.Fatal("bit flip in node store went completely undetected")
+		}
+	}
+}
+
+// TestImportCrashNeverSilentlyPartial crashes the batch importer (which
+// bypasses the WAL) at assorted write boundaries. The import is only
+// durable once its final checkpoint completes, so after a crash the
+// reopened store must be in one of three honest states: empty (the
+// import was entirely discarded), complete (every checkpoint write made
+// it), or flagged by CheckIntegrity (a torn checkpoint, which the
+// durability contract says requires a re-import). What must never
+// happen is a partial dataset that passes the integrity check — that
+// would be a silent half-import.
+func TestImportCrashNeverSilentlyPartial(t *testing.T) {
+	csvDir := writeTinyCSVDir(t)
+	const fullNodes, fullEdges = 6, 8 // writeTinyCSVDir totals
+	for _, n := range []uint64{1, 2, 5, 9, 14, 20} {
+		t.Run(fmt.Sprintf("write%02d", n), func(t *testing.T) {
+			fs := vfs.NewFaultFS()
+			cfg := neodb.Config{CachePages: 4, FS: fs} // tiny cache: evictions write early
+			db, err := neodb.Open("/db", cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs.CrashAfter(vfs.OpWrite, n)
+			imp := db.NewImporter(0, nil)
+			nodes, edges := neodb.ImportDirLayout(csvDir)
+			if _, err := imp.Run(nodes, edges); err == nil {
+				if h := fs.Halted(); h {
+					t.Fatal("import reported success on a halted filesystem")
+				}
+				t.Skip("import finished before the crash point")
+			}
+			fs.Crash()
+			db2, err := neodb.Open("/db", cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := db2.CheckIntegrity()
+			gotNodes, gotEdges := db2.NodeCount(), db2.RelCount()
+			switch {
+			case gotNodes == 0 && gotEdges == 0:
+				if !r.OK() {
+					t.Errorf("empty store has violations:\n%s", r)
+				}
+			case gotNodes == fullNodes && gotEdges == fullEdges && r.OK():
+				// Checkpoint finished just before the halt; fine.
+			case !r.OK():
+				// Torn checkpoint, detected. Also fine.
+			default:
+				t.Errorf("silent partial import: %d nodes, %d edges, integrity clean", gotNodes, gotEdges)
+			}
+		})
+	}
+}
+
+// TestImportCompletesThenCrash runs the import to completion (its final
+// checkpoint makes the data durable), crashes, and verifies the whole
+// dataset plus integrity after reopen.
+func TestImportCompletesThenCrash(t *testing.T) {
+	csvDir := writeTinyCSVDir(t)
+	fs := vfs.NewFaultFS()
+	cfg := neodb.Config{CachePages: 64, FS: fs}
+	db, err := neodb.Open("/db", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := db.NewImporter(0, nil)
+	nodes, edges := neodb.ImportDirLayout(csvDir)
+	rep, err := imp.Run(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash()
+	db2, err := neodb.Open("/db", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.NodeCount(); got != uint64(rep.Nodes) {
+		t.Errorf("nodes after crash = %d, want %d", got, rep.Nodes)
+	}
+	if got := db2.RelCount(); got != uint64(rep.Edges) {
+		t.Errorf("rels after crash = %d, want %d", got, rep.Edges)
+	}
+	if r := db2.CheckIntegrity(); !r.OK() {
+		t.Errorf("imported store violations:\n%s", r)
+	}
+	// Index survives via its checkpoint snapshot.
+	user := db2.LabelID("user")
+	uid := db2.PropKeyID("uid")
+	if _, ok := db2.FindNode(user, uid, graph.IntValue(1)); !ok {
+		t.Error("index lost across crash")
+	}
+}
+
+// writeTinyCSVDir mirrors the importer test fixture: a 6-node, 8-edge
+// Twitter-shaped dataset in the conventional generator layout.
+func writeTinyCSVDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"users.csv":    "uid,screen_name,followers\n1,alice,2\n2,bob,1\n3,carol,1\n",
+		"tweets.csv":   "tid,text\n10,hello #go\n11,hi @alice\n",
+		"hashtags.csv": "hid,tag\n100,go\n",
+		"follows.csv":  "src,dst\n1,2\n2,3\n3,1\n1,3\n",
+		"posts.csv":    "uid,tid\n2,10\n3,11\n",
+		"mentions.csv": "tid,uid\n11,1\n",
+		"tags.csv":     "tid,hid\n10,100\n",
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}

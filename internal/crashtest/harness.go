@@ -1,0 +1,359 @@
+// Package crashtest is the crash-consistency harness for the neodb
+// engine: it drives a deterministic Twitter-style workload (users,
+// follows/likes edges, profile properties) against a database running
+// on a vfs.FaultFS, crashes the filesystem at scripted points, reopens,
+// and checks the recovered state against an in-memory oracle.
+//
+// The contract checked after every crash:
+//
+//   - every transaction whose Commit returned nil before the crash is
+//     fully present (durability of the committed prefix);
+//   - the one transaction in flight at the crash boundary is either
+//     fully present or fully absent (atomicity) — present only when its
+//     WAL sync completed before the halt;
+//   - no later transaction leaks any effect;
+//   - the reopened store passes CheckIntegrity and accepts new writes.
+package crashtest
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"twigraph/internal/graph"
+	"twigraph/internal/neodb"
+	"twigraph/internal/vfs"
+)
+
+// ModelNode is the oracle's view of one node.
+type ModelNode struct {
+	Label graph.TypeID
+	Props map[string]graph.Value
+}
+
+// ModelRel is the oracle's view of one relationship.
+type ModelRel struct {
+	Type     graph.TypeID
+	Src, Dst graph.NodeID
+}
+
+// Model is the oracle: the exact state the store must hold.
+type Model struct {
+	Nodes map[graph.NodeID]*ModelNode
+	Rels  map[graph.EdgeID]*ModelRel
+}
+
+func newModel() *Model {
+	return &Model{
+		Nodes: make(map[graph.NodeID]*ModelNode),
+		Rels:  make(map[graph.EdgeID]*ModelRel),
+	}
+}
+
+func (m *Model) clone() *Model {
+	c := newModel()
+	for id, n := range m.Nodes {
+		props := make(map[string]graph.Value, len(n.Props))
+		for k, v := range n.Props {
+			props[k] = v
+		}
+		c.Nodes[id] = &ModelNode{Label: n.Label, Props: props}
+	}
+	for id, r := range m.Rels {
+		cp := *r
+		c.Rels[id] = &cp
+	}
+	return c
+}
+
+// nodeIDs returns the live node ids in sorted order, so rng-driven
+// choices are identical across repeated runs with the same seed.
+func (m *Model) nodeIDs() []graph.NodeID {
+	ids := make([]graph.NodeID, 0, len(m.Nodes))
+	for id := range m.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (m *Model) relIDs() []graph.EdgeID {
+	ids := make([]graph.EdgeID, 0, len(m.Rels))
+	for id := range m.Rels {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// isolatedNodes returns sorted ids of nodes no relationship touches.
+func (m *Model) isolatedNodes() []graph.NodeID {
+	touched := make(map[graph.NodeID]bool)
+	for _, r := range m.Rels {
+		touched[r.Src] = true
+		touched[r.Dst] = true
+	}
+	var ids []graph.NodeID
+	for id := range m.Nodes {
+		if !touched[id] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Harness couples a neodb instance on a FaultFS with the oracle model.
+type Harness struct {
+	FS  *vfs.FaultFS
+	DB  *neodb.DB
+	Dir string
+
+	// Model is the committed prefix. LastStaged, when non-nil, is the
+	// state including the transaction whose Commit failed at the crash
+	// boundary — the "maybe durable" outcome Verify also accepts.
+	Model      *Model
+	LastStaged *Model
+
+	rng           *rand.Rand
+	user          graph.TypeID
+	follows       graph.TypeID
+	likes         graph.TypeID
+	seq           int64 // next synthetic uid
+	hub           graph.NodeID
+	SeedWALWrites uint64 // fs write-op count consumed by seeding
+}
+
+// WALPath is the path suffix of the engine's write-ahead log inside the
+// harness directory (for path-scoped fault scripting).
+const WALPath = "neodb.wal"
+
+// cachePages keeps each store's working set resident: store pages then
+// reach the filesystem only at checkpoints, so the durable store state
+// between checkpoints is exactly the last checkpoint and WAL replay
+// alone determines recovery — the strongest version of the contract.
+const cachePages = 256
+
+// New builds a harness: opens a fresh database over a new FaultFS,
+// seeds a small social graph (including a near-dense hub, so the
+// dense-node conversion replays inside the crash window), creates the
+// uid index, and checkpoints. Every run with the same seed performs the
+// identical operation sequence.
+func New(seed int64) (*Harness, error) {
+	h := &Harness{
+		FS:    vfs.NewFaultFS(),
+		Dir:   "/db",
+		Model: newModel(),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	db, err := neodb.Open(h.Dir, h.config())
+	if err != nil {
+		return nil, err
+	}
+	h.DB = db
+	h.user = db.Label("user")
+	h.follows = db.RelType("follows")
+	h.likes = db.RelType("likes")
+	db.PropKey("uid")
+	db.PropKey("screen_name")
+	db.PropKey("bio")
+	if err := db.CreateIndex(h.user, db.PropKey("uid")); err != nil {
+		return nil, err
+	}
+
+	staged := h.Model.clone()
+	tx := db.Begin()
+	var ids []graph.NodeID
+	for i := 0; i < 8; i++ {
+		ids = append(ids, h.createUser(tx, staged))
+	}
+	h.hub = ids[0]
+	// Park the hub close to the dense threshold so workload edges
+	// convert it mid-window.
+	for i := 0; i < neodb.DefaultDenseThreshold-5; i++ {
+		src := ids[1+i%(len(ids)-1)]
+		id := tx.CreateRel(h.follows, src, h.hub)
+		staged.Rels[id] = &ModelRel{Type: h.follows, Src: src, Dst: h.hub}
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
+	}
+	h.Model = staged
+	if err := db.Sync(); err != nil { // checkpoint: stores+catalog durable
+		return nil, err
+	}
+	h.SeedWALWrites = h.FS.OpCount(vfs.OpWrite)
+	return h, nil
+}
+
+func (h *Harness) config() neodb.Config {
+	return neodb.Config{CachePages: cachePages, SyncCommits: true, FS: h.FS}
+}
+
+func (h *Harness) createUser(tx *neodb.Tx, staged *Model) graph.NodeID {
+	h.seq++
+	props := graph.Properties{
+		"uid":         graph.IntValue(h.seq),
+		"screen_name": graph.StringValue(fmt.Sprintf("user%d", h.seq)),
+	}
+	id := tx.CreateNode(h.user, props)
+	mp := map[string]graph.Value{
+		"uid":         props["uid"],
+		"screen_name": props["screen_name"],
+	}
+	staged.Nodes[id] = &ModelNode{Label: h.user, Props: mp}
+	return id
+}
+
+// RunTx executes one randomized mutation transaction against both the
+// database and a staged copy of the model. On successful commit the
+// staged copy becomes the committed model; on failure it is retained in
+// LastStaged for the boundary-ambiguity check.
+func (h *Harness) RunTx() error {
+	staged := h.Model.clone()
+	tx := h.DB.Begin()
+	nOps := 2 + h.rng.Intn(4)
+	for i := 0; i < nOps; i++ {
+		switch r := h.rng.Intn(10); {
+		case r < 2: // new user
+			h.createUser(tx, staged)
+		case r < 6: // new edge, biased toward the hub
+			ids := staged.nodeIDs()
+			src := ids[h.rng.Intn(len(ids))]
+			dst := ids[h.rng.Intn(len(ids))]
+			if h.rng.Intn(3) == 0 {
+				dst = h.hub
+			}
+			t := h.follows
+			if h.rng.Intn(4) == 0 {
+				t = h.likes
+			}
+			id := tx.CreateRel(t, src, dst)
+			staged.Rels[id] = &ModelRel{Type: t, Src: src, Dst: dst}
+		case r < 8: // set or clear a property
+			ids := staged.nodeIDs()
+			n := ids[h.rng.Intn(len(ids))]
+			switch h.rng.Intn(3) {
+			case 0:
+				v := graph.IntValue(h.rng.Int63n(1_000_000))
+				tx.SetNodeProp(n, h.DB.PropKey("uid"), v)
+				staged.Nodes[n].Props["uid"] = v
+			case 1:
+				v := graph.StringValue(fmt.Sprintf("bio-%d", h.rng.Intn(1000)))
+				tx.SetNodeProp(n, h.DB.PropKey("bio"), v)
+				staged.Nodes[n].Props["bio"] = v
+			case 2:
+				tx.SetNodeProp(n, h.DB.PropKey("bio"), graph.NilValue)
+				delete(staged.Nodes[n].Props, "bio")
+			}
+		case r < 9: // delete a relationship
+			ids := staged.relIDs()
+			if len(ids) == 0 {
+				continue
+			}
+			id := ids[h.rng.Intn(len(ids))]
+			tx.DeleteRel(id)
+			delete(staged.Rels, id)
+		default: // delete an isolated node
+			iso := staged.isolatedNodes()
+			if len(iso) == 0 {
+				continue
+			}
+			id := iso[h.rng.Intn(len(iso))]
+			tx.DeleteNode(id)
+			delete(staged.Nodes, id)
+		}
+	}
+	err := tx.Commit()
+	if err == nil {
+		h.Model = staged
+		h.LastStaged = nil
+	} else {
+		h.LastStaged = staged
+	}
+	return err
+}
+
+// CrashAndReopen simulates process death: all volatile filesystem state
+// is discarded, then the database is reopened (replaying the WAL).
+func (h *Harness) CrashAndReopen() error {
+	h.FS.Crash()
+	db, err := neodb.Open(h.Dir, h.config())
+	if err != nil {
+		return fmt.Errorf("reopen after crash: %w", err)
+	}
+	h.DB = db
+	return nil
+}
+
+// Verify checks the recovered store against the oracle. The committed
+// prefix must match exactly — except that the single boundary
+// transaction (LastStaged) is also accepted when its WAL sync made it
+// durable before the halt. On a staged match the staged state becomes
+// the committed model, so the harness can keep running.
+func (h *Harness) Verify() error {
+	errCommitted := h.verifyModel(h.Model)
+	if errCommitted == nil {
+		h.LastStaged = nil
+		return nil
+	}
+	if h.LastStaged != nil {
+		if err := h.verifyModel(h.LastStaged); err == nil {
+			h.Model = h.LastStaged
+			h.LastStaged = nil
+			return nil
+		}
+	}
+	return fmt.Errorf("recovered state matches neither the committed prefix nor the boundary transaction: %w", errCommitted)
+}
+
+func (h *Harness) verifyModel(m *Model) error {
+	db := h.DB
+	if got, want := db.NodeCount(), uint64(len(m.Nodes)); got != want {
+		return fmt.Errorf("node count %d, want %d", got, want)
+	}
+	if got, want := db.RelCount(), uint64(len(m.Rels)); got != want {
+		return fmt.Errorf("rel count %d, want %d", got, want)
+	}
+	for id, mn := range m.Nodes {
+		n, err := db.NodeByID(id)
+		if err != nil {
+			return fmt.Errorf("node %d: %w", id, err)
+		}
+		if n.Label != mn.Label {
+			return fmt.Errorf("node %d: label %d, want %d", id, n.Label, mn.Label)
+		}
+		props, err := db.NodeProps(id)
+		if err != nil {
+			return fmt.Errorf("node %d props: %w", id, err)
+		}
+		if len(props) != len(mn.Props) {
+			return fmt.Errorf("node %d: %d props, want %d", id, len(props), len(mn.Props))
+		}
+		for k, want := range mn.Props {
+			got, ok := props[k]
+			if !ok || got.Key() != want.Key() {
+				return fmt.Errorf("node %d prop %s: %v, want %v", id, k, got, want)
+			}
+		}
+	}
+	for id, mr := range m.Rels {
+		r, err := db.RelByID(id)
+		if err != nil {
+			return fmt.Errorf("rel %d: %w", id, err)
+		}
+		if r.Type != mr.Type || r.Src != mr.Src || r.Dst != mr.Dst {
+			return fmt.Errorf("rel %d: (%d,%d,%d), want (%d,%d,%d)",
+				id, r.Type, r.Src, r.Dst, mr.Type, mr.Src, mr.Dst)
+		}
+	}
+	return nil
+}
+
+// CheckIntegrity runs the engine's structural check on the current DB.
+func (h *Harness) CheckIntegrity() error {
+	if r := h.DB.CheckIntegrity(); !r.OK() {
+		return fmt.Errorf("integrity violations after recovery:\n%s", r)
+	}
+	return nil
+}

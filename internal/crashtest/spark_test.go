@@ -1,0 +1,127 @@
+package crashtest
+
+import (
+	"strings"
+	"testing"
+
+	"twigraph/internal/graph"
+	"twigraph/internal/sparkdb"
+	"twigraph/internal/vfs"
+)
+
+// buildSparkDB creates a small social graph in the bitmap engine.
+func buildSparkDB(t *testing.T) *sparkdb.DB {
+	t.Helper()
+	db := sparkdb.New(sparkdb.Config{})
+	user, err := db.NewNodeType("user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	follows, err := db.NewEdgeType("follows", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uid, err := db.NewAttribute(user, "uid", graph.KindInt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oids []uint64
+	for i := 0; i < 6; i++ {
+		o, err := db.NewNode(user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.SetAttribute(o, uid, graph.IntValue(int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+		oids = append(oids, o)
+	}
+	for i := range oids {
+		if _, err := db.NewEdge(follows, oids[i], oids[(i+1)%len(oids)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// TestSparkImageCrashSafety drives the image save path through every
+// fault the durability contract names: a completed save survives a
+// crash; a save whose temp-file fsync fails (or that is torn
+// mid-write) leaves the previous image untouched and loadable; and a
+// bit flip in the stored image is rejected by the checksum, never
+// silently loaded.
+func TestSparkImageCrashSafety(t *testing.T) {
+	const img = "/spark.img"
+	db := buildSparkDB(t)
+
+	t.Run("completed save survives crash", func(t *testing.T) {
+		fs := vfs.NewFaultFS()
+		if err := db.SaveFS(fs, img); err != nil {
+			t.Fatal(err)
+		}
+		fs.Crash()
+		db2, err := sparkdb.LoadFS(fs, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := db2.CheckIntegrity(); !r.OK() {
+			t.Fatalf("reloaded image has violations:\n%s", r)
+		}
+	})
+
+	t.Run("failed fsync keeps old image", func(t *testing.T) {
+		fs := vfs.NewFaultFS()
+		if err := db.SaveFS(fs, img); err != nil {
+			t.Fatal(err)
+		}
+		// A second save (say, after more writes) whose temp-file fsync
+		// fails must report the failure and leave the old image intact.
+		fs.AddFault(vfs.Fault{Op: vfs.OpSync, PathSubstr: ".tmp", Nth: 1, Kind: vfs.KindErr})
+		if err := db.SaveFS(fs, img); err == nil {
+			t.Fatal("save with failed fsync reported success")
+		}
+		fs.Crash()
+		db2, err := sparkdb.LoadFS(fs, img)
+		if err != nil {
+			t.Fatalf("old image unloadable after failed save: %v", err)
+		}
+		if r := db2.CheckIntegrity(); !r.OK() {
+			t.Fatalf("old image has violations:\n%s", r)
+		}
+	})
+
+	t.Run("torn save keeps old image", func(t *testing.T) {
+		fs := vfs.NewFaultFS()
+		if err := db.SaveFS(fs, img); err != nil {
+			t.Fatal(err)
+		}
+		fs.CrashDuringWrite(1, 100) // tear the temp-file body write
+		db.SaveFS(fs, img)          // dies mid-write
+		if !fs.Halted() {
+			t.Skip("save used fewer writes than the crash point")
+		}
+		fs.Crash()
+		db2, err := sparkdb.LoadFS(fs, img)
+		if err != nil {
+			t.Fatalf("old image unloadable after torn save: %v", err)
+		}
+		if r := db2.CheckIntegrity(); !r.OK() {
+			t.Fatalf("old image has violations:\n%s", r)
+		}
+	})
+
+	t.Run("bit flip detected by checksum", func(t *testing.T) {
+		fs := vfs.NewFaultFS()
+		if err := db.SaveFS(fs, img); err != nil {
+			t.Fatal(err)
+		}
+		fs.AddFault(vfs.Fault{Op: vfs.OpRead, PathSubstr: img, Nth: 1, Kind: vfs.KindBitFlip, BitOffset: 203})
+		_, err := sparkdb.LoadFS(fs, img)
+		if err == nil {
+			t.Fatal("corrupted image loaded without error")
+		}
+		if !strings.Contains(err.Error(), "checksum") && !strings.Contains(err.Error(), "loading") {
+			t.Errorf("unexpected error: %v", err)
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package cypher
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"twigraph/internal/neodb"
+)
+
+func TestQueryCtxHonorsDeadline(t *testing.T) {
+	e, _ := newTestEngine(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), -1) // already expired
+	defer cancel()
+	if _, err := e.QueryCtx(ctx, `MATCH (u:user) RETURN u.uid`, nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired QueryCtx error = %v", err)
+	}
+	if got := e.DB().Obs().Counter(neodb.CQueriesTimedOut).Load(); got != 1 {
+		t.Errorf("queries_timed_out = %d, want 1", got)
+	}
+	if got := e.DB().Obs().Counter(neodb.CQueriesCancelled).Load(); got != 0 {
+		t.Errorf("queries_cancelled = %d, want 0", got)
+	}
+
+	// The engine stays usable: the same query runs unbounded.
+	res := mustQuery(t, e, `MATCH (u:user) RETURN count(*)`, nil)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows after abort = %d", len(res.Rows))
+	}
+}
+
+func TestQueryCtxHonorsCancel(t *testing.T) {
+	e, _ := newTestEngine(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A shortest-path query exercises the nested engine call: the abort
+	// is detected (and counted) exactly once, in whichever layer sees
+	// the context first.
+	_, err := e.QueryCtx(ctx,
+		`MATCH (a:user {uid: 1}), (b:user {uid: 4}), p = shortestPath((a)-[:follows*..5]->(b)) RETURN length(p)`, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled QueryCtx error = %v", err)
+	}
+	if got := e.DB().Obs().Counter(neodb.CQueriesCancelled).Load(); got != 1 {
+		t.Errorf("queries_cancelled = %d, want exactly 1 (no double count)", got)
+	}
+}
+
+func TestQueryCtxNilIsUnbounded(t *testing.T) {
+	e, _ := newTestEngine(t)
+	res, err := e.QueryCtx(nil, `MATCH (u:user) RETURN count(*)`, nil)
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("nil-ctx query = (%v, %v)", res, err)
+	}
+	if got := e.DB().Obs().Counter(neodb.CQueriesTimedOut).Load(); got != 0 {
+		t.Errorf("queries_timed_out = %d, want 0", got)
+	}
+}

@@ -1,6 +1,7 @@
 package cypher
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -79,11 +80,20 @@ type StageProfile struct {
 
 // Query parses (or reuses) and executes a query.
 func (e *Engine) Query(query string, params map[string]graph.Value) (*Result, error) {
+	return e.QueryCtx(nil, query, params)
+}
+
+// QueryCtx is Query bounded by ctx: execution polls the context at row
+// granularity and aborts with a wrapped context error once it is
+// cancelled or past its deadline. The abort is counted into the
+// engine's queries_cancelled / queries_timed_out counters. A nil ctx
+// never aborts.
+func (e *Engine) QueryCtx(ctx context.Context, query string, params map[string]graph.Value) (*Result, error) {
 	prep, cached, compileTime, err := e.prepare(query)
 	if err != nil {
 		return nil, err
 	}
-	return e.execute(prep, params, cached, compileTime)
+	return e.execute(ctx, prep, params, cached, compileTime)
 }
 
 // Prepare compiles a query (or fetches it from the plan cache) without
@@ -95,7 +105,13 @@ func (e *Engine) Prepare(query string) (*Prepared, error) {
 
 // Execute runs a previously prepared plan.
 func (e *Engine) Execute(prep *Prepared, params map[string]graph.Value) (*Result, error) {
-	return e.execute(prep, params, true, 0)
+	return e.execute(nil, prep, params, true, 0)
+}
+
+// ExecuteCtx runs a previously prepared plan bounded by ctx, with
+// QueryCtx's abort semantics.
+func (e *Engine) ExecuteCtx(ctx context.Context, prep *Prepared, params map[string]graph.Value) (*Result, error) {
+	return e.execute(ctx, prep, params, true, 0)
 }
 
 func (e *Engine) prepare(query string) (*Prepared, bool, time.Duration, error) {
@@ -131,8 +147,8 @@ func (e *Engine) prepare(query string) (*Prepared, bool, time.Duration, error) {
 	return prep, false, compileTime, nil
 }
 
-func (e *Engine) execute(prep *Prepared, params map[string]graph.Value, cached bool, compileTime time.Duration) (*Result, error) {
-	ec := &execCtx{db: e.db, params: params}
+func (e *Engine) execute(ctx context.Context, prep *Prepared, params map[string]graph.Value, cached bool, compileTime time.Duration) (*Result, error) {
+	ec := &execCtx{db: e.db, ctx: ctx, params: params}
 	res := &Result{Columns: prep.columns}
 	var prof *ProfileInfo
 	if prep.profiled {

@@ -504,7 +504,7 @@ func existsChain(ec *execCtx, vars *varMap, r row, cur graph.NodeID, nodes []Nod
 	}
 	found := false
 	var innerErr error
-	err := expandPaths(ec.db, cur, t, rel.Dir, rel.MinHops, rel.MaxHops,
+	err := expandPaths(ec, cur, t, rel.Dir, rel.MinHops, rel.MaxHops,
 		func(end graph.NodeID, _ []graph.EdgeID) bool {
 			if haveTarget && end != want {
 				return true

@@ -1,6 +1,7 @@
 package cypher
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -9,14 +10,42 @@ import (
 )
 
 // execCtx carries per-execution state: the engine's database handle,
-// query parameters, and a property-key name cache.
+// the bounding context (nil when unbounded), query parameters, and a
+// property-key name cache.
 type execCtx struct {
 	db     *neodb.DB
+	ctx    context.Context
 	params map[string]graph.Value
+	ticks  uint
 }
 
 func (ec *execCtx) propKey(name string) graph.AttrID {
 	return ec.db.PropKeyID(name)
+}
+
+// ctxErr polls the bounding context and, on abort, counts it (exactly
+// once, at this detection site) and returns a wrapped error. Errors
+// that bubble up from nested engine calls were already counted where
+// they were detected and must be propagated, not re-classified.
+func (ec *execCtx) ctxErr() error {
+	if ec.ctx == nil {
+		return nil
+	}
+	if err := ec.ctx.Err(); err != nil {
+		ec.db.CountQueryAbort(err)
+		return fmt.Errorf("cypher: query aborted: %w", err)
+	}
+	return nil
+}
+
+// tick is ctxErr on a stride, cheap enough to call from per-record emit
+// callbacks inside scan and expand loops.
+func (ec *execCtx) tick() error {
+	ec.ticks++
+	if ec.ticks&1023 != 0 {
+		return nil
+	}
+	return ec.ctxErr()
 }
 
 // stage is one pipeline segment: it consumes materialised rows and
@@ -41,6 +70,9 @@ func (st *matchStage) name() string { return "Match" }
 func (st *matchStage) run(ec *execCtx, in []row) ([]row, error) {
 	var out []row
 	for _, r := range in {
+		if err := ec.ctxErr(); err != nil {
+			return nil, err
+		}
 		// Widen the row to this stage's slot count.
 		base := make(row, st.width)
 		copy(base, r)
@@ -106,12 +138,19 @@ func (s *stepIndexSeek) apply(ec *execCtx, in []row) ([]row, error) {
 		if ids == nil {
 			continue
 		}
+		var abort error
 		ids.ForEach(func(id uint64) bool {
+			if abort = ec.tick(); abort != nil {
+				return false
+			}
 			nr := cloneRow(r)
 			nr[s.slot] = NodeRef(id)
 			out = append(out, nr)
 			return true
 		})
+		if abort != nil {
+			return nil, abort
+		}
 	}
 	return out, nil
 }
@@ -130,12 +169,19 @@ func (s *stepLabelScan) apply(ec *execCtx, in []row) ([]row, error) {
 		if nodes == nil {
 			continue
 		}
+		var abort error
 		nodes.ForEach(func(id uint64) bool {
+			if abort = ec.tick(); abort != nil {
+				return false
+			}
 			nr := cloneRow(r)
 			nr[s.slot] = NodeRef(id)
 			out = append(out, nr)
 			return true
 		})
+		if abort != nil {
+			return nil, abort
+		}
 	}
 	return out, nil
 }
@@ -156,12 +202,19 @@ func (s *stepAllNodes) apply(ec *execCtx, in []row) ([]row, error) {
 			if nodes == nil {
 				continue
 			}
+			var abort error
 			nodes.ForEach(func(id uint64) bool {
+				if abort = ec.tick(); abort != nil {
+					return false
+				}
 				nr := cloneRow(r)
 				nr[s.slot] = NodeRef(id)
 				out = append(out, nr)
 				return true
 			})
+			if abort != nil {
+				return nil, abort
+			}
 		}
 	}
 	return out, nil
@@ -255,7 +308,7 @@ func (s *stepExpand) apply(ec *execCtx, in []row) ([]row, error) {
 		if !ok {
 			continue
 		}
-		err := expandPaths(ec.db, graph.NodeID(from), t, s.dir, s.minHops, s.maxHops,
+		err := expandPaths(ec, graph.NodeID(from), t, s.dir, s.minHops, s.maxHops,
 			func(end graph.NodeID, rels []graph.EdgeID) bool {
 				if s.toBound {
 					want, ok := r[s.toSlot].(NodeRef)
@@ -291,17 +344,22 @@ func (s *stepExpand) apply(ec *execCtx, in []row) ([]row, error) {
 // relationship-uniqueness per path (Cypher semantics). fn receives the
 // path's end node and relationship ids; returning false stops the
 // enumeration.
-func expandPaths(db *neodb.DB, start graph.NodeID, t graph.TypeID, dir graph.Direction, minHops, maxHops int, fn func(graph.NodeID, []graph.EdgeID) bool) error {
+func expandPaths(ec *execCtx, start graph.NodeID, t graph.TypeID, dir graph.Direction, minHops, maxHops int, fn func(graph.NodeID, []graph.EdgeID) bool) error {
+	db := ec.db
 	if maxHops < 0 {
 		maxHops = 15
 	}
 	var rels []graph.EdgeID
 	used := map[graph.EdgeID]bool{}
 	stop := false
+	var abortErr error
 	var dfs func(cur graph.NodeID, depth int) error
 	dfs = func(cur graph.NodeID, depth int) error {
 		if stop {
 			return nil
+		}
+		if err := ec.tick(); err != nil {
+			return err
 		}
 		if depth >= minHops && depth > 0 {
 			if !fn(cur, rels) {
@@ -312,7 +370,7 @@ func expandPaths(db *neodb.DB, start graph.NodeID, t graph.TypeID, dir graph.Dir
 		if depth >= maxHops {
 			return nil
 		}
-		return db.Relationships(cur, t, dir, func(r neodb.Rel) bool {
+		err := db.Relationships(cur, t, dir, func(r neodb.Rel) bool {
 			if stop || used[r.ID] {
 				return !stop
 			}
@@ -323,12 +381,17 @@ func expandPaths(db *neodb.DB, start graph.NodeID, t graph.TypeID, dir graph.Dir
 			used[r.ID] = true
 			rels = append(rels, r.ID)
 			if err := dfs(next, depth+1); err != nil {
+				abortErr = err
 				return false
 			}
 			rels = rels[:len(rels)-1]
 			delete(used, r.ID)
 			return !stop
 		})
+		if err != nil {
+			return err
+		}
+		return abortErr
 	}
 	if minHops == 0 {
 		if !fn(start, nil) {
@@ -359,7 +422,7 @@ func (s *stepShortestPath) apply(ec *execCtx, in []row) ([]row, error) {
 		if !ok1 || !ok2 {
 			continue
 		}
-		p, found, err := ec.db.ShortestPath(graph.NodeID(from), graph.NodeID(to),
+		p, found, err := ec.db.ShortestPathCtx(ec.ctx, graph.NodeID(from), graph.NodeID(to),
 			[]neodb.Expander{{Type: t, Dir: s.dir}}, s.maxHops)
 		if err != nil {
 			return nil, err
@@ -396,6 +459,9 @@ func (st *unwindStage) name() string { return "Unwind" }
 func (st *unwindStage) run(ec *execCtx, in []row) ([]row, error) {
 	var out []row
 	for _, r := range in {
+		if err := ec.ctxErr(); err != nil {
+			return nil, err
+		}
 		v, err := evalExpr(ec, st.vars, st.expr, r)
 		if err != nil {
 			return nil, err
@@ -449,6 +515,9 @@ func (st *projectStage) run(ec *execCtx, in []row) ([]row, error) {
 	} else {
 		rows = make([]projRow, 0, len(in))
 		for _, r := range in {
+			if err := ec.ctxErr(); err != nil {
+				return nil, err
+			}
 			nr := make(row, len(st.clause.Items))
 			for i, it := range st.clause.Items {
 				nr[i], err = evalExpr(ec, st.inVars, it.Expr, r)
@@ -616,6 +685,9 @@ func (st *projectStage) aggregate(ec *execCtx, in []row) ([]projRow, error) {
 		}
 	}
 	for _, r := range in {
+		if err := ec.ctxErr(); err != nil {
+			return nil, err
+		}
 		cells := make([]any, len(keyItems))
 		k := ""
 		for j, idx := range keyItems {

@@ -20,6 +20,7 @@ import (
 
 	"twigraph/internal/bitmap"
 	"twigraph/internal/graph"
+	"twigraph/internal/vfs"
 )
 
 // HashIndex maps property values to sets of entity ids. Lookup is O(1)
@@ -28,6 +29,7 @@ import (
 // readers never observe a posting set mid-mutation.
 type HashIndex struct {
 	mu       sync.RWMutex
+	fsys     vfs.FS
 	path     string
 	postings map[string]*bitmap.Bitmap // Value.Key() -> ids
 	vals     map[string]graph.Value    // Value.Key() -> value (for iteration)
@@ -37,7 +39,13 @@ type HashIndex struct {
 // NewHashIndex creates an index that snapshots to path (empty path means
 // memory-only).
 func NewHashIndex(path string) *HashIndex {
+	return NewHashIndexFS(vfs.OS, path)
+}
+
+// NewHashIndexFS is NewHashIndex on an explicit filesystem.
+func NewHashIndexFS(fsys vfs.FS, path string) *HashIndex {
 	return &HashIndex{
+		fsys:     fsys,
 		path:     path,
 		postings: make(map[string]*bitmap.Bitmap),
 		vals:     make(map[string]graph.Value),
@@ -46,8 +54,13 @@ func NewHashIndex(path string) *HashIndex {
 
 // OpenHashIndex loads the snapshot at path if it exists.
 func OpenHashIndex(path string) (*HashIndex, error) {
-	ix := NewHashIndex(path)
-	f, err := os.Open(path)
+	return OpenHashIndexFS(vfs.OS, path)
+}
+
+// OpenHashIndexFS is OpenHashIndex on an explicit filesystem.
+func OpenHashIndexFS(fsys vfs.FS, path string) (*HashIndex, error) {
+	ix := NewHashIndexFS(fsys, path)
+	f, err := vfs.Open(fsys, path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return ix, nil
@@ -133,13 +146,14 @@ func (ix *HashIndex) ForEach(fn func(v graph.Value, ids *bitmap.Bitmap) bool) {
 	}
 }
 
-// Sync writes the snapshot to the index path.
+// Sync writes the snapshot to the index path, fsyncing the temp file
+// before renaming it into place.
 func (ix *HashIndex) Sync() error {
 	if ix.path == "" {
 		return nil
 	}
 	tmp := ix.path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := vfs.Create(ix.fsys, tmp)
 	if err != nil {
 		return err
 	}
@@ -152,10 +166,14 @@ func (ix *HashIndex) Sync() error {
 		f.Close()
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, ix.path)
+	return ix.fsys.Rename(tmp, ix.path)
 }
 
 // Snapshot format: count, then per entry a serialised value and bitmap.

@@ -9,6 +9,7 @@ import (
 
 	"twigraph/internal/bitmap"
 	"twigraph/internal/graph"
+	"twigraph/internal/vfs"
 )
 
 // LabelScan maps each node label to the bitmap of node ids carrying it —
@@ -17,6 +18,7 @@ import (
 // Safe for concurrent use; Nodes returns snapshot copies.
 type LabelScan struct {
 	mu     sync.RWMutex
+	fsys   vfs.FS
 	path   string
 	labels map[graph.TypeID]*bitmap.Bitmap
 }
@@ -24,13 +26,23 @@ type LabelScan struct {
 // NewLabelScan creates a label scan store that snapshots to path (empty
 // path means memory-only).
 func NewLabelScan(path string) *LabelScan {
-	return &LabelScan{path: path, labels: make(map[graph.TypeID]*bitmap.Bitmap)}
+	return NewLabelScanFS(vfs.OS, path)
+}
+
+// NewLabelScanFS is NewLabelScan on an explicit filesystem.
+func NewLabelScanFS(fsys vfs.FS, path string) *LabelScan {
+	return &LabelScan{fsys: fsys, path: path, labels: make(map[graph.TypeID]*bitmap.Bitmap)}
 }
 
 // OpenLabelScan loads the snapshot at path if present.
 func OpenLabelScan(path string) (*LabelScan, error) {
-	ls := NewLabelScan(path)
-	f, err := os.Open(path)
+	return OpenLabelScanFS(vfs.OS, path)
+}
+
+// OpenLabelScanFS is OpenLabelScan on an explicit filesystem.
+func OpenLabelScanFS(fsys vfs.FS, path string) (*LabelScan, error) {
+	ls := NewLabelScanFS(fsys, path)
+	f, err := vfs.Open(fsys, path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return ls, nil
@@ -99,13 +111,14 @@ func (ls *LabelScan) Count(label graph.TypeID) int {
 	return 0
 }
 
-// Sync writes the snapshot to disk.
+// Sync writes the snapshot to disk, fsyncing the temp file before
+// renaming it into place.
 func (ls *LabelScan) Sync() error {
 	if ls.path == "" {
 		return nil
 	}
 	tmp := ls.path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := vfs.Create(ls.fsys, tmp)
 	if err != nil {
 		return err
 	}
@@ -118,10 +131,14 @@ func (ls *LabelScan) Sync() error {
 		f.Close()
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, ls.path)
+	return ls.fsys.Rename(tmp, ls.path)
 }
 
 func (ls *LabelScan) save(w io.Writer) error {

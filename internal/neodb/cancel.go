@@ -1,0 +1,46 @@
+package neodb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Graceful degradation: long-running reads (traversals, shortest paths,
+// and the Cypher executor layered on top) accept a context and abandon
+// work at frontier/row granularity when its deadline passes or it is
+// cancelled. An abort is counted exactly once, at the detection site,
+// into queries_cancelled or queries_timed_out — so :stats distinguishes
+// "the caller gave up" from "the deadline fired" without double counts
+// when one aborted call nests inside another.
+
+// CountQueryAbort classifies err and increments the matching abort
+// counter. It reports whether err was a context cancellation or
+// deadline error. Callers that detect a context abort themselves (for
+// example a row-granularity check in a query executor built on this
+// engine) use it to record the abort; errors that already passed
+// through a detection site here must not be re-counted.
+func (db *DB) CountQueryAbort(err error) bool {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		db.cQTimedOut.Inc()
+	case errors.Is(err, context.Canceled):
+		db.cQCancelled.Inc()
+	default:
+		return false
+	}
+	return true
+}
+
+// checkCtx polls ctx and, on abort, counts it and returns a wrapped
+// error. A nil context never aborts.
+func (db *DB) checkCtx(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		db.CountQueryAbort(err)
+		return fmt.Errorf("neodb: query aborted: %w", err)
+	}
+	return nil
+}

@@ -35,18 +35,22 @@ import (
 	"twigraph/internal/pagecache"
 	"twigraph/internal/par"
 	"twigraph/internal/storage"
+	"twigraph/internal/vfs"
 	"twigraph/internal/wal"
 )
 
 // Engine-specific counter names registered on top of the obs core set.
 const (
-	CWALAppends      = "wal_appends"
-	CWALSyncs        = "wal_syncs"
-	CTxBegin         = "tx_begin"
-	CTxCommit        = "tx_commit"
-	CTxAbort         = "tx_abort"
-	CRelChainHops    = "rel_chain_hops"
-	CDenseGroupScans = "dense_group_scans"
+	CWALAppends       = "wal_appends"
+	CWALSyncs         = "wal_syncs"
+	CWALSyncFailures  = "wal_sync_failures"
+	CTxBegin          = "tx_begin"
+	CTxCommit         = "tx_commit"
+	CTxAbort          = "tx_abort"
+	CRelChainHops     = "rel_chain_hops"
+	CDenseGroupScans  = "dense_group_scans"
+	CQueriesCancelled = "queries_cancelled"
+	CQueriesTimedOut  = "queries_timed_out"
 )
 
 // Config tunes an engine instance.
@@ -60,6 +64,10 @@ type Config struct {
 	// DenseThreshold is the degree at which a node switches to
 	// relationship groups; 0 means DefaultDenseThreshold.
 	DenseThreshold int
+	// FS is the filesystem every store file, index snapshot, catalog
+	// write and WAL operation goes through; nil means the operating
+	// system. Fault-injection and crash tests substitute a vfs.FaultFS.
+	FS vfs.FS
 }
 
 // DefaultCachePages gives each store file a 32 MiB cache by default.
@@ -69,8 +77,9 @@ const DefaultCachePages = 4096
 // run concurrently; writes are serialised by a single-writer lock held
 // for the duration of each write transaction's commit.
 type DB struct {
-	dir string
-	cfg Config
+	dir  string
+	cfg  Config
+	fsys vfs.FS
 
 	nodes  storage.NodeStore
 	rels   storage.RelStore
@@ -103,11 +112,14 @@ type DB struct {
 	cTxBegin    *obs.Counter
 	cTxCommit   *obs.Counter
 	cTxAbort    *obs.Counter
+	cQCancelled *obs.Counter
+	cQTimedOut  *obs.Counter
 
 	parMetrics par.Metrics // par_shards / par_merge_nanos for parallel traversals
 
-	writeMu sync.Mutex // single writer
-	closed  bool
+	writeMu    sync.Mutex // single writer
+	closed     bool
+	recovering bool // WAL replay in progress (set only inside Open)
 }
 
 type indexKey struct {
@@ -153,12 +165,17 @@ func Open(dir string, cfg Config) (*DB, error) {
 	if cfg.CachePages <= 0 {
 		cfg.CachePages = DefaultCachePages
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	db := &DB{
 		dir:      dir,
 		cfg:      cfg,
+		fsys:     fsys,
 		labels:   newNameTable(),
 		relTypes: newNameTable(),
 		propKeys: newNameTable(),
@@ -174,26 +191,28 @@ func Open(dir string, cfg Config) (*DB, error) {
 	db.cTxBegin = db.reg.Counter(CTxBegin)
 	db.cTxCommit = db.reg.Counter(CTxCommit)
 	db.cTxAbort = db.reg.Counter(CTxAbort)
+	db.cQCancelled = db.reg.Counter(CQueriesCancelled)
+	db.cQTimedOut = db.reg.Counter(CQueriesTimedOut)
 	db.parMetrics = par.MetricsFrom(db.reg)
 	db.tracer.Watch(obs.CRecordFetches, db.cFetches)
 	db.tracer.Watch(obs.CPageFaults, db.cFaults)
 	var err error
-	if db.nodes, err = storage.OpenNodeStore(dir, cfg.CachePages); err != nil {
+	if db.nodes, err = storage.OpenNodeStoreFS(fsys, dir, cfg.CachePages); err != nil {
 		return nil, err
 	}
-	if db.rels, err = storage.OpenRelStore(dir, cfg.CachePages); err != nil {
+	if db.rels, err = storage.OpenRelStoreFS(fsys, dir, cfg.CachePages); err != nil {
 		db.nodes.Close()
 		return nil, err
 	}
-	if db.props, err = storage.OpenPropStore(dir, cfg.CachePages); err != nil {
+	if db.props, err = storage.OpenPropStoreFS(fsys, dir, cfg.CachePages); err != nil {
 		db.closePartial()
 		return nil, err
 	}
-	if db.strs, err = storage.OpenDynStore(dir, cfg.CachePages); err != nil {
+	if db.strs, err = storage.OpenDynStoreFS(fsys, dir, cfg.CachePages); err != nil {
 		db.closePartial()
 		return nil, err
 	}
-	if db.groups, err = storage.OpenGroupStore(dir, cfg.CachePages); err != nil {
+	if db.groups, err = storage.OpenGroupStoreFS(fsys, dir, cfg.CachePages); err != nil {
 		db.closePartial()
 		return nil, err
 	}
@@ -216,7 +235,7 @@ func Open(dir string, cfg Config) (*DB, error) {
 		db.closePartial()
 		return nil, err
 	}
-	if db.labelScan, err = idx.OpenLabelScan(filepath.Join(dir, "labelscan.idx")); err != nil {
+	if db.labelScan, err = idx.OpenLabelScanFS(fsys, filepath.Join(dir, "labelscan.idx")); err != nil {
 		db.closePartial()
 		return nil, err
 	}
@@ -224,11 +243,11 @@ func Open(dir string, cfg Config) (*DB, error) {
 		db.closePartial()
 		return nil, err
 	}
-	if db.log, err = wal.Open(filepath.Join(dir, "neodb.wal")); err != nil {
+	if db.log, err = wal.OpenFS(fsys, filepath.Join(dir, "neodb.wal")); err != nil {
 		db.closePartial()
 		return nil, err
 	}
-	db.log.Instrument(db.reg.Counter(CWALAppends), db.reg.Counter(CWALSyncs))
+	db.log.Instrument(db.reg.Counter(CWALAppends), db.reg.Counter(CWALSyncs), db.reg.Counter(CWALSyncFailures))
 	if err = db.recover(); err != nil {
 		db.Close()
 		return nil, err
@@ -267,7 +286,7 @@ type catalogFile struct {
 func (db *DB) catalogPath() string { return filepath.Join(db.dir, "catalog.json") }
 
 func (db *DB) loadCatalog() error {
-	data, err := os.ReadFile(db.catalogPath())
+	data, err := vfs.ReadFile(db.fsys, db.catalogPath())
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil
@@ -324,10 +343,22 @@ func (db *DB) saveCatalog() error {
 		return err
 	}
 	tmp := db.catalogPath() + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := db.fsys.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, db.catalogPath())
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return db.fsys.Rename(tmp, db.catalogPath())
 }
 
 func (db *DB) indexPath(k indexKey) string {
@@ -336,7 +367,7 @@ func (db *DB) indexPath(k indexKey) string {
 
 func (db *DB) loadIndexes() error {
 	for k := range db.indexes {
-		ix, err := idx.OpenHashIndex(db.indexPath(k))
+		ix, err := idx.OpenHashIndexFS(db.fsys, db.indexPath(k))
 		if err != nil {
 			return err
 		}
@@ -427,7 +458,7 @@ func (db *DB) CreateIndex(label graph.TypeID, key graph.AttrID) error {
 		db.indexMu.Unlock()
 		return nil
 	}
-	ix := idx.NewHashIndex(db.indexPath(k))
+	ix := idx.NewHashIndexFS(db.fsys, db.indexPath(k))
 	db.indexes[k] = ix
 	db.indexMu.Unlock()
 
@@ -531,8 +562,15 @@ func (db *DB) CoolCaches() error {
 }
 
 // Sync flushes all stores, indexes and the catalog to disk and
-// truncates the WAL (checkpoint).
+// truncates the WAL (checkpoint). A poisoned log refuses the
+// checkpoint before any store is touched: once an fsync on the WAL has
+// failed, the durability chain is broken and advancing the durable
+// store state (let alone truncating the log) could persist effects of
+// transactions whose commit was never made durable.
 func (db *DB) Sync() error {
+	if err := db.log.Poisoned(); err != nil {
+		return fmt.Errorf("%w: refusing checkpoint", wal.ErrPoisoned)
+	}
 	for _, f := range []interface{ Sync() error }{db.nodes, db.rels, db.props, db.strs, db.groups} {
 		if err := f.Sync(); err != nil {
 			return err
@@ -555,7 +593,8 @@ func (db *DB) Sync() error {
 	return db.log.Truncate()
 }
 
-// Close checkpoints and closes the database.
+// Close checkpoints and closes the database. Every store and the log
+// are closed even when earlier steps fail; the first error is returned.
 func (db *DB) Close() error {
 	db.writeMu.Lock()
 	defer db.writeMu.Unlock()
@@ -563,15 +602,16 @@ func (db *DB) Close() error {
 		return nil
 	}
 	db.closed = true
-	if err := db.Sync(); err != nil {
-		return err
-	}
+	firstErr := db.Sync()
 	for _, f := range []interface{ Close() error }{db.nodes, db.rels, db.props, db.strs, db.groups} {
-		if err := f.Close(); err != nil {
-			return err
+		if err := f.Close(); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return db.log.Close()
+	if err := db.log.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // Dir returns the database directory.

@@ -1,6 +1,8 @@
 package neodb
 
 import (
+	"context"
+
 	"twigraph/internal/graph"
 	"twigraph/internal/par"
 )
@@ -32,6 +34,7 @@ type Expander struct {
 // uniqueness, and an optional per-step evaluator.
 type TraversalDescription struct {
 	db         *DB
+	ctx        context.Context
 	expanders  []Expander
 	minDepth   int
 	maxDepth   int
@@ -95,6 +98,14 @@ func (td *TraversalDescription) DepthFirst() *TraversalDescription {
 	return td
 }
 
+// WithContext bounds the traversal by ctx: each expansion step polls it
+// and Traverse returns the (counted) abort error once it is done or
+// past its deadline.
+func (td *TraversalDescription) WithContext(ctx context.Context) *TraversalDescription {
+	td.ctx = ctx
+	return td
+}
+
 // Evaluate sets a per-path evaluator.
 func (td *TraversalDescription) Evaluate(fn func(Path) Evaluation) *TraversalDescription {
 	td.evaluator = fn
@@ -112,6 +123,9 @@ func (td *TraversalDescription) Traverse(start graph.NodeID, fn func(Path) bool)
 	visited := map[graph.NodeID]bool{start: true}
 	queue := []frame{{Path{Nodes: []graph.NodeID{start}}}}
 	for len(queue) > 0 {
+		if err := td.db.checkCtx(td.ctx); err != nil {
+			return err
+		}
 		var cur frame
 		if td.breadth {
 			cur, queue = queue[0], queue[1:]
@@ -181,6 +195,14 @@ func (td *TraversalDescription) Traverse(start graph.NodeID, fn func(Path) bool)
 // trees, so a meeting with candidate length exactly L has been
 // recorded.
 func (db *DB) ShortestPath(from, to graph.NodeID, expanders []Expander, maxHops int) (Path, bool, error) {
+	return db.ShortestPathCtx(nil, from, to, expanders, maxHops)
+}
+
+// ShortestPathCtx is ShortestPath bounded by ctx: the search polls the
+// context before expanding each BFS level and aborts with a counted
+// error once it is cancelled or past its deadline. A nil ctx never
+// aborts.
+func (db *DB) ShortestPathCtx(ctx context.Context, from, to graph.NodeID, expanders []Expander, maxHops int) (Path, bool, error) {
 	if from == to {
 		return Path{Nodes: []graph.NodeID{from}}, true, nil
 	}
@@ -189,6 +211,9 @@ func (db *DB) ShortestPath(from, to graph.NodeID, expanders []Expander, maxHops 
 	best := maxHops + 1
 	var bestMeet graph.NodeID
 	for fwd.depth+bwd.depth < best && fwd.depth+bwd.depth < maxHops {
+		if err := db.checkCtx(ctx); err != nil {
+			return Path{}, false, err
+		}
 		// Expand the cheaper side; an exhausted side is complete, so
 		// the other keeps going.
 		side, other, reversed := fwd, bwd, false
@@ -224,6 +249,12 @@ func (db *DB) ShortestPath(from, to graph.NodeID, expanders []Expander, maxHops 
 // detection never race. The (length, found) result is identical to
 // ShortestPath's for every worker count.
 func (db *DB) ShortestPathLength(from, to graph.NodeID, expanders []Expander, maxHops, workers int) (int, bool, error) {
+	return db.ShortestPathLengthCtx(nil, from, to, expanders, maxHops, workers)
+}
+
+// ShortestPathLengthCtx is ShortestPathLength bounded by ctx, polled
+// once per BFS level like ShortestPathCtx.
+func (db *DB) ShortestPathLengthCtx(ctx context.Context, from, to graph.NodeID, expanders []Expander, maxHops, workers int) (int, bool, error) {
 	if from == to {
 		return 0, true, nil
 	}
@@ -231,6 +262,9 @@ func (db *DB) ShortestPathLength(from, to graph.NodeID, expanders []Expander, ma
 	bwd := newBFSSide(to)
 	best := maxHops + 1
 	for fwd.depth+bwd.depth < best && fwd.depth+bwd.depth < maxHops {
+		if err := db.checkCtx(ctx); err != nil {
+			return 0, false, err
+		}
 		side, other, reversed := fwd, bwd, false
 		if len(fwd.frontier) == 0 || (len(bwd.frontier) > 0 && len(bwd.frontier) < len(fwd.frontier)) {
 			side, other, reversed = bwd, fwd, true

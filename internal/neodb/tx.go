@@ -111,14 +111,25 @@ func (tx *Tx) Commit() error {
 	if db.closed {
 		return graph.ErrClosed
 	}
+	// Up to the end of the sync, nothing has touched the stores: a
+	// failure abandons the half-appended batch (so it can never enter
+	// the replayable prefix) and returns the eagerly allocated ids, so
+	// the in-memory allocators — and the next checkpoint's headers —
+	// keep matching the store contents.
+	logStart := db.log.Offset()
+	fail := func(err error) error {
+		db.log.Rewind(logStart)
+		tx.releaseIDs()
+		return err
+	}
 	for _, op := range tx.ops {
 		if _, err := db.log.Append(op.kind, op.payload); err != nil {
-			return err
+			return fail(err)
 		}
 	}
 	if db.cfg.SyncCommits {
 		if err := db.log.Sync(); err != nil {
-			return err
+			return fail(err)
 		}
 	}
 	for _, op := range tx.ops {
@@ -137,7 +148,13 @@ func (tx *Tx) Rollback() {
 	}
 	tx.done = true
 	tx.db.cTxAbort.Inc()
-	// Release eagerly allocated ids so they are reused.
+	tx.releaseIDs()
+}
+
+// releaseIDs returns the transaction's eagerly allocated ids to the
+// store allocators for reuse. Only safe while none of the buffered
+// operations have been applied.
+func (tx *Tx) releaseIDs() {
 	for _, op := range tx.ops {
 		id := binary.LittleEndian.Uint64(op.payload[0:8])
 		switch op.kind {
@@ -152,8 +169,13 @@ func (tx *Tx) Rollback() {
 
 // recover replays the WAL against the stores. Every apply is
 // idempotent, so replaying operations that already reached the store
-// files is harmless.
+// files is harmless. While recovering, logged create ops adopt their
+// ids into the store allocators: the allocator state read from the
+// header reflects the last checkpoint, not the logged tail, and must
+// not hand a replayed id out a second time.
 func (db *DB) recover() error {
+	db.recovering = true
+	defer func() { db.recovering = false }()
 	return db.log.Replay(func(_ uint64, kind uint8, payload []byte) error {
 		return db.applyOp(kind, payload)
 	})
@@ -192,6 +214,9 @@ func (db *DB) applyOp(kind uint8, payload []byte) error {
 }
 
 func (db *DB) applyCreateNode(id graph.NodeID, label graph.TypeID) error {
+	if db.recovering {
+		db.nodes.AdoptID(uint64(id))
+	}
 	rec, err := db.nodes.Get(id)
 	if err != nil {
 		return err
@@ -207,6 +232,9 @@ func (db *DB) applyCreateNode(id graph.NodeID, label graph.TypeID) error {
 }
 
 func (db *DB) applyCreateRel(id graph.EdgeID, t graph.TypeID, src, dst graph.NodeID) error {
+	if db.recovering {
+		db.rels.AdoptID(uint64(id))
+	}
 	rec, err := db.rels.Get(id)
 	if err != nil {
 		return err

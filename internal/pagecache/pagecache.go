@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 
 	"twigraph/internal/obs"
+	"twigraph/internal/vfs"
 )
 
 // PageSize is the fixed page size in bytes. 8 KiB matches Neo4j's page
@@ -60,7 +61,7 @@ func (s *Stats) add(o Stats) {
 // the whole-cache walks (FlushAll, Cool, ...), which visit stripes one
 // at a time.
 type Cache struct {
-	file     *os.File
+	file     vfs.File
 	capacity int // max resident pages, summed over stripes
 	stripes  []*stripe
 	ins      atomic.Pointer[Instruments]
@@ -112,14 +113,20 @@ type page struct {
 // Open creates a cache of the given capacity (in pages) over path. The
 // file is created if missing. Capacity must be at least 1.
 func Open(path string, capacity int) (*Cache, error) {
+	return OpenFS(vfs.OS, path, capacity)
+}
+
+// OpenFS is Open on an explicit filesystem (fault-injection tests swap
+// in a vfs.FaultFS; production code uses Open).
+func OpenFS(fsys vfs.FS, path string, capacity int) (*Cache, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("pagecache: capacity %d < 1", capacity)
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	fi, err := f.Stat()
+	size, err := f.Size()
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -129,7 +136,7 @@ func Open(path string, capacity int) (*Cache, error) {
 		n = stripeCount
 	}
 	c := &Cache{file: f, capacity: capacity}
-	c.size.Store(fi.Size())
+	c.size.Store(size)
 	c.ins.Store(&Instruments{})
 	c.stripes = make([]*stripe, n)
 	for i := range c.stripes {
@@ -397,19 +404,20 @@ func (c *Cache) Size() int64 {
 }
 
 // Close flushes and closes the backing file. The cache is unusable
-// afterwards.
+// afterwards. The file is closed even when a write-back fails; the
+// first error is returned.
 func (c *Cache) Close() error {
 	if c.closed.Swap(true) {
 		return nil
 	}
+	var firstErr error
 	ins := c.ins.Load()
 	for _, s := range c.stripes {
 		s.mu.Lock()
 		for _, p := range s.pages {
 			if p.dirty {
-				if err := s.writeBackLocked(p, ins); err != nil {
-					s.mu.Unlock()
-					return err
+				if err := s.writeBackLocked(p, ins); err != nil && firstErr == nil {
+					firstErr = err
 				}
 			}
 		}
@@ -417,7 +425,10 @@ func (c *Cache) Close() error {
 		s.lruHead, s.lruTail = nil, nil
 		s.mu.Unlock()
 	}
-	return c.file.Close()
+	if err := c.file.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }
 
 // ---------- LRU list maintenance (s.mu held) ----------

@@ -1,0 +1,41 @@
+package sparkdb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Graceful degradation mirrors neodb's: navigation walks poll a caller
+// context at frontier granularity and abort with a counted, wrapped
+// error. The abort is counted exactly once, at the detection site, so
+// queries_cancelled / queries_timed_out never double-count a single
+// aborted call chain.
+
+// CountQueryAbort classifies err and increments the matching abort
+// counter, reporting whether err was a context cancellation or deadline
+// error.
+func (db *DB) CountQueryAbort(err error) bool {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		db.cQTimedOut.Inc()
+	case errors.Is(err, context.Canceled):
+		db.cQCancelled.Inc()
+	default:
+		return false
+	}
+	return true
+}
+
+// checkCtx polls ctx and, on abort, counts it and returns a wrapped
+// error. A nil context never aborts.
+func (db *DB) checkCtx(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		db.CountQueryAbort(err)
+		return fmt.Errorf("sparkdb: query aborted: %w", err)
+	}
+	return nil
+}

@@ -61,6 +61,12 @@ const (
 	CNavExplodes   = "nav_explodes"
 	CNavSelects    = "nav_selects"
 	CNavFinds      = "nav_finds"
+
+	// Graceful-degradation counters: queries aborted by caller
+	// cancellation vs. an expired deadline, counted once at the
+	// detection site.
+	CQueriesCancelled = "queries_cancelled"
+	CQueriesTimedOut  = "queries_timed_out"
 )
 
 // Counters aggregates navigation-operation statistics, the introspection
@@ -98,6 +104,8 @@ type DB struct {
 	cNavExplodes  *obs.Counter
 	cNavSelects   *obs.Counter
 	cNavFinds     *obs.Counter
+	cQCancelled   *obs.Counter
+	cQTimedOut    *obs.Counter
 
 	parMetrics par.Metrics // par_shards / par_merge_nanos for parallel queries
 }
@@ -158,6 +166,8 @@ func New(cfg Config) *DB {
 		cNavExplodes:  reg.Counter(CNavExplodes),
 		cNavSelects:   reg.Counter(CNavSelects),
 		cNavFinds:     reg.Counter(CNavFinds),
+		cQCancelled:   reg.Counter(CQueriesCancelled),
+		cQTimedOut:    reg.Counter(CQueriesTimedOut),
 		parMetrics:    par.MetricsFrom(reg),
 	}
 	db.tracer.Watch(obs.CRecordFetches, db.cFetches)

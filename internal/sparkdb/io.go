@@ -4,29 +4,54 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
-	"os"
 
 	"twigraph/internal/graph"
+	"twigraph/internal/vfs"
 )
 
 // Image format version tag.
 const imageMagic = 0x31444b53 // "SKD1"
+
+// imageTrailerMagic introduces the trailing checksum block: magic plus
+// an IEEE CRC-32 of everything before it. Images written before the
+// trailer existed simply end at the body; Load accepts both.
+const imageTrailerMagic = 0x43444b53 // "SKDC"
 
 // Save writes the database image to path atomically. Link maps,
 // materialised neighbor indexes and attribute inverted indexes are not
 // stored: they are derived structures rebuilt on Load from the edge
 // endpoint arrays and attribute value maps.
 func (db *DB) Save(path string) error {
+	return db.SaveFS(vfs.OS, path)
+}
+
+// SaveFS is Save on an explicit filesystem (fault-injection tests swap
+// in a vfs.FaultFS; production code uses Save).
+//
+// The temp file is fsynced before the rename — without it a crash can
+// publish a zero-length "committed" image — and the parent directory is
+// fsynced best-effort afterwards so the rename itself is durable.
+func (db *DB) SaveFS(fsys vfs.FS, path string) error {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := vfs.Create(fsys, tmp)
 	if err != nil {
 		return err
 	}
 	w := bufio.NewWriter(f)
-	if err := db.save(w); err != nil {
+	sum := crc32.NewIEEE()
+	if err := db.save(io.MultiWriter(w, sum)); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
+		return err
+	}
+	var trailer [8]byte
+	binary.LittleEndian.PutUint32(trailer[0:4], imageTrailerMagic)
+	binary.LittleEndian.PutUint32(trailer[4:8], sum.Sum32())
+	if _, err := w.Write(trailer[:]); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := w.Flush(); err != nil {
@@ -40,7 +65,11 @@ func (db *DB) Save(path string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := fsys.Rename(tmp, path); err != nil {
+		return err
+	}
+	fsys.SyncDir(path) // best-effort: rename durability
+	return nil
 }
 
 func (db *DB) save(w io.Writer) error {
@@ -141,14 +170,39 @@ func (db *DB) save(w io.Writer) error {
 // Load reads a database image written by Save and rebuilds all derived
 // structures (link maps, neighbor indexes, attribute inverted indexes).
 func Load(path string) (*DB, error) {
-	f, err := os.Open(path)
+	return LoadFS(vfs.OS, path)
+}
+
+// LoadFS is Load on an explicit filesystem. When the image carries a
+// checksum trailer the body CRC is verified; images written before the
+// trailer existed load unchecked (backward compatible).
+func LoadFS(fsys vfs.FS, path string) (*DB, error) {
+	f, err := vfs.Open(fsys, path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	br := bufio.NewReader(f)
+	sum := crc32.NewIEEE()
 	db := New(Config{})
-	if err := db.load(bufio.NewReader(f)); err != nil {
+	if err := db.load(io.TeeReader(br, sum)); err != nil {
 		return nil, fmt.Errorf("sparkdb: loading %s: %w", path, err)
+	}
+	// Trailer check: read past the body from br directly so the trailer
+	// bytes are not hashed into the body CRC.
+	var trailer [8]byte
+	switch _, err := io.ReadFull(br, trailer[:]); err {
+	case io.EOF:
+		// Legacy image without trailer.
+	case nil:
+		if m := binary.LittleEndian.Uint32(trailer[0:4]); m != imageTrailerMagic {
+			return nil, fmt.Errorf("sparkdb: loading %s: trailing garbage (magic %#x)", path, m)
+		}
+		if want, got := binary.LittleEndian.Uint32(trailer[4:8]), sum.Sum32(); want != got {
+			return nil, fmt.Errorf("sparkdb: loading %s: image checksum mismatch (stored %#x, computed %#x)", path, want, got)
+		}
+	default:
+		return nil, fmt.Errorf("sparkdb: loading %s: truncated checksum trailer: %w", path, err)
 	}
 	return db, nil
 }

@@ -1,6 +1,7 @@
 package sparkdb
 
 import (
+	"context"
 	"fmt"
 
 	"twigraph/internal/bitmap"
@@ -196,14 +197,26 @@ func matchOp(cmp int, op CompareOp) bool {
 // 3-hop limit for Q6.1. It returns the node OIDs along the path
 // (src..dst) or ok=false when no path within the bound exists.
 func (db *DB) SinglePairShortestPathBFS(src, dst uint64, edgeTypes []graph.TypeID, dir graph.Direction, maxHops int) ([]uint64, bool) {
+	path, ok, _ := db.SinglePairShortestPathBFSCtx(nil, src, dst, edgeTypes, dir, maxHops)
+	return path, ok
+}
+
+// SinglePairShortestPathBFSCtx is SinglePairShortestPathBFS bounded by
+// ctx: the search polls the context once per BFS level and aborts with
+// a counted error when it is cancelled or past its deadline. A nil ctx
+// never aborts.
+func (db *DB) SinglePairShortestPathBFSCtx(ctx context.Context, src, dst uint64, edgeTypes []graph.TypeID, dir graph.Direction, maxHops int) ([]uint64, bool, error) {
 	if src == dst {
-		return []uint64{src}, true
+		return []uint64{src}, true, nil
 	}
 	// Bidirectional-free simple BFS with parent tracking; the expansion
 	// itself uses the same link bitmaps as Neighbors.
 	parent := map[uint64]uint64{src: src}
 	frontier := []uint64{src}
 	for hop := 0; hop < maxHops && len(frontier) > 0; hop++ {
+		if err := db.checkCtx(ctx); err != nil {
+			return nil, false, err
+		}
 		var next []uint64
 		for _, n := range frontier {
 			for _, et := range edgeTypes {
@@ -219,13 +232,13 @@ func (db *DB) SinglePairShortestPathBFS(src, dst uint64, edgeTypes []graph.TypeI
 					return true
 				})
 				if _, found := parent[dst]; found {
-					return rebuildPath(parent, src, dst), true
+					return rebuildPath(parent, src, dst), true, nil
 				}
 			}
 		}
 		frontier = next
 	}
-	return nil, false
+	return nil, false, nil
 }
 
 // SinglePairShortestPathLength is the length-only variant of
@@ -237,8 +250,16 @@ func (db *DB) SinglePairShortestPathBFS(src, dst uint64, edgeTypes []graph.TypeI
 // (length, found) pair is identical for every worker count — a node's
 // BFS level does not depend on the order frontiers are expanded in.
 func (db *DB) SinglePairShortestPathLength(src, dst uint64, edgeTypes []graph.TypeID, dir graph.Direction, maxHops, workers int) (int, bool) {
+	n, ok, _ := db.SinglePairShortestPathLengthCtx(nil, src, dst, edgeTypes, dir, maxHops, workers)
+	return n, ok
+}
+
+// SinglePairShortestPathLengthCtx is SinglePairShortestPathLength
+// bounded by ctx, polled once per BFS level like
+// SinglePairShortestPathBFSCtx.
+func (db *DB) SinglePairShortestPathLengthCtx(ctx context.Context, src, dst uint64, edgeTypes []graph.TypeID, dir graph.Direction, maxHops, workers int) (int, bool, error) {
 	if src == dst {
-		return 0, true
+		return 0, true, nil
 	}
 	// Below this frontier width a level expands inline: unioning a few
 	// link bitmaps is cheaper than forking goroutines for them.
@@ -246,6 +267,9 @@ func (db *DB) SinglePairShortestPathLength(src, dst uint64, edgeTypes []graph.Ty
 	visited := bitmap.Of(src)
 	frontier := []uint64{src}
 	for hop := 1; hop <= maxHops && len(frontier) > 0; hop++ {
+		if err := db.checkCtx(ctx); err != nil {
+			return 0, false, err
+		}
 		w := par.WorkersForSize(workers, len(frontier), minPerShard)
 		shards := par.RunRanges(w, len(frontier), db.parMetrics, func(lo, hi int) *bitmap.Bitmap {
 			local := bitmap.New()
@@ -262,15 +286,15 @@ func (db *DB) SinglePairShortestPathLength(src, dst uint64, edgeTypes []graph.Ty
 			next.Difference(visited)
 		})
 		if next.Contains(dst) {
-			return hop, true
+			return hop, true, nil
 		}
 		if next.IsEmpty() {
-			return 0, false
+			return 0, false, nil
 		}
 		visited.Union(next)
 		frontier = next.Slice()
 	}
-	return 0, false
+	return 0, false, nil
 }
 
 func rebuildPath(parent map[uint64]uint64, src, dst uint64) []uint64 {
@@ -299,6 +323,7 @@ func rebuildPath(parent map[uint64]uint64, src, dst uint64) []uint64 {
 // the visit queue) versus bare bitmap unions.
 type Traversal struct {
 	db       *DB
+	ctx      context.Context
 	start    uint64
 	bfs      bool
 	maxDepth int
@@ -335,6 +360,14 @@ func (t *Traversal) DepthFirst() *Traversal {
 	return t
 }
 
+// WithContext bounds the traversal by ctx: each visit polls it and
+// RunCtx returns the (counted) abort error once it is cancelled or past
+// its deadline.
+func (t *Traversal) WithContext(ctx context.Context) *Traversal {
+	t.ctx = ctx
+	return t
+}
+
 // Visited is one traversal visit: the node and its depth from the start.
 type Visited struct {
 	OID   uint64
@@ -345,8 +378,16 @@ type Visited struct {
 // the start) in visit order. Each node is visited once, at its first
 // (minimal for BFS) depth.
 func (t *Traversal) Run() []Visited {
+	out, _ := t.RunCtx()
+	return out
+}
+
+// RunCtx is Run with the abort error surfaced: when the traversal was
+// bounded with WithContext and the context fires mid-walk, the visits
+// collected so far are returned alongside the counted abort error.
+func (t *Traversal) RunCtx() ([]Visited, error) {
 	if len(t.steps) == 0 || t.maxDepth < 1 {
-		return nil
+		return nil, nil
 	}
 	seen := map[uint64]bool{t.start: true}
 	var out []Visited
@@ -356,6 +397,9 @@ func (t *Traversal) Run() []Visited {
 	}
 	queue := []item{{t.start, 0}}
 	for len(queue) > 0 {
+		if err := t.db.checkCtx(t.ctx); err != nil {
+			return out, err
+		}
 		var cur item
 		if t.bfs {
 			cur, queue = queue[0], queue[1:]
@@ -377,7 +421,7 @@ func (t *Traversal) Run() []Visited {
 			})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // String implements fmt.Stringer for debugging.

@@ -18,6 +18,7 @@ import (
 
 	"twigraph/internal/obs"
 	"twigraph/internal/pagecache"
+	"twigraph/internal/vfs"
 )
 
 // recordFileMagic identifies a record file header page.
@@ -42,6 +43,7 @@ type RecordFile struct {
 
 	mu        sync.Mutex
 	highWater uint64 // last allocated id
+	baseHigh  uint64 // highWater as recovered from the header at open
 	free      []uint64
 	inUse     uint64 // highWater minus freed records
 
@@ -62,10 +64,17 @@ func (f *RecordFile) Instrument(fetches *obs.Counter, cache pagecache.Instrument
 // record size, caching cachePages pages. Record size must be in
 // (0, PageSize].
 func OpenRecordFile(path string, recSize, cachePages int) (*RecordFile, error) {
+	return OpenRecordFileFS(vfs.OS, path, recSize, cachePages)
+}
+
+// OpenRecordFileFS is OpenRecordFile on an explicit filesystem, so
+// fault-injection tests can run the whole record path (header included)
+// over a vfs.FaultFS.
+func OpenRecordFileFS(fsys vfs.FS, path string, recSize, cachePages int) (*RecordFile, error) {
 	if recSize <= 0 || recSize > pagecache.PageSize {
 		return nil, fmt.Errorf("storage: record size %d out of range", recSize)
 	}
-	cache, err := pagecache.Open(path, cachePages)
+	cache, err := pagecache.OpenFS(fsys, path, cachePages)
 	if err != nil {
 		return nil, err
 	}
@@ -101,6 +110,7 @@ func (f *RecordFile) parseHeader(buf []byte) error {
 		return fmt.Errorf("storage: record size mismatch: file %d, want %d", rs, f.recSize)
 	}
 	f.highWater = binary.LittleEndian.Uint64(buf[8:16])
+	f.baseHigh = f.highWater
 	f.inUse = binary.LittleEndian.Uint64(buf[16:24])
 	nFree := binary.LittleEndian.Uint64(buf[24:32])
 	f.free = make([]uint64, 0, nFree)
@@ -147,6 +157,40 @@ func (f *RecordFile) Allocate() uint64 {
 	}
 	f.highWater++
 	return f.highWater
+}
+
+// AdoptID forces id to count as allocated. WAL replay calls this for
+// every logged create: after a crash the allocator state comes from a
+// possibly stale header (the last checkpoint), so replayed ids can lie
+// beyond the recovered high-water mark or sit on the recovered free
+// list — without adoption a later Allocate would hand the same id out
+// twice. Adoption bumps the high-water mark past id, removes id from
+// the free list, and counts the record as live unless the header
+// already counted it.
+func (f *RecordFile) AdoptID(id uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fresh := id > f.baseHigh
+	if id > f.highWater {
+		f.highWater = id
+	}
+	for i, fid := range f.free {
+		if fid == id {
+			f.free = append(f.free[:i], f.free[i+1:]...)
+			fresh = true
+			break
+		}
+	}
+	if fresh {
+		f.inUse++
+	}
+}
+
+// FreeIDs returns a copy of the current free list (integrity checks).
+func (f *RecordFile) FreeIDs() []uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]uint64(nil), f.free...)
 }
 
 // Release returns a record id to the free list. The caller should zero
@@ -255,10 +299,12 @@ func (f *RecordFile) Sync() error {
 	return f.cache.Sync()
 }
 
-// Close syncs and closes the backing file.
+// Close syncs and closes the backing file. The file is closed even when
+// the final sync fails; the first error is returned.
 func (f *RecordFile) Close() error {
-	if err := f.Sync(); err != nil {
-		return err
+	err := f.Sync()
+	if cerr := f.cache.Close(); err == nil {
+		err = cerr
 	}
-	return f.cache.Close()
+	return err
 }

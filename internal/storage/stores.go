@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 
 	"twigraph/internal/graph"
+	"twigraph/internal/vfs"
 )
 
 // Record sizes, chosen to mirror the compactness of Neo4j's store
@@ -82,25 +83,45 @@ type DynStore struct{ *RecordFile }
 
 // OpenNodeStore opens the node store file in dir.
 func OpenNodeStore(dir string, cachePages int) (NodeStore, error) {
-	f, err := OpenRecordFile(filepath.Join(dir, "nodes.store"), NodeRecordSize, cachePages)
+	return OpenNodeStoreFS(vfs.OS, dir, cachePages)
+}
+
+// OpenNodeStoreFS is OpenNodeStore on an explicit filesystem.
+func OpenNodeStoreFS(fsys vfs.FS, dir string, cachePages int) (NodeStore, error) {
+	f, err := OpenRecordFileFS(fsys, filepath.Join(dir, "nodes.store"), NodeRecordSize, cachePages)
 	return NodeStore{f}, err
 }
 
 // OpenRelStore opens the relationship store file in dir.
 func OpenRelStore(dir string, cachePages int) (RelStore, error) {
-	f, err := OpenRecordFile(filepath.Join(dir, "rels.store"), RelRecordSize, cachePages)
+	return OpenRelStoreFS(vfs.OS, dir, cachePages)
+}
+
+// OpenRelStoreFS is OpenRelStore on an explicit filesystem.
+func OpenRelStoreFS(fsys vfs.FS, dir string, cachePages int) (RelStore, error) {
+	f, err := OpenRecordFileFS(fsys, filepath.Join(dir, "rels.store"), RelRecordSize, cachePages)
 	return RelStore{f}, err
 }
 
 // OpenPropStore opens the property store file in dir.
 func OpenPropStore(dir string, cachePages int) (PropStore, error) {
-	f, err := OpenRecordFile(filepath.Join(dir, "props.store"), PropRecordSize, cachePages)
+	return OpenPropStoreFS(vfs.OS, dir, cachePages)
+}
+
+// OpenPropStoreFS is OpenPropStore on an explicit filesystem.
+func OpenPropStoreFS(fsys vfs.FS, dir string, cachePages int) (PropStore, error) {
+	f, err := OpenRecordFileFS(fsys, filepath.Join(dir, "props.store"), PropRecordSize, cachePages)
 	return PropStore{f}, err
 }
 
 // OpenDynStore opens the dynamic string store file in dir.
 func OpenDynStore(dir string, cachePages int) (DynStore, error) {
-	f, err := OpenRecordFile(filepath.Join(dir, "strings.store"), DynRecordSize, cachePages)
+	return OpenDynStoreFS(vfs.OS, dir, cachePages)
+}
+
+// OpenDynStoreFS is OpenDynStore on an explicit filesystem.
+func OpenDynStoreFS(fsys vfs.FS, dir string, cachePages int) (DynStore, error) {
+	f, err := OpenRecordFileFS(fsys, filepath.Join(dir, "strings.store"), DynRecordSize, cachePages)
 	return DynStore{f}, err
 }
 
@@ -326,7 +347,12 @@ type GroupStore struct{ *RecordFile }
 
 // OpenGroupStore opens the relationship-group store file in dir.
 func OpenGroupStore(dir string, cachePages int) (GroupStore, error) {
-	f, err := OpenRecordFile(filepath.Join(dir, "groups.store"), GroupRecordSize, cachePages)
+	return OpenGroupStoreFS(vfs.OS, dir, cachePages)
+}
+
+// OpenGroupStoreFS is OpenGroupStore on an explicit filesystem.
+func OpenGroupStoreFS(fsys vfs.FS, dir string, cachePages int) (GroupStore, error) {
+	f, err := OpenRecordFileFS(fsys, filepath.Join(dir, "groups.store"), GroupRecordSize, cachePages)
 	return GroupStore{f}, err
 }
 

@@ -124,7 +124,7 @@ func (s *NeoStore) TopTweetsWithTag(tag string, n int) ([]Counted, error) {
 
 // PosterOf implements TweetRanker.
 func (s *NeoStore) PosterOf(tid int64) (int64, bool, error) {
-	res, err := s.engine.Query(
+	res, err := s.query(
 		`MATCH (u:user)-[:posts]->(t:tweet {tid: $tid}) RETURN u.uid`,
 		params("tid", tid))
 	if err != nil {

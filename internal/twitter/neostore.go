@@ -1,8 +1,10 @@
 package twitter
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"twigraph/internal/cypher"
 	"twigraph/internal/graph"
@@ -23,8 +25,9 @@ type NeoStore struct {
 	db     *neodb.DB
 	engine *cypher.Engine
 
-	workers int         // per-query parallelism (1 = declarative/Cypher path)
-	parm    par.Metrics // shard/merge counters on the engine registry
+	workers int           // per-query parallelism (1 = declarative/Cypher path)
+	timeout time.Duration // per-query deadline; 0 = unbounded
+	parm    par.Metrics   // shard/merge counters on the engine registry
 }
 
 // NewNeoStore wraps an opened neodb database.
@@ -49,6 +52,31 @@ func (s *NeoStore) SetWorkers(n int) { s.workers = par.Workers(n) }
 
 // Workers returns the current per-query parallelism.
 func (s *NeoStore) Workers() int { return s.workers }
+
+// SetQueryTimeout bounds every subsequent query by d. Queries that run
+// past the deadline abort with a context error and count into the
+// engine's queries_timed_out counter; d <= 0 removes the bound.
+func (s *NeoStore) SetQueryTimeout(d time.Duration) { s.timeout = d }
+
+// QueryTimeout returns the configured per-query deadline (0 =
+// unbounded).
+func (s *NeoStore) QueryTimeout() time.Duration { return s.timeout }
+
+// queryCtx returns the context bounding one query (nil when no timeout
+// is configured) and its cancel func.
+func (s *NeoStore) queryCtx() (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return nil, func() {}
+	}
+	return context.WithTimeout(context.Background(), s.timeout)
+}
+
+// query runs one declarative query under the store's deadline.
+func (s *NeoStore) query(q string, p map[string]graph.Value) (*cypher.Result, error) {
+	ctx, cancel := s.queryCtx()
+	defer cancel()
+	return s.engine.QueryCtx(ctx, q, p)
+}
 
 // Close implements Store.
 func (s *NeoStore) Close() error { return s.db.Close() }
@@ -90,7 +118,7 @@ func params(kv ...any) map[string]graph.Value {
 }
 
 func (s *NeoStore) queryInts(q string, p map[string]graph.Value) ([]int64, error) {
-	res, err := s.engine.Query(q, p)
+	res, err := s.query(q, p)
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +134,7 @@ func (s *NeoStore) queryInts(q string, p map[string]graph.Value) ([]int64, error
 }
 
 func (s *NeoStore) queryCounted(q string, p map[string]graph.Value) ([]Counted, error) {
-	res, err := s.engine.Query(q, p)
+	res, err := s.query(q, p)
 	if err != nil {
 		return nil, err
 	}
@@ -143,7 +171,7 @@ func (s *NeoStore) TweetsOfFollowees(uid int64) ([]int64, error) {
 
 // HashtagsOfFollowees implements Q2.3.
 func (s *NeoStore) HashtagsOfFollowees(uid int64) ([]string, error) {
-	res, err := s.engine.Query(
+	res, err := s.query(
 		`MATCH (a:user {uid: $uid})-[:follows]->(:user)-[:posts]->(:tweet)-[:tags]->(h:hashtag)
 		 RETURN DISTINCT h.tag AS tag ORDER BY tag`,
 		params("uid", uid))
@@ -174,7 +202,7 @@ func (s *NeoStore) CoOccurringHashtags(tag string, n int) ([]CountedTag, error) 
 	if s.workers > 1 {
 		return s.coOccurringTagsParallel(tag, n)
 	}
-	res, err := s.engine.Query(
+	res, err := s.query(
 		`MATCH (h:hashtag {tag: $tag})<-[:tags]-(t:tweet)-[:tags]->(o:hashtag)
 		 WHERE o.tag <> $tag
 		 RETURN o.tag AS tag, count(*) AS c ORDER BY c DESC, tag LIMIT $n`,
@@ -265,7 +293,10 @@ func (s *NeoStore) RecommendFolloweesTraversal(uid int64, n int) ([]Counted, err
 		return nil, err
 	}
 	counts := map[graph.NodeID]int64{}
+	ctx, cancel := s.queryCtx()
+	defer cancel()
 	td := s.db.NewTraversal().
+		WithContext(ctx).
 		Expand(follows, graph.Outgoing).
 		Depths(2, 2).
 		Uniqueness(neodb.NoneUnique)
@@ -342,7 +373,7 @@ func (s *NeoStore) ShortestPathLength(fromUID, toUID int64, maxHops int) (int, b
 	if s.workers > 1 {
 		return s.shortestPathParallel(fromUID, toUID, maxHops)
 	}
-	res, err := s.engine.Query(fmt.Sprintf(
+	res, err := s.query(fmt.Sprintf(
 		`MATCH (a:user {uid: $a}), (b:user {uid: $b}),
 		        p = shortestPath((a)-[:follows*..%d]->(b))
 		 RETURN length(p)`, maxHops),

@@ -252,6 +252,8 @@ func (s *NeoStore) shortestPathParallel(fromUID, toUID int64, maxHops int) (int,
 	if !ok {
 		return 0, false, nil
 	}
-	return s.db.ShortestPathLength(a, b,
+	ctx, cancel := s.queryCtx()
+	defer cancel()
+	return s.db.ShortestPathLengthCtx(ctx, a, b,
 		[]neodb.Expander{{Type: follows, Dir: graph.Outgoing}}, maxHops, s.workers)
 }

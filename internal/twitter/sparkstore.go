@@ -1,8 +1,10 @@
 package twitter
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"twigraph/internal/graph"
 	"twigraph/internal/obs"
@@ -19,8 +21,9 @@ import (
 type SparkStore struct {
 	db *sparkdb.DB
 
-	workers int         // per-query parallelism (1 = sequential)
-	parm    par.Metrics // shard/merge counters on the engine registry
+	workers int           // per-query parallelism (1 = sequential)
+	timeout time.Duration // per-query deadline; 0 = unbounded
+	parm    par.Metrics   // shard/merge counters on the engine registry
 
 	user, tweet, hashtag           graph.TypeID
 	follows, posts, mentions, tags graph.TypeID
@@ -67,6 +70,25 @@ func (s *SparkStore) SetWorkers(n int) { s.workers = par.Workers(n) }
 
 // Workers returns the current per-query parallelism.
 func (s *SparkStore) Workers() int { return s.workers }
+
+// SetQueryTimeout bounds every subsequent navigation query by d.
+// Queries that run past the deadline abort with a context error and
+// count into the engine's queries_timed_out counter; d <= 0 removes the
+// bound.
+func (s *SparkStore) SetQueryTimeout(d time.Duration) { s.timeout = d }
+
+// QueryTimeout returns the configured per-query deadline (0 =
+// unbounded).
+func (s *SparkStore) QueryTimeout() time.Duration { return s.timeout }
+
+// queryCtx returns the context bounding one query (nil when no timeout
+// is configured) and its cancel func.
+func (s *SparkStore) queryCtx() (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return nil, func() {}
+	}
+	return context.WithTimeout(context.Background(), s.timeout)
+}
 
 // Obs exposes the engine's observability registry (bench snapshots).
 func (s *SparkStore) Obs() *obs.Registry { return s.db.Obs() }
@@ -271,8 +293,14 @@ func (s *SparkStore) RecommendFolloweesTraversal(uid int64, n int) ([]Counted, e
 	// The traversal visits each node once, so path counts degenerate
 	// to 1 — to preserve result equality the per-followee counting is
 	// redone from the traversal's depth-1 set.
-	tr := s.db.NewTraversal(a).AddEdgeType(s.follows, graph.Outgoing).SetMaximumHops(1)
-	for _, v := range tr.Run() {
+	ctx, cancel := s.queryCtx()
+	defer cancel()
+	tr := s.db.NewTraversal(a).WithContext(ctx).AddEdgeType(s.follows, graph.Outgoing).SetMaximumHops(1)
+	visits, err := tr.RunCtx()
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range visits {
 		// The traversal dedups nodes; weight each depth-1 visit by its
 		// parallel-edge multiplicity, then count second hops per edge.
 		mult := int64(0)
@@ -372,13 +400,14 @@ func (s *SparkStore) ShortestPathLength(fromUID, toUID int64, maxHops int) (int,
 	if !ok {
 		return 0, false, nil
 	}
+	ctx, cancel := s.queryCtx()
+	defer cancel()
 	if s.workers > 1 {
-		hops, found := s.db.SinglePairShortestPathLength(a, b, []graph.TypeID{s.follows}, graph.Outgoing, maxHops, s.workers)
-		return hops, found, nil
+		return s.db.SinglePairShortestPathLengthCtx(ctx, a, b, []graph.TypeID{s.follows}, graph.Outgoing, maxHops, s.workers)
 	}
-	path, found := s.db.SinglePairShortestPathBFS(a, b, []graph.TypeID{s.follows}, graph.Outgoing, maxHops)
-	if !found {
-		return 0, false, nil
+	path, found, err := s.db.SinglePairShortestPathBFSCtx(ctx, a, b, []graph.TypeID{s.follows}, graph.Outgoing, maxHops)
+	if err != nil || !found {
+		return 0, false, err
 	}
 	return len(path) - 1, true, nil
 }

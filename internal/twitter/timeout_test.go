@@ -1,0 +1,50 @@
+package twitter_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"twigraph/internal/neodb"
+	"twigraph/internal/sparkdb"
+)
+
+// TestStoreQueryTimeout drives the graceful-degradation funnel both
+// stores expose to twibench -timeout: with an unmeetable deadline every
+// declarative and navigational query aborts with a context error,
+// counts into queries_timed_out, and the store keeps answering once the
+// bound is lifted.
+func TestStoreQueryTimeout(t *testing.T) {
+	neo, spark, _ := buildBoth(t, smallCfg())
+
+	neo.SetQueryTimeout(time.Nanosecond)
+	if _, err := neo.Followees(1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("neo query under 1ns deadline: %v", err)
+	}
+	if _, _, err := neo.ShortestPathLength(1, 40, 4); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("neo shortest path under 1ns deadline: %v", err)
+	}
+	if got := neo.Obs().Counter(neodb.CQueriesTimedOut).Load(); got == 0 {
+		t.Error("neo queries_timed_out not incremented")
+	}
+	neo.SetQueryTimeout(0)
+	if _, err := neo.Followees(1); err != nil {
+		t.Fatalf("neo query after removing the bound: %v", err)
+	}
+
+	spark.SetQueryTimeout(time.Nanosecond)
+	if _, _, err := spark.ShortestPathLength(1, 40, 4); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("spark shortest path under 1ns deadline: %v", err)
+	}
+	if _, err := spark.RecommendFolloweesTraversal(1, 5); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("spark traversal under 1ns deadline: %v", err)
+	}
+	if got := spark.Obs().Counter(sparkdb.CQueriesTimedOut).Load(); got == 0 {
+		t.Error("spark queries_timed_out not incremented")
+	}
+	spark.SetQueryTimeout(0)
+	if _, _, err := spark.ShortestPathLength(1, 40, 4); err != nil {
+		t.Fatalf("spark query after removing the bound: %v", err)
+	}
+}

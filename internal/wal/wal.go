@@ -17,34 +17,46 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
+	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
 	"sync"
 
 	"twigraph/internal/obs"
+	"twigraph/internal/vfs"
 )
 
 const frameHeader = 4 + 1 + 8 + 4
 
+// ErrPoisoned marks a log whose fsync has failed. The kernel may have
+// discarded the dirty pages on the failed fsync, so the durability of
+// everything since the last successful sync is unknown; accepting more
+// appends would silently widen the hole (the classic fsync-gate bug).
+// The log refuses all further work until reopened.
+var ErrPoisoned = errors.New("wal: log poisoned by earlier fsync failure")
+
 // Log is an append-only write-ahead log. It is safe for concurrent use.
 type Log struct {
-	mu      sync.Mutex
-	file    *os.File
-	nextLSN uint64
-	offset  int64 // append position
-	appends uint64
-	syncs   uint64
+	mu       sync.Mutex
+	file     vfs.File
+	nextLSN  uint64
+	offset   int64 // append position
+	appends  uint64
+	syncs    uint64
+	poisoned error // first fsync failure; sticky until reopen
 
-	cAppends *obs.Counter // registry counters, nil until Instrument
-	cSyncs   *obs.Counter
+	cAppends   *obs.Counter // registry counters, nil until Instrument
+	cSyncs     *obs.Counter
+	cSyncFails *obs.Counter
 }
 
 // Instrument mirrors the log's activity counters into the engine's
-// observability registry.
-func (l *Log) Instrument(appends, syncs *obs.Counter) {
+// observability registry. syncFailures may be nil.
+func (l *Log) Instrument(appends, syncs, syncFailures *obs.Counter) {
 	l.mu.Lock()
-	l.cAppends, l.cSyncs = appends, syncs
+	l.cAppends, l.cSyncs, l.cSyncFails = appends, syncs, syncFailures
 	l.mu.Unlock()
 }
 
@@ -58,7 +70,13 @@ type Stats struct {
 // Open opens or creates the log at path and positions the append cursor
 // after the last intact entry (truncating any trailing torn frame).
 func Open(path string) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenFS(vfs.OS, path)
+}
+
+// OpenFS is Open on an explicit filesystem (fault-injection tests swap
+// in a vfs.FaultFS; production code uses Open).
+func OpenFS(fsys vfs.FS, path string) (*Log, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -91,6 +109,9 @@ func (l *Log) recoverTail() error {
 func (l *Log) Append(kind uint8, payload []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.poisoned != nil {
+		return 0, fmt.Errorf("%w: %v", ErrPoisoned, l.poisoned)
+	}
 	lsn := l.nextLSN
 	buf := make([]byte, frameHeader+len(payload))
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
@@ -113,15 +134,60 @@ func (l *Log) Append(kind uint8, payload []byte) (uint64, error) {
 	return lsn, nil
 }
 
-// Sync forces all appended entries to stable storage.
+// Sync forces all appended entries to stable storage. A failure is
+// sticky: the log is poisoned and every later Append or Sync returns
+// ErrPoisoned, because the durability of unsynced entries is unknown
+// once an fsync has failed.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.poisoned != nil {
+		return fmt.Errorf("%w: %v", ErrPoisoned, l.poisoned)
+	}
 	l.syncs++
 	if l.cSyncs != nil {
 		l.cSyncs.Inc()
 	}
-	return l.file.Sync()
+	if err := l.file.Sync(); err != nil {
+		l.poisoned = err
+		if l.cSyncFails != nil {
+			l.cSyncFails.Inc()
+		}
+		return err
+	}
+	return nil
+}
+
+// Offset returns the current append position. A caller about to append
+// a multi-entry batch can capture it and Rewind on failure.
+func (l *Log) Offset() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.offset
+}
+
+// Rewind abandons every entry appended after off, moving the append
+// cursor back so the abandoned bytes are overwritten (and truncated
+// best-effort). It is only safe for entries that have never been
+// synced: a batch writer that fails partway through uses it to keep a
+// half-appended batch out of the replayable prefix. On a poisoned log
+// Rewind is a no-op — the cursor no longer matters and the volatile
+// tail's durability is unknown.
+func (l *Log) Rewind(off int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.poisoned != nil || off >= l.offset {
+		return
+	}
+	l.offset = off
+	l.file.Truncate(off) // best-effort: CRC framing also fences remnants
+}
+
+// Poisoned returns the sticky fsync failure, or nil.
+func (l *Log) Poisoned() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.poisoned
 }
 
 // Replay invokes fn for every intact entry in order. It is typically
@@ -178,6 +244,9 @@ func (l *Log) scan(fn func(lsn uint64, kind uint8, payload []byte, end int64) er
 func (l *Log) Truncate() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.poisoned != nil {
+		return fmt.Errorf("%w: %v", ErrPoisoned, l.poisoned)
+	}
 	if err := l.file.Truncate(0); err != nil {
 		return err
 	}

@@ -1,11 +1,15 @@
 package wal
 
 import (
+	"errors"
+	"math/rand"
+
 	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
+	"twigraph/internal/vfs"
 )
 
 func openTemp(t *testing.T) (*Log, string) {
@@ -206,5 +210,176 @@ func TestCloseIdempotent(t *testing.T) {
 	}
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFaultRecoveryProperty is the recovery property test: for many
+// random logs, any truncation or single-bit flip of the on-disk bytes
+// must recover to an intact prefix of the original entries — the right
+// payloads in the right order, never a corrupted payload and never an
+// entry out of sequence.
+func TestFaultRecoveryProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "wal.log")
+		l, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var payloads [][]byte
+		n := 1 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			p := make([]byte, rng.Intn(200))
+			rng.Read(p)
+			payloads = append(payloads, p)
+			if _, err := l.Append(byte(1+i%5), p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		damaged := make([]byte, len(raw))
+		copy(damaged, raw)
+		switch rng.Intn(3) {
+		case 0: // truncate at a random byte
+			damaged = damaged[:rng.Intn(len(damaged)+1)]
+		case 1: // flip a single bit
+			bit := rng.Intn(len(damaged) * 8)
+			damaged[bit/8] ^= 1 << (bit % 8)
+		case 2: // truncate AND flip within the remainder
+			damaged = damaged[:1+rng.Intn(len(damaged))]
+			bit := rng.Intn(len(damaged) * 8)
+			damaged[bit/8] ^= 1 << (bit % 8)
+		}
+		if err := os.WriteFile(path, damaged, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		l2, err := Open(path)
+		if err != nil {
+			t.Fatalf("trial %d: reopen of damaged log: %v", trial, err)
+		}
+		i := 0
+		err = l2.Replay(func(lsn uint64, kind uint8, payload []byte) error {
+			if i >= len(payloads) {
+				return fmt.Errorf("replayed %d entries, only %d written", i+1, len(payloads))
+			}
+			if lsn != uint64(i+1) {
+				return fmt.Errorf("entry %d has lsn %d", i, lsn)
+			}
+			if kind != byte(1+i%5) {
+				return fmt.Errorf("entry %d has kind %d", i, kind)
+			}
+			if !bytes.Equal(payload, payloads[i]) {
+				return fmt.Errorf("entry %d payload corrupted", i)
+			}
+			i++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Recovery must keep accepting appends after the damage.
+		if _, err := l2.Append(9, []byte("after")); err != nil {
+			t.Fatalf("trial %d: append after recovery: %v", trial, err)
+		}
+		l2.Close()
+	}
+}
+
+// TestPoisonedLogRefusesEverything drives the sticky-poison contract
+// through a scripted fsync failure: after one failed Sync, Append, Sync
+// and Truncate all refuse with ErrPoisoned, and reopening the file
+// restores service.
+func TestPoisonedLogRefusesEverything(t *testing.T) {
+	fs := vfs.NewFaultFS()
+	l, err := OpenFS(fs, "/wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs.AddFault(vfs.Fault{Op: vfs.OpSync, Nth: 1, Kind: vfs.KindErr})
+	if _, err := l.Append(1, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err == nil {
+		t.Fatal("faulted fsync reported success")
+	}
+	if _, err := l.Append(1, []byte("c")); !errors.Is(err, ErrPoisoned) {
+		t.Errorf("append on poisoned log: %v", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrPoisoned) {
+		t.Errorf("sync on poisoned log: %v", err)
+	}
+	if err := l.Truncate(); !errors.Is(err, ErrPoisoned) {
+		t.Errorf("truncate on poisoned log: %v", err)
+	}
+	if err := l.Poisoned(); err == nil {
+		t.Error("Poisoned() returned nil")
+	}
+	l.Close()
+
+	// A process restart after a real fsync failure: the page cache is
+	// gone and the kernel's error state cleared.
+	fs.Crash()
+	l2, err := OpenFS(fs, "/wal.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if _, err := l2.Append(1, []byte("d")); err != nil {
+		t.Errorf("append after reopen: %v", err)
+	}
+	if err := l2.Sync(); err != nil {
+		t.Errorf("sync after reopen: %v", err)
+	}
+}
+
+// TestRewindAbandonsUnsyncedEntries verifies a batch writer can back
+// out a half-appended batch: entries appended after the captured offset
+// never reach the replayable prefix.
+func TestRewindAbandonsUnsyncedEntries(t *testing.T) {
+	l, path := openTemp(t)
+	if _, err := l.Append(1, []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	pos := l.Offset()
+	if _, err := l.Append(2, []byte("abandon-1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(2, []byte("abandon-2")); err != nil {
+		t.Fatal(err)
+	}
+	l.Rewind(pos)
+	if _, err := l.Append(3, []byte("next")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var got []string
+	l2.Replay(func(_ uint64, _ uint8, payload []byte) error {
+		got = append(got, string(payload))
+		return nil
+	})
+	if len(got) != 2 || got[0] != "keep" || got[1] != "next" {
+		t.Errorf("replay after rewind: %q", got)
 	}
 }
