@@ -7,12 +7,17 @@
 //	twibench -exp all
 //	twibench -exp fig4a -users 8000
 //	twibench -list
+//	twibench -exp table2 -listen :9090         # live /metrics while running
+//	twibench -exp fig4a -trace trace.json      # Perfetto timeline export
+//	twibench -exp all -json new.json -compare old.json -regress 25
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"twigraph/internal/bench"
 )
@@ -24,6 +29,10 @@ func main() {
 	jsonPath := flag.String("json", "", "write a machine-readable snapshot (latency histograms + engine counters) to this path")
 	workers := flag.Int("workers", 0, "multi-hop query workers per store (0 = GOMAXPROCS, 1 = sequential)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline; timed-out queries abort and count into queries_timed_out (0 = unbounded)")
+	listen := flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /slow, pprof) on this address while the bench runs")
+	trace := flag.String("trace", "", "capture span timelines and write a Chrome trace-event file (Perfetto-loadable) to this path")
+	compare := flag.String("compare", "", "diff this run's latencies against a prior -json snapshot at this path")
+	regress := flag.Float64("regress", 0, "with -compare: exit non-zero when any series' p50/p95 grew more than this percent (0 = warn-only)")
 	cfg := bench.DefaultConfig()
 	flag.IntVar(&cfg.Users, "users", cfg.Users, "dataset scale in users")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "dataset PRNG seed")
@@ -50,22 +59,61 @@ func main() {
 	env.QueryTimeout = *timeout
 	defer env.Close()
 
-	if *exp == "all" {
+	if *trace != "" {
+		env.EnableTracing()
+	}
+	if *listen != "" {
+		addr, shutdown, err := env.Telemetry().Serve(*listen)
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
+		// Parsed by scrapers (and the CI smoke test) to find the port
+		// when -listen :0 picked one.
+		fmt.Printf("telemetry listening on %s\n", addr)
+	}
+
+	experiment := *exp
+	if experiment == "all" {
 		if err := bench.RunAll(env, os.Stdout); err != nil {
 			fatal(err)
 		}
-		writeSnapshot(env, "all", *jsonPath)
-		return
+	} else {
+		ex, err := bench.Lookup(experiment)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("=== %s — %s ===\n\n", ex.ID, ex.Title)
+		if err := ex.Run(env, os.Stdout); err != nil {
+			fatal(err)
+		}
+		experiment = ex.ID
 	}
-	ex, err := bench.Lookup(*exp)
-	if err != nil {
-		fatal(err)
+	writeSnapshot(env, experiment, *jsonPath)
+	if *trace != "" {
+		if err := env.WriteChromeTrace(*trace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ntrace written to %s (load it at ui.perfetto.dev)\n", *trace)
 	}
-	fmt.Printf("=== %s — %s ===\n\n", ex.ID, ex.Title)
-	if err := ex.Run(env, os.Stdout); err != nil {
-		fatal(err)
+	if *compare != "" {
+		old, err := bench.ReadSnapshot(*compare)
+		if err != nil {
+			fatal(err)
+		}
+		report := bench.Compare(old, env.Snapshot(experiment), *regress)
+		fmt.Printf("\n=== latency vs %s ===\n\n%s", *compare, report.Format())
+		if len(report.Regressions()) > 0 && *regress > 0 {
+			fatal(fmt.Errorf("latency regression past %.1f%% threshold", *regress))
+		}
 	}
-	writeSnapshot(env, ex.ID, *jsonPath)
+	if *listen != "" {
+		// Keep the final counters scrapeable; exit on interrupt.
+		fmt.Println("\nexperiments done; telemetry stays up until interrupted")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+	}
 }
 
 func writeSnapshot(env *bench.Env, experiment, path string) {

@@ -6,6 +6,9 @@
 // Lines starting with ':' are shell commands rather than queries:
 // :stats dumps the engine's observability registry, :trace on|off
 // toggles span tracing (each traced query prints its span tree),
+// :trace export <file> writes the captured timeline as a Chrome
+// trace-event file (load at ui.perfetto.dev), :serve <addr> starts the
+// telemetry HTTP server (/metrics, /healthz, /slow, pprof),
 // :slow shows the slow-query log, :reset zeroes the counters, and
 // :timeout <dur>|off bounds each query by a deadline (timed-out queries
 // abort gracefully and count into queries_timed_out).
@@ -31,14 +34,18 @@ import (
 	"twigraph/internal/gen"
 	"twigraph/internal/load"
 	"twigraph/internal/neodb"
+	"twigraph/internal/obs"
+	"twigraph/internal/telemetry"
 )
 
 // shell is the REPL's mutable state: the open database, its query
-// engine, and the per-query deadline set with :timeout.
+// engine, the per-query deadline set with :timeout, and the telemetry
+// server started by :serve (nil until then).
 type shell struct {
-	db      *neodb.DB
-	engine  *cypher.Engine
-	timeout time.Duration
+	db       *neodb.DB
+	engine   *cypher.Engine
+	timeout  time.Duration
+	shutdown func() error
 }
 
 func main() {
@@ -124,26 +131,69 @@ func (sh *shell) runMeta(w io.Writer, line string) {
 	fields := strings.Fields(line)
 	switch fields[0] {
 	case ":help":
-		fmt.Fprintln(w, "  :stats          dump the engine's counters, gauges and histograms")
-		fmt.Fprintln(w, "  :trace on|off   toggle span tracing (traced queries print their span tree)")
-		fmt.Fprintln(w, "  :slow           show the slow-query log (most recent last)")
-		fmt.Fprintln(w, "  :reset          zero all counters and histograms")
-		fmt.Fprintln(w, "  :timeout d|off  bound each query by a deadline (e.g. :timeout 500ms)")
-		fmt.Fprintln(w, `  \q              quit`)
+		fmt.Fprintln(w, "  :stats           dump the engine's counters, gauges and histograms")
+		fmt.Fprintln(w, "  :trace on|off    toggle span tracing (traced queries print their span tree)")
+		fmt.Fprintln(w, "  :trace export f  write captured spans as a Chrome trace (Perfetto-loadable)")
+		fmt.Fprintln(w, "  :serve addr      start the telemetry HTTP server (/metrics, /healthz, /slow, pprof)")
+		fmt.Fprintln(w, "  :slow            show the slow-query log (most recent last)")
+		fmt.Fprintln(w, "  :reset           zero all counters and histograms")
+		fmt.Fprintln(w, "  :timeout d|off   bound each query by a deadline (e.g. :timeout 500ms)")
+		fmt.Fprintln(w, `  \q               quit`)
 	case ":stats":
 		fmt.Fprint(w, db.Obs().Snapshot().Format())
 	case ":trace":
+		if len(fields) == 3 && fields[1] == "export" {
+			f, err := os.Create(fields[2])
+			if err != nil {
+				fmt.Fprintln(w, "error:", err)
+				return
+			}
+			procs := []obs.TraceProcess{{Name: "neo", Buf: db.Trace()}}
+			if err := obs.WriteChromeTrace(f, procs); err != nil {
+				f.Close()
+				fmt.Fprintln(w, "error:", err)
+				return
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(w, "error:", err)
+				return
+			}
+			fmt.Fprintf(w, "%d trace events written to %s (load at ui.perfetto.dev)\n",
+				db.Trace().Len(), fields[2])
+			return
+		}
 		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
-			fmt.Fprintln(w, "usage: :trace on|off")
+			fmt.Fprintln(w, "usage: :trace on|off | :trace export <file>")
 			return
 		}
 		on := fields[1] == "on"
 		db.Tracer().SetEnabled(on)
+		db.Trace().SetEnabled(on)
 		if on {
 			// Capture every query while interactive tracing is on.
 			db.Tracer().SetSlowThreshold(0)
 		}
 		fmt.Fprintln(w, "tracing", fields[1])
+	case ":serve":
+		if len(fields) != 2 {
+			fmt.Fprintln(w, "usage: :serve <addr> (e.g. :serve localhost:9090)")
+			return
+		}
+		if sh.shutdown != nil {
+			fmt.Fprintln(w, "telemetry server already running (one per session)")
+			return
+		}
+		srv := telemetry.NewServer()
+		srv.AddRegistry("neo", db.Obs())
+		srv.AddTracer("neo", db.Tracer())
+		srv.AddHealth("neo", db.Health)
+		addr, shutdown, err := srv.Serve(fields[1])
+		if err != nil {
+			fmt.Fprintln(w, "error:", err)
+			return
+		}
+		sh.shutdown = shutdown
+		fmt.Fprintf(w, "telemetry listening on %s (/metrics, /healthz, /slow, /debug/pprof/)\n", addr)
 	case ":slow":
 		log := db.Tracer().SlowLog()
 		if len(log) == 0 {
@@ -213,11 +263,15 @@ func (sh *shell) runQuery(w io.Writer, query string) time.Duration {
 	}
 	fmt.Fprintf(w, "%d rows in %v\n", len(res.Rows), elapsed)
 	if res.Profile != nil {
-		fmt.Fprintf(w, "profile: %d db hits, compile %v, execute %v, plan cached: %v\n",
-			res.Profile.TotalDBHits, res.Profile.Compile, res.Profile.Execute, res.Profile.PlanCached)
-		for _, st := range res.Profile.Stages {
-			fmt.Fprintf(w, "  %-8s rows=%-8d dbhits=%-8d %v  %s\n",
-				st.Name, st.Rows, st.DBHits, st.Elapsed, strings.Join(st.Ops, " -> "))
+		p := res.Profile
+		fmt.Fprintf(w, "profile: %d db hits, compile %v, execute %v, root span %v, plan cached: %v\n",
+			p.TotalDBHits, p.Compile, p.Execute, p.Root, p.PlanCached)
+		fmt.Fprintf(w, "  %-22s %8s %10s %12s %12s\n", "stage / operator", "rows", "db hits", "elapsed", "self")
+		for _, st := range p.Stages {
+			fmt.Fprintf(w, "  %-22s %8d %10d %12v %12v\n", st.Name, st.Rows, st.DBHits, st.Elapsed, st.Self)
+			for _, op := range st.Ops {
+				fmt.Fprintf(w, "    -> %-19s %8d %10d %12v\n", op.Name, op.Rows, op.DBHits, op.Elapsed)
+			}
 		}
 	}
 	return elapsed

@@ -80,7 +80,11 @@ func profile(engine *cypher.Engine, label, q string, params map[string]graph.Val
 	fmt.Printf("\n%-45s %6d db hits   compile %-10v execute %v\n",
 		label, p.TotalDBHits, p.Compile, p.Execute)
 	for _, st := range p.Stages {
-		ops := strings.Join(st.Ops, " -> ")
+		names := make([]string, len(st.Ops))
+		for i, op := range st.Ops {
+			names[i] = op.Name
+		}
+		ops := strings.Join(names, " -> ")
 		if ops != "" {
 			ops = "  [" + ops + "]"
 		}

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ReadSnapshot loads a snapshot written by WriteSnapshot, rejecting
+// files from a different schema version.
+func ReadSnapshot(path string) (Snapshot, error) {
+	var s Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if s.Schema != SnapshotSchema {
+		return s, fmt.Errorf("bench: %s: schema %q, want %q", path, s.Schema, SnapshotSchema)
+	}
+	return s, nil
+}
+
+// SeriesDelta is one bench series' latency movement between two
+// snapshots. Changes are fractional: +0.25 means 25% slower.
+type SeriesDelta struct {
+	Series             string
+	OldCount, NewCount uint64
+	OldP50, NewP50     float64 // ns
+	OldP95, NewP95     float64 // ns
+	P50Change          float64
+	P95Change          float64
+	Regressed          bool
+}
+
+// CompareReport is the result of diffing two bench snapshots: per-series
+// p50/p95 deltas for the series both snapshots measured, plus the
+// series only one of them has (a renamed or removed experiment is worth
+// seeing, not silently dropping).
+type CompareReport struct {
+	ThresholdPct float64
+	Deltas       []SeriesDelta
+	OnlyOld      []string
+	OnlyNew      []string
+}
+
+// Compare diffs the harness histogram series ("experiment/engine")
+// shared by two snapshots. A series regresses when its p50 or p95 grew
+// by more than thresholdPct percent; thresholdPct <= 0 marks nothing
+// regressed (warn-only comparison).
+func Compare(old, cur Snapshot, thresholdPct float64) CompareReport {
+	r := CompareReport{ThresholdPct: thresholdPct}
+	for name, oh := range old.Bench.Histograms {
+		nh, ok := cur.Bench.Histograms[name]
+		if !ok {
+			r.OnlyOld = append(r.OnlyOld, name)
+			continue
+		}
+		if oh.Count == 0 || nh.Count == 0 {
+			continue // nothing measured on one side; no latency to compare
+		}
+		d := SeriesDelta{
+			Series:   name,
+			OldCount: oh.Count, NewCount: nh.Count,
+			OldP50: oh.P50, NewP50: nh.P50,
+			OldP95: oh.P95, NewP95: nh.P95,
+			P50Change: change(oh.P50, nh.P50),
+			P95Change: change(oh.P95, nh.P95),
+		}
+		if thresholdPct > 0 {
+			lim := thresholdPct / 100
+			d.Regressed = d.P50Change > lim || d.P95Change > lim
+		}
+		r.Deltas = append(r.Deltas, d)
+	}
+	for name := range cur.Bench.Histograms {
+		if _, ok := old.Bench.Histograms[name]; !ok {
+			r.OnlyNew = append(r.OnlyNew, name)
+		}
+	}
+	sort.Slice(r.Deltas, func(i, j int) bool { return r.Deltas[i].Series < r.Deltas[j].Series })
+	sort.Strings(r.OnlyOld)
+	sort.Strings(r.OnlyNew)
+	return r
+}
+
+// change returns the fractional movement from old to new (0 when old is
+// not positive — a zero baseline has no meaningful ratio).
+func change(old, new float64) float64 {
+	if old <= 0 {
+		return 0
+	}
+	return (new - old) / old
+}
+
+// Regressions returns the deltas flagged as regressed.
+func (r CompareReport) Regressions() []SeriesDelta {
+	var out []SeriesDelta
+	for _, d := range r.Deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Format renders the report as an aligned text table, one series per
+// row, regressions marked with "REGRESSED".
+func (r CompareReport) Format() string {
+	var b strings.Builder
+	tw := newTable(&b, "series", "old p50", "new p50", "Δp50", "old p95", "new p95", "Δp95", "")
+	for _, d := range r.Deltas {
+		flag := ""
+		if d.Regressed {
+			flag = "REGRESSED"
+		}
+		tw.row(d.Series,
+			fmtNS(d.OldP50), fmtNS(d.NewP50), fmtPct(d.P50Change),
+			fmtNS(d.OldP95), fmtNS(d.NewP95), fmtPct(d.P95Change), flag)
+	}
+	for _, name := range r.OnlyOld {
+		fmt.Fprintf(&b, "only in old snapshot: %s\n", name)
+	}
+	for _, name := range r.OnlyNew {
+		fmt.Fprintf(&b, "only in new snapshot: %s\n", name)
+	}
+	if reg := r.Regressions(); len(reg) > 0 {
+		fmt.Fprintf(&b, "%d series regressed past %.1f%%\n", len(reg), r.ThresholdPct)
+	}
+	return b.String()
+}
+
+func fmtNS(ns float64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+func fmtPct(frac float64) string {
+	return fmt.Sprintf("%+.1f%%", frac*100)
+}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"twigraph/internal/obs"
+)
+
+// fixtureSnapshot builds a snapshot whose bench registry holds the
+// given series, each observed with the given latencies (ns).
+func fixtureSnapshot(t *testing.T, series map[string][]int64) Snapshot {
+	t.Helper()
+	reg := obs.NewRegistry()
+	for name, obsv := range series {
+		h := reg.Histogram(name)
+		for _, v := range obsv {
+			h.Observe(v)
+		}
+	}
+	return Snapshot{Schema: SnapshotSchema, Experiment: "fixture", Bench: reg.Snapshot()}
+}
+
+func TestCompareSnapshots(t *testing.T) {
+	ms := int64(1e6)
+	old := fixtureSnapshot(t, map[string][]int64{
+		"fig4a/neo":      {10 * ms, 10 * ms, 10 * ms, 12 * ms},
+		"fig4a/sparksee": {20 * ms, 20 * ms, 20 * ms, 22 * ms},
+		"gone/neo":       {5 * ms},
+	})
+	cur := fixtureSnapshot(t, map[string][]int64{
+		// neo got ~5x slower — past any sane threshold.
+		"fig4a/neo": {50 * ms, 50 * ms, 50 * ms, 60 * ms},
+		// sparksee stayed put.
+		"fig4a/sparksee": {20 * ms, 20 * ms, 20 * ms, 22 * ms},
+		"new/neo":        {1 * ms},
+	})
+
+	r := Compare(old, cur, 20)
+	if len(r.Deltas) != 2 {
+		t.Fatalf("deltas = %+v, want 2 shared series", r.Deltas)
+	}
+	byName := map[string]SeriesDelta{}
+	for _, d := range r.Deltas {
+		byName[d.Series] = d
+	}
+	neo := byName["fig4a/neo"]
+	if !neo.Regressed {
+		t.Errorf("fig4a/neo not flagged: %+v", neo)
+	}
+	if neo.P50Change < 2 { // 5x slower is a +400% p50 move
+		t.Errorf("fig4a/neo p50 change = %v, want > 2", neo.P50Change)
+	}
+	if spark := byName["fig4a/sparksee"]; spark.Regressed {
+		t.Errorf("fig4a/sparksee wrongly flagged: %+v", spark)
+	}
+	if len(r.OnlyOld) != 1 || r.OnlyOld[0] != "gone/neo" {
+		t.Errorf("OnlyOld = %v", r.OnlyOld)
+	}
+	if len(r.OnlyNew) != 1 || r.OnlyNew[0] != "new/neo" {
+		t.Errorf("OnlyNew = %v", r.OnlyNew)
+	}
+	if got := r.Regressions(); len(got) != 1 || got[0].Series != "fig4a/neo" {
+		t.Errorf("Regressions() = %+v", got)
+	}
+
+	// Warn-only: threshold 0 flags nothing even with the same movement.
+	if reg := Compare(old, cur, 0).Regressions(); len(reg) != 0 {
+		t.Errorf("threshold 0 flagged %+v", reg)
+	}
+
+	out := r.Format()
+	for _, want := range []string{"fig4a/neo", "REGRESSED", "only in old snapshot: gone/neo", "only in new snapshot: new/neo"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReadSnapshotRoundTrip(t *testing.T) {
+	s := fixtureSnapshot(t, map[string][]int64{"table2/neo": {1e6, 2e6}})
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := WriteSnapshot(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := got.Bench.Histograms["table2/neo"]
+	if !ok || h.Count != 2 {
+		t.Fatalf("round-trip lost the series: %+v", got.Bench)
+	}
+
+	// A wrong schema is rejected, not silently compared.
+	s.Schema = "twigraph-bench/v0"
+	if err := WriteSnapshot(path, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(path); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"twigraph/internal/gen"
@@ -47,6 +48,17 @@ type Env struct {
 	// per experiment/engine series ("fig4a/neo", "coldcache/cold", ...).
 	// Engine-internal counters live in each engine's own registry.
 	Reg *obs.Registry
+
+	// Trace turns on each engine's tracer and trace buffer as it is
+	// built, so a session can be exported with WriteChromeTrace. Set it
+	// before the first Neo()/Spark() call (EnableTracing does both).
+	Trace bool
+
+	// neoPub/sparkPub publish the built stores for concurrent readers
+	// (the telemetry server scrapes mid-bench from HTTP goroutines; the
+	// sync.Once fields above only synchronise the building goroutines).
+	neoPub   atomic.Pointer[load.NeoResult]
+	sparkPub atomic.Pointer[load.SparkResult]
 
 	genOnce sync.Once
 	genErr  error
@@ -134,6 +146,13 @@ func (e *Env) Neo() (*load.NeoResult, error) {
 		if e.neoErr == nil && e.QueryTimeout > 0 {
 			e.neoRes.Store.SetQueryTimeout(e.QueryTimeout)
 		}
+		if e.neoErr == nil {
+			if e.Trace {
+				e.neoRes.Store.DB().Tracer().SetEnabled(true)
+				e.neoRes.Store.DB().Trace().SetEnabled(true)
+			}
+			e.neoPub.Store(e.neoRes)
+		}
 	})
 	return e.neoRes, e.neoErr
 }
@@ -153,6 +172,13 @@ func (e *Env) Spark() (*load.SparkResult, error) {
 		}
 		if e.sparkErr == nil && e.QueryTimeout > 0 {
 			e.sparkRes.Store.SetQueryTimeout(e.QueryTimeout)
+		}
+		if e.sparkErr == nil {
+			if e.Trace {
+				e.sparkRes.Store.DB().Tracer().SetEnabled(true)
+				e.sparkRes.Store.DB().Trace().SetEnabled(true)
+			}
+			e.sparkPub.Store(e.sparkRes)
 		}
 	})
 	return e.sparkRes, e.sparkErr

@@ -382,7 +382,7 @@ func TestProfileReportsDBHitsAndPlan(t *testing.T) {
 	foundSeek := false
 	for _, st := range res.Profile.Stages {
 		for _, op := range st.Ops {
-			if op == "NodeIndexSeek" {
+			if op.Name == "NodeIndexSeek" {
 				foundSeek = true
 			}
 		}

@@ -58,22 +58,40 @@ type Result struct {
 }
 
 // ProfileInfo is the execution profile of a PROFILE query: per-stage
-// operator lists, row counts, db hits and wall time — the introspection
-// the paper uses to rephrase queries "for the least number of database
-// hits".
+// operator breakdowns, row counts, db hits and wall time — the
+// introspection the paper uses to rephrase queries "for the least
+// number of database hits".
 type ProfileInfo struct {
 	Stages      []StageProfile
 	TotalDBHits uint64
 	PlanCached  bool
 	Compile     time.Duration
 	Execute     time.Duration
+	// Root is the root span's wall time for the whole execution; the
+	// per-stage Elapsed values sum to (at most) this, the remainder
+	// being row materialisation outside any stage.
+	Root time.Duration
 }
 
 // StageProfile profiles one pipeline stage.
 type StageProfile struct {
 	Name    string
-	Ops     []string // operator names inside the stage
-	Rows    int      // rows produced
+	Ops     []OperatorProfile // per-operator breakdown (match stages)
+	Rows    int               // rows produced
+	DBHits  uint64
+	Elapsed time.Duration // cumulative stage wall time
+	// Self is the stage time not attributed to any operator — loop
+	// overhead, WHERE filtering, row widening. For stages without an
+	// operator breakdown, Self equals Elapsed.
+	Self time.Duration
+}
+
+// OperatorProfile is one operator's share of a stage: its wall time,
+// db hits and rows produced, accumulated across every input row the
+// stage pushed through it.
+type OperatorProfile struct {
+	Name    string
+	Rows    int
 	DBHits  uint64
 	Elapsed time.Duration
 }
@@ -148,7 +166,7 @@ func (e *Engine) prepare(query string) (*Prepared, bool, time.Duration, error) {
 }
 
 func (e *Engine) execute(ctx context.Context, prep *Prepared, params map[string]graph.Value, cached bool, compileTime time.Duration) (*Result, error) {
-	ec := &execCtx{db: e.db, ctx: ctx, params: params}
+	ec := &execCtx{db: e.db, ctx: ctx, params: params, profileOps: prep.profiled}
 	res := &Result{Columns: prep.columns}
 	var prof *ProfileInfo
 	if prep.profiled {
@@ -159,7 +177,8 @@ func (e *Engine) execute(ctx context.Context, prep *Prepared, params map[string]
 	// with one child span per pipeline stage. Stage db hits are the
 	// span's watched record-fetch delta, so the profiler reports exactly
 	// what the engine registry counted. When the tracer is enabled the
-	// root span also feeds the slow-query log.
+	// root span also feeds the slow-query log; when the trace buffer is
+	// enabled, every span becomes a timeline event.
 	tr := e.db.Tracer()
 	traced := prof != nil || tr.Enabled()
 	var root *obs.Span
@@ -174,13 +193,17 @@ func (e *Engine) execute(ctx context.Context, prep *Prepared, params map[string]
 		if traced {
 			span = tr.Start(st.name())
 		}
+		ec.ops = nil
 		var err error
 		rows, err = st.run(ec, rows)
 		if span != nil {
+			span.SetStatus(obs.StatusFromError(err))
+			span.SetRows(len(rows))
 			span.Finish()
 		}
 		if err != nil {
 			if root != nil {
+				root.SetStatus(obs.StatusFromError(err))
 				root.Finish()
 			}
 			return nil, err
@@ -192,10 +215,15 @@ func (e *Engine) execute(ctx context.Context, prep *Prepared, params map[string]
 				DBHits:  span.Delta(obs.CRecordFetches),
 				Elapsed: span.Duration(),
 			}
-			if ms, ok := st.(*matchStage); ok {
-				for _, s := range ms.steps {
-					sp.Ops = append(sp.Ops, s.describe())
-				}
+			sp.Self = sp.Elapsed
+			for _, op := range ec.ops {
+				sp.Ops = append(sp.Ops, OperatorProfile{
+					Name: op.name, Rows: op.rows, DBHits: op.dbHits, Elapsed: op.elapsed,
+				})
+				sp.Self -= op.elapsed
+			}
+			if sp.Self < 0 {
+				sp.Self = 0
 			}
 			prof.Stages = append(prof.Stages, sp)
 		}
@@ -204,9 +232,11 @@ func (e *Engine) execute(ctx context.Context, prep *Prepared, params map[string]
 		res.Rows = append(res.Rows, []any(r))
 	}
 	if root != nil {
+		root.SetRows(len(res.Rows))
 		root.Finish()
 		if prof != nil {
 			prof.TotalDBHits = root.Delta(obs.CRecordFetches)
+			prof.Root = root.Duration()
 		}
 	}
 	if prof != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"twigraph/internal/graph"
 	"twigraph/internal/neodb"
@@ -17,6 +18,21 @@ type execCtx struct {
 	ctx    context.Context
 	params map[string]graph.Value
 	ticks  uint
+
+	// PROFILE per-operator accounting: when profileOps is set, a match
+	// stage fills ops with one accumulator per step, summed across every
+	// input row. The engine reads (and resets) ops after each stage.
+	profileOps bool
+	ops        []opAcc
+}
+
+// opAcc accumulates one operator's PROFILE measurements: wall time,
+// db-hit delta and rows produced, across all input rows of its stage.
+type opAcc struct {
+	name    string
+	rows    int
+	dbHits  uint64
+	elapsed time.Duration
 }
 
 func (ec *execCtx) propKey(name string) graph.AttrID {
@@ -68,6 +84,12 @@ type matchStage struct {
 func (st *matchStage) name() string { return "Match" }
 
 func (st *matchStage) run(ec *execCtx, in []row) ([]row, error) {
+	if ec.profileOps {
+		ec.ops = make([]opAcc, len(st.steps))
+		for i, s := range st.steps {
+			ec.ops[i].name = s.describe()
+		}
+	}
 	var out []row
 	for _, r := range in {
 		if err := ec.ctxErr(); err != nil {
@@ -77,9 +99,18 @@ func (st *matchStage) run(ec *execCtx, in []row) ([]row, error) {
 		base := make(row, st.width)
 		copy(base, r)
 		rows := []row{base}
-		for _, s := range st.steps {
+		for i, s := range st.steps {
 			var err error
-			rows, err = s.apply(ec, rows)
+			if ec.profileOps {
+				start := time.Now()
+				hits := ec.db.RecordFetches()
+				rows, err = s.apply(ec, rows)
+				ec.ops[i].elapsed += time.Since(start)
+				ec.ops[i].dbHits += ec.db.RecordFetches() - hits
+				ec.ops[i].rows += len(rows)
+			} else {
+				rows, err = s.apply(ec, rows)
+			}
 			if err != nil {
 				return nil, err
 			}

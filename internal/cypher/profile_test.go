@@ -1,7 +1,9 @@
 package cypher
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"twigraph/internal/graph"
 	"twigraph/internal/obs"
@@ -28,12 +30,12 @@ func TestProfileGuidesRephrasing(t *testing.T) {
 	var seekOps, scanOps string
 	for _, st := range seek.Profile.Stages {
 		for _, op := range st.Ops {
-			seekOps += op + " "
+			seekOps += op.Name + " "
 		}
 	}
 	for _, st := range scan.Profile.Stages {
 		for _, op := range st.Ops {
-			scanOps += op + " "
+			scanOps += op.Name + " "
 		}
 	}
 	if seekOps == scanOps {
@@ -152,5 +154,114 @@ func TestTracerSlowLogCapturesQuery(t *testing.T) {
 	}
 	if last.Deltas[obs.CRecordFetches] == 0 {
 		t.Errorf("root span has zero record-fetch delta: %+v", last.Deltas)
+	}
+}
+
+// TestProfileStageWallTimeConsistent pins the new per-stage timing to
+// the root span: stage wall times are disjoint slices of the execution,
+// so their sum can never exceed the root duration, and the operator
+// breakdown of each stage accounts for Elapsed = Self + sum(op times).
+func TestProfileStageWallTimeConsistent(t *testing.T) {
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e,
+		`PROFILE MATCH (u:user)-[:follows]->(v:user) RETURN u.uid, count(v) ORDER BY u.uid`, nil)
+	p := res.Profile
+	if p == nil {
+		t.Fatal("no profile")
+	}
+	if p.Root <= 0 {
+		t.Fatalf("root duration = %v", p.Root)
+	}
+	var sum time.Duration
+	for _, st := range p.Stages {
+		if st.Elapsed < 0 || st.Self < 0 {
+			t.Errorf("stage %s: negative time (elapsed %v, self %v)", st.Name, st.Elapsed, st.Self)
+		}
+		var ops time.Duration
+		for _, op := range st.Ops {
+			ops += op.Elapsed
+		}
+		// Self + op times reconstruct the stage's wall time exactly (Self
+		// is derived), modulo the clamp at zero.
+		if st.Self > 0 && st.Self+ops != st.Elapsed {
+			t.Errorf("stage %s: self %v + ops %v != elapsed %v", st.Name, st.Self, ops, st.Elapsed)
+		}
+		sum += st.Elapsed
+	}
+	// Stage spans nest inside the root span; allow scheduler slop well
+	// below what a real inconsistency would produce.
+	if tol := 20 * time.Millisecond; sum > p.Root+tol {
+		t.Errorf("stage time sum %v exceeds root duration %v", sum, p.Root)
+	}
+}
+
+// TestProfileOperatorTiming verifies the per-operator breakdown carries
+// rows, db hits and wall time for a traversal's expand operator.
+func TestProfileOperatorTiming(t *testing.T) {
+	e, _ := newTestEngine(t)
+	res := mustQuery(t, e,
+		`PROFILE MATCH (u:user {uid: 1})-[:follows]->(v:user) RETURN v.uid`, nil)
+	var match *StageProfile
+	for i := range res.Profile.Stages {
+		if res.Profile.Stages[i].Name == "Match" {
+			match = &res.Profile.Stages[i]
+		}
+	}
+	if match == nil || len(match.Ops) == 0 {
+		t.Fatalf("no operator breakdown: %+v", res.Profile.Stages)
+	}
+	var sawExpand bool
+	var opHits uint64
+	for _, op := range match.Ops {
+		if op.Name == "Expand" {
+			sawExpand = true
+			if op.Rows == 0 {
+				t.Errorf("Expand produced 0 rows")
+			}
+		}
+		opHits += op.DBHits
+	}
+	if !sawExpand {
+		t.Errorf("operators = %+v, want an Expand", match.Ops)
+	}
+	if opHits == 0 || opHits > match.DBHits {
+		t.Errorf("operator hits %d vs stage hits %d", opHits, match.DBHits)
+	}
+}
+
+// TestSlowLogAbortStatus wires graceful degradation into the slow ring:
+// a timed-out and a cancelled query land there with their abort status,
+// next to a completed one.
+func TestSlowLogAbortStatus(t *testing.T) {
+	e, _ := newTestEngine(t)
+	tr := e.DB().Tracer()
+	tr.SetEnabled(true)
+	tr.SetSlowThreshold(0)
+	defer tr.SetEnabled(false)
+
+	mustQuery(t, e, `MATCH (u:user) RETURN count(*)`, nil)
+
+	expired, cancelExp := context.WithTimeout(context.Background(), -1)
+	defer cancelExp()
+	if _, err := e.QueryCtx(expired, `MATCH (u:user) RETURN u.uid`, nil); err == nil {
+		t.Fatal("expired query succeeded")
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.QueryCtx(cancelled, `MATCH (u:user) RETURN u.uid`, nil); err == nil {
+		t.Fatal("cancelled query succeeded")
+	}
+
+	log := tr.SlowLog()
+	if len(log) < 3 {
+		t.Fatalf("slow log entries = %d, want >= 3", len(log))
+	}
+	tail := log[len(log)-3:]
+	want := []string{obs.StatusCompleted, obs.StatusTimedOut, obs.StatusCancelled}
+	for i, snap := range tail {
+		if snap.Status != want[i] {
+			t.Errorf("entry %d (%s) status = %q, want %q", i, snap.Name, snap.Status, want[i])
+		}
 	}
 }

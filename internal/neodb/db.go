@@ -105,6 +105,7 @@ type DB struct {
 	// traversal loops skip the registry map lookup.
 	reg         *obs.Registry
 	tracer      *obs.Tracer
+	traceBuf    *obs.TraceBuffer // timeline export sink; disabled until enabled
 	cFetches    *obs.Counter
 	cFaults     *obs.Counter
 	cChainHops  *obs.Counter
@@ -183,6 +184,7 @@ func Open(dir string, cfg Config) (*DB, error) {
 		relStats: make(map[graph.TypeID]uint64),
 		reg:      obs.NewEngineRegistry(),
 		tracer:   obs.NewTracer(),
+		traceBuf: obs.NewTraceBuffer(obs.DefaultTraceEvents),
 	}
 	db.cFetches = db.reg.Counter(obs.CRecordFetches)
 	db.cFaults = db.reg.Counter(obs.CPageFaults)
@@ -194,8 +196,10 @@ func Open(dir string, cfg Config) (*DB, error) {
 	db.cQCancelled = db.reg.Counter(CQueriesCancelled)
 	db.cQTimedOut = db.reg.Counter(CQueriesTimedOut)
 	db.parMetrics = par.MetricsFrom(db.reg)
+	db.parMetrics.Trace = db.traceBuf
 	db.tracer.Watch(obs.CRecordFetches, db.cFetches)
 	db.tracer.Watch(obs.CPageFaults, db.cFaults)
+	db.tracer.SetSink(db.traceBuf)
 	var err error
 	if db.nodes, err = storage.OpenNodeStoreFS(fsys, dir, cfg.CachePages); err != nil {
 		return nil, err
@@ -224,6 +228,7 @@ func Open(dir string, cfg Config) (*DB, error) {
 		Evictions: db.reg.Counter(obs.CPageEvictions),
 		Flushes:   db.reg.Counter(obs.CPageFlushes),
 		Tracer:    db.tracer,
+		Trace:     db.traceBuf,
 	}
 	for _, f := range []*storage.RecordFile{
 		db.nodes.RecordFile, db.rels.RecordFile, db.props.RecordFile,
@@ -248,6 +253,7 @@ func Open(dir string, cfg Config) (*DB, error) {
 		return nil, err
 	}
 	db.log.Instrument(db.reg.Counter(CWALAppends), db.reg.Counter(CWALSyncs), db.reg.Counter(CWALSyncFailures))
+	db.log.TraceTo(db.traceBuf)
 	if err = db.recover(); err != nil {
 		db.Close()
 		return nil, err
@@ -536,6 +542,23 @@ func (db *DB) Obs() *obs.Registry { return db.reg }
 
 // Tracer returns the engine's query tracer.
 func (db *DB) Tracer() *obs.Tracer { return db.tracer }
+
+// Trace returns the engine's trace-event buffer. It is created disabled;
+// timeline export surfaces (twibench -trace, twiql :trace export) enable
+// it via SetEnabled.
+func (db *DB) Trace() *obs.TraceBuffer { return db.traceBuf }
+
+// Health reports store liveness: nil while the database is open and its
+// WAL is unpoisoned. The telemetry /healthz endpoint surfaces this.
+func (db *DB) Health() error {
+	db.writeMu.Lock()
+	closed := db.closed
+	db.writeMu.Unlock()
+	if closed {
+		return fmt.Errorf("neodb: closed")
+	}
+	return db.log.Poisoned()
+}
 
 // ResetCounters zeroes every observability counter: the shared
 // registry, each store's db-hit counter and its page-cache stats. Call

@@ -95,6 +95,9 @@ func (h *Histogram) Time(f func()) time.Duration {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
 // Reset zeroes all state.
 func (h *Histogram) Reset() {
 	for i := range h.buckets {
@@ -106,12 +109,49 @@ func (h *Histogram) Reset() {
 	h.max.Store(math.MinInt64)
 }
 
+// Buckets returns the histogram's upper bounds and *cumulative* counts:
+// cumulative[i] is the number of observations <= bounds[i], and the
+// final extra element is the total including the overflow bucket — the
+// `le`-labelled series Prometheus exposition expects (+Inf last). The
+// counts are captured in one pass, so cumulative values never decrease
+// within one call even while Observe runs concurrently.
+func (h *Histogram) Buckets() (bounds []int64, cumulative []uint64) {
+	counts, _ := h.capture()
+	cumulative = counts // reuse: overwrite in place with the running sum
+	var running uint64
+	for i, n := range counts {
+		running += n
+		cumulative[i] = running
+	}
+	return h.bounds, cumulative
+}
+
+// capture loads every bucket count once and returns them with their
+// sum. All derived views (Snapshot, Buckets) start from one capture so
+// their count and bucket values are mutually consistent by
+// construction, even under concurrent Observe.
+func (h *Histogram) capture() (counts []uint64, total uint64) {
+	counts = make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		counts[i] = n
+		total += n
+	}
+	return counts, total
+}
+
 // Quantile returns the value at quantile q in [0, 1], interpolated
 // linearly within the containing bucket. Results are clamped to the
 // observed [min, max] range, so exact-percentile checks on known
 // distributions behave sensibly at the edges. Returns 0 when empty.
 func (h *Histogram) Quantile(q float64) float64 {
-	total := h.count.Load()
+	counts, total := h.capture()
+	return h.quantileFrom(counts, total, h.min.Load(), h.max.Load(), q)
+}
+
+// quantileFrom computes a quantile from captured bucket counts (see
+// capture); min/max are the extrema loads the caller made alongside.
+func (h *Histogram) quantileFrom(counts []uint64, total uint64, min, max int64, q float64) float64 {
 	if total == 0 {
 		return 0
 	}
@@ -123,33 +163,30 @@ func (h *Histogram) Quantile(q float64) float64 {
 	}
 	rank := q * float64(total)
 	var cum float64
-	for i := range h.buckets {
-		n := float64(h.buckets[i].Load())
+	for i, c := range counts {
+		n := float64(c)
 		if n == 0 {
 			continue
 		}
 		if cum+n >= rank {
-			lo, hi := h.bucketRange(i)
-			frac := 0.0
-			if n > 0 {
-				frac = (rank - cum) / n
-			}
+			lo, hi := h.bucketRange(i, max)
+			frac := (rank - cum) / n
 			v := lo + frac*(hi-lo)
-			return h.clamp(v)
+			return clampTo(v, min, max)
 		}
 		cum += n
 	}
-	return h.clamp(float64(h.max.Load()))
+	return clampTo(float64(max), min, max)
 }
 
 // bucketRange returns the [lo, hi) value range of bucket i, treating
 // the overflow bucket as ending at the observed max.
-func (h *Histogram) bucketRange(i int) (float64, float64) {
+func (h *Histogram) bucketRange(i int, max int64) (float64, float64) {
 	lo := 0.0
 	if i > 0 {
 		lo = float64(h.bounds[i-1])
 	}
-	hi := float64(h.max.Load())
+	hi := float64(max)
 	if i < len(h.bounds) {
 		hi = float64(h.bounds[i])
 	}
@@ -159,11 +196,11 @@ func (h *Histogram) bucketRange(i int) (float64, float64) {
 	return lo, hi
 }
 
-func (h *Histogram) clamp(v float64) float64 {
-	if min := h.min.Load(); min != math.MaxInt64 && v < float64(min) {
+func clampTo(v float64, min, max int64) float64 {
+	if min != math.MaxInt64 && v < float64(min) {
 		v = float64(min)
 	}
-	if max := h.max.Load(); max != math.MinInt64 && v > float64(max) {
+	if max != math.MinInt64 && v > float64(max) {
 		v = float64(max)
 	}
 	return v
@@ -185,21 +222,27 @@ type HistogramSnapshot struct {
 	BucketCounts []uint64 `json:"bucket_counts,omitempty"`
 }
 
-// Snapshot captures the histogram state, including p50/p95/p99.
+// Snapshot captures the histogram state, including p50/p95/p99. The
+// bucket counts are captured exactly once and every derived field
+// (Count, quantiles, the non-empty bucket list) is computed from that
+// capture, so a snapshot taken while Observe or Reset runs concurrently
+// is always self-consistent: Count equals the sum of BucketCounts and
+// the quantiles describe those same buckets.
 func (h *Histogram) Snapshot() HistogramSnapshot {
+	counts, total := h.capture()
+	min, max := h.min.Load(), h.max.Load()
 	s := HistogramSnapshot{
-		Count: h.count.Load(),
+		Count: total,
 		Sum:   h.sum.Load(),
-		P50:   h.Quantile(0.50),
-		P95:   h.Quantile(0.95),
-		P99:   h.Quantile(0.99),
+		P50:   h.quantileFrom(counts, total, min, max, 0.50),
+		P95:   h.quantileFrom(counts, total, min, max, 0.95),
+		P99:   h.quantileFrom(counts, total, min, max, 0.99),
 	}
-	if s.Count > 0 {
-		s.Min = h.min.Load()
-		s.Max = h.max.Load()
+	if total > 0 && min != math.MaxInt64 && max != math.MinInt64 {
+		s.Min = min
+		s.Max = max
 	}
-	for i := range h.buckets {
-		n := h.buckets[i].Load()
+	for i, n := range counts {
 		if n == 0 {
 			continue
 		}

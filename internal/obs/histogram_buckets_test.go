@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketsCumulative pins the Buckets contract the
+// Prometheus renderer depends on: cumulative counts against the sorted
+// bounds, with one extra trailing element for the +Inf bucket.
+func TestHistogramBucketsCumulative(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	for _, v := range []int64{5, 7, 50, 500, 5000, 50000} {
+		h.Observe(v)
+	}
+	bounds, cum := h.Buckets()
+	if len(bounds) != 3 || len(cum) != 4 {
+		t.Fatalf("len(bounds)=%d len(cum)=%d, want 3 and 4", len(bounds), len(cum))
+	}
+	want := []uint64{2, 3, 4, 6} // le=10, le=100, le=1000, +Inf
+	for i, w := range want {
+		if cum[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d", i, cum[i], w)
+		}
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Errorf("cumulative not monotone at %d: %v", i, cum)
+		}
+	}
+	if cum[len(cum)-1] != h.Count() {
+		t.Errorf("+Inf bucket %d != count %d", cum[len(cum)-1], h.Count())
+	}
+}
+
+// TestHistogramSnapshotConsistentUnderRace asserts the invariant the
+// telemetry server needs: a snapshot taken while Observe and Reset run
+// concurrently is self-consistent — its Count always equals the sum of
+// its bucket counts (run under -race in CI).
+func TestHistogramSnapshotConsistentUnderRace(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000, 10000})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v := int64(g + 1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := 0; i < 64; i++ {
+					h.Observe(v * 7 % 20000)
+					v++
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			h.Reset()
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		s := h.Snapshot()
+		var sum uint64
+		for _, n := range s.BucketCounts {
+			sum += n
+		}
+		if s.Count != sum {
+			t.Fatalf("snapshot %d inconsistent: count=%d bucket sum=%d", i, s.Count, sum)
+		}
+		bounds, cum := h.Buckets()
+		if len(cum) != len(bounds)+1 {
+			t.Fatalf("buckets shape: %d bounds, %d cumulative", len(bounds), len(cum))
+		}
+		for j := 1; j < len(cum); j++ {
+			if cum[j] < cum[j-1] {
+				t.Fatalf("cumulative decreased at %d: %v", j, cum)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

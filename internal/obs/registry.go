@@ -240,6 +240,56 @@ func sortedNames[V any](m map[string]V) []string {
 	return names
 }
 
+// EachCounter invokes fn for every registered counter in name order.
+// fn runs outside the registry lock, so it may use the registry itself.
+func (r *Registry) EachCounter(fn func(name string, c *Counter)) {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.counters))
+	insts := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		names = append(names, name)
+		insts[name] = c
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	for _, name := range names {
+		fn(name, insts[name])
+	}
+}
+
+// EachGauge invokes fn for every registered gauge in name order.
+func (r *Registry) EachGauge(fn func(name string, g *Gauge)) {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.gauges))
+	insts := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		names = append(names, name)
+		insts[name] = g
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	for _, name := range names {
+		fn(name, insts[name])
+	}
+}
+
+// EachHistogram invokes fn for every registered histogram in name
+// order.
+func (r *Registry) EachHistogram(fn func(name string, h *Histogram)) {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.hists))
+	insts := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		names = append(names, name)
+		insts[name] = h
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	for _, name := range names {
+		fn(name, insts[name])
+	}
+}
+
 // CounterNames returns the registered counter names, sorted.
 func (r *Registry) CounterNames() []string {
 	r.mu.RLock()

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -9,6 +11,33 @@ import (
 
 // slowLogSize is the capacity of the slow-query ring buffer.
 const slowLogSize = 32
+
+// Span statuses. A span that finishes without SetStatus is completed;
+// aborted queries mark their root span so the slow log distinguishes "a
+// slow query" from "a killed one".
+const (
+	StatusCompleted = "completed"
+	StatusCancelled = "cancelled"
+	StatusTimedOut  = "timed_out"
+	StatusFailed    = "failed"
+)
+
+// StatusFromError classifies an error into a span status: nil is
+// completed, context cancellation/deadline map to their abort statuses
+// (matching the queries_cancelled / queries_timed_out counters), and
+// anything else is failed.
+func StatusFromError(err error) string {
+	switch {
+	case err == nil:
+		return StatusCompleted
+	case errors.Is(err, context.DeadlineExceeded):
+		return StatusTimedOut
+	case errors.Is(err, context.Canceled):
+		return StatusCancelled
+	default:
+		return StatusFailed
+	}
+}
 
 // Tracer produces spans — one per query, with children per execution
 // stage (parse/plan/execute, traversal expansions). Every span captures
@@ -29,6 +58,12 @@ type Tracer struct {
 	threshold time.Duration // minimum root duration for the slow log
 	slow      [slowLogSize]*SpanSnapshot
 	slowN     int // total roots recorded (ring position = slowN % size)
+
+	// sink, when set, receives one Chrome-trace complete event per
+	// finished span (children and roots alike, while the sink buffer is
+	// enabled) — the export path behind `twibench -trace` and twiql's
+	// `:trace export`.
+	sink *TraceBuffer
 }
 
 type watchedCounter struct {
@@ -44,6 +79,21 @@ func (t *Tracer) Watch(name string, c *Counter) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.watched = append(t.watched, watchedCounter{name, c})
+}
+
+// SetSink attaches a trace buffer that records every finished span as a
+// Chrome-trace complete event (while the buffer is enabled).
+func (t *Tracer) SetSink(b *TraceBuffer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sink = b
+}
+
+// Sink returns the attached trace buffer, or nil.
+func (t *Tracer) Sink() *TraceBuffer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sink
 }
 
 // SetEnabled turns continuous tracing (and slow-log capture) on or off.
@@ -82,14 +132,37 @@ type Span struct {
 	deltas   map[string]uint64
 	events   map[string]uint64
 	children []*Span
+	status   string // "" until SetStatus/Finish; completed by default
+	rows     int64  // result rows produced (queries), -1 = unset
 	finished bool
+}
+
+// SetStatus records the span's terminal status (one of the Status*
+// constants). Call before Finish; completed is the default.
+func (s *Span) SetStatus(status string) {
+	if s == nil {
+		return
+	}
+	s.tracer.mu.Lock()
+	s.status = status
+	s.tracer.mu.Unlock()
+}
+
+// SetRows records how many result rows the spanned operation produced.
+func (s *Span) SetRows(n int) {
+	if s == nil {
+		return
+	}
+	s.tracer.mu.Lock()
+	s.rows = int64(n)
+	s.tracer.mu.Unlock()
 }
 
 // Start begins a span as a child of the currently active span and makes
 // it active. It always returns a usable span; callers gate on Enabled()
 // (or a PROFILE flag) to skip tracing entirely on hot paths.
 func (t *Tracer) Start(name string) *Span {
-	s := &Span{tracer: t, name: name, start: time.Now()}
+	s := &Span{tracer: t, name: name, start: time.Now(), rows: -1}
 	t.mu.Lock()
 	s.parent = t.active
 	if s.parent != nil {
@@ -133,6 +206,9 @@ func (s *Span) Finish() {
 	}
 	s.finished = true
 	s.dur = time.Since(s.start)
+	if s.status == "" {
+		s.status = StatusCompleted
+	}
 	s.deltas = make(map[string]uint64, len(t.watched))
 	for i, w := range t.watched {
 		if i < len(s.startVal) {
@@ -141,6 +217,22 @@ func (s *Span) Finish() {
 	}
 	if t.active == s {
 		t.active = s.parent
+	}
+	if t.sink.Enabled() {
+		args := make(map[string]any, len(s.deltas)+len(s.events)+2)
+		for k, v := range s.deltas {
+			args[k] = v
+		}
+		for k, v := range s.events {
+			args[k] = v
+		}
+		if s.status != StatusCompleted {
+			args["status"] = s.status
+		}
+		if s.rows >= 0 {
+			args["rows"] = s.rows
+		}
+		t.sink.Complete("span", s.name, 1, s.start, s.dur, args)
 	}
 	record := s.parent == nil && t.enabled && s.dur >= t.threshold
 	var snap *SpanSnapshot
@@ -186,10 +278,16 @@ func (s *Span) Snapshot() *SpanSnapshot {
 }
 
 func (s *Span) snapshotLocked() *SpanSnapshot {
+	status := s.status
+	if status == "" {
+		status = StatusCompleted
+	}
 	snap := &SpanSnapshot{
 		Name:     s.name,
 		Start:    s.start,
 		Duration: s.dur,
+		Status:   status,
+		Rows:     s.rows,
 	}
 	if len(s.deltas) > 0 {
 		snap.Deltas = make(map[string]uint64, len(s.deltas))
@@ -214,6 +312,8 @@ type SpanSnapshot struct {
 	Name     string            `json:"name"`
 	Start    time.Time         `json:"start"`
 	Duration time.Duration     `json:"duration_ns"`
+	Status   string            `json:"status,omitempty"` // completed | cancelled | timed_out | failed
+	Rows     int64             `json:"rows,omitempty"`   // -1 = not a row-producing operation
 	Deltas   map[string]uint64 `json:"deltas,omitempty"`
 	Events   map[string]uint64 `json:"events,omitempty"`
 	Children []*SpanSnapshot   `json:"children,omitempty"`
@@ -253,6 +353,12 @@ func (s *SpanSnapshot) Format() string {
 
 func (s *SpanSnapshot) format(b *strings.Builder, depth int) {
 	fmt.Fprintf(b, "%s%-10s %v", strings.Repeat("  ", depth), s.Name, s.Duration)
+	if s.Status != "" && s.Status != StatusCompleted {
+		fmt.Fprintf(b, " [%s]", s.Status)
+	}
+	if s.Rows >= 0 {
+		fmt.Fprintf(b, " rows=%d", s.Rows)
+	}
 	for _, k := range sortedKeys(s.Deltas) {
 		if s.Deltas[k] > 0 {
 			fmt.Fprintf(b, " %s=%d", k, s.Deltas[k])

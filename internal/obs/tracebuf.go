@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTraceEvents bounds a trace buffer to a size that holds a full
+// bench experiment's spans without growing past a few MiB.
+const DefaultTraceEvents = 1 << 16
+
+// traceEpoch is the common time origin of every trace buffer in the
+// process, so events recorded by different buffers (one per engine)
+// merge onto one consistent timeline.
+var traceEpoch = time.Now()
+
+// TraceEvent is one entry in the Chrome trace-event format
+// (chrome://tracing and Perfetto both load it). Timestamps and
+// durations are microseconds; Ph is the event phase: "X" for complete
+// (duration) events, "i" for instants, "M" for metadata.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope ("t" = thread)
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceBuffer is a bounded in-memory recorder of trace events. It stays
+// disabled (and nearly free: one atomic load per potential event) until
+// SetEnabled(true); once the buffer is full, further events are dropped
+// and counted rather than evicting the trace's beginning — a truncated
+// tail is easier to reason about in a waterfall than a missing start.
+type TraceBuffer struct {
+	enabled atomic.Bool
+	dropped atomic.Uint64
+
+	mu     sync.Mutex
+	cap    int
+	events []TraceEvent
+}
+
+// NewTraceBuffer creates a disabled buffer holding at most capacity
+// events (<= 0 means DefaultTraceEvents).
+func NewTraceBuffer(capacity int) *TraceBuffer {
+	if capacity <= 0 {
+		capacity = DefaultTraceEvents
+	}
+	return &TraceBuffer{cap: capacity}
+}
+
+// SetEnabled turns recording on or off.
+func (b *TraceBuffer) SetEnabled(on bool) {
+	if b == nil {
+		return
+	}
+	b.enabled.Store(on)
+}
+
+// Enabled reports whether the buffer records events. Safe on nil.
+func (b *TraceBuffer) Enabled() bool { return b != nil && b.enabled.Load() }
+
+// Complete records a duration ("X") event. No-op when disabled or nil.
+func (b *TraceBuffer) Complete(cat, name string, tid int64, start time.Time, dur time.Duration, args map[string]any) {
+	if !b.Enabled() {
+		return
+	}
+	b.add(TraceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		TS:  start.Sub(traceEpoch).Microseconds(),
+		Dur: dur.Microseconds(),
+		TID: tid, Args: args,
+	})
+}
+
+// Instant records a point-in-time ("i") event. No-op when disabled or
+// nil.
+func (b *TraceBuffer) Instant(cat, name string, tid int64, args map[string]any) {
+	if !b.Enabled() {
+		return
+	}
+	b.add(TraceEvent{
+		Name: name, Cat: cat, Ph: "i", S: "t",
+		TS:  time.Since(traceEpoch).Microseconds(),
+		TID: tid, Args: args,
+	})
+}
+
+func (b *TraceBuffer) add(ev TraceEvent) {
+	b.mu.Lock()
+	if len(b.events) >= b.cap {
+		b.mu.Unlock()
+		b.dropped.Add(1)
+		return
+	}
+	b.events = append(b.events, ev)
+	b.mu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (b *TraceBuffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+// Dropped returns how many events were discarded because the buffer was
+// full.
+func (b *TraceBuffer) Dropped() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.dropped.Load()
+}
+
+// Reset discards every buffered event and the dropped count.
+func (b *TraceBuffer) Reset() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.events = nil
+	b.dropped.Store(0)
+	b.mu.Unlock()
+}
+
+// Events returns a copy of the buffered events.
+func (b *TraceBuffer) Events() []TraceEvent {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]TraceEvent, len(b.events))
+	copy(out, b.events)
+	return out
+}
+
+// TraceProcess names one buffer's events for a merged export; each
+// process renders as its own track group in the trace viewer.
+type TraceProcess struct {
+	Name string
+	Buf  *TraceBuffer
+}
+
+// WriteChromeTrace merges the processes' events into one Chrome
+// trace-event JSON document ({"traceEvents": [...]}), assigning each
+// process a pid and a process_name metadata record so Perfetto and
+// chrome://tracing label the track groups. Events are written in
+// timestamp order.
+func WriteChromeTrace(w io.Writer, procs []TraceProcess) error {
+	var all []TraceEvent
+	var dropped uint64
+	for i, p := range procs {
+		pid := int64(i + 1)
+		all = append(all, TraceEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": p.Name},
+		})
+		for _, ev := range p.Buf.Events() {
+			ev.PID = pid
+			all = append(all, ev)
+		}
+		dropped += p.Buf.Dropped()
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		// Metadata (ph "M") sorts first; then by timestamp.
+		if (all[i].Ph == "M") != (all[j].Ph == "M") {
+			return all[i].Ph == "M"
+		}
+		return all[i].TS < all[j].TS
+	})
+	doc := struct {
+		TraceEvents []TraceEvent   `json:"traceEvents"`
+		Meta        map[string]any `json:"metadata,omitempty"`
+	}{TraceEvents: all}
+	if all == nil {
+		doc.TraceEvents = []TraceEvent{}
+	}
+	if dropped > 0 {
+		doc.Meta = map[string]any{"dropped_events": dropped}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

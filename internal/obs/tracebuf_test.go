@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceBufferDisabledByDefault(t *testing.T) {
+	b := NewTraceBuffer(8)
+	b.Complete("cat", "ev", 1, time.Now(), time.Millisecond, nil)
+	b.Instant("cat", "pt", 1, nil)
+	if b.Len() != 0 {
+		t.Fatalf("disabled buffer recorded %d events", b.Len())
+	}
+	var nilBuf *TraceBuffer
+	if nilBuf.Enabled() {
+		t.Error("nil buffer reports enabled")
+	}
+	nilBuf.Complete("c", "n", 1, time.Now(), 0, nil) // must not panic
+	nilBuf.Instant("c", "n", 1, nil)
+	nilBuf.Reset()
+}
+
+func TestTraceBufferBoundedDropsNew(t *testing.T) {
+	b := NewTraceBuffer(3)
+	b.SetEnabled(true)
+	for i := 0; i < 10; i++ {
+		b.Complete("cat", "ev", 1, time.Now(), time.Microsecond, nil)
+	}
+	if b.Len() != 3 {
+		t.Errorf("len = %d, want 3", b.Len())
+	}
+	if b.Dropped() != 7 {
+		t.Errorf("dropped = %d, want 7", b.Dropped())
+	}
+	b.Reset()
+	if b.Len() != 0 || b.Dropped() != 0 {
+		t.Errorf("reset left len=%d dropped=%d", b.Len(), b.Dropped())
+	}
+}
+
+// TestWriteChromeTrace checks the exported document parses as the
+// Chrome trace-event format: a traceEvents array whose entries carry
+// the required ph/ts/pid/tid fields, with process_name metadata first.
+func TestWriteChromeTrace(t *testing.T) {
+	b1 := NewTraceBuffer(16)
+	b1.SetEnabled(true)
+	start := time.Now()
+	b1.Complete("query", "MATCH", 1, start, 2*time.Millisecond, map[string]any{"rows": 3})
+	b1.Instant("pagecache", "page_fault", 1, nil)
+	b2 := NewTraceBuffer(16)
+	b2.SetEnabled(true)
+	b2.Complete("par", "shard 1/4", 2, start, time.Millisecond, nil)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []TraceProcess{{"neo", b1}, {"sparksee", b2}}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 5 { // 2 metadata + 3 events
+		t.Fatalf("events = %d, want 5", len(doc.TraceEvents))
+	}
+	metas := 0
+	pids := map[float64]bool{}
+	for i, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if ph == "" {
+			t.Errorf("event %d missing ph: %v", i, ev)
+		}
+		if ph == "M" {
+			metas++
+			if i >= 2 {
+				t.Errorf("metadata event at position %d, want first", i)
+			}
+			continue
+		}
+		pids[ev["pid"].(float64)] = true
+		if _, ok := ev["ts"]; !ok {
+			t.Errorf("event %d missing ts", i)
+		}
+	}
+	if metas != 2 {
+		t.Errorf("metadata events = %d, want 2", metas)
+	}
+	if len(pids) != 2 {
+		t.Errorf("distinct pids = %d, want 2", len(pids))
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents":[]`) {
+		t.Errorf("empty export = %q, want traceEvents array", buf.String())
+	}
+}
+
+// TestTracerSinkRecordsSpans verifies the tracer→buffer plumbing: every
+// finished span becomes one complete event carrying its counter deltas.
+func TestTracerSinkRecordsSpans(t *testing.T) {
+	tr := NewTracer()
+	var c Counter
+	tr.Watch("record_fetches", &c)
+	buf := NewTraceBuffer(16)
+	buf.SetEnabled(true)
+	tr.SetSink(buf)
+	if tr.Sink() != buf {
+		t.Fatal("sink not attached")
+	}
+
+	root := tr.Start("query")
+	child := tr.Start("Match")
+	c.Add(5)
+	child.Finish()
+	root.SetRows(2)
+	root.Finish()
+
+	evs := buf.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2 (child + root)", len(evs))
+	}
+	if evs[0].Name != "Match" || evs[1].Name != "query" {
+		t.Errorf("event order = %q, %q", evs[0].Name, evs[1].Name)
+	}
+	if evs[0].Args["record_fetches"].(uint64) != 5 {
+		t.Errorf("child deltas = %v", evs[0].Args)
+	}
+	if evs[1].Args["rows"].(int64) != 2 {
+		t.Errorf("root args = %v", evs[1].Args)
+	}
+}
+
+// TestSpanStatus covers all three slow-ring statuses: completed,
+// cancelled and timed-out roots are distinguishable in the snapshot.
+func TestSpanStatus(t *testing.T) {
+	tr := NewTracer()
+	tr.SetEnabled(true)
+	tr.SetSlowThreshold(0)
+
+	finish := func(status string) {
+		s := tr.Start("q-" + status)
+		if status != "" {
+			s.SetStatus(status)
+		}
+		s.Finish()
+	}
+	finish("") // default: completed
+	finish(StatusCancelled)
+	finish(StatusTimedOut)
+
+	log := tr.SlowLog()
+	if len(log) != 3 {
+		t.Fatalf("slow log entries = %d, want 3", len(log))
+	}
+	want := []string{StatusCompleted, StatusCancelled, StatusTimedOut}
+	for i, snap := range log {
+		if snap.Status != want[i] {
+			t.Errorf("entry %d status = %q, want %q", i, snap.Status, want[i])
+		}
+	}
+	// Aborted entries render their status; completed ones stay clean.
+	if out := log[1].Format(); !strings.Contains(out, "[cancelled]") {
+		t.Errorf("cancelled format = %q", out)
+	}
+	if out := log[0].Format(); strings.Contains(out, "[completed]") {
+		t.Errorf("completed format shows status: %q", out)
+	}
+}
+
+func TestStatusFromError(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, StatusCompleted},
+		{context.Canceled, StatusCancelled},
+		{context.DeadlineExceeded, StatusTimedOut},
+		{errContextWrapped{context.DeadlineExceeded}, StatusTimedOut},
+		{errPlain, StatusFailed},
+	}
+	for _, tc := range cases {
+		if got := StatusFromError(tc.err); got != tc.want {
+			t.Errorf("StatusFromError(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+}
+
+var errPlain = &mockErr{}
+
+type mockErr struct{}
+
+func (*mockErr) Error() string { return "boom" }
+
+type errContextWrapped struct{ inner error }
+
+func (e errContextWrapped) Error() string { return "wrapped: " + e.inner.Error() }
+func (e errContextWrapped) Unwrap() error { return e.inner }
+
+// TestTraceBufferConcurrent hammers the buffer from many goroutines;
+// run under -race in CI.
+func TestTraceBufferConcurrent(t *testing.T) {
+	b := NewTraceBuffer(1024)
+	b.SetEnabled(true)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b.Complete("cat", "ev", int64(g), time.Now(), time.Microsecond, nil)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			b.Events()
+			b.Len()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if b.Len()+int(b.Dropped()) != 4000 {
+		t.Errorf("len %d + dropped %d != 4000", b.Len(), b.Dropped())
+	}
+}

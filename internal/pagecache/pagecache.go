@@ -95,6 +95,9 @@ type Instruments struct {
 	Evictions *obs.Counter
 	Flushes   *obs.Counter
 	Tracer    *obs.Tracer
+	// Trace, when set and enabled, receives one instant event per page
+	// fault so exported timelines show cold-cache warm-up bursts.
+	Trace *obs.TraceBuffer
 }
 
 // Instrument attaches registry counters and a tracer to the cache.
@@ -233,6 +236,9 @@ func (s *stripe) get(id int64) (Page, error) {
 	}
 	if ins.Tracer != nil {
 		ins.Tracer.Event("page_faults", 1)
+	}
+	if ins.Trace.Enabled() {
+		ins.Trace.Instant("pagecache", "page_fault", 1, map[string]any{"page": id})
 	}
 	if err := s.evictIfFullLocked(ins); err != nil {
 		return Page{}, err

@@ -18,6 +18,7 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -40,6 +41,10 @@ const (
 type Metrics struct {
 	Shards     *obs.Counter
 	MergeNanos *obs.Counter
+	// Trace, when set and enabled, receives one complete event per
+	// shard execution (cat "par", tid = shard index), so exported
+	// timelines show the fork-join fan-out of parallel queries.
+	Trace *obs.TraceBuffer
 }
 
 // MetricsFrom registers (or finds) the pool counters on a registry.
@@ -143,9 +148,22 @@ func RunRanges[R any](workers, n int, m Metrics, fn func(lo, hi int) R) []R {
 		return nil
 	}
 	m.addShards(len(ranges))
+	run := fn
+	if m.Trace.Enabled() {
+		total := len(ranges)
+		run = func(lo, hi int) R {
+			start := time.Now()
+			r := fn(lo, hi)
+			// tid 1+lo keeps concurrent shards on distinct timeline rows.
+			m.Trace.Complete("par", fmt.Sprintf("shard [%d,%d)/%d", lo, hi, total),
+				int64(1+lo), start, time.Since(start),
+				map[string]any{"items": hi - lo})
+			return r
+		}
+	}
 	out := make([]R, len(ranges))
 	if len(ranges) == 1 {
-		out[0] = fn(ranges[0].Lo, ranges[0].Hi)
+		out[0] = run(ranges[0].Lo, ranges[0].Hi)
 		return out
 	}
 	var wg sync.WaitGroup
@@ -153,7 +171,7 @@ func RunRanges[R any](workers, n int, m Metrics, fn func(lo, hi int) R) []R {
 	for s, r := range ranges {
 		go func(s int, r Range) {
 			defer wg.Done()
-			out[s] = fn(r.Lo, r.Hi)
+			out[s] = run(r.Lo, r.Hi)
 		}(s, r)
 	}
 	wg.Wait()

@@ -148,3 +148,36 @@ func TestConcurrentCountSharded(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestShardTraceEvents verifies the trace hook: with a buffer attached
+// and enabled, RunRanges emits one complete event per shard on distinct
+// timeline rows; disabled buffers record nothing.
+func TestShardTraceEvents(t *testing.T) {
+	m := MetricsFrom(obs.NewRegistry())
+	m.Trace = obs.NewTraceBuffer(64)
+	RunRanges(4, 100, m, func(lo, hi int) int { return hi - lo })
+	if n := m.Trace.Len(); n != 0 {
+		t.Fatalf("disabled buffer recorded %d events", n)
+	}
+	m.Trace.SetEnabled(true)
+	RunRanges(4, 100, m, func(lo, hi int) int { return hi - lo })
+	evs := m.Trace.Events()
+	if len(evs) != 4 {
+		t.Fatalf("shard events = %d, want 4", len(evs))
+	}
+	tids := map[int64]bool{}
+	var items int
+	for _, ev := range evs {
+		if ev.Cat != "par" || ev.Ph != "X" {
+			t.Errorf("event = %+v, want cat par ph X", ev)
+		}
+		tids[ev.TID] = true
+		items += ev.Args["items"].(int)
+	}
+	if len(tids) != 4 {
+		t.Errorf("distinct tids = %d, want 4", len(tids))
+	}
+	if items != 100 {
+		t.Errorf("items sum = %d, want 100", items)
+	}
+}

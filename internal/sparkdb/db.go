@@ -93,9 +93,10 @@ type DB struct {
 
 	attrs []*attrInfo // index = AttrID-1
 
-	reg    *obs.Registry
-	tracer *obs.Tracer
-	hooks  *setHooks // bitmap-op counters shared with Objects results
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	traceBuf *obs.TraceBuffer // timeline export sink; disabled until enabled
+	hooks    *setHooks        // bitmap-op counters shared with Objects results
 
 	cFetches      *obs.Counter // record_fetches: per object/edge resolved
 	cIndexProbes  *obs.Counter
@@ -154,6 +155,7 @@ func New(cfg Config) *DB {
 		typesByName: make(map[string]graph.TypeID),
 		reg:         reg,
 		tracer:      obs.NewTracer(),
+		traceBuf:    obs.NewTraceBuffer(obs.DefaultTraceEvents),
 		hooks: &setHooks{
 			and:  reg.Counter(CBitmapAndOps),
 			or:   reg.Counter(CBitmapOrOps),
@@ -171,6 +173,8 @@ func New(cfg Config) *DB {
 		parMetrics:    par.MetricsFrom(reg),
 	}
 	db.tracer.Watch(obs.CRecordFetches, db.cFetches)
+	db.tracer.SetSink(db.traceBuf)
+	db.parMetrics.Trace = db.traceBuf
 	return db
 }
 
@@ -179,6 +183,16 @@ func (db *DB) Obs() *obs.Registry { return db.reg }
 
 // Tracer returns the engine's query tracer.
 func (db *DB) Tracer() *obs.Tracer { return db.tracer }
+
+// Trace returns the engine's trace-event buffer. It is created disabled;
+// timeline export surfaces (twibench -trace, twiql :trace export) enable
+// it via SetEnabled.
+func (db *DB) Trace() *obs.TraceBuffer { return db.traceBuf }
+
+// Health reports engine liveness. The in-memory engine has no failure
+// modes beyond process death, so it is always healthy; the method exists
+// so the telemetry /healthz endpoint can treat both engines uniformly.
+func (db *DB) Health() error { return nil }
 
 // RecordFetches returns the cumulative object/edge record resolutions —
 // the engine's "db hit" equivalent, comparable to neodb.RecordFetches.

@@ -1,0 +1,258 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// The exposition parser below is deliberately strict: it is the
+// validator the tests and the CI telemetry smoke job run against
+// /metrics output, so it rejects anything a real Prometheus scraper
+// could choke on — illegal metric names, samples without a TYPE
+// declaration, non-numeric values, and histogram bucket series that are
+// not cumulative or lack the +Inf bucket.
+
+var metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+var labelNameRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// Sample is one exposition sample line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family groups the samples of one declared metric.
+type Family struct {
+	Name    string
+	Type    string // counter | gauge | histogram | summary | untyped
+	Samples []Sample
+}
+
+// ParseExposition parses and validates Prometheus text-format
+// exposition data, returning the metric families keyed by declared
+// name.
+func ParseExposition(data []byte) (map[string]*Family, error) {
+	families := map[string]*Family{}
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(line, families); err != nil {
+				return nil, fmt.Errorf("line %d: %w", ln+1, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		fam := familyFor(families, s.Name)
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %q has no TYPE declaration", ln+1, s.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	for _, fam := range families {
+		if fam.Type == "histogram" {
+			if err := validateHistogram(fam); err != nil {
+				return nil, fmt.Errorf("histogram %s: %w", fam.Name, err)
+			}
+		}
+	}
+	return families, nil
+}
+
+func parseComment(line string, families map[string]*Family) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		if !metricNameRE.MatchString(name) {
+			return fmt.Errorf("illegal metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		if _, dup := families[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %q", name)
+		}
+		families[name] = &Family{Name: name, Type: typ}
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+	}
+	return nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i >= 0 {
+		s.Name = rest[:i]
+	} else {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	if !metricNameRE.MatchString(s.Name) {
+		return s, fmt.Errorf("illegal metric name %q", s.Name)
+	}
+	rest = rest[len(s.Name):]
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		var err error
+		if s.Labels, err = parseLabels(rest[1:end]); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	valStr := strings.TrimSpace(rest)
+	// A timestamp may follow the value; the renderer never emits one,
+	// but accept it for generality.
+	if i := strings.IndexByte(valStr, ' '); i >= 0 {
+		valStr = valStr[:i]
+	}
+	v, err := parseValue(valStr)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string) (map[string]string, error) {
+	labels := map[string]string{}
+	for _, pair := range splitLabelPairs(body) {
+		eq := strings.Index(pair, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label pair %q", pair)
+		}
+		name := strings.TrimSpace(pair[:eq])
+		if !labelNameRE.MatchString(name) {
+			return nil, fmt.Errorf("illegal label name %q", name)
+		}
+		val := strings.TrimSpace(pair[eq+1:])
+		if len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+			return nil, fmt.Errorf("unquoted label value in %q", pair)
+		}
+		labels[name] = val[1 : len(val)-1]
+	}
+	return labels, nil
+}
+
+// splitLabelPairs splits on commas outside quotes.
+func splitLabelPairs(body string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if strings.TrimSpace(body[start:]) != "" {
+		out = append(out, body[start:])
+	}
+	return out
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// familyFor resolves which declared family a sample belongs to: its
+// exact name, or — for histograms — the base name before a
+// _bucket/_sum/_count suffix.
+func familyFor(families map[string]*Family, sample string) *Family {
+	if f, ok := families[sample]; ok {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(sample, suffix); ok {
+			if f, ok := families[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+func validateHistogram(fam *Family) error {
+	var buckets []Sample
+	var count float64
+	haveCount := false
+	for _, s := range fam.Samples {
+		switch s.Name {
+		case fam.Name + "_bucket":
+			buckets = append(buckets, s)
+		case fam.Name + "_count":
+			count, haveCount = s.Value, true
+		}
+	}
+	if len(buckets) == 0 {
+		return fmt.Errorf("no _bucket series")
+	}
+	prevLE := math.Inf(-1)
+	prevCum := -1.0
+	sawInf := false
+	for _, b := range buckets {
+		leStr, ok := b.Labels["le"]
+		if !ok {
+			return fmt.Errorf("bucket without le label")
+		}
+		le, err := parseValue(leStr)
+		if err != nil {
+			return fmt.Errorf("bad le %q: %w", leStr, err)
+		}
+		if le <= prevLE {
+			return fmt.Errorf("le values not increasing (%v after %v)", le, prevLE)
+		}
+		if b.Value < prevCum {
+			return fmt.Errorf("bucket counts not cumulative (%v after %v)", b.Value, prevCum)
+		}
+		prevLE, prevCum = le, b.Value
+		if math.IsInf(le, 1) {
+			sawInf = true
+		}
+	}
+	if !sawInf {
+		return fmt.Errorf("missing +Inf bucket")
+	}
+	if !haveCount {
+		return fmt.Errorf("missing _count")
+	}
+	if count != prevCum {
+		return fmt.Errorf("_count %v != +Inf bucket %v", count, prevCum)
+	}
+	return nil
+}

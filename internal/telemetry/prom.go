@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"twigraph/internal/obs"
+)
+
+// MetricPrefix namespaces every exported metric.
+const MetricPrefix = "twigraph"
+
+// WriteMetrics renders one registry in the Prometheus text exposition
+// format (version 0.0.4). Metric names are
+// twigraph_<scope>_<instrument>, sanitised to the legal charset:
+//
+//   - counters become `counter` metrics with a `_total` suffix,
+//   - gauges become `gauge` metrics,
+//   - histograms become `histogram` metrics with a `_seconds` suffix —
+//     observations are stored as nanoseconds, so bucket bounds and the
+//     sum are converted to seconds, the base unit Prometheus expects —
+//     rendered as cumulative `le`-bucket series ending in `+Inf`, plus
+//     `_sum` and `_count`.
+func WriteMetrics(w io.Writer, scope string, reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	base := MetricPrefix + "_" + SanitizeMetricName(scope) + "_"
+	reg.EachCounter(func(name string, c *obs.Counter) {
+		full := base + SanitizeMetricName(name) + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n", full)
+		fmt.Fprintf(w, "%s %d\n", full, c.Load())
+	})
+	reg.EachGauge(func(name string, g *obs.Gauge) {
+		full := base + SanitizeMetricName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", full)
+		fmt.Fprintf(w, "%s %d\n", full, g.Load())
+	})
+	reg.EachHistogram(func(name string, h *obs.Histogram) {
+		full := base + SanitizeMetricName(name) + "_seconds"
+		fmt.Fprintf(w, "# TYPE %s histogram\n", full)
+		bounds, cum := h.Buckets()
+		for i, bound := range bounds {
+			fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", full, formatSeconds(float64(bound)/1e9), cum[i])
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", full, cum[len(cum)-1])
+		fmt.Fprintf(w, "%s_sum %s\n", full, formatSeconds(float64(h.Sum())/1e9))
+		fmt.Fprintf(w, "%s_count %d\n", full, cum[len(cum)-1])
+	})
+}
+
+// formatSeconds renders a float without exponent drift between scrapes
+// ("%g" keeps bucket labels like 1e-06 stable and short).
+func formatSeconds(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", v), "0"), ".")
+}
+
+// SanitizeMetricName maps an arbitrary instrument name onto the legal
+// Prometheus metric-name charset [a-zA-Z_:][a-zA-Z0-9_:]*. Series keys
+// such as "fig4a/neo" become "fig4a_neo"; a leading digit gains a "_"
+// prefix.
+func SanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		legal := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9')
+		if !legal {
+			b.WriteByte('_')
+			continue
+		}
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}

@@ -1,0 +1,223 @@
+// Package telemetry is the externally-visible observability tier: an
+// HTTP server exposing every obs.Registry in the Prometheus text
+// exposition format (/metrics), store liveness and WAL poison state
+// (/healthz), the slow-query rings as JSON (/slow), and the standard
+// net/http/pprof handlers (/debug/pprof/). It is mounted by
+// `twibench -listen` and twiql's `:serve`, so a bench run or an
+// interactive session can be scraped and profiled mid-flight.
+//
+// The package is stdlib-only and depends only on internal/obs. Sources
+// are registered as getter functions, not values, because engines are
+// built lazily — a registry that does not exist yet simply stays absent
+// from the exposition until its getter returns non-nil.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"twigraph/internal/obs"
+)
+
+// WALSyncFailuresCounter is the counter name surfaced in /healthz
+// (mirrors neodb.CWALSyncFailures without importing the engine).
+const WALSyncFailuresCounter = "wal_sync_failures"
+
+type regSource struct {
+	name string
+	get  func() *obs.Registry
+}
+
+type tracerSource struct {
+	name string
+	get  func() *obs.Tracer
+}
+
+type healthSource struct {
+	name  string
+	check func() error
+}
+
+// Server aggregates observability sources and serves them over HTTP.
+// All Add* methods are safe to call concurrently with serving.
+type Server struct {
+	mu      sync.Mutex
+	regs    []regSource
+	tracers []tracerSource
+	health  []healthSource
+}
+
+// NewServer creates an empty server.
+func NewServer() *Server { return &Server{} }
+
+// AddRegistry exposes a fixed registry under the given scope name.
+func (s *Server) AddRegistry(name string, reg *obs.Registry) {
+	s.AddRegistryFunc(name, func() *obs.Registry { return reg })
+}
+
+// AddRegistryFunc exposes a lazily built registry: get is called per
+// scrape and may return nil while the source does not exist yet.
+func (s *Server) AddRegistryFunc(name string, get func() *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.regs = append(s.regs, regSource{name, get})
+}
+
+// AddTracer exposes a fixed tracer's slow-query ring on /slow.
+func (s *Server) AddTracer(name string, tr *obs.Tracer) {
+	s.AddTracerFunc(name, func() *obs.Tracer { return tr })
+}
+
+// AddTracerFunc exposes a lazily built tracer (nil until built).
+func (s *Server) AddTracerFunc(name string, get func() *obs.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracers = append(s.tracers, tracerSource{name, get})
+}
+
+// AddHealth registers a liveness check: check returns nil when healthy.
+func (s *Server) AddHealth(name string, check func() error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.health = append(s.health, healthSource{name, check})
+}
+
+func (s *Server) regSources() []regSource {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]regSource(nil), s.regs...)
+}
+
+func (s *Server) tracerSources() []tracerSource {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]tracerSource(nil), s.tracers...)
+}
+
+func (s *Server) healthSources() []healthSource {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]healthSource(nil), s.health...)
+}
+
+// Handler returns the telemetry mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/slow", s.handleSlow)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "twigraph telemetry\n\n/metrics\n/healthz\n/slow\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, src := range s.regSources() {
+		if reg := src.get(); reg != nil {
+			WriteMetrics(w, src.name, reg)
+		}
+	}
+}
+
+// HealthCheck is one /healthz entry.
+type HealthCheck struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+// HealthResponse is the /healthz JSON body.
+type HealthResponse struct {
+	Status string `json:"status"` // "ok" | "degraded"
+	// Checks holds one entry per registered liveness check (store
+	// open, WAL not poisoned).
+	Checks map[string]HealthCheck `json:"checks"`
+	// WALSyncFailures surfaces each source's wal_sync_failures counter
+	// — non-zero means the WAL hit an fsync error and is poisoned until
+	// reopen (see docs/DURABILITY.md).
+	WALSyncFailures map[string]uint64 `json:"wal_sync_failures,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	resp := HealthResponse{Status: "ok", Checks: map[string]HealthCheck{}}
+	for _, src := range s.healthSources() {
+		hc := HealthCheck{OK: true}
+		if err := src.check(); err != nil {
+			hc = HealthCheck{OK: false, Error: err.Error()}
+			resp.Status = "degraded"
+		}
+		resp.Checks[src.name] = hc
+	}
+	for _, src := range s.regSources() {
+		reg := src.get()
+		if reg == nil {
+			continue
+		}
+		snap := reg.Snapshot()
+		if n, ok := snap.Counters[WALSyncFailuresCounter]; ok {
+			if resp.WALSyncFailures == nil {
+				resp.WALSyncFailures = map[string]uint64{}
+			}
+			resp.WALSyncFailures[src.name] = n
+			if n > 0 {
+				resp.Status = "degraded"
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if resp.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(resp)
+}
+
+// SlowEntry is one tracer's slow-query ring in the /slow response.
+type SlowEntry struct {
+	Source string              `json:"source"`
+	Spans  []*obs.SpanSnapshot `json:"spans"`
+}
+
+func (s *Server) handleSlow(w http.ResponseWriter, _ *http.Request) {
+	out := []SlowEntry{}
+	for _, src := range s.tracerSources() {
+		tr := src.get()
+		if tr == nil {
+			continue
+		}
+		spans := tr.SlowLog()
+		if spans == nil {
+			spans = []*obs.SpanSnapshot{}
+		}
+		out = append(out, SlowEntry{Source: src.name, Spans: spans})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// Serve starts the telemetry server on addr (host:port; port 0 picks a
+// free one) and returns the bound address and a shutdown func. The
+// server runs until shutdown is called.
+func (s *Server) Serve(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() error { return srv.Close() }, nil
+}

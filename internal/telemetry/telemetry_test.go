@@ -1,0 +1,307 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"twigraph/internal/obs"
+)
+
+func testRegistry() *obs.Registry {
+	reg := obs.NewEngineRegistry()
+	reg.Counter(obs.CRecordFetches).Add(42)
+	reg.Counter(obs.CPageFaults).Add(7)
+	reg.Gauge("pagecache_resident").Set(128)
+	h := reg.Histogram("query_latency")
+	for _, v := range []int64{1500, 25_000, 900_000, 40_000_000} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+// TestWriteMetricsExposition renders a registry and round-trips it
+// through the strict parser: every instrument must appear with a legal
+// name, the right type, and a self-consistent histogram.
+func TestWriteMetricsExposition(t *testing.T) {
+	var buf bytes.Buffer
+	WriteMetrics(&buf, "neo", testRegistry())
+
+	fams, err := ParseExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, buf.String())
+	}
+	for name, wantType := range map[string]string{
+		"twigraph_neo_record_fetches_total":   "counter",
+		"twigraph_neo_pagecache_faults_total": "counter",
+		"twigraph_neo_pagecache_resident":     "gauge",
+		"twigraph_neo_query_latency_seconds":  "histogram",
+	} {
+		fam, ok := fams[name]
+		if !ok {
+			t.Errorf("missing family %s", name)
+			continue
+		}
+		if fam.Type != wantType {
+			t.Errorf("%s type = %s, want %s", name, fam.Type, wantType)
+		}
+	}
+	// Counter value survives the round trip.
+	fam := fams["twigraph_neo_record_fetches_total"]
+	if fam == nil || len(fam.Samples) != 1 || fam.Samples[0].Value != 42 {
+		t.Errorf("record_fetches samples = %+v", fam)
+	}
+	// Histogram count matches the four observations.
+	for _, s := range fams["twigraph_neo_query_latency_seconds"].Samples {
+		if s.Name == "twigraph_neo_query_latency_seconds_count" && s.Value != 4 {
+			t.Errorf("histogram count = %v, want 4", s.Value)
+		}
+	}
+}
+
+func TestWriteMetricsNilRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	WriteMetrics(&buf, "neo", nil)
+	if buf.Len() != 0 {
+		t.Errorf("nil registry wrote %q", buf.String())
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"record_fetches": "record_fetches",
+		"fig4a/neo":      "fig4a_neo",
+		"2hop":           "_2hop",
+		"a-b c":          "a_b_c",
+		"":               "_",
+		"ok:scope":       "ok:scope",
+	}
+	for in, want := range cases {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE": "orphan_total 3\n",
+		"bad metric name":     "# TYPE bad-name counter\nbad-name 1\n",
+		"bad value":           "# TYPE m counter\nm abc\n",
+		"histogram no +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"0.1\"} 1\nh_sum 0.05\nh_count 1\n",
+		"histogram not cumulative": "# TYPE h histogram\n" +
+			"h_bucket{le=\"0.1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"histogram count mismatch": "# TYPE h histogram\n" +
+			"h_bucket{le=\"0.1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 5\n",
+	}
+	for name, data := range cases {
+		if _, err := ParseExposition([]byte(data)); err == nil {
+			t.Errorf("%s: parser accepted invalid exposition", name)
+		}
+	}
+}
+
+func TestParseExpositionValues(t *testing.T) {
+	fams, err := ParseExposition([]byte(
+		"# TYPE g gauge\ng{shard=\"a,b\",kind=\"x\"} +Inf\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fams["g"].Samples[0]
+	if s.Labels["shard"] != "a,b" || s.Labels["kind"] != "x" {
+		t.Errorf("labels = %v", s.Labels)
+	}
+	if !math.IsInf(s.Value, 1) {
+		t.Errorf("value = %v, want +Inf", s.Value)
+	}
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	s := NewServer()
+	s.AddRegistry("neo", testRegistry())
+	var built *obs.Registry // lazy source: nil until "built"
+	s.AddRegistryFunc("sparksee", func() *obs.Registry { return built })
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	body := mustGet(t, srv.URL+"/metrics", http.StatusOK)
+	fams, err := ParseExposition(body)
+	if err != nil {
+		t.Fatalf("scrape invalid: %v", err)
+	}
+	if _, ok := fams["twigraph_neo_record_fetches_total"]; !ok {
+		t.Error("neo counters missing from scrape")
+	}
+	for name := range fams {
+		if strings.HasPrefix(name, "twigraph_sparksee_") {
+			t.Errorf("unbuilt source leaked metric %s", name)
+		}
+	}
+
+	built = testRegistry()
+	fams, err = ParseExposition(mustGet(t, srv.URL+"/metrics", http.StatusOK))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fams["twigraph_sparksee_record_fetches_total"]; !ok {
+		t.Error("lazily built source absent after build")
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	s := NewServer()
+	reg := obs.NewRegistry()
+	s.AddRegistry("neo", reg)
+	healthy := true
+	s.AddHealth("store", func() error {
+		if healthy {
+			return nil
+		}
+		return fmt.Errorf("store closed")
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var resp HealthResponse
+	mustGetJSON(t, srv.URL+"/healthz", http.StatusOK, &resp)
+	if resp.Status != "ok" || !resp.Checks["store"].OK {
+		t.Errorf("healthy response = %+v", resp)
+	}
+
+	// A WAL sync failure degrades health even while checks pass.
+	reg.Counter(WALSyncFailuresCounter).Inc()
+	mustGetJSON(t, srv.URL+"/healthz", http.StatusServiceUnavailable, &resp)
+	if resp.Status != "degraded" || resp.WALSyncFailures["neo"] != 1 {
+		t.Errorf("wal-degraded response = %+v", resp)
+	}
+
+	reg.Counter(WALSyncFailuresCounter).Reset()
+	healthy = false
+	mustGetJSON(t, srv.URL+"/healthz", http.StatusServiceUnavailable, &resp)
+	if resp.Status != "degraded" || resp.Checks["store"].OK ||
+		resp.Checks["store"].Error != "store closed" {
+		t.Errorf("check-failed response = %+v", resp)
+	}
+}
+
+func TestServerSlowEndpoint(t *testing.T) {
+	s := NewServer()
+	tr := obs.NewTracer()
+	tr.SetEnabled(true)
+	tr.SetSlowThreshold(0)
+	sp := tr.Start("slow query")
+	sp.SetStatus(obs.StatusTimedOut)
+	sp.Finish()
+	s.AddTracer("neo", tr)
+	s.AddTracerFunc("sparksee", func() *obs.Tracer { return nil })
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var out []SlowEntry
+	mustGetJSON(t, srv.URL+"/slow", http.StatusOK, &out)
+	if len(out) != 1 || out[0].Source != "neo" {
+		t.Fatalf("slow entries = %+v", out)
+	}
+	if len(out[0].Spans) != 1 || out[0].Spans[0].Status != obs.StatusTimedOut {
+		t.Errorf("spans = %+v", out[0].Spans)
+	}
+}
+
+func TestServerPprofMounted(t *testing.T) {
+	srv := httptest.NewServer(NewServer().Handler())
+	defer srv.Close()
+	body := mustGet(t, srv.URL+"/debug/pprof/", http.StatusOK)
+	if !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index = %q", body)
+	}
+}
+
+// TestServerScrapeDuringLoad scrapes /metrics continuously while
+// writers hammer the instruments — the -race CI job turns any unsafe
+// publication into a failure, and every scrape must stay parseable.
+func TestServerScrapeDuringLoad(t *testing.T) {
+	reg := obs.NewEngineRegistry()
+	s := NewServer()
+	s.AddRegistry("neo", reg)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := reg.Histogram("query_latency")
+			for i := 1; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				reg.Counter(obs.CRecordFetches).Inc()
+				h.Observe(int64(g*1000 + i))
+				reg.Gauge("pagecache_resident").Add(1)
+			}
+		}(g)
+	}
+	for i := 0; i < 25; i++ {
+		body := mustGet(t, srv.URL+"/metrics", http.StatusOK)
+		if _, err := ParseExposition(body); err != nil {
+			t.Fatalf("scrape %d invalid under load: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestServeRealListener(t *testing.T) {
+	s := NewServer()
+	s.AddRegistry("neo", testRegistry())
+	addr, shutdown, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	body := mustGet(t, "http://"+addr+"/metrics", http.StatusOK)
+	if _, err := ParseExposition(body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustGet(t *testing.T, url string, wantCode int) []byte {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	if resp.StatusCode != wantCode {
+		t.Fatalf("GET %s = %d, want %d\n%s", url, resp.StatusCode, wantCode, body)
+	}
+	return body
+}
+
+func mustGetJSON(t *testing.T, url string, wantCode int, out any) {
+	t.Helper()
+	body := mustGet(t, url, wantCode)
+	if err := json.Unmarshal(body, out); err != nil {
+		t.Fatalf("GET %s: bad JSON %v\n%s", url, err, body)
+	}
+}

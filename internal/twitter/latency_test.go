@@ -1,0 +1,52 @@
+package twitter_test
+
+import (
+	"testing"
+
+	"twigraph/internal/obs"
+	"twigraph/internal/twitter"
+)
+
+// TestQueryLatencyHistogramBothStores pins the telemetry contract the
+// /metrics endpoint depends on: every workload query on either engine
+// lands an observation in the shared query_latency histogram, and when
+// the tracer is on the store-level span ("neo: X" / "spark: X") reaches
+// the slow ring so imperative navigation paths are traceable too.
+func TestQueryLatencyHistogramBothStores(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Users = 100
+	neo, spark, _ := buildBoth(t, cfg)
+
+	for name, st := range map[string]interface {
+		Followees(int64) ([]int64, error)
+		Obs() *obs.Registry
+		Tracer() *obs.Tracer
+	}{"neo": neo, "spark": spark} {
+		tr := st.Tracer()
+		tr.SetEnabled(true)
+		tr.SetSlowThreshold(0)
+
+		h := st.Obs().Histogram(twitter.QueryLatencyHist)
+		before := h.Count()
+		if _, err := st.Followees(1); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := st.Followees(2); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := h.Count(); got != before+2 {
+			t.Errorf("%s: query_latency count = %d, want %d", name, got, before+2)
+		}
+
+		log := tr.SlowLog()
+		tr.SetEnabled(false)
+		if len(log) == 0 {
+			t.Fatalf("%s: slow log empty after traced workload query", name)
+		}
+		last := log[len(log)-1]
+		want := name + ": Followees"
+		if last.Name != want {
+			t.Errorf("%s: slow-log span = %q, want %q", name, last.Name, want)
+		}
+	}
+}

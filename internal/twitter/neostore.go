@@ -25,18 +25,47 @@ type NeoStore struct {
 	db     *neodb.DB
 	engine *cypher.Engine
 
-	workers int           // per-query parallelism (1 = declarative/Cypher path)
-	timeout time.Duration // per-query deadline; 0 = unbounded
-	parm    par.Metrics   // shard/merge counters on the engine registry
+	workers  int            // per-query parallelism (1 = declarative/Cypher path)
+	timeout  time.Duration  // per-query deadline; 0 = unbounded
+	parm     par.Metrics    // shard/merge counters on the engine registry
+	qLatency *obs.Histogram // per-query wall time, all workload methods
 }
+
+// QueryLatencyHist is the registry histogram every workload query
+// observes its wall time into, on both engines — the series the
+// telemetry /metrics endpoint exports as
+// twigraph_<engine>_query_latency_seconds.
+const QueryLatencyHist = "query_latency"
 
 // NewNeoStore wraps an opened neodb database.
 func NewNeoStore(db *neodb.DB) *NeoStore {
-	return &NeoStore{
-		db:      db,
-		engine:  cypher.NewEngine(db),
-		workers: par.Workers(0),
-		parm:    par.MetricsFrom(db.Obs()),
+	s := &NeoStore{
+		db:       db,
+		engine:   cypher.NewEngine(db),
+		workers:  par.Workers(0),
+		parm:     par.MetricsFrom(db.Obs()),
+		qLatency: db.Obs().Histogram(QueryLatencyHist),
+	}
+	// Shard executions of the parallel workload paths land on the
+	// engine's timeline next to its spans.
+	s.parm.Trace = db.Trace()
+	return s
+}
+
+// obsQuery times one workload query: the duration lands in the
+// query_latency histogram and, when the tracer is enabled, the query
+// runs under a store-level span — so the imperative parallel paths
+// (which bypass the Cypher executor and its spans) still show up in the
+// slow log and exported timelines. Use as `defer s.obsQuery("Name")()`.
+func (s *NeoStore) obsQuery(name string) func() {
+	var span *obs.Span
+	if tr := s.db.Tracer(); tr.Enabled() {
+		span = tr.Start("neo: " + name)
+	}
+	start := time.Now()
+	return func() {
+		s.qLatency.Observe(int64(time.Since(start)))
+		span.Finish()
 	}
 }
 
@@ -149,6 +178,7 @@ func (s *NeoStore) queryCounted(q string, p map[string]graph.Value) ([]Counted, 
 
 // UsersWithFollowersOver implements Q1.1.
 func (s *NeoStore) UsersWithFollowersOver(threshold int64) ([]int64, error) {
+	defer s.obsQuery("UsersWithFollowersOver")()
 	return s.queryInts(
 		`MATCH (u:user) WHERE u.followers > $th RETURN u.uid AS uid ORDER BY uid`,
 		params("th", threshold))
@@ -156,6 +186,7 @@ func (s *NeoStore) UsersWithFollowersOver(threshold int64) ([]int64, error) {
 
 // Followees implements Q2.1.
 func (s *NeoStore) Followees(uid int64) ([]int64, error) {
+	defer s.obsQuery("Followees")()
 	return s.queryInts(
 		`MATCH (a:user {uid: $uid})-[:follows]->(f:user) RETURN DISTINCT f.uid AS uid ORDER BY uid`,
 		params("uid", uid))
@@ -163,6 +194,7 @@ func (s *NeoStore) Followees(uid int64) ([]int64, error) {
 
 // TweetsOfFollowees implements Q2.2.
 func (s *NeoStore) TweetsOfFollowees(uid int64) ([]int64, error) {
+	defer s.obsQuery("TweetsOfFollowees")()
 	return s.queryInts(
 		`MATCH (a:user {uid: $uid})-[:follows]->(:user)-[:posts]->(t:tweet)
 		 RETURN DISTINCT t.tid AS tid ORDER BY tid`,
@@ -171,6 +203,7 @@ func (s *NeoStore) TweetsOfFollowees(uid int64) ([]int64, error) {
 
 // HashtagsOfFollowees implements Q2.3.
 func (s *NeoStore) HashtagsOfFollowees(uid int64) ([]string, error) {
+	defer s.obsQuery("HashtagsOfFollowees")()
 	res, err := s.query(
 		`MATCH (a:user {uid: $uid})-[:follows]->(:user)-[:posts]->(:tweet)-[:tags]->(h:hashtag)
 		 RETURN DISTINCT h.tag AS tag ORDER BY tag`,
@@ -187,6 +220,7 @@ func (s *NeoStore) HashtagsOfFollowees(uid int64) ([]string, error) {
 
 // CoMentionedUsers implements Q3.1.
 func (s *NeoStore) CoMentionedUsers(uid int64, n int) ([]Counted, error) {
+	defer s.obsQuery("CoMentionedUsers")()
 	if s.workers > 1 {
 		return s.coMentionedParallel(uid, n)
 	}
@@ -199,6 +233,7 @@ func (s *NeoStore) CoMentionedUsers(uid int64, n int) ([]Counted, error) {
 
 // CoOccurringHashtags implements Q3.2.
 func (s *NeoStore) CoOccurringHashtags(tag string, n int) ([]CountedTag, error) {
+	defer s.obsQuery("CoOccurringHashtags")()
 	if s.workers > 1 {
 		return s.coOccurringTagsParallel(tag, n)
 	}
@@ -221,6 +256,7 @@ func (s *NeoStore) CoOccurringHashtags(tag string, n int) ([]CountedTag, error) 
 // collect the 1-step followees, then check depth-2 candidates against
 // the collection — which the authors found fastest.
 func (s *NeoStore) RecommendFollowees(uid int64, n int) ([]Counted, error) {
+	defer s.obsQuery("RecommendFollowees")()
 	if s.workers > 1 {
 		return s.recommendFolloweesParallel(uid, n)
 	}
@@ -259,6 +295,7 @@ const (
 // RecommendFolloweesMethod runs one of the three phrasings ("a", "b",
 // "c") for the ablation benchmark.
 func (s *NeoStore) RecommendFolloweesMethod(method string, uid int64, n int) ([]Counted, error) {
+	defer s.obsQuery("RecommendFolloweesMethod")()
 	var q string
 	switch method {
 	case "a":
@@ -277,6 +314,7 @@ func (s *NeoStore) RecommendFolloweesMethod(method string, uid int64, n int) ([]
 // traversal framework instead of the declarative layer — the "core API"
 // rewrite the paper found slightly faster but harder to express.
 func (s *NeoStore) RecommendFolloweesTraversal(uid int64, n int) ([]Counted, error) {
+	defer s.obsQuery("RecommendFolloweesTraversal")()
 	user := s.db.LabelID(LabelUser)
 	uidKey := s.db.PropKeyID(PropUID)
 	follows := s.db.RelTypeID(RelFollows)
@@ -330,6 +368,7 @@ func (s *NeoStore) topNByNode(counts map[graph.NodeID]int64, uidKey graph.AttrID
 
 // RecommendFollowersOfFollowees implements Q4.2.
 func (s *NeoStore) RecommendFollowersOfFollowees(uid int64, n int) ([]Counted, error) {
+	defer s.obsQuery("RecommendFollowersOfFollowees")()
 	if s.workers > 1 {
 		return s.recommendFollowersParallel(uid, n)
 	}
@@ -342,6 +381,7 @@ func (s *NeoStore) RecommendFollowersOfFollowees(uid int64, n int) ([]Counted, e
 
 // CurrentInfluence implements Q5.1.
 func (s *NeoStore) CurrentInfluence(uid int64, n int) ([]Counted, error) {
+	defer s.obsQuery("CurrentInfluence")()
 	if s.workers > 1 {
 		return s.influenceParallel(uid, n, true)
 	}
@@ -354,6 +394,7 @@ func (s *NeoStore) CurrentInfluence(uid int64, n int) ([]Counted, error) {
 
 // PotentialInfluence implements Q5.2.
 func (s *NeoStore) PotentialInfluence(uid int64, n int) ([]Counted, error) {
+	defer s.obsQuery("PotentialInfluence")()
 	if s.workers > 1 {
 		return s.influenceParallel(uid, n, false)
 	}
@@ -370,6 +411,7 @@ func (s *NeoStore) PotentialInfluence(uid int64, n int) ([]Counted, error) {
 // (ShortestPathLength on the engine), returning the identical
 // (length, found) pair.
 func (s *NeoStore) ShortestPathLength(fromUID, toUID int64, maxHops int) (int, bool, error) {
+	defer s.obsQuery("ShortestPathLength")()
 	if s.workers > 1 {
 		return s.shortestPathParallel(fromUID, toUID, maxHops)
 	}
@@ -391,6 +433,7 @@ func (s *NeoStore) ShortestPathLength(fromUID, toUID int64, maxHops int) (int, b
 
 // AddUser implements UpdateStore.
 func (s *NeoStore) AddUser(uid int64, screenName string) error {
+	defer s.obsQuery("AddUser")()
 	tx := s.db.Begin()
 	tx.CreateNode(s.db.Label(LabelUser), graph.Properties{
 		PropUID:        graph.IntValue(uid),
@@ -402,6 +445,7 @@ func (s *NeoStore) AddUser(uid int64, screenName string) error {
 
 // AddFollow implements UpdateStore.
 func (s *NeoStore) AddFollow(srcUID, dstUID int64) error {
+	defer s.obsQuery("AddFollow")()
 	src, dst, err := s.twoUsers(srcUID, dstUID)
 	if err != nil {
 		return err
@@ -413,6 +457,7 @@ func (s *NeoStore) AddFollow(srcUID, dstUID int64) error {
 
 // AddTweet implements UpdateStore.
 func (s *NeoStore) AddTweet(uid, tid int64, text string, mentionUIDs []int64, tagTexts []string) error {
+	defer s.obsQuery("AddTweet")()
 	user := s.db.LabelID(LabelUser)
 	uidKey := s.db.PropKeyID(PropUID)
 	author, ok := s.db.FindNode(user, uidKey, graph.IntValue(uid))

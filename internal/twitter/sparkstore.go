@@ -21,9 +21,10 @@ import (
 type SparkStore struct {
 	db *sparkdb.DB
 
-	workers int           // per-query parallelism (1 = sequential)
-	timeout time.Duration // per-query deadline; 0 = unbounded
-	parm    par.Metrics   // shard/merge counters on the engine registry
+	workers  int            // per-query parallelism (1 = sequential)
+	timeout  time.Duration  // per-query deadline; 0 = unbounded
+	parm     par.Metrics    // shard/merge counters on the engine registry
+	qLatency *obs.Histogram // per-query wall time (query_latency)
 
 	user, tweet, hashtag           graph.TypeID
 	follows, posts, mentions, tags graph.TypeID
@@ -36,7 +37,11 @@ type SparkStore struct {
 // NewSparkStore wraps an opened sparkdb database whose schema matches
 // the generator layout.
 func NewSparkStore(db *sparkdb.DB) (*SparkStore, error) {
-	s := &SparkStore{db: db, workers: par.Workers(0), parm: par.MetricsFrom(db.Obs())}
+	s := &SparkStore{db: db, workers: par.Workers(0), parm: par.MetricsFrom(db.Obs()),
+		qLatency: db.Obs().Histogram(QueryLatencyHist)}
+	// Shard executions of the parallel workload paths land on the
+	// engine's timeline next to its spans.
+	s.parm.Trace = db.Trace()
 	s.user = db.FindType(LabelUser)
 	s.tweet = db.FindType(LabelTweet)
 	s.hashtag = db.FindType(LabelHashtag)
@@ -106,6 +111,22 @@ func (s *SparkStore) Close() error { return nil }
 // DB exposes the underlying engine for benchmarks.
 func (s *SparkStore) DB() *sparkdb.DB { return s.db }
 
+// obsQuery times one workload query into the query_latency histogram
+// and, when the tracer is on, wraps it in a "spark: <name>" span so the
+// navigation paths show up in the slow log and trace timeline like the
+// Cypher ones do. Use as `defer s.obsQuery("Method")()`.
+func (s *SparkStore) obsQuery(name string) func() {
+	var span *obs.Span
+	if tr := s.db.Tracer(); tr.Enabled() {
+		span = tr.Start("spark: " + name)
+	}
+	start := time.Now()
+	return func() {
+		s.qLatency.Observe(int64(time.Since(start)))
+		span.Finish()
+	}
+}
+
 func (s *SparkStore) userByUID(uid int64) (uint64, bool) {
 	return s.db.FindObject(s.uidAttr, graph.IntValue(uid))
 }
@@ -117,6 +138,7 @@ func (s *SparkStore) uidOf(oid uint64) int64 {
 // UsersWithFollowersOver implements Q1.1 with a single-predicate Select
 // (multi-predicate filters would need client-side set algebra).
 func (s *SparkStore) UsersWithFollowersOver(threshold int64) ([]int64, error) {
+	defer s.obsQuery("UsersWithFollowersOver")()
 	objs := s.db.Select(s.followersAttr, sparkdb.Greater, graph.IntValue(threshold))
 	out := make([]int64, 0, objs.Count())
 	objs.ForEach(func(oid uint64) bool {
@@ -129,6 +151,7 @@ func (s *SparkStore) UsersWithFollowersOver(threshold int64) ([]int64, error) {
 
 // Followees implements Q2.1.
 func (s *SparkStore) Followees(uid int64) ([]int64, error) {
+	defer s.obsQuery("Followees")()
 	a, ok := s.userByUID(uid)
 	if !ok {
 		return nil, nil
@@ -149,6 +172,7 @@ func (s *SparkStore) uidsOf(objs *sparkdb.Objects) []int64 {
 // TweetsOfFollowees implements Q2.2: one Neighbors call per followee,
 // unioned.
 func (s *SparkStore) TweetsOfFollowees(uid int64) ([]int64, error) {
+	defer s.obsQuery("TweetsOfFollowees")()
 	a, ok := s.userByUID(uid)
 	if !ok {
 		return nil, nil
@@ -169,6 +193,7 @@ func (s *SparkStore) TweetsOfFollowees(uid int64) ([]int64, error) {
 
 // HashtagsOfFollowees implements Q2.3 (3-step adjacency).
 func (s *SparkStore) HashtagsOfFollowees(uid int64) ([]string, error) {
+	defer s.obsQuery("HashtagsOfFollowees")()
 	a, ok := s.userByUID(uid)
 	if !ok {
 		return nil, nil
@@ -193,6 +218,7 @@ func (s *SparkStore) HashtagsOfFollowees(uid int64) ([]string, error) {
 // CoMentionedUsers implements Q3.1: the 2-step co-occurrence walk with a
 // client-side counting map.
 func (s *SparkStore) CoMentionedUsers(uid int64, n int) ([]Counted, error) {
+	defer s.obsQuery("CoMentionedUsers")()
 	a, ok := s.userByUID(uid)
 	if !ok {
 		return nil, nil
@@ -221,6 +247,7 @@ func (s *SparkStore) CoMentionedUsers(uid int64, n int) ([]Counted, error) {
 
 // CoOccurringHashtags implements Q3.2.
 func (s *SparkStore) CoOccurringHashtags(tag string, n int) ([]CountedTag, error) {
+	defer s.obsQuery("CoOccurringHashtags")()
 	h, ok := s.db.FindObject(s.tagAttr, graph.StringValue(tag))
 	if !ok {
 		return nil, nil
@@ -254,6 +281,7 @@ func (s *SparkStore) CoOccurringHashtags(tag string, n int) ([]CountedTag, error
 // neighbours call has to be executed for each 1-step followee of A,
 // which makes the execution of this query expensive".
 func (s *SparkStore) RecommendFollowees(uid int64, n int) ([]Counted, error) {
+	defer s.obsQuery("RecommendFollowees")()
 	a, ok := s.userByUID(uid)
 	if !ok {
 		return nil, nil
@@ -284,6 +312,7 @@ func (s *SparkStore) RecommendFollowees(uid int64, n int) ([]Counted, error) {
 // instead of raw navigation (the paper's §4 comparison found raw
 // neighbors "slightly more efficient").
 func (s *SparkStore) RecommendFolloweesTraversal(uid int64, n int) ([]Counted, error) {
+	defer s.obsQuery("RecommendFolloweesTraversal")()
 	a, ok := s.userByUID(uid)
 	if !ok {
 		return nil, nil
@@ -323,6 +352,7 @@ func (s *SparkStore) RecommendFolloweesTraversal(uid int64, n int) ([]Counted, e
 
 // RecommendFollowersOfFollowees implements Q4.2.
 func (s *SparkStore) RecommendFollowersOfFollowees(uid int64, n int) ([]Counted, error) {
+	defer s.obsQuery("RecommendFollowersOfFollowees")()
 	a, ok := s.userByUID(uid)
 	if !ok {
 		return nil, nil
@@ -348,12 +378,14 @@ func (s *SparkStore) RecommendFollowersOfFollowees(uid int64, n int) ([]Counted,
 // CurrentInfluence implements Q5.1: count mentioners, then retain those
 // already following A (set intersection on the counting map's keys).
 func (s *SparkStore) CurrentInfluence(uid int64, n int) ([]Counted, error) {
+	defer s.obsQuery("CurrentInfluence")()
 	return s.influence(uid, n, true)
 }
 
 // PotentialInfluence implements Q5.2: count mentioners, then remove the
 // ones already following A.
 func (s *SparkStore) PotentialInfluence(uid int64, n int) ([]Counted, error) {
+	defer s.obsQuery("PotentialInfluence")()
 	return s.influence(uid, n, false)
 }
 
@@ -392,6 +424,7 @@ func (s *SparkStore) influence(uid int64, n int, keepFollowers bool) ([]Counted,
 // path-materialising BFS. Both return the same (length, found) pair —
 // a node's BFS level does not depend on expansion order.
 func (s *SparkStore) ShortestPathLength(fromUID, toUID int64, maxHops int) (int, bool, error) {
+	defer s.obsQuery("ShortestPathLength")()
 	a, ok := s.userByUID(fromUID)
 	if !ok {
 		return 0, false, nil
@@ -430,6 +463,7 @@ func (s *SparkStore) topN(counts map[uint64]int64, n int) []Counted {
 
 // AddUser implements UpdateStore.
 func (s *SparkStore) AddUser(uid int64, screenName string) error {
+	defer s.obsQuery("AddUser")()
 	oid, err := s.db.NewNode(s.user)
 	if err != nil {
 		return err
@@ -450,6 +484,7 @@ func (s *SparkStore) AddUser(uid int64, screenName string) error {
 
 // AddFollow implements UpdateStore.
 func (s *SparkStore) AddFollow(srcUID, dstUID int64) error {
+	defer s.obsQuery("AddFollow")()
 	src, ok := s.userByUID(srcUID)
 	if !ok {
 		return fmt.Errorf("twitter: unknown user %d", srcUID)
@@ -464,6 +499,7 @@ func (s *SparkStore) AddFollow(srcUID, dstUID int64) error {
 
 // AddTweet implements UpdateStore.
 func (s *SparkStore) AddTweet(uid, tid int64, text string, mentionUIDs []int64, tagTexts []string) error {
+	defer s.obsQuery("AddTweet")()
 	author, ok := s.userByUID(uid)
 	if !ok {
 		return fmt.Errorf("twitter: unknown user %d", uid)

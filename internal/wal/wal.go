@@ -23,6 +23,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"twigraph/internal/obs"
 	"twigraph/internal/vfs"
@@ -50,6 +51,7 @@ type Log struct {
 	cAppends   *obs.Counter // registry counters, nil until Instrument
 	cSyncs     *obs.Counter
 	cSyncFails *obs.Counter
+	trace      *obs.TraceBuffer // nil until TraceTo
 }
 
 // Instrument mirrors the log's activity counters into the engine's
@@ -57,6 +59,15 @@ type Log struct {
 func (l *Log) Instrument(appends, syncs, syncFailures *obs.Counter) {
 	l.mu.Lock()
 	l.cAppends, l.cSyncs, l.cSyncFails = appends, syncs, syncFailures
+	l.mu.Unlock()
+}
+
+// TraceTo directs one complete event per fsync (cat "wal") into buf
+// when the buffer is enabled — fsync stalls are the dominant write-path
+// latency, and the timeline makes them visible next to query spans.
+func (l *Log) TraceTo(buf *obs.TraceBuffer) {
+	l.mu.Lock()
+	l.trace = buf
 	l.mu.Unlock()
 }
 
@@ -148,7 +159,16 @@ func (l *Log) Sync() error {
 	if l.cSyncs != nil {
 		l.cSyncs.Inc()
 	}
-	if err := l.file.Sync(); err != nil {
+	start := time.Now()
+	err := l.file.Sync()
+	if l.trace.Enabled() {
+		args := map[string]any{"bytes": l.offset}
+		if err != nil {
+			args["error"] = err.Error()
+		}
+		l.trace.Complete("wal", "wal_sync", 1, start, time.Since(start), args)
+	}
+	if err != nil {
 		l.poisoned = err
 		if l.cSyncFails != nil {
 			l.cSyncFails.Inc()
