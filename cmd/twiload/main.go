@@ -1,11 +1,12 @@
 // Command twiload bulk-loads a generated CSV dataset into one or both
 // engines, printing the import progress series (the data behind the
-// paper's Figures 2 and 3) and the phase report.
+// paper's Figures 2 and 3), the phase report, and a per-phase
+// throughput summary.
 //
 // Usage:
 //
 //	twiload -csv data/ -engine both -out dbs/
-//	twiload -csv data/ -engine both -out dbs/ -verify
+//	twiload -csv data/ -engine both -out dbs/ -workers 8 -verify
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"twigraph/internal/load"
 	"twigraph/internal/neodb"
@@ -23,29 +25,41 @@ func main() {
 	csvDir := flag.String("csv", "data", "directory with the generated CSV files")
 	engine := flag.String("engine", "both", "neo | sparksee | both")
 	out := flag.String("out", "dbs", "output directory for the store files")
-	batch := flag.Int("batch", 100000, "progress sampling granularity (rows)")
+	batch := flag.Int("batch", 100000, "pipeline batch size and progress sampling granularity (rows)")
+	workers := flag.Int("workers", 0, "import pipeline workers (0 = GOMAXPROCS, 1 = serial)")
+	groupCommit := flag.Bool("group-commit", false, "neo: WAL group commit, one fsync per batch (crash recovers whole batches)")
 	cache := flag.Int64("spark-cache", 0, "sparksee extent-cache bytes (0 = script default, 5 GiB)")
 	materialize := flag.Bool("materialize", false, "sparksee: materialise neighbor indexes during import")
 	verify := flag.Bool("verify", false, "run a structural integrity check on each store after import")
 	flag.Parse()
 
 	if *engine == "neo" || *engine == "both" {
-		if err := loadNeo(*csvDir, filepath.Join(*out, "neo"), *batch, *verify); err != nil {
+		if err := loadNeo(*csvDir, filepath.Join(*out, "neo"), *batch, *workers, *groupCommit, *verify); err != nil {
 			fmt.Fprintln(os.Stderr, "twiload:", err)
 			os.Exit(1)
 		}
 	}
 	if *engine == "sparksee" || *engine == "both" {
-		if err := loadSpark(*csvDir, filepath.Join(*out, "sparksee.img"), *batch, *cache, *materialize, *verify); err != nil {
+		if err := loadSpark(*csvDir, filepath.Join(*out, "sparksee.img"), *batch, *workers, *cache, *materialize, *verify); err != nil {
 			fmt.Fprintln(os.Stderr, "twiload:", err)
 			os.Exit(1)
 		}
 	}
 }
 
-func loadNeo(csvDir, dbDir string, batch int, verify bool) error {
+// rate formats a rows-per-second figure, guarding the zero-duration
+// case tiny datasets hit.
+func rate(rows int, d time.Duration) string {
+	if d <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f rows/s", float64(rows)/d.Seconds())
+}
+
+func loadNeo(csvDir, dbDir string, batch, workers int, groupCommit, verify bool) error {
 	fmt.Printf("== importing into the Neo4j-analog at %s ==\n", dbDir)
-	res, err := load.BuildNeo(csvDir, dbDir, neodb.Config{}, batch)
+	cfg := neodb.Config{ImportWorkers: workers, ImportGroupCommit: groupCommit}
+	res, err := load.BuildNeo(csvDir, dbDir, cfg, batch)
 	if err != nil {
 		return err
 	}
@@ -54,8 +68,10 @@ func loadNeo(csvDir, dbDir string, batch int, verify bool) error {
 		fmt.Printf("  %-8s %-10s %10d rows  %8dms\n", p.Phase, p.Label, p.Count, p.Elapsed.Milliseconds())
 	}
 	r := res.Report
-	fmt.Printf("nodes %d, edges %d\nphases: nodes %v | dense %v | edges %v | indexes %v | total %v\n\n",
+	fmt.Printf("nodes %d, edges %d\nphases: nodes %v | dense %v | edges %v | indexes %v | total %v\n",
 		r.Nodes, r.Edges, r.NodePhase, r.DensePhase, r.EdgePhase, r.IndexPhase, r.Total)
+	fmt.Printf("throughput: nodes %s | edges %s | overall %s (wall %v)\n\n",
+		rate(r.Nodes, r.NodePhase), rate(r.Edges, r.EdgePhase), rate(r.Nodes+r.Edges, r.Total), r.Total)
 	if verify {
 		rep := res.Store.DB().CheckIntegrity()
 		if !rep.OK() {
@@ -66,10 +82,11 @@ func loadNeo(csvDir, dbDir string, batch int, verify bool) error {
 	return nil
 }
 
-func loadSpark(csvDir, imagePath string, batch int, cache int64, materialize, verify bool) error {
+func loadSpark(csvDir, imagePath string, batch, workers int, cache int64, materialize, verify bool) error {
 	fmt.Printf("== importing into the Sparksee-analog image %s ==\n", imagePath)
 	res, err := load.BuildSpark(csvDir, sparkdb.ScriptOptions{
 		BatchRows:   batch,
+		Workers:     workers,
 		CacheSize:   cache,
 		Materialize: materialize,
 		ImagePath:   imagePath,
@@ -77,15 +94,34 @@ func loadSpark(csvDir, imagePath string, batch int, cache int64, materialize, ve
 	if err != nil {
 		return err
 	}
+	// The loader reports progress per "nodes:<type>" / "edges:<type>"
+	// phase; the last event of each phase carries its row total and
+	// elapsed time, which is all the throughput summary needs.
+	type phaseEnd struct {
+		rows    int
+		elapsed time.Duration
+	}
+	ends := map[string]phaseEnd{}
+	var order []string
 	for _, p := range res.Series {
 		flush := ""
 		if p.Flushed {
 			flush = "  FLUSH"
 		}
 		fmt.Printf("  %-16s %10d rows  %8dms%s\n", p.Phase, p.Rows, p.Elapsed.Milliseconds(), flush)
+		if _, seen := ends[p.Phase]; !seen {
+			order = append(order, p.Phase)
+		}
+		ends[p.Phase] = phaseEnd{p.Rows, p.Elapsed}
 	}
 	r := res.Report
 	fmt.Printf("nodes %d, edges %d, flushes %d, total %v\n", r.Nodes, r.Edges, r.Flushes, r.Duration)
+	fmt.Print("throughput:")
+	for _, ph := range order {
+		e := ends[ph]
+		fmt.Printf(" %s %s |", ph, rate(e.rows, e.elapsed))
+	}
+	fmt.Printf(" overall %s (wall %v)\n", rate(r.Nodes+r.Edges, r.Duration), r.Duration)
 	if verify {
 		rep := res.Store.DB().CheckIntegrity()
 		if !rep.OK() {

@@ -34,9 +34,10 @@ type Env struct {
 	Cfg     gen.Config
 	WorkDir string
 
-	// Workers sets each store's worker count after build: 0 leaves the
-	// default (GOMAXPROCS), 1 forces the sequential paths, N>1 pins the
-	// parallel paths to N shards.
+	// Workers sets both the import pipeline's parse/resolve worker count
+	// at build time and each store's query worker count after build:
+	// 0 leaves the defaults (GOMAXPROCS), 1 forces the sequential paths,
+	// N>1 pins the parallel paths to N workers/shards.
 	Workers int
 
 	// QueryTimeout bounds every store query by a deadline. Queries that
@@ -79,6 +80,23 @@ type Env struct {
 	scriptOnce sync.Once
 	scriptErr  error
 	scriptPath string
+
+	extraMu      sync.Mutex
+	extraEngines map[string]obs.Snapshot
+}
+
+// RecordEngineSnapshot deposits an engine registry dump taken from a
+// store the experiment built itself (outside the session's shared
+// Neo()/Spark() builds), so the session snapshot still carries its
+// counters and histograms. The session-built engine of the same name
+// wins if both exist.
+func (e *Env) RecordEngineSnapshot(name string, s obs.Snapshot) {
+	e.extraMu.Lock()
+	defer e.extraMu.Unlock()
+	if e.extraEngines == nil {
+		e.extraEngines = map[string]obs.Snapshot{}
+	}
+	e.extraEngines[name] = s
 }
 
 // NewEnv creates an environment; workDir receives the CSVs and store
@@ -139,7 +157,7 @@ func (e *Env) Neo() (*load.NeoResult, error) {
 	}
 	e.neoOnce.Do(func() {
 		e.neoRes, e.neoErr = load.BuildNeo(e.csvDir, filepath.Join(e.WorkDir, "neo"),
-			neodb.Config{CachePages: 8192}, e.Cfg.Users/4+1)
+			neodb.Config{CachePages: 8192, ImportWorkers: e.Workers}, e.Cfg.Users/4+1)
 		if e.neoErr == nil && e.Workers > 0 {
 			e.neoRes.Store.SetWorkers(e.Workers)
 		}
@@ -166,6 +184,7 @@ func (e *Env) Spark() (*load.SparkResult, error) {
 	e.sparkOnce.Do(func() {
 		e.sparkRes, e.sparkErr = load.BuildSpark(e.csvDir, sparkdb.ScriptOptions{
 			BatchRows: e.Cfg.Users/4 + 1,
+			Workers:   e.Workers,
 		})
 		if e.sparkErr == nil && e.Workers > 0 {
 			e.sparkRes.Store.SetWorkers(e.Workers)

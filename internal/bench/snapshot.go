@@ -42,6 +42,11 @@ func (e *Env) Snapshot(experiment string) Snapshot {
 		Engines:    map[string]obs.Snapshot{},
 		Bench:      e.Reg.Snapshot(),
 	}
+	e.extraMu.Lock()
+	for name, dump := range e.extraEngines {
+		s.Engines[name] = dump
+	}
+	e.extraMu.Unlock()
 	if e.neoRes != nil && e.neoErr == nil {
 		s.Engines[e.neoRes.Store.Name()] = e.neoRes.Store.Obs().Snapshot()
 	}

@@ -1,0 +1,186 @@
+package bitmap
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Bulk construction kernels for the import pipeline. The loaders insert
+// long ascending runs — consecutive OIDs of a freshly created node or
+// edge batch, and per-value posting runs — so building whole containers
+// at once (and unioning word-at-a-time into existing ones) replaces
+// millions of per-object Add calls, each of which pays a container
+// binary search and possibly an insertion memmove.
+
+// AddRange inserts every value in the closed interval [lo, hi],
+// constructing dense containers directly instead of adding one value at
+// a time.
+func (b *Bitmap) AddRange(lo, hi uint64) {
+	if hi < lo {
+		return
+	}
+	firstKey := lo >> containerBits
+	lastKey := hi >> containerBits
+	for key := firstKey; ; key++ {
+		from, to := uint16(0), uint16(containerSize-1)
+		if key == firstKey {
+			from = uint16(lo & (containerSize - 1))
+		}
+		if key == lastKey {
+			to = uint16(hi & (containerSize - 1))
+		}
+		b.addContainerRange(key, from, to)
+		if key == lastKey {
+			return
+		}
+	}
+}
+
+// addContainerRange merges the contiguous run [from, to] into the
+// container with the given key, creating it if absent.
+func (b *Bitmap) addContainerRange(key uint64, from, to uint16) {
+	n := int(to) - int(from) + 1
+	i, ok := b.findContainer(key)
+	if !ok {
+		c := &container{key: key}
+		if n > arrayToBitmapThreshold {
+			c.set = make([]uint64, wordsPerSet)
+			c.card = orWordRange(c.set, from, to)
+		} else {
+			c.array = make([]uint16, n)
+			for j := range c.array {
+				c.array[j] = from + uint16(j)
+			}
+		}
+		b.insertContainer(i, c)
+		return
+	}
+	c := b.containers[i]
+	if c.array != nil && len(c.array)+n > arrayToBitmapThreshold {
+		c.toSet()
+	}
+	if c.set != nil {
+		c.card += orWordRange(c.set, from, to)
+		return
+	}
+	// Merge the run into the sorted array: everything already inside
+	// [from, to] is subsumed by the run.
+	loI := sort.Search(len(c.array), func(i int) bool { return c.array[i] >= from })
+	hiI := sort.Search(len(c.array), func(i int) bool { return c.array[i] > to })
+	out := make([]uint16, 0, loI+n+len(c.array)-hiI)
+	out = append(out, c.array[:loI]...)
+	for v := from; ; v++ {
+		out = append(out, v)
+		if v == to {
+			break
+		}
+	}
+	out = append(out, c.array[hiI:]...)
+	c.array = out
+}
+
+// orWordRange sets bits [from, to] in a bitset container word-at-a-time
+// and returns how many were newly set.
+func orWordRange(set []uint64, from, to uint16) (added int) {
+	fw, lw := int(from>>6), int(to>>6)
+	for w := fw; w <= lw; w++ {
+		mask := ^uint64(0)
+		if w == fw {
+			mask &= ^uint64(0) << (from & 63)
+		}
+		if w == lw {
+			mask &= ^uint64(0) >> (63 - to&63)
+		}
+		nw := set[w] | mask
+		added += bits.OnesCount64(nw ^ set[w])
+		set[w] = nw
+	}
+	return added
+}
+
+// AddSorted unions a non-decreasing run of values into the set,
+// processing one container's worth at a time. Panics are avoided for
+// unsorted input only by producing a wrong set; callers own the
+// ordering invariant (the loaders emit batches in OID order).
+func (b *Bitmap) AddSorted(vals []uint64) {
+	for start := 0; start < len(vals); {
+		key := vals[start] >> containerBits
+		end := start + 1
+		for end < len(vals) && vals[end]>>containerBits == key {
+			end++
+		}
+		b.addContainerSorted(key, vals[start:end])
+		start = end
+	}
+}
+
+// addContainerSorted merges a non-decreasing run of same-key values.
+func (b *Bitmap) addContainerSorted(key uint64, vals []uint64) {
+	// Convert to deduplicated low halves.
+	lows := make([]uint16, 0, len(vals))
+	for _, v := range vals {
+		low := uint16(v & (containerSize - 1))
+		if n := len(lows); n == 0 || lows[n-1] != low {
+			lows = append(lows, low)
+		}
+	}
+	i, ok := b.findContainer(key)
+	if !ok {
+		c := &container{key: key}
+		if len(lows) > arrayToBitmapThreshold {
+			c.set = make([]uint64, wordsPerSet)
+			for _, low := range lows {
+				c.set[low>>6] |= 1 << (low & 63)
+			}
+			c.card = len(lows)
+		} else {
+			c.array = lows
+		}
+		b.insertContainer(i, c)
+		return
+	}
+	c := b.containers[i]
+	if c.array != nil && len(c.array)+len(lows) > arrayToBitmapThreshold {
+		c.toSet()
+	}
+	if c.set != nil {
+		for _, low := range lows {
+			w, m := low>>6, uint64(1)<<(low&63)
+			if c.set[w]&m == 0 {
+				c.set[w] |= m
+				c.card++
+			}
+		}
+		return
+	}
+	c.array = mergeSortedU16(c.array, lows)
+}
+
+// mergeSortedU16 merges two sorted, deduplicated slices into one.
+func mergeSortedU16(a, b []uint16) []uint16 {
+	out := make([]uint16, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// insertContainer places c at index i, keeping the key order.
+func (b *Bitmap) insertContainer(i int, c *container) {
+	b.containers = append(b.containers, nil)
+	copy(b.containers[i+1:], b.containers[i:])
+	b.containers[i] = c
+}

@@ -1,0 +1,204 @@
+package neodb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"twigraph/internal/graph"
+	"twigraph/internal/storage"
+)
+
+// Bulk-import WAL record kinds. Each frame covers one pipeline batch,
+// so group-commit durability costs one append and one fsync per batch
+// instead of one per row. The range leaves room for future per-row op
+// kinds below it.
+const (
+	opImportNodes uint8 = 16 + iota
+	opImportDense
+	opImportRels
+)
+
+// ---------- frame codecs ----------
+
+// encodeImportNodes packs one node batch: label, property keys, the
+// first node id of the batch's contiguous id run, and the decoded
+// property values in row-major order.
+func encodeImportNodes(label graph.TypeID, keys []graph.AttrID, base uint64, nrows int, vals []graph.Value) []byte {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, uint32(label))
+	binary.Write(&buf, binary.LittleEndian, uint32(len(keys)))
+	for _, k := range keys {
+		binary.Write(&buf, binary.LittleEndian, uint32(k))
+	}
+	binary.Write(&buf, binary.LittleEndian, base)
+	binary.Write(&buf, binary.LittleEndian, uint32(nrows))
+	for _, v := range vals {
+		graph.WriteValue(&buf, v)
+	}
+	return buf.Bytes()
+}
+
+func (db *DB) applyImportNodes(payload []byte) error {
+	r := bytes.NewReader(payload)
+	var label, ncols uint32
+	if err := binary.Read(r, binary.LittleEndian, &label); err != nil {
+		return err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &ncols); err != nil {
+		return err
+	}
+	keys := make([]graph.AttrID, ncols)
+	for i := range keys {
+		var k uint32
+		if err := binary.Read(r, binary.LittleEndian, &k); err != nil {
+			return err
+		}
+		keys[i] = graph.AttrID(k)
+	}
+	var base uint64
+	var nrows uint32
+	if err := binary.Read(r, binary.LittleEndian, &base); err != nil {
+		return err
+	}
+	if err := binary.Read(r, binary.LittleEndian, &nrows); err != nil {
+		return err
+	}
+	vals := make([]graph.Value, int(ncols))
+	for row := uint32(0); row < nrows; row++ {
+		for i := range vals {
+			v, err := graph.ReadValue(r)
+			if err != nil {
+				return err
+			}
+			vals[i] = v
+		}
+		if err := db.applyImportNodeRow(graph.NodeID(base+uint64(row)), graph.TypeID(label), keys, vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyImportNodeRow writes one imported node: property chain first
+// (back-to-front so the chain follows column order), then a single node
+// record carrying the chain head, then the label-scan entry. Because
+// the node record lands last, an InUse record implies the whole row is
+// present — the invariant idempotent replay relies on.
+func (db *DB) applyImportNodeRow(id graph.NodeID, label graph.TypeID, keys []graph.AttrID, vals []graph.Value) error {
+	if db.recovering {
+		db.nodes.AdoptID(uint64(id))
+		rec, err := db.nodes.Get(id)
+		if err != nil {
+			return err
+		}
+		if rec.InUse {
+			return nil // idempotent replay: the row reached the stores
+		}
+	}
+	var firstProp uint64
+	for i := len(vals) - 1; i >= 0; i-- {
+		kind, payload, err := db.encodePropValue(vals[i])
+		if err != nil {
+			return err
+		}
+		pid := db.props.Allocate()
+		prec := storage.PropRecord{InUse: true, Key: keys[i], Kind: kind, Payload: payload, Next: firstProp}
+		if err := db.props.Put(pid, prec); err != nil {
+			return err
+		}
+		firstProp = pid
+	}
+	if err := db.nodes.Put(id, storage.NodeRecord{InUse: true, Label: label, FirstProp: firstProp}); err != nil {
+		return err
+	}
+	db.labelScan.Add(label, id)
+	return nil
+}
+
+// encodeImportDense packs the sorted list of nodes the dense-node step
+// marked.
+func encodeImportDense(ids []graph.NodeID) []byte {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, uint32(len(ids)))
+	for _, id := range ids {
+		binary.Write(&buf, binary.LittleEndian, uint64(id))
+	}
+	return buf.Bytes()
+}
+
+func (db *DB) decodeImportDense(payload []byte) ([]graph.NodeID, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("neodb: short dense-marks frame")
+	}
+	n := binary.LittleEndian.Uint32(payload[0:4])
+	if uint64(len(payload)) < 4+uint64(n)*8 {
+		return nil, fmt.Errorf("neodb: truncated dense-marks frame")
+	}
+	ids := make([]graph.NodeID, n)
+	for i := range ids {
+		ids[i] = graph.NodeID(binary.LittleEndian.Uint64(payload[4+i*8:]))
+	}
+	return ids, nil
+}
+
+// applyImportDense sets the dense flag on the listed nodes. Unknown
+// nodes are skipped (replay of a frame whose node batch was already
+// checkpointed is a no-op either way; a frame can never precede its
+// nodes in the log).
+func (db *DB) applyImportDense(ids []graph.NodeID) error {
+	for _, n := range ids {
+		rec, err := db.nodes.Get(n)
+		if err != nil {
+			return err
+		}
+		if !rec.InUse {
+			continue
+		}
+		rec.Dense = true
+		if err := db.nodes.Put(n, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encodeImportRels packs one edge batch: relationship type, the first
+// rel id of the batch's contiguous id run, and resolved endpoint pairs.
+func encodeImportRels(t graph.TypeID, base uint64, pairs []graph.NodeID) []byte {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, uint32(t))
+	binary.Write(&buf, binary.LittleEndian, base)
+	binary.Write(&buf, binary.LittleEndian, uint32(len(pairs)/2))
+	for _, p := range pairs {
+		binary.Write(&buf, binary.LittleEndian, uint64(p))
+	}
+	return buf.Bytes()
+}
+
+func (db *DB) applyImportRels(payload []byte) error {
+	if len(payload) < 16 {
+		return fmt.Errorf("neodb: short rel-batch frame")
+	}
+	t := graph.TypeID(binary.LittleEndian.Uint32(payload[0:4]))
+	base := binary.LittleEndian.Uint64(payload[4:12])
+	n := binary.LittleEndian.Uint32(payload[12:16])
+	if uint64(len(payload)) < 16+uint64(n)*16 {
+		return fmt.Errorf("neodb: truncated rel-batch frame")
+	}
+	for i := uint32(0); i < n; i++ {
+		src := graph.NodeID(binary.LittleEndian.Uint64(payload[16+i*16:]))
+		dst := graph.NodeID(binary.LittleEndian.Uint64(payload[24+i*16:]))
+		if err := db.applyCreateRel(graph.EdgeID(base+uint64(i)), t, src, dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortNodeIDs orders a dense-mark list so the logged frame — and the
+// order marks are applied in — is independent of map iteration.
+func sortNodeIDs(ids []graph.NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -51,6 +51,7 @@ const (
 	CDenseGroupScans  = "dense_group_scans"
 	CQueriesCancelled = "queries_cancelled"
 	CQueriesTimedOut  = "queries_timed_out"
+	CWALGroupCommits  = "wal_group_commits"
 )
 
 // Config tunes an engine instance.
@@ -68,6 +69,16 @@ type Config struct {
 	// write and WAL operation goes through; nil means the operating
 	// system. Fault-injection and crash tests substitute a vfs.FaultFS.
 	FS vfs.FS
+	// ImportWorkers sets the bulk-import pipeline's parse/resolve worker
+	// count: 0 means GOMAXPROCS, 1 forces the serial path. The final
+	// stores are byte-identical at any setting.
+	ImportWorkers int
+	// ImportGroupCommit redo-logs each import batch as one WAL frame
+	// followed by one fsync, making completed batches durable during the
+	// import. Off by default: the classic import path defers all
+	// durability to the final checkpoint, and a crash mid-import is
+	// detected by integrity checks rather than recovered.
+	ImportGroupCommit bool
 }
 
 // DefaultCachePages gives each store file a 32 MiB cache by default.
@@ -121,6 +132,12 @@ type DB struct {
 	writeMu    sync.Mutex // single writer
 	closed     bool
 	recovering bool // WAL replay in progress (set only inside Open)
+
+	// groupCache memoises (node, relationship type) → group id for dense
+	// nodes. Non-nil only during single-writer phases (bulk import's edge
+	// stage and WAL replay); nil in normal operation, where groupFor
+	// walks the chain as usual.
+	groupCache map[groupCacheKey]uint64
 }
 
 type indexKey struct {

@@ -31,10 +31,29 @@ func (db *DB) denseThreshold() uint32 {
 	return DefaultDenseThreshold
 }
 
-// groupFor returns the id and record of node's group for relationship
+// groupCacheKey identifies one (node, relationship-type) group chain
+// head for the import-time cache.
+type groupCacheKey struct {
+	n graph.NodeID
+	t graph.TypeID
+}
+
+// groupFor returns the id and record of node n's group for relationship
 // type t, creating and prepending one to the group chain (and updating
-// *nodeRec) if absent.
-func (db *DB) groupFor(nodeRec *storage.NodeRecord, t graph.TypeID) (uint64, storage.GroupRecord, error) {
+// *nodeRec) if absent. When the DB-level group cache is live (bulk
+// import and WAL replay — single-writer phases), the linear chain walk
+// is skipped for previously resolved (node, type) pairs; dense hubs
+// with many relationship types otherwise pay that walk on every edge.
+func (db *DB) groupFor(n graph.NodeID, nodeRec *storage.NodeRecord, t graph.TypeID) (uint64, storage.GroupRecord, error) {
+	if db.groupCache != nil {
+		if gid, ok := db.groupCache[groupCacheKey{n, t}]; ok {
+			g, err := db.groups.Get(gid)
+			if err != nil {
+				return 0, storage.GroupRecord{}, err
+			}
+			return gid, g, nil
+		}
+	}
 	gid := uint64(nodeRec.FirstRel)
 	for gid != 0 {
 		g, err := db.groups.Get(gid)
@@ -42,6 +61,9 @@ func (db *DB) groupFor(nodeRec *storage.NodeRecord, t graph.TypeID) (uint64, sto
 			return 0, storage.GroupRecord{}, err
 		}
 		if g.Type == t {
+			if db.groupCache != nil {
+				db.groupCache[groupCacheKey{n, t}] = gid
+			}
 			return gid, g, nil
 		}
 		gid = g.Next
@@ -52,6 +74,9 @@ func (db *DB) groupFor(nodeRec *storage.NodeRecord, t graph.TypeID) (uint64, sto
 		return 0, storage.GroupRecord{}, err
 	}
 	nodeRec.FirstRel = graph.EdgeID(gid)
+	if db.groupCache != nil {
+		db.groupCache[groupCacheKey{n, t}] = gid
+	}
 	return gid, g, nil
 }
 
@@ -83,11 +108,11 @@ func (db *DB) setNextSide(id graph.EdgeID, srcSide bool, next graph.EdgeID) erro
 	return db.rels.Put(id, rec)
 }
 
-// linkDenseSide prepends rel id to the (node, type, side) chain of a
-// dense node, mutating newRec's side pointers in place (the caller
+// linkDenseSide prepends rel id to the (node, type, side) chain of
+// dense node n, mutating newRec's side pointers in place (the caller
 // writes newRec afterwards).
-func (db *DB) linkDenseSide(nodeRec *storage.NodeRecord, id graph.EdgeID, newRec *storage.RelRecord, t graph.TypeID, srcSide bool) error {
-	gid, g, err := db.groupFor(nodeRec, t)
+func (db *DB) linkDenseSide(n graph.NodeID, nodeRec *storage.NodeRecord, id graph.EdgeID, newRec *storage.RelRecord, t graph.TypeID, srcSide bool) error {
+	gid, g, err := db.groupFor(n, nodeRec, t)
 	if err != nil {
 		return err
 	}
@@ -221,12 +246,12 @@ func (db *DB) convertToDense(n graph.NodeID, nodeRec *storage.NodeRecord) error 
 			return err
 		}
 		if rec.Src == n {
-			if err := db.linkDenseSide(nodeRec, m.id, &rec, rec.Type, true); err != nil {
+			if err := db.linkDenseSide(n, nodeRec, m.id, &rec, rec.Type, true); err != nil {
 				return err
 			}
 		}
 		if rec.Dst == n {
-			if err := db.linkDenseSide(nodeRec, m.id, &rec, rec.Type, false); err != nil {
+			if err := db.linkDenseSide(n, nodeRec, m.id, &rec, rec.Type, false); err != nil {
 				return err
 			}
 		}

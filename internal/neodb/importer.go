@@ -12,17 +12,26 @@ import (
 	"time"
 
 	"twigraph/internal/graph"
-	"twigraph/internal/storage"
+	"twigraph/internal/ingest"
+	"twigraph/internal/obs"
 )
 
 // This file implements the batch import tool, the analogue of
 // `neo4j-import` the paper uses for data ingestion (§3.2.1): it bypasses
-// transactions and the WAL, writes records straight through the page
-// cache while a background flusher writes dirty pages "continuously and
-// concurrently to disk", performs the intermediate dense-node step
-// between node and edge import, and leaves index creation to a separate
-// post-import phase — the tool "cannot create indexes while importing
-// takes place".
+// transactions, writes records straight through the page cache while a
+// background flusher writes dirty pages "continuously and concurrently
+// to disk", performs the intermediate dense-node step between node and
+// edge import, and leaves index creation to a separate post-import
+// phase — the tool "cannot create indexes while importing takes place".
+//
+// Import runs on the staged pipeline in internal/ingest: CSV chunking,
+// parsing and value decoding happen on worker goroutines while record
+// application stays on the calling goroutine in file order, so the
+// final stores are byte-identical at any Config.ImportWorkers setting.
+// With Config.ImportGroupCommit set, every applied batch is first
+// redo-logged as a single WAL frame and fsynced once (group commit), so
+// a crash mid-import recovers every completed batch instead of relying
+// on integrity checks alone.
 
 // ColumnSpec declares one CSV property column.
 type ColumnSpec struct {
@@ -75,22 +84,59 @@ type Importer struct {
 	batchRows   int
 	progress    func(ProgressPoint)
 	interleaved bool
+	workers     int
+	groupCommit bool
 
-	idMaps map[string]map[int64]graph.NodeID // label -> external id -> node
+	hParse, hResolve, hApply *obs.Histogram
+	cGroupCommits            *obs.Counter
+
+	idMaps map[string]*ingest.IDMap // label -> external id -> node id
 }
 
 // NewImporter creates an importer for db. progress may be nil;
-// batchRows controls sampling granularity (default 100k rows).
+// batchRows controls both the pipeline batch size and progress sampling
+// granularity (default 100k rows). Worker count and group commit come
+// from the database Config.
 func (db *DB) NewImporter(batchRows int, progress func(ProgressPoint)) *Importer {
 	if batchRows <= 0 {
 		batchRows = 100_000
 	}
 	return &Importer{
-		db:        db,
-		batchRows: batchRows,
-		progress:  progress,
-		idMaps:    make(map[string]map[int64]graph.NodeID),
+		db:            db,
+		batchRows:     batchRows,
+		progress:      progress,
+		workers:       db.cfg.ImportWorkers,
+		groupCommit:   db.cfg.ImportGroupCommit,
+		hParse:        db.reg.Histogram(ingest.HParseNanos),
+		hResolve:      db.reg.Histogram(ingest.HResolveNanos),
+		hApply:        db.reg.Histogram(ingest.HApplyNanos),
+		cGroupCommits: db.reg.Counter(CWALGroupCommits),
+		idMaps:        make(map[string]*ingest.IDMap),
 	}
+}
+
+// batchOptions assembles the pipeline configuration shared by every
+// import phase.
+func (imp *Importer) batchOptions() ingest.Options {
+	return ingest.Options{
+		Workers:     imp.workers,
+		BatchRows:   imp.batchRows,
+		ParseHist:   imp.hParse,
+		ResolveHist: imp.hResolve,
+		ApplyHist:   imp.hApply,
+	}
+}
+
+// logBatch makes one applied batch durable: one WAL frame, one fsync.
+func (imp *Importer) logBatch(kind uint8, payload []byte) error {
+	if _, err := imp.db.log.Append(kind, payload); err != nil {
+		return err
+	}
+	if err := imp.db.log.Sync(); err != nil {
+		return err
+	}
+	imp.cGroupCommits.Inc()
+	return nil
 }
 
 // Run imports all node files, performs the dense-node step, imports all
@@ -99,31 +145,36 @@ func (imp *Importer) Run(nodeSpecs []NodeSpec, edgeSpecs []EdgeSpec) (ImportRepo
 	var rep ImportReport
 	start := time.Now()
 
-	// Background flusher: concurrent, continuous disk writes.
-	stop := make(chan struct{})
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		ticker := time.NewTicker(100 * time.Millisecond)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-ticker.C:
-				// Best-effort: flush errors surface later at Sync.
-				imp.db.nodes.Sync()
-				imp.db.rels.Sync()
-				imp.db.props.Sync()
-				imp.db.strs.Sync()
+	// Background flusher: concurrent, continuous disk writes. Group
+	// commit must not run it — recovery semantics depend on no store
+	// page becoming durable before the final checkpoint, so the WAL is
+	// the only file synced while the import is in flight.
+	if !imp.groupCommit {
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ticker := time.NewTicker(100 * time.Millisecond)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					// Best-effort: flush errors surface later at Sync.
+					imp.db.nodes.Sync()
+					imp.db.rels.Sync()
+					imp.db.props.Sync()
+					imp.db.strs.Sync()
+				}
 			}
-		}
-	}()
-	defer func() {
-		close(stop)
-		wg.Wait()
-	}()
+		}()
+		defer func() {
+			close(stop)
+			wg.Wait()
+		}()
+	}
 
 	phaseStart := time.Now()
 	for _, spec := range nodeSpecs {
@@ -140,6 +191,12 @@ func (imp *Importer) Run(nodeSpecs []NodeSpec, edgeSpecs []EdgeSpec) (ImportRepo
 		return rep, err
 	}
 	rep.DensePhase = time.Since(phaseStart)
+
+	// Deferred stitching for dense hubs: resolve each (node, type) group
+	// once and reuse it for every subsequent edge instead of walking the
+	// group chain per row. Cleared when Run returns.
+	imp.db.groupCache = make(map[groupCacheKey]uint64)
+	defer func() { imp.db.groupCache = nil }()
 
 	phaseStart = time.Now()
 	if imp.interleaved {
@@ -193,55 +250,65 @@ func (imp *Importer) importNodes(spec NodeSpec) (int, error) {
 	if spec.Columns[idCol].Kind != graph.KindInt {
 		return 0, fmt.Errorf("id column %q must be int", spec.IDColumn)
 	}
-	idMap := make(map[int64]graph.NodeID)
+	idMap := ingest.NewIDMap()
 	imp.idMaps[spec.Label] = idMap
+	// Group-commit frames reference the label and property keys by
+	// catalog id. Persist the name tables before the first frame that
+	// uses them, so a recovery that replays the frames can resolve the
+	// ids it finds (the catalog is otherwise only saved at checkpoints).
+	if imp.groupCommit {
+		if err := imp.db.saveCatalog(); err != nil {
+			return 0, err
+		}
+	}
 
+	ncols := len(spec.Columns)
 	phaseStart := time.Now()
 	rows := 0
-	err := forEachCSVRow(spec.File, func(rec []string) error {
-		if len(rec) < len(spec.Columns) {
-			return fmt.Errorf("row has %d columns, want %d", len(rec), len(spec.Columns))
-		}
-		id := graph.NodeID(imp.db.nodes.Allocate())
-		if err := imp.db.nodes.Put(id, storage.NodeRecord{InUse: true, Label: label}); err != nil {
-			return err
-		}
-		imp.db.labelScan.Add(label, id)
-		// Property chain written back-to-front so the chain order
-		// matches column order.
-		var firstProp uint64
-		for i := len(spec.Columns) - 1; i >= 0; i-- {
-			v, err := parseValue(rec[i], spec.Columns[i].Kind)
-			if err != nil {
-				return fmt.Errorf("column %s: %w", spec.Columns[i].Name, err)
+	// Stage 1/2 (workers): typed-value decode for the whole batch,
+	// flattened row-major.
+	prep := func(batch [][]string) (any, error) {
+		vals := make([]graph.Value, 0, len(batch)*ncols)
+		for _, rec := range batch {
+			if len(rec) < ncols {
+				return nil, fmt.Errorf("row has %d columns, want %d", len(rec), ncols)
 			}
-			kind, payload, err := imp.db.encodePropValue(v)
-			if err != nil {
-				return err
-			}
-			pid := imp.db.props.Allocate()
-			prec := storage.PropRecord{InUse: true, Key: keys[i], Kind: kind, Payload: payload, Next: firstProp}
-			if err := imp.db.props.Put(pid, prec); err != nil {
-				return err
-			}
-			firstProp = pid
-			if i == idCol {
-				iv, _ := strconv.ParseInt(rec[i], 10, 64)
-				idMap[iv] = id
+			for i := 0; i < ncols; i++ {
+				v, err := parseValue(rec[i], spec.Columns[i].Kind)
+				if err != nil {
+					return nil, fmt.Errorf("column %s: %w", spec.Columns[i].Name, err)
+				}
+				vals = append(vals, v)
 			}
 		}
-		if firstProp != 0 {
-			if err := imp.db.nodes.Put(id, storage.NodeRecord{InUse: true, Label: label, FirstProp: firstProp}); err != nil {
+		return vals, nil
+	}
+	// Stage 3 (caller goroutine, file order): reserve a contiguous id
+	// extent for the batch, optionally group-commit it to the WAL, then
+	// write the records.
+	apply := func(batch [][]string, prepped any) error {
+		vals := prepped.([]graph.Value)
+		base := imp.db.nodes.AllocateRun(len(batch))
+		if imp.groupCommit {
+			if err := imp.logBatch(opImportNodes, encodeImportNodes(label, keys, base, len(batch), vals)); err != nil {
 				return err
 			}
 		}
-		rows++
-		if imp.progress != nil && rows%imp.batchRows == 0 {
-			imp.progress(ProgressPoint{Phase: "nodes", Label: spec.Label, Count: rows, Elapsed: time.Since(phaseStart)})
+		for r := range batch {
+			rowVals := vals[r*ncols : (r+1)*ncols]
+			id := graph.NodeID(base + uint64(r))
+			if err := imp.db.applyImportNodeRow(id, label, keys, rowVals); err != nil {
+				return err
+			}
+			idMap.Put(rowVals[idCol].Int(), uint64(id))
+			rows++
+			if imp.progress != nil && rows%imp.batchRows == 0 {
+				imp.progress(ProgressPoint{Phase: "nodes", Label: spec.Label, Count: rows, Elapsed: time.Since(phaseStart)})
+			}
 		}
 		return nil
-	})
-	if err != nil {
+	}
+	if err := ingest.ForEachBatch(spec.File, imp.batchOptions(), prep, apply); err != nil {
 		return rows, err
 	}
 	if imp.progress != nil {
@@ -256,6 +323,8 @@ func (imp *Importer) importNodes(spec NodeSpec) (int, error) {
 // source files and pre-marks the nodes that will exceed the dense
 // threshold, so their relationships go straight into per-type group
 // chains during edge import instead of being converted mid-stream.
+// Parsing and id resolution of the edge files run on the pipeline
+// workers; only the degree accumulation is serial.
 func (imp *Importer) denseNodeStep(edgeSpecs []EdgeSpec) error {
 	start := time.Now()
 	high := imp.db.nodes.HighWater()
@@ -272,7 +341,8 @@ func (imp *Importer) denseNodeStep(edgeSpecs []EdgeSpec) error {
 			return err
 		}
 	}
-	// Count eventual degrees from the source files.
+	// Count eventual degrees from the source files. Rows that fail to
+	// parse or resolve are skipped here; edge import proper reports them.
 	deg := make(map[graph.NodeID]uint32)
 	for _, spec := range edgeSpecs {
 		srcMap := imp.idMaps[spec.SrcLabel]
@@ -280,45 +350,56 @@ func (imp *Importer) denseNodeStep(edgeSpecs []EdgeSpec) error {
 		if srcMap == nil || dstMap == nil {
 			continue // surfaces as an error during edge import
 		}
-		err := forEachCSVRow(spec.File, func(rec []string) error {
-			if len(rec) < 2 {
-				return nil
+		prep := func(batch [][]string) (any, error) {
+			pairs := make([]graph.NodeID, 0, len(batch)*2)
+			for _, rec := range batch {
+				var s, d graph.NodeID
+				if len(rec) >= 2 {
+					if sv, err := strconv.ParseInt(rec[0], 10, 64); err == nil {
+						if n, ok := srcMap.Get(sv); ok {
+							s = graph.NodeID(n)
+						}
+					}
+					if dv, err := strconv.ParseInt(rec[1], 10, 64); err == nil {
+						if n, ok := dstMap.Get(dv); ok {
+							d = graph.NodeID(n)
+						}
+					}
+				}
+				pairs = append(pairs, s, d)
 			}
-			sv, err1 := strconv.ParseInt(rec[0], 10, 64)
-			dv, err2 := strconv.ParseInt(rec[1], 10, 64)
-			if err1 != nil || err2 != nil {
-				return nil
-			}
-			if n, ok := srcMap[sv]; ok {
-				deg[n]++
-			}
-			if n, ok := dstMap[dv]; ok {
-				deg[n]++
+			return pairs, nil
+		}
+		apply := func(_ [][]string, prepped any) error {
+			for _, n := range prepped.([]graph.NodeID) {
+				if n != 0 {
+					deg[n]++
+				}
 			}
 			return nil
-		})
-		if err != nil {
+		}
+		if err := ingest.ForEachBatch(spec.File, imp.batchOptions(), prep, apply); err != nil {
 			return err
 		}
 	}
 	threshold := imp.db.denseThreshold()
-	dense := 0
+	var ids []graph.NodeID
 	for n, d := range deg {
-		if d < threshold {
-			continue
+		if d >= threshold {
+			ids = append(ids, n)
 		}
-		rec, err := imp.db.nodes.Get(n)
-		if err != nil {
+	}
+	sortNodeIDs(ids)
+	if imp.groupCommit {
+		if err := imp.logBatch(opImportDense, encodeImportDense(ids)); err != nil {
 			return err
 		}
-		rec.Dense = true
-		if err := imp.db.nodes.Put(n, rec); err != nil {
-			return err
-		}
-		dense++
+	}
+	if err := imp.db.applyImportDense(ids); err != nil {
+		return err
 	}
 	if imp.progress != nil {
-		imp.progress(ProgressPoint{Phase: "dense", Count: dense, Elapsed: time.Since(start)})
+		imp.progress(ProgressPoint{Phase: "dense", Count: len(ids), Elapsed: time.Since(start)})
 	}
 	return nil
 }
@@ -330,39 +411,64 @@ func (imp *Importer) importEdges(spec EdgeSpec) (int, error) {
 	if srcMap == nil || dstMap == nil {
 		return 0, fmt.Errorf("edge %s references unimported labels %s/%s", spec.Type, spec.SrcLabel, spec.DstLabel)
 	}
+	// As in importNodes: make the freshly created relationship type name
+	// durable before any frame references its id.
+	if imp.groupCommit {
+		if err := imp.db.saveCatalog(); err != nil {
+			return 0, err
+		}
+	}
 	phaseStart := time.Now()
 	rows := 0
-	err := forEachCSVRow(spec.File, func(rec []string) error {
-		if len(rec) < 2 {
-			return fmt.Errorf("edge row has %d columns, want 2", len(rec))
+	// Stage 1/2 (workers): endpoint resolution against the sharded id
+	// maps, flattened as (src, dst) pairs.
+	prep := func(batch [][]string) (any, error) {
+		pairs := make([]graph.NodeID, 0, len(batch)*2)
+		for _, rec := range batch {
+			if len(rec) < 2 {
+				return nil, fmt.Errorf("edge row has %d columns, want 2", len(rec))
+			}
+			sv, err := strconv.ParseInt(rec[0], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad source id %q", rec[0])
+			}
+			dv, err := strconv.ParseInt(rec[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad target id %q", rec[1])
+			}
+			src, ok := srcMap.Get(sv)
+			if !ok {
+				return nil, fmt.Errorf("unknown %s id %d", spec.SrcLabel, sv)
+			}
+			dst, ok := dstMap.Get(dv)
+			if !ok {
+				return nil, fmt.Errorf("unknown %s id %d", spec.DstLabel, dv)
+			}
+			pairs = append(pairs, graph.NodeID(src), graph.NodeID(dst))
 		}
-		sv, err := strconv.ParseInt(rec[0], 10, 64)
-		if err != nil {
-			return fmt.Errorf("bad source id %q", rec[0])
+		return pairs, nil
+	}
+	apply := func(batch [][]string, prepped any) error {
+		pairs := prepped.([]graph.NodeID)
+		base := imp.db.rels.AllocateRun(len(batch))
+		if imp.groupCommit {
+			if err := imp.logBatch(opImportRels, encodeImportRels(t, base, pairs)); err != nil {
+				return err
+			}
 		}
-		dv, err := strconv.ParseInt(rec[1], 10, 64)
-		if err != nil {
-			return fmt.Errorf("bad target id %q", rec[1])
-		}
-		src, ok := srcMap[sv]
-		if !ok {
-			return fmt.Errorf("unknown %s id %d", spec.SrcLabel, sv)
-		}
-		dst, ok := dstMap[dv]
-		if !ok {
-			return fmt.Errorf("unknown %s id %d", spec.DstLabel, dv)
-		}
-		id := graph.EdgeID(imp.db.rels.Allocate())
-		if err := imp.db.applyCreateRel(id, t, src, dst); err != nil {
-			return err
-		}
-		rows++
-		if imp.progress != nil && rows%imp.batchRows == 0 {
-			imp.progress(ProgressPoint{Phase: "edges", Label: spec.Type, Count: rows, Elapsed: time.Since(phaseStart)})
+		for r := 0; r < len(batch); r++ {
+			id := graph.EdgeID(base + uint64(r))
+			if err := imp.db.applyCreateRel(id, t, pairs[2*r], pairs[2*r+1]); err != nil {
+				return err
+			}
+			rows++
+			if imp.progress != nil && rows%imp.batchRows == 0 {
+				imp.progress(ProgressPoint{Phase: "edges", Label: spec.Type, Count: rows, Elapsed: time.Since(phaseStart)})
+			}
 		}
 		return nil
-	})
-	if err != nil {
+	}
+	if err := ingest.ForEachBatch(spec.File, imp.batchOptions(), prep, apply); err != nil {
 		return rows, err
 	}
 	if imp.progress != nil {
@@ -373,6 +479,8 @@ func (imp *Importer) importEdges(spec EdgeSpec) (int, error) {
 
 // ---------- CSV plumbing ----------
 
+// forEachCSVRow is the serial row reader used by the interleaved layout
+// path (which needs whole-file shuffling, not batch application).
 func forEachCSVRow(file string, fn func([]string) error) error {
 	f, err := os.Open(file)
 	if err != nil {

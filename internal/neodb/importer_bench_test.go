@@ -1,0 +1,67 @@
+package neodb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twigraph/internal/graph"
+)
+
+// benchUsersCSV writes an n-row users file and returns its path.
+func benchUsersCSV(b *testing.B, dir string, n int) string {
+	b.Helper()
+	path := filepath.Join(dir, "users.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fmt.Fprintln(f, "uid,screen_name,followers")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(f, "%d,user%d,%d\n", i, i, i%977)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+// BenchmarkImportNodeRows measures the per-row cost of the node import
+// path (decode + property chain + single node record write). Run with
+// -benchmem: the pipelined importer writes one node record per row
+// instead of two and decodes the id column once instead of re-parsing
+// it, so allocs/op and ns/op per row are the figures of interest.
+func BenchmarkImportNodeRows(b *testing.B) {
+	const rows = 5_000
+	csvDir := b.TempDir()
+	file := benchUsersCSV(b, csvDir, rows)
+	spec := NodeSpec{
+		Label: "user", File: file, IDColumn: "uid",
+		Columns: []ColumnSpec{
+			{Name: "uid", Kind: graph.KindInt},
+			{Name: "screen_name", Kind: graph.KindString},
+			{Name: "followers", Kind: graph.KindInt},
+		},
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db, err := Open(b.TempDir(), Config{CachePages: 1024, ImportWorkers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				imp := db.NewImporter(1_000, nil)
+				b.StartTimer()
+				n, err := imp.importNodes(spec)
+				b.StopTimer()
+				if err != nil || n != rows {
+					b.Fatalf("imported %d rows, err=%v", n, err)
+				}
+				db.Close()
+			}
+		})
+	}
+}

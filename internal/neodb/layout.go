@@ -54,15 +54,15 @@ func (imp *Importer) importEdgesInterleaved(specs []EdgeSpec) (int, error) {
 			if err != nil {
 				return fmt.Errorf("bad target id %q", rec[1])
 			}
-			src, ok := srcMap[sv]
+			src, ok := srcMap.Get(sv)
 			if !ok {
 				return fmt.Errorf("unknown %s id %d", spec.SrcLabel, sv)
 			}
-			dst, ok := dstMap[dv]
+			dst, ok := dstMap.Get(dv)
 			if !ok {
 				return fmt.Errorf("unknown %s id %d", spec.DstLabel, dv)
 			}
-			rows = append(rows, row{spec: si, src: src, dst: dst})
+			rows = append(rows, row{spec: si, src: graph.NodeID(src), dst: graph.NodeID(dst)})
 			return nil
 		})
 		if err != nil {

@@ -175,7 +175,14 @@ func (tx *Tx) releaseIDs() {
 // not hand a replayed id out a second time.
 func (db *DB) recover() error {
 	db.recovering = true
-	defer func() { db.recovering = false }()
+	// Replay of bulk-import frames hits the same dense hubs over and
+	// over; the group cache spares the per-edge group-chain walk, exactly
+	// as it does during the live import.
+	db.groupCache = make(map[groupCacheKey]uint64)
+	defer func() {
+		db.recovering = false
+		db.groupCache = nil
+	}()
 	return db.log.Replay(func(_ uint64, kind uint8, payload []byte) error {
 		return db.applyOp(kind, payload)
 	})
@@ -209,6 +216,16 @@ func (db *DB) applyOp(kind uint8, payload []byte) error {
 	case opDeleteNode:
 		id := graph.NodeID(binary.LittleEndian.Uint64(payload[0:8]))
 		return db.applyDeleteNode(id)
+	case opImportNodes:
+		return db.applyImportNodes(payload)
+	case opImportDense:
+		ids, err := db.decodeImportDense(payload)
+		if err != nil {
+			return err
+		}
+		return db.applyImportDense(ids)
+	case opImportRels:
+		return db.applyImportRels(payload)
 	}
 	return fmt.Errorf("neodb: unknown op kind %d", kind)
 }
@@ -275,7 +292,7 @@ func (db *DB) applyCreateRel(id graph.EdgeID, t graph.TypeID, src, dst graph.Nod
 	newRec := storage.RelRecord{InUse: true, Type: t, Src: src, Dst: dst}
 	// Source side (outgoing chain).
 	if srcRec.Dense {
-		if err := db.linkDenseSide(&srcRec, id, &newRec, t, true); err != nil {
+		if err := db.linkDenseSide(src, &srcRec, id, &newRec, t, true); err != nil {
 			return err
 		}
 	} else {
@@ -287,7 +304,7 @@ func (db *DB) applyCreateRel(id graph.EdgeID, t graph.TypeID, src, dst graph.Nod
 	// its source slots only; a dense self-loop joins both chains.
 	switch {
 	case dst != src && dstRec.Dense:
-		if err := db.linkDenseSide(&dstRec, id, &newRec, t, false); err != nil {
+		if err := db.linkDenseSide(dst, &dstRec, id, &newRec, t, false); err != nil {
 			return err
 		}
 	case dst != src:
@@ -295,7 +312,7 @@ func (db *DB) applyCreateRel(id graph.EdgeID, t graph.TypeID, src, dst graph.Nod
 			return err
 		}
 	case srcRec.Dense: // dense self-loop
-		if err := db.linkDenseSide(&srcRec, id, &newRec, t, false); err != nil {
+		if err := db.linkDenseSide(src, &srcRec, id, &newRec, t, false); err != nil {
 			return err
 		}
 	}
@@ -548,6 +565,9 @@ func (db *DB) applyDeleteNode(id graph.NodeID) error {
 			}
 			if g.FirstOut != 0 || g.FirstIn != 0 {
 				return fmt.Errorf("neodb: node %d still has relationships", id)
+			}
+			if db.groupCache != nil {
+				delete(db.groupCache, groupCacheKey{id, g.Type})
 			}
 			next := g.Next
 			if err := db.groups.Put(gid, storage.GroupRecord{}); err != nil {

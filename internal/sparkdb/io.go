@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sort"
 
 	"twigraph/internal/graph"
 	"twigraph/internal/vfs"
@@ -155,11 +156,19 @@ func (db *DB) save(w io.Writer) error {
 		if err := put64(uint64(len(ai.values))); err != nil {
 			return err
 		}
-		for oid, v := range ai.values {
+		// Serialise in ascending OID order: map iteration order would
+		// make repeated saves of the same database differ byte-for-byte,
+		// breaking image comparison (and the import determinism tests).
+		oids := make([]uint64, 0, len(ai.values))
+		for oid := range ai.values {
+			oids = append(oids, oid)
+		}
+		sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+		for _, oid := range oids {
 			if err := put64(oid); err != nil {
 				return err
 			}
-			if err := graph.WriteValue(w, v); err != nil {
+			if err := graph.WriteValue(w, ai.values[oid]); err != nil {
 				return err
 			}
 		}

@@ -2,7 +2,6 @@ package sparkdb
 
 import (
 	"bufio"
-	"encoding/csv"
 	"fmt"
 	"io"
 	"os"
@@ -12,6 +11,7 @@ import (
 	"time"
 
 	"twigraph/internal/graph"
+	"twigraph/internal/ingest"
 )
 
 // Sparksee loads bulk data through scripts that "define the schema of
@@ -32,7 +32,8 @@ type ScriptOptions struct {
 	Recovery    bool   // enable recovery/rollback (slows insertion)
 	ImagePath   string // where flushes persist the image; default <script dir>/sparkdb.img
 	DataDir     string // directory CSV references resolve against; default the script's directory
-	BatchRows   int    // progress callback granularity; default 100k
+	BatchRows   int    // pipeline batch size and progress granularity; default 100k
+	Workers     int    // import pipeline workers: 0 = GOMAXPROCS, 1 = serial
 }
 
 // Progress describes one loader progress event.
@@ -258,6 +259,18 @@ type scriptLoader struct {
 	dirty        int64
 }
 
+// batchOptions assembles the pipeline configuration; per-stage timings
+// land in the engine registry under the shared ingest histogram names.
+func (l *scriptLoader) batchOptions() ingest.Options {
+	return ingest.Options{
+		Workers:     l.opts.Workers,
+		BatchRows:   l.opts.BatchRows,
+		ParseHist:   l.db.reg.Histogram(ingest.HParseNanos),
+		ResolveHist: l.db.reg.Histogram(ingest.HResolveNanos),
+		ApplyHist:   l.db.reg.Histogram(ingest.HApplyNanos),
+	}
+}
+
 func (l *scriptLoader) result(start time.Time) ScriptResult {
 	return ScriptResult{Nodes: l.nodes, Edges: l.edges, Flushes: l.flushes, Duration: time.Since(start)}
 }
@@ -295,36 +308,55 @@ func (l *scriptLoader) loadNodes(d scriptDecl) error {
 	phase := "nodes:" + d.name
 	phaseStart := time.Now()
 	rows := 0
-	return l.forEachRow(d.file, func(rec []string) error {
-		if len(rec) < len(d.attrs) {
-			return fmt.Errorf("row has %d columns, want %d", len(rec), len(d.attrs))
+	nattrs := len(d.attrs)
+	// Stage 1/2 (workers): typed-value coercion plus the per-row cache
+	// cost, leaving only the locked insertion to the apply stage.
+	type nodePrep struct {
+		vals  []graph.Value
+		costs []int
+	}
+	prep := func(batch [][]string) (any, error) {
+		p := nodePrep{
+			vals:  make([]graph.Value, 0, len(batch)*nattrs),
+			costs: make([]int, len(batch)),
 		}
-		oid, err := l.db.NewNode(typeID)
-		if err != nil {
-			return err
+		for ri, rec := range batch {
+			if len(rec) < nattrs {
+				return nil, fmt.Errorf("row has %d columns, want %d", len(rec), nattrs)
+			}
+			cost := 16
+			for i, a := range d.attrs {
+				v, err := coerce(rec[i], a.kind)
+				if err != nil {
+					return nil, err
+				}
+				p.vals = append(p.vals, v)
+				cost += 16 + len(rec[i])
+			}
+			p.costs[ri] = cost
 		}
-		bytes := 16
-		for i, a := range d.attrs {
-			v, err := coerce(rec[i], a.kind)
+		return p, nil
+	}
+	// Stage 3 (caller goroutine, file order): one locked batch insert,
+	// then the same per-row cache accounting and progress sampling the
+	// serial path performed.
+	apply := func(batch [][]string, prepped any) error {
+		p := prepped.(nodePrep)
+		created, capErr := l.db.NewNodeBatch(typeID, attrIDs, len(batch), p.vals)
+		for r := 0; r < created; r++ {
+			l.nodes++
+			rows++
+			flushed, err := l.charge(p.costs[r])
 			if err != nil {
 				return err
 			}
-			if err := l.db.SetAttribute(oid, attrIDs[i], v); err != nil {
-				return err
+			if l.progress != nil && (flushed || rows%l.opts.BatchRows == 0) {
+				l.progress(Progress{Phase: phase, Rows: rows, Elapsed: time.Since(phaseStart), Flushed: flushed})
 			}
-			bytes += 16 + len(rec[i])
 		}
-		l.nodes++
-		rows++
-		flushed, err := l.charge(bytes)
-		if err != nil {
-			return err
-		}
-		if l.progress != nil && (flushed || rows%l.opts.BatchRows == 0) {
-			l.progress(Progress{Phase: phase, Rows: rows, Elapsed: time.Since(phaseStart), Flushed: flushed})
-		}
-		return nil
-	})
+		return capErr
+	}
+	return ingest.ForEachBatch(filepath.Join(l.dir, d.file), l.batchOptions(), prep, apply)
 }
 
 func (l *scriptLoader) loadEdges(d scriptDecl) error {
@@ -347,97 +379,69 @@ func (l *scriptLoader) loadEdges(d scriptDecl) error {
 	tailKind := l.db.attrs[tailAttr-1].kind
 	headKind := l.db.attrs[headAttr-1].kind
 
+	// Lock-free endpoint resolvers: node postings are immutable during
+	// the edge phase, so the prepare workers probe the inverted indexes
+	// concurrently without serialising on the database lock.
+	resolveTail := l.db.BulkResolver(tailAttr)
+	resolveHead := l.db.BulkResolver(headAttr)
+
+	cost := 24
+	if l.opts.Materialize {
+		// Maintaining the neighbor index roughly doubles the write
+		// volume per edge.
+		cost *= 2
+	}
+	if l.opts.Recovery {
+		cost += 24 // logging overhead
+	}
+
 	phase := "edges:" + d.name
 	phaseStart := time.Now()
 	rows := 0
-	return l.forEachRow(d.file, func(rec []string) error {
-		if len(rec) < 2 {
-			return fmt.Errorf("edge row has %d columns, want 2", len(rec))
+	// Stage 1/2 (workers): coercion and endpoint resolution, flattened
+	// as (tail, head) OID pairs.
+	prep := func(batch [][]string) (any, error) {
+		pairs := make([]uint64, 0, len(batch)*2)
+		for _, rec := range batch {
+			if len(rec) < 2 {
+				return nil, fmt.Errorf("edge row has %d columns, want 2", len(rec))
+			}
+			tv, err := coerce(rec[0], tailKind)
+			if err != nil {
+				return nil, err
+			}
+			hv, err := coerce(rec[1], headKind)
+			if err != nil {
+				return nil, err
+			}
+			tail, ok := resolveTail(tv)
+			if !ok {
+				return nil, fmt.Errorf("unknown tail %s=%v", d.tail.attrName, tv)
+			}
+			head, ok := resolveHead(hv)
+			if !ok {
+				return nil, fmt.Errorf("unknown head %s=%v", d.head.attrName, hv)
+			}
+			pairs = append(pairs, tail, head)
 		}
-		tv, err := coerce(rec[0], tailKind)
-		if err != nil {
-			return err
-		}
-		hv, err := coerce(rec[1], headKind)
-		if err != nil {
-			return err
-		}
-		tail, ok := l.db.FindObject(tailAttr, tv)
-		if !ok {
-			return fmt.Errorf("unknown tail %s=%v", d.tail.attrName, tv)
-		}
-		head, ok := l.db.FindObject(headAttr, hv)
-		if !ok {
-			return fmt.Errorf("unknown head %s=%v", d.head.attrName, hv)
-		}
-		if _, err := l.db.NewEdge(typeID, tail, head); err != nil {
-			return err
-		}
-		l.edges++
-		rows++
-		cost := 24
-		if l.opts.Materialize {
-			// Maintaining the neighbor index roughly doubles the
-			// write volume per edge.
-			cost *= 2
-		}
-		if l.opts.Recovery {
-			cost += 24 // logging overhead
-		}
-		flushed, err := l.charge(cost)
-		if err != nil {
-			return err
-		}
-		if l.progress != nil && (flushed || rows%l.opts.BatchRows == 0) {
-			l.progress(Progress{Phase: phase, Rows: rows, Elapsed: time.Since(phaseStart), Flushed: flushed})
-		}
-		return nil
-	})
-}
-
-func (l *scriptLoader) forEachRow(file string, fn func([]string) error) error {
-	f, err := os.Open(filepath.Join(l.dir, file))
-	if err != nil {
-		return err
+		return pairs, nil
 	}
-	defer f.Close()
-	r := csv.NewReader(bufio.NewReaderSize(f, 1<<20))
-	r.ReuseRecord = true
-	r.FieldsPerRecord = -1
-	first := true
-	for {
-		rec, err := r.Read()
-		if err == io.EOF {
-			return nil
-		}
-		if err != nil {
-			return err
-		}
-		if first {
-			first = false
-			// Skip a header row when the first field is not numeric
-			// and the file declares numeric data; the shared source
-			// files carry headers.
-			if looksLikeHeader(rec) {
-				continue
+	apply := func(batch [][]string, prepped any) error {
+		created, capErr := l.db.NewEdgeBatch(typeID, prepped.([]uint64))
+		for r := 0; r < created; r++ {
+			l.edges++
+			rows++
+			flushed, err := l.charge(cost)
+			if err != nil {
+				return err
+			}
+			if l.progress != nil && (flushed || rows%l.opts.BatchRows == 0) {
+				l.progress(Progress{Phase: phase, Rows: rows, Elapsed: time.Since(phaseStart), Flushed: flushed})
 			}
 		}
-		if err := fn(rec); err != nil {
-			return err
-		}
+		return capErr
 	}
-}
-
-// looksLikeHeader reports whether a CSV record is a header row: all
-// fields are non-empty and none parses as a number while at least one
-// later row is expected to. The shared source files always carry
-// headers whose first field is alphabetic.
-func looksLikeHeader(rec []string) bool {
-	if len(rec) == 0 || rec[0] == "" {
-		return false
-	}
-	c := rec[0][0]
-	return (c < '0' || c > '9') && c != '-'
+	return ingest.ForEachBatch(filepath.Join(l.dir, d.file), l.batchOptions(), prep, apply)
 }
 
 func coerce(s string, kind graph.Kind) (graph.Value, error) {

@@ -159,6 +159,20 @@ func (f *RecordFile) Allocate() uint64 {
 	return f.highWater
 }
 
+// AllocateRun reserves n consecutive record ids and returns the first.
+// The run always comes from the high-water mark, which matches what n
+// sequential Allocate calls return on a store whose free list is empty
+// — the fresh-store case bulk import runs against. Batch extents let
+// the importer reserve ids once per batch instead of once per row.
+func (f *RecordFile) AllocateRun(n int) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.inUse += uint64(n)
+	first := f.highWater + 1
+	f.highWater += uint64(n)
+	return first
+}
+
 // AdoptID forces id to count as allocated. WAL replay calls this for
 // every logged create: after a crash the allocator state comes from a
 // possibly stale header (the last checkpoint), so replayed ids can lie
