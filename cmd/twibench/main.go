@@ -17,9 +17,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 
 	"twigraph/internal/bench"
+	"twigraph/internal/qstats"
 )
 
 func main() {
@@ -32,7 +34,8 @@ func main() {
 	listen := flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /slow, pprof) on this address while the bench runs")
 	trace := flag.String("trace", "", "capture span timelines and write a Chrome trace-event file (Perfetto-loadable) to this path")
 	compare := flag.String("compare", "", "diff this run's latencies against a prior -json snapshot at this path")
-	regress := flag.Float64("regress", 0, "with -compare: exit non-zero when any series' p50/p95 grew more than this percent (0 = warn-only)")
+	regress := flag.Float64("regress", 0, "with -compare: exit non-zero when any series' p50/p95 (or, with -qstats, any statement's mean) grew more than this percent (0 = warn-only)")
+	qstatsTop := flag.Bool("qstats", false, "print per-statement statistics after the run and fold them into the -json snapshot")
 	cfg := bench.DefaultConfig()
 	flag.IntVar(&cfg.Users, "users", cfg.Users, "dataset scale in users")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "dataset PRNG seed")
@@ -57,6 +60,7 @@ func main() {
 	env := bench.NewEnv(cfg, dir)
 	env.Workers = *workers
 	env.QueryTimeout = *timeout
+	env.QueryStats = *qstatsTop
 	defer env.Close()
 
 	if *trace != "" {
@@ -89,6 +93,9 @@ func main() {
 		}
 		experiment = ex.ID
 	}
+	if *qstatsTop {
+		printQueryStats(env.Snapshot(experiment).QueryStats)
+	}
 	writeSnapshot(env, experiment, *jsonPath)
 	if *trace != "" {
 		if err := env.WriteChromeTrace(*trace); err != nil {
@@ -103,7 +110,7 @@ func main() {
 		}
 		report := bench.Compare(old, env.Snapshot(experiment), *regress)
 		fmt.Printf("\n=== latency vs %s ===\n\n%s", *compare, report.Format())
-		if len(report.Regressions()) > 0 && *regress > 0 {
+		if report.RegressionCount() > 0 && *regress > 0 {
 			fatal(fmt.Errorf("latency regression past %.1f%% threshold", *regress))
 		}
 	}
@@ -113,6 +120,19 @@ func main() {
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 		<-ch
+	}
+}
+
+// printQueryStats renders each engine's statement table, engines in
+// stable name order.
+func printQueryStats(stats map[string][]qstats.StatSnapshot) {
+	engines := make([]string, 0, len(stats))
+	for name := range stats {
+		engines = append(engines, name)
+	}
+	sort.Strings(engines)
+	for _, name := range engines {
+		fmt.Printf("\n=== query statistics — %s ===\n\n%s", name, qstats.FormatTop(stats[name]))
 	}
 }
 

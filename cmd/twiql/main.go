@@ -4,14 +4,17 @@
 // prefix a query with PROFILE to see the plan, db hits and timing.
 //
 // Lines starting with ':' are shell commands rather than queries:
-// :stats dumps the engine's observability registry, :trace on|off
+// :stats dumps the engine's observability registry, :top [n] shows the
+// per-statement statistics table (pg_stat_statements-style; same
+// literals collapse to one fingerprint), :log <level>|off streams the
+// engine's structured JSON log to the shell, :trace on|off
 // toggles span tracing (each traced query prints its span tree),
 // :trace export <file> writes the captured timeline as a Chrome
 // trace-event file (load at ui.perfetto.dev), :serve <addr> starts the
-// telemetry HTTP server (/metrics, /healthz, /slow, pprof),
-// :slow shows the slow-query log, :reset zeroes the counters, and
-// :timeout <dur>|off bounds each query by a deadline (timed-out queries
-// abort gracefully and count into queries_timed_out).
+// telemetry HTTP server (/metrics, /healthz, /slow, /querystats,
+// pprof), :slow shows the slow-query log, :reset zeroes the counters,
+// and :timeout <dur>|off bounds each query by a deadline (timed-out
+// queries abort gracefully and count into queries_timed_out).
 //
 // Usage:
 //
@@ -35,6 +38,7 @@ import (
 	"twigraph/internal/load"
 	"twigraph/internal/neodb"
 	"twigraph/internal/obs"
+	"twigraph/internal/qstats"
 	"twigraph/internal/telemetry"
 )
 
@@ -132,6 +136,8 @@ func (sh *shell) runMeta(w io.Writer, line string) {
 	switch fields[0] {
 	case ":help":
 		fmt.Fprintln(w, "  :stats           dump the engine's counters, gauges and histograms")
+		fmt.Fprintln(w, "  :top [n]         show per-statement statistics (most expensive first)")
+		fmt.Fprintln(w, "  :log level|off   stream the engine's structured JSON log here (debug|info|warn|error)")
 		fmt.Fprintln(w, "  :trace on|off    toggle span tracing (traced queries print their span tree)")
 		fmt.Fprintln(w, "  :trace export f  write captured spans as a Chrome trace (Perfetto-loadable)")
 		fmt.Fprintln(w, "  :serve addr      start the telemetry HTTP server (/metrics, /healthz, /slow, pprof)")
@@ -141,6 +147,38 @@ func (sh *shell) runMeta(w io.Writer, line string) {
 		fmt.Fprintln(w, `  \q               quit`)
 	case ":stats":
 		fmt.Fprint(w, db.Obs().Snapshot().Format())
+	case ":top":
+		top := 0
+		if len(fields) == 2 {
+			if _, err := fmt.Sscanf(fields[1], "%d", &top); err != nil || top < 1 {
+				fmt.Fprintln(w, "usage: :top [n]")
+				return
+			}
+		} else if len(fields) > 2 {
+			fmt.Fprintln(w, "usage: :top [n]")
+			return
+		}
+		snaps := db.QueryStats().TopK(top)
+		if len(snaps) == 0 {
+			fmt.Fprintln(w, "no statements recorded yet")
+			return
+		}
+		fmt.Fprint(w, qstats.FormatTop(snaps))
+		if ev := db.QueryStats().Evictions(); ev > 0 {
+			fmt.Fprintf(w, "(%d fingerprints evicted by the registry bound)\n", ev)
+		}
+	case ":log":
+		if len(fields) != 2 {
+			fmt.Fprintf(w, "log level is %s (usage: :log debug|info|warn|error|off)\n", db.Logger().Level())
+			return
+		}
+		if err := db.Logger().SetLevel(fields[1]); err != nil {
+			fmt.Fprintln(w, "error:", err)
+			return
+		}
+		// Interleave log lines with results instead of stderr.
+		db.Logger().SetOutput(w)
+		fmt.Fprintf(w, "log level %s\n", db.Logger().Level())
 	case ":trace":
 		if len(fields) == 3 && fields[1] == "export" {
 			f, err := os.Create(fields[2])
@@ -187,13 +225,14 @@ func (sh *shell) runMeta(w io.Writer, line string) {
 		srv.AddRegistry("neo", db.Obs())
 		srv.AddTracer("neo", db.Tracer())
 		srv.AddHealth("neo", db.Health)
+		srv.AddQueryStats("neo", db.QueryStats())
 		addr, shutdown, err := srv.Serve(fields[1])
 		if err != nil {
 			fmt.Fprintln(w, "error:", err)
 			return
 		}
 		sh.shutdown = shutdown
-		fmt.Fprintf(w, "telemetry listening on %s (/metrics, /healthz, /slow, /debug/pprof/)\n", addr)
+		fmt.Fprintf(w, "telemetry listening on %s (/metrics, /healthz, /slow, /querystats, /debug/pprof/)\n", addr)
 	case ":slow":
 		log := db.Tracer().SlowLog()
 		if len(log) == 0 {

@@ -126,6 +126,68 @@ func TestMetaCommands(t *testing.T) {
 	}
 }
 
+func TestTopAndLogCommands(t *testing.T) {
+	e := testEngine(t)
+	sh := &shell{db: e.DB(), engine: e}
+
+	var buf bytes.Buffer
+	sh.runMeta(&buf, ":top")
+	if !strings.Contains(buf.String(), "no statements recorded") {
+		t.Errorf(":top before any query = %q", buf.String())
+	}
+
+	// Same shape, different literals: one fingerprint, two calls.
+	sh.runQuery(io.Discard, `MATCH (u:user {uid: 3}) RETURN u.uid`)
+	sh.runQuery(io.Discard, `MATCH (u:user {uid: 7}) RETURN u.uid`)
+	sh.runQuery(io.Discard, `MATCH (u:user) RETURN count(*)`)
+
+	buf.Reset()
+	sh.runMeta(&buf, ":top")
+	out := buf.String()
+	if !strings.Contains(out, "MATCH (u:user {uid: ?}) RETURN u.uid") {
+		t.Errorf(":top missing normalised statement: %q", out)
+	}
+	if !strings.Contains(out, "       2 ") {
+		t.Errorf(":top did not collapse literals into 2 calls: %q", out)
+	}
+
+	buf.Reset()
+	sh.runMeta(&buf, ":top 1")
+	if got := strings.Count(buf.String(), "MATCH"); got != 1 {
+		t.Errorf(":top 1 shows %d statements: %q", got, buf.String())
+	}
+	buf.Reset()
+	sh.runMeta(&buf, ":top x")
+	if !strings.Contains(buf.String(), "usage:") {
+		t.Errorf(":top x = %q", buf.String())
+	}
+
+	buf.Reset()
+	sh.runMeta(&buf, ":log")
+	if !strings.Contains(buf.String(), "log level is off") {
+		t.Errorf(":log default = %q", buf.String())
+	}
+	buf.Reset()
+	sh.runMeta(&buf, ":log debug")
+	if !strings.Contains(buf.String(), "log level debug") || sh.db.Logger().Level() != "debug" {
+		t.Errorf(":log debug = %q, level %q", buf.String(), sh.db.Logger().Level())
+	}
+	buf.Reset()
+	sh.runMeta(&buf, ":log nope")
+	if !strings.Contains(buf.String(), "error:") {
+		t.Errorf(":log nope = %q", buf.String())
+	}
+	sh.runMeta(io.Discard, ":log off")
+
+	// :reset clears the statement registry too.
+	sh.runMeta(io.Discard, ":reset")
+	buf.Reset()
+	sh.runMeta(&buf, ":top")
+	if !strings.Contains(buf.String(), "no statements recorded") {
+		t.Errorf(":top after :reset = %q", buf.String())
+	}
+}
+
 func TestRunQueryProfileOutput(t *testing.T) {
 	e := testEngine(t)
 	var buf bytes.Buffer

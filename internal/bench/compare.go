@@ -38,15 +38,32 @@ type SeriesDelta struct {
 	Regressed          bool
 }
 
+// StatementDelta is one query class's mean-latency movement between two
+// snapshots, keyed "engine/fingerprint". It is the per-statement analog
+// of SeriesDelta: where a harness series aggregates a whole experiment,
+// a statement delta isolates one fingerprint, so -regress can point at
+// the exact query shape that got slower.
+type StatementDelta struct {
+	Engine             string
+	Fingerprint        string
+	Query              string
+	OldCalls, NewCalls uint64
+	OldMean, NewMean   float64 // ns
+	MeanChange         float64
+	Regressed          bool
+}
+
 // CompareReport is the result of diffing two bench snapshots: per-series
 // p50/p95 deltas for the series both snapshots measured, plus the
 // series only one of them has (a renamed or removed experiment is worth
-// seeing, not silently dropping).
+// seeing, not silently dropping). When both snapshots carry query_stats
+// (twibench -qstats), Statements holds the per-fingerprint deltas.
 type CompareReport struct {
 	ThresholdPct float64
 	Deltas       []SeriesDelta
 	OnlyOld      []string
 	OnlyNew      []string
+	Statements   []StatementDelta
 }
 
 // Compare diffs the harness histogram series ("experiment/engine")
@@ -86,7 +103,52 @@ func Compare(old, cur Snapshot, thresholdPct float64) CompareReport {
 	sort.Slice(r.Deltas, func(i, j int) bool { return r.Deltas[i].Series < r.Deltas[j].Series })
 	sort.Strings(r.OnlyOld)
 	sort.Strings(r.OnlyNew)
+	r.Statements = compareStatements(old, cur, thresholdPct)
 	return r
+}
+
+// compareStatements diffs the per-fingerprint statement registries of
+// two snapshots, engine by engine. A statement appears only when both
+// snapshots measured it — a fingerprint present on one side has no
+// baseline (or no current run) to compare against.
+func compareStatements(old, cur Snapshot, thresholdPct float64) []StatementDelta {
+	var out []StatementDelta
+	for engine, oldStmts := range old.QueryStats {
+		curStmts, ok := cur.QueryStats[engine]
+		if !ok {
+			continue
+		}
+		curByFP := make(map[string]int, len(curStmts))
+		for i, sn := range curStmts {
+			curByFP[sn.Fingerprint] = i
+		}
+		for _, osn := range oldStmts {
+			i, ok := curByFP[osn.Fingerprint]
+			if !ok || osn.Calls == 0 || curStmts[i].Calls == 0 {
+				continue
+			}
+			nsn := curStmts[i]
+			d := StatementDelta{
+				Engine:      engine,
+				Fingerprint: osn.Fingerprint,
+				Query:       nsn.Query,
+				OldCalls:    osn.Calls, NewCalls: nsn.Calls,
+				OldMean: osn.MeanNanos, NewMean: nsn.MeanNanos,
+				MeanChange: change(osn.MeanNanos, nsn.MeanNanos),
+			}
+			if thresholdPct > 0 {
+				d.Regressed = d.MeanChange > thresholdPct/100
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Engine != out[j].Engine {
+			return out[i].Engine < out[j].Engine
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
 }
 
 // change returns the fractional movement from old to new (0 when old is
@@ -109,6 +171,24 @@ func (r CompareReport) Regressions() []SeriesDelta {
 	return out
 }
 
+// StatementRegressions returns the statement deltas flagged as
+// regressed.
+func (r CompareReport) StatementRegressions() []StatementDelta {
+	var out []StatementDelta
+	for _, d := range r.Statements {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// RegressionCount is the total number of regressed series and
+// statements — the -regress exit-status gate.
+func (r CompareReport) RegressionCount() int {
+	return len(r.Regressions()) + len(r.StatementRegressions())
+}
+
 // Format renders the report as an aligned text table, one series per
 // row, regressions marked with "REGRESSED".
 func (r CompareReport) Format() string {
@@ -129,10 +209,35 @@ func (r CompareReport) Format() string {
 	for _, name := range r.OnlyNew {
 		fmt.Fprintf(&b, "only in new snapshot: %s\n", name)
 	}
+	if len(r.Statements) > 0 {
+		fmt.Fprintln(&b)
+		st := newTable(&b, "engine", "statement", "calls", "old mean", "new mean", "Δmean", "")
+		for _, d := range r.Statements {
+			flag := ""
+			if d.Regressed {
+				flag = "REGRESSED"
+			}
+			st.row(d.Engine, truncateQuery(d.Query, 48),
+				fmt.Sprintf("%d→%d", d.OldCalls, d.NewCalls),
+				fmtNS(d.OldMean), fmtNS(d.NewMean), fmtPct(d.MeanChange), flag)
+		}
+	}
 	if reg := r.Regressions(); len(reg) > 0 {
 		fmt.Fprintf(&b, "%d series regressed past %.1f%%\n", len(reg), r.ThresholdPct)
 	}
+	if reg := r.StatementRegressions(); len(reg) > 0 {
+		fmt.Fprintf(&b, "%d statements regressed past %.1f%%\n", len(reg), r.ThresholdPct)
+	}
 	return b.String()
+}
+
+// truncateQuery bounds a statement's normalised text for table cells.
+func truncateQuery(q string, max int) string {
+	q = strings.ReplaceAll(q, "\n", " ")
+	if len(q) <= max {
+		return q
+	}
+	return q[:max-1] + "…"
 }
 
 func fmtNS(ns float64) string {

@@ -55,6 +55,11 @@ type Env struct {
 	// before the first Neo()/Spark() call (EnableTracing does both).
 	Trace bool
 
+	// QueryStats folds each engine's per-fingerprint statement registry
+	// into Snapshot (twibench -qstats), so checked-in baselines can gate
+	// on individual query classes, not just the aggregate series.
+	QueryStats bool
+
 	// neoPub/sparkPub publish the built stores for concurrent readers
 	// (the telemetry server scrapes mid-bench from HTTP goroutines; the
 	// sync.Once fields above only synchronise the building goroutines).

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"twigraph/internal/obs"
+	"twigraph/internal/qstats"
+)
+
+// statsFixture builds a statement registry where each named statement
+// was called len(latencies) times with the given durations.
+func statsFixture(stmts map[string][]time.Duration) []qstats.StatSnapshot {
+	st := qstats.NewStats(0)
+	for text, lats := range stmts {
+		fp := qstats.Compute(text)
+		for _, d := range lats {
+			st.Record(fp, d, 1, obs.StatusCompleted, qstats.Handle{})
+		}
+	}
+	return st.Snapshot()
+}
+
+// TestSnapshotQueryStatsRoundTrip: a snapshot carrying query_stats
+// survives the write → read cycle with statements intact, and the field
+// is omitted (nil after read) when capture was off — old baselines stay
+// readable.
+func TestSnapshotQueryStatsRoundTrip(t *testing.T) {
+	s := fixtureSnapshot(t, map[string][]int64{"fig4a/neo": {1e6}})
+	s.QueryStats = map[string][]qstats.StatSnapshot{
+		"neo": statsFixture(map[string][]time.Duration{
+			"neo: Followees": {2 * time.Millisecond, 4 * time.Millisecond},
+		}),
+	}
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := WriteSnapshot(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := got.QueryStats["neo"]
+	if len(stmts) != 1 || stmts[0].Calls != 2 || stmts[0].TotalNanos != int64(6*time.Millisecond) {
+		t.Fatalf("query_stats round trip = %+v", got.QueryStats)
+	}
+	if stmts[0].Query != "neo: Followees" {
+		t.Errorf("statement text = %q", stmts[0].Query)
+	}
+
+	// No capture → no field in the JSON, nil after read.
+	plain := fixtureSnapshot(t, map[string][]int64{"fig4a/neo": {1e6}})
+	if err := WriteSnapshot(path, plain); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = ReadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	if got.QueryStats != nil {
+		t.Errorf("QueryStats = %+v, want nil", got.QueryStats)
+	}
+}
+
+// TestCompareStatementRegression: a single query class regressing is
+// flagged per fingerprint even when the aggregate series would pass —
+// the point of -qstats baselines.
+func TestCompareStatementRegression(t *testing.T) {
+	old := fixtureSnapshot(t, nil)
+	old.QueryStats = map[string][]qstats.StatSnapshot{
+		"neo": statsFixture(map[string][]time.Duration{
+			"neo: Followees":        {2 * time.Millisecond, 2 * time.Millisecond},
+			"neo: CoMentionedUsers": {10 * time.Millisecond},
+			"neo: GoneStatement":    {time.Millisecond},
+		}),
+		"sparksee": statsFixture(map[string][]time.Duration{
+			"spark: Followees": {time.Millisecond},
+		}),
+	}
+	cur := fixtureSnapshot(t, nil)
+	cur.QueryStats = map[string][]qstats.StatSnapshot{
+		"neo": statsFixture(map[string][]time.Duration{
+			// Followees got 5x slower; CoMentionedUsers stayed put.
+			"neo: Followees":        {10 * time.Millisecond, 10 * time.Millisecond},
+			"neo: CoMentionedUsers": {10 * time.Millisecond},
+			"neo: NewStatement":     {time.Millisecond},
+		}),
+		"sparksee": statsFixture(map[string][]time.Duration{
+			"spark: Followees": {time.Millisecond},
+		}),
+	}
+
+	r := Compare(old, cur, 20)
+	if len(r.Statements) != 3 { // neo x2 shared + sparksee x1; gone/new dropped
+		t.Fatalf("statements = %+v, want 3 shared", r.Statements)
+	}
+	reg := r.StatementRegressions()
+	if len(reg) != 1 {
+		t.Fatalf("statement regressions = %+v, want 1", reg)
+	}
+	if reg[0].Engine != "neo" || reg[0].Query != "neo: Followees" {
+		t.Errorf("regressed statement = %+v", reg[0])
+	}
+	if reg[0].MeanChange < 3 { // 5x slower = +400%
+		t.Errorf("mean change = %v, want > 3", reg[0].MeanChange)
+	}
+	if r.RegressionCount() != 1 {
+		t.Errorf("RegressionCount = %d", r.RegressionCount())
+	}
+
+	out := r.Format()
+	for _, want := range []string{"neo: Followees", "REGRESSED", "statements regressed past"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+
+	// Warn-only threshold flags nothing.
+	if reg := Compare(old, cur, 0).StatementRegressions(); len(reg) != 0 {
+		t.Errorf("threshold 0 flagged %+v", reg)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"os"
 
 	"twigraph/internal/obs"
+	"twigraph/internal/qstats"
 )
 
 // SnapshotSchema versions the machine-readable snapshot layout.
@@ -30,6 +31,13 @@ type Snapshot struct {
 	// Bench holds the harness histograms keyed "experiment/series",
 	// e.g. "fig4a/neo" or "coldcache/cold".
 	Bench obs.Snapshot `json:"bench"`
+
+	// QueryStats maps engine name to its per-fingerprint statement
+	// statistics, ordered by total time descending — the
+	// pg_stat_statements view of the run. Populated when the session ran
+	// with statement capture (twibench -qstats); lets -regress gate on
+	// a single query class instead of only the aggregate series.
+	QueryStats map[string][]qstats.StatSnapshot `json:"query_stats,omitempty"`
 }
 
 // Snapshot captures the current observability state of the session.
@@ -52,6 +60,15 @@ func (e *Env) Snapshot(experiment string) Snapshot {
 	}
 	if e.sparkRes != nil && e.sparkErr == nil {
 		s.Engines[e.sparkRes.Store.Name()] = e.sparkRes.Store.Obs().Snapshot()
+	}
+	if e.QueryStats {
+		s.QueryStats = map[string][]qstats.StatSnapshot{}
+		if e.neoRes != nil && e.neoErr == nil {
+			s.QueryStats[e.neoRes.Store.Name()] = e.neoRes.Store.DB().QueryStats().Snapshot()
+		}
+		if e.sparkRes != nil && e.sparkErr == nil {
+			s.QueryStats[e.sparkRes.Store.Name()] = e.sparkRes.Store.DB().QueryStats().Snapshot()
+		}
 	}
 	return s
 }

@@ -2,9 +2,11 @@ package bench
 
 import (
 	"os"
+	"strconv"
 
 	"twigraph/internal/load"
 	"twigraph/internal/obs"
+	"twigraph/internal/qstats"
 	"twigraph/internal/telemetry"
 )
 
@@ -75,6 +77,23 @@ func (e *Env) Telemetry() *telemetry.Server {
 			return s.Store.DB().Health()
 		}
 		return nil
+	})
+	srv.AddQueryStatsFunc("neo", func() *qstats.Stats {
+		if n := e.BuiltNeo(); n != nil {
+			return n.Store.DB().QueryStats()
+		}
+		return nil
+	})
+	srv.AddQueryStatsFunc("sparksee", func() *qstats.Stats {
+		if s := e.BuiltSpark(); s != nil {
+			return s.Store.DB().QueryStats()
+		}
+		return nil
+	})
+	srv.SetBuildInfo(map[string]string{
+		"engine":  "neo,sparksee",
+		"workers": strconv.Itoa(e.Workers),
+		"users":   strconv.Itoa(e.Cfg.Users),
 	})
 	return srv
 }

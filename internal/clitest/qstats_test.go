@@ -1,0 +1,162 @@
+package clitest
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"twigraph/internal/bench"
+	"twigraph/internal/qstats"
+)
+
+// TestQueryStatsSmoke drives statement-level workload attribution
+// end-to-end: a fig4a run with -qstats prints the per-statement table,
+// serves /querystats mid-session, and folds per-fingerprint rows into
+// the -json snapshot whose per-statement total time reconciles exactly
+// with the engine's aggregate query_latency histogram (the store
+// wrapper feeds the same measured duration to both).
+func TestQueryStatsSmoke(t *testing.T) {
+	bin := binaries(t)
+	work := t.TempDir()
+	snap := filepath.Join(work, "snap.json")
+
+	cmd := exec.Command(filepath.Join(bin, "twibench"),
+		"-exp", "fig4a", "-users", "300",
+		"-qstats", "-json", snap, "-listen", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		cmd.Wait()
+	}()
+
+	var addr string
+	var outLines []string
+	done := false
+	lines := make(chan string)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	deadline := time.After(2 * time.Minute)
+	for !done {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("twibench exited before completing the session")
+			}
+			outLines = append(outLines, line)
+			if rest, found := strings.CutPrefix(line, "telemetry listening on "); found {
+				addr = strings.TrimSpace(rest)
+			}
+			if strings.HasPrefix(line, "experiments done") {
+				done = true
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for twibench")
+		}
+	}
+	go func() {
+		for range lines {
+		}
+	}()
+	stdoutText := strings.Join(outLines, "\n")
+	for _, want := range []string{
+		"query statistics — neo",
+		"query statistics — sparksee",
+		"neo: CoMentionedUsers",
+		"spark: CoMentionedUsers",
+	} {
+		if !strings.Contains(stdoutText, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdoutText)
+		}
+	}
+
+	// /querystats serves the same registry as JSON, one entry per engine
+	// with at least the fig4a statement.
+	var qs []struct {
+		Source     string                `json:"source"`
+		Statements []qstats.StatSnapshot `json:"statements"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, "http://"+addr+"/querystats")), &qs); err != nil {
+		t.Fatal(err)
+	}
+	bySource := map[string][]qstats.StatSnapshot{}
+	for _, entry := range qs {
+		bySource[entry.Source] = entry.Statements
+	}
+	for src, wantStmt := range map[string]string{"neo": "neo: CoMentionedUsers", "sparksee": "spark: CoMentionedUsers"} {
+		stmts := bySource[src]
+		if len(stmts) == 0 {
+			t.Errorf("/querystats has no statements for %s: %+v", src, qs)
+			continue
+		}
+		found := false
+		for _, sn := range stmts {
+			if sn.Query == wantStmt && sn.Calls > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("/querystats %s missing %q: %+v", src, wantStmt, stmts)
+		}
+	}
+
+	cmd.Process.Signal(syscall.SIGTERM)
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("twibench exit after SIGTERM: %v", err)
+	}
+
+	// Snapshot: per-fingerprint rows present, and each engine's statement
+	// nanos sum exactly to its aggregate query_latency histogram — calls
+	// do too.
+	got, err := bench.ReadSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.QueryStats) != 2 {
+		t.Fatalf("snapshot query_stats engines = %v", got.QueryStats)
+	}
+	for engine, stmts := range got.QueryStats {
+		if len(stmts) == 0 {
+			t.Errorf("%s: no statements in snapshot", engine)
+			continue
+		}
+		var totalNanos int64
+		var totalCalls uint64
+		for _, sn := range stmts {
+			if sn.Calls == 0 || sn.Fingerprint == "" || sn.Query == "" {
+				t.Errorf("%s: malformed statement %+v", engine, sn)
+			}
+			totalNanos += sn.TotalNanos
+			totalCalls += sn.Calls
+		}
+		hist, ok := got.Engines[engine].Histograms["query_latency"]
+		if !ok {
+			t.Errorf("%s: snapshot missing query_latency histogram", engine)
+			continue
+		}
+		if totalCalls != hist.Count {
+			t.Errorf("%s: statement calls %d != query_latency count %d", engine, totalCalls, hist.Count)
+		}
+		if totalNanos != hist.Sum {
+			t.Errorf("%s: statement nanos %d != query_latency sum %d", engine, totalNanos, hist.Sum)
+		}
+	}
+}

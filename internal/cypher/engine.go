@@ -8,6 +8,7 @@ import (
 	"twigraph/internal/graph"
 	"twigraph/internal/neodb"
 	"twigraph/internal/obs"
+	"twigraph/internal/qstats"
 )
 
 // Engine executes queries against a neodb database. It owns the plan
@@ -173,6 +174,25 @@ func (e *Engine) execute(ctx context.Context, prep *Prepared, params map[string]
 		prof = &ProfileInfo{PlanCached: cached, Compile: compileTime}
 	}
 
+	// Workload attribution: reuse the query ID an outer layer (the
+	// store wrapper) put on the context, or allocate one for ad-hoc
+	// executions (twiql, direct engine callers). The execution is
+	// recorded into the engine's per-fingerprint statistics unless the
+	// outer layer marked itself as the accounting site — the guard that
+	// keeps one store query from counting twice.
+	stats := e.db.QueryStats()
+	qid := qstats.QueryID(ctx)
+	if qid == 0 {
+		qid = qstats.NextQueryID()
+	}
+	account := !qstats.Accounted(ctx)
+	var handle qstats.Handle
+	var qstart time.Time
+	if account {
+		handle = stats.Begin()
+		qstart = time.Now()
+	}
+
 	// PROFILE and tracing share one mechanism: a root span for the query
 	// with one child span per pipeline stage. Stage db hits are the
 	// span's watched record-fetch delta, so the profiler reports exactly
@@ -184,6 +204,7 @@ func (e *Engine) execute(ctx context.Context, prep *Prepared, params map[string]
 	var root *obs.Span
 	if traced {
 		root = tr.Start("cypher: " + prep.text)
+		root.SetQuery(qid, prep.fp.Hash)
 	}
 
 	rows := []row{{}}
@@ -205,6 +226,9 @@ func (e *Engine) execute(ctx context.Context, prep *Prepared, params map[string]
 			if root != nil {
 				root.SetStatus(obs.StatusFromError(err))
 				root.Finish()
+			}
+			if account {
+				stats.Record(prep.fp, time.Since(qstart), 0, obs.StatusFromError(err), handle)
 			}
 			return nil, err
 		}
@@ -242,6 +266,9 @@ func (e *Engine) execute(ctx context.Context, prep *Prepared, params map[string]
 	if prof != nil {
 		prof.Execute = time.Since(execStart)
 		res.Profile = prof
+	}
+	if account {
+		stats.Record(prep.fp, time.Since(qstart), len(res.Rows), obs.StatusCompleted, handle)
 	}
 	return res, nil
 }

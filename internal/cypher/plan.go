@@ -5,6 +5,7 @@ import (
 
 	"twigraph/internal/graph"
 	"twigraph/internal/neodb"
+	"twigraph/internal/qstats"
 )
 
 // The planner compiles an AST into a pipeline of stages. Each MATCH
@@ -52,6 +53,7 @@ func (m *varMap) clone() *varMap {
 // Prepared is a compiled, cacheable execution plan.
 type Prepared struct {
 	text     string
+	fp       qstats.Fingerprint // literal-normalised statement identity
 	profiled bool
 	stages   []stage
 	columns  []string
@@ -60,9 +62,15 @@ type Prepared struct {
 // Columns returns the result column names.
 func (p *Prepared) Columns() []string { return p.columns }
 
-// compile builds the stage pipeline for a parsed query.
+// Fingerprint returns the plan's normalised statement identity — the
+// key its executions aggregate under in the engine's query statistics.
+func (p *Prepared) Fingerprint() qstats.Fingerprint { return p.fp }
+
+// compile builds the stage pipeline for a parsed query. The statement
+// fingerprint is computed here, once per compiled plan, so cached
+// plans re-execute with zero fingerprinting cost.
 func compile(db *neodb.DB, q *Query, text string) (*Prepared, error) {
-	prep := &Prepared{text: text, profiled: q.Profiled}
+	prep := &Prepared{text: text, fp: qstats.Compute(text), profiled: q.Profiled}
 	vm := newVarMap()
 	var lastProjection *WithClause
 	for i, cl := range q.Clauses {

@@ -1,0 +1,102 @@
+package cypher
+
+import (
+	"testing"
+
+	"twigraph/internal/qstats"
+)
+
+// TestEngineRecordsQueryStats covers the acceptance criterion at the
+// engine level: two executions of one query shape with different
+// literals land on one fingerprint row, and distinct shapes get
+// distinct rows.
+func TestEngineRecordsQueryStats(t *testing.T) {
+	e, _ := newTestEngine(t)
+	stats := e.DB().QueryStats()
+	stats.Reset() // drop any setup noise
+
+	queries := []string{
+		`MATCH (u:user) WHERE u.followers > 1 RETURN u.uid AS uid ORDER BY uid`,
+		`MATCH (u:user) WHERE u.followers > 0 RETURN u.uid AS uid ORDER BY uid`,
+		`MATCH (u:user {uid: 1})-[:follows]->(f:user) RETURN f.uid AS uid ORDER BY uid`,
+	}
+	for _, q := range queries {
+		if _, err := e.Query(q, nil); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	snaps := stats.Snapshot()
+	if len(snaps) != 2 {
+		for _, sn := range snaps {
+			t.Logf("row: %s calls=%d %s", sn.Fingerprint, sn.Calls, sn.Query)
+		}
+		t.Fatalf("want 2 fingerprints (literals collapsed), got %d", len(snaps))
+	}
+	var total uint64
+	for _, sn := range snaps {
+		total += sn.Calls
+		if sn.Latency.Count != sn.Calls {
+			t.Fatalf("latency count %d != calls %d", sn.Latency.Count, sn.Calls)
+		}
+		if sn.Deltas["record_fetches"] == 0 {
+			t.Fatalf("no record_fetches delta accounted for %s", sn.Query)
+		}
+	}
+	if total != 3 {
+		t.Fatalf("total calls %d, want 3", total)
+	}
+}
+
+// TestEngineSkipsAccountedContext checks the double-counting guard:
+// when a store-level wrapper has already recorded the query (and says
+// so via the context), the engine must not record it again — but it
+// still reuses the caller's query ID for its spans.
+func TestEngineSkipsAccountedContext(t *testing.T) {
+	e, _ := newTestEngine(t)
+	stats := e.DB().QueryStats()
+	stats.Reset()
+
+	ctx := qstats.MarkAccounted(qstats.WithQueryID(nil, qstats.NextQueryID()))
+	if _, err := e.QueryCtx(ctx, `MATCH (u:user) RETURN u.uid`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := stats.Len(); n != 0 {
+		t.Fatalf("accounted ctx still recorded %d rows", n)
+	}
+
+	// Unaccounted ctx with a preset query ID records normally.
+	ctx = qstats.WithQueryID(nil, qstats.NextQueryID())
+	if _, err := e.QueryCtx(ctx, `MATCH (u:user) RETURN u.uid`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := stats.Len(); n != 1 {
+		t.Fatalf("unaccounted ctx recorded %d rows, want 1", n)
+	}
+}
+
+// TestRootSpanCarriesQueryAttribution checks the slow ring's entries
+// carry query ID and fingerprint for engine-level executions.
+func TestRootSpanCarriesQueryAttribution(t *testing.T) {
+	e, _ := newTestEngine(t)
+	tr := e.DB().Tracer()
+	tr.SetEnabled(true)
+	tr.SetSlowThreshold(0)
+	defer tr.SetEnabled(false)
+
+	q := `MATCH (u:user {uid: 3}) RETURN u.uid`
+	if _, err := e.Query(q, nil); err != nil {
+		t.Fatal(err)
+	}
+	log := tr.SlowLog()
+	if len(log) == 0 {
+		t.Fatal("no slow entries recorded")
+	}
+	last := log[len(log)-1]
+	if last.QueryID == 0 {
+		t.Fatal("root span has no query ID")
+	}
+	want := qstats.Compute(q).Hash
+	if last.Fingerprint != want {
+		t.Fatalf("span fingerprint %q, want %q", last.Fingerprint, want)
+	}
+}

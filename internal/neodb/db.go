@@ -32,7 +32,9 @@ import (
 	"twigraph/internal/graph"
 	"twigraph/internal/idx"
 	"twigraph/internal/obs"
+	"twigraph/internal/olog"
 	"twigraph/internal/pagecache"
+	"twigraph/internal/qstats"
 	"twigraph/internal/par"
 	"twigraph/internal/storage"
 	"twigraph/internal/vfs"
@@ -117,6 +119,8 @@ type DB struct {
 	reg         *obs.Registry
 	tracer      *obs.Tracer
 	traceBuf    *obs.TraceBuffer // timeline export sink; disabled until enabled
+	stats       *qstats.Stats    // per-fingerprint statement statistics
+	logger      *olog.Logger     // structured JSON log (off until leveled up)
 	cFetches    *obs.Counter
 	cFaults     *obs.Counter
 	cChainHops  *obs.Counter
@@ -202,6 +206,8 @@ func Open(dir string, cfg Config) (*DB, error) {
 		reg:      obs.NewEngineRegistry(),
 		tracer:   obs.NewTracer(),
 		traceBuf: obs.NewTraceBuffer(obs.DefaultTraceEvents),
+		stats:    qstats.NewStats(0),
+		logger:   olog.New("neo"),
 	}
 	db.cFetches = db.reg.Counter(obs.CRecordFetches)
 	db.cFaults = db.reg.Counter(obs.CPageFaults)
@@ -217,6 +223,13 @@ func Open(dir string, cfg Config) (*DB, error) {
 	db.tracer.Watch(obs.CRecordFetches, db.cFetches)
 	db.tracer.Watch(obs.CPageFaults, db.cFaults)
 	db.tracer.SetSink(db.traceBuf)
+	// Every recorded query accumulates the same resource deltas the
+	// tracer watches per span.
+	db.stats.Watch(obs.CRecordFetches, db.cFetches)
+	db.stats.Watch(obs.CPageFaults, db.cFaults)
+	// Slow-query ring entries also surface as structured log lines,
+	// carrying the same query ID as the ring and the exported trace.
+	db.tracer.SetOnSlow(db.logger.SlowQuery)
 	var err error
 	if db.nodes, err = storage.OpenNodeStoreFS(fsys, dir, cfg.CachePages); err != nil {
 		return nil, err
@@ -565,6 +578,14 @@ func (db *DB) Tracer() *obs.Tracer { return db.tracer }
 // it via SetEnabled.
 func (db *DB) Trace() *obs.TraceBuffer { return db.traceBuf }
 
+// QueryStats returns the engine's per-fingerprint statement
+// statistics registry (the /querystats and `:top` source).
+func (db *DB) QueryStats() *qstats.Stats { return db.stats }
+
+// Logger returns the engine's structured logger (level "off" until a
+// surface such as twiql's :log raises it).
+func (db *DB) Logger() *olog.Logger { return db.logger }
+
 // Health reports store liveness: nil while the database is open and its
 // WAL is unpoisoned. The telemetry /healthz endpoint surfaces this.
 func (db *DB) Health() error {
@@ -583,6 +604,7 @@ func (db *DB) Health() error {
 // contaminated by import-time activity (mirrors pagecache.ResetStats).
 func (db *DB) ResetCounters() {
 	db.reg.Reset()
+	db.stats.Reset()
 	for _, f := range []*storage.RecordFile{
 		db.nodes.RecordFile, db.rels.RecordFile, db.props.RecordFile,
 		db.strs.RecordFile, db.groups.RecordFile,

@@ -64,6 +64,12 @@ type Tracer struct {
 	// enabled) — the export path behind `twibench -trace` and twiql's
 	// `:trace export`.
 	sink *TraceBuffer
+
+	// onSlow, when set, receives every snapshot entering the slow log —
+	// the hook the engines use to emit a structured slow-query log line
+	// carrying the same query ID as the ring entry and the trace span.
+	// Called outside the tracer lock.
+	onSlow func(*SpanSnapshot)
 }
 
 type watchedCounter struct {
@@ -94,6 +100,14 @@ func (t *Tracer) Sink() *TraceBuffer {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.sink
+}
+
+// SetOnSlow registers a callback invoked (outside the tracer lock)
+// with each snapshot recorded into the slow log.
+func (t *Tracer) SetOnSlow(fn func(*SpanSnapshot)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onSlow = fn
 }
 
 // SetEnabled turns continuous tracing (and slow-log capture) on or off.
@@ -135,6 +149,12 @@ type Span struct {
 	status   string // "" until SetStatus/Finish; completed by default
 	rows     int64  // result rows produced (queries), -1 = unset
 	finished bool
+
+	// Workload attribution (root query spans): the process-unique query
+	// ID and the statement fingerprint, shared with the qstats row and
+	// the structured slow-query log line.
+	queryID     uint64
+	fingerprint string
 }
 
 // SetStatus records the span's terminal status (one of the Status*
@@ -145,6 +165,20 @@ func (s *Span) SetStatus(status string) {
 	}
 	s.tracer.mu.Lock()
 	s.status = status
+	s.tracer.mu.Unlock()
+}
+
+// SetQuery attributes the span to a query: qid is the process-unique
+// query ID, fp the statement fingerprint. Both flow into the span's
+// snapshot (slow log, /slow endpoint) and its exported trace event, so
+// a log line's query_id resolves to the matching span in the timeline.
+func (s *Span) SetQuery(qid uint64, fp string) {
+	if s == nil {
+		return
+	}
+	s.tracer.mu.Lock()
+	s.queryID = qid
+	s.fingerprint = fp
 	s.tracer.mu.Unlock()
 }
 
@@ -232,6 +266,12 @@ func (s *Span) Finish() {
 		if s.rows >= 0 {
 			args["rows"] = s.rows
 		}
+		if s.queryID != 0 {
+			args["query_id"] = s.queryID
+		}
+		if s.fingerprint != "" {
+			args["fingerprint"] = s.fingerprint
+		}
 		t.sink.Complete("span", s.name, 1, s.start, s.dur, args)
 	}
 	record := s.parent == nil && t.enabled && s.dur >= t.threshold
@@ -241,7 +281,11 @@ func (s *Span) Finish() {
 		t.slow[t.slowN%slowLogSize] = snap
 		t.slowN++
 	}
+	onSlow := t.onSlow
 	t.mu.Unlock()
+	if record && onSlow != nil {
+		onSlow(snap)
+	}
 }
 
 // Duration returns the span's wall time (valid after Finish).
@@ -283,11 +327,13 @@ func (s *Span) snapshotLocked() *SpanSnapshot {
 		status = StatusCompleted
 	}
 	snap := &SpanSnapshot{
-		Name:     s.name,
-		Start:    s.start,
-		Duration: s.dur,
-		Status:   status,
-		Rows:     s.rows,
+		Name:        s.name,
+		Start:       s.start,
+		Duration:    s.dur,
+		Status:      status,
+		Rows:        s.rows,
+		QueryID:     s.queryID,
+		Fingerprint: s.fingerprint,
 	}
 	if len(s.deltas) > 0 {
 		snap.Deltas = make(map[string]uint64, len(s.deltas))
@@ -309,14 +355,18 @@ func (s *Span) snapshotLocked() *SpanSnapshot {
 
 // SpanSnapshot is the immutable, serialisable form of a finished span.
 type SpanSnapshot struct {
-	Name     string            `json:"name"`
-	Start    time.Time         `json:"start"`
-	Duration time.Duration     `json:"duration_ns"`
-	Status   string            `json:"status,omitempty"` // completed | cancelled | timed_out | failed
-	Rows     int64             `json:"rows,omitempty"`   // -1 = not a row-producing operation
-	Deltas   map[string]uint64 `json:"deltas,omitempty"`
-	Events   map[string]uint64 `json:"events,omitempty"`
-	Children []*SpanSnapshot   `json:"children,omitempty"`
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Status   string        `json:"status,omitempty"` // completed | cancelled | timed_out | failed
+	Rows     int64         `json:"rows,omitempty"`   // -1 = not a row-producing operation
+	// QueryID and Fingerprint attribute root query spans to their
+	// qstats row and structured log lines (0/"" when unattributed).
+	QueryID     uint64            `json:"query_id,omitempty"`
+	Fingerprint string            `json:"fingerprint,omitempty"`
+	Deltas      map[string]uint64 `json:"deltas,omitempty"`
+	Events      map[string]uint64 `json:"events,omitempty"`
+	Children    []*SpanSnapshot   `json:"children,omitempty"`
 }
 
 // SlowLog returns the recorded root spans, most recent last.
@@ -358,6 +408,9 @@ func (s *SpanSnapshot) format(b *strings.Builder, depth int) {
 	}
 	if s.Rows >= 0 {
 		fmt.Fprintf(b, " rows=%d", s.Rows)
+	}
+	if s.QueryID != 0 {
+		fmt.Fprintf(b, " qid=%d", s.QueryID)
 	}
 	for _, k := range sortedKeys(s.Deltas) {
 		if s.Deltas[k] > 0 {

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestSlowLogEvictionOrder fills the ring past its capacity and checks
+// that exactly the most recent slowLogSize roots survive, oldest
+// first — the ring's wrap-around must not reorder or resurrect
+// entries.
+func TestSlowLogEvictionOrder(t *testing.T) {
+	tr := NewTracer()
+	tr.SetEnabled(true)
+	tr.SetSlowThreshold(0)
+	const total = slowLogSize + 13
+	for i := 0; i < total; i++ {
+		s := tr.Start(fmt.Sprintf("q%03d", i))
+		s.Finish()
+	}
+	log := tr.SlowLog()
+	if len(log) != slowLogSize {
+		t.Fatalf("slow log holds %d entries, want %d", len(log), slowLogSize)
+	}
+	for i, snap := range log {
+		want := fmt.Sprintf("q%03d", total-slowLogSize+i)
+		if snap.Name != want {
+			t.Fatalf("slot %d = %q, want %q (evicted out of order)", i, snap.Name, want)
+		}
+	}
+	// The first total-slowLogSize roots must be gone.
+	for _, snap := range log {
+		for i := 0; i < total-slowLogSize; i++ {
+			if snap.Name == fmt.Sprintf("q%03d", i) {
+				t.Fatalf("evicted entry %s resurfaced", snap.Name)
+			}
+		}
+	}
+}
+
+func TestSpanSetQueryFlowsIntoSnapshot(t *testing.T) {
+	tr := NewTracer()
+	tr.SetEnabled(true)
+	tr.SetSlowThreshold(0)
+	s := tr.Start("cypher: MATCH (u:user) RETURN u")
+	s.SetQuery(42, "deadbeefcafef00d")
+	s.SetRows(7)
+	s.Finish()
+	log := tr.SlowLog()
+	if len(log) != 1 {
+		t.Fatalf("want 1 slow entry, got %d", len(log))
+	}
+	snap := log[0]
+	if snap.QueryID != 42 || snap.Fingerprint != "deadbeefcafef00d" {
+		t.Fatalf("snapshot lost attribution: qid=%d fp=%q", snap.QueryID, snap.Fingerprint)
+	}
+	if got := snap.Format(); !contains(got, "qid=42") {
+		t.Fatalf("Format missing qid: %q", got)
+	}
+}
+
+func TestSetQueryNilSpanSafe(t *testing.T) {
+	var s *Span
+	s.SetQuery(1, "fp") // must not panic
+}
+
+func TestOnSlowHook(t *testing.T) {
+	tr := NewTracer()
+	tr.SetEnabled(true)
+	tr.SetSlowThreshold(0)
+	var got []*SpanSnapshot
+	tr.SetOnSlow(func(snap *SpanSnapshot) { got = append(got, snap) })
+
+	root := tr.Start("root")
+	child := tr.Start("child")
+	child.Finish()
+	root.SetQuery(7, "fp7")
+	root.Finish()
+
+	if len(got) != 1 {
+		t.Fatalf("onSlow fired %d times, want 1 (roots only)", len(got))
+	}
+	if got[0].Name != "root" || got[0].QueryID != 7 {
+		t.Fatalf("onSlow snapshot = %q qid=%d", got[0].Name, got[0].QueryID)
+	}
+
+	// Below-threshold roots do not fire the hook.
+	tr.SetSlowThreshold(time.Hour)
+	fast := tr.Start("fast")
+	fast.Finish()
+	if len(got) != 1 {
+		t.Fatalf("onSlow fired for sub-threshold root")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,194 @@
+// Package olog is the structured logging tier: a thin wrapper over
+// log/slog's JSON handler whose level (including "off", the default)
+// can be changed at runtime, so an interactive session or a daemon can
+// dial logging up without rebuilding anything. Every slow-query line
+// carries the query ID and fingerprint that the obs spans and the
+// qstats rows also carry — the correlation key across logs, traces and
+// statistics.
+//
+// Loggers start disabled ("off") writing to stderr; `twiql :log
+// <level>` and future daemon flags turn them on.
+package olog
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"twigraph/internal/obs"
+)
+
+// LevelOff is above every slog level, so nothing is emitted.
+const LevelOff = slog.Level(math.MaxInt32)
+
+// Logger is a leveled JSON logger. The zero value is not usable; call
+// New. All methods are safe for concurrent use, and a nil *Logger is a
+// no-op receiver so call sites need no guards.
+type Logger struct {
+	component string
+
+	mu    sync.Mutex
+	level slog.LevelVar
+	out   io.Writer
+	sl    *slog.Logger
+}
+
+// New creates a logger for one component ("neo", "sparksee", ...)
+// writing to stderr at level off.
+func New(component string) *Logger {
+	l := &Logger{component: component}
+	l.level.Set(LevelOff)
+	l.setOutputLocked(os.Stderr)
+	return l
+}
+
+// setOutputLocked (re)builds the slog handler for w. Caller holds mu
+// or has exclusive access.
+func (l *Logger) setOutputLocked(w io.Writer) {
+	l.out = w
+	h := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: &l.level})
+	l.sl = slog.New(h).With("component", l.component)
+}
+
+// SetOutput redirects the logger (twiql points it at the shell's
+// stdout so :log output interleaves with results).
+func (l *Logger) SetOutput(w io.Writer) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.setOutputLocked(w)
+}
+
+// ParseLevel maps a user-facing level name onto a slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	case "off":
+		return LevelOff, nil
+	}
+	return 0, fmt.Errorf("olog: unknown level %q (debug|info|warn|error|off)", s)
+}
+
+// SetLevel sets the minimum emitted level by name.
+func (l *Logger) SetLevel(name string) error {
+	if l == nil {
+		return nil
+	}
+	lv, err := ParseLevel(name)
+	if err != nil {
+		return err
+	}
+	l.level.Set(lv)
+	return nil
+}
+
+// Level returns the current level's user-facing name.
+func (l *Logger) Level() string {
+	if l == nil {
+		return "off"
+	}
+	switch lv := l.level.Level(); {
+	case lv == LevelOff:
+		return "off"
+	case lv <= slog.LevelDebug:
+		return "debug"
+	case lv <= slog.LevelInfo:
+		return "info"
+	case lv <= slog.LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// Enabled reports whether a record at the given level would be
+// emitted.
+func (l *Logger) Enabled(lv slog.Level) bool {
+	return l != nil && lv >= l.level.Level() && l.level.Level() != LevelOff
+}
+
+func (l *Logger) log(lv slog.Level, msg string, args ...any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	l.mu.Lock()
+	sl := l.sl
+	l.mu.Unlock()
+	sl.Log(context.Background(), lv, msg, args...)
+}
+
+// Debug emits a debug-level record.
+func (l *Logger) Debug(msg string, args ...any) { l.log(slog.LevelDebug, msg, args...) }
+
+// Info emits an info-level record.
+func (l *Logger) Info(msg string, args ...any) { l.log(slog.LevelInfo, msg, args...) }
+
+// Warn emits a warn-level record.
+func (l *Logger) Warn(msg string, args ...any) { l.log(slog.LevelWarn, msg, args...) }
+
+// Error emits an error-level record.
+func (l *Logger) Error(msg string, args ...any) { l.log(slog.LevelError, msg, args...) }
+
+// SlowQuery emits the structured form of one slow-query ring entry:
+// the span's name, duration, status, rows, query ID and fingerprint,
+// plus every watched-counter delta — the same fields the /querystats
+// row and the exported trace span carry, keyed by the same query_id.
+// Aborted queries log at warn, completed ones at info.
+func (l *Logger) SlowQuery(snap *obs.SpanSnapshot) {
+	if l == nil || snap == nil {
+		return
+	}
+	lv := slog.LevelInfo
+	if snap.Status != "" && snap.Status != obs.StatusCompleted {
+		lv = slog.LevelWarn
+	}
+	if !l.Enabled(lv) {
+		return
+	}
+	args := []any{
+		"query", snap.Name,
+		"duration_ms", float64(snap.Duration) / float64(time.Millisecond),
+		"status", snap.Status,
+	}
+	if snap.QueryID != 0 {
+		args = append(args, "query_id", snap.QueryID)
+	}
+	if snap.Fingerprint != "" {
+		args = append(args, "fingerprint", snap.Fingerprint)
+	}
+	if snap.Rows >= 0 {
+		args = append(args, "rows", snap.Rows)
+	}
+	for _, k := range sortedKeys(snap.Deltas) {
+		args = append(args, k, snap.Deltas[k])
+	}
+	l.log(lv, "slow query", args...)
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

@@ -1,0 +1,133 @@
+package olog
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"twigraph/internal/obs"
+)
+
+func TestLoggerOffByDefault(t *testing.T) {
+	var buf bytes.Buffer
+	l := New("neo")
+	l.SetOutput(&buf)
+	l.Info("hello")
+	l.Error("boom")
+	if buf.Len() != 0 {
+		t.Fatalf("off logger emitted: %q", buf.String())
+	}
+	if l.Level() != "off" {
+		t.Fatalf("default level %q, want off", l.Level())
+	}
+}
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	l := New("neo")
+	l.SetOutput(&buf)
+	if err := l.SetLevel("warn"); err != nil {
+		t.Fatal(err)
+	}
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	lines := nonEmptyLines(buf.String())
+	if len(lines) != 2 {
+		t.Fatalf("warn level emitted %d lines, want 2: %v", len(lines), lines)
+	}
+	if err := l.SetLevel("bogus"); err == nil {
+		t.Fatal("SetLevel accepted bogus level")
+	}
+	if l.Level() != "warn" {
+		t.Fatalf("failed SetLevel changed level to %q", l.Level())
+	}
+}
+
+func TestLoggerEmitsJSONWithComponent(t *testing.T) {
+	var buf bytes.Buffer
+	l := New("sparksee")
+	l.SetOutput(&buf)
+	if err := l.SetLevel("info"); err != nil {
+		t.Fatal(err)
+	}
+	l.Info("query done", "rows", 5)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["component"] != "sparksee" || rec["msg"] != "query done" || rec["rows"] != float64(5) {
+		t.Fatalf("bad record: %v", rec)
+	}
+}
+
+func TestSlowQueryCarriesCorrelationFields(t *testing.T) {
+	var buf bytes.Buffer
+	l := New("neo")
+	l.SetOutput(&buf)
+	if err := l.SetLevel("info"); err != nil {
+		t.Fatal(err)
+	}
+	l.SlowQuery(&obs.SpanSnapshot{
+		Name:        "cypher: MATCH (u:user) RETURN u",
+		Duration:    25 * time.Millisecond,
+		Status:      obs.StatusCompleted,
+		Rows:        9,
+		QueryID:     314,
+		Fingerprint: "deadbeefcafef00d",
+		Deltas:      map[string]uint64{"record_fetches": 120},
+	})
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["query_id"] != float64(314) || rec["fingerprint"] != "deadbeefcafef00d" {
+		t.Fatalf("missing correlation fields: %v", rec)
+	}
+	if rec["record_fetches"] != float64(120) || rec["rows"] != float64(9) {
+		t.Fatalf("missing deltas/rows: %v", rec)
+	}
+	if rec["level"] != "INFO" {
+		t.Fatalf("completed slow query at %v, want INFO", rec["level"])
+	}
+
+	// Aborted queries escalate to warn.
+	buf.Reset()
+	rec = map[string]any{}
+	l.SlowQuery(&obs.SpanSnapshot{Name: "q", Status: obs.StatusTimedOut, Rows: -1})
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["level"] != "WARN" {
+		t.Fatalf("timed-out slow query at %v, want WARN", rec["level"])
+	}
+	if _, present := rec["rows"]; present {
+		t.Fatalf("rows=-1 should be omitted: %v", rec)
+	}
+}
+
+func TestNilLoggerIsNoop(t *testing.T) {
+	var l *Logger
+	l.Info("x")
+	l.SlowQuery(&obs.SpanSnapshot{Name: "q"})
+	l.SetOutput(&bytes.Buffer{})
+	if err := l.SetLevel("info"); err != nil {
+		t.Fatal(err)
+	}
+	if l.Level() != "off" {
+		t.Fatalf("nil logger level %q", l.Level())
+	}
+}
+
+func nonEmptyLines(s string) []string {
+	var out []string
+	for _, ln := range strings.Split(s, "\n") {
+		if strings.TrimSpace(ln) != "" {
+			out = append(out, ln)
+		}
+	}
+	return out
+}

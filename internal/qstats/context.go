@@ -1,0 +1,62 @@
+package qstats
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Query IDs are process-unique, monotonically increasing, and allocated
+// lock-free. ID 0 means "no query ID" everywhere.
+var qidCounter atomic.Uint64
+
+// NextQueryID allocates a fresh query ID (never 0).
+func NextQueryID() uint64 { return qidCounter.Add(1) }
+
+type ctxKey int
+
+const (
+	qidKey ctxKey = iota
+	accountedKey
+)
+
+// WithQueryID returns a context carrying the query ID. A nil parent is
+// accepted (the stores run deadline-free queries on a nil context).
+func WithQueryID(ctx context.Context, qid uint64) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, qidKey, qid)
+}
+
+// QueryID extracts the query ID from ctx, 0 when absent (or ctx is
+// nil).
+func QueryID(ctx context.Context) uint64 {
+	if ctx == nil {
+		return 0
+	}
+	if v, ok := ctx.Value(qidKey).(uint64); ok {
+		return v
+	}
+	return 0
+}
+
+// MarkAccounted marks the context's query as already recorded into a
+// Stats registry by an outer layer (the store-level wrapper), so inner
+// layers (the cypher executor) must not record it again. A nil parent
+// is accepted.
+func MarkAccounted(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, accountedKey, true)
+}
+
+// Accounted reports whether an outer layer already recorded this
+// query.
+func Accounted(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	v, _ := ctx.Value(accountedKey).(bool)
+	return v
+}

@@ -1,0 +1,143 @@
+// Package qstats is the workload-attribution layer: a
+// pg_stat_statements-style registry of per-statement execution
+// statistics. Statements are normalised into fingerprints (literals
+// replaced, whitespace collapsed) so that two executions of the same
+// query shape with different constants aggregate into one row, and a
+// bounded LRU registry keeps per-fingerprint calls, rows, latency
+// distribution, abort statuses and watched-counter resource deltas —
+// the per-query-class breakdown the paper reports per Q1..Q6 shape.
+//
+// The package also owns the per-query identity that ties the
+// observability tiers together: NextQueryID allocates process-unique
+// query IDs, and the context helpers carry the ID (plus an
+// "already accounted" marker that prevents double counting when a
+// store-level wrapper and the cypher executor both see one query)
+// from the caller down into spans, slow-query log lines and trace
+// events.
+//
+// qstats depends only on the standard library and internal/obs.
+package qstats
+
+import (
+	"hash/fnv"
+	"strings"
+)
+
+// Fingerprint is a normalised statement identity: the hash keys the
+// stats registry, the text is the representative normalised form shown
+// in /querystats rows and :top tables.
+type Fingerprint struct {
+	// Hash is the 16-hex-digit FNV-1a of the normalised text.
+	Hash string
+	// Text is the normalised statement: literals replaced with '?',
+	// whitespace collapsed, $params preserved by name.
+	Text string
+}
+
+// Fingerprinting rules (documented in docs/OBSERVABILITY.md):
+//
+//   - string literals ('...' and "...") become ?
+//   - numeric literals (integers, decimals, including a leading sign
+//     position inside expressions) become ?
+//   - $parameters keep their names — they are already shape, not value
+//   - runs of whitespace (spaces, tabs, newlines) collapse to one space
+//   - everything else (keywords, identifiers, operators) is preserved
+//     byte-for-byte, case untouched
+//
+// The scanner is deliberately language-agnostic: it does not need to
+// parse Cypher, only to find literal boundaries, so imperative store
+// method names ("neo: CoMentionedUsers") normalise to themselves.
+
+// Normalize returns the canonical text of a statement under the rules
+// above.
+func Normalize(query string) string {
+	var b strings.Builder
+	b.Grow(len(query))
+	pendingSpace := false
+	i := 0
+	for i < len(query) {
+		c := query[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			pendingSpace = b.Len() > 0
+			i++
+			continue
+		case c == '\'' || c == '"':
+			// String literal: skip to the closing quote, honouring
+			// backslash escapes; an unterminated literal consumes the
+			// rest of the statement.
+			j := i + 1
+			for j < len(query) {
+				if query[j] == '\\' && j+1 < len(query) {
+					j += 2
+					continue
+				}
+				if query[j] == c {
+					j++
+					break
+				}
+				j++
+			}
+			if pendingSpace {
+				b.WriteByte(' ')
+				pendingSpace = false
+			}
+			b.WriteByte('?')
+			i = j
+			continue
+		case c >= '0' && c <= '9':
+			// Numeric literal — but not when it continues an identifier
+			// (uid2 stays uid2).
+			if n := b.Len(); n > 0 && !pendingSpace && isIdentByte(lastByte(&b)) {
+				b.WriteByte(c)
+				i++
+				continue
+			}
+			j := i
+			for j < len(query) && (query[j] >= '0' && query[j] <= '9' || query[j] == '.') {
+				j++
+			}
+			if pendingSpace {
+				b.WriteByte(' ')
+				pendingSpace = false
+			}
+			b.WriteByte('?')
+			i = j
+			continue
+		default:
+			if pendingSpace {
+				b.WriteByte(' ')
+				pendingSpace = false
+			}
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return b.String()
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// lastByte returns the final byte written to b (caller guarantees
+// b is non-empty).
+func lastByte(b *strings.Builder) byte {
+	s := b.String()
+	return s[len(s)-1]
+}
+
+// Compute normalises a statement and returns its fingerprint.
+func Compute(query string) Fingerprint {
+	text := Normalize(query)
+	h := fnv.New64a()
+	h.Write([]byte(text))
+	const hexdigits = "0123456789abcdef"
+	sum := h.Sum64()
+	var hex [16]byte
+	for i := 15; i >= 0; i-- {
+		hex[i] = hexdigits[sum&0xf]
+		sum >>= 4
+	}
+	return Fingerprint{Hash: string(hex[:]), Text: text}
+}

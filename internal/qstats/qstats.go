@@ -1,0 +1,259 @@
+package qstats
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"twigraph/internal/obs"
+)
+
+// DefaultCapacity bounds the registry at a size comfortably above the
+// workload's distinct query shapes (the paper's workload has ~20) while
+// keeping a pathological ad-hoc stream from growing without bound.
+const DefaultCapacity = 256
+
+// Stats aggregates per-fingerprint execution statistics behind a
+// bounded LRU: when a new fingerprint would exceed the capacity, the
+// least-recently-executed entry is evicted (and counted), exactly like
+// pg_stat_statements' dealloc behaviour.
+type Stats struct {
+	mu        sync.Mutex
+	capacity  int
+	entries   map[string]*statEntry
+	lru       *list.List // front = most recently recorded
+	watched   []watchedCounter
+	evictions uint64
+}
+
+type watchedCounter struct {
+	name string
+	c    *obs.Counter
+}
+
+type statEntry struct {
+	fp   Fingerprint
+	elem *list.Element
+
+	calls      uint64
+	rows       uint64
+	totalNanos int64
+	latency    *obs.Histogram
+
+	cancelled uint64
+	timedOut  uint64
+	failed    uint64
+
+	deltas map[string]uint64
+}
+
+// NewStats creates a registry bounded at capacity fingerprints
+// (<= 0 means DefaultCapacity).
+func NewStats(capacity int) *Stats {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Stats{
+		capacity: capacity,
+		entries:  make(map[string]*statEntry),
+		lru:      list.New(),
+	}
+}
+
+// Watch registers a counter whose per-query delta every recorded
+// execution accumulates (mirrors obs.Tracer.Watch): record fetches,
+// page faults, bitmap ops — whatever the engine wires in.
+func (s *Stats) Watch(name string, c *obs.Counter) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.watched = append(s.watched, watchedCounter{name, c})
+}
+
+// Handle is the begin-of-query snapshot of the watched counters;
+// Record turns it into per-query deltas. The zero Handle is valid
+// (deltas are skipped).
+type Handle struct {
+	startVals []uint64
+}
+
+// Begin snapshots the watched counters before a query runs.
+func (s *Stats) Begin() Handle {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.watched) == 0 {
+		return Handle{}
+	}
+	vals := make([]uint64, len(s.watched))
+	for i, w := range s.watched {
+		vals[i] = w.c.Load()
+	}
+	return Handle{startVals: vals}
+}
+
+// Record aggregates one finished execution under the fingerprint:
+// latency into the entry's histogram, the status into its abort
+// counters, rows and watched-counter deltas into its totals. status is
+// one of the obs.Status* constants.
+func (s *Stats) Record(fp Fingerprint, d time.Duration, rows int, status string, h Handle) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[fp.Hash]
+	if e == nil {
+		for len(s.entries) >= s.capacity {
+			oldest := s.lru.Back()
+			if oldest == nil {
+				break
+			}
+			victim := oldest.Value.(*statEntry)
+			s.lru.Remove(oldest)
+			delete(s.entries, victim.fp.Hash)
+			s.evictions++
+		}
+		e = &statEntry{fp: fp, latency: obs.NewHistogram(nil)}
+		e.elem = s.lru.PushFront(e)
+		s.entries[fp.Hash] = e
+	} else {
+		s.lru.MoveToFront(e.elem)
+	}
+	e.calls++
+	if rows > 0 {
+		e.rows += uint64(rows)
+	}
+	e.totalNanos += int64(d)
+	e.latency.Observe(int64(d))
+	switch status {
+	case obs.StatusCancelled:
+		e.cancelled++
+	case obs.StatusTimedOut:
+		e.timedOut++
+	case obs.StatusFailed:
+		e.failed++
+	}
+	if h.startVals != nil {
+		if e.deltas == nil {
+			e.deltas = make(map[string]uint64, len(s.watched))
+		}
+		for i, w := range s.watched {
+			if i < len(h.startVals) {
+				e.deltas[w.name] += w.c.Load() - h.startVals[i]
+			}
+		}
+	}
+}
+
+// Evictions returns how many fingerprints the LRU bound has evicted.
+func (s *Stats) Evictions() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictions
+}
+
+// Len returns the number of live fingerprints.
+func (s *Stats) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Reset drops every entry and zeroes the eviction counter (called
+// alongside the engine's ResetCounters between experiment phases, so
+// per-fingerprint sums stay consistent with the aggregate histograms).
+func (s *Stats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = make(map[string]*statEntry)
+	s.lru = list.New()
+	s.evictions = 0
+}
+
+// StatSnapshot is the immutable, JSON-serialisable form of one
+// fingerprint's aggregates — one /querystats row.
+type StatSnapshot struct {
+	Fingerprint string                `json:"fingerprint"`
+	Query       string                `json:"query"`
+	Calls       uint64                `json:"calls"`
+	Rows        uint64                `json:"rows"`
+	TotalNanos  int64                 `json:"total_ns"`
+	MeanNanos   float64               `json:"mean_ns"`
+	Latency     obs.HistogramSnapshot `json:"latency"`
+	Cancelled   uint64                `json:"cancelled,omitempty"`
+	TimedOut    uint64                `json:"timed_out,omitempty"`
+	Failed      uint64                `json:"failed,omitempty"`
+	Deltas      map[string]uint64     `json:"deltas,omitempty"`
+}
+
+// Snapshot returns every entry ordered by total time descending (ties
+// by fingerprint, so output is deterministic).
+func (s *Stats) Snapshot() []StatSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StatSnapshot, 0, len(s.entries))
+	for _, e := range s.entries {
+		snap := StatSnapshot{
+			Fingerprint: e.fp.Hash,
+			Query:       e.fp.Text,
+			Calls:       e.calls,
+			Rows:        e.rows,
+			TotalNanos:  e.totalNanos,
+			MeanNanos:   float64(e.totalNanos) / float64(e.calls),
+			Latency:     e.latency.Snapshot(),
+			Cancelled:   e.cancelled,
+			TimedOut:    e.timedOut,
+			Failed:      e.failed,
+		}
+		if len(e.deltas) > 0 {
+			snap.Deltas = make(map[string]uint64, len(e.deltas))
+			for k, v := range e.deltas {
+				snap.Deltas[k] = v
+			}
+		}
+		out = append(out, snap)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalNanos != out[j].TotalNanos {
+			return out[i].TotalNanos > out[j].TotalNanos
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	return out
+}
+
+// TopK returns the k entries with the largest total time (all entries
+// when k <= 0 or k exceeds the registry size).
+func (s *Stats) TopK(k int) []StatSnapshot {
+	all := s.Snapshot()
+	if k > 0 && k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+// FormatTop renders snapshots as the aligned table behind `twiql :top`
+// and `twibench -qstats`.
+func FormatTop(snaps []StatSnapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %8s %12s %12s %12s %8s %6s  %s\n",
+		"fingerprint", "calls", "total", "mean", "p95", "rows", "errs", "query")
+	for _, sn := range snaps {
+		errs := sn.Cancelled + sn.TimedOut + sn.Failed
+		fmt.Fprintf(&b, "%-16s %8d %12v %12v %12v %8d %6d  %s\n",
+			sn.Fingerprint, sn.Calls,
+			time.Duration(sn.TotalNanos).Round(time.Microsecond),
+			time.Duration(sn.MeanNanos).Round(time.Microsecond),
+			time.Duration(sn.Latency.P95).Round(time.Microsecond),
+			sn.Rows, errs, truncateQuery(sn.Query, 60))
+	}
+	return b.String()
+}
+
+// truncateQuery shortens a normalised statement for one-line table
+// cells.
+func truncateQuery(q string, max int) string {
+	if len(q) <= max {
+		return q
+	}
+	return q[:max-3] + "..."
+}

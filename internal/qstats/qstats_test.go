@@ -1,0 +1,255 @@
+package qstats
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"twigraph/internal/obs"
+)
+
+func TestNormalizeCollapsesLiterals(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{
+			`MATCH (u:user) WHERE u.followers > 100 RETURN u.uid`,
+			`MATCH (u:user) WHERE u.followers > ? RETURN u.uid`,
+		},
+		{
+			`MATCH (u:user {uid: 42})   RETURN u`,
+			`MATCH (u:user {uid: ?}) RETURN u`,
+		},
+		{
+			`MATCH (h:hashtag {tag: 'graphdb'}) RETURN h`,
+			`MATCH (h:hashtag {tag: ?}) RETURN h`,
+		},
+		{
+			"MATCH (u:user)\n\t WHERE u.name = \"bob\"  RETURN u",
+			`MATCH (u:user) WHERE u.name = ? RETURN u`,
+		},
+		// $params are shape, not value: preserved by name.
+		{
+			`MATCH (u:user {uid: $uid}) RETURN u.uid LIMIT $n`,
+			`MATCH (u:user {uid: $uid}) RETURN u.uid LIMIT $n`,
+		},
+		// Identifiers with digits survive.
+		{
+			`MATCH (a)-[:follows]->(f2:user) RETURN f2.uid`,
+			`MATCH (a)-[:follows]->(f2:user) RETURN f2.uid`,
+		},
+		// Variable-length bounds are literals.
+		{
+			`MATCH p = shortestPath((a)-[:follows*..5]->(b)) RETURN length(p)`,
+			`MATCH p = shortestPath((a)-[:follows*..?]->(b)) RETURN length(p)`,
+		},
+		// Escaped quote inside a string literal.
+		{
+			`RETURN 'it\'s' AS s`,
+			`RETURN ? AS s`,
+		},
+		// Decimals.
+		{`RETURN 3.14`, `RETURN ?`},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q)\n got  %q\n want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestComputeCollapsesDifferentLiterals(t *testing.T) {
+	// The acceptance criterion: two executions of the same query with
+	// different literals collapse to one fingerprint.
+	a := Compute(`MATCH (u:user) WHERE u.followers > 100 RETURN u.uid`)
+	b := Compute(`MATCH (u:user) WHERE u.followers > 9000 RETURN u.uid`)
+	if a.Hash != b.Hash {
+		t.Fatalf("literal variants got distinct fingerprints: %s vs %s", a.Hash, b.Hash)
+	}
+	if len(a.Hash) != 16 {
+		t.Fatalf("fingerprint hash %q is not 16 hex digits", a.Hash)
+	}
+	c := Compute(`MATCH (u:user) WHERE u.followers < 100 RETURN u.uid`)
+	if a.Hash == c.Hash {
+		t.Fatalf("distinct shapes collided: %s", a.Hash)
+	}
+}
+
+func TestQueryIDContext(t *testing.T) {
+	if got := QueryID(nil); got != 0 {
+		t.Fatalf("QueryID(nil) = %d, want 0", got)
+	}
+	if got := QueryID(context.Background()); got != 0 {
+		t.Fatalf("QueryID(empty ctx) = %d, want 0", got)
+	}
+	id1, id2 := NextQueryID(), NextQueryID()
+	if id1 == 0 || id2 == 0 || id1 == id2 {
+		t.Fatalf("NextQueryID not unique and non-zero: %d, %d", id1, id2)
+	}
+	ctx := WithQueryID(nil, id1)
+	if got := QueryID(ctx); got != id1 {
+		t.Fatalf("QueryID round trip = %d, want %d", got, id1)
+	}
+	if Accounted(ctx) {
+		t.Fatal("fresh ctx should not be accounted")
+	}
+	ctx = MarkAccounted(ctx)
+	if !Accounted(ctx) {
+		t.Fatal("MarkAccounted did not mark")
+	}
+	if got := QueryID(ctx); got != id1 {
+		t.Fatalf("QueryID lost after MarkAccounted: %d", got)
+	}
+}
+
+func TestStatsRecordAggregates(t *testing.T) {
+	s := NewStats(0)
+	fp := Compute(`MATCH (u:user {uid: $uid}) RETURN u`)
+	s.Record(fp, 2*time.Millisecond, 3, obs.StatusCompleted, s.Begin())
+	s.Record(fp, 4*time.Millisecond, 5, obs.StatusCompleted, s.Begin())
+	s.Record(fp, time.Millisecond, 0, obs.StatusTimedOut, s.Begin())
+	snaps := s.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("want 1 entry, got %d", len(snaps))
+	}
+	sn := snaps[0]
+	if sn.Calls != 3 || sn.Rows != 8 || sn.TimedOut != 1 {
+		t.Fatalf("bad aggregates: %+v", sn)
+	}
+	want := int64(7 * time.Millisecond)
+	if sn.TotalNanos != want {
+		t.Fatalf("total %d, want %d", sn.TotalNanos, want)
+	}
+	if sn.Latency.Count != 3 {
+		t.Fatalf("latency count %d, want 3", sn.Latency.Count)
+	}
+	if mean := sn.MeanNanos * float64(sn.Calls); mean != float64(want) {
+		t.Fatalf("calls x mean = %f, want %d", mean, want)
+	}
+}
+
+func TestStatsWatchedDeltas(t *testing.T) {
+	s := NewStats(0)
+	var fetches obs.Counter
+	s.Watch("record_fetches", &fetches)
+	fp := Compute(`MATCH (u:user) RETURN u`)
+
+	h := s.Begin()
+	fetches.Add(17)
+	s.Record(fp, time.Millisecond, 1, obs.StatusCompleted, h)
+
+	h = s.Begin()
+	fetches.Add(3)
+	s.Record(fp, time.Millisecond, 1, obs.StatusCompleted, h)
+
+	sn := s.Snapshot()[0]
+	if sn.Deltas["record_fetches"] != 20 {
+		t.Fatalf("delta = %d, want 20", sn.Deltas["record_fetches"])
+	}
+}
+
+func TestStatsLRUEviction(t *testing.T) {
+	s := NewStats(3)
+	fps := make([]Fingerprint, 5)
+	for i := range fps {
+		fps[i] = Compute(fmt.Sprintf("QUERY shape%d", i))
+	}
+	// Fill to capacity: 0, 1, 2.
+	for i := 0; i < 3; i++ {
+		s.Record(fps[i], time.Millisecond, 0, obs.StatusCompleted, Handle{})
+	}
+	// Touch 0 so 1 becomes least recent.
+	s.Record(fps[0], time.Millisecond, 0, obs.StatusCompleted, Handle{})
+	// Insert 3 and 4: should evict 1 then 2.
+	s.Record(fps[3], time.Millisecond, 0, obs.StatusCompleted, Handle{})
+	s.Record(fps[4], time.Millisecond, 0, obs.StatusCompleted, Handle{})
+
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3", s.Len())
+	}
+	if s.Evictions() != 2 {
+		t.Fatalf("evictions = %d, want 2", s.Evictions())
+	}
+	have := map[string]bool{}
+	for _, sn := range s.Snapshot() {
+		have[sn.Query] = true
+	}
+	for _, want := range []int{0, 3, 4} {
+		if !have[fps[want].Text] {
+			t.Fatalf("expected shape%d to survive, have %v", want, have)
+		}
+	}
+	for _, gone := range []int{1, 2} {
+		if have[fps[gone].Text] {
+			t.Fatalf("expected shape%d evicted, have %v", gone, have)
+		}
+	}
+}
+
+func TestStatsReset(t *testing.T) {
+	s := NewStats(1)
+	s.Record(Compute("A"), time.Millisecond, 0, obs.StatusCompleted, Handle{})
+	s.Record(Compute("B"), time.Millisecond, 0, obs.StatusCompleted, Handle{})
+	if s.Evictions() != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions())
+	}
+	s.Reset()
+	if s.Len() != 0 || s.Evictions() != 0 {
+		t.Fatalf("reset left len=%d evictions=%d", s.Len(), s.Evictions())
+	}
+	// Registry still usable after reset.
+	s.Record(Compute("C"), time.Millisecond, 0, obs.StatusCompleted, s.Begin())
+	if s.Len() != 1 {
+		t.Fatalf("len after reset+record = %d", s.Len())
+	}
+}
+
+func TestStatsConcurrentRecord(t *testing.T) {
+	s := NewStats(0)
+	var fetches obs.Counter
+	s.Watch("f", &fetches)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			fp := Compute(fmt.Sprintf("QUERY shape%d", g%4))
+			for i := 0; i < 100; i++ {
+				h := s.Begin()
+				fetches.Inc()
+				s.Record(fp, time.Microsecond, 1, obs.StatusCompleted, h)
+			}
+		}(g)
+	}
+	wg.Wait()
+	var calls uint64
+	for _, sn := range s.Snapshot() {
+		calls += sn.Calls
+	}
+	if calls != 800 {
+		t.Fatalf("calls = %d, want 800", calls)
+	}
+}
+
+func TestTopKAndFormat(t *testing.T) {
+	s := NewStats(0)
+	for i := 0; i < 5; i++ {
+		fp := Compute(fmt.Sprintf("QUERY shape%d", i))
+		s.Record(fp, time.Duration(i+1)*time.Millisecond, i, obs.StatusCompleted, Handle{})
+	}
+	top := s.TopK(2)
+	if len(top) != 2 {
+		t.Fatalf("TopK(2) returned %d", len(top))
+	}
+	if top[0].TotalNanos < top[1].TotalNanos {
+		t.Fatal("TopK not ordered by total time desc")
+	}
+	if top[0].Query != "QUERY shape4" {
+		t.Fatalf("top entry %q, want shape4", top[0].Query)
+	}
+	out := FormatTop(top)
+	if !strings.Contains(out, "fingerprint") || !strings.Contains(out, "QUERY shape4") {
+		t.Fatalf("FormatTop output missing fields:\n%s", out)
+	}
+}

@@ -30,7 +30,9 @@ import (
 	"twigraph/internal/bitmap"
 	"twigraph/internal/graph"
 	"twigraph/internal/obs"
+	"twigraph/internal/olog"
 	"twigraph/internal/par"
+	"twigraph/internal/qstats"
 )
 
 // oidTypeShift positions the type id in the top bits of an OID, leaving
@@ -96,6 +98,8 @@ type DB struct {
 	reg      *obs.Registry
 	tracer   *obs.Tracer
 	traceBuf *obs.TraceBuffer // timeline export sink; disabled until enabled
+	stats    *qstats.Stats    // per-fingerprint statement statistics
+	logger   *olog.Logger     // structured JSON log (off until leveled up)
 	hooks    *setHooks        // bitmap-op counters shared with Objects results
 
 	cFetches      *obs.Counter // record_fetches: per object/edge resolved
@@ -156,6 +160,8 @@ func New(cfg Config) *DB {
 		reg:         reg,
 		tracer:      obs.NewTracer(),
 		traceBuf:    obs.NewTraceBuffer(obs.DefaultTraceEvents),
+		stats:       qstats.NewStats(0),
+		logger:      olog.New("sparksee"),
 		hooks: &setHooks{
 			and:  reg.Counter(CBitmapAndOps),
 			or:   reg.Counter(CBitmapOrOps),
@@ -174,6 +180,13 @@ func New(cfg Config) *DB {
 	}
 	db.tracer.Watch(obs.CRecordFetches, db.cFetches)
 	db.tracer.SetSink(db.traceBuf)
+	// Per-fingerprint resource accounting mirrors the tracer's watched
+	// set, plus the engine's bitmap primitives — the Sparksee-side
+	// cost unit the paper reads.
+	db.stats.Watch(obs.CRecordFetches, db.cFetches)
+	db.stats.Watch(CBitmapScanOps, db.cBitmapScan)
+	db.stats.Watch(CIndexProbes, db.cIndexProbes)
+	db.tracer.SetOnSlow(db.logger.SlowQuery)
 	db.parMetrics.Trace = db.traceBuf
 	return db
 }
@@ -188,6 +201,14 @@ func (db *DB) Tracer() *obs.Tracer { return db.tracer }
 // timeline export surfaces (twibench -trace, twiql :trace export) enable
 // it via SetEnabled.
 func (db *DB) Trace() *obs.TraceBuffer { return db.traceBuf }
+
+// QueryStats returns the engine's per-fingerprint statement
+// statistics registry (the /querystats and `:top` source).
+func (db *DB) QueryStats() *qstats.Stats { return db.stats }
+
+// Logger returns the engine's structured logger (level "off" until a
+// surface raises it).
+func (db *DB) Logger() *olog.Logger { return db.logger }
 
 // Health reports engine liveness. The in-memory engine has no failure
 // modes beyond process death, so it is always healthy; the method exists
@@ -533,8 +554,11 @@ func (db *DB) Stats() Counters {
 // navigation counters included. Alias ResetCounters matches the
 // neodb method of the same name so harness code can treat the two
 // engines uniformly.
-func (db *DB) ResetStats() { db.reg.Reset() }
+func (db *DB) ResetStats() { db.ResetCounters() }
 
-// ResetCounters zeroes all observability counters (between experiment
-// phases); identical to ResetStats.
-func (db *DB) ResetCounters() { db.reg.Reset() }
+// ResetCounters zeroes all observability counters and the statement
+// statistics (between experiment phases); identical to ResetStats.
+func (db *DB) ResetCounters() {
+	db.reg.Reset()
+	db.stats.Reset()
+}

@@ -112,7 +112,7 @@ func parseSample(line string) (Sample, error) {
 	}
 	rest = rest[len(s.Name):]
 	if strings.HasPrefix(rest, "{") {
-		end := strings.Index(rest, "}")
+		end := labelSetEnd(rest)
 		if end < 0 {
 			return s, fmt.Errorf("unterminated label set in %q", line)
 		}
@@ -151,22 +151,85 @@ func parseLabels(body string) (map[string]string, error) {
 		if len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
 			return nil, fmt.Errorf("unquoted label value in %q", pair)
 		}
-		labels[name] = val[1 : len(val)-1]
+		unescaped, err := unescapeLabelValue(val[1 : len(val)-1])
+		if err != nil {
+			return nil, fmt.Errorf("bad label value in %q: %w", pair, err)
+		}
+		labels[name] = unescaped
 	}
 	return labels, nil
 }
 
-// splitLabelPairs splits on commas outside quotes.
+// unescapeLabelValue reverses EscapeLabelValue: `\\`, `\"` and `\n`
+// become their literal characters. An unknown escape or a trailing
+// backslash is an error — a real scraper would reject the series.
+func unescapeLabelValue(s string) (string, error) {
+	if !strings.ContainsRune(s, '\\') {
+		return s, nil
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("dangling backslash")
+		}
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", s[i])
+		}
+	}
+	return b.String(), nil
+}
+
+// labelSetEnd returns the index of the `}` closing the label set that
+// opens at rest[0], skipping braces inside quoted label values (query
+// texts contain `}`), or -1 when unterminated.
+func labelSetEnd(rest string) int {
+	inQuotes := false
+	for i := 1; i < len(rest); i++ {
+		switch rest[i] {
+		case '\\':
+			if inQuotes {
+				i++
+			}
+		case '"':
+			inQuotes = !inQuotes
+		case '}':
+			if !inQuotes {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// splitLabelPairs splits on commas outside quotes, honouring backslash
+// escapes inside quoted values (a `\"` does not terminate the value).
 func splitLabelPairs(body string) []string {
 	var out []string
-	depth := false
+	inQuotes := false
 	start := 0
 	for i := 0; i < len(body); i++ {
 		switch body[i] {
+		case '\\':
+			if inQuotes {
+				i++ // skip the escaped character
+			}
 		case '"':
-			depth = !depth
+			inQuotes = !inQuotes
 		case ',':
-			if !depth {
+			if !inQuotes {
 				out = append(out, body[start:i])
 				start = i + 1
 			}

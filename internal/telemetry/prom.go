@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"twigraph/internal/obs"
+	"twigraph/internal/qstats"
 )
 
 // MetricPrefix namespaces every exported metric.
@@ -50,10 +51,69 @@ func WriteMetrics(w io.Writer, scope string, reg *obs.Registry) {
 	})
 }
 
+// WriteQueryStats renders the top statements of one engine's
+// per-fingerprint registry as labelled series — the workload-attribution
+// view next to the aggregate query_latency histogram. The statement
+// text rides along as a `query` label, escaped per the exposition
+// format (statements contain quotes and backslashes; see
+// EscapeLabelValue).
+func WriteQueryStats(w io.Writer, scope string, snaps []qstats.StatSnapshot) {
+	if len(snaps) == 0 {
+		return
+	}
+	base := MetricPrefix + "_" + SanitizeMetricName(scope) + "_statement_"
+	emit := func(suffix string, val func(qstats.StatSnapshot) string, withQuery bool) {
+		full := base + suffix
+		fmt.Fprintf(w, "# TYPE %s counter\n", full)
+		for _, sn := range snaps {
+			if withQuery {
+				fmt.Fprintf(w, "%s{fingerprint=\"%s\",query=\"%s\"} %s\n",
+					full, EscapeLabelValue(sn.Fingerprint), EscapeLabelValue(sn.Query), val(sn))
+			} else {
+				fmt.Fprintf(w, "%s{fingerprint=\"%s\"} %s\n",
+					full, EscapeLabelValue(sn.Fingerprint), val(sn))
+			}
+		}
+	}
+	emit("seconds_total", func(sn qstats.StatSnapshot) string {
+		return formatSeconds(float64(sn.TotalNanos) / 1e9)
+	}, true)
+	emit("calls_total", func(sn qstats.StatSnapshot) string {
+		return fmt.Sprintf("%d", sn.Calls)
+	}, false)
+	emit("rows_total", func(sn qstats.StatSnapshot) string {
+		return fmt.Sprintf("%d", sn.Rows)
+	}, false)
+}
+
 // formatSeconds renders a float without exponent drift between scrapes
 // ("%g" keeps bucket labels like 1e-06 stable and short).
 func formatSeconds(v float64) string {
 	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", v), "0"), ".")
+}
+
+// EscapeLabelValue escapes a string for use inside a double-quoted
+// exposition label value: backslash, double quote and newline, the
+// three characters the format reserves.
+func EscapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
 }
 
 // SanitizeMetricName maps an arbitrary instrument name onto the legal

@@ -1,0 +1,211 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"twigraph/internal/obs"
+	"twigraph/internal/qstats"
+)
+
+func testStats() *qstats.Stats {
+	st := qstats.NewStats(0)
+	fp := qstats.Compute(`MATCH (u:user {uid: 7}) WHERE u.name = "x" RETURN u`)
+	st.Record(fp, 3*time.Millisecond, 5, obs.StatusCompleted, qstats.Handle{})
+	st.Record(fp, 5*time.Millisecond, 5, obs.StatusCompleted, qstats.Handle{})
+	st.Record(qstats.Compute("neo: Followees"), time.Millisecond, 2, obs.StatusCompleted, qstats.Handle{})
+	return st
+}
+
+// TestEscapedLabelRoundTrip pins the writer/parser escape contract:
+// label values containing quotes, backslashes and newlines survive a
+// render → parse round trip unchanged (satellite: the parser used to
+// unquote naively and would mis-split such series).
+func TestEscapedLabelRoundTrip(t *testing.T) {
+	raw := `he said "hi" \once` + "\nline2"
+	data := "# TYPE g gauge\ng{q=\"" + EscapeLabelValue(raw) + "\",k=\"plain\"} 1\n"
+	fams, err := ParseExposition([]byte(data))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, data)
+	}
+	s := fams["g"].Samples[0]
+	if s.Labels["q"] != raw {
+		t.Errorf("q label = %q, want %q", s.Labels["q"], raw)
+	}
+	if s.Labels["k"] != "plain" {
+		t.Errorf("k label = %q", s.Labels["k"])
+	}
+}
+
+// TestParseLabelValueWithBraceAndComma covers the two characters Cypher
+// statements are guaranteed to put in query labels: `}` (property maps)
+// and `,` (argument lists) must not terminate the label set or split a
+// pair.
+func TestParseLabelValueWithBraceAndComma(t *testing.T) {
+	data := "# TYPE g gauge\n" +
+		"g{query=\"MATCH (u:user {uid: ?}), (b) RETURN u\",fp=\"ab\"} 2\n"
+	fams, err := ParseExposition([]byte(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fams["g"].Samples[0]
+	if want := "MATCH (u:user {uid: ?}), (b) RETURN u"; s.Labels["query"] != want {
+		t.Errorf("query label = %q, want %q", s.Labels["query"], want)
+	}
+	if s.Labels["fp"] != "ab" || s.Value != 2 {
+		t.Errorf("sample = %+v", s)
+	}
+}
+
+func TestParseRejectsBadEscapes(t *testing.T) {
+	for name, data := range map[string]string{
+		"unknown escape":     "# TYPE g gauge\ng{a=\"x\\q\"} 1\n",
+		"dangling backslash": "# TYPE g gauge\ng{a=\"x\\\"} 1\n",
+	} {
+		if _, err := ParseExposition([]byte(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestEmptyHistogramExposition: a histogram that exists but has zero
+// observations must still render a parseable, self-consistent family
+// (all-zero cumulative buckets, zero sum and count).
+func TestEmptyHistogramExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Histogram("query_latency") // registered, never observed
+	var buf strings.Builder
+	WriteMetrics(&buf, "neo", reg)
+	fams, err := ParseExposition([]byte(buf.String()))
+	if err != nil {
+		t.Fatalf("empty histogram invalid: %v\n%s", err, buf.String())
+	}
+	for _, s := range fams["twigraph_neo_query_latency_seconds"].Samples {
+		if s.Value != 0 {
+			t.Errorf("empty histogram sample %s = %v, want 0", s.Name, s.Value)
+		}
+	}
+}
+
+// TestWriteQueryStatsExposition renders statement series and round
+// trips them: normalised query text (quotes included) must survive as
+// a label, and calls/rows land on the fingerprint-only families.
+func TestWriteQueryStatsExposition(t *testing.T) {
+	st := testStats()
+	var buf strings.Builder
+	WriteQueryStats(&buf, "neo", st.TopK(0))
+	fams, err := ParseExposition([]byte(buf.String()))
+	if err != nil {
+		t.Fatalf("invalid exposition: %v\n%s", err, buf.String())
+	}
+	secs := fams["twigraph_neo_statement_seconds_total"]
+	if secs == nil || len(secs.Samples) != 2 {
+		t.Fatalf("seconds_total = %+v", secs)
+	}
+	// Ordered by total time: the parameterised MATCH (8ms) leads.
+	top := secs.Samples[0]
+	if want := `MATCH (u:user {uid: ?}) WHERE u.name = ? RETURN u`; top.Labels["query"] != want {
+		t.Errorf("query label = %q, want %q", top.Labels["query"], want)
+	}
+	if top.Value < 0.007 || top.Value > 0.009 {
+		t.Errorf("seconds_total = %v, want ~0.008", top.Value)
+	}
+	calls := fams["twigraph_neo_statement_calls_total"]
+	if calls == nil || len(calls.Samples) != 2 || calls.Samples[0].Value != 2 {
+		t.Errorf("calls_total = %+v", calls)
+	}
+	if rows := fams["twigraph_neo_statement_rows_total"]; rows == nil || rows.Samples[0].Value != 10 {
+		t.Errorf("rows_total = %+v", rows)
+	}
+}
+
+// TestServerUptimeAndBuildInfo: every scrape carries the process gauge
+// pair — uptime_seconds monotonically non-decreasing, and build_info
+// with go_version filled in plus the caller's identity labels.
+func TestServerUptimeAndBuildInfo(t *testing.T) {
+	s := NewServer()
+	s.SetBuildInfo(map[string]string{"engine": "neo,sparksee", "workers": "8"})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	parse := func() map[string]*Family {
+		fams, err := ParseExposition(mustGet(t, srv.URL+"/metrics", 200))
+		if err != nil {
+			t.Fatalf("scrape invalid: %v", err)
+		}
+		return fams
+	}
+	fams := parse()
+	up := fams["twigraph_uptime_seconds"]
+	if up == nil || up.Type != "gauge" || len(up.Samples) != 1 {
+		t.Fatalf("uptime family = %+v", up)
+	}
+	first := up.Samples[0].Value
+	if first < 0 {
+		t.Errorf("uptime = %v", first)
+	}
+	bi := fams["twigraph_build_info"]
+	if bi == nil || bi.Type != "gauge" || len(bi.Samples) != 1 || bi.Samples[0].Value != 1 {
+		t.Fatalf("build_info family = %+v", bi)
+	}
+	labels := bi.Samples[0].Labels
+	if labels["go_version"] != runtime.Version() {
+		t.Errorf("go_version = %q, want %q", labels["go_version"], runtime.Version())
+	}
+	if labels["engine"] != "neo,sparksee" || labels["workers"] != "8" {
+		t.Errorf("identity labels = %v", labels)
+	}
+
+	time.Sleep(10 * time.Millisecond)
+	if again := parse()["twigraph_uptime_seconds"].Samples[0].Value; again < first {
+		t.Errorf("uptime went backwards: %v then %v", first, again)
+	}
+}
+
+// TestServerQueryStatsEndpoint covers /querystats (full registry,
+// lazy sources, ?top trimming) and the top-K statement series landing
+// on /metrics.
+func TestServerQueryStatsEndpoint(t *testing.T) {
+	s := NewServer()
+	st := testStats()
+	s.AddQueryStats("neo", st)
+	var lazy *qstats.Stats
+	s.AddQueryStatsFunc("sparksee", func() *qstats.Stats { return lazy })
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var out []QueryStatsEntry
+	mustGetJSON(t, srv.URL+"/querystats", 200, &out)
+	if len(out) != 1 || out[0].Source != "neo" {
+		t.Fatalf("querystats = %+v", out)
+	}
+	if len(out[0].Statements) != 2 {
+		t.Fatalf("statements = %+v", out[0].Statements)
+	}
+	if out[0].Statements[0].Calls != 2 || out[0].Statements[0].TotalNanos != int64(8*time.Millisecond) {
+		t.Errorf("top statement = %+v", out[0].Statements[0])
+	}
+
+	mustGetJSON(t, srv.URL+"/querystats?top=1", 200, &out)
+	if len(out[0].Statements) != 1 {
+		t.Errorf("?top=1 returned %d statements", len(out[0].Statements))
+	}
+
+	lazy = testStats()
+	mustGetJSON(t, srv.URL+"/querystats", 200, &out)
+	if len(out) != 2 {
+		t.Errorf("lazy source absent after build: %+v", out)
+	}
+
+	fams, err := ParseExposition(mustGet(t, srv.URL+"/metrics", 200))
+	if err != nil {
+		t.Fatalf("scrape with statement series invalid: %v", err)
+	}
+	if fam := fams["twigraph_neo_statement_seconds_total"]; fam == nil || len(fam.Samples) != 2 {
+		t.Errorf("statement series on /metrics = %+v", fam)
+	}
+}

@@ -18,10 +18,13 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"sort"
 	"sync"
 	"time"
 
 	"twigraph/internal/obs"
+	"twigraph/internal/qstats"
 )
 
 // WALSyncFailuresCounter is the counter name surfaced in /healthz
@@ -43,17 +46,31 @@ type healthSource struct {
 	check func() error
 }
 
+type qstatsSource struct {
+	name string
+	get  func() *qstats.Stats
+}
+
+// DefaultMetricsTopK bounds how many per-fingerprint statement series
+// each source contributes to /metrics (the full registry stays on
+// /querystats; a scrape should not balloon with ad-hoc statements).
+const DefaultMetricsTopK = 10
+
 // Server aggregates observability sources and serves them over HTTP.
 // All Add* methods are safe to call concurrently with serving.
 type Server struct {
-	mu      sync.Mutex
-	regs    []regSource
-	tracers []tracerSource
-	health  []healthSource
+	mu        sync.Mutex
+	regs      []regSource
+	tracers   []tracerSource
+	health    []healthSource
+	qstats    []qstatsSource
+	buildInfo map[string]string
+	topK      int
+	start     time.Time
 }
 
 // NewServer creates an empty server.
-func NewServer() *Server { return &Server{} }
+func NewServer() *Server { return &Server{start: time.Now(), topK: DefaultMetricsTopK} }
 
 // AddRegistry exposes a fixed registry under the given scope name.
 func (s *Server) AddRegistry(name string, reg *obs.Registry) {
@@ -87,6 +104,43 @@ func (s *Server) AddHealth(name string, check func() error) {
 	s.health = append(s.health, healthSource{name, check})
 }
 
+// AddQueryStats exposes a fixed per-fingerprint statement registry on
+// /querystats and as top-K statement series on /metrics.
+func (s *Server) AddQueryStats(name string, st *qstats.Stats) {
+	s.AddQueryStatsFunc(name, func() *qstats.Stats { return st })
+}
+
+// AddQueryStatsFunc exposes a lazily built statement registry (nil
+// until built).
+func (s *Server) AddQueryStatsFunc(name string, get func() *qstats.Stats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.qstats = append(s.qstats, qstatsSource{name, get})
+}
+
+// SetBuildInfo sets the labels of the twigraph_build_info metric
+// (engine, workers, dataset — whatever identifies the process). The
+// go_version label is filled in automatically when absent.
+func (s *Server) SetBuildInfo(labels map[string]string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buildInfo = make(map[string]string, len(labels))
+	for k, v := range labels {
+		s.buildInfo[k] = v
+	}
+}
+
+// SetMetricsTopK bounds the per-fingerprint statement series on
+// /metrics (k <= 0 restores DefaultMetricsTopK).
+func (s *Server) SetMetricsTopK(k int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if k <= 0 {
+		k = DefaultMetricsTopK
+	}
+	s.topK = k
+}
+
 func (s *Server) regSources() []regSource {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -105,12 +159,19 @@ func (s *Server) healthSources() []healthSource {
 	return append([]healthSource(nil), s.health...)
 }
 
+func (s *Server) qstatsSources() []qstatsSource {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]qstatsSource(nil), s.qstats...)
+}
+
 // Handler returns the telemetry mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/slow", s.handleSlow)
+	mux.HandleFunc("/querystats", s.handleQueryStats)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -121,7 +182,7 @@ func (s *Server) Handler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "twigraph telemetry\n\n/metrics\n/healthz\n/slow\n/debug/pprof/\n")
+		fmt.Fprint(w, "twigraph telemetry\n\n/metrics\n/healthz\n/slow\n/querystats\n/debug/pprof/\n")
 	})
 	return mux
 }
@@ -133,6 +194,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			WriteMetrics(w, src.name, reg)
 		}
 	}
+	s.mu.Lock()
+	topK := s.topK
+	start := s.start
+	info := make(map[string]string, len(s.buildInfo)+1)
+	for k, v := range s.buildInfo {
+		info[k] = v
+	}
+	s.mu.Unlock()
+	for _, src := range s.qstatsSources() {
+		if st := src.get(); st != nil {
+			WriteQueryStats(w, src.name, st.TopK(topK))
+		}
+	}
+	fmt.Fprintf(w, "# TYPE %s_uptime_seconds gauge\n", MetricPrefix)
+	fmt.Fprintf(w, "%s_uptime_seconds %s\n", MetricPrefix, formatSeconds(time.Since(start).Seconds()))
+	if _, ok := info["go_version"]; !ok {
+		info["go_version"] = runtime.Version()
+	}
+	keys := make([]string, 0, len(info))
+	for k := range info {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(w, "# TYPE %s_build_info gauge\n%s_build_info{", MetricPrefix, MetricPrefix)
+	for i, k := range keys {
+		if i > 0 {
+			fmt.Fprint(w, ",")
+		}
+		fmt.Fprintf(w, "%s=\"%s\"", SanitizeMetricName(k), EscapeLabelValue(info[k]))
+	}
+	fmt.Fprint(w, "} 1\n")
 }
 
 // HealthCheck is one /healthz entry.
@@ -204,6 +296,40 @@ func (s *Server) handleSlow(w http.ResponseWriter, _ *http.Request) {
 			spans = []*obs.SpanSnapshot{}
 		}
 		out = append(out, SlowEntry{Source: src.name, Spans: spans})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// QueryStatsEntry is one source's statement registry in the
+// /querystats response.
+type QueryStatsEntry struct {
+	Source string `json:"source"`
+	// Evicted counts fingerprints dropped by the registry's LRU bound —
+	// non-zero means Statements is not the complete workload.
+	Evicted    uint64                `json:"evicted,omitempty"`
+	Statements []qstats.StatSnapshot `json:"statements"`
+}
+
+// handleQueryStats serves every source's full per-fingerprint registry
+// ordered by total time descending — the pg_stat_statements view.
+// ?top=N trims each source to its N most expensive statements.
+func (s *Server) handleQueryStats(w http.ResponseWriter, r *http.Request) {
+	top := 0
+	if v := r.URL.Query().Get("top"); v != "" {
+		fmt.Sscanf(v, "%d", &top)
+	}
+	out := []QueryStatsEntry{}
+	for _, src := range s.qstatsSources() {
+		st := src.get()
+		if st == nil {
+			continue
+		}
+		snaps := st.TopK(top)
+		if snaps == nil {
+			snaps = []qstats.StatSnapshot{}
+		}
+		out = append(out, QueryStatsEntry{Source: src.name, Evicted: st.Evictions(), Statements: snaps})
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)

@@ -113,9 +113,14 @@ func TopicExperts(s Store, uid int64, topic string, n int) ([]TopicExpert, error
 // ---------- NeoStore primitives ----------
 
 // TopTweetsWithTag implements TweetRanker on the declarative engine.
+// It runs outside the store's beginQuery tracking (it is a building
+// block of the composite, not a Table 2 query), so the engine itself
+// attributes it under its Cypher fingerprint.
 func (s *NeoStore) TopTweetsWithTag(tag string, n int) ([]Counted, error) {
+	ctx, cancel := s.queryCtx()
+	defer cancel()
 	// OPTIONAL MATCH keeps tweets with zero retweets in the ranking.
-	return s.queryCounted(
+	return s.queryCounted(ctx,
 		`MATCH (h:hashtag {tag: $tag})<-[:tags]-(t:tweet)
 		 OPTIONAL MATCH (t)<-[:retweets]-(r:tweet)
 		 RETURN t.tid AS id, count(r) AS c ORDER BY c DESC, id LIMIT $n`,
@@ -124,7 +129,9 @@ func (s *NeoStore) TopTweetsWithTag(tag string, n int) ([]Counted, error) {
 
 // PosterOf implements TweetRanker.
 func (s *NeoStore) PosterOf(tid int64) (int64, bool, error) {
-	res, err := s.query(
+	ctx, cancel := s.queryCtx()
+	defer cancel()
+	res, err := s.query(ctx,
 		`MATCH (u:user)-[:posts]->(t:tweet {tid: $tid}) RETURN u.uid`,
 		params("tid", tid))
 	if err != nil {

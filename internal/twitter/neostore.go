@@ -52,21 +52,17 @@ func NewNeoStore(db *neodb.DB) *NeoStore {
 	return s
 }
 
-// obsQuery times one workload query: the duration lands in the
-// query_latency histogram and, when the tracer is enabled, the query
-// runs under a store-level span — so the imperative parallel paths
-// (which bypass the Cypher executor and its spans) still show up in the
-// slow log and exported timelines. Use as `defer s.obsQuery("Name")()`.
-func (s *NeoStore) obsQuery(name string) func() {
-	var span *obs.Span
-	if tr := s.db.Tracer(); tr.Enabled() {
-		span = tr.Start("neo: " + name)
-	}
-	start := time.Now()
-	return func() {
-		s.qLatency.Observe(int64(time.Since(start)))
-		span.Finish()
-	}
+// beginQuery opens attribution for one workload method: the duration
+// lands in the query_latency histogram and the per-fingerprint
+// statistics registry, and when the tracer is enabled the query runs
+// under a store-level span carrying the query ID — so the imperative
+// parallel paths (which bypass the Cypher executor and its spans) still
+// show up in the slow log and exported timelines. Use with named
+// returns as `q := s.beginQuery("Name"); defer func() { q.finish(err,
+// len(out)) }()`; thread q.ctx into the execution so the engine reuses
+// the query ID instead of double counting.
+func (s *NeoStore) beginQuery(name string) *runningQuery {
+	return beginStoreQuery("neo: "+name, s.db.Tracer(), s.db.QueryStats(), s.qLatency, s.timeout)
 }
 
 // Name implements Store.
@@ -100,10 +96,9 @@ func (s *NeoStore) queryCtx() (context.Context, context.CancelFunc) {
 	return context.WithTimeout(context.Background(), s.timeout)
 }
 
-// query runs one declarative query under the store's deadline.
-func (s *NeoStore) query(q string, p map[string]graph.Value) (*cypher.Result, error) {
-	ctx, cancel := s.queryCtx()
-	defer cancel()
+// query runs one declarative query under ctx (a beginQuery tracking
+// context, or a bare queryCtx deadline for untracked helpers).
+func (s *NeoStore) query(ctx context.Context, q string, p map[string]graph.Value) (*cypher.Result, error) {
 	return s.engine.QueryCtx(ctx, q, p)
 }
 
@@ -146,8 +141,8 @@ func params(kv ...any) map[string]graph.Value {
 	return m
 }
 
-func (s *NeoStore) queryInts(q string, p map[string]graph.Value) ([]int64, error) {
-	res, err := s.query(q, p)
+func (s *NeoStore) queryInts(ctx context.Context, q string, p map[string]graph.Value) ([]int64, error) {
+	res, err := s.query(ctx, q, p)
 	if err != nil {
 		return nil, err
 	}
@@ -162,8 +157,8 @@ func (s *NeoStore) queryInts(q string, p map[string]graph.Value) ([]int64, error
 	return out, nil
 }
 
-func (s *NeoStore) queryCounted(q string, p map[string]graph.Value) ([]Counted, error) {
-	res, err := s.query(q, p)
+func (s *NeoStore) queryCounted(ctx context.Context, q string, p map[string]graph.Value) ([]Counted, error) {
+	res, err := s.query(ctx, q, p)
 	if err != nil {
 		return nil, err
 	}
@@ -177,41 +172,45 @@ func (s *NeoStore) queryCounted(q string, p map[string]graph.Value) ([]Counted, 
 }
 
 // UsersWithFollowersOver implements Q1.1.
-func (s *NeoStore) UsersWithFollowersOver(threshold int64) ([]int64, error) {
-	defer s.obsQuery("UsersWithFollowersOver")()
-	return s.queryInts(
+func (s *NeoStore) UsersWithFollowersOver(threshold int64) (out []int64, err error) {
+	q := s.beginQuery("UsersWithFollowersOver")
+	defer func() { q.finish(err, len(out)) }()
+	return s.queryInts(q.ctx,
 		`MATCH (u:user) WHERE u.followers > $th RETURN u.uid AS uid ORDER BY uid`,
 		params("th", threshold))
 }
 
 // Followees implements Q2.1.
-func (s *NeoStore) Followees(uid int64) ([]int64, error) {
-	defer s.obsQuery("Followees")()
-	return s.queryInts(
+func (s *NeoStore) Followees(uid int64) (out []int64, err error) {
+	q := s.beginQuery("Followees")
+	defer func() { q.finish(err, len(out)) }()
+	return s.queryInts(q.ctx,
 		`MATCH (a:user {uid: $uid})-[:follows]->(f:user) RETURN DISTINCT f.uid AS uid ORDER BY uid`,
 		params("uid", uid))
 }
 
 // TweetsOfFollowees implements Q2.2.
-func (s *NeoStore) TweetsOfFollowees(uid int64) ([]int64, error) {
-	defer s.obsQuery("TweetsOfFollowees")()
-	return s.queryInts(
+func (s *NeoStore) TweetsOfFollowees(uid int64) (out []int64, err error) {
+	q := s.beginQuery("TweetsOfFollowees")
+	defer func() { q.finish(err, len(out)) }()
+	return s.queryInts(q.ctx,
 		`MATCH (a:user {uid: $uid})-[:follows]->(:user)-[:posts]->(t:tweet)
 		 RETURN DISTINCT t.tid AS tid ORDER BY tid`,
 		params("uid", uid))
 }
 
 // HashtagsOfFollowees implements Q2.3.
-func (s *NeoStore) HashtagsOfFollowees(uid int64) ([]string, error) {
-	defer s.obsQuery("HashtagsOfFollowees")()
-	res, err := s.query(
+func (s *NeoStore) HashtagsOfFollowees(uid int64) (out []string, err error) {
+	q := s.beginQuery("HashtagsOfFollowees")
+	defer func() { q.finish(err, len(out)) }()
+	res, err := s.query(q.ctx,
 		`MATCH (a:user {uid: $uid})-[:follows]->(:user)-[:posts]->(:tweet)-[:tags]->(h:hashtag)
 		 RETURN DISTINCT h.tag AS tag ORDER BY tag`,
 		params("uid", uid))
 	if err != nil {
 		return nil, err
 	}
-	out := make([]string, 0, len(res.Rows))
+	out = make([]string, 0, len(res.Rows))
 	for _, r := range res.Rows {
 		out = append(out, r[0].(graph.Value).Str())
 	}
@@ -219,12 +218,13 @@ func (s *NeoStore) HashtagsOfFollowees(uid int64) ([]string, error) {
 }
 
 // CoMentionedUsers implements Q3.1.
-func (s *NeoStore) CoMentionedUsers(uid int64, n int) ([]Counted, error) {
-	defer s.obsQuery("CoMentionedUsers")()
+func (s *NeoStore) CoMentionedUsers(uid int64, n int) (out []Counted, err error) {
+	q := s.beginQuery("CoMentionedUsers")
+	defer func() { q.finish(err, len(out)) }()
 	if s.workers > 1 {
 		return s.coMentionedParallel(uid, n)
 	}
-	return s.queryCounted(
+	return s.queryCounted(q.ctx,
 		`MATCH (a:user {uid: $uid})<-[:mentions]-(t:tweet)-[:mentions]->(o:user)
 		 WHERE o.uid <> $uid
 		 RETURN o.uid AS id, count(*) AS c ORDER BY c DESC, id LIMIT $n`,
@@ -232,12 +232,13 @@ func (s *NeoStore) CoMentionedUsers(uid int64, n int) ([]Counted, error) {
 }
 
 // CoOccurringHashtags implements Q3.2.
-func (s *NeoStore) CoOccurringHashtags(tag string, n int) ([]CountedTag, error) {
-	defer s.obsQuery("CoOccurringHashtags")()
+func (s *NeoStore) CoOccurringHashtags(tag string, n int) (out []CountedTag, err error) {
+	q := s.beginQuery("CoOccurringHashtags")
+	defer func() { q.finish(err, len(out)) }()
 	if s.workers > 1 {
 		return s.coOccurringTagsParallel(tag, n)
 	}
-	res, err := s.query(
+	res, err := s.query(q.ctx,
 		`MATCH (h:hashtag {tag: $tag})<-[:tags]-(t:tweet)-[:tags]->(o:hashtag)
 		 WHERE o.tag <> $tag
 		 RETURN o.tag AS tag, count(*) AS c ORDER BY c DESC, tag LIMIT $n`,
@@ -245,7 +246,7 @@ func (s *NeoStore) CoOccurringHashtags(tag string, n int) ([]CountedTag, error) 
 	if err != nil {
 		return nil, err
 	}
-	out := make([]CountedTag, 0, len(res.Rows))
+	out = make([]CountedTag, 0, len(res.Rows))
 	for _, r := range res.Rows {
 		out = append(out, CountedTag{Tag: r[0].(graph.Value).Str(), Count: r[1].(graph.Value).Int()})
 	}
@@ -255,12 +256,13 @@ func (s *NeoStore) CoOccurringHashtags(tag string, n int) ([]CountedTag, error) 
 // RecommendFollowees implements Q4.1 using the paper's method (b) —
 // collect the 1-step followees, then check depth-2 candidates against
 // the collection — which the authors found fastest.
-func (s *NeoStore) RecommendFollowees(uid int64, n int) ([]Counted, error) {
-	defer s.obsQuery("RecommendFollowees")()
+func (s *NeoStore) RecommendFollowees(uid int64, n int) (out []Counted, err error) {
+	q := s.beginQuery("RecommendFollowees")
+	defer func() { q.finish(err, len(out)) }()
 	if s.workers > 1 {
 		return s.recommendFolloweesParallel(uid, n)
 	}
-	return s.queryCounted(QueryRecommendMethodB, params("uid", uid, "n", n))
+	return s.queryCounted(q.ctx, QueryRecommendMethodB, params("uid", uid, "n", n))
 }
 
 // The three Cypher phrasings of the recommendation query (§4,
@@ -294,27 +296,29 @@ const (
 
 // RecommendFolloweesMethod runs one of the three phrasings ("a", "b",
 // "c") for the ablation benchmark.
-func (s *NeoStore) RecommendFolloweesMethod(method string, uid int64, n int) ([]Counted, error) {
-	defer s.obsQuery("RecommendFolloweesMethod")()
-	var q string
+func (s *NeoStore) RecommendFolloweesMethod(method string, uid int64, n int) (out []Counted, err error) {
+	q := s.beginQuery("RecommendFolloweesMethod")
+	defer func() { q.finish(err, len(out)) }()
+	var text string
 	switch method {
 	case "a":
-		q = QueryRecommendMethodA
+		text = QueryRecommendMethodA
 	case "b":
-		q = QueryRecommendMethodB
+		text = QueryRecommendMethodB
 	case "c":
-		q = QueryRecommendMethodC
+		text = QueryRecommendMethodC
 	default:
 		return nil, fmt.Errorf("twitter: unknown method %q", method)
 	}
-	return s.queryCounted(q, params("uid", uid, "n", n))
+	return s.queryCounted(q.ctx, text, params("uid", uid, "n", n))
 }
 
 // RecommendFolloweesTraversal answers Q4.1 through the imperative
 // traversal framework instead of the declarative layer — the "core API"
 // rewrite the paper found slightly faster but harder to express.
-func (s *NeoStore) RecommendFolloweesTraversal(uid int64, n int) ([]Counted, error) {
-	defer s.obsQuery("RecommendFolloweesTraversal")()
+func (s *NeoStore) RecommendFolloweesTraversal(uid int64, n int) (out []Counted, err error) {
+	q := s.beginQuery("RecommendFolloweesTraversal")
+	defer func() { q.finish(err, len(out)) }()
 	user := s.db.LabelID(LabelUser)
 	uidKey := s.db.PropKeyID(PropUID)
 	follows := s.db.RelTypeID(RelFollows)
@@ -331,10 +335,8 @@ func (s *NeoStore) RecommendFolloweesTraversal(uid int64, n int) ([]Counted, err
 		return nil, err
 	}
 	counts := map[graph.NodeID]int64{}
-	ctx, cancel := s.queryCtx()
-	defer cancel()
 	td := s.db.NewTraversal().
-		WithContext(ctx).
+		WithContext(q.ctx).
 		Expand(follows, graph.Outgoing).
 		Depths(2, 2).
 		Uniqueness(neodb.NoneUnique)
@@ -367,12 +369,13 @@ func (s *NeoStore) topNByNode(counts map[graph.NodeID]int64, uidKey graph.AttrID
 }
 
 // RecommendFollowersOfFollowees implements Q4.2.
-func (s *NeoStore) RecommendFollowersOfFollowees(uid int64, n int) ([]Counted, error) {
-	defer s.obsQuery("RecommendFollowersOfFollowees")()
+func (s *NeoStore) RecommendFollowersOfFollowees(uid int64, n int) (out []Counted, err error) {
+	q := s.beginQuery("RecommendFollowersOfFollowees")
+	defer func() { q.finish(err, len(out)) }()
 	if s.workers > 1 {
 		return s.recommendFollowersParallel(uid, n)
 	}
-	return s.queryCounted(
+	return s.queryCounted(q.ctx,
 		`MATCH (a:user {uid: $uid})-[:follows]->(f:user)<-[:follows]-(x:user)
 		 WHERE x.uid <> $uid AND NOT (a)-[:follows]->(x)
 		 RETURN x.uid AS id, count(*) AS c ORDER BY c DESC, id LIMIT $n`,
@@ -380,12 +383,13 @@ func (s *NeoStore) RecommendFollowersOfFollowees(uid int64, n int) ([]Counted, e
 }
 
 // CurrentInfluence implements Q5.1.
-func (s *NeoStore) CurrentInfluence(uid int64, n int) ([]Counted, error) {
-	defer s.obsQuery("CurrentInfluence")()
+func (s *NeoStore) CurrentInfluence(uid int64, n int) (out []Counted, err error) {
+	q := s.beginQuery("CurrentInfluence")
+	defer func() { q.finish(err, len(out)) }()
 	if s.workers > 1 {
 		return s.influenceParallel(uid, n, true)
 	}
-	return s.queryCounted(
+	return s.queryCounted(q.ctx,
 		`MATCH (a:user {uid: $uid})<-[:mentions]-(t:tweet)<-[:posts]-(m:user)
 		 WHERE m.uid <> $uid AND (m)-[:follows]->(a)
 		 RETURN m.uid AS id, count(*) AS c ORDER BY c DESC, id LIMIT $n`,
@@ -393,12 +397,13 @@ func (s *NeoStore) CurrentInfluence(uid int64, n int) ([]Counted, error) {
 }
 
 // PotentialInfluence implements Q5.2.
-func (s *NeoStore) PotentialInfluence(uid int64, n int) ([]Counted, error) {
-	defer s.obsQuery("PotentialInfluence")()
+func (s *NeoStore) PotentialInfluence(uid int64, n int) (out []Counted, err error) {
+	q := s.beginQuery("PotentialInfluence")
+	defer func() { q.finish(err, len(out)) }()
 	if s.workers > 1 {
 		return s.influenceParallel(uid, n, false)
 	}
-	return s.queryCounted(
+	return s.queryCounted(q.ctx,
 		`MATCH (a:user {uid: $uid})<-[:mentions]-(t:tweet)<-[:posts]-(m:user)
 		 WHERE m.uid <> $uid AND NOT (m)-[:follows]->(a)
 		 RETURN m.uid AS id, count(*) AS c ORDER BY c DESC, id LIMIT $n`,
@@ -410,12 +415,13 @@ func (s *NeoStore) PotentialInfluence(uid int64, n int) ([]Counted, error) {
 // same bidirectional search imperatively with frontier-parallel levels
 // (ShortestPathLength on the engine), returning the identical
 // (length, found) pair.
-func (s *NeoStore) ShortestPathLength(fromUID, toUID int64, maxHops int) (int, bool, error) {
-	defer s.obsQuery("ShortestPathLength")()
+func (s *NeoStore) ShortestPathLength(fromUID, toUID int64, maxHops int) (length int, found bool, err error) {
+	q := s.beginQuery("ShortestPathLength")
+	defer func() { q.finish(err, boolRows(found)) }()
 	if s.workers > 1 {
-		return s.shortestPathParallel(fromUID, toUID, maxHops)
+		return s.shortestPathParallel(q.ctx, fromUID, toUID, maxHops)
 	}
-	res, err := s.query(fmt.Sprintf(
+	res, err := s.query(q.ctx, fmt.Sprintf(
 		`MATCH (a:user {uid: $a}), (b:user {uid: $b}),
 		        p = shortestPath((a)-[:follows*..%d]->(b))
 		 RETURN length(p)`, maxHops),
@@ -429,11 +435,21 @@ func (s *NeoStore) ShortestPathLength(fromUID, toUID int64, maxHops int) (int, b
 	return int(res.Rows[0][0].(graph.Value).Int()), true, nil
 }
 
+// boolRows maps a found/not-found result onto a row count for query
+// statistics (Cypher returns one row on a hit, none on a miss).
+func boolRows(found bool) int {
+	if found {
+		return 1
+	}
+	return 0
+}
+
 // ---------- update workload ----------
 
 // AddUser implements UpdateStore.
-func (s *NeoStore) AddUser(uid int64, screenName string) error {
-	defer s.obsQuery("AddUser")()
+func (s *NeoStore) AddUser(uid int64, screenName string) (err error) {
+	q := s.beginQuery("AddUser")
+	defer func() { q.finish(err, 0) }()
 	tx := s.db.Begin()
 	tx.CreateNode(s.db.Label(LabelUser), graph.Properties{
 		PropUID:        graph.IntValue(uid),
@@ -444,8 +460,9 @@ func (s *NeoStore) AddUser(uid int64, screenName string) error {
 }
 
 // AddFollow implements UpdateStore.
-func (s *NeoStore) AddFollow(srcUID, dstUID int64) error {
-	defer s.obsQuery("AddFollow")()
+func (s *NeoStore) AddFollow(srcUID, dstUID int64) (err error) {
+	q := s.beginQuery("AddFollow")
+	defer func() { q.finish(err, 0) }()
 	src, dst, err := s.twoUsers(srcUID, dstUID)
 	if err != nil {
 		return err
@@ -456,8 +473,9 @@ func (s *NeoStore) AddFollow(srcUID, dstUID int64) error {
 }
 
 // AddTweet implements UpdateStore.
-func (s *NeoStore) AddTweet(uid, tid int64, text string, mentionUIDs []int64, tagTexts []string) error {
-	defer s.obsQuery("AddTweet")()
+func (s *NeoStore) AddTweet(uid, tid int64, text string, mentionUIDs []int64, tagTexts []string) (err error) {
+	q := s.beginQuery("AddTweet")
+	defer func() { q.finish(err, 0) }()
 	user := s.db.LabelID(LabelUser)
 	uidKey := s.db.PropKeyID(PropUID)
 	author, ok := s.db.FindNode(user, uidKey, graph.IntValue(uid))

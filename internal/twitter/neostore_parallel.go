@@ -1,6 +1,7 @@
 package twitter
 
 import (
+	"context"
 	"sync"
 
 	"twigraph/internal/graph"
@@ -238,9 +239,10 @@ func (s *NeoStore) influenceParallel(uid int64, n int, keepFollowers bool) ([]Co
 }
 
 // shortestPathParallel is Q6.1: the bidirectional length-only search
-// with frontier-parallel levels. An unknown endpoint yields no rows in
-// Cypher, hence (0, false) here.
-func (s *NeoStore) shortestPathParallel(fromUID, toUID int64, maxHops int) (int, bool, error) {
+// with frontier-parallel levels, bounded by the caller's tracking
+// context. An unknown endpoint yields no rows in Cypher, hence
+// (0, false) here.
+func (s *NeoStore) shortestPathParallel(ctx context.Context, fromUID, toUID int64, maxHops int) (int, bool, error) {
 	user := s.db.LabelID(LabelUser)
 	uidKey := s.db.PropKeyID(PropUID)
 	follows := s.db.RelTypeID(RelFollows)
@@ -252,8 +254,6 @@ func (s *NeoStore) shortestPathParallel(fromUID, toUID int64, maxHops int) (int,
 	if !ok {
 		return 0, false, nil
 	}
-	ctx, cancel := s.queryCtx()
-	defer cancel()
 	return s.db.ShortestPathLengthCtx(ctx, a, b,
 		[]neodb.Expander{{Type: follows, Dir: graph.Outgoing}}, maxHops, s.workers)
 }

@@ -1,0 +1,130 @@
+package twitter_test
+
+import (
+	"testing"
+
+	"twigraph/internal/obs"
+	"twigraph/internal/qstats"
+	"twigraph/internal/twitter"
+)
+
+// TestQueryStatsMatchAggregateLatency pins the accounting invariant
+// behind /querystats: every workload query is recorded exactly once, so
+// the per-fingerprint calls and total time sum to the aggregate
+// query_latency histogram on both engines. On the neo store this is the
+// double-counting guard — the declarative methods run through the
+// cypher executor, which must skip its own Record when the store-level
+// wrapper already owns the accounting.
+func TestQueryStatsMatchAggregateLatency(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Users = 120
+	neo, spark, _ := buildBoth(t, cfg)
+
+	type workloadStore interface {
+		Followees(int64) ([]int64, error)
+		CoMentionedUsers(int64, int) ([]twitter.Counted, error)
+		RecommendFollowees(int64, int) ([]twitter.Counted, error)
+		ShortestPathLength(int64, int64, int) (int, bool, error)
+		Obs() *obs.Registry
+		ResetCounters()
+	}
+	run := func(t *testing.T, st workloadStore) uint64 {
+		t.Helper()
+		st.ResetCounters()
+		var calls uint64
+		for _, uid := range []int64{1, 2, 3} {
+			if _, err := st.Followees(uid); err != nil {
+				t.Fatal(err)
+			}
+			calls++
+		}
+		for _, uid := range []int64{1, 5} {
+			if _, err := st.CoMentionedUsers(uid, 10); err != nil {
+				t.Fatal(err)
+			}
+			calls++
+		}
+		if _, err := st.RecommendFollowees(2, 10); err != nil {
+			t.Fatal(err)
+		}
+		calls++
+		if _, _, err := st.ShortestPathLength(1, 7, 3); err != nil {
+			t.Fatal(err)
+		}
+		calls++
+		return calls
+	}
+	check := func(t *testing.T, stats *qstats.Stats, hist *obs.Histogram, calls uint64, shapes int) {
+		t.Helper()
+		snaps := stats.Snapshot()
+		if len(snaps) != shapes {
+			for _, sn := range snaps {
+				t.Logf("row: %s calls=%d %s", sn.Fingerprint, sn.Calls, sn.Query)
+			}
+			t.Fatalf("got %d fingerprint rows, want %d (one per workload method, none from the executor)", len(snaps), shapes)
+		}
+		var sumCalls uint64
+		var sumNanos int64
+		for _, sn := range snaps {
+			sumCalls += sn.Calls
+			sumNanos += sn.TotalNanos
+			if sn.Latency.Count != sn.Calls {
+				t.Errorf("%s: latency count %d != calls %d", sn.Query, sn.Latency.Count, sn.Calls)
+			}
+		}
+		if sumCalls != calls || hist.Count() != calls {
+			t.Errorf("calls: stats=%d hist=%d want %d", sumCalls, hist.Count(), calls)
+		}
+		// finish() feeds the identical duration to both surfaces, so the
+		// sums must agree exactly, not just within tolerance.
+		if sumNanos != hist.Sum() {
+			t.Errorf("total time: stats=%dns hist=%dns", sumNanos, hist.Sum())
+		}
+	}
+
+	t.Run("neo", func(t *testing.T) {
+		calls := run(t, neo)
+		check(t, neo.DB().QueryStats(), neo.Obs().Histogram(twitter.QueryLatencyHist), calls, 4)
+	})
+	t.Run("sparksee", func(t *testing.T) {
+		calls := run(t, spark)
+		check(t, spark.DB().QueryStats(), spark.Obs().Histogram(twitter.QueryLatencyHist), calls, 4)
+	})
+}
+
+// TestSlowLogCorrelatesWithQueryStats pins the correlation workflow:
+// the fingerprint and query ID on a slow-ring span resolve to a
+// /querystats row for the same statement.
+func TestSlowLogCorrelatesWithQueryStats(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Users = 100
+	neo, _, _ := buildBoth(t, cfg)
+
+	tr := neo.Tracer()
+	tr.SetEnabled(true)
+	tr.SetSlowThreshold(0)
+	defer tr.SetEnabled(false)
+	neo.ResetCounters()
+
+	if _, err := neo.Followees(1); err != nil {
+		t.Fatal(err)
+	}
+	log := tr.SlowLog()
+	if len(log) == 0 {
+		t.Fatal("slow log empty")
+	}
+	last := log[len(log)-1]
+	if last.QueryID == 0 {
+		t.Fatal("slow-ring span carries no query ID")
+	}
+	want := qstats.Compute("neo: Followees").Hash
+	if last.Fingerprint != want {
+		t.Fatalf("span fingerprint %q, want %q", last.Fingerprint, want)
+	}
+	for _, sn := range neo.DB().QueryStats().Snapshot() {
+		if sn.Fingerprint == last.Fingerprint {
+			return
+		}
+	}
+	t.Fatalf("no /querystats row for slow-span fingerprint %q", last.Fingerprint)
+}

@@ -1,0 +1,78 @@
+package twitter
+
+import (
+	"context"
+	"time"
+
+	"twigraph/internal/obs"
+	"twigraph/internal/qstats"
+)
+
+// runningQuery tracks one workload query from begin to finish across
+// every attribution surface at once: the query_latency histogram, the
+// engine's per-fingerprint statistics registry, and (when the tracer is
+// on) a store-level span carrying the query ID — so a slow-query log
+// line, a /querystats row and a trace-timeline event for the same
+// execution all share one ID and fingerprint.
+//
+// The ctx it builds is marked accounted: when a declarative method runs
+// through the cypher executor, the executor sees the mark, reuses the
+// store's query ID for its spans, and skips its own Record — one store
+// query counts exactly once, so per-fingerprint call×mean sums match
+// the aggregate query_latency histogram.
+type runningQuery struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	span   *obs.Span
+	start  time.Time
+	fp     qstats.Fingerprint
+	stats  *qstats.Stats
+	handle qstats.Handle
+	lat    *obs.Histogram
+}
+
+// beginStoreQuery opens tracking for one workload method. name is the
+// span/fingerprint label ("neo: Followees", "spark: AddTweet");
+// timeout <= 0 leaves the query unbounded (the ctx then carries only
+// attribution values, no deadline).
+func beginStoreQuery(name string, tracer *obs.Tracer, stats *qstats.Stats, lat *obs.Histogram, timeout time.Duration) *runningQuery {
+	q := &runningQuery{
+		start:  time.Now(),
+		fp:     qstats.Compute(name),
+		stats:  stats,
+		lat:    lat,
+		cancel: func() {},
+	}
+	qid := qstats.NextQueryID()
+	var ctx context.Context
+	if timeout > 0 {
+		ctx, q.cancel = context.WithTimeout(context.Background(), timeout)
+	}
+	q.ctx = qstats.MarkAccounted(qstats.WithQueryID(ctx, qid))
+	if tracer.Enabled() {
+		q.span = tracer.Start(name)
+		q.span.SetQuery(qid, q.fp.Hash)
+	}
+	q.handle = stats.Begin()
+	return q
+}
+
+// finish closes the tracking: latency into the histogram, the
+// execution into the statistics registry under the method fingerprint,
+// status and row count onto the span. Call it exactly once, usually as
+// `defer func() { q.finish(err, len(out)) }()` over named returns.
+func (q *runningQuery) finish(err error, rows int) {
+	d := time.Since(q.start)
+	q.lat.Observe(int64(d))
+	if rows < 0 {
+		rows = 0
+	}
+	status := obs.StatusFromError(err)
+	q.stats.Record(q.fp, d, rows, status, q.handle)
+	if q.span != nil {
+		q.span.SetStatus(status)
+		q.span.SetRows(rows)
+		q.span.Finish()
+	}
+	q.cancel()
+}

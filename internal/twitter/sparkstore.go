@@ -111,20 +111,15 @@ func (s *SparkStore) Close() error { return nil }
 // DB exposes the underlying engine for benchmarks.
 func (s *SparkStore) DB() *sparkdb.DB { return s.db }
 
-// obsQuery times one workload query into the query_latency histogram
-// and, when the tracer is on, wraps it in a "spark: <name>" span so the
-// navigation paths show up in the slow log and trace timeline like the
-// Cypher ones do. Use as `defer s.obsQuery("Method")()`.
-func (s *SparkStore) obsQuery(name string) func() {
-	var span *obs.Span
-	if tr := s.db.Tracer(); tr.Enabled() {
-		span = tr.Start("spark: " + name)
-	}
-	start := time.Now()
-	return func() {
-		s.qLatency.Observe(int64(time.Since(start)))
-		span.Finish()
-	}
+// beginQuery opens attribution for one workload method: wall time into
+// the query_latency histogram and the per-fingerprint statistics
+// registry and, when the tracer is on, a "spark: <name>" span carrying
+// the query ID so the navigation paths show up in the slow log and
+// trace timeline like the Cypher ones do. Use with named returns as
+// `q := s.beginQuery("Method"); defer func() { q.finish(err,
+// len(out)) }()`.
+func (s *SparkStore) beginQuery(name string) *runningQuery {
+	return beginStoreQuery("spark: "+name, s.db.Tracer(), s.db.QueryStats(), s.qLatency, s.timeout)
 }
 
 func (s *SparkStore) userByUID(uid int64) (uint64, bool) {
@@ -137,10 +132,11 @@ func (s *SparkStore) uidOf(oid uint64) int64 {
 
 // UsersWithFollowersOver implements Q1.1 with a single-predicate Select
 // (multi-predicate filters would need client-side set algebra).
-func (s *SparkStore) UsersWithFollowersOver(threshold int64) ([]int64, error) {
-	defer s.obsQuery("UsersWithFollowersOver")()
+func (s *SparkStore) UsersWithFollowersOver(threshold int64) (out []int64, err error) {
+	q := s.beginQuery("UsersWithFollowersOver")
+	defer func() { q.finish(err, len(out)) }()
 	objs := s.db.Select(s.followersAttr, sparkdb.Greater, graph.IntValue(threshold))
-	out := make([]int64, 0, objs.Count())
+	out = make([]int64, 0, objs.Count())
 	objs.ForEach(func(oid uint64) bool {
 		out = append(out, s.uidOf(oid))
 		return true
@@ -150,8 +146,9 @@ func (s *SparkStore) UsersWithFollowersOver(threshold int64) ([]int64, error) {
 }
 
 // Followees implements Q2.1.
-func (s *SparkStore) Followees(uid int64) ([]int64, error) {
-	defer s.obsQuery("Followees")()
+func (s *SparkStore) Followees(uid int64) (out []int64, err error) {
+	q := s.beginQuery("Followees")
+	defer func() { q.finish(err, len(out)) }()
 	a, ok := s.userByUID(uid)
 	if !ok {
 		return nil, nil
@@ -171,8 +168,9 @@ func (s *SparkStore) uidsOf(objs *sparkdb.Objects) []int64 {
 
 // TweetsOfFollowees implements Q2.2: one Neighbors call per followee,
 // unioned.
-func (s *SparkStore) TweetsOfFollowees(uid int64) ([]int64, error) {
-	defer s.obsQuery("TweetsOfFollowees")()
+func (s *SparkStore) TweetsOfFollowees(uid int64) (out []int64, err error) {
+	q := s.beginQuery("TweetsOfFollowees")
+	defer func() { q.finish(err, len(out)) }()
 	a, ok := s.userByUID(uid)
 	if !ok {
 		return nil, nil
@@ -182,7 +180,7 @@ func (s *SparkStore) TweetsOfFollowees(uid int64) ([]int64, error) {
 		tweets.UnionWith(s.db.Neighbors(f, s.posts, graph.Outgoing))
 		return true
 	})
-	out := make([]int64, 0, tweets.Count())
+	out = make([]int64, 0, tweets.Count())
 	tweets.ForEach(func(t uint64) bool {
 		out = append(out, s.db.GetAttribute(t, s.tidAttr).Int())
 		return true
@@ -192,8 +190,9 @@ func (s *SparkStore) TweetsOfFollowees(uid int64) ([]int64, error) {
 }
 
 // HashtagsOfFollowees implements Q2.3 (3-step adjacency).
-func (s *SparkStore) HashtagsOfFollowees(uid int64) ([]string, error) {
-	defer s.obsQuery("HashtagsOfFollowees")()
+func (s *SparkStore) HashtagsOfFollowees(uid int64) (out []string, err error) {
+	q := s.beginQuery("HashtagsOfFollowees")
+	defer func() { q.finish(err, len(out)) }()
 	a, ok := s.userByUID(uid)
 	if !ok {
 		return nil, nil
@@ -206,7 +205,7 @@ func (s *SparkStore) HashtagsOfFollowees(uid int64) ([]string, error) {
 		})
 		return true
 	})
-	out := make([]string, 0, tagsSet.Count())
+	out = make([]string, 0, tagsSet.Count())
 	tagsSet.ForEach(func(h uint64) bool {
 		out = append(out, s.db.GetAttribute(h, s.tagAttr).Str())
 		return true
@@ -217,8 +216,9 @@ func (s *SparkStore) HashtagsOfFollowees(uid int64) ([]string, error) {
 
 // CoMentionedUsers implements Q3.1: the 2-step co-occurrence walk with a
 // client-side counting map.
-func (s *SparkStore) CoMentionedUsers(uid int64, n int) ([]Counted, error) {
-	defer s.obsQuery("CoMentionedUsers")()
+func (s *SparkStore) CoMentionedUsers(uid int64, n int) (out []Counted, err error) {
+	q := s.beginQuery("CoMentionedUsers")
+	defer func() { q.finish(err, len(out)) }()
 	a, ok := s.userByUID(uid)
 	if !ok {
 		return nil, nil
@@ -246,8 +246,9 @@ func (s *SparkStore) CoMentionedUsers(uid int64, n int) ([]Counted, error) {
 }
 
 // CoOccurringHashtags implements Q3.2.
-func (s *SparkStore) CoOccurringHashtags(tag string, n int) ([]CountedTag, error) {
-	defer s.obsQuery("CoOccurringHashtags")()
+func (s *SparkStore) CoOccurringHashtags(tag string, n int) (out []CountedTag, err error) {
+	q := s.beginQuery("CoOccurringHashtags")
+	defer func() { q.finish(err, len(out)) }()
 	h, ok := s.db.FindObject(s.tagAttr, graph.StringValue(tag))
 	if !ok {
 		return nil, nil
@@ -266,7 +267,7 @@ func (s *SparkStore) CoOccurringHashtags(tag string, n int) ([]CountedTag, error
 			return true
 		})
 	})
-	out := make([]CountedTag, 0, len(counts))
+	out = make([]CountedTag, 0, len(counts))
 	for oid, c := range counts {
 		out = append(out, CountedTag{Tag: s.db.GetAttribute(oid, s.tagAttr).Str(), Count: c})
 	}
@@ -280,8 +281,9 @@ func (s *SparkStore) CoOccurringHashtags(tag string, n int) ([]CountedTag, error
 // RecommendFollowees implements Q4.1. As the paper notes, "a separate
 // neighbours call has to be executed for each 1-step followee of A,
 // which makes the execution of this query expensive".
-func (s *SparkStore) RecommendFollowees(uid int64, n int) ([]Counted, error) {
-	defer s.obsQuery("RecommendFollowees")()
+func (s *SparkStore) RecommendFollowees(uid int64, n int) (out []Counted, err error) {
+	q := s.beginQuery("RecommendFollowees")
+	defer func() { q.finish(err, len(out)) }()
 	a, ok := s.userByUID(uid)
 	if !ok {
 		return nil, nil
@@ -311,8 +313,9 @@ func (s *SparkStore) RecommendFollowees(uid int64, n int) ([]Counted, error) {
 // RecommendFolloweesTraversal answers Q4.1 through the Traversal class
 // instead of raw navigation (the paper's §4 comparison found raw
 // neighbors "slightly more efficient").
-func (s *SparkStore) RecommendFolloweesTraversal(uid int64, n int) ([]Counted, error) {
-	defer s.obsQuery("RecommendFolloweesTraversal")()
+func (s *SparkStore) RecommendFolloweesTraversal(uid int64, n int) (out []Counted, err error) {
+	q := s.beginQuery("RecommendFolloweesTraversal")
+	defer func() { q.finish(err, len(out)) }()
 	a, ok := s.userByUID(uid)
 	if !ok {
 		return nil, nil
@@ -322,9 +325,7 @@ func (s *SparkStore) RecommendFolloweesTraversal(uid int64, n int) ([]Counted, e
 	// The traversal visits each node once, so path counts degenerate
 	// to 1 — to preserve result equality the per-followee counting is
 	// redone from the traversal's depth-1 set.
-	ctx, cancel := s.queryCtx()
-	defer cancel()
-	tr := s.db.NewTraversal(a).WithContext(ctx).AddEdgeType(s.follows, graph.Outgoing).SetMaximumHops(1)
+	tr := s.db.NewTraversal(a).WithContext(q.ctx).AddEdgeType(s.follows, graph.Outgoing).SetMaximumHops(1)
 	visits, err := tr.RunCtx()
 	if err != nil {
 		return nil, err
@@ -351,8 +352,9 @@ func (s *SparkStore) RecommendFolloweesTraversal(uid int64, n int) ([]Counted, e
 }
 
 // RecommendFollowersOfFollowees implements Q4.2.
-func (s *SparkStore) RecommendFollowersOfFollowees(uid int64, n int) ([]Counted, error) {
-	defer s.obsQuery("RecommendFollowersOfFollowees")()
+func (s *SparkStore) RecommendFollowersOfFollowees(uid int64, n int) (out []Counted, err error) {
+	q := s.beginQuery("RecommendFollowersOfFollowees")
+	defer func() { q.finish(err, len(out)) }()
 	a, ok := s.userByUID(uid)
 	if !ok {
 		return nil, nil
@@ -377,15 +379,17 @@ func (s *SparkStore) RecommendFollowersOfFollowees(uid int64, n int) ([]Counted,
 
 // CurrentInfluence implements Q5.1: count mentioners, then retain those
 // already following A (set intersection on the counting map's keys).
-func (s *SparkStore) CurrentInfluence(uid int64, n int) ([]Counted, error) {
-	defer s.obsQuery("CurrentInfluence")()
+func (s *SparkStore) CurrentInfluence(uid int64, n int) (out []Counted, err error) {
+	q := s.beginQuery("CurrentInfluence")
+	defer func() { q.finish(err, len(out)) }()
 	return s.influence(uid, n, true)
 }
 
 // PotentialInfluence implements Q5.2: count mentioners, then remove the
 // ones already following A.
-func (s *SparkStore) PotentialInfluence(uid int64, n int) ([]Counted, error) {
-	defer s.obsQuery("PotentialInfluence")()
+func (s *SparkStore) PotentialInfluence(uid int64, n int) (out []Counted, err error) {
+	q := s.beginQuery("PotentialInfluence")
+	defer func() { q.finish(err, len(out)) }()
 	return s.influence(uid, n, false)
 }
 
@@ -423,8 +427,9 @@ func (s *SparkStore) influence(uid int64, n int, keepFollowers bool) ([]Counted,
 // (SinglePairShortestPathLength); with Workers = 1 it runs the classic
 // path-materialising BFS. Both return the same (length, found) pair —
 // a node's BFS level does not depend on expansion order.
-func (s *SparkStore) ShortestPathLength(fromUID, toUID int64, maxHops int) (int, bool, error) {
-	defer s.obsQuery("ShortestPathLength")()
+func (s *SparkStore) ShortestPathLength(fromUID, toUID int64, maxHops int) (length int, found bool, err error) {
+	q := s.beginQuery("ShortestPathLength")
+	defer func() { q.finish(err, boolRows(found)) }()
 	a, ok := s.userByUID(fromUID)
 	if !ok {
 		return 0, false, nil
@@ -433,12 +438,10 @@ func (s *SparkStore) ShortestPathLength(fromUID, toUID int64, maxHops int) (int,
 	if !ok {
 		return 0, false, nil
 	}
-	ctx, cancel := s.queryCtx()
-	defer cancel()
 	if s.workers > 1 {
-		return s.db.SinglePairShortestPathLengthCtx(ctx, a, b, []graph.TypeID{s.follows}, graph.Outgoing, maxHops, s.workers)
+		return s.db.SinglePairShortestPathLengthCtx(q.ctx, a, b, []graph.TypeID{s.follows}, graph.Outgoing, maxHops, s.workers)
 	}
-	path, found, err := s.db.SinglePairShortestPathBFSCtx(ctx, a, b, []graph.TypeID{s.follows}, graph.Outgoing, maxHops)
+	path, found, err := s.db.SinglePairShortestPathBFSCtx(q.ctx, a, b, []graph.TypeID{s.follows}, graph.Outgoing, maxHops)
 	if err != nil || !found {
 		return 0, false, err
 	}
@@ -462,8 +465,9 @@ func (s *SparkStore) topN(counts map[uint64]int64, n int) []Counted {
 // ---------- update workload ----------
 
 // AddUser implements UpdateStore.
-func (s *SparkStore) AddUser(uid int64, screenName string) error {
-	defer s.obsQuery("AddUser")()
+func (s *SparkStore) AddUser(uid int64, screenName string) (err error) {
+	q := s.beginQuery("AddUser")
+	defer func() { q.finish(err, 0) }()
 	oid, err := s.db.NewNode(s.user)
 	if err != nil {
 		return err
@@ -483,8 +487,9 @@ func (s *SparkStore) AddUser(uid int64, screenName string) error {
 }
 
 // AddFollow implements UpdateStore.
-func (s *SparkStore) AddFollow(srcUID, dstUID int64) error {
-	defer s.obsQuery("AddFollow")()
+func (s *SparkStore) AddFollow(srcUID, dstUID int64) (err error) {
+	q := s.beginQuery("AddFollow")
+	defer func() { q.finish(err, 0) }()
 	src, ok := s.userByUID(srcUID)
 	if !ok {
 		return fmt.Errorf("twitter: unknown user %d", srcUID)
@@ -493,13 +498,14 @@ func (s *SparkStore) AddFollow(srcUID, dstUID int64) error {
 	if !ok {
 		return fmt.Errorf("twitter: unknown user %d", dstUID)
 	}
-	_, err := s.db.NewEdge(s.follows, src, dst)
+	_, err = s.db.NewEdge(s.follows, src, dst)
 	return err
 }
 
 // AddTweet implements UpdateStore.
-func (s *SparkStore) AddTweet(uid, tid int64, text string, mentionUIDs []int64, tagTexts []string) error {
-	defer s.obsQuery("AddTweet")()
+func (s *SparkStore) AddTweet(uid, tid int64, text string, mentionUIDs []int64, tagTexts []string) (err error) {
+	q := s.beginQuery("AddTweet")
+	defer func() { q.finish(err, 0) }()
 	author, ok := s.userByUID(uid)
 	if !ok {
 		return fmt.Errorf("twitter: unknown user %d", uid)
