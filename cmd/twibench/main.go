@@ -9,7 +9,8 @@
 //	twibench -list
 //	twibench -exp table2 -listen :9090         # live /metrics while running
 //	twibench -exp fig4a -trace trace.json      # Perfetto timeline export
-//	twibench -exp all -json new.json -compare old.json -regress 25
+//	twibench -exp all -json new.json -compare old.json -regress 25 -floor 2ms
+//	twibench -exp matrix -method auto          # algebraic execution backend
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 
 	"twigraph/internal/bench"
 	"twigraph/internal/qstats"
+	"twigraph/internal/spmat"
 )
 
 func main() {
@@ -30,11 +32,13 @@ func main() {
 	work := flag.String("work", "", "working directory (default: a temp dir)")
 	jsonPath := flag.String("json", "", "write a machine-readable snapshot (latency histograms + engine counters) to this path")
 	workers := flag.Int("workers", 0, "multi-hop query workers per store (0 = GOMAXPROCS, 1 = sequential)")
+	method := flag.String("method", "nav", "multi-hop execution backend: nav, matrix, or auto (density-gated)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline; timed-out queries abort and count into queries_timed_out (0 = unbounded)")
 	listen := flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /slow, pprof) on this address while the bench runs")
 	trace := flag.String("trace", "", "capture span timelines and write a Chrome trace-event file (Perfetto-loadable) to this path")
 	compare := flag.String("compare", "", "diff this run's latencies against a prior -json snapshot at this path")
 	regress := flag.Float64("regress", 0, "with -compare: exit non-zero when any series' p50/p95 (or, with -qstats, any statement's mean) grew more than this percent (0 = warn-only)")
+	floor := flag.Duration("floor", 0, "with -regress: series whose baseline p50 is under this duration report deltas but never gate (noise floor for sub-millisecond series)")
 	qstatsTop := flag.Bool("qstats", false, "print per-statement statistics after the run and fold them into the -json snapshot")
 	cfg := bench.DefaultConfig()
 	flag.IntVar(&cfg.Users, "users", cfg.Users, "dataset scale in users")
@@ -60,6 +64,11 @@ func main() {
 	env := bench.NewEnv(cfg, dir)
 	env.Workers = *workers
 	env.QueryTimeout = *timeout
+	m, err := spmat.ParseMethod(*method)
+	if err != nil {
+		fatal(err)
+	}
+	env.Method = m
 	env.QueryStats = *qstatsTop
 	defer env.Close()
 
@@ -108,7 +117,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		report := bench.Compare(old, env.Snapshot(experiment), *regress)
+		report := bench.CompareFloor(old, env.Snapshot(experiment), *regress, float64(floor.Nanoseconds()))
 		fmt.Printf("\n=== latency vs %s ===\n\n%s", *compare, report.Format())
 		if report.RegressionCount() > 0 && *regress > 0 {
 			fatal(fmt.Errorf("latency regression past %.1f%% threshold", *regress))

@@ -71,6 +71,16 @@ type CompareReport struct {
 // by more than thresholdPct percent; thresholdPct <= 0 marks nothing
 // regressed (warn-only comparison).
 func Compare(old, cur Snapshot, thresholdPct float64) CompareReport {
+	return CompareFloor(old, cur, thresholdPct, 0)
+}
+
+// CompareFloor is Compare with a noise floor: a series whose baseline
+// p50 sits under floorNanos still reports its delta but cannot trip
+// the regression gate. Sub-millisecond series measured over a handful
+// of rounds swing multiples run to run on a loaded machine — scheduler
+// and page-cache noise, not code — so CI gates pair a percentage
+// threshold with an absolute floor (twibench -floor).
+func CompareFloor(old, cur Snapshot, thresholdPct, floorNanos float64) CompareReport {
 	r := CompareReport{ThresholdPct: thresholdPct}
 	for name, oh := range old.Bench.Histograms {
 		nh, ok := cur.Bench.Histograms[name]
@@ -89,7 +99,7 @@ func Compare(old, cur Snapshot, thresholdPct float64) CompareReport {
 			P50Change: change(oh.P50, nh.P50),
 			P95Change: change(oh.P95, nh.P95),
 		}
-		if thresholdPct > 0 {
+		if thresholdPct > 0 && oh.P50 >= floorNanos {
 			lim := thresholdPct / 100
 			d.Regressed = d.P50Change > lim || d.P95Change > lim
 		}

@@ -78,6 +78,35 @@ func TestCompareSnapshots(t *testing.T) {
 	}
 }
 
+// TestCompareFloorSuppressesNoiseSeries: a sub-floor series can swing
+// past the threshold without gating (its delta is still reported), but
+// the floor never shields a series whose baseline sits above it.
+func TestCompareFloor(t *testing.T) {
+	us, ms := int64(1e3), int64(1e6)
+	old := fixtureSnapshot(t, map[string][]int64{
+		"matrix/q5.2/neo/auto/w8": {80 * us, 90 * us, 100 * us},
+		"matrix/q4.2/neo/nav/w1":  {90 * ms, 95 * ms, 100 * ms},
+	})
+	cur := fixtureSnapshot(t, map[string][]int64{
+		"matrix/q5.2/neo/auto/w8": {700 * us, 800 * us, 900 * us}, // 8x, but µs-scale
+		"matrix/q4.2/neo/nav/w1":  {700 * ms, 750 * ms, 800 * ms}, // 8x, ms-scale
+	})
+
+	r := CompareFloor(old, cur, 400, float64(2*ms))
+	reg := r.Regressions()
+	if len(reg) != 1 || reg[0].Series != "matrix/q4.2/neo/nav/w1" {
+		t.Fatalf("Regressions() = %+v, want only the ms-scale series", reg)
+	}
+	if len(r.Deltas) != 2 {
+		t.Fatalf("deltas = %+v, want both series reported", r.Deltas)
+	}
+
+	// Floor 0 is plain Compare: both gate.
+	if reg := CompareFloor(old, cur, 400, 0).Regressions(); len(reg) != 2 {
+		t.Errorf("floor 0 flagged %+v, want both", reg)
+	}
+}
+
 func TestReadSnapshotRoundTrip(t *testing.T) {
 	s := fixtureSnapshot(t, map[string][]int64{"table2/neo": {1e6, 2e6}})
 	path := filepath.Join(t.TempDir(), "snap.json")

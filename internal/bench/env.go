@@ -23,6 +23,7 @@ import (
 	"twigraph/internal/neodb"
 	"twigraph/internal/obs"
 	"twigraph/internal/sparkdb"
+	"twigraph/internal/spmat"
 	"twigraph/internal/twitter"
 )
 
@@ -44,6 +45,12 @@ type Env struct {
 	// run past it abort with a context error and count into the engine's
 	// queries_timed_out counter; 0 leaves queries unbounded.
 	QueryTimeout time.Duration
+
+	// Method selects each store's multi-hop execution backend after
+	// build: MethodNav (the default) keeps the navigational/declarative
+	// paths, MethodMatrix forces the spmat kernels, MethodAuto lets the
+	// density gate decide per hop.
+	Method spmat.Method
 
 	// Reg collects the harness's own measurements: one latency histogram
 	// per experiment/engine series ("fig4a/neo", "coldcache/cold", ...).
@@ -169,6 +176,9 @@ func (e *Env) Neo() (*load.NeoResult, error) {
 		if e.neoErr == nil && e.QueryTimeout > 0 {
 			e.neoRes.Store.SetQueryTimeout(e.QueryTimeout)
 		}
+		if e.neoErr == nil && e.Method != spmat.MethodNav {
+			e.neoRes.Store.SetExecMethod(e.Method)
+		}
 		if e.neoErr == nil {
 			if e.Trace {
 				e.neoRes.Store.DB().Tracer().SetEnabled(true)
@@ -196,6 +206,9 @@ func (e *Env) Spark() (*load.SparkResult, error) {
 		}
 		if e.sparkErr == nil && e.QueryTimeout > 0 {
 			e.sparkRes.Store.SetQueryTimeout(e.QueryTimeout)
+		}
+		if e.sparkErr == nil && e.Method != spmat.MethodNav {
+			e.sparkRes.Store.SetExecMethod(e.Method)
 		}
 		if e.sparkErr == nil {
 			if e.Trace {

@@ -35,6 +35,7 @@ func All() []Experiment {
 		{"derived", "§3.3: derived topic-experts query on both engines", runDerived},
 		{"updates", "§5 future work: incremental update workload on both engines", runUpdates},
 		{"parallel", "Parallel multi-hop execution: Workers=1 vs Workers=N speedup", runParallel},
+		{"matrix", "Algebraic execution: navigational vs masked SpMV/SpGEMM kernels vs auto gate", runMatrix},
 		{"ingest", "Pipelined bulk ingestion: serial vs N-worker import, WAL group commit", runIngest},
 	}
 }

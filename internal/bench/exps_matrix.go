@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"twigraph/internal/spmat"
+	"twigraph/internal/twitter"
+)
+
+// matrixRuns is the per-configuration measured round count of the
+// algebraic execution experiment (one warm-up round precedes them).
+const matrixRuns = 7
+
+// methodExecStore is a store whose execution backend and worker count
+// can both be toggled; both engine stores satisfy it.
+type methodExecStore interface {
+	workered
+	SetExecMethod(spmat.Method)
+	ExecMethod() spmat.Method
+}
+
+// runMatrix measures the gated multi-hop workload under the three
+// execution backends — navigational, algebraic (masked SpMV/SpGEMM
+// kernels), and auto (density-gated per hop) — at Workers=1 and
+// Workers=N on both engines. The sweeps run over hub users, whose
+// dense frontiers are where the row-gather formulation pays; the even
+// tail of the sample keeps the auto gate honest on sparse anchors.
+// Latencies land in the harness registry as
+// matrix/<query>/<engine>/<method>/w<K> histograms, which the CI
+// regression gate diffs against the checked-in baseline.
+func runMatrix(e *Env, w io.Writer) error {
+	neo, spark, err := e.Stores()
+	if err != nil {
+		return err
+	}
+	mentionDeg, err := e.MentionDegree()
+	if err != nil {
+		return err
+	}
+	outDeg, err := e.OutDegree()
+	if err != nil {
+		return err
+	}
+	hubsMention := e.sampleUsers(24, mentionDeg)
+	hubsOut := e.sampleUsers(24, outDeg)
+	type pair struct{ a, b int64 }
+	var pairs []pair
+	for i := 0; i < len(hubsOut)/2 && len(pairs) < 12; i++ {
+		if a, b := hubsOut[i], hubsOut[len(hubsOut)-1-i]; a != b {
+			pairs = append(pairs, pair{a, b})
+		}
+	}
+	wN := e.Workers
+	if wN <= 1 {
+		wN = runtime.GOMAXPROCS(0)
+	}
+	if wN < 2 {
+		wN = 2
+	}
+
+	type task struct {
+		id  string
+		run func(s twitter.Store) error
+	}
+	sweep := func(uids []int64, q func(s twitter.Store, uid int64) error) func(twitter.Store) error {
+		return func(s twitter.Store) error {
+			for _, uid := range uids {
+				if err := q(s, uid); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	tasks := []task{
+		{"q3.1", sweep(hubsMention, func(s twitter.Store, uid int64) error {
+			_, err := s.CoMentionedUsers(uid, unbounded)
+			return err
+		})},
+		{"q4.1", sweep(hubsOut, func(s twitter.Store, uid int64) error {
+			_, err := s.RecommendFollowees(uid, unbounded)
+			return err
+		})},
+		{"q4.2", sweep(hubsOut, func(s twitter.Store, uid int64) error {
+			_, err := s.RecommendFollowersOfFollowees(uid, unbounded)
+			return err
+		})},
+		{"q5.2", sweep(hubsMention, func(s twitter.Store, uid int64) error {
+			_, err := s.PotentialInfluence(uid, unbounded)
+			return err
+		})},
+		{"q6.1", func(s twitter.Store) error {
+			for _, p := range pairs {
+				if _, _, err := s.ShortestPathLength(p.a, p.b, 4); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+	}
+	methods := []spmat.Method{spmat.MethodNav, spmat.MethodMatrix, spmat.MethodAuto}
+
+	// measure times one sweep per method per round, methods interleaved
+	// round-robin so scheduler and cache drift hits all three equally,
+	// and reports each method's median round — robust against the GC
+	// and page-cache outliers that dominate sub-millisecond sweeps.
+	measure := func(s methodExecStore, t task, workers int) ([3]time.Duration, error) {
+		var out [3]time.Duration
+		prevW, prevM := s.Workers(), s.ExecMethod()
+		s.SetWorkers(workers)
+		defer func() {
+			s.SetWorkers(prevW)
+			s.SetExecMethod(prevM)
+		}()
+		var samples [3][]time.Duration
+		for round := 0; round <= matrixRuns; round++ {
+			for i, m := range methods {
+				s.SetExecMethod(m)
+				if round == 0 { // warm-up round per method
+					if err := t.run(s); err != nil {
+						return out, err
+					}
+					continue
+				}
+				h := e.Hist(fmt.Sprintf("matrix/%s/%s/%s/w%d", t.id, s.Name(), m, workers))
+				d, err := timeInto(h, func() error { return t.run(s) })
+				if err != nil {
+					return out, err
+				}
+				samples[i] = append(samples[i], d)
+			}
+		}
+		for i := range samples {
+			sort.Slice(samples[i], func(a, b int) bool { return samples[i][a] < samples[i][b] })
+			out[i] = samples[i][len(samples[i])/2]
+		}
+		return out, nil
+	}
+
+	fmt.Fprintf(w, "Gated multi-hop workload over hub users: nav vs matrix vs auto (median of %d interleaved sweeps):\n", matrixRuns)
+	t := newTable(w, "query", "engine", "workers", "nav ms", "matrix ms", "auto ms", "mat/nav", "auto pen")
+	for _, task := range tasks {
+		for _, s := range []methodExecStore{neo, spark} {
+			for _, workers := range []int{1, wN} {
+				med, err := measure(s, task, workers)
+				if err != nil {
+					return err
+				}
+				nav, mat, auto := med[0], med[1], med[2]
+				best := nav
+				if mat < best {
+					best = mat
+				}
+				t.rowf(task.id, s.Name(), fmt.Sprintf("w%d", workers),
+					fmt.Sprintf("%.3f", float64(nav.Microseconds())/1000),
+					fmt.Sprintf("%.3f", float64(mat.Microseconds())/1000),
+					fmt.Sprintf("%.3f", float64(auto.Microseconds())/1000),
+					fmt.Sprintf("%.2fx", float64(nav)/float64(mat)),
+					fmt.Sprintf("%+.1f%%", (float64(auto)/float64(best)-1)*100))
+			}
+		}
+	}
+	fmt.Fprintln(w, "\nmat/nav is the algebraic kernels' speedup over the navigational paths;")
+	fmt.Fprintln(w, "auto pen is the auto gate's overhead against the better forced mode.")
+	fmt.Fprintln(w, "All three backends return byte-identical results (see the three-way")
+	fmt.Fprintln(w, "differential tests); the gate's plan decisions land in the engines'")
+	fmt.Fprintf(w, "%s/%s counters.\n", spmat.CNavHops, spmat.CMatrixHops)
+	return nil
+}

@@ -158,3 +158,34 @@ func BenchmarkOrFold8(b *testing.B) { // pairwise-fold baseline for OrMany
 		}
 	}
 }
+
+func BenchmarkOrManyFanIn64(b *testing.B) { // wide shard/frontier merges: the heap-cursor case
+	rng := rand.New(rand.NewSource(3))
+	inputs := make([]*Bitmap, 64)
+	for i := range inputs {
+		inputs[i] = randomBitmap(rng, 2000, 1<<20)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OrMany(inputs...)
+	}
+}
+
+func BenchmarkAndNot(b *testing.B) { // the masked-SpMV frontier\visited shape
+	x, y := benchPair(60000, 30000, 1<<18)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AndNot(x, y)
+	}
+}
+
+func BenchmarkIntersects(b *testing.B) { // zero-alloc pull-probe: reverse row vs frontier mask
+	x, y := benchPair(300, 60000, 1<<18)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Intersects(x, y)
+	}
+}

@@ -4,12 +4,16 @@ import "math/bits"
 
 // OrMany returns the union of any number of bitmaps as a new bitmap.
 // Nil and empty inputs are skipped. Instead of folding pairwise (which
-// re-materialises the accumulator once per input), it runs a tournament
-// over container keys: each round finds the minimum key among the input
-// cursors, gathers every container with that key, and assembles the
-// output container with a single set-buffer allocation no matter how
-// many inputs contribute. Inputs are never mutated and the result
-// shares no storage with them.
+// re-materialises the accumulator once per input), it merges the input
+// container lists with a binary min-heap of cursors keyed by container
+// key: each round pops every cursor sharing the minimum key, gathers
+// their containers, and assembles the output container with a single
+// set-buffer allocation no matter how many inputs contribute. Rounds
+// cost O(m log k) cursor movements for k inputs instead of the O(m·k)
+// of a linear minimum scan — the difference the fan-in-64 benchmark
+// measures, since wide BFS frontiers and shard merges routinely union
+// dozens of rows. Inputs are never mutated and the result shares no
+// storage with them.
 func OrMany(inputs ...*Bitmap) *Bitmap {
 	bs := make([]*Bitmap, 0, len(inputs))
 	for _, b := range inputs {
@@ -24,28 +28,91 @@ func OrMany(inputs ...*Bitmap) *Bitmap {
 		return bs[0].Clone()
 	}
 	out := New()
-	idx := make([]int, len(bs)) // per-input container cursor
+	// Heap of one cursor per input, ordered by the key of the container
+	// the cursor points at. Cursor movement is pop → advance → re-push,
+	// so each container costs two O(log k) heap operations.
+	h := make(orHeap, 0, len(bs))
+	for k, b := range bs {
+		h = append(h, orCursor{key: b.containers[0].key, input: k})
+	}
+	h.init()
+	idx := make([]int, len(bs)) // per-input container position
 	contrib := make([]*container, 0, len(bs))
-	for {
-		minKey, found := ^uint64(0), false
-		for k, b := range bs {
-			if idx[k] < len(b.containers) {
-				if key := b.containers[idx[k]].key; !found || key < minKey {
-					minKey, found = key, true
-				}
-			}
-		}
-		if !found {
-			return out
-		}
+	for len(h) > 0 {
+		minKey := h[0].key
 		contrib = contrib[:0]
-		for k, b := range bs {
-			if idx[k] < len(b.containers) && b.containers[idx[k]].key == minKey {
-				contrib = append(contrib, b.containers[idx[k]])
-				idx[k]++
+		for len(h) > 0 && h[0].key == minKey {
+			k := h[0].input
+			b := bs[k]
+			contrib = append(contrib, b.containers[idx[k]])
+			idx[k]++
+			if idx[k] < len(b.containers) {
+				h[0].key = b.containers[idx[k]].key
+				h.fix()
+			} else {
+				h.pop()
 			}
 		}
 		out.containers = append(out.containers, orManyContainers(minKey, contrib))
+	}
+	return out
+}
+
+// orCursor is one input's position in the k-way merge: the key of the
+// container it currently points at, and which input it belongs to.
+type orCursor struct {
+	key   uint64
+	input int
+}
+
+// orHeap is a slice-backed binary min-heap of merge cursors, ordered by
+// key with the input index as tie-break (purely for determinism of the
+// contributor order; union is commutative either way).
+type orHeap []orCursor
+
+func (h orHeap) less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].input < h[j].input
+}
+
+func (h orHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+// fix restores the heap after the root's key changed in place (the
+// cursor advanced within its input).
+func (h orHeap) fix() { h.down(0) }
+
+// pop removes the root (its input is exhausted).
+func (h *orHeap) pop() {
+	old := *h
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	if n > 0 {
+		h.down(0)
+	}
+}
+
+func (h orHeap) down(i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"twigraph/internal/neodb"
 	"twigraph/internal/obs"
 	"twigraph/internal/qstats"
+	"twigraph/internal/spmat"
 )
 
 // Engine executes queries against a neodb database. It owns the plan
@@ -23,11 +24,33 @@ type Engine struct {
 	cacheOn     bool
 	cacheHits   uint64
 	cacheMisses uint64
+	method      spmat.Method
+
+	spm *spmat.Metrics
 }
 
 // NewEngine creates an engine with the plan cache enabled.
 func NewEngine(db *neodb.DB) *Engine {
-	return &Engine{db: db, cache: make(map[string]*Prepared), cacheOn: true}
+	return &Engine{db: db, cache: make(map[string]*Prepared), cacheOn: true,
+		spm: spmat.MetricsFrom(db.Obs())}
+}
+
+// SetExecMethod selects how eligible var-length expansions execute:
+// nav (the default DFS enumeration), matrix (the algebraic row-gather
+// of internal/spmat), or auto (per-expansion density gate). Plans are
+// unaffected — the choice is per-execution state, so cached plans
+// honour the current setting.
+func (e *Engine) SetExecMethod(m spmat.Method) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.method = m
+}
+
+// ExecMethod returns the configured execution method.
+func (e *Engine) ExecMethod() spmat.Method {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.method
 }
 
 // DB returns the underlying database.
@@ -167,7 +190,8 @@ func (e *Engine) prepare(query string) (*Prepared, bool, time.Duration, error) {
 }
 
 func (e *Engine) execute(ctx context.Context, prep *Prepared, params map[string]graph.Value, cached bool, compileTime time.Duration) (*Result, error) {
-	ec := &execCtx{db: e.db, ctx: ctx, params: params, profileOps: prep.profiled}
+	ec := &execCtx{db: e.db, ctx: ctx, params: params, profileOps: prep.profiled,
+		method: e.ExecMethod(), spm: e.spm}
 	res := &Result{Columns: prep.columns}
 	var prof *ProfileInfo
 	if prep.profiled {

@@ -8,6 +8,7 @@ import (
 
 	"twigraph/internal/graph"
 	"twigraph/internal/neodb"
+	"twigraph/internal/spmat"
 )
 
 // execCtx carries per-execution state: the engine's database handle,
@@ -19,11 +20,23 @@ type execCtx struct {
 	params map[string]graph.Value
 	ticks  uint
 
+	// Algebraic execution: the engine's method knob snapshot for this
+	// execution, plan-choice counters, and a dense-accumulator pool for
+	// eligible var-length expansions. Per-execution state, never on the
+	// (cached, shared) plan steps.
+	method  spmat.Method
+	spm     *spmat.Metrics
+	accPool spmat.AccumPool
+
 	// PROFILE per-operator accounting: when profileOps is set, a match
 	// stage fills ops with one accumulator per step, summed across every
-	// input row. The engine reads (and resets) ops after each stage.
+	// input row. The engine reads (and resets) ops after each stage;
+	// curStep is the index of the step currently applying, so operators
+	// that pick an execution path at run time can rename their
+	// accumulator ("VarLengthExpand(matrix)").
 	profileOps bool
 	ops        []opAcc
+	curStep    int
 }
 
 // opAcc accumulates one operator's PROFILE measurements: wall time,
@@ -102,6 +115,7 @@ func (st *matchStage) run(ec *execCtx, in []row) ([]row, error) {
 		for i, s := range st.steps {
 			var err error
 			if ec.profileOps {
+				ec.curStep = i
 				start := time.Now()
 				hits := ec.db.RecordFetches()
 				rows, err = s.apply(ec, rows)
@@ -338,6 +352,17 @@ func (s *stepExpand) apply(ec *execCtx, in []row) ([]row, error) {
 		from, ok := r[s.fromSlot].(NodeRef)
 		if !ok {
 			continue
+		}
+		if s.matrixEligible(ec) {
+			var handled bool
+			var merr error
+			out, handled, merr = s.expandMatrix(ec, r, graph.NodeID(from), t, out)
+			if merr != nil {
+				return nil, merr
+			}
+			if handled {
+				continue
+			}
 		}
 		err := expandPaths(ec, graph.NodeID(from), t, s.dir, s.minHops, s.maxHops,
 			func(end graph.NodeID, rels []graph.EdgeID) bool {

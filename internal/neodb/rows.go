@@ -1,0 +1,72 @@
+package neodb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"twigraph/internal/graph"
+	"twigraph/internal/spmat"
+)
+
+// RelSource adapts one (relationship type, direction) adjacency to the
+// algebraic execution layer (internal/spmat). The record store keeps
+// no materialised neighbor rows, so Row is always empty and the
+// kernels stream ForEachEdge — one chain walk per row, endpoints in
+// chain order. The algebraic callers fetch rows in ascending node-id
+// order (spmat sorts its frontiers), so the walks hit the node and
+// relationship record pages in record order rather than frontier
+// order, which is what keeps the page cache warm on wide frontiers.
+type RelSource struct {
+	db  *DB
+	t   graph.TypeID
+	dir graph.Direction
+}
+
+// RelSource returns the adjacency operator for relationships of type t
+// oriented along dir. dir must be Outgoing or Incoming; an adjacency
+// operator has no "Any" orientation.
+func (db *DB) RelSource(t graph.TypeID, dir graph.Direction) *RelSource {
+	if dir != graph.Outgoing && dir != graph.Incoming {
+		panic(fmt.Sprintf("neodb: RelSource direction must be Outgoing or Incoming, got %v", dir))
+	}
+	return &RelSource{db: db, t: t, dir: dir}
+}
+
+// Row implements spmat.Source. The engine materialises no neighbor
+// rows, so Cols is always nil and the kernels stream ForEachEdge. The
+// node record's O(1) degree counter rides along as Edges — an upper
+// bound, since it spans every relationship type — giving the auto
+// gate's frontier pre-estimate a chain-walk-free signal.
+func (s *RelSource) Row(id uint64) spmat.Row {
+	deg, err := s.db.Degree(graph.NodeID(id), s.dir)
+	if err != nil {
+		return spmat.Row{}
+	}
+	return spmat.Row{Edges: deg}
+}
+
+// ForEachEdge implements spmat.Source: one relationship-chain walk,
+// invoking fn with the far endpoint of each matching edge (parallel
+// edges repeat). Unknown rows expand to nothing — algebraic frontiers
+// only ever hold endpoints read from live records, and BFS pull
+// candidates come from the label index.
+func (s *RelSource) ForEachEdge(id uint64, fn func(col uint64) bool) error {
+	err := s.db.Relationships(graph.NodeID(id), s.t, s.dir, func(r Rel) bool {
+		col := r.Dst
+		if s.dir == graph.Incoming {
+			col = r.Src
+		}
+		return fn(uint64(col))
+	})
+	if err != nil && errors.Is(err, graph.ErrNotFound) {
+		return nil
+	}
+	return err
+}
+
+// CheckCtx polls ctx at a caller-chosen granularity, counting an abort
+// exactly once — the exported form of the poll every native
+// long-running read uses, for algebraic kernels driven from above the
+// engine.
+func (db *DB) CheckCtx(ctx context.Context) error { return db.checkCtx(ctx) }

@@ -1,0 +1,125 @@
+package spmat
+
+import (
+	"math/rand"
+	"testing"
+
+	"twigraph/internal/bitmap"
+	"twigraph/internal/par"
+)
+
+// Benchmark fixtures: a degree-skewed synthetic adjacency (a few hubs,
+// a long sparse tail) sized like one hub's 2-hop neighborhood on the
+// default twibench seed.
+
+func benchAdjacency(rows, meanDeg int, seed int64) map[uint64][]uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	adj := make(map[uint64][]uint64, rows)
+	for id := uint64(0); id < uint64(rows); id++ {
+		deg := meanDeg
+		if id%97 == 0 {
+			deg = meanDeg * 20 // hubs
+		}
+		ends := make([]uint64, deg)
+		for e := range ends {
+			ends[e] = uint64(rng.Intn(rows))
+		}
+		adj[id] = ends
+	}
+	return adj
+}
+
+func benchFrontier(rows, card int) []WeightedID {
+	f := make([]WeightedID, 0, card)
+	for i := 0; i < card; i++ {
+		f = append(f, WeightedID{ID: uint64(i * rows / card), W: int64(i%3) + 1})
+	}
+	return f
+}
+
+func BenchmarkGatherCountsStreamed(b *testing.B) {
+	src := newMemSource(false, benchAdjacency(4096, 16, 7))
+	frontier := benchFrontier(4096, 512)
+	var pool AccumPool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := pool.Get(0)
+		if err := GatherCounts(src, frontier, acc); err != nil {
+			b.Fatal(err)
+		}
+		pool.Put(acc)
+	}
+}
+
+func BenchmarkGatherCountsLentRows(b *testing.B) {
+	src := newMemSource(true, benchAdjacency(4096, 16, 7))
+	frontier := benchFrontier(4096, 512)
+	var pool AccumPool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := pool.Get(0)
+		if err := GatherCounts(src, frontier, acc); err != nil {
+			b.Fatal(err)
+		}
+		pool.Put(acc)
+	}
+}
+
+func BenchmarkGatherSharded8(b *testing.B) {
+	src := newMemSource(false, benchAdjacency(4096, 16, 7))
+	frontier := benchFrontier(4096, 512)
+	var pool AccumPool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc, err := Gather(src, frontier, 0, 8, par.Metrics{}, &pool)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool.Put(acc)
+	}
+}
+
+func BenchmarkPushNext(b *testing.B) {
+	adj := benchAdjacency(4096, 16, 7)
+	src := newMemSource(true, adj)
+	frontier := make([]uint64, 0, 512)
+	for _, f := range benchFrontier(4096, 512) {
+		frontier = append(frontier, f.ID)
+	}
+	visited := bitmap.New()
+	for _, id := range frontier {
+		visited.Add(id)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PushNext(src, frontier, visited, 1, par.Metrics{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPullNext(b *testing.B) {
+	adj := benchAdjacency(4096, 16, 7)
+	src := newMemSource(true, adj)
+	frontierSet := bitmap.New()
+	for _, f := range benchFrontier(4096, 512) {
+		frontierSet.Add(f.ID)
+	}
+	candidates := make([]uint64, 0, 4096)
+	for id := uint64(0); id < 4096; id++ {
+		if !frontierSet.Contains(id) {
+			candidates = append(candidates, id)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PullNext(src, candidates, frontierSet, 1, par.Metrics{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

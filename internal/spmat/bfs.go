@@ -1,0 +1,232 @@
+package spmat
+
+import (
+	"twigraph/internal/bitmap"
+	"twigraph/internal/par"
+)
+
+// PushNext is the push (top-down) masked SpMV for one BFS level: the
+// union of the frontier rows of fwd, minus the visited mask. Rows lent
+// by the source are unioned with a single k-way OrMany (one output
+// allocation); rows the source streams are added edge-by-edge into a
+// scratch set first. The frontier is sharded across up to workers
+// goroutines and shard results merge with another OrMany — union is
+// commutative, so the level set is identical at any worker count.
+func PushNext(fwd Source, frontier []uint64, visited *bitmap.Bitmap, workers int, pm par.Metrics) (*bitmap.Bitmap, error) {
+	w := par.WorkersForSize(workers, len(frontier), MinRowsPerShard)
+	type shard struct {
+		set *bitmap.Bitmap
+		err error
+	}
+	shards := par.RunRanges(w, len(frontier), pm, func(lo, hi int) shard {
+		// Lent rows go straight into the k-way union; streamed rows
+		// accumulate into one scratch bitmap that joins them.
+		var rows []*bitmap.Bitmap
+		var scratch *bitmap.Bitmap
+		for _, id := range frontier[lo:hi] {
+			if r := fwd.Row(id); r.Cols != nil {
+				rows = append(rows, r.Cols)
+				continue
+			}
+			if scratch == nil {
+				scratch = bitmap.New()
+			}
+			if err := fwd.ForEachEdge(id, func(col uint64) bool {
+				scratch.Add(col)
+				return true
+			}); err != nil {
+				return shard{nil, err}
+			}
+		}
+		if scratch != nil {
+			rows = append(rows, scratch)
+		}
+		return shard{bitmap.OrMany(rows...), nil}
+	})
+	var next *bitmap.Bitmap
+	var err error
+	pm.TimeMerge(func() {
+		sets := make([]*bitmap.Bitmap, 0, len(shards))
+		for _, s := range shards {
+			if s.err != nil && err == nil {
+				err = s.err
+			}
+			sets = append(sets, s.set)
+		}
+		if err == nil {
+			next = bitmap.OrMany(sets...)
+			next.Difference(visited)
+		}
+	})
+	return next, err
+}
+
+// PullNext is the pull (bottom-up) masked SpMV for one BFS level: for
+// each unvisited candidate, probe its reverse row against the frontier
+// mask and admit it on any hit. Lent reverse rows use the zero-alloc
+// Intersects kernel; streamed rows stop at the first frontier edge.
+// Candidates are visited in ascending id order — the engine's record
+// order — sharded across workers.
+func PullNext(rev Source, candidates []uint64, frontier *bitmap.Bitmap, workers int, pm par.Metrics) (*bitmap.Bitmap, error) {
+	w := par.WorkersForSize(workers, len(candidates), MinRowsPerShard)
+	type shard struct {
+		set *bitmap.Bitmap
+		err error
+	}
+	shards := par.RunRanges(w, len(candidates), pm, func(lo, hi int) shard {
+		local := bitmap.New()
+		for _, c := range candidates[lo:hi] {
+			if r := rev.Row(c); r.Cols != nil {
+				if bitmap.Intersects(r.Cols, frontier) {
+					local.Add(c)
+				}
+				continue
+			}
+			hit := false
+			if err := rev.ForEachEdge(c, func(col uint64) bool {
+				if frontier.Contains(col) {
+					hit = true
+					return false
+				}
+				return true
+			}); err != nil {
+				return shard{nil, err}
+			}
+			if hit {
+				local.Add(c)
+			}
+		}
+		return shard{local, nil}
+	})
+	var next *bitmap.Bitmap
+	var err error
+	pm.TimeMerge(func() {
+		sets := make([]*bitmap.Bitmap, 0, len(shards))
+		for _, s := range shards {
+			if s.err != nil && err == nil {
+				err = s.err
+			}
+			sets = append(sets, s.set)
+		}
+		if err == nil {
+			next = bitmap.OrMany(sets...)
+		}
+	})
+	return next, err
+}
+
+// bfsSide is one end of the bidirectional search. push expands the
+// current frontier's rows; pull probes an unvisited candidate's rows
+// of the opposite adjacency operator against the frontier mask (a
+// candidate joins the source-side search when one of its incoming
+// edges leaves the frontier, and the target-side search when one of
+// its outgoing edges enters it).
+type bfsSide struct {
+	push, pull  Source
+	visited     *bitmap.Bitmap
+	frontierSet *bitmap.Bitmap
+	frontier    []uint64
+	depth       int
+}
+
+// expand advances the side one BFS level, direction-optimized: pull
+// when the gate's density rule fires and the pull rows are lent
+// (streamed chain walks make per-candidate probes far more expensive
+// than the zero-alloc Intersects on materialised rows, so the
+// bottom-up step is only ever a win against lent rows).
+func (s *bfsSide) expand(universe *bitmap.Bitmap, workers int, g Gate, pm par.Metrics, m *Metrics) (*bitmap.Bitmap, error) {
+	if universe != nil && Lends(s.pull) {
+		if unvisited := universe.Cardinality() - s.visited.Cardinality(); g.UsePull(len(s.frontier), unvisited) {
+			m.pullRound()
+			candidates := bitmap.AndNot(universe, s.visited)
+			return PullNext(s.pull, candidates.Slice(), s.frontierSet, workers, pm)
+		}
+	}
+	m.pushRound()
+	return PushNext(s.push, s.frontier, s.visited, workers, pm)
+}
+
+// BFSLength returns the hop count of the shortest path from src to dst
+// within maxHops over fwd (and rev, the same adjacency reversed). With
+// both operators it runs a bidirectional level-synchronous search —
+// each round expands the smaller frontier, from whichever end, exactly
+// how the engines' navigational BFS meets in the middle — and each
+// level picks push or pull with the gate's direction-optimizing rule.
+// universe (the candidate node set, lent read-only) bounds the pull
+// side and may be nil to force push-only levels; a nil rev degrades to
+// a one-sided push search. check is polled once per level for
+// cancellation (nil skips polling). The (length, found) answer is
+// identical to the navigational BFS at every worker count — a node's
+// BFS level does not depend on expansion order or direction.
+func BFSLength(fwd, rev Source, universe *bitmap.Bitmap, src, dst uint64, maxHops, workers int, g Gate, pm par.Metrics, m *Metrics, check func() error) (int, bool, error) {
+	if src == dst {
+		return 0, true, nil
+	}
+	if rev == nil {
+		return bfsPushOnly(fwd, src, dst, maxHops, workers, pm, m, check)
+	}
+	a := &bfsSide{push: fwd, pull: rev,
+		visited: bitmap.Of(src), frontierSet: bitmap.Of(src), frontier: []uint64{src}}
+	b := &bfsSide{push: rev, pull: fwd,
+		visited: bitmap.Of(dst), frontierSet: bitmap.Of(dst), frontier: []uint64{dst}}
+	for a.depth+b.depth < maxHops {
+		if check != nil {
+			if err := check(); err != nil {
+				return 0, false, err
+			}
+		}
+		x, y := a, b
+		if len(b.frontier) < len(a.frontier) {
+			x, y = b, a
+		}
+		next, err := x.expand(universe, workers, g, pm, m)
+		if err != nil {
+			return 0, false, err
+		}
+		x.depth++
+		// The searches meet exactly when the combined depth first
+		// reaches the shortest length: the path node at distance
+		// x.depth from x's origin is then at distance y.depth from y's,
+		// so it sits in both current levels. Checking earlier rounds
+		// cannot misfire — a node in both levels is a real path of the
+		// combined length.
+		if bitmap.Intersects(next, y.frontierSet) {
+			return x.depth + y.depth, true, nil
+		}
+		if next.IsEmpty() {
+			return 0, false, nil
+		}
+		x.visited.Union(next)
+		x.frontierSet = next
+		x.frontier = next.Slice()
+	}
+	return 0, false, nil
+}
+
+// bfsPushOnly is the one-sided fallback when no reverse operator
+// exists: plain level-synchronous top-down BFS.
+func bfsPushOnly(fwd Source, src, dst uint64, maxHops, workers int, pm par.Metrics, m *Metrics, check func() error) (int, bool, error) {
+	visited := bitmap.Of(src)
+	frontier := []uint64{src}
+	for hop := 1; hop <= maxHops && len(frontier) > 0; hop++ {
+		if check != nil {
+			if err := check(); err != nil {
+				return 0, false, err
+			}
+		}
+		m.pushRound()
+		next, err := PushNext(fwd, frontier, visited, workers, pm)
+		if err != nil {
+			return 0, false, err
+		}
+		if next.Contains(dst) {
+			return hop, true, nil
+		}
+		if next.IsEmpty() {
+			return 0, false, nil
+		}
+		visited.Union(next)
+		frontier = next.Slice()
+	}
+	return 0, false, nil
+}

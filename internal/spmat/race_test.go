@@ -1,0 +1,8 @@
+//go:build race
+
+package spmat
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation allocates and voids the
+// zero-allocation assertions.
+const raceEnabled = true

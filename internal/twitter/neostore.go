@@ -11,6 +11,7 @@ import (
 	"twigraph/internal/neodb"
 	"twigraph/internal/obs"
 	"twigraph/internal/par"
+	"twigraph/internal/spmat"
 )
 
 // NeoStore implements the workload on the Neo4j-analog engine through
@@ -29,6 +30,9 @@ type NeoStore struct {
 	timeout  time.Duration  // per-query deadline; 0 = unbounded
 	parm     par.Metrics    // shard/merge counters on the engine registry
 	qLatency *obs.Histogram // per-query wall time, all workload methods
+	method   spmat.Method   // nav (default), matrix, or auto
+	spm      *spmat.Metrics // plan-choice and kernel-round counters
+	accPool  spmat.AccumPool
 }
 
 // QueryLatencyHist is the registry histogram every workload query
@@ -49,6 +53,7 @@ func NewNeoStore(db *neodb.DB) *NeoStore {
 	// Shard executions of the parallel workload paths land on the
 	// engine's timeline next to its spans.
 	s.parm.Trace = db.Trace()
+	s.spm = spmat.MetricsFrom(db.Obs())
 	return s
 }
 
@@ -221,6 +226,11 @@ func (s *NeoStore) HashtagsOfFollowees(uid int64) (out []string, err error) {
 func (s *NeoStore) CoMentionedUsers(uid int64, n int) (out []Counted, err error) {
 	q := s.beginQuery("CoMentionedUsers")
 	defer func() { q.finish(err, len(out)) }()
+	if s.method != spmat.MethodNav {
+		if res, used, merr := s.coMentionedMatrix(q, uid, n); used {
+			return res, merr
+		}
+	}
 	if s.workers > 1 {
 		return s.coMentionedParallel(uid, n)
 	}
@@ -235,6 +245,11 @@ func (s *NeoStore) CoMentionedUsers(uid int64, n int) (out []Counted, err error)
 func (s *NeoStore) CoOccurringHashtags(tag string, n int) (out []CountedTag, err error) {
 	q := s.beginQuery("CoOccurringHashtags")
 	defer func() { q.finish(err, len(out)) }()
+	if s.method != spmat.MethodNav {
+		if res, used, merr := s.coOccurringTagsMatrix(q, tag, n); used {
+			return res, merr
+		}
+	}
 	if s.workers > 1 {
 		return s.coOccurringTagsParallel(tag, n)
 	}
@@ -259,6 +274,11 @@ func (s *NeoStore) CoOccurringHashtags(tag string, n int) (out []CountedTag, err
 func (s *NeoStore) RecommendFollowees(uid int64, n int) (out []Counted, err error) {
 	q := s.beginQuery("RecommendFollowees")
 	defer func() { q.finish(err, len(out)) }()
+	if s.method != spmat.MethodNav {
+		if res, used, merr := s.recommendMatrix(q, uid, n, graph.Outgoing); used {
+			return res, merr
+		}
+	}
 	if s.workers > 1 {
 		return s.recommendFolloweesParallel(uid, n)
 	}
@@ -372,6 +392,11 @@ func (s *NeoStore) topNByNode(counts map[graph.NodeID]int64, uidKey graph.AttrID
 func (s *NeoStore) RecommendFollowersOfFollowees(uid int64, n int) (out []Counted, err error) {
 	q := s.beginQuery("RecommendFollowersOfFollowees")
 	defer func() { q.finish(err, len(out)) }()
+	if s.method != spmat.MethodNav {
+		if res, used, merr := s.recommendMatrix(q, uid, n, graph.Incoming); used {
+			return res, merr
+		}
+	}
 	if s.workers > 1 {
 		return s.recommendFollowersParallel(uid, n)
 	}
@@ -386,6 +411,11 @@ func (s *NeoStore) RecommendFollowersOfFollowees(uid int64, n int) (out []Counte
 func (s *NeoStore) CurrentInfluence(uid int64, n int) (out []Counted, err error) {
 	q := s.beginQuery("CurrentInfluence")
 	defer func() { q.finish(err, len(out)) }()
+	if s.method != spmat.MethodNav {
+		if res, used, merr := s.influenceMatrix(q, uid, n, true); used {
+			return res, merr
+		}
+	}
 	if s.workers > 1 {
 		return s.influenceParallel(uid, n, true)
 	}
@@ -400,6 +430,11 @@ func (s *NeoStore) CurrentInfluence(uid int64, n int) (out []Counted, err error)
 func (s *NeoStore) PotentialInfluence(uid int64, n int) (out []Counted, err error) {
 	q := s.beginQuery("PotentialInfluence")
 	defer func() { q.finish(err, len(out)) }()
+	if s.method != spmat.MethodNav {
+		if res, used, merr := s.influenceMatrix(q, uid, n, false); used {
+			return res, merr
+		}
+	}
 	if s.workers > 1 {
 		return s.influenceParallel(uid, n, false)
 	}
@@ -418,6 +453,9 @@ func (s *NeoStore) PotentialInfluence(uid int64, n int) (out []Counted, err erro
 func (s *NeoStore) ShortestPathLength(fromUID, toUID int64, maxHops int) (length int, found bool, err error) {
 	q := s.beginQuery("ShortestPathLength")
 	defer func() { q.finish(err, boolRows(found)) }()
+	if s.method != spmat.MethodNav {
+		return s.shortestPathMatrix(q, fromUID, toUID, maxHops)
+	}
 	if s.workers > 1 {
 		return s.shortestPathParallel(q.ctx, fromUID, toUID, maxHops)
 	}

@@ -1,0 +1,290 @@
+package twitter
+
+import (
+	"twigraph/internal/graph"
+	"twigraph/internal/neodb"
+	"twigraph/internal/par"
+	"twigraph/internal/spmat"
+)
+
+// Algebraic (matrix) execution for the NeoStore multi-hop queries,
+// mirroring sparkstore_matrix.go over the record-store engine. The
+// first hop is always built imperatively — one relationship-chain walk
+// for the anchor, cheap at any density — and its weighted frontier
+// feeds the density gate: MethodMatrix forces the row-gather,
+// MethodAuto runs it only on dense-enough frontiers and otherwise
+// falls through to the store's existing paths (the Cypher plan at
+// Workers=1, the sharded imperative restatement above that). Per-edge
+// counting at both hops keeps results byte-identical to both.
+
+// SetExecMethod selects the execution backend for the multi-hop
+// workload queries (nav, matrix, auto) and propagates the choice to
+// the declarative engine, whose var-length expansions gate through the
+// same rule.
+func (s *NeoStore) SetExecMethod(m spmat.Method) {
+	s.method = m
+	s.engine.SetExecMethod(m)
+}
+
+// ExecMethod returns the configured execution backend.
+func (s *NeoStore) ExecMethod() spmat.Method { return s.method }
+
+// neoGate builds the density gate for a hop expanding into nodes of
+// candLabel. The record store keeps no per-type relationship counts,
+// so the mean degree is the global estimate rels/nodes — coarse, but
+// the gate only has to separate hub frontiers (hundreds of rows) from
+// sparse ones (a handful), and those differ by orders of magnitude.
+func (s *NeoStore) neoGate(candLabel string) spmat.Gate {
+	cand := 0
+	if b := s.db.NodesByLabel(s.db.LabelID(candLabel)); b != nil {
+		cand = b.Cardinality()
+	}
+	return spmat.NewGate(cand, int(s.db.NodeCount()), int(s.db.RelCount()))
+}
+
+// preGate is auto mode's cheap first check: the anchor's O(1) degree
+// counter (via RelSource.Row) bounds the frontier size, so sparse
+// anchors skip the chain walk that would materialise a frontier the
+// exact gate below discards. Forced matrix always passes; nav never
+// reaches this file. A false return records the navigational plan
+// decision.
+func (s *NeoStore) preGate(first spmat.Source, anchor uint64, g spmat.Gate) bool {
+	if s.method == spmat.MethodAuto && !g.UseMatrix(spmat.EstimateFrontier(first, anchor)) {
+		s.spm.CountHop(false)
+		return false
+	}
+	return true
+}
+
+// gatherSecondHop runs the gated hop: consult the gate (recording the
+// choice), then gather the frontier's rows of second into a dense
+// accumulator sharded across workers. Returns used=false when the gate
+// sends the hop to the navigational path.
+func (s *NeoStore) gatherSecondHop(q *runningQuery, frontier []spmat.WeightedID, second spmat.Source, g spmat.Gate) (*spmat.Accum, bool, error) {
+	if !g.Pick(s.method, len(frontier)) {
+		s.spm.CountHop(false)
+		return nil, false, nil
+	}
+	s.spm.CountHop(true)
+	if err := s.db.CheckCtx(q.ctx); err != nil {
+		return nil, true, err
+	}
+	acc, err := spmat.Gather(second, frontier, 0, s.workers, s.parm, &s.accPool)
+	if err != nil {
+		return nil, true, err
+	}
+	return acc, true, nil
+}
+
+// topNAccumNode ranks an accumulator's columns like topNByNode ranks a
+// counting map: resolve each node's key property, sort count
+// descending then id ascending, trim to n. Property resolution is one
+// record fetch per touched column — the matrix path's only per-result
+// serial cost — so it shards across the worker pool; the shard-order
+// concatenation feeds the same total-order sort at every worker count.
+// The accumulator is recycled.
+func (s *NeoStore) topNAccumNode(acc *spmat.Accum, key graph.AttrID, n int, skip func(col uint64) bool) ([]Counted, error) {
+	cols := acc.Touched()
+	w := par.WorkersForSize(s.workers, len(cols), spmat.MinRowsPerShard)
+	type shard struct {
+		out []Counted
+		err error
+	}
+	shards := par.RunRanges(w, len(cols), s.parm, func(lo, hi int) shard {
+		part := make([]Counted, 0, hi-lo)
+		for _, col := range cols[lo:hi] {
+			if skip != nil && skip(col) {
+				continue
+			}
+			v, err := s.db.NodeProp(graph.NodeID(col), key)
+			if err != nil {
+				return shard{nil, err}
+			}
+			part = append(part, Counted{ID: v.Int(), Count: acc.Count(col)})
+		}
+		return shard{part, nil}
+	})
+	out := make([]Counted, 0, len(cols))
+	for _, sh := range shards {
+		if sh.err != nil {
+			s.accPool.Put(acc)
+			return nil, sh.err
+		}
+		out = append(out, sh.out...)
+	}
+	s.accPool.Put(acc)
+	sortCounted(out)
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out, nil
+}
+
+// coMentionedMatrix is Q3.1 algebraically: frontier = the tweets
+// mentioning A, gather their mentions-out rows, drop A.
+func (s *NeoStore) coMentionedMatrix(q *runningQuery, uid int64, n int) ([]Counted, bool, error) {
+	uidKey := s.db.PropKeyID(PropUID)
+	mentions := s.db.RelTypeID(RelMentions)
+	a, ok := s.db.FindNode(s.db.LabelID(LabelUser), uidKey, graph.IntValue(uid))
+	if !ok {
+		return []Counted{}, true, nil
+	}
+	first := s.db.RelSource(mentions, graph.Incoming)
+	g := s.neoGate(LabelUser)
+	if !s.preGate(first, uint64(a), g) {
+		return nil, false, nil
+	}
+	frontier, err := spmat.WeightedFrontier(first, uint64(a), 0, &s.accPool)
+	if err != nil {
+		return nil, true, err
+	}
+	acc, used, err := s.gatherSecondHop(q, frontier, s.db.RelSource(mentions, graph.Outgoing), g)
+	if !used || err != nil {
+		return nil, used, err
+	}
+	out, err := s.topNAccumNode(acc, uidKey, n, func(col uint64) bool { return col == uint64(a) })
+	return out, true, err
+}
+
+// coOccurringTagsMatrix is Q3.2 algebraically over the tags adjacency.
+func (s *NeoStore) coOccurringTagsMatrix(q *runningQuery, tag string, n int) ([]CountedTag, bool, error) {
+	tagKey := s.db.PropKeyID(PropTag)
+	tags := s.db.RelTypeID(RelTags)
+	h, ok := s.db.FindNode(s.db.LabelID(LabelHashtag), tagKey, graph.StringValue(tag))
+	if !ok {
+		return []CountedTag{}, true, nil
+	}
+	first := s.db.RelSource(tags, graph.Incoming)
+	g := s.neoGate(LabelHashtag)
+	if !s.preGate(first, uint64(h), g) {
+		return nil, false, nil
+	}
+	frontier, err := spmat.WeightedFrontier(first, uint64(h), 0, &s.accPool)
+	if err != nil {
+		return nil, true, err
+	}
+	acc, used, err := s.gatherSecondHop(q, frontier, s.db.RelSource(tags, graph.Outgoing), g)
+	if !used || err != nil {
+		return nil, used, err
+	}
+	out := make([]CountedTag, 0, acc.Len())
+	acc.ForEach(func(col uint64, c int64) {
+		if err != nil || col == uint64(h) {
+			return
+		}
+		v, perr := s.db.NodeProp(graph.NodeID(col), tagKey)
+		if perr != nil {
+			err = perr
+			return
+		}
+		out = append(out, CountedTag{Tag: v.Str(), Count: c})
+	})
+	s.accPool.Put(acc)
+	if err != nil {
+		return nil, true, err
+	}
+	sortCountedTags(out)
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out, true, nil
+}
+
+// recommendMatrix is Q4.1 (dir=Outgoing) / Q4.2 (dir=Incoming)
+// algebraically. The frontier's distinct ids are exactly the `direct`
+// exclusion set, so no second first-hop walk is needed. Q4.2's
+// navigational e1 != e2 guard has no algebraic counterpart: reusing
+// the first-hop edge backwards lands on A, which the col == a mask
+// already drops.
+func (s *NeoStore) recommendMatrix(q *runningQuery, uid int64, n int, dir graph.Direction) ([]Counted, bool, error) {
+	uidKey := s.db.PropKeyID(PropUID)
+	follows := s.db.RelTypeID(RelFollows)
+	a, ok := s.db.FindNode(s.db.LabelID(LabelUser), uidKey, graph.IntValue(uid))
+	if !ok {
+		return []Counted{}, true, nil
+	}
+	first := s.db.RelSource(follows, graph.Outgoing)
+	g := s.neoGate(LabelUser)
+	if !s.preGate(first, uint64(a), g) {
+		return nil, false, nil
+	}
+	frontier, err := spmat.WeightedFrontier(first, uint64(a), 0, &s.accPool)
+	if err != nil {
+		return nil, true, err
+	}
+	acc, used, err := s.gatherSecondHop(q, frontier, s.db.RelSource(follows, dir), g)
+	if !used || err != nil {
+		return nil, used, err
+	}
+	direct := make(map[uint64]bool, len(frontier))
+	for _, f := range frontier {
+		direct[f.ID] = true
+	}
+	out, err := s.topNAccumNode(acc, uidKey, n, func(col uint64) bool { return col == uint64(a) || direct[col] })
+	return out, true, err
+}
+
+// influenceMatrix is Q5 algebraically: frontier = the tweets
+// mentioning A, gather their posts-in rows (each tweet's author), drop
+// A, then keep or drop A's followers.
+func (s *NeoStore) influenceMatrix(q *runningQuery, uid int64, n int, keepFollowers bool) ([]Counted, bool, error) {
+	uidKey := s.db.PropKeyID(PropUID)
+	mentions := s.db.RelTypeID(RelMentions)
+	posts := s.db.RelTypeID(RelPosts)
+	follows := s.db.RelTypeID(RelFollows)
+	a, ok := s.db.FindNode(s.db.LabelID(LabelUser), uidKey, graph.IntValue(uid))
+	if !ok {
+		return []Counted{}, true, nil
+	}
+	first := s.db.RelSource(mentions, graph.Incoming)
+	g := s.neoGate(LabelUser)
+	if !s.preGate(first, uint64(a), g) {
+		return nil, false, nil
+	}
+	frontier, err := spmat.WeightedFrontier(first, uint64(a), 0, &s.accPool)
+	if err != nil {
+		return nil, true, err
+	}
+	acc, used, err := s.gatherSecondHop(q, frontier, s.db.RelSource(posts, graph.Incoming), g)
+	if !used || err != nil {
+		return nil, used, err
+	}
+	followers := map[uint64]bool{}
+	if err := s.db.Relationships(a, follows, graph.Incoming, func(r neodb.Rel) bool {
+		followers[uint64(r.Src)] = true
+		return true
+	}); err != nil {
+		s.accPool.Put(acc)
+		return nil, true, err
+	}
+	out, err := s.topNAccumNode(acc, uidKey, n, func(col uint64) bool {
+		return col == uint64(a) || followers[col] != keepFollowers
+	})
+	return out, true, err
+}
+
+// shortestPathMatrix is Q6.1 algebraically: a direction-optimizing
+// masked-SpMV BFS over the follows adjacency, with the user label's
+// node set as the pull-side candidate universe. Both matrix and auto
+// route here — auto's per-level decision for a BFS is push vs pull
+// inside the kernel.
+func (s *NeoStore) shortestPathMatrix(q *runningQuery, fromUID, toUID int64, maxHops int) (int, bool, error) {
+	user := s.db.LabelID(LabelUser)
+	uidKey := s.db.PropKeyID(PropUID)
+	follows := s.db.RelTypeID(RelFollows)
+	a, ok := s.db.FindNode(user, uidKey, graph.IntValue(fromUID))
+	if !ok {
+		return 0, false, nil
+	}
+	b, ok := s.db.FindNode(user, uidKey, graph.IntValue(toUID))
+	if !ok {
+		return 0, false, nil
+	}
+	s.spm.CountHop(true)
+	return spmat.BFSLength(
+		s.db.RelSource(follows, graph.Outgoing),
+		s.db.RelSource(follows, graph.Incoming),
+		s.db.NodesByLabel(user),
+		uint64(a), uint64(b), maxHops, s.workers, s.neoGate(LabelUser), s.parm, s.spm,
+		func() error { return s.db.CheckCtx(q.ctx) })
+}

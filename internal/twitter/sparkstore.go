@@ -10,6 +10,7 @@ import (
 	"twigraph/internal/obs"
 	"twigraph/internal/par"
 	"twigraph/internal/sparkdb"
+	"twigraph/internal/spmat"
 )
 
 // SparkStore implements the workload on the Sparksee-analog engine
@@ -25,6 +26,9 @@ type SparkStore struct {
 	timeout  time.Duration  // per-query deadline; 0 = unbounded
 	parm     par.Metrics    // shard/merge counters on the engine registry
 	qLatency *obs.Histogram // per-query wall time (query_latency)
+	method   spmat.Method   // nav (default), matrix, or auto
+	spm      *spmat.Metrics // plan-choice and kernel-round counters
+	accPool  spmat.AccumPool
 
 	user, tweet, hashtag           graph.TypeID
 	follows, posts, mentions, tags graph.TypeID
@@ -42,6 +46,7 @@ func NewSparkStore(db *sparkdb.DB) (*SparkStore, error) {
 	// Shard executions of the parallel workload paths land on the
 	// engine's timeline next to its spans.
 	s.parm.Trace = db.Trace()
+	s.spm = spmat.MetricsFrom(db.Obs())
 	s.user = db.FindType(LabelUser)
 	s.tweet = db.FindType(LabelTweet)
 	s.hashtag = db.FindType(LabelHashtag)
@@ -223,6 +228,11 @@ func (s *SparkStore) CoMentionedUsers(uid int64, n int) (out []Counted, err erro
 	if !ok {
 		return nil, nil
 	}
+	if s.method != spmat.MethodNav {
+		if res, used, merr := s.coMentionedMatrix(q, a, n); used {
+			return res, merr
+		}
+	}
 	// Tweets that mention A — iterated per mention *edge* (Explode),
 	// so parallel edges multiply the count exactly as the declarative
 	// engine's path counting does. The first-hop edge list is the
@@ -252,6 +262,11 @@ func (s *SparkStore) CoOccurringHashtags(tag string, n int) (out []CountedTag, e
 	h, ok := s.db.FindObject(s.tagAttr, graph.StringValue(tag))
 	if !ok {
 		return nil, nil
+	}
+	if s.method != spmat.MethodNav {
+		if res, used, merr := s.coOccurringTagsMatrix(q, h, n); used {
+			return res, merr
+		}
 	}
 	tagsIn := s.db.Explode(h, s.tags, graph.Incoming).Slice()
 	counts := par.CountSharded(par.WorkersForSize(s.workers, len(tagsIn), minItemsPerShard), s.parm, tagsIn, func(e1 uint64, acc map[uint64]int64) {
@@ -287,6 +302,11 @@ func (s *SparkStore) RecommendFollowees(uid int64, n int) (out []Counted, err er
 	a, ok := s.userByUID(uid)
 	if !ok {
 		return nil, nil
+	}
+	if s.method != spmat.MethodNav {
+		if res, used, merr := s.recommendMatrix(q, a, n, graph.Outgoing); used {
+			return res, merr
+		}
 	}
 	direct := s.db.Neighbors(a, s.follows, graph.Outgoing)
 	// Per-edge (Explode) at both hops, so the path counts match the
@@ -359,6 +379,11 @@ func (s *SparkStore) RecommendFollowersOfFollowees(uid int64, n int) (out []Coun
 	if !ok {
 		return nil, nil
 	}
+	if s.method != spmat.MethodNav {
+		if res, used, merr := s.recommendMatrix(q, a, n, graph.Incoming); used {
+			return res, merr
+		}
+	}
 	direct := s.db.Neighbors(a, s.follows, graph.Outgoing)
 	followEdges := s.db.Explode(a, s.follows, graph.Outgoing).Slice()
 	counts := par.CountSharded(par.WorkersForSize(s.workers, len(followEdges), minItemsPerShard), s.parm, followEdges, func(e1 uint64, acc map[uint64]int64) {
@@ -382,7 +407,7 @@ func (s *SparkStore) RecommendFollowersOfFollowees(uid int64, n int) (out []Coun
 func (s *SparkStore) CurrentInfluence(uid int64, n int) (out []Counted, err error) {
 	q := s.beginQuery("CurrentInfluence")
 	defer func() { q.finish(err, len(out)) }()
-	return s.influence(uid, n, true)
+	return s.influence(q, uid, n, true)
 }
 
 // PotentialInfluence implements Q5.2: count mentioners, then remove the
@@ -390,13 +415,18 @@ func (s *SparkStore) CurrentInfluence(uid int64, n int) (out []Counted, err erro
 func (s *SparkStore) PotentialInfluence(uid int64, n int) (out []Counted, err error) {
 	q := s.beginQuery("PotentialInfluence")
 	defer func() { q.finish(err, len(out)) }()
-	return s.influence(uid, n, false)
+	return s.influence(q, uid, n, false)
 }
 
-func (s *SparkStore) influence(uid int64, n int, keepFollowers bool) ([]Counted, error) {
+func (s *SparkStore) influence(q *runningQuery, uid int64, n int, keepFollowers bool) ([]Counted, error) {
 	a, ok := s.userByUID(uid)
 	if !ok {
 		return nil, nil
+	}
+	if s.method != spmat.MethodNav {
+		if res, used, merr := s.influenceMatrix(q, a, n, keepFollowers); used {
+			return res, merr
+		}
 	}
 	mentionsIn := s.db.Explode(a, s.mentions, graph.Incoming).Slice()
 	counts := par.CountSharded(par.WorkersForSize(s.workers, len(mentionsIn), minItemsPerShard), s.parm, mentionsIn, func(e1 uint64, acc map[uint64]int64) {
@@ -437,6 +467,9 @@ func (s *SparkStore) ShortestPathLength(fromUID, toUID int64, maxHops int) (leng
 	b, ok := s.userByUID(toUID)
 	if !ok {
 		return 0, false, nil
+	}
+	if s.method != spmat.MethodNav {
+		return s.shortestPathMatrix(q, a, b, maxHops)
 	}
 	if s.workers > 1 {
 		return s.db.SinglePairShortestPathLengthCtx(q.ctx, a, b, []graph.TypeID{s.follows}, graph.Outgoing, maxHops, s.workers)
