@@ -14,15 +14,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"sort"
-	"syscall"
 
 	"twigraph/internal/bench"
 	"twigraph/internal/qstats"
+	"twigraph/internal/shutdown"
 	"twigraph/internal/spmat"
 )
 
@@ -124,11 +124,14 @@ func main() {
 		}
 	}
 	if *listen != "" {
-		// Keep the final counters scrapeable; exit on interrupt.
+		// Keep the final counters scrapeable until signalled, then exit 0
+		// through the shared drain path so SIGTERM (systemd, CI, docker
+		// stop) terminates the process cleanly instead of relying on a
+		// hard kill; a second signal force-exits.
 		fmt.Println("\nexperiments done; telemetry stays up until interrupted")
-		ch := make(chan os.Signal, 1)
-		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
-		<-ch
+		ctx, stop := shutdown.Context(context.Background())
+		<-ctx.Done()
+		stop()
 	}
 }
 

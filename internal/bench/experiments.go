@@ -37,6 +37,7 @@ func All() []Experiment {
 		{"parallel", "Parallel multi-hop execution: Workers=1 vs Workers=N speedup", runParallel},
 		{"matrix", "Algebraic execution: navigational vs masked SpMV/SpGEMM kernels vs auto gate", runMatrix},
 		{"ingest", "Pipelined bulk ingestion: serial vs N-worker import, WAL group commit", runIngest},
+		{"serve", "Network serving layer: wire-protocol latency, fault-injected retries, overload shedding", runServeExp},
 	}
 }
 

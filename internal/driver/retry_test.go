@@ -1,0 +1,337 @@
+package driver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"twigraph/internal/leakcheck"
+	"twigraph/internal/serve"
+)
+
+// TestRetryableTable is the classification contract, one row per error
+// class (docs/SERVING.md, "Error classification").
+func TestRetryableTable(t *testing.T) {
+	reset := &net.OpError{Op: "read", Net: "tcp", Err: syscall.ECONNRESET}
+	cases := []struct {
+		name       string
+		err        error
+		idempotent bool
+		want       bool
+	}{
+		{"nil", nil, true, false},
+		{"overload read", &serve.ServerError{Code: serve.CodeOverloaded}, true, true},
+		{"overload write", &serve.ServerError{Code: serve.CodeOverloaded}, false, true},
+		{"drain read", &serve.ServerError{Code: serve.CodeShutdown}, true, true},
+		{"drain write", &serve.ServerError{Code: serve.CodeShutdown}, false, true},
+		{"query error", &serve.ServerError{Code: serve.CodeQuery, Message: "bad param"}, true, false},
+		{"server timeout", &serve.ServerError{Code: serve.CodeTimeout}, true, false},
+		{"server cancelled", &serve.ServerError{Code: serve.CodeCancelled}, true, false},
+		{"protocol violation", &serve.ServerError{Code: serve.CodeProtocol}, true, false},
+		{"internal", &serve.ServerError{Code: serve.CodeInternal}, true, false},
+		{"caller cancelled", context.Canceled, true, false},
+		{"caller deadline", context.DeadlineExceeded, true, false},
+		{"conn reset read", fmt.Errorf("driver: stream: %w", reset), true, true},
+		{"conn reset write", fmt.Errorf("driver: stream: %w", reset), false, false},
+		{"eof read", fmt.Errorf("driver: reply: %w", io.EOF), true, true},
+		{"eof write", fmt.Errorf("driver: reply: %w", io.EOF), false, false},
+		{"dial refused read", fmt.Errorf("driver: dial: %w", syscall.ECONNREFUSED), true, true},
+		{"dial refused write", fmt.Errorf("driver: dial: %w", syscall.ECONNREFUSED), false, false},
+		{"corrupt frame read", fmt.Errorf("driver: stream: serve: frame checksum mismatch"), true, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Retryable(tc.err, tc.idempotent); got != tc.want {
+				t.Fatalf("Retryable(%v, idempotent=%v) = %v, want %v", tc.err, tc.idempotent, got, tc.want)
+			}
+		})
+	}
+}
+
+// fakeServer speaks just enough protocol to script per-RUN behaviour.
+type fakeServer struct {
+	t  *testing.T
+	ln net.Listener
+
+	mu       sync.Mutex
+	runTimes []time.Time
+	conns    []net.Conn
+	wg       sync.WaitGroup
+
+	// handle scripts the response to the i-th RUN (0-based, global
+	// across connections). Return false to kill the connection instead
+	// of continuing it.
+	handle func(i int, fc *serve.FrameConn) bool
+}
+
+func newFakeServer(t *testing.T, handle func(i int, fc *serve.FrameConn) bool) *fakeServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &fakeServer{t: t, ln: ln, handle: handle}
+	fs.wg.Add(1)
+	go fs.accept()
+	t.Cleanup(fs.close)
+	return fs
+}
+
+func (fs *fakeServer) addr() string { return fs.ln.Addr().String() }
+
+func (fs *fakeServer) close() {
+	fs.ln.Close()
+	fs.mu.Lock()
+	for _, c := range fs.conns {
+		c.Close()
+	}
+	fs.mu.Unlock()
+	fs.wg.Wait()
+}
+
+func (fs *fakeServer) runs() []time.Time {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return append([]time.Time(nil), fs.runTimes...)
+}
+
+func (fs *fakeServer) accept() {
+	defer fs.wg.Done()
+	for {
+		conn, err := fs.ln.Accept()
+		if err != nil {
+			return
+		}
+		fs.mu.Lock()
+		fs.conns = append(fs.conns, conn)
+		fs.mu.Unlock()
+		fs.wg.Add(1)
+		go fs.session(conn)
+	}
+}
+
+func (fs *fakeServer) session(conn net.Conn) {
+	defer fs.wg.Done()
+	defer conn.Close()
+	fc := serve.NewFrameConn(conn, 0)
+	payload, err := fc.Recv()
+	if err != nil {
+		return
+	}
+	if tag, _, err := serve.DecodeMessage(payload); err != nil || tag != serve.MsgHello {
+		return
+	}
+	fc.Send(serve.EncodeSuccess(serve.Success{Meta: map[string]any{"server": "fake"}}))
+	for {
+		payload, err := fc.Recv()
+		if err != nil {
+			return
+		}
+		tag, _, err := serve.DecodeMessage(payload)
+		if err != nil || tag != serve.MsgRun {
+			return
+		}
+		fs.mu.Lock()
+		i := len(fs.runTimes)
+		fs.runTimes = append(fs.runTimes, time.Now())
+		fs.mu.Unlock()
+		if !fs.handle(i, fc) {
+			return
+		}
+	}
+}
+
+// serveRows answers the RUN and streams rows against PULL credit.
+func serveRows(fc *serve.FrameConn, rows [][]any) bool {
+	if fc.Send(serve.EncodeSuccess(serve.Success{Meta: map[string]any{"fields": []string{"uid"}}})) != nil {
+		return false
+	}
+	next := 0
+	for {
+		payload, err := fc.Recv()
+		if err != nil {
+			return false
+		}
+		tag, msg, err := serve.DecodeMessage(payload)
+		if err != nil || tag != serve.MsgPull {
+			return false
+		}
+		n := int(msg.(serve.Pull).N)
+		end := next + n
+		if end > len(rows) {
+			end = len(rows)
+		}
+		for _, row := range rows[next:end] {
+			if fc.SendBuffered(serve.EncodeRecord(row)) != nil {
+				return false
+			}
+		}
+		next = end
+		hasMore := next < len(rows)
+		if fc.Send(serve.EncodeSuccess(serve.Success{Meta: map[string]any{"has_more": hasMore}})) != nil {
+			return false
+		}
+		if !hasMore {
+			return true
+		}
+	}
+}
+
+func shed(fc *serve.FrameConn) bool {
+	return fc.Send(serve.EncodeFailure(serve.Failure{
+		Code: serve.CodeOverloaded, Message: "queue full",
+	})) == nil
+}
+
+// TestOverloadRetriedWithGrowingBackoff: the first two RUNs shed, the
+// third succeeds; the driver must have backed off between attempts
+// with growing delays.
+func TestOverloadRetriedWithGrowingBackoff(t *testing.T) {
+	leakcheck.Check(t)
+	fs := newFakeServer(t, func(i int, fc *serve.FrameConn) bool {
+		if i < 2 {
+			return shed(fc)
+		}
+		return serveRows(fc, [][]any{{int64(1)}})
+	})
+	base := 40 * time.Millisecond
+	cli := New(Config{Addr: fs.addr(), BaseBackoff: base, MaxRetries: 5})
+	defer cli.Close()
+
+	res, err := cli.Query(context.Background(), "neo", "followees", map[string]any{"uid": int64(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	runs := fs.runs()
+	if len(runs) != 3 {
+		t.Fatalf("server saw %d RUNs, want 3", len(runs))
+	}
+	gap1, gap2 := runs[1].Sub(runs[0]), runs[2].Sub(runs[1])
+	// Jitter draws gap1 from [base/2, base) and gap2 from [base, 2*base).
+	if gap1 < base/2 {
+		t.Errorf("first backoff %v below jitter floor %v", gap1, base/2)
+	}
+	if gap2 < base {
+		t.Errorf("second backoff %v did not grow past base %v", gap2, base)
+	}
+	if got := cli.Metrics().Snapshot().Counters["retries"]; got != 2 {
+		t.Errorf("retries counter %d, want 2", got)
+	}
+}
+
+// TestQueryFailureSurfacesWithoutRetry: a FAILURE with a query code is
+// definitive — one attempt, the original code intact.
+func TestQueryFailureSurfacesWithoutRetry(t *testing.T) {
+	leakcheck.Check(t)
+	fs := newFakeServer(t, func(i int, fc *serve.FrameConn) bool {
+		return fc.Send(serve.EncodeFailure(serve.Failure{
+			Code: serve.CodeQuery, Message: "parameter \"uid\" missing",
+		})) == nil
+	})
+	cli := New(Config{Addr: fs.addr()})
+	defer cli.Close()
+
+	_, err := cli.Query(context.Background(), "neo", "followees", nil)
+	var se *serve.ServerError
+	if !errors.As(err, &se) || se.Code != serve.CodeQuery {
+		t.Fatalf("want QueryError, got %v", err)
+	}
+	if n := len(fs.runs()); n != 1 {
+		t.Fatalf("server saw %d RUNs, want 1 (no retry)", n)
+	}
+}
+
+// TestExhaustedRetriesSurfaceOriginalError: when every attempt sheds,
+// the final error still matches ErrOverloaded and attempts == 1 +
+// MaxRetries — no infinite retry.
+func TestExhaustedRetriesSurfaceOriginalError(t *testing.T) {
+	leakcheck.Check(t)
+	fs := newFakeServer(t, func(i int, fc *serve.FrameConn) bool { return shed(fc) })
+	cli := New(Config{Addr: fs.addr(), MaxRetries: 2, BaseBackoff: time.Millisecond})
+	defer cli.Close()
+
+	_, err := cli.Query(context.Background(), "neo", "followees", map[string]any{"uid": int64(1)})
+	if !errors.Is(err, serve.ErrOverloaded) {
+		t.Fatalf("exhausted error lost its class: %v", err)
+	}
+	if n := len(fs.runs()); n != 3 {
+		t.Fatalf("server saw %d RUNs, want 3 (1 + MaxRetries)", n)
+	}
+}
+
+// TestReadRetriedAfterConnDeath: the connection dies mid-call; an
+// idempotent read re-runs on a fresh conn and succeeds.
+func TestReadRetriedAfterConnDeath(t *testing.T) {
+	leakcheck.Check(t)
+	fs := newFakeServer(t, func(i int, fc *serve.FrameConn) bool {
+		if i == 0 {
+			return false // kill the conn without answering
+		}
+		return serveRows(fc, [][]any{{int64(9)}})
+	})
+	cli := New(Config{Addr: fs.addr(), BaseBackoff: time.Millisecond})
+	defer cli.Close()
+
+	res, err := cli.Query(context.Background(), "neo", "followees", map[string]any{"uid": int64(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != int64(9) {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	if n := len(fs.runs()); n != 2 {
+		t.Fatalf("server saw %d RUNs, want 2", n)
+	}
+	if got := cli.Metrics().Snapshot().Counters["conns_discarded"]; got == 0 {
+		t.Error("dead conn went back to the pool")
+	}
+}
+
+// TestWriteNotRetriedAfterConnDeath: the same fault on a write must NOT
+// re-run — the first attempt may have executed.
+func TestWriteNotRetriedAfterConnDeath(t *testing.T) {
+	leakcheck.Check(t)
+	fs := newFakeServer(t, func(i int, fc *serve.FrameConn) bool {
+		return false // kill every conn mid-call
+	})
+	cli := New(Config{Addr: fs.addr(), BaseBackoff: time.Millisecond})
+	defer cli.Close()
+
+	_, err := cli.Query(context.Background(), "neo", "add_user",
+		map[string]any{"uid": int64(1), "screen_name": "a"})
+	if err == nil {
+		t.Fatal("want transport error")
+	}
+	if n := len(fs.runs()); n != 1 {
+		t.Fatalf("server saw %d RUNs for a write, want 1 (never retried)", n)
+	}
+}
+
+// TestCallerDeadlineStopsRetries: a caller context expiring during
+// backoff ends the retry loop with the context error, promptly.
+func TestCallerDeadlineStopsRetries(t *testing.T) {
+	leakcheck.Check(t)
+	fs := newFakeServer(t, func(i int, fc *serve.FrameConn) bool { return shed(fc) })
+	cli := New(Config{Addr: fs.addr(), MaxRetries: 100, BaseBackoff: 50 * time.Millisecond})
+	defer cli.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := cli.Query(ctx, "neo", "followees", map[string]any{"uid": int64(1)})
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry loop overstayed the caller deadline by %v", elapsed)
+	}
+}

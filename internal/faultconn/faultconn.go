@@ -1,0 +1,183 @@
+// Package faultconn is the network twin of internal/vfs: a net.Conn
+// wrapper that injects the faults a real network produces — partial
+// writes cut short by a reset, read stalls, connection resets, and
+// garbage bytes corrupted in flight — deterministically from a seed, so
+// a chaos test that fails replays byte-for-byte.
+//
+// Probabilities are evaluated per Read/Write call from the conn's own
+// PRNG stream (never the global source); all faults are disabled at
+// their zero value, so Config{} wraps transparently.
+package faultconn
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Config scripts the fault mix. Probabilities are per-call in [0,1].
+type Config struct {
+	// Seed makes the fault schedule reproducible. Two conns wrapped with
+	// the same seed inject the same faults at the same call offsets.
+	Seed int64
+
+	// ResetProb aborts a call with a connection-reset error and closes
+	// the underlying conn (both directions die, like a real RST).
+	ResetProb float64
+
+	// PartialWriteProb writes only a prefix of the buffer, then resets —
+	// the peer sees a truncated frame followed by a dead conn.
+	PartialWriteProb float64
+
+	// GarbageProb flips one byte of the data as it passes — corruption
+	// in flight. The frame checksum on the receiving side must turn this
+	// into a deterministic error, never a silently wrong decode.
+	GarbageProb float64
+
+	// StallProb delays a call by StallFor before performing it,
+	// simulating a congested or half-dead path.
+	StallProb float64
+	// StallFor is the stall duration (0 = 10ms).
+	StallFor time.Duration
+}
+
+// ErrInjectedReset is the error text marker for injected resets; the
+// wrapped error satisfies net.Error (non-timeout) like a real
+// ECONNRESET surfaced through the net package.
+type resetError struct{}
+
+func (resetError) Error() string   { return "faultconn: connection reset by peer (injected)" }
+func (resetError) Timeout() bool   { return false }
+func (resetError) Temporary() bool { return false }
+
+var _ net.Error = resetError{}
+
+// Conn wraps a net.Conn with fault injection. Safe for one reader and
+// one writer goroutine, like net.Conn itself.
+type Conn struct {
+	net.Conn
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// Injected counts, for asserting a chaos run actually exercised the
+	// fault paths.
+	Resets   int
+	Partials int
+	Garbage  int
+	Stalls   int
+}
+
+// Wrap decorates c with the fault schedule derived from cfg.Seed.
+func Wrap(c net.Conn, cfg Config) *Conn {
+	if cfg.StallFor == 0 {
+		cfg.StallFor = 10 * time.Millisecond
+	}
+	return &Conn{Conn: c, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// roll draws the next fault decisions under the lock (rand.Rand is not
+// concurrency-safe; reader and writer share the stream).
+func (c *Conn) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64() < p
+}
+
+func (c *Conn) pick(n int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Intn(n)
+}
+
+func (c *Conn) reset() error {
+	c.mu.Lock()
+	c.Resets++
+	c.mu.Unlock()
+	c.Conn.Close()
+	return &net.OpError{Op: "read", Net: "tcp", Err: resetError{}}
+}
+
+func (c *Conn) maybeStall() {
+	if c.roll(c.cfg.StallProb) {
+		c.mu.Lock()
+		c.Stalls++
+		c.mu.Unlock()
+		time.Sleep(c.cfg.StallFor)
+	}
+}
+
+// Read injects stalls, resets and in-flight corruption on the inbound
+// path.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.maybeStall()
+	if c.roll(c.cfg.ResetProb) {
+		return 0, c.reset()
+	}
+	n, err := c.Conn.Read(p)
+	if n > 0 && c.roll(c.cfg.GarbageProb) {
+		c.mu.Lock()
+		c.Garbage++
+		c.mu.Unlock()
+		p[c.pick(n)] ^= 0xFF
+	}
+	return n, err
+}
+
+// Write injects stalls, resets and partial writes on the outbound path.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.maybeStall()
+	if c.roll(c.cfg.ResetProb) {
+		return 0, c.reset()
+	}
+	if len(p) > 1 && c.roll(c.cfg.PartialWriteProb) {
+		c.mu.Lock()
+		c.Partials++
+		c.mu.Unlock()
+		keep := 1 + c.pick(len(p)-1)
+		n, err := c.Conn.Write(p[:keep])
+		if err != nil {
+			return n, err
+		}
+		return n, c.reset()
+	}
+	return c.Conn.Write(p)
+}
+
+// Dialer returns a dial function (the shape internal/driver injects)
+// that wraps every new connection with faults. Each conn gets a
+// distinct, deterministic seed derived from the base seed and the dial
+// ordinal, so retries do not replay the exact fault schedule that
+// killed the previous attempt.
+func Dialer(cfg Config) func(ctx context.Context, network, addr string) (net.Conn, error) {
+	var mu sync.Mutex
+	ordinal := int64(0)
+	return func(ctx context.Context, network, addr string) (net.Conn, error) {
+		var d net.Dialer
+		raw, err := d.DialContext(ctx, network, addr)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		ordinal++
+		connCfg := cfg
+		connCfg.Seed = cfg.Seed + ordinal*1_000_003
+		mu.Unlock()
+		return Wrap(raw, connCfg), nil
+	}
+}
+
+// String describes the schedule for test logs.
+func (c *Conn) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fmt.Sprintf("faultconn{seed=%d resets=%d partials=%d garbage=%d stalls=%d}",
+		c.cfg.Seed, c.Resets, c.Partials, c.Garbage, c.Stalls)
+}

@@ -1,0 +1,57 @@
+// Package leakcheck asserts, at test end, that a test left no
+// goroutines behind — the serving layer's sessions, producers and the
+// driver's retry loops must all terminate with their owners. It
+// snapshots the goroutine count up front and polls for return to that
+// level in Cleanup, tolerating runtime-internal background goroutines
+// by comparing counts rather than stacks (stdlib-only stand-in for
+// goleak).
+package leakcheck
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Check registers a cleanup that fails the test if the goroutine count
+// has not returned to its starting level within 5 seconds. Call it
+// first in the test, before anything spawns.
+func Check(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		var now int
+		for {
+			now = runtime.NumGoroutine()
+			if now <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("leakcheck: %d goroutines at start, %d at end; stacks:\n%s",
+			before, now, condense(string(buf[:n])))
+	})
+}
+
+// condense trims each goroutine's stack to its header and top frame —
+// enough to identify a leak without pages of output.
+func condense(stacks string) string {
+	var b strings.Builder
+	for _, g := range strings.Split(stacks, "\n\n") {
+		lines := strings.Split(g, "\n")
+		keep := lines
+		if len(keep) > 3 {
+			keep = keep[:3]
+		}
+		b.WriteString(strings.Join(keep, "\n"))
+		b.WriteString("\n\n")
+	}
+	return b.String()
+}

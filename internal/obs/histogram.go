@@ -216,6 +216,9 @@ type HistogramSnapshot struct {
 	P50   float64 `json:"p50"`
 	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
+	// P999 resolves the extreme tail — the serving layer's shed/retry
+	// behaviour lives out there, invisible to p95/p99.
+	P999 float64 `json:"p999,omitempty"`
 	// Buckets holds the non-empty buckets only: parallel slices of
 	// upper bound (ns; 0 marks the overflow bucket) and count.
 	BucketBounds []int64  `json:"bucket_bounds,omitempty"`
@@ -237,6 +240,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		P50:   h.quantileFrom(counts, total, min, max, 0.50),
 		P95:   h.quantileFrom(counts, total, min, max, 0.95),
 		P99:   h.quantileFrom(counts, total, min, max, 0.99),
+		P999:  h.quantileFrom(counts, total, min, max, 0.999),
 	}
 	if total > 0 && min != math.MaxInt64 && max != math.MinInt64 {
 		s.Min = min

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"twigraph/internal/neodb"
+	"twigraph/internal/sparkdb"
+	"twigraph/internal/twitter"
+)
+
+// BoundStore is what a session needs from an engine: the full query
+// workload plus the context/deadline knobs. A fresh handle is created
+// per session because the setters are per-goroutine state, not
+// synchronised (see twitter.NeoStore.SetBaseContext).
+type BoundStore interface {
+	twitter.Store
+	SetBaseContext(ctx context.Context)
+	SetQueryTimeout(d time.Duration)
+}
+
+// Engine adapts one embedded database to the serving layer. The fields
+// are exported so tests can plug in stub engines (blocking queries,
+// failing health checks) without a real database behind them.
+type Engine struct {
+	Name string
+
+	// NewSession returns a session-private store handle over the shared
+	// database. Handles are cheap — the underlying DB carries the caches
+	// and page pools.
+	NewSession func() (BoundStore, error)
+
+	// CountAbort ticks the engine's queries_cancelled/queries_timed_out
+	// counter for an abort the engine itself could not observe: the
+	// store call already returned success and the client abandoned the
+	// result mid-stream. Aborts during execution are counted by the
+	// engine at the detection site; the server calls CountAbort only for
+	// post-execution aborts, so each abort is counted exactly once.
+	CountAbort func(err error) bool
+
+	// Health reports engine liveness; nil means healthy.
+	Health func() error
+
+	// writeMu serializes non-idempotent catalogue queries. The embedded
+	// engines support concurrent readers but their update paths mutate
+	// shared structures without internal locking.
+	writeMu sync.Mutex
+}
+
+// NewNeoEngine adapts the Neo4j-analog database.
+func NewNeoEngine(db *neodb.DB) *Engine {
+	return &Engine{
+		Name: "neo",
+		NewSession: func() (BoundStore, error) {
+			return twitter.NewNeoStore(db), nil
+		},
+		CountAbort: db.CountQueryAbort,
+		Health:     db.Health,
+	}
+}
+
+// NewSparkEngine adapts the Sparksee-analog database.
+func NewSparkEngine(db *sparkdb.DB) *Engine {
+	return &Engine{
+		Name: "sparksee",
+		NewSession: func() (BoundStore, error) {
+			return twitter.NewSparkStore(db)
+		},
+		CountAbort: db.CountQueryAbort,
+		Health:     db.Health,
+	}
+}

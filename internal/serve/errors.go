@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// FAILURE codes. The code — not the message text — is the retry
+// contract: the driver classifies on it (docs/SERVING.md, "Error
+// classification").
+const (
+	// CodeOverloaded: the admission semaphore and its bounded queue are
+	// full; the request was shed before execution. Always safe to retry
+	// after backoff.
+	CodeOverloaded = "Overloaded"
+	// CodeShutdown: the server is draining; no new queries are
+	// admitted. Retryable (against a replacement instance, or the same
+	// address after restart).
+	CodeShutdown = "ShuttingDown"
+	// CodeTimeout: the per-query deadline fired (before or between PULL
+	// batches). Not retried by the driver — the call's budget is spent.
+	CodeTimeout = "Timeout"
+	// CodeCancelled: the query was aborted by cancellation.
+	CodeCancelled = "Cancelled"
+	// CodeQuery: the query itself failed (unknown query name, bad
+	// parameters, execution error). Never retried.
+	CodeQuery = "QueryError"
+	// CodeProtocol: the peer broke the wire protocol; the session is
+	// torn down after sending it.
+	CodeProtocol = "ProtocolViolation"
+	// CodeInternal: a panic or unexpected server-side error; the
+	// session survives, the query does not.
+	CodeInternal = "Internal"
+)
+
+// ErrOverloaded is the typed overload signal: admission control shed
+// the request instead of queueing it unboundedly. Server-side it is
+// returned by admission; client-side a FAILURE with CodeOverloaded
+// matches it through errors.Is.
+var ErrOverloaded = errors.New("serve: overloaded, admission queue full")
+
+// ErrDraining is returned for queries arriving while the server drains.
+var ErrDraining = errors.New("serve: draining, not accepting queries")
+
+// ServerError is a FAILURE surfaced to the client, preserving the typed
+// code. errors.Is maps the transport-independent sentinels onto it:
+// Overloaded → ErrOverloaded, ShuttingDown → ErrDraining, Timeout →
+// context.DeadlineExceeded, Cancelled → context.Canceled.
+type ServerError struct {
+	Code    string
+	Message string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("serve: server failure [%s]: %s", e.Code, e.Message)
+}
+
+// Is implements errors.Is matching against the typed sentinels.
+func (e *ServerError) Is(target error) bool {
+	switch target {
+	case ErrOverloaded:
+		return e.Code == CodeOverloaded
+	case ErrDraining:
+		return e.Code == CodeShutdown
+	case context.DeadlineExceeded:
+		return e.Code == CodeTimeout
+	case context.Canceled:
+		return e.Code == CodeCancelled
+	}
+	return false
+}
+
+// failureFor classifies a server-side error into the FAILURE it is
+// reported as.
+func failureFor(err error) Failure {
+	var se *ServerError
+	switch {
+	case errors.As(err, &se):
+		return Failure{Code: se.Code, Message: se.Message}
+	case errors.Is(err, ErrOverloaded):
+		return Failure{Code: CodeOverloaded, Message: err.Error()}
+	case errors.Is(err, ErrDraining):
+		return Failure{Code: CodeShutdown, Message: err.Error()}
+	case errors.Is(err, context.DeadlineExceeded):
+		return Failure{Code: CodeTimeout, Message: err.Error()}
+	case errors.Is(err, context.Canceled):
+		return Failure{Code: CodeCancelled, Message: err.Error()}
+	default:
+		return Failure{Code: CodeQuery, Message: err.Error()}
+	}
+}

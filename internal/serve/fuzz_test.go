@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecodeFrame drives the whole inbound path — frame header parsing,
+// size-cap enforcement and message decoding — with arbitrary bytes. The
+// invariants under fuzz: malformed, truncated or oversized input always
+// surfaces as an error (never a panic), and a hostile length prefix
+// never makes the decoder allocate beyond the frame cap.
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed with every well-formed message, a few corrupted variants and
+	// adversarial length prefixes.
+	frame := func(payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	seeds := [][]byte{
+		frame(EncodeHello(Hello{Client: "fuzz/1", Version: ProtocolVersion})),
+		frame(EncodeRun(Run{Engine: "neo", Query: "followees", Params: map[string]any{"uid": int64(7)}})),
+		frame(EncodeRun(Run{Engine: "sparksee", Query: "add_tweet", Params: map[string]any{
+			"uid": int64(1), "tid": int64(2), "text": "hi",
+			"mentions": []int64{3, 4}, "tags": []string{"x"},
+		}})),
+		frame(EncodePull(Pull{N: 100})),
+		frame(EncodeDiscard()),
+		frame(EncodeGoodbye()),
+		frame(EncodeSuccess(Success{Meta: map[string]any{"has_more": false, "fields": []string{"uid"}}})),
+		frame(EncodeRecord([]any{int64(-1), "t", true, []int64{5}, []string{"s"}})),
+		frame(EncodeFailure(Failure{Code: CodeQuery, Message: "boom"})),
+		// Oversized declared length with no body behind it.
+		binary.BigEndian.AppendUint32(nil, 1<<31),
+		// Zero-length frame.
+		make([]byte, 8),
+		// Truncated header.
+		{0x00, 0x00},
+		// Valid length, bogus checksum, truncated payload.
+		append(binary.BigEndian.AppendUint32(binary.BigEndian.AppendUint32(nil, 64), 0xDEADBEEF), 0x10, 0x01),
+		// List count far beyond the body.
+		frame(append([]byte{MsgRecord}, binary.AppendUvarint(nil, 1<<62)...)),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	const cap = uint32(64 << 10)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			payload, err := ReadFrame(r, cap)
+			if err != nil {
+				return // truncated, empty or oversized: error, not panic
+			}
+			if uint32(len(payload)) > cap {
+				t.Fatalf("payload of %d bytes escaped cap %d", len(payload), cap)
+			}
+			tag, msg, err := DecodeMessage(payload)
+			if err != nil {
+				continue // malformed body: error, not panic
+			}
+			// A successful decode must re-encode without panicking
+			// (closed value set survived the trip).
+			switch m := msg.(type) {
+			case Hello:
+				EncodeHello(m)
+			case Run:
+				EncodeRun(m)
+			case Pull:
+				EncodePull(m)
+			case Success:
+				EncodeSuccess(m)
+			case Record:
+				EncodeRecord(m.Values)
+			case Failure:
+				EncodeFailure(m)
+			default:
+				if tag != MsgDiscard && tag != MsgGoodbye {
+					t.Fatalf("tag 0x%02x decoded to unexpected %T", tag, msg)
+				}
+			}
+		}
+	})
+}

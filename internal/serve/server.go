@@ -1,0 +1,695 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"twigraph/internal/obs"
+)
+
+// Config tunes the server; the zero value serves with the documented
+// defaults (docs/SERVING.md, "Overload tuning").
+type Config struct {
+	// MaxFrame caps one frame payload (0 = DefaultMaxFrame).
+	MaxFrame uint32
+	// MaxSessions caps concurrent sessions; connections beyond it are
+	// shed at accept with an Overloaded FAILURE (0 = 256).
+	MaxSessions int
+	// MaxConcurrent is the admission semaphore: queries executing at
+	// once, across all sessions and engines (0 = 8).
+	MaxConcurrent int
+	// MaxQueued bounds how many queries may wait for an admission slot;
+	// arrivals beyond it are shed immediately (0 = 2×MaxConcurrent).
+	MaxQueued int
+	// MaxQueueWait bounds how long a queued query waits for a slot
+	// before it is shed (0 = 1s).
+	MaxQueueWait time.Duration
+	// DefaultQueryTimeout bounds queries whose RUN carries no deadline
+	// (0 = unbounded).
+	DefaultQueryTimeout time.Duration
+	// IdleTimeout reaps sessions with no client traffic (0 = 2min).
+	IdleTimeout time.Duration
+	// DrainTimeout bounds the graceful phase of Shutdown: how long
+	// in-flight queries and streams may finish before connections are
+	// force-closed (0 = 10s).
+	DrainTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxFrame == 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 256
+	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.MaxQueued == 0 {
+		c.MaxQueued = 2 * c.MaxConcurrent
+	}
+	if c.MaxQueueWait == 0 {
+		c.MaxQueueWait = time.Second
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Server terminates the wire protocol over any net.Listener and
+// executes the catalogue against its registered engines. One goroutine
+// per session; per-query producer goroutines are admission-controlled
+// by a semaphore with a bounded, time-limited wait queue — beyond
+// either bound the query is shed with a typed Overloaded FAILURE
+// instead of queueing unboundedly (load shedding, not load absorbing).
+type Server struct {
+	cfg     Config
+	engines map[string]*Engine
+	reg     *obs.Registry
+
+	sem     chan struct{}
+	queued  atomic.Int64
+	drainCh chan struct{} // closed when draining starts
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	sessWG   sync.WaitGroup // session goroutines
+	inflight sync.WaitGroup // producer goroutines
+
+	// cached instruments (hot path)
+	gSessions   *obs.Gauge
+	cSessions   *obs.Counter
+	cQueries    *obs.Counter
+	cRows       *obs.Counter
+	cShed       *obs.Counter
+	cPanics     *obs.Counter
+	cIdleReaped *obs.Counter
+	cCancelled  *obs.Counter
+	cTimedOut   *obs.Counter
+	cProtoErrs  *obs.Counter
+	hLatency    *obs.Histogram
+	hAdmitWait  *obs.Histogram
+}
+
+// NewServer builds a server over the given engines.
+func NewServer(cfg Config, engines ...*Engine) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		engines: make(map[string]*Engine, len(engines)),
+		reg:     obs.NewRegistry(),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		drainCh: make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	for _, e := range engines {
+		s.engines[e.Name] = e
+	}
+	s.gSessions = s.reg.Gauge("sessions")
+	s.cSessions = s.reg.Counter("sessions_opened")
+	s.cQueries = s.reg.Counter("queries")
+	s.cRows = s.reg.Counter("rows_streamed")
+	s.cShed = s.reg.Counter("shed")
+	s.cPanics = s.reg.Counter("panics")
+	s.cIdleReaped = s.reg.Counter("idle_reaped")
+	s.cCancelled = s.reg.Counter("queries_cancelled")
+	s.cTimedOut = s.reg.Counter("queries_timed_out")
+	s.cProtoErrs = s.reg.Counter("protocol_errors")
+	s.hLatency = s.reg.Histogram("query_latency")
+	s.hAdmitWait = s.reg.Histogram("admission_wait")
+	return s
+}
+
+// Metrics exposes the serve_* registry (mount it on the telemetry
+// server under scope "serve").
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// EngineNames lists the registered engines, in registration-indifferent
+// map order.
+func (s *Server) EngineNames() []string {
+	names := make([]string, 0, len(s.engines))
+	for name := range s.engines {
+		names = append(names, name)
+	}
+	return names
+}
+
+// Health returns nil when every engine reports healthy.
+func (s *Server) Health() error {
+	for name, e := range s.engines {
+		if e.Health == nil {
+			continue
+		}
+		if err := e.Health(); err != nil {
+			return fmt.Errorf("engine %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Serve accepts sessions on ln until Shutdown. It returns nil after a
+// drain-initiated stop, the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrDraining
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isDraining() {
+				return nil
+			}
+			return err
+		}
+		if s.isDraining() {
+			conn.Close()
+			continue
+		}
+		if int(s.gSessions.Load()) >= s.cfg.MaxSessions {
+			// Shed at accept: one FAILURE so the client backs off with a
+			// typed error instead of a bare reset.
+			s.cShed.Inc()
+			fc := NewFrameConn(conn, s.cfg.MaxFrame)
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			fc.Send(EncodeFailure(Failure{Code: CodeOverloaded, Message: "session limit reached"}))
+			conn.Close()
+			continue
+		}
+		s.track(conn)
+		s.sessWG.Add(1)
+		go s.session(conn)
+	}
+}
+
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) track(conn net.Conn) {
+	s.mu.Lock()
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// Shutdown drains the server: stop accepting, reject new queries with
+// ShuttingDown, let in-flight queries and their result streams finish
+// within the drain budget (bounded additionally by ctx), then
+// force-close the stragglers. It returns nil on a clean drain,
+// ctx.Err() when the budget came from a cancelled ctx.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	close(s.drainCh)
+	if ln != nil {
+		ln.Close()
+	}
+
+	budget := time.NewTimer(s.cfg.DrainTimeout)
+	defer budget.Stop()
+	clean := s.awaitIdle(ctx, budget.C)
+
+	// Force phase: close every remaining connection; blocked reads fail,
+	// sessions cancel their contexts, producers abort through the
+	// engines' context plumbing.
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.sessWG.Wait()
+	s.inflight.Wait()
+	if !clean && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// awaitIdle polls until no admission slot is held (no query executing
+// or streaming), the budget fires, or ctx ends. Idle sessions do not
+// hold slots, so they never delay a drain.
+func (s *Server) awaitIdle(ctx context.Context, budget <-chan time.Time) bool {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if len(s.sem) == 0 && s.queued.Load() == 0 {
+			return true
+		}
+		select {
+		case <-tick.C:
+		case <-budget:
+			return false
+		case <-ctx.Done():
+			return false
+		}
+	}
+}
+
+// admit acquires an execution slot: immediately, or by waiting in the
+// bounded queue up to MaxQueueWait. Returns ErrOverloaded when either
+// bound trips, ErrDraining on shutdown, ctx.Err() when the session died
+// while queued.
+func (s *Server) admit(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	// Bounded wait queue: reserve a queue slot or shed on the spot.
+	for {
+		n := s.queued.Load()
+		if n >= int64(s.cfg.MaxQueued) {
+			return ErrOverloaded
+		}
+		if s.queued.CompareAndSwap(n, n+1) {
+			break
+		}
+	}
+	defer s.queued.Add(-1)
+	start := time.Now()
+	wait := time.NewTimer(s.cfg.MaxQueueWait)
+	defer wait.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		s.hAdmitWait.ObserveDuration(time.Since(start))
+		return nil
+	case <-wait.C:
+		return ErrOverloaded
+	case <-s.drainCh:
+		return ErrDraining
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// session runs one connection's read loop. Panics anywhere in the
+// session (including the codec) are isolated here: counted, the
+// connection dropped, the server unharmed.
+func (s *Server) session(conn net.Conn) {
+	defer s.sessWG.Done()
+	defer s.untrack(conn)
+	defer conn.Close()
+	defer func() {
+		if r := recover(); r != nil {
+			s.cPanics.Inc()
+			fmt.Fprintf(os.Stderr, "serve: session panic (isolated): %v\n", r)
+		}
+	}()
+
+	s.cSessions.Inc()
+	s.gSessions.Add(1)
+	defer s.gSessions.Add(-1)
+
+	sessCtx, sessCancel := context.WithCancel(context.Background())
+	defer sessCancel()
+
+	fc := NewFrameConn(conn, s.cfg.MaxFrame)
+	sess := &session{srv: s, fc: fc, ctx: sessCtx, stores: make(map[string]BoundStore)}
+	sess.run()
+}
+
+// session is the per-connection protocol state machine.
+type session struct {
+	srv    *Server
+	fc     *FrameConn
+	ctx    context.Context
+	stores map[string]BoundStore // engine name → session-private handle
+}
+
+// recv reads the next client frame under the idle deadline.
+func (ss *session) recv() ([]byte, error) {
+	ss.fc.Conn.SetReadDeadline(time.Now().Add(ss.srv.cfg.IdleTimeout))
+	return ss.fc.Recv()
+}
+
+func (ss *session) send(payload []byte) error {
+	ss.fc.Conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	return ss.fc.Send(payload)
+}
+
+func (ss *session) fail(code, msg string) error {
+	return ss.send(EncodeFailure(Failure{Code: code, Message: msg}))
+}
+
+// run drives handshake then the command loop; returning closes the
+// session.
+func (ss *session) run() {
+	if !ss.handshake() {
+		return
+	}
+	for {
+		payload, err := ss.recv()
+		if err != nil {
+			ss.onReadError(err, false)
+			return
+		}
+		tag, msg, err := DecodeMessage(payload)
+		if err != nil {
+			ss.srv.cProtoErrs.Inc()
+			ss.fail(CodeProtocol, err.Error())
+			return
+		}
+		switch tag {
+		case MsgRun:
+			if !ss.handleRun(msg.(Run)) {
+				return
+			}
+		case MsgGoodbye:
+			return
+		default:
+			// PULL/DISCARD outside a result stream, or server-only tags.
+			ss.srv.cProtoErrs.Inc()
+			ss.fail(CodeProtocol, fmt.Sprintf("serve: unexpected message 0x%02x", tag))
+			return
+		}
+	}
+}
+
+func (ss *session) handshake() bool {
+	payload, err := ss.recv()
+	if err != nil {
+		ss.onReadError(err, false)
+		return false
+	}
+	hello, err := DecodeHello(payload)
+	if err != nil {
+		ss.srv.cProtoErrs.Inc()
+		ss.fail(CodeProtocol, err.Error())
+		return false
+	}
+	if hello.Version != ProtocolVersion {
+		ss.srv.cProtoErrs.Inc()
+		ss.fail(CodeProtocol, fmt.Sprintf("serve: protocol version %d not supported", hello.Version))
+		return false
+	}
+	engines := ss.srv.EngineNames()
+	return ss.send(EncodeSuccess(Success{Meta: map[string]any{
+		"server":  "twiserve/1",
+		"engines": engines,
+	}})) == nil
+}
+
+// onReadError classifies a failed client read: an idle deadline on a
+// quiet session is a reap, anything else is the client going away.
+func (ss *session) onReadError(err error, streaming bool) {
+	var ne net.Error
+	if !streaming && errors.As(err, &ne) && ne.Timeout() && !ss.srv.isDraining() {
+		ss.srv.cIdleReaped.Inc()
+	}
+}
+
+// store returns the session-private handle for the engine, creating it
+// on first use. Handles are never Closed — they are views over the
+// shared database.
+func (ss *session) store(eng *Engine) (BoundStore, error) {
+	if st, ok := ss.stores[eng.Name]; ok {
+		return st, nil
+	}
+	st, err := eng.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	ss.stores[eng.Name] = st
+	return st, nil
+}
+
+// queryResult carries the producer's outcome to the streaming loop.
+type queryResult struct {
+	rows [][]any
+	err  error
+}
+
+// handleRun executes one query end to end: admission, producer spawn,
+// immediate SUCCESS{fields}, then the PULL/DISCARD streaming loop.
+// Returns false when the session must close.
+func (ss *session) handleRun(run Run) bool {
+	srv := ss.srv
+	if srv.isDraining() {
+		return ss.fail(CodeShutdown, ErrDraining.Error()) == nil
+	}
+	eng, ok := srv.engines[run.Engine]
+	if !ok {
+		return ss.fail(CodeQuery, fmt.Sprintf("serve: unknown engine %q", run.Engine)) == nil
+	}
+	spec, ok := catalog[run.Query]
+	if !ok {
+		return ss.fail(CodeQuery, fmt.Sprintf("serve: unknown query %q", run.Query)) == nil
+	}
+	st, err := ss.store(eng)
+	if err != nil {
+		return ss.fail(CodeInternal, err.Error()) == nil
+	}
+
+	if err := srv.admit(ss.ctx); err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			srv.cShed.Inc()
+		}
+		f := failureFor(err)
+		return ss.send(EncodeFailure(f)) == nil && !errors.Is(err, context.Canceled)
+	}
+	srv.cQueries.Inc()
+	start := time.Now()
+
+	// The per-query context: session lifetime plus the RUN deadline (or
+	// the server default). The store binds it as base context, so the
+	// engines' row-granularity checks see cancellation and deadline and
+	// count the abort at the detection site.
+	timeout := time.Duration(run.TimeoutNanos)
+	if timeout <= 0 {
+		timeout = srv.cfg.DefaultQueryTimeout
+	}
+	runCtx, runCancel := context.Background(), context.CancelFunc(func() {})
+	if timeout > 0 {
+		runCtx, runCancel = context.WithTimeout(ss.ctx, timeout)
+	} else {
+		runCtx, runCancel = context.WithCancel(ss.ctx)
+	}
+	st.SetBaseContext(runCtx)
+	st.SetQueryTimeout(0) // deadline owned by runCtx, not the store
+
+	done := make(chan queryResult, 1)
+	srv.inflight.Add(1)
+	go func() {
+		defer srv.inflight.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				srv.cPanics.Inc()
+				done <- queryResult{err: &ServerError{Code: CodeInternal, Message: fmt.Sprint(r)}}
+			}
+		}()
+		if !spec.idempotent {
+			eng.writeMu.Lock()
+			defer eng.writeMu.Unlock()
+		}
+		rows, err := spec.run(st, run.Params)
+		done <- queryResult{rows: rows, err: err}
+	}()
+
+	released := false
+	finish := func() {
+		if !released {
+			released = true
+			runCancel()
+			srv.release()
+			srv.hLatency.ObserveDuration(time.Since(start))
+		}
+	}
+	defer finish()
+
+	// The result-set fields are known from the catalogue before the
+	// query computes — answer RUN immediately so the client can send its
+	// first PULL while the producer works.
+	if ss.send(EncodeSuccess(Success{Meta: map[string]any{
+		"fields": append([]string{}, spec.fields...),
+	}})) != nil {
+		ss.abort(eng, runCtx, runCancel, done)
+		return false
+	}
+
+	return ss.stream(eng, runCtx, runCancel, done)
+}
+
+// stream is the per-result command loop: PULL releases rows against
+// credit, DISCARD drops the rest, anything else is a protocol error.
+// Returns false when the session must close.
+func (ss *session) stream(eng *Engine, runCtx context.Context, runCancel context.CancelFunc, done chan queryResult) bool {
+	srv := ss.srv
+	var res queryResult
+	have := false    // producer finished
+	counted := false // post-execution abort already charged to the engine
+	next := 0        // streaming cursor into res.rows
+
+	// countAbort charges an abort the engine could not see (the store
+	// call already returned success) exactly once.
+	countAbort := func(err error) {
+		if !have || res.err != nil || counted {
+			return
+		}
+		counted = true
+		if eng.CountAbort != nil {
+			eng.CountAbort(err)
+		}
+	}
+
+	for {
+		payload, err := ss.recv()
+		if err != nil {
+			// Client gone (or stalled past the idle deadline) mid-stream.
+			ss.onReadError(err, true)
+			ss.abortWith(eng, runCtx, runCancel, done, &res, &have, countAbort)
+			return false
+		}
+		tag, msg, err := DecodeMessage(payload)
+		if err != nil {
+			srv.cProtoErrs.Inc()
+			ss.abortWith(eng, runCtx, runCancel, done, &res, &have, countAbort)
+			ss.fail(CodeProtocol, err.Error())
+			return false
+		}
+		switch tag {
+		case MsgPull:
+			pull := msg.(Pull)
+			if !have {
+				select {
+				case res = <-done:
+					have = true
+				case <-runCtx.Done():
+					// The producer is aborting through the engine's context
+					// plumbing; its return both counts (at the engine's
+					// detection site) and classifies the failure.
+					res = <-done
+					have = true
+				}
+				if res.err != nil {
+					// Engine-side aborts were counted at the detection
+					// site during execution; only classify here.
+					return ss.failQuery(res.err)
+				}
+			}
+			// Deadline or cancellation between PULL batches: the rows
+			// exist but the query's budget is spent — abort the stream.
+			if err := runCtx.Err(); err != nil {
+				countAbort(err)
+				return ss.failQuery(err)
+			}
+			n := int(pull.N)
+			end := next + n
+			if end > len(res.rows) {
+				end = len(res.rows)
+			}
+			for _, row := range res.rows[next:end] {
+				if ss.fc.SendBuffered(EncodeRecord(row)) != nil {
+					ss.abortWith(eng, runCtx, runCancel, done, &res, &have, countAbort)
+					return false
+				}
+			}
+			srv.cRows.Add(uint64(end - next))
+			next = end
+			hasMore := next < len(res.rows)
+			if ss.send(EncodeSuccess(Success{Meta: map[string]any{"has_more": hasMore}})) != nil {
+				ss.abortWith(eng, runCtx, runCancel, done, &res, &have, countAbort)
+				return false
+			}
+			if !hasMore {
+				return true // result drained; back to the command loop
+			}
+		case MsgDiscard:
+			// A clean client choice, not a fault: cancel a still-running
+			// producer (the engine counts that as a cancellation at its
+			// detection site), drop the rows, free the slot.
+			runCancel()
+			if !have {
+				res = <-done
+				have = true
+			}
+			return ss.send(EncodeSuccess(Success{Meta: map[string]any{"has_more": false}})) == nil
+		case MsgGoodbye:
+			ss.abortWith(eng, runCtx, runCancel, done, &res, &have, countAbort)
+			return false
+		default:
+			srv.cProtoErrs.Inc()
+			ss.abortWith(eng, runCtx, runCancel, done, &res, &have, countAbort)
+			ss.fail(CodeProtocol, fmt.Sprintf("serve: unexpected message 0x%02x mid-stream", tag))
+			return false
+		}
+	}
+}
+
+// abort cancels the producer and waits it out (no result was consumed
+// yet).
+func (ss *session) abort(eng *Engine, runCtx context.Context, runCancel context.CancelFunc, done chan queryResult) {
+	runCancel()
+	<-done
+}
+
+// abortWith cancels the producer, drains it if still pending, and
+// charges a post-execution abort when the query had already succeeded.
+// The serve-level outcome counters tick here too: this path has no
+// client left to send a FAILURE to, so failQuery never runs for it.
+func (ss *session) abortWith(eng *Engine, runCtx context.Context, runCancel context.CancelFunc, done chan queryResult, res *queryResult, have *bool, countAbort func(error)) {
+	runCancel()
+	if !*have {
+		*res = <-done
+		*have = true
+	}
+	err := runCtx.Err()
+	if err == nil {
+		err = context.Canceled
+	}
+	countAbort(err)
+	if errors.Is(err, context.DeadlineExceeded) {
+		ss.srv.cTimedOut.Inc()
+	} else {
+		ss.srv.cCancelled.Inc()
+	}
+}
+
+// failQuery reports a query failure, ticking the serve-level outcome
+// counters, and keeps the session alive.
+func (ss *session) failQuery(err error) bool {
+	f := failureFor(err)
+	switch f.Code {
+	case CodeTimeout:
+		ss.srv.cTimedOut.Inc()
+	case CodeCancelled:
+		ss.srv.cCancelled.Inc()
+	}
+	return ss.fail(f.Code, f.Message) == nil
+}

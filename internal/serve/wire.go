@@ -1,0 +1,569 @@
+// Package serve is the network serving layer: a length-prefixed binary
+// protocol in the spirit of Bolt/PackStream that multiplexes concurrent
+// client sessions over both engines, streaming result rows with
+// credit-based backpressure (PULL n) instead of buffering whole results
+// on the wire.
+//
+// Frame layout:
+//
+//	uint32 big-endian payload length | uint32 big-endian CRC-32 (IEEE) of payload | payload
+//	payload[0] = message tag, payload[1:] = message body
+//
+// A frame never exceeds the negotiated cap (DefaultMaxFrame unless
+// configured); the decoder rejects oversized or truncated frames with
+// an error before allocating, so a hostile peer cannot balloon memory
+// or crash a session (FuzzDecodeFrame holds it to that). The checksum
+// turns bytes corrupted in flight into a deterministic frame error
+// instead of a silently wrong decode — a flipped varint digit would
+// otherwise yield a valid RECORD with a different number.
+//
+// Message flow (client → server unless noted):
+//
+//	HELLO   {client, version}            → SUCCESS {server, engines} | FAILURE
+//	RUN     {engine, query, timeout, params}
+//	                                     → SUCCESS {fields} | FAILURE
+//	PULL    {n}                          → RECORD* then SUCCESS {has_more[, rows]} | FAILURE
+//	DISCARD {}                           → SUCCESS {has_more: false}
+//	GOODBYE {}                           → (server closes)
+//
+// The server sends rows only against PULL credit: after RUN succeeds
+// the session holds the result server-side and releases at most n
+// RECORD frames per PULL, so a slow or stalled client never forces the
+// server to queue unbounded output. See docs/SERVING.md.
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+)
+
+// Message tags (one byte, leading the frame payload). The values echo
+// Bolt's signature bytes where an analogous message exists.
+const (
+	MsgHello   byte = 0x01
+	MsgGoodbye byte = 0x02
+	MsgRun     byte = 0x10
+	MsgDiscard byte = 0x2F
+	MsgPull    byte = 0x3F
+	MsgSuccess byte = 0x70
+	MsgRecord  byte = 0x71
+	MsgFailure byte = 0x7F
+)
+
+// ProtocolVersion is the single wire version this implementation
+// speaks; HELLO carries it and the server rejects a mismatch.
+const ProtocolVersion = 1
+
+// DefaultMaxFrame caps one frame's payload (1 MiB). Result rows are
+// scalar-heavy, so real frames stay far below it; the cap exists to
+// bound what a malformed or hostile length prefix can make a peer
+// allocate.
+const DefaultMaxFrame = 1 << 20
+
+// maxListElems bounds decoded list and map lengths before allocation.
+// Every element costs at least one body byte, so a declared count
+// beyond the remaining bytes is rejected without allocating — this
+// constant only caps pathological tiny-element floods.
+const maxListElems = 1 << 16
+
+// WriteFrame writes one length-prefixed, checksummed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame payload, enforcing the size cap and the
+// checksum: a declared length of zero or beyond max errors out before
+// any payload allocation; a checksum mismatch (bytes corrupted in
+// flight) errors after.
+func ReadFrame(r io.Reader, max uint32) ([]byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n == 0 {
+		return nil, fmt.Errorf("serve: empty frame")
+	}
+	if max == 0 {
+		max = DefaultMaxFrame
+	}
+	if n > max {
+		return nil, fmt.Errorf("serve: frame of %d bytes exceeds cap %d", n, max)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("serve: truncated frame: %w", err)
+	}
+	if sum := crc32.ChecksumIEEE(payload); sum != binary.BigEndian.Uint32(hdr[4:]) {
+		return nil, fmt.Errorf("serve: frame checksum mismatch")
+	}
+	return payload, nil
+}
+
+// ---------- value codec ----------
+
+// Wire values are a closed set: int64, string, bool, []int64 and
+// []string — everything the workload's parameters and result rows
+// need. Each value is a one-byte type tag followed by its body.
+const (
+	tInt  byte = 0x01 // zigzag varint
+	tStr  byte = 0x02 // uvarint length + bytes
+	tBool byte = 0x03 // one byte, 0 or 1
+	tInts byte = 0x04 // uvarint count + zigzag varints
+	tStrs byte = 0x05 // uvarint count + (uvarint length + bytes)*
+)
+
+// AppendValue appends the wire encoding of v. Supported types: int64,
+// int, string, bool, []int64, []string; anything else panics — values
+// come from the fixed query catalogue, never from the network.
+func AppendValue(dst []byte, v any) []byte {
+	switch x := v.(type) {
+	case int64:
+		dst = append(dst, tInt)
+		return binary.AppendVarint(dst, x)
+	case int:
+		dst = append(dst, tInt)
+		return binary.AppendVarint(dst, int64(x))
+	case string:
+		dst = append(dst, tStr)
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		return append(dst, x...)
+	case bool:
+		b := byte(0)
+		if x {
+			b = 1
+		}
+		return append(dst, tBool, b)
+	case []int64:
+		dst = append(dst, tInts)
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		for _, n := range x {
+			dst = binary.AppendVarint(dst, n)
+		}
+		return dst
+	case []string:
+		dst = append(dst, tStrs)
+		dst = binary.AppendUvarint(dst, uint64(len(x)))
+		for _, s := range x {
+			dst = binary.AppendUvarint(dst, uint64(len(s)))
+			dst = append(dst, s...)
+		}
+		return dst
+	default:
+		panic(fmt.Sprintf("serve: unsupported wire value %T", v))
+	}
+}
+
+// decodeValue reads one value from b, returning it and the remaining
+// bytes. Every length is validated against the remaining body before
+// allocation.
+func decodeValue(b []byte) (any, []byte, error) {
+	if len(b) == 0 {
+		return nil, nil, fmt.Errorf("serve: truncated value")
+	}
+	tag, b := b[0], b[1:]
+	switch tag {
+	case tInt:
+		v, n := binary.Varint(b)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("serve: bad varint")
+		}
+		return v, b[n:], nil
+	case tStr:
+		s, rest, err := decodeString(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		return s, rest, nil
+	case tBool:
+		if len(b) < 1 || b[0] > 1 {
+			return nil, nil, fmt.Errorf("serve: bad bool")
+		}
+		return b[0] == 1, b[1:], nil
+	case tInts:
+		count, rest, err := decodeCount(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := make([]int64, 0, count)
+		for i := 0; i < count; i++ {
+			v, n := binary.Varint(rest)
+			if n <= 0 {
+				return nil, nil, fmt.Errorf("serve: bad int list")
+			}
+			out = append(out, v)
+			rest = rest[n:]
+		}
+		return out, rest, nil
+	case tStrs:
+		count, rest, err := decodeCount(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := make([]string, 0, count)
+		for i := 0; i < count; i++ {
+			var s string
+			var err error
+			s, rest, err = decodeString(rest)
+			if err != nil {
+				return nil, nil, err
+			}
+			out = append(out, s)
+		}
+		return out, rest, nil
+	default:
+		return nil, nil, fmt.Errorf("serve: unknown value tag 0x%02x", tag)
+	}
+}
+
+// decodeCount reads a list/map length and bounds it by the remaining
+// bytes (each element costs at least one byte) and maxListElems.
+func decodeCount(b []byte) (int, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return 0, nil, fmt.Errorf("serve: bad count")
+	}
+	rest := b[sz:]
+	if n > uint64(len(rest)) || n > maxListElems {
+		return 0, nil, fmt.Errorf("serve: count %d exceeds body", n)
+	}
+	return int(n), rest, nil
+}
+
+func decodeString(b []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return "", nil, fmt.Errorf("serve: bad string length")
+	}
+	rest := b[sz:]
+	if n > uint64(len(rest)) {
+		return "", nil, fmt.Errorf("serve: string of %d bytes exceeds body", n)
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+// appendMap appends a string-keyed value map (uvarint count + pairs),
+// in insertion-indifferent map iteration order — both ends treat the
+// map as unordered.
+func appendMap(dst []byte, m map[string]any) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(m)))
+	for k, v := range m {
+		dst = binary.AppendUvarint(dst, uint64(len(k)))
+		dst = append(dst, k...)
+		dst = AppendValue(dst, v)
+	}
+	return dst
+}
+
+func decodeMap(b []byte) (map[string]any, []byte, error) {
+	count, rest, err := decodeCount(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := make(map[string]any, count)
+	for i := 0; i < count; i++ {
+		var k string
+		k, rest, err = decodeString(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		var v any
+		v, rest, err = decodeValue(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		m[k] = v
+	}
+	return m, rest, nil
+}
+
+// ---------- messages ----------
+
+// Hello opens a session.
+type Hello struct {
+	Client  string // client identity, free-form ("twigraph-driver/1")
+	Version uint32 // protocol version, must equal ProtocolVersion
+}
+
+// Run submits one query.
+type Run struct {
+	Engine       string         // "neo" | "sparksee"
+	Query        string         // catalogue name, e.g. "followees"
+	TimeoutNanos int64          // per-query deadline; 0 = server default
+	Params       map[string]any // query parameters
+}
+
+// Pull grants credit for up to N result rows.
+type Pull struct{ N int64 }
+
+// Success acknowledges HELLO/RUN/PULL/DISCARD with metadata.
+type Success struct{ Meta map[string]any }
+
+// Record carries one result row.
+type Record struct{ Values []any }
+
+// Failure reports a typed error; Code is one of the Code* constants.
+type Failure struct {
+	Code    string
+	Message string
+}
+
+// EncodeHello marshals a HELLO frame payload.
+func EncodeHello(h Hello) []byte {
+	b := []byte{MsgHello}
+	b = binary.AppendUvarint(b, uint64(h.Version))
+	b = binary.AppendUvarint(b, uint64(len(h.Client)))
+	return append(b, h.Client...)
+}
+
+// DecodeHello unmarshals a HELLO payload.
+func DecodeHello(payload []byte) (Hello, error) {
+	var h Hello
+	body, err := msgBody(payload, MsgHello)
+	if err != nil {
+		return h, err
+	}
+	v, sz := binary.Uvarint(body)
+	if sz <= 0 || v > 1<<31 {
+		return h, fmt.Errorf("serve: bad HELLO version")
+	}
+	h.Version = uint32(v)
+	h.Client, body, err = decodeString(body[sz:])
+	if err != nil {
+		return h, err
+	}
+	return h, trailing(body)
+}
+
+// EncodeRun marshals a RUN frame payload.
+func EncodeRun(r Run) []byte {
+	b := []byte{MsgRun}
+	b = binary.AppendUvarint(b, uint64(len(r.Engine)))
+	b = append(b, r.Engine...)
+	b = binary.AppendUvarint(b, uint64(len(r.Query)))
+	b = append(b, r.Query...)
+	b = binary.AppendVarint(b, r.TimeoutNanos)
+	return appendMap(b, r.Params)
+}
+
+// DecodeRun unmarshals a RUN payload.
+func DecodeRun(payload []byte) (Run, error) {
+	var r Run
+	rest, err := msgBody(payload, MsgRun)
+	if err != nil {
+		return r, err
+	}
+	if r.Engine, rest, err = decodeString(rest); err != nil {
+		return r, err
+	}
+	if r.Query, rest, err = decodeString(rest); err != nil {
+		return r, err
+	}
+	v, sz := binary.Varint(rest)
+	if sz <= 0 || v < 0 {
+		return r, fmt.Errorf("serve: bad RUN timeout")
+	}
+	r.TimeoutNanos = v
+	if r.Params, rest, err = decodeMap(rest[sz:]); err != nil {
+		return r, err
+	}
+	return r, trailing(rest)
+}
+
+// EncodePull marshals a PULL frame payload.
+func EncodePull(p Pull) []byte {
+	return binary.AppendVarint([]byte{MsgPull}, p.N)
+}
+
+// DecodePull unmarshals a PULL payload.
+func DecodePull(payload []byte) (Pull, error) {
+	rest, err := msgBody(payload, MsgPull)
+	if err != nil {
+		return Pull{}, err
+	}
+	v, sz := binary.Varint(rest)
+	if sz <= 0 || v <= 0 {
+		return Pull{}, fmt.Errorf("serve: PULL credit must be positive")
+	}
+	return Pull{N: v}, trailing(rest[sz:])
+}
+
+// EncodeDiscard marshals a DISCARD frame payload.
+func EncodeDiscard() []byte { return []byte{MsgDiscard} }
+
+// EncodeGoodbye marshals a GOODBYE frame payload.
+func EncodeGoodbye() []byte { return []byte{MsgGoodbye} }
+
+// EncodeSuccess marshals a SUCCESS frame payload.
+func EncodeSuccess(s Success) []byte {
+	return appendMap([]byte{MsgSuccess}, s.Meta)
+}
+
+// DecodeSuccess unmarshals a SUCCESS payload.
+func DecodeSuccess(payload []byte) (Success, error) {
+	rest, err := msgBody(payload, MsgSuccess)
+	if err != nil {
+		return Success{}, err
+	}
+	m, rest, err := decodeMap(rest)
+	if err != nil {
+		return Success{}, err
+	}
+	return Success{Meta: m}, trailing(rest)
+}
+
+// EncodeRecord marshals a RECORD frame payload.
+func EncodeRecord(values []any) []byte {
+	b := []byte{MsgRecord}
+	b = binary.AppendUvarint(b, uint64(len(values)))
+	for _, v := range values {
+		b = AppendValue(b, v)
+	}
+	return b
+}
+
+// DecodeRecord unmarshals a RECORD payload.
+func DecodeRecord(payload []byte) (Record, error) {
+	rest, err := msgBody(payload, MsgRecord)
+	if err != nil {
+		return Record{}, err
+	}
+	count, rest, err := decodeCount(rest)
+	if err != nil {
+		return Record{}, err
+	}
+	r := Record{Values: make([]any, 0, count)}
+	for i := 0; i < count; i++ {
+		var v any
+		if v, rest, err = decodeValue(rest); err != nil {
+			return Record{}, err
+		}
+		r.Values = append(r.Values, v)
+	}
+	return r, trailing(rest)
+}
+
+// EncodeFailure marshals a FAILURE frame payload.
+func EncodeFailure(f Failure) []byte {
+	b := []byte{MsgFailure}
+	b = binary.AppendUvarint(b, uint64(len(f.Code)))
+	b = append(b, f.Code...)
+	b = binary.AppendUvarint(b, uint64(len(f.Message)))
+	return append(b, f.Message...)
+}
+
+// DecodeFailure unmarshals a FAILURE payload.
+func DecodeFailure(payload []byte) (Failure, error) {
+	var f Failure
+	rest, err := msgBody(payload, MsgFailure)
+	if err != nil {
+		return f, err
+	}
+	if f.Code, rest, err = decodeString(rest); err != nil {
+		return f, err
+	}
+	if f.Message, rest, err = decodeString(rest); err != nil {
+		return f, err
+	}
+	return f, trailing(rest)
+}
+
+// DecodeMessage dispatches on the payload tag and unmarshals the
+// message, returning it as one of the typed structs (GOODBYE and
+// DISCARD decode to their tag with a nil message). It never panics on
+// malformed input.
+func DecodeMessage(payload []byte) (tag byte, msg any, err error) {
+	if len(payload) == 0 {
+		return 0, nil, fmt.Errorf("serve: empty payload")
+	}
+	tag = payload[0]
+	switch tag {
+	case MsgHello:
+		msg, err = DecodeHello(payload)
+	case MsgRun:
+		msg, err = DecodeRun(payload)
+	case MsgPull:
+		msg, err = DecodePull(payload)
+	case MsgDiscard, MsgGoodbye:
+		err = trailing(payload[1:])
+	case MsgSuccess:
+		msg, err = DecodeSuccess(payload)
+	case MsgRecord:
+		msg, err = DecodeRecord(payload)
+	case MsgFailure:
+		msg, err = DecodeFailure(payload)
+	default:
+		err = fmt.Errorf("serve: unknown message tag 0x%02x", tag)
+	}
+	return tag, msg, err
+}
+
+func msgBody(payload []byte, tag byte) ([]byte, error) {
+	if len(payload) == 0 || payload[0] != tag {
+		return nil, fmt.Errorf("serve: expected message 0x%02x", tag)
+	}
+	return payload[1:], nil
+}
+
+func trailing(rest []byte) error {
+	if len(rest) != 0 {
+		return fmt.Errorf("serve: %d trailing bytes", len(rest))
+	}
+	return nil
+}
+
+// FrameConn pairs a net.Conn with buffered framing. Both the server
+// session and the driver speak through it; deadlines stay the caller's
+// job via the embedded Conn.
+type FrameConn struct {
+	Conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	max  uint32
+}
+
+// NewFrameConn wraps c with the given frame cap (0 = DefaultMaxFrame).
+func NewFrameConn(c net.Conn, maxFrame uint32) *FrameConn {
+	if maxFrame == 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &FrameConn{
+		Conn: c,
+		br:   bufio.NewReaderSize(c, 16<<10),
+		bw:   bufio.NewWriterSize(c, 16<<10),
+		max:  maxFrame,
+	}
+}
+
+// Send writes one frame and flushes it.
+func (fc *FrameConn) Send(payload []byte) error {
+	if err := WriteFrame(fc.bw, payload); err != nil {
+		return err
+	}
+	return fc.bw.Flush()
+}
+
+// SendBuffered writes one frame without flushing — the row-streaming
+// path batches RECORDs and flushes once per PULL grant.
+func (fc *FrameConn) SendBuffered(payload []byte) error {
+	return WriteFrame(fc.bw, payload)
+}
+
+// Flush drains the write buffer.
+func (fc *FrameConn) Flush() error { return fc.bw.Flush() }
+
+// Recv reads one frame payload.
+func (fc *FrameConn) Recv() ([]byte, error) {
+	return ReadFrame(fc.br, fc.max)
+}

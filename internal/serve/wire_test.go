@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{0x01}, []byte("hello frame"), bytes.Repeat([]byte{0xAB}, 1000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf, DefaultMaxFrame)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame mismatch: got %x want %x", got, want)
+		}
+	}
+}
+
+func TestReadFrameRejectsOversized(t *testing.T) {
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], 1<<30)
+	_, err := ReadFrame(bytes.NewReader(hdr[:]), 1024)
+	if err == nil || !strings.Contains(err.Error(), "exceeds cap") {
+		t.Fatalf("want cap error, got %v", err)
+	}
+}
+
+func TestReadFrameRejectsEmptyAndTruncated(t *testing.T) {
+	var zero [8]byte
+	if _, err := ReadFrame(bytes.NewReader(zero[:]), 1024); err == nil {
+		t.Fatal("want error for zero-length frame")
+	}
+	// Declared 10 bytes, only 3 present.
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], 10)
+	short := append(hdr[:], 1, 2, 3)
+	if _, err := ReadFrame(bytes.NewReader(short), 1024); err == nil {
+		t.Fatal("want error for truncated frame")
+	}
+	// Header itself truncated.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0}), 1024); err != io.ErrUnexpectedEOF {
+		t.Fatalf("want ErrUnexpectedEOF for short header, got %v", err)
+	}
+}
+
+func TestReadFrameRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, EncodeRecord([]any{int64(12345)})); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)-1] ^= 0x01 // flip one payload bit in flight
+	_, err := ReadFrame(bytes.NewReader(raw), 1024)
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("want checksum error, got %v", err)
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+		want    any
+	}{
+		{"hello", EncodeHello(Hello{Client: "test/1", Version: ProtocolVersion}),
+			Hello{Client: "test/1", Version: ProtocolVersion}},
+		{"run", EncodeRun(Run{
+			Engine: "neo", Query: "co_mentioned", TimeoutNanos: 5e9,
+			Params: map[string]any{
+				"uid": int64(42), "n": int64(10), "tag": "graphs",
+				"deep": true, "mentions": []int64{7, -9, 1 << 40}, "tags": []string{"a", "bb"},
+			}}),
+			Run{Engine: "neo", Query: "co_mentioned", TimeoutNanos: 5e9,
+				Params: map[string]any{
+					"uid": int64(42), "n": int64(10), "tag": "graphs",
+					"deep": true, "mentions": []int64{7, -9, 1 << 40}, "tags": []string{"a", "bb"},
+				}}},
+		{"pull", EncodePull(Pull{N: 512}), Pull{N: 512}},
+		{"success", EncodeSuccess(Success{Meta: map[string]any{"has_more": true, "fields": []string{"uid", "count"}}}),
+			Success{Meta: map[string]any{"has_more": true, "fields": []string{"uid", "count"}}}},
+		{"record", EncodeRecord([]any{int64(-3), "tag", true}),
+			Record{Values: []any{int64(-3), "tag", true}}},
+		{"failure", EncodeFailure(Failure{Code: CodeOverloaded, Message: "queue full"}),
+			Failure{Code: CodeOverloaded, Message: "queue full"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, msg, err := DecodeMessage(tc.payload)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !reflect.DeepEqual(msg, tc.want) {
+				t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", msg, tc.want)
+			}
+		})
+	}
+}
+
+func TestBareTagMessages(t *testing.T) {
+	for _, payload := range [][]byte{EncodeDiscard(), EncodeGoodbye()} {
+		tag, msg, err := DecodeMessage(payload)
+		if err != nil || msg != nil {
+			t.Fatalf("tag 0x%02x: err=%v msg=%v", tag, err, msg)
+		}
+	}
+	// Trailing junk after a bare tag is a protocol violation.
+	if _, _, err := DecodeMessage(append(EncodeDiscard(), 0xFF)); err == nil {
+		t.Fatal("want trailing-bytes error")
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty payload":       {},
+		"unknown tag":         {0xEE, 1, 2},
+		"hello no version":    {MsgHello},
+		"pull zero credit":    append([]byte{MsgPull}, binary.AppendVarint(nil, 0)...),
+		"pull negative":       append([]byte{MsgPull}, binary.AppendVarint(nil, -5)...),
+		"run negative timout": {MsgRun, 1, 'n', 1, 'q', 1 /* varint -1 */},
+		"record bad count":    append([]byte{MsgRecord}, binary.AppendUvarint(nil, 1<<40)...),
+		"failure truncated":   {MsgFailure, 5, 'a', 'b'},
+		"trailing bytes":      append(EncodePull(Pull{N: 1}), 0x00),
+	}
+	for name, payload := range cases {
+		if _, _, err := DecodeMessage(payload); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+}
+
+func TestDecodeCountBoundsAllocation(t *testing.T) {
+	// A RECORD declaring 2^16 list elements with a 4-byte body must be
+	// rejected before the element loop allocates anything.
+	b := []byte{MsgRecord}
+	b = binary.AppendUvarint(b, 1) // one value
+	b = append(b, tInts)
+	b = binary.AppendUvarint(b, maxListElems+1)
+	if _, _, err := DecodeMessage(b); err == nil {
+		t.Fatal("want count-bound error")
+	}
+}

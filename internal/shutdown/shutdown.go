@@ -1,0 +1,55 @@
+// Package shutdown centralises signal-driven graceful termination for
+// the twigraph commands. Every long-running binary (twiserve, twibench
+// -listen) routes SIGINT/SIGTERM through Context so they share one
+// contract: the first signal cancels the returned context and the
+// process drains and exits 0; a second signal force-exits with status 1
+// for the case where a drain wedges.
+//
+// The package is deliberately tiny — it exists so the commands cannot
+// drift apart in how they die (one blocking forever on a bare signal
+// wait, another exiting without draining).
+package shutdown
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// Context returns a copy of parent that is cancelled on the first
+// SIGINT or SIGTERM. A second signal while the caller is still draining
+// force-exits the process with status 1. The returned stop func
+// releases the signal registration and the watcher goroutine; call it
+// (usually deferred) once the drain has finished.
+func Context(parent context.Context) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-ch:
+			fmt.Fprintf(os.Stderr, "\nreceived %v; draining (signal again to force exit)\n", sig)
+			cancel()
+			select {
+			case sig = <-ch:
+				fmt.Fprintf(os.Stderr, "received %v during drain; forcing exit\n", sig)
+				os.Exit(1)
+			case <-done:
+			}
+		case <-done:
+		}
+	}()
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+			cancel()
+		})
+	}
+	return ctx, stop
+}

@@ -26,12 +26,13 @@ type NeoStore struct {
 	db     *neodb.DB
 	engine *cypher.Engine
 
-	workers  int            // per-query parallelism (1 = declarative/Cypher path)
-	timeout  time.Duration  // per-query deadline; 0 = unbounded
-	parm     par.Metrics    // shard/merge counters on the engine registry
-	qLatency *obs.Histogram // per-query wall time, all workload methods
-	method   spmat.Method   // nav (default), matrix, or auto
-	spm      *spmat.Metrics // plan-choice and kernel-round counters
+	workers  int             // per-query parallelism (1 = declarative/Cypher path)
+	timeout  time.Duration   // per-query deadline; 0 = unbounded
+	baseCtx  context.Context // parent of every query ctx; nil = Background
+	parm     par.Metrics     // shard/merge counters on the engine registry
+	qLatency *obs.Histogram  // per-query wall time, all workload methods
+	method   spmat.Method    // nav (default), matrix, or auto
+	spm      *spmat.Metrics  // plan-choice and kernel-round counters
 	accPool  spmat.AccumPool
 }
 
@@ -67,8 +68,17 @@ func NewNeoStore(db *neodb.DB) *NeoStore {
 // len(out)) }()`; thread q.ctx into the execution so the engine reuses
 // the query ID instead of double counting.
 func (s *NeoStore) beginQuery(name string) *runningQuery {
-	return beginStoreQuery("neo: "+name, s.db.Tracer(), s.db.QueryStats(), s.qLatency, s.timeout)
+	return beginStoreQuery("neo: "+name, s.db.Tracer(), s.db.QueryStats(), s.qLatency, s.baseCtx, s.timeout)
 }
+
+// SetBaseContext parents every subsequent query context on ctx, so an
+// external cancellation (a dropped network session, a server drain)
+// aborts in-flight queries through the same context plumbing as a
+// store-level timeout. Not synchronised: like SetQueryTimeout it is
+// meant for a store handle owned by one goroutine — the serving layer
+// gives each session its own NewNeoStore over the shared DB. A nil ctx
+// restores the unbounded default.
+func (s *NeoStore) SetBaseContext(ctx context.Context) { s.baseCtx = ctx }
 
 // Name implements Store.
 func (s *NeoStore) Name() string { return "neo" }

@@ -34,8 +34,12 @@ type runningQuery struct {
 // beginStoreQuery opens tracking for one workload method. name is the
 // span/fingerprint label ("neo: Followees", "spark: AddTweet");
 // timeout <= 0 leaves the query unbounded (the ctx then carries only
-// attribution values, no deadline).
-func beginStoreQuery(name string, tracer *obs.Tracer, stats *qstats.Stats, lat *obs.Histogram, timeout time.Duration) *runningQuery {
+// attribution values, no deadline). A non-nil base context parents the
+// query: its cancellation or deadline aborts the execution exactly like
+// a store-level timeout would — the serving layer binds each network
+// session's context here so a client disconnect reaches the engine's
+// PR 3 context plumbing.
+func beginStoreQuery(name string, tracer *obs.Tracer, stats *qstats.Stats, lat *obs.Histogram, base context.Context, timeout time.Duration) *runningQuery {
 	q := &runningQuery{
 		start:  time.Now(),
 		fp:     qstats.Compute(name),
@@ -44,9 +48,13 @@ func beginStoreQuery(name string, tracer *obs.Tracer, stats *qstats.Stats, lat *
 		cancel: func() {},
 	}
 	qid := qstats.NextQueryID()
-	var ctx context.Context
+	ctx := base
 	if timeout > 0 {
-		ctx, q.cancel = context.WithTimeout(context.Background(), timeout)
+		parent := base
+		if parent == nil {
+			parent = context.Background()
+		}
+		ctx, q.cancel = context.WithTimeout(parent, timeout)
 	}
 	q.ctx = qstats.MarkAccounted(qstats.WithQueryID(ctx, qid))
 	if tracer.Enabled() {

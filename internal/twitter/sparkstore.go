@@ -22,12 +22,13 @@ import (
 type SparkStore struct {
 	db *sparkdb.DB
 
-	workers  int            // per-query parallelism (1 = sequential)
-	timeout  time.Duration  // per-query deadline; 0 = unbounded
-	parm     par.Metrics    // shard/merge counters on the engine registry
-	qLatency *obs.Histogram // per-query wall time (query_latency)
-	method   spmat.Method   // nav (default), matrix, or auto
-	spm      *spmat.Metrics // plan-choice and kernel-round counters
+	workers  int             // per-query parallelism (1 = sequential)
+	timeout  time.Duration   // per-query deadline; 0 = unbounded
+	baseCtx  context.Context // parent of every query ctx; nil = Background
+	parm     par.Metrics     // shard/merge counters on the engine registry
+	qLatency *obs.Histogram  // per-query wall time (query_latency)
+	method   spmat.Method    // nav (default), matrix, or auto
+	spm      *spmat.Metrics  // plan-choice and kernel-round counters
 	accPool  spmat.AccumPool
 
 	user, tweet, hashtag           graph.TypeID
@@ -124,8 +125,13 @@ func (s *SparkStore) DB() *sparkdb.DB { return s.db }
 // `q := s.beginQuery("Method"); defer func() { q.finish(err,
 // len(out)) }()`.
 func (s *SparkStore) beginQuery(name string) *runningQuery {
-	return beginStoreQuery("spark: "+name, s.db.Tracer(), s.db.QueryStats(), s.qLatency, s.timeout)
+	return beginStoreQuery("spark: "+name, s.db.Tracer(), s.db.QueryStats(), s.qLatency, s.baseCtx, s.timeout)
 }
+
+// SetBaseContext parents every subsequent query context on ctx (see
+// NeoStore.SetBaseContext — same contract: per-goroutine store handles,
+// nil restores the unbounded default).
+func (s *SparkStore) SetBaseContext(ctx context.Context) { s.baseCtx = ctx }
 
 func (s *SparkStore) userByUID(uid int64) (uint64, bool) {
 	return s.db.FindObject(s.uidAttr, graph.IntValue(uid))
