@@ -153,15 +153,30 @@ func runServeExp(e *Env, w io.Writer) error {
 	driverSnap := faultCli.Metrics().Snapshot()
 	faultCli.Close()
 
-	e.RecordEngineSnapshot("serve", srv.Metrics().Snapshot())
+	serveSnap := srv.Metrics().Snapshot()
+	e.RecordEngineSnapshot("serve", serveSnap)
 	e.RecordEngineSnapshot("driver", driverSnap)
 	if err := stop(); err != nil {
 		return err
 	}
 
+	// Wire-phase breakdown: where a served query's wall clock went,
+	// from the server's per-phase histograms (docs/SERVING.md). queue_wait
+	// covers arrival to admission, execute the engine call, first_record
+	// admission to the first RECORD on the wire, stream first to last
+	// RECORD, drain the post-stream window until the query finishes.
+	fmt.Fprintf(w, "\nwire phase breakdown (all phases, both clean series + faults):\n")
+	ptable := newTable(w, "phase", "count", "p50", "p95")
+	for _, phase := range []string{"queue_wait", "execute", "first_record", "stream", "drain"} {
+		h := serveSnap.Histograms[phase]
+		ptable.rowf(phase, h.Count,
+			time.Duration(h.P50).Round(time.Microsecond),
+			time.Duration(h.P95).Round(time.Microsecond))
+	}
+
 	// Phase 3: overload burst against a tiny admission config; no
 	// retries, so every shed surfaces as ErrOverloaded.
-	_, oaddr, ostop, err := startServer(serve.Config{
+	osrv, oaddr, ostop, err := startServer(serve.Config{
 		MaxConcurrent: 1, MaxQueued: 1, MaxQueueWait: time.Millisecond,
 	})
 	if err != nil {
@@ -186,12 +201,19 @@ func runServeExp(e *Env, w io.Writer) error {
 	}
 	wg.Wait()
 	ocli.Close()
+	oStats := osrv.QueryStats().Snapshot()
 	if err := ostop(); err != nil {
 		return err
 	}
 
 	fmt.Fprintf(w, "\noverload burst: 16 concurrent vs capacity 2 -> %d served, %d shed (typed ErrOverloaded)\n",
 		ok.Load(), shed.Load())
+	// The shed split lives in the server's per-statement registry too:
+	// admission rejections are accounted against the statement that was
+	// refused, not lost in an aggregate counter.
+	for _, sn := range oStats {
+		fmt.Fprintf(w, "  statement %-28s calls=%-4d shed=%d\n", sn.Query, sn.Calls, sn.Shed)
+	}
 	fmt.Fprintf(w, "fault phase: every transport fault retried on a fresh connection; results stay byte-identical to the embedded engines\n")
 	return nil
 }

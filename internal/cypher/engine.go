@@ -224,7 +224,10 @@ func (e *Engine) execute(ctx context.Context, prep *Prepared, params map[string]
 	// root span also feeds the slow-query log; when the trace buffer is
 	// enabled, every span becomes a timeline event.
 	tr := e.db.Tracer()
-	traced := prof != nil || tr.Enabled()
+	// Accounting-suppressed executions with no enclosing span (a silent
+	// replay of a retried wire query) trace nothing: a root span here
+	// would put a second slow-ring entry under the same query ID.
+	traced := prof != nil || (tr.Enabled() && (account || tr.InSpan()))
 	var root *obs.Span
 	if traced {
 		root = tr.Start("cypher: " + prep.text)

@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"twigraph/internal/obs"
@@ -99,6 +100,11 @@ type Result struct {
 type poolConn struct {
 	fc       *serve.FrameConn
 	lastUsed time.Time
+	// traceExt records whether the server's HELLO advertised the RUN
+	// trace-context extension (serve.FeatureTrace); the driver only
+	// sends client-assigned query IDs on connections that did, so a new
+	// driver interoperates with a pre-extension server.
+	traceExt bool
 }
 
 // Client is a pooled driver for one server address. Safe for
@@ -112,12 +118,33 @@ type Client struct {
 	rng    *rand.Rand
 	closed bool
 
+	// trace, when set, receives the driver's span tree per call —
+	// checkout, attempt N, backoff, stream — each carrying the call's
+	// query ID, on a per-call track. Merged with the server buffers by
+	// obs.WriteChromeTrace into one two-sided timeline.
+	trace atomic.Pointer[obs.TraceBuffer]
+
+	// clientID salts this client's query-ID namespace; qidSeq numbers
+	// the calls within it (see nextQueryID).
+	clientID uint64
+	qidSeq   atomic.Uint64
+	tidSeq   atomic.Int64
+
 	cDials    *obs.Counter
 	cRetries  *obs.Counter
 	cDiscards *obs.Counter
 	cShedSeen *obs.Counter
 	hCall     *obs.Histogram
+	// call_latency split by retry count: calls answered on the first
+	// attempt vs calls that needed at least one retry — the retry
+	// amplification view behind the twiserve -drive summary.
+	hCallFirst   *obs.Histogram
+	hCallRetried *obs.Histogram
 }
+
+// clientSeq distinguishes client instances within one process for the
+// query-ID namespace salt.
+var clientSeq atomic.Uint64
 
 // New creates a client; connections are dialed lazily on first use.
 func New(cfg Config) *Client {
@@ -128,17 +155,40 @@ func New(cfg Config) *Client {
 		reg:  obs.NewRegistry(),
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 	}
+	// Salt the query-ID namespace per client instance (time × instance
+	// counter, mixed): the high bit separates driver-assigned IDs from
+	// the server's small sequential IDs, and the salt keeps independent
+	// client processes from colliding on the same server.
+	h := uint64(time.Now().UnixNano())*0x9E3779B97F4A7C15 + clientSeq.Add(1)*0xBF58476D1CE4E5B9
+	c.clientID = (h >> 33) & 0x7FFFFFFF
 	c.cDials = c.reg.Counter("dials")
 	c.cRetries = c.reg.Counter("retries")
 	c.cDiscards = c.reg.Counter("conns_discarded")
 	c.cShedSeen = c.reg.Counter("overloads_seen")
 	c.hCall = c.reg.Histogram("call_latency")
+	c.hCallFirst = c.reg.Histogram("call_latency_first_attempt")
+	c.hCallRetried = c.reg.Histogram("call_latency_retried")
 	return c
 }
 
 // Metrics exposes the driver's registry (scope "driver" on the
 // telemetry server).
 func (c *Client) Metrics() *obs.Registry { return c.reg }
+
+// SetTrace attaches a trace buffer the driver emits its span tree into
+// (nil detaches). Events record only while the buffer is enabled.
+func (c *Client) SetTrace(b *obs.TraceBuffer) { c.trace.Store(b) }
+
+// traceBuf returns the attached buffer (nil-safe: a nil *TraceBuffer's
+// methods are no-ops).
+func (c *Client) traceBuf() *obs.TraceBuffer { return c.trace.Load() }
+
+// nextQueryID allocates the next call's query ID:
+// 1<<63 | clientID<<32 | seq — never 0, never colliding with the
+// server's own sequence, unique across concurrently driving clients.
+func (c *Client) nextQueryID() uint64 {
+	return 1<<63 | c.clientID<<32 | (c.qidSeq.Add(1) & 0xFFFFFFFF)
+}
 
 // Close discards every pooled connection. In-flight calls finish on
 // their checked-out conns.
@@ -232,7 +282,15 @@ func (c *Client) dial(ctx context.Context) (*poolConn, error) {
 	switch tag {
 	case serve.MsgSuccess:
 		raw.SetDeadline(time.Time{})
-		return &poolConn{fc: fc, lastUsed: time.Now()}, nil
+		pc := &poolConn{fc: fc, lastUsed: time.Now()}
+		if features, ok := msg.(serve.Success).Meta["features"].([]string); ok {
+			for _, f := range features {
+				if f == serve.FeatureTrace {
+					pc.traceExt = true
+				}
+			}
+		}
+		return pc, nil
 	case serve.MsgFailure:
 		raw.Close()
 		f := msg.(serve.Failure)
@@ -246,24 +304,69 @@ func (c *Client) dial(ctx context.Context) (*poolConn, error) {
 // Query runs one catalogue query with retries. Retries happen only when
 // Retryable says the error class is safe for this query — see the
 // package comment for the taxonomy.
-func (c *Client) Query(ctx context.Context, engine, query string, p map[string]any) (*Result, error) {
+//
+// Every call gets a client-assigned query ID. It rides the RUN frame to
+// servers that negotiated the trace extension — every retried attempt
+// carries the same ID, so server-side accounting stays exactly-once for
+// idempotent reads — and labels every span of the call's trace tree.
+func (c *Client) Query(ctx context.Context, engine, query string, p map[string]any) (res *Result, err error) {
 	start := time.Now()
-	defer func() { c.hCall.ObserveDuration(time.Since(start)) }()
+	qid := c.nextQueryID()
+	tb := c.traceBuf()
+	tid := int64(0)
+	if tb.Enabled() {
+		// One track per call: concurrent calls stay on separate rows of
+		// the timeline, and a call's attempts/backoffs nest under its
+		// root event.
+		tid = c.tidSeq.Add(1)
+	}
+	attempts := 0
+	defer func() {
+		d := time.Since(start)
+		c.hCall.Observe(int64(d))
+		if attempts > 1 {
+			c.hCallRetried.Observe(int64(d))
+		} else {
+			c.hCallFirst.Observe(int64(d))
+		}
+		if tb.Enabled() {
+			args := map[string]any{"query_id": qid, "attempts": attempts}
+			if st := obs.StatusFromError(err); st != obs.StatusCompleted {
+				args["status"] = st
+			}
+			tb.Complete("driver", engine+"/"+query, tid, start, d, args)
+		}
+	}()
+
 	idempotent := serve.QueryIdempotent(query)
 	backoff := c.cfg.BaseBackoff
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			c.cRetries.Inc()
-			if err := c.sleep(ctx, c.jitter(backoff)); err != nil {
-				return nil, fmt.Errorf("driver: giving up after %d attempts: %w (last error: %v)", attempt, err, lastErr)
+			bStart := time.Now()
+			if serr := c.sleep(ctx, c.jitter(backoff)); serr != nil {
+				return nil, fmt.Errorf("driver: giving up after %d attempts: %w (last error: %v)", attempt, serr, lastErr)
+			}
+			if tb.Enabled() {
+				tb.Complete("driver", "backoff", tid, bStart, time.Since(bStart),
+					map[string]any{"query_id": qid})
 			}
 			backoff *= 2
 			if backoff > c.cfg.MaxBackoff {
 				backoff = c.cfg.MaxBackoff
 			}
 		}
-		res, err := c.attempt(ctx, engine, query, p)
+		attempts = attempt + 1
+		aStart := time.Now()
+		res, err = c.attempt(ctx, engine, query, p, qid, tid)
+		if tb.Enabled() {
+			args := map[string]any{"query_id": qid}
+			if err != nil {
+				args["error"] = err.Error()
+			}
+			tb.Complete("driver", fmt.Sprintf("attempt %d", attempts), tid, aStart, time.Since(aStart), args)
+		}
 		if err == nil {
 			return res, nil
 		}
@@ -300,12 +403,20 @@ func (c *Client) sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// attempt runs the query once on one connection.
-func (c *Client) attempt(ctx context.Context, engine, query string, p map[string]any) (res *Result, err error) {
+// attempt runs the query once on one connection. qid rides the RUN
+// frame on trace-negotiated connections; tid tracks the call's trace
+// row (0 when tracing is off).
+func (c *Client) attempt(ctx context.Context, engine, query string, p map[string]any, qid uint64, tid int64) (res *Result, err error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	tb := c.traceBuf()
+	coStart := time.Now()
 	pc, err := c.checkout(ctx)
+	if tb.Enabled() {
+		tb.Complete("driver", "checkout", tid, coStart, time.Since(coStart),
+			map[string]any{"query_id": qid})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -331,6 +442,9 @@ func (c *Client) attempt(ctx context.Context, engine, query string, p map[string
 	}
 	pc.fc.Conn.SetDeadline(deadline) // zero clears: call unbounded
 	run := serve.Run{Engine: engine, Query: query, Params: p}
+	if pc.traceExt {
+		run.QueryID = qid
+	}
 	if timeout > 0 {
 		run.TimeoutNanos = int64(timeout)
 	}
@@ -346,6 +460,16 @@ func (c *Client) attempt(ctx context.Context, engine, query string, p map[string
 		res.Fields = fields
 	}
 
+	stStart := time.Now()
+	defer func() {
+		if tb.Enabled() {
+			args := map[string]any{"query_id": qid}
+			if res != nil {
+				args["rows"] = len(res.Rows)
+			}
+			tb.Complete("driver", "stream", tid, stStart, time.Since(stStart), args)
+		}
+	}()
 	for {
 		if err := pc.fc.Send(serve.EncodePull(serve.Pull{N: int64(c.cfg.FetchSize)})); err != nil {
 			return nil, fmt.Errorf("driver: send PULL: %w", err)

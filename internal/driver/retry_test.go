@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"twigraph/internal/leakcheck"
+	"twigraph/internal/obs"
 	"twigraph/internal/serve"
 )
 
@@ -61,6 +62,8 @@ type fakeServer struct {
 
 	mu       sync.Mutex
 	runTimes []time.Time
+	runMsgs  []serve.Run
+	features []string
 	conns    []net.Conn
 	wg       sync.WaitGroup
 
@@ -101,6 +104,21 @@ func (fs *fakeServer) runs() []time.Time {
 	return append([]time.Time(nil), fs.runTimes...)
 }
 
+// advertise sets the feature list the fake's HELLO reply carries; call
+// before dialing any client.
+func (fs *fakeServer) advertise(features ...string) {
+	fs.mu.Lock()
+	fs.features = features
+	fs.mu.Unlock()
+}
+
+// runMessages returns the decoded RUN messages in arrival order.
+func (fs *fakeServer) runMessages() []serve.Run {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return append([]serve.Run(nil), fs.runMsgs...)
+}
+
 func (fs *fakeServer) accept() {
 	defer fs.wg.Done()
 	for {
@@ -127,19 +145,26 @@ func (fs *fakeServer) session(conn net.Conn) {
 	if tag, _, err := serve.DecodeMessage(payload); err != nil || tag != serve.MsgHello {
 		return
 	}
-	fc.Send(serve.EncodeSuccess(serve.Success{Meta: map[string]any{"server": "fake"}}))
+	fs.mu.Lock()
+	meta := map[string]any{"server": "fake"}
+	if len(fs.features) > 0 {
+		meta["features"] = fs.features
+	}
+	fs.mu.Unlock()
+	fc.Send(serve.EncodeSuccess(serve.Success{Meta: meta}))
 	for {
 		payload, err := fc.Recv()
 		if err != nil {
 			return
 		}
-		tag, _, err := serve.DecodeMessage(payload)
+		tag, msg, err := serve.DecodeMessage(payload)
 		if err != nil || tag != serve.MsgRun {
 			return
 		}
 		fs.mu.Lock()
 		i := len(fs.runTimes)
 		fs.runTimes = append(fs.runTimes, time.Now())
+		fs.runMsgs = append(fs.runMsgs, msg.(serve.Run))
 		fs.mu.Unlock()
 		if !fs.handle(i, fc) {
 			return
@@ -333,5 +358,163 @@ func TestCallerDeadlineStopsRetries(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Fatalf("retry loop overstayed the caller deadline by %v", elapsed)
+	}
+}
+
+// TestTraceExtensionGatedOnFeature: the driver only attaches the RUN
+// query-id extension on connections whose HELLO advertised the trace
+// feature — an old server (strict trailing checks) never sees it.
+func TestTraceExtensionGatedOnFeature(t *testing.T) {
+	leakcheck.Check(t)
+	t.Run("legacy server", func(t *testing.T) {
+		fs := newFakeServer(t, func(i int, fc *serve.FrameConn) bool {
+			return serveRows(fc, [][]any{{int64(1)}})
+		})
+		cli := New(Config{Addr: fs.addr()})
+		defer cli.Close()
+		if _, err := cli.Query(context.Background(), "neo", "followees", map[string]any{"uid": int64(1)}); err != nil {
+			t.Fatal(err)
+		}
+		runs := fs.runMessages()
+		if len(runs) != 1 || runs[0].QueryID != 0 {
+			t.Fatalf("legacy server received qid=%d, want 0 (no extension)", runs[0].QueryID)
+		}
+	})
+	t.Run("trace server", func(t *testing.T) {
+		fs := newFakeServer(t, func(i int, fc *serve.FrameConn) bool {
+			return serveRows(fc, [][]any{{int64(1)}})
+		})
+		fs.advertise(serve.FeatureTrace)
+		cli := New(Config{Addr: fs.addr()})
+		defer cli.Close()
+		if _, err := cli.Query(context.Background(), "neo", "followees", map[string]any{"uid": int64(1)}); err != nil {
+			t.Fatal(err)
+		}
+		runs := fs.runMessages()
+		if len(runs) != 1 {
+			t.Fatalf("runs: %d", len(runs))
+		}
+		if runs[0].QueryID == 0 || runs[0].QueryID>>63 != 1 {
+			t.Fatalf("trace server received qid=%#x, want non-zero with the client-namespace top bit", runs[0].QueryID)
+		}
+	})
+}
+
+// TestRetriedAttemptsReuseQueryID: every wire attempt of one logical
+// call carries the same client-assigned query id — that is what lets
+// the server deduplicate accounting for retried idempotent reads.
+func TestRetriedAttemptsReuseQueryID(t *testing.T) {
+	leakcheck.Check(t)
+	fs := newFakeServer(t, func(i int, fc *serve.FrameConn) bool {
+		if i < 2 {
+			return shed(fc)
+		}
+		return serveRows(fc, [][]any{{int64(1)}})
+	})
+	fs.advertise(serve.FeatureTrace)
+	cli := New(Config{Addr: fs.addr(), MaxRetries: 5, BaseBackoff: time.Millisecond})
+	defer cli.Close()
+	if _, err := cli.Query(context.Background(), "neo", "followees", map[string]any{"uid": int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	runs := fs.runMessages()
+	if len(runs) != 3 {
+		t.Fatalf("attempts on the wire: %d, want 3", len(runs))
+	}
+	for i, r := range runs {
+		if r.QueryID != runs[0].QueryID {
+			t.Fatalf("attempt %d changed query id: %#x vs %#x", i, r.QueryID, runs[0].QueryID)
+		}
+	}
+	// A second call gets a fresh id in the same client namespace.
+	if _, err := cli.Query(context.Background(), "neo", "followees", map[string]any{"uid": int64(2)}); err != nil {
+		t.Fatal(err)
+	}
+	runs = fs.runMessages()
+	if last := runs[len(runs)-1]; last.QueryID == runs[0].QueryID {
+		t.Fatal("distinct calls shared a query id")
+	} else if last.QueryID>>32 != runs[0].QueryID>>32 {
+		t.Fatalf("same client changed namespace: %#x vs %#x", last.QueryID>>32, runs[0].QueryID>>32)
+	}
+}
+
+// TestRetrySplitHistograms: call latency lands in exactly one of the
+// first-attempt / retried histograms, keyed by whether the call needed
+// a second wire attempt.
+func TestRetrySplitHistograms(t *testing.T) {
+	leakcheck.Check(t)
+	fs := newFakeServer(t, func(i int, fc *serve.FrameConn) bool {
+		if i == 1 { // second wire attempt = first retry of call two
+			return shed(fc)
+		}
+		return serveRows(fc, [][]any{{int64(1)}})
+	})
+	cli := New(Config{Addr: fs.addr(), MaxRetries: 5, BaseBackoff: time.Millisecond})
+	defer cli.Close()
+	for uid := int64(1); uid <= 2; uid++ {
+		if _, err := cli.Query(context.Background(), "neo", "followees", map[string]any{"uid": uid}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := cli.Metrics().Snapshot()
+	first := snap.Histograms["call_latency_first_attempt"]
+	retried := snap.Histograms["call_latency_retried"]
+	if first.Count != 1 || retried.Count != 1 {
+		t.Fatalf("split: first=%d retried=%d, want 1/1", first.Count, retried.Count)
+	}
+	if total := snap.Histograms["call_latency"]; total.Count != 2 {
+		t.Fatalf("aggregate call_latency count %d, want 2", total.Count)
+	}
+}
+
+// TestDriverTraceSpans: with a trace buffer attached, one retried call
+// emits its whole span tree — root, both attempts, the backoff between
+// them, checkout and stream — every event tagged with the call's query
+// id on one track.
+func TestDriverTraceSpans(t *testing.T) {
+	leakcheck.Check(t)
+	fs := newFakeServer(t, func(i int, fc *serve.FrameConn) bool {
+		if i == 0 {
+			return shed(fc)
+		}
+		return serveRows(fc, [][]any{{int64(1)}, {int64(2)}})
+	})
+	fs.advertise(serve.FeatureTrace)
+	cli := New(Config{Addr: fs.addr(), MaxRetries: 5, BaseBackoff: time.Millisecond})
+	defer cli.Close()
+	tb := obs.NewTraceBuffer(0)
+	tb.SetEnabled(true)
+	cli.SetTrace(tb)
+
+	if _, err := cli.Query(context.Background(), "neo", "followees", map[string]any{"uid": int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]obs.TraceEvent{}
+	for _, ev := range tb.Events() {
+		if ev.Cat != "driver" {
+			t.Fatalf("event %q in category %q, want driver", ev.Name, ev.Cat)
+		}
+		byName[ev.Name] = ev
+	}
+	var qid any
+	root, ok := byName["neo/followees"]
+	if !ok {
+		t.Fatalf("no root span; events: %v", tb.Events())
+	}
+	qid = root.Args["query_id"]
+	if got, _ := root.Args["attempts"].(int); got != 2 {
+		t.Fatalf("root attempts arg = %v, want 2", root.Args["attempts"])
+	}
+	for _, name := range []string{"attempt 1", "attempt 2", "backoff", "checkout", "stream"} {
+		ev, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing %q span; have %v", name, tb.Events())
+		}
+		if ev.Args["query_id"] != qid {
+			t.Fatalf("%q span query_id %v, root has %v", name, ev.Args["query_id"], qid)
+		}
+		if ev.TID != root.TID {
+			t.Fatalf("%q span on track %d, root on %d", name, ev.TID, root.TID)
+		}
 	}
 }

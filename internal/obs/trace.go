@@ -20,6 +20,10 @@ const (
 	StatusCancelled = "cancelled"
 	StatusTimedOut  = "timed_out"
 	StatusFailed    = "failed"
+	// StatusShed marks a query rejected by admission control before it
+	// executed — the serving layer records these into qstats so overload
+	// is attributable per statement, not just in aggregate.
+	StatusShed = "shed"
 )
 
 // StatusFromError classifies an error into a span status: nil is
@@ -209,6 +213,15 @@ func (t *Tracer) Start(name string) *Span {
 	}
 	t.mu.Unlock()
 	return s
+}
+
+// InSpan reports whether a span is currently active — i.e. a Start now
+// would create a child, not a new root. Layered callers use it to tell
+// "an outer span owns this execution" apart from "nothing is tracing".
+func (t *Tracer) InSpan() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.active != nil
 }
 
 // Event attributes n occurrences of a named event (e.g. a page fault)

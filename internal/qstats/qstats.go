@@ -46,6 +46,7 @@ type statEntry struct {
 	cancelled uint64
 	timedOut  uint64
 	failed    uint64
+	shed      uint64
 
 	deltas map[string]uint64
 }
@@ -131,6 +132,8 @@ func (s *Stats) Record(fp Fingerprint, d time.Duration, rows int, status string,
 		e.timedOut++
 	case obs.StatusFailed:
 		e.failed++
+	case obs.StatusShed:
+		e.shed++
 	}
 	if h.startVals != nil {
 		if e.deltas == nil {
@@ -182,7 +185,10 @@ type StatSnapshot struct {
 	Cancelled   uint64                `json:"cancelled,omitempty"`
 	TimedOut    uint64                `json:"timed_out,omitempty"`
 	Failed      uint64                `json:"failed,omitempty"`
-	Deltas      map[string]uint64     `json:"deltas,omitempty"`
+	// Shed counts executions rejected by admission control before they
+	// ran (serve-level registries only; engine registries never shed).
+	Shed   uint64            `json:"shed,omitempty"`
+	Deltas map[string]uint64 `json:"deltas,omitempty"`
 }
 
 // Snapshot returns every entry ordered by total time descending (ties
@@ -203,6 +209,7 @@ func (s *Stats) Snapshot() []StatSnapshot {
 			Cancelled:   e.cancelled,
 			TimedOut:    e.timedOut,
 			Failed:      e.failed,
+			Shed:        e.shed,
 		}
 		if len(e.deltas) > 0 {
 			snap.Deltas = make(map[string]uint64, len(e.deltas))
@@ -238,7 +245,7 @@ func FormatTop(snaps []StatSnapshot) string {
 	fmt.Fprintf(&b, "%-16s %8s %12s %12s %12s %8s %6s  %s\n",
 		"fingerprint", "calls", "total", "mean", "p95", "rows", "errs", "query")
 	for _, sn := range snaps {
-		errs := sn.Cancelled + sn.TimedOut + sn.Failed
+		errs := sn.Cancelled + sn.TimedOut + sn.Failed + sn.Shed
 		fmt.Fprintf(&b, "%-16s %8d %12v %12v %12v %8d %6d  %s\n",
 			sn.Fingerprint, sn.Calls,
 			time.Duration(sn.TotalNanos).Round(time.Microsecond),

@@ -285,6 +285,14 @@ func QueryIdempotent(name string) bool {
 	return ok && spec.idempotent
 }
 
+// QueryStatement is the canonical serve-level statement text for one
+// engine/query pair — the fingerprint key of the server's per-statement
+// registry (Server.QueryStats), shared with the bench tables so both
+// report overload under the same label.
+func QueryStatement(engine, query string) string {
+	return engine + "/" + query
+}
+
 // QueryNames returns the catalogue names, sorted.
 func QueryNames() []string {
 	names := make([]string, 0, len(catalog))

@@ -28,6 +28,10 @@ func FuzzDecodeFrame(f *testing.F) {
 			"uid": int64(1), "tid": int64(2), "text": "hi",
 			"mentions": []int64{3, 4}, "tags": []string{"x"},
 		}})),
+		// RUN carrying the trace extension (trailing query-id / parent-span
+		// uvarints) so the fuzzer explores the compat tail.
+		frame(EncodeRun(Run{Engine: "neo", Query: "followees", Params: map[string]any{"uid": int64(7)},
+			QueryID: 1<<63 | 42<<32 | 7, ParentSpan: 99})),
 		frame(EncodePull(Pull{N: 100})),
 		frame(EncodeDiscard()),
 		frame(EncodeGoodbye()),

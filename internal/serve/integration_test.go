@@ -16,6 +16,8 @@ import (
 	"twigraph/internal/leakcheck"
 	"twigraph/internal/load"
 	"twigraph/internal/neodb"
+	"twigraph/internal/obs"
+	"twigraph/internal/qstats"
 	"twigraph/internal/serve"
 	"twigraph/internal/sparkdb"
 	"twigraph/internal/twitter"
@@ -250,7 +252,7 @@ func TestChaosDifferential(t *testing.T) {
 	}
 	leakcheck.Check(t)
 	neo, spark, engines := buildEngines(t)
-	addr, _ := startServer(t, serve.Config{MaxConcurrent: 8}, engines...)
+	addr, srv := startServer(t, serve.Config{MaxConcurrent: 8}, engines...)
 
 	// Freeze ground truth from the embedded stores up front (reads are
 	// deterministic; the chaos run makes no writes).
@@ -315,6 +317,20 @@ func TestChaosDifferential(t *testing.T) {
 		StallFor:         time.Millisecond,
 	}
 
+	// Baseline the engines' accounted executions after ground-truth
+	// freezing (direct store calls above are accounted too): the chaos
+	// delta below is served work only.
+	sumEngineCalls := func() (n uint64) {
+		for _, sn := range neo.DB().QueryStats().Snapshot() {
+			n += sn.Calls
+		}
+		for _, sn := range spark.DB().QueryStats().Snapshot() {
+			n += sn.Calls
+		}
+		return n
+	}
+	accountedBefore := sumEngineCalls()
+
 	const workers = 4
 	const iters = 40
 	var wg sync.WaitGroup
@@ -371,5 +387,100 @@ func TestChaosDifferential(t *testing.T) {
 	if failed*5 > total {
 		t.Errorf("%d/%d chaos calls failed outright — retries not absorbing faults", failed, total)
 	}
-	t.Logf("chaos: %d calls, %d clean failures, 0 mismatches", total, failed)
+
+	// Query-id continuity under chaos: retried attempts reuse the
+	// client's query id, so the engines account at most one execution per
+	// logical call — even though the wire saw every retry. The serve
+	// registry keeps the undeduped attempt count; the gap is the retry
+	// amplification the faults caused.
+	accounted := sumEngineCalls() - accountedBefore
+	if accounted > uint64(total) {
+		t.Errorf("engines accounted %d executions for %d client calls — retry dedup failed", accounted, total)
+	}
+	var wireAttempts uint64
+	for _, sn := range srv.QueryStats().Snapshot() {
+		wireAttempts += sn.Calls
+	}
+	if wireAttempts < accounted {
+		t.Errorf("serve registry saw %d attempts < %d accounted engine executions", wireAttempts, accounted)
+	}
+	t.Logf("chaos: %d calls, %d clean failures, 0 mismatches; %d wire attempts -> %d accounted engine executions",
+		total, failed, wireAttempts, accounted)
+}
+
+// TestQueryIDContinuityAcrossRetry is the end-to-end id-continuity
+// satellite against real engines: a retried idempotent read (same
+// client-assigned query id on a second RUN) executes twice on the wire
+// but is accounted exactly once in the engine's per-statement registry
+// and appears exactly once in the engine's slow ring — both under the
+// client's query id — while returning identical rows on both attempts.
+func TestQueryIDContinuityAcrossRetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two databases")
+	}
+	leakcheck.Check(t)
+	neo, spark, engines := buildEngines(t)
+	addr, srv := startServer(t, serve.Config{}, engines...)
+
+	sumCalls := func(snaps []qstats.StatSnapshot) (n uint64) {
+		for _, sn := range snaps {
+			n += sn.Calls
+		}
+		return n
+	}
+	for _, tc := range []struct {
+		engine string
+		db     interface {
+			Tracer() *obs.Tracer
+			QueryStats() *qstats.Stats
+		}
+	}{{"neo", neo.DB()}, {"sparksee", spark.DB()}} {
+		t.Run(tc.engine, func(t *testing.T) {
+			tracer := tc.db.Tracer()
+			tracer.SetEnabled(true)
+			tracer.SetSlowThreshold(0) // ring-record every root span
+			tracer.ClearSlowLog()
+			before := sumCalls(tc.db.QueryStats().Snapshot())
+
+			qid := uint64(1)<<63 | 0x5A5A<<32 | 1
+			if tc.engine == "sparksee" {
+				qid++
+			}
+			fc := dialRaw(t, addr)
+			params := map[string]any{"uid": int64(17)}
+			first := runAndDrain(t, fc, tc.engine, "followees", params, qid)
+			again := runAndDrain(t, fc, tc.engine, "followees", params, qid)
+			if first != again {
+				t.Fatalf("replay returned %d rows, first attempt %d", again, first)
+			}
+
+			if got := sumCalls(tc.db.QueryStats().Snapshot()) - before; got != 1 {
+				t.Fatalf("engine accounted %d executions for one client query id, want exactly 1", got)
+			}
+			var hits int
+			for _, sn := range tracer.SlowLog() {
+				if sn != nil && sn.QueryID == qid {
+					hits++
+				}
+			}
+			if hits != 1 {
+				t.Fatalf("slow ring holds %d entries for qid %#x, want exactly 1", hits, qid)
+			}
+		})
+	}
+
+	// The serve-level registry keeps both wire attempts per engine — the
+	// gap against the engine registries is the retry amplification.
+	for _, engine := range []string{"neo", "sparksee"} {
+		stmt := serve.QueryStatement(engine, "followees")
+		var calls uint64
+		for _, sn := range srv.QueryStats().Snapshot() {
+			if sn.Query == stmt {
+				calls = sn.Calls
+			}
+		}
+		if calls != 2 {
+			t.Errorf("serve-level calls for %s = %d, want 2 wire attempts", stmt, calls)
+		}
+	}
 }

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"twigraph/internal/obs"
+	"twigraph/internal/qstats"
 )
 
 // Config tunes the server; the zero value serves with the documented
@@ -89,6 +91,26 @@ type Server struct {
 	sessWG   sync.WaitGroup // session goroutines
 	inflight sync.WaitGroup // producer goroutines
 
+	// stats is the serve-level per-statement registry ("engine/query"
+	// fingerprints): every served execution records here with its final
+	// status, including admission-shed queries that never reached an
+	// engine — the per-statement overload view behind /querystats.
+	stats *qstats.Stats
+	// trace records one Chrome-trace event per served query plus its
+	// phase breakdown (queue_wait/execute/first_record/stream/drain),
+	// keyed by session id as the track — merged with the engine and
+	// driver buffers into one timeline by obs.WriteChromeTrace.
+	trace *obs.TraceBuffer
+
+	// accounted dedups engine-level accounting for retried idempotent
+	// queries: the first RUN carrying a client-assigned query ID claims
+	// the accounting; a replayed RUN with the same ID executes silently.
+	accounted *qidSet
+
+	sessID   atomic.Int64
+	sessMu   sync.Mutex
+	sessions map[int64]*session
+
 	// cached instruments (hot path)
 	gSessions   *obs.Gauge
 	cSessions   *obs.Counter
@@ -102,6 +124,14 @@ type Server struct {
 	cProtoErrs  *obs.Counter
 	hLatency    *obs.Histogram
 	hAdmitWait  *obs.Histogram
+
+	// per-phase wire attribution histograms (one observation per served
+	// query and populated phase; see docs/OBSERVABILITY.md)
+	hQueueWait   *obs.Histogram
+	hExecute     *obs.Histogram
+	hFirstRecord *obs.Histogram
+	hStream      *obs.Histogram
+	hDrain       *obs.Histogram
 }
 
 // NewServer builds a server over the given engines.
@@ -130,8 +160,29 @@ func NewServer(cfg Config, engines ...*Engine) *Server {
 	s.cProtoErrs = s.reg.Counter("protocol_errors")
 	s.hLatency = s.reg.Histogram("query_latency")
 	s.hAdmitWait = s.reg.Histogram("admission_wait")
+	s.hQueueWait = s.reg.Histogram("queue_wait")
+	s.hExecute = s.reg.Histogram("execute")
+	s.hFirstRecord = s.reg.Histogram("first_record")
+	s.hStream = s.reg.Histogram("stream")
+	s.hDrain = s.reg.Histogram("drain")
+	s.stats = qstats.NewStats(0)
+	s.trace = obs.NewTraceBuffer(0)
+	s.accounted = newQidSet(4096)
+	s.sessions = make(map[int64]*session)
 	return s
 }
+
+// QueryStats exposes the serve-level per-statement registry: one
+// "engine/query" fingerprint per catalogue statement, statuses split
+// into completed/cancelled/timed_out/failed/shed. Calls here count wire
+// attempts, so under retries they exceed the engine registries' calls —
+// the gap is the retry amplification.
+func (s *Server) QueryStats() *qstats.Stats { return s.stats }
+
+// Trace exposes the server's trace buffer (disabled until
+// Trace().SetEnabled(true)); merge it with the engine and driver
+// buffers via obs.WriteChromeTrace.
+func (s *Server) Trace() *obs.TraceBuffer { return s.trace }
 
 // Metrics exposes the serve_* registry (mount it on the telemetry
 // server under scope "serve").
@@ -319,6 +370,41 @@ func (s *Server) admit(ctx context.Context) error {
 
 func (s *Server) release() { <-s.sem }
 
+// qidSet is a bounded first-seen set of client-assigned query IDs: the
+// first RUN with an ID claims engine-level accounting, replays of the
+// same ID execute silently. The bound evicts oldest-inserted IDs; a
+// replay arriving after eviction re-accounts, which only over-counts —
+// never corrupts — and needs thousands of interleaved retried calls.
+type qidSet struct {
+	mu   sync.Mutex
+	cap  int
+	seen map[uint64]struct{}
+	ring []uint64
+	next int
+}
+
+func newQidSet(capacity int) *qidSet {
+	return &qidSet{cap: capacity, seen: make(map[uint64]struct{}, capacity)}
+}
+
+// firstRun reports whether qid is new, marking it seen.
+func (q *qidSet) firstRun(qid uint64) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.seen[qid]; ok {
+		return false
+	}
+	if len(q.ring) < q.cap {
+		q.ring = append(q.ring, qid)
+	} else {
+		delete(q.seen, q.ring[q.next])
+		q.ring[q.next] = qid
+		q.next = (q.next + 1) % q.cap
+	}
+	q.seen[qid] = struct{}{}
+	return true
+}
+
 // session runs one connection's read loop. Panics anywhere in the
 // session (including the codec) are isolated here: counted, the
 // connection dropped, the server unharmed.
@@ -341,8 +427,46 @@ func (s *Server) session(conn net.Conn) {
 	defer sessCancel()
 
 	fc := NewFrameConn(conn, s.cfg.MaxFrame)
-	sess := &session{srv: s, fc: fc, ctx: sessCtx, stores: make(map[string]BoundStore)}
+	sess := &session{
+		srv: s, fc: fc, ctx: sessCtx, stores: make(map[string]BoundStore),
+		id: s.sessID.Add(1), remote: conn.RemoteAddr().String(), opened: time.Now(),
+	}
+	s.sessMu.Lock()
+	s.sessions[sess.id] = sess
+	s.sessMu.Unlock()
+	defer func() {
+		s.sessMu.Lock()
+		delete(s.sessions, sess.id)
+		s.sessMu.Unlock()
+	}()
 	sess.run()
+}
+
+// SessionInfo is one live session's state on the /sessions telemetry
+// endpoint: identity, lifetime counters, and — while a query is in
+// flight — its engine, statement, query ID and wire phase.
+type SessionInfo struct {
+	ID      int64     `json:"id"`
+	Remote  string    `json:"remote"`
+	Opened  time.Time `json:"opened"`
+	Queries uint64    `json:"queries"`
+	// In-flight query attribution; empty/zero when the session is idle.
+	Engine  string `json:"engine,omitempty"`
+	Query   string `json:"query,omitempty"`
+	QueryID uint64 `json:"query_id,omitempty"`
+	Phase   string `json:"phase,omitempty"` // queue_wait | execute | stream
+}
+
+// Sessions snapshots every live session, ordered by session id.
+func (s *Server) Sessions() []SessionInfo {
+	s.sessMu.Lock()
+	out := make([]SessionInfo, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		out = append(out, ss.info())
+	}
+	s.sessMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // session is the per-connection protocol state machine.
@@ -351,6 +475,46 @@ type session struct {
 	fc     *FrameConn
 	ctx    context.Context
 	stores map[string]BoundStore // engine name → session-private handle
+
+	id      int64
+	remote  string
+	opened  time.Time
+	queries atomic.Uint64
+
+	// current in-flight query, for the /sessions live view
+	curMu     sync.Mutex
+	curEngine string
+	curQuery  string
+	curQID    uint64
+	curPhase  string
+}
+
+// setCurrent publishes the in-flight query (empty phase clears it).
+func (ss *session) setCurrent(engine, query string, qid uint64, phase string) {
+	ss.curMu.Lock()
+	if phase == "" {
+		ss.curEngine, ss.curQuery, ss.curQID, ss.curPhase = "", "", 0, ""
+	} else {
+		ss.curEngine, ss.curQuery, ss.curQID, ss.curPhase = engine, query, qid, phase
+	}
+	ss.curMu.Unlock()
+}
+
+func (ss *session) setPhase(phase string) {
+	ss.curMu.Lock()
+	if ss.curPhase != "" {
+		ss.curPhase = phase
+	}
+	ss.curMu.Unlock()
+}
+
+func (ss *session) info() SessionInfo {
+	ss.curMu.Lock()
+	defer ss.curMu.Unlock()
+	return SessionInfo{
+		ID: ss.id, Remote: ss.remote, Opened: ss.opened, Queries: ss.queries.Load(),
+		Engine: ss.curEngine, Query: ss.curQuery, QueryID: ss.curQID, Phase: ss.curPhase,
+	}
 }
 
 // recv reads the next client frame under the idle deadline.
@@ -421,8 +585,12 @@ func (ss *session) handshake() bool {
 	}
 	engines := ss.srv.EngineNames()
 	return ss.send(EncodeSuccess(Success{Meta: map[string]any{
-		"server":  "twiserve/1",
-		"engines": engines,
+		"server": "twiserve/1",
+		// Feature negotiation: clients gate the RUN trace-context
+		// extension on the server advertising it here, so a new driver
+		// stays wire-compatible with a pre-extension server.
+		"features": []string{FeatureTrace},
+		"engines":  engines,
 	}})) == nil
 }
 
@@ -450,10 +618,124 @@ func (ss *session) store(eng *Engine) (BoundStore, error) {
 	return st, nil
 }
 
-// queryResult carries the producer's outcome to the streaming loop.
+// queryResult carries the producer's outcome to the streaming loop,
+// including the execution phase's own wall-time bounds — the streaming
+// side cannot infer them, since it may consume the result long after
+// the producer finished.
 type queryResult struct {
-	rows [][]any
-	err  error
+	rows      [][]any
+	err       error
+	execStart time.Time
+	execDur   time.Duration
+}
+
+// servedQuery tracks one wire query's per-phase timeline:
+//
+//	arrival ──queue_wait──► admitted                 (admission)
+//	execStart ──execute──► execStart+execDur        (producer)
+//	admitted ──first_record──► firstRec             (time to first row on the wire)
+//	firstRec ──stream──► lastRec                    (row streaming under PULL credit)
+//	last activity ──drain──► finished               (final SUCCESS / teardown)
+//
+// finishQuery folds the phases into the serve histograms, records the
+// execution into the serve-level statement registry, and (when the
+// trace buffer is on) emits the query root event plus one event per
+// populated phase, all carrying the query ID.
+type servedQuery struct {
+	engine  string
+	query   string
+	qid     uint64
+	sid     int64
+	arrival time.Time
+
+	admitted  time.Time
+	execStart time.Time
+	execDur   time.Duration
+	firstRec  time.Time
+	lastRec   time.Time
+	rows      int
+	status    string // obs.Status*; completed unless a path overrides
+}
+
+// noteResult copies the producer's execution bounds (first consumption
+// only).
+func (sq *servedQuery) noteResult(res *queryResult) {
+	if sq.execStart.IsZero() {
+		sq.execStart = res.execStart
+		sq.execDur = res.execDur
+	}
+}
+
+// setStatus records the terminal status, first writer wins (an abort
+// classified at the stream loop must not be overwritten by teardown).
+func (sq *servedQuery) setStatus(status string) {
+	if sq.status == "" || sq.status == obs.StatusCompleted {
+		sq.status = status
+	}
+}
+
+// recordShed accounts an admission-shed (or drain-rejected) query that
+// never reached an engine: a serve-level statement row with the shed
+// status split and, when tracing, a root event marked shed.
+func (s *Server) recordShed(sq *servedQuery, status string) {
+	now := time.Now()
+	wait := now.Sub(sq.arrival)
+	s.hQueueWait.ObserveDuration(wait)
+	s.stats.Record(qstats.Compute(QueryStatement(sq.engine, sq.query)), wait, 0, status, qstats.Handle{})
+	if s.trace.Enabled() {
+		s.trace.Complete("serve", QueryStatement(sq.engine, sq.query), sq.sid, sq.arrival, wait,
+			map[string]any{"query_id": sq.qid, "status": status})
+	}
+}
+
+// finishQuery closes the books on one served query: phase histograms,
+// the serve-level statement row, and the trace events.
+func (s *Server) finishQuery(sq *servedQuery) {
+	end := time.Now()
+	total := end.Sub(sq.arrival)
+	s.hLatency.ObserveDuration(total)
+
+	queueWait := sq.admitted.Sub(sq.arrival)
+	s.hQueueWait.ObserveDuration(queueWait)
+	lastActivity := sq.admitted
+	if !sq.execStart.IsZero() {
+		s.hExecute.ObserveDuration(sq.execDur)
+		lastActivity = sq.execStart.Add(sq.execDur)
+	}
+	if !sq.firstRec.IsZero() {
+		s.hFirstRecord.ObserveDuration(sq.firstRec.Sub(sq.admitted))
+		s.hStream.ObserveDuration(sq.lastRec.Sub(sq.firstRec))
+		lastActivity = sq.lastRec
+	}
+	drain := end.Sub(lastActivity)
+	s.hDrain.ObserveDuration(drain)
+
+	status := sq.status
+	if status == "" {
+		status = obs.StatusCompleted
+	}
+	s.stats.Record(qstats.Compute(QueryStatement(sq.engine, sq.query)), total, sq.rows, status, qstats.Handle{})
+
+	if !s.trace.Enabled() {
+		return
+	}
+	args := map[string]any{"query_id": sq.qid, "rows": sq.rows}
+	if status != obs.StatusCompleted {
+		args["status"] = status
+	}
+	s.trace.Complete("serve", QueryStatement(sq.engine, sq.query), sq.sid, sq.arrival, total, args)
+	phase := func(name string, start time.Time, d time.Duration) {
+		s.trace.Complete("serve", name, sq.sid, start, d, map[string]any{"query_id": sq.qid})
+	}
+	phase("queue_wait", sq.arrival, queueWait)
+	if !sq.execStart.IsZero() {
+		phase("execute", sq.execStart, sq.execDur)
+	}
+	if !sq.firstRec.IsZero() {
+		phase("first_record", sq.admitted, sq.firstRec.Sub(sq.admitted))
+		phase("stream", sq.firstRec, sq.lastRec.Sub(sq.firstRec))
+	}
+	phase("drain", lastActivity, drain)
 }
 
 // handleRun executes one query end to end: admission, producer spawn,
@@ -477,15 +759,33 @@ func (ss *session) handleRun(run Run) bool {
 		return ss.fail(CodeInternal, err.Error()) == nil
 	}
 
+	// Adopt the client-assigned query ID (trace-context extension) so
+	// every server-side surface — engine qstats, slow ring, log lines,
+	// trace events — reports the ID the driver logged; allocate one for
+	// pre-extension clients.
+	qid := run.QueryID
+	clientAssigned := qid != 0
+	if !clientAssigned {
+		qid = qstats.NextQueryID()
+	}
+	sq := &servedQuery{engine: run.Engine, query: run.Query, qid: qid, sid: ss.id, arrival: time.Now()}
+	ss.queries.Add(1)
+	ss.setCurrent(run.Engine, run.Query, qid, "queue_wait")
+	defer ss.setCurrent("", "", 0, "")
+
 	if err := srv.admit(ss.ctx); err != nil {
 		if errors.Is(err, ErrOverloaded) {
 			srv.cShed.Inc()
+			srv.recordShed(sq, obs.StatusShed)
+		} else if errors.Is(err, ErrDraining) {
+			srv.recordShed(sq, obs.StatusFailed)
 		}
 		f := failureFor(err)
 		return ss.send(EncodeFailure(f)) == nil && !errors.Is(err, context.Canceled)
 	}
 	srv.cQueries.Inc()
-	start := time.Now()
+	sq.admitted = time.Now()
+	ss.setPhase("execute")
 
 	// The per-query context: session lifetime plus the RUN deadline (or
 	// the server default). The store binds it as base context, so the
@@ -501,6 +801,17 @@ func (ss *session) handleRun(run Run) bool {
 	} else {
 		runCtx, runCancel = context.WithCancel(ss.ctx)
 	}
+	runCtx = qstats.WithQueryID(runCtx, qid)
+	// Engine-level exactly-once across retries: the first RUN carrying a
+	// client-assigned ID claims the accounting (the store wrapper records
+	// the execution whatever its outcome); a replay of the same ID — the
+	// driver re-running an idempotent read after a transport fault — runs
+	// with the accounted mark set, so the engine executes it silently and
+	// its qstats, slow ring and histograms still show exactly one
+	// execution for that query ID.
+	if clientAssigned && spec.idempotent && !srv.accounted.firstRun(qid) {
+		runCtx = qstats.MarkAccounted(runCtx)
+	}
 	st.SetBaseContext(runCtx)
 	st.SetQueryTimeout(0) // deadline owned by runCtx, not the store
 
@@ -508,10 +819,12 @@ func (ss *session) handleRun(run Run) bool {
 	srv.inflight.Add(1)
 	go func() {
 		defer srv.inflight.Done()
+		execStart := time.Now()
 		defer func() {
 			if r := recover(); r != nil {
 				srv.cPanics.Inc()
-				done <- queryResult{err: &ServerError{Code: CodeInternal, Message: fmt.Sprint(r)}}
+				done <- queryResult{err: &ServerError{Code: CodeInternal, Message: fmt.Sprint(r)},
+					execStart: execStart, execDur: time.Since(execStart)}
 			}
 		}()
 		if !spec.idempotent {
@@ -519,7 +832,7 @@ func (ss *session) handleRun(run Run) bool {
 			defer eng.writeMu.Unlock()
 		}
 		rows, err := spec.run(st, run.Params)
-		done <- queryResult{rows: rows, err: err}
+		done <- queryResult{rows: rows, err: err, execStart: execStart, execDur: time.Since(execStart)}
 	}()
 
 	released := false
@@ -528,7 +841,7 @@ func (ss *session) handleRun(run Run) bool {
 			released = true
 			runCancel()
 			srv.release()
-			srv.hLatency.ObserveDuration(time.Since(start))
+			srv.finishQuery(sq)
 		}
 	}
 	defer finish()
@@ -539,17 +852,18 @@ func (ss *session) handleRun(run Run) bool {
 	if ss.send(EncodeSuccess(Success{Meta: map[string]any{
 		"fields": append([]string{}, spec.fields...),
 	}})) != nil {
-		ss.abort(eng, runCtx, runCancel, done)
+		sq.setStatus(obs.StatusCancelled)
+		ss.abort(eng, runCtx, runCancel, done, sq)
 		return false
 	}
 
-	return ss.stream(eng, runCtx, runCancel, done)
+	return ss.stream(eng, runCtx, runCancel, done, sq)
 }
 
 // stream is the per-result command loop: PULL releases rows against
 // credit, DISCARD drops the rest, anything else is a protocol error.
 // Returns false when the session must close.
-func (ss *session) stream(eng *Engine, runCtx context.Context, runCancel context.CancelFunc, done chan queryResult) bool {
+func (ss *session) stream(eng *Engine, runCtx context.Context, runCancel context.CancelFunc, done chan queryResult, sq *servedQuery) bool {
 	srv := ss.srv
 	var res queryResult
 	have := false    // producer finished
@@ -573,13 +887,13 @@ func (ss *session) stream(eng *Engine, runCtx context.Context, runCancel context
 		if err != nil {
 			// Client gone (or stalled past the idle deadline) mid-stream.
 			ss.onReadError(err, true)
-			ss.abortWith(eng, runCtx, runCancel, done, &res, &have, countAbort)
+			ss.abortWith(eng, runCtx, runCancel, done, &res, &have, countAbort, sq)
 			return false
 		}
 		tag, msg, err := DecodeMessage(payload)
 		if err != nil {
 			srv.cProtoErrs.Inc()
-			ss.abortWith(eng, runCtx, runCancel, done, &res, &have, countAbort)
+			ss.abortWith(eng, runCtx, runCancel, done, &res, &have, countAbort, sq)
 			ss.fail(CodeProtocol, err.Error())
 			return false
 		}
@@ -597,17 +911,19 @@ func (ss *session) stream(eng *Engine, runCtx context.Context, runCancel context
 					res = <-done
 					have = true
 				}
+				sq.noteResult(&res)
 				if res.err != nil {
 					// Engine-side aborts were counted at the detection
 					// site during execution; only classify here.
-					return ss.failQuery(res.err)
+					return ss.failQuery(res.err, sq)
 				}
+				ss.setPhase("stream")
 			}
 			// Deadline or cancellation between PULL batches: the rows
 			// exist but the query's budget is spent — abort the stream.
 			if err := runCtx.Err(); err != nil {
 				countAbort(err)
-				return ss.failQuery(err)
+				return ss.failQuery(err, sq)
 			}
 			n := int(pull.N)
 			end := next + n
@@ -616,15 +932,22 @@ func (ss *session) stream(eng *Engine, runCtx context.Context, runCancel context
 			}
 			for _, row := range res.rows[next:end] {
 				if ss.fc.SendBuffered(EncodeRecord(row)) != nil {
-					ss.abortWith(eng, runCtx, runCancel, done, &res, &have, countAbort)
+					ss.abortWith(eng, runCtx, runCancel, done, &res, &have, countAbort, sq)
 					return false
 				}
+			}
+			if end > next {
+				if sq.firstRec.IsZero() {
+					sq.firstRec = time.Now()
+				}
+				sq.lastRec = time.Now()
+				sq.rows = end
 			}
 			srv.cRows.Add(uint64(end - next))
 			next = end
 			hasMore := next < len(res.rows)
 			if ss.send(EncodeSuccess(Success{Meta: map[string]any{"has_more": hasMore}})) != nil {
-				ss.abortWith(eng, runCtx, runCancel, done, &res, &have, countAbort)
+				ss.abortWith(eng, runCtx, runCancel, done, &res, &have, countAbort, sq)
 				return false
 			}
 			if !hasMore {
@@ -638,14 +961,16 @@ func (ss *session) stream(eng *Engine, runCtx context.Context, runCancel context
 			if !have {
 				res = <-done
 				have = true
+				sq.noteResult(&res)
 			}
+			sq.setStatus(obs.StatusCancelled)
 			return ss.send(EncodeSuccess(Success{Meta: map[string]any{"has_more": false}})) == nil
 		case MsgGoodbye:
-			ss.abortWith(eng, runCtx, runCancel, done, &res, &have, countAbort)
+			ss.abortWith(eng, runCtx, runCancel, done, &res, &have, countAbort, sq)
 			return false
 		default:
 			srv.cProtoErrs.Inc()
-			ss.abortWith(eng, runCtx, runCancel, done, &res, &have, countAbort)
+			ss.abortWith(eng, runCtx, runCancel, done, &res, &have, countAbort, sq)
 			ss.fail(CodeProtocol, fmt.Sprintf("serve: unexpected message 0x%02x mid-stream", tag))
 			return false
 		}
@@ -654,21 +979,23 @@ func (ss *session) stream(eng *Engine, runCtx context.Context, runCancel context
 
 // abort cancels the producer and waits it out (no result was consumed
 // yet).
-func (ss *session) abort(eng *Engine, runCtx context.Context, runCancel context.CancelFunc, done chan queryResult) {
+func (ss *session) abort(eng *Engine, runCtx context.Context, runCancel context.CancelFunc, done chan queryResult, sq *servedQuery) {
 	runCancel()
-	<-done
+	res := <-done
+	sq.noteResult(&res)
 }
 
 // abortWith cancels the producer, drains it if still pending, and
 // charges a post-execution abort when the query had already succeeded.
 // The serve-level outcome counters tick here too: this path has no
 // client left to send a FAILURE to, so failQuery never runs for it.
-func (ss *session) abortWith(eng *Engine, runCtx context.Context, runCancel context.CancelFunc, done chan queryResult, res *queryResult, have *bool, countAbort func(error)) {
+func (ss *session) abortWith(eng *Engine, runCtx context.Context, runCancel context.CancelFunc, done chan queryResult, res *queryResult, have *bool, countAbort func(error), sq *servedQuery) {
 	runCancel()
 	if !*have {
 		*res = <-done
 		*have = true
 	}
+	sq.noteResult(res)
 	err := runCtx.Err()
 	if err == nil {
 		err = context.Canceled
@@ -676,20 +1003,26 @@ func (ss *session) abortWith(eng *Engine, runCtx context.Context, runCancel cont
 	countAbort(err)
 	if errors.Is(err, context.DeadlineExceeded) {
 		ss.srv.cTimedOut.Inc()
+		sq.setStatus(obs.StatusTimedOut)
 	} else {
 		ss.srv.cCancelled.Inc()
+		sq.setStatus(obs.StatusCancelled)
 	}
 }
 
 // failQuery reports a query failure, ticking the serve-level outcome
 // counters, and keeps the session alive.
-func (ss *session) failQuery(err error) bool {
+func (ss *session) failQuery(err error, sq *servedQuery) bool {
 	f := failureFor(err)
 	switch f.Code {
 	case CodeTimeout:
 		ss.srv.cTimedOut.Inc()
+		sq.setStatus(obs.StatusTimedOut)
 	case CodeCancelled:
 		ss.srv.cCancelled.Inc()
+		sq.setStatus(obs.StatusCancelled)
+	default:
+		sq.setStatus(obs.StatusFailed)
 	}
 	return ss.fail(f.Code, f.Message) == nil
 }

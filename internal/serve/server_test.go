@@ -12,6 +12,7 @@ import (
 
 	"twigraph/internal/driver"
 	"twigraph/internal/leakcheck"
+	"twigraph/internal/obs"
 	"twigraph/internal/serve"
 	"twigraph/internal/twitter"
 )
@@ -590,4 +591,252 @@ func (s *writeProbeStore) AddUser(int64, string) error {
 func (s *writeProbeStore) AddFollow(int64, int64) error { return nil }
 func (s *writeProbeStore) AddTweet(int64, int64, string, []int64, []string) error {
 	return nil
+}
+
+// runAndDrain sends one RUN (optionally carrying a client query id)
+// and pulls until the stream completes, returning rows seen.
+func runAndDrain(t *testing.T, fc *serve.FrameConn, engine, query string, params map[string]any, qid uint64) int {
+	t.Helper()
+	if err := fc.Send(serve.EncodeRun(serve.Run{
+		Engine: engine, Query: query, Params: params, QueryID: qid,
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if tag, msg, err := recvMsg(fc); err != nil || tag != serve.MsgSuccess {
+		t.Fatalf("RUN reply: tag=0x%02x msg=%v err=%v", tag, msg, err)
+	}
+	rows := 0
+	for {
+		if err := fc.Send(serve.EncodePull(serve.Pull{N: 64})); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			tag, msg, err := recvMsg(fc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tag == serve.MsgRecord {
+				rows++
+				continue
+			}
+			if tag != serve.MsgSuccess {
+				t.Fatalf("stream: tag=0x%02x %v", tag, msg)
+			}
+			if hasMore, _ := msg.(serve.Success).Meta["has_more"].(bool); hasMore {
+				break // next PULL
+			}
+			return rows
+		}
+	}
+}
+
+// TestTraceSessionsAndPhaseAttribution: one traced query leaves (a) a
+// root span plus per-phase spans in the server trace buffer, all tagged
+// with the client-assigned query id on the session's track, (b) a
+// serve-level qstats entry under engine/query, (c) phase histograms
+// with observations, and (d) a session entry whose query counter
+// ticked.
+func TestTraceSessionsAndPhaseAttribution(t *testing.T) {
+	leakcheck.Check(t)
+	eng := newStubEngine("stub", func() *stubStore {
+		return &stubStore{rows: []int64{10, 20, 30}}
+	})
+	addr, srv := startServer(t, serve.Config{}, eng.Engine)
+	srv.Trace().SetEnabled(true)
+
+	const qid = uint64(1)<<63 | 7<<32 | 1
+	fc := dialRaw(t, addr)
+	if rows := runAndDrain(t, fc, "stub", "followees", map[string]any{"uid": int64(1)}, qid); rows != 3 {
+		t.Fatalf("rows: %d", rows)
+	}
+
+	// (a) trace buffer: root + phases, same query id, same track.
+	byName := map[string]obs.TraceEvent{}
+	for _, ev := range srv.Trace().Events() {
+		byName[ev.Name] = ev
+	}
+	root, ok := byName["stub/followees"]
+	if !ok {
+		t.Fatalf("no root span; events: %v", srv.Trace().Events())
+	}
+	if root.Args["query_id"] != qid {
+		t.Fatalf("root query_id %v, want %#x", root.Args["query_id"], qid)
+	}
+	if got, _ := root.Args["rows"].(int); got != 3 {
+		t.Fatalf("root rows arg %v, want 3", root.Args["rows"])
+	}
+	for _, phase := range []string{"queue_wait", "execute", "first_record", "stream", "drain"} {
+		ev, ok := byName[phase]
+		if !ok {
+			t.Fatalf("missing %q phase span", phase)
+		}
+		if ev.Args["query_id"] != qid || ev.TID != root.TID {
+			t.Fatalf("%q span: qid=%v tid=%d, want qid=%#x tid=%d",
+				phase, ev.Args["query_id"], ev.TID, qid, root.TID)
+		}
+	}
+
+	// (b) serve-level per-statement accounting under engine/query.
+	var found bool
+	for _, sn := range srv.QueryStats().Snapshot() {
+		if sn.Query == serve.QueryStatement("stub", "followees") {
+			found = true
+			if sn.Calls != 1 || sn.Rows != 3 {
+				t.Fatalf("serve stats calls=%d rows=%d, want 1/3", sn.Calls, sn.Rows)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no serve-level qstats entry for stub/followees")
+	}
+
+	// (c) per-phase histograms observed the query.
+	snap := srv.Metrics().Snapshot()
+	for _, phase := range []string{"queue_wait", "execute", "first_record", "stream", "drain"} {
+		if snap.Histograms[phase].Count == 0 {
+			t.Errorf("phase histogram %q never observed", phase)
+		}
+	}
+
+	// (d) the session is visible with its query counted.
+	sessions := srv.Sessions()
+	if len(sessions) != 1 {
+		t.Fatalf("sessions: %d, want 1", len(sessions))
+	}
+	if sessions[0].Queries != 1 || sessions[0].Remote == "" {
+		t.Fatalf("session info: %+v", sessions[0])
+	}
+	if sessions[0].Phase != "" {
+		t.Fatalf("idle session still attributed to phase %q", sessions[0].Phase)
+	}
+}
+
+// TestServerAssignsQueryIDForLegacyClients: a RUN without the trace
+// extension still gets a query id — server-assigned, outside the
+// client namespace (top bit clear).
+func TestServerAssignsQueryIDForLegacyClients(t *testing.T) {
+	leakcheck.Check(t)
+	eng := newStubEngine("stub", func() *stubStore {
+		return &stubStore{rows: []int64{1}}
+	})
+	addr, srv := startServer(t, serve.Config{}, eng.Engine)
+	srv.Trace().SetEnabled(true)
+	fc := dialRaw(t, addr)
+	runAndDrain(t, fc, "stub", "followees", map[string]any{"uid": int64(1)}, 0)
+	for _, ev := range srv.Trace().Events() {
+		if ev.Name != "stub/followees" {
+			continue
+		}
+		qid, _ := ev.Args["query_id"].(uint64)
+		if qid == 0 || qid>>63 != 0 {
+			t.Fatalf("legacy RUN got query_id %#x, want non-zero server-assigned (top bit clear)", qid)
+		}
+		return
+	}
+	t.Fatal("no root span recorded")
+}
+
+// TestHandshakeAdvertisesTraceFeature pins the negotiation side of the
+// wire extension: the HELLO reply lists the trace feature, which is
+// what gates the driver's use of the RUN extension.
+func TestHandshakeAdvertisesTraceFeature(t *testing.T) {
+	leakcheck.Check(t)
+	eng := newStubEngine("stub", func() *stubStore { return &stubStore{} })
+	addr, _ := startServer(t, serve.Config{}, eng.Engine)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fc := serve.NewFrameConn(conn, 0)
+	if err := fc.Send(serve.EncodeHello(serve.Hello{Client: "test", Version: serve.ProtocolVersion})); err != nil {
+		t.Fatal(err)
+	}
+	tag, msg, err := recvMsg(fc)
+	if err != nil || tag != serve.MsgSuccess {
+		t.Fatalf("handshake: tag=0x%02x err=%v", tag, err)
+	}
+	features, _ := msg.(serve.Success).Meta["features"].([]string)
+	for _, f := range features {
+		if f == serve.FeatureTrace {
+			return
+		}
+	}
+	t.Fatalf("HELLO reply did not advertise %q: %v", serve.FeatureTrace, msg.(serve.Success).Meta)
+}
+
+// TestClientQueryIDDedupesAccounting: two RUNs with the same
+// client-assigned query id (a retry of an idempotent read) both stream
+// full results, but the serve registry shows both wire attempts while
+// the engine sees only one accounted execution (verified against real
+// engines in the integration tests; here the invariant is that the
+// replay still returns correct rows).
+func TestClientQueryIDDedupesAccounting(t *testing.T) {
+	leakcheck.Check(t)
+	eng := newStubEngine("stub", func() *stubStore {
+		return &stubStore{rows: []int64{10, 20}}
+	})
+	addr, srv := startServer(t, serve.Config{}, eng.Engine)
+	const qid = uint64(1)<<63 | 3<<32 | 9
+	fc := dialRaw(t, addr)
+	for i := 0; i < 2; i++ {
+		if rows := runAndDrain(t, fc, "stub", "followees", map[string]any{"uid": int64(1)}, qid); rows != 2 {
+			t.Fatalf("attempt %d: rows %d, want 2 (replay must still execute)", i, rows)
+		}
+	}
+	for _, sn := range srv.QueryStats().Snapshot() {
+		if sn.Query == serve.QueryStatement("stub", "followees") && sn.Calls != 2 {
+			t.Fatalf("serve-level calls %d, want 2 (wire attempts are not deduped)", sn.Calls)
+		}
+	}
+}
+
+// TestShedAccountedPerStatement: admission rejections land in the
+// serve-level per-statement registry as a shed split, attributed to the
+// statement that was refused.
+func TestShedAccountedPerStatement(t *testing.T) {
+	leakcheck.Check(t)
+	gate := make(chan struct{})
+	eng := newStubEngine("stub", func() *stubStore {
+		return &stubStore{rows: []int64{1}, block: gate}
+	})
+	cfg := serve.Config{MaxConcurrent: 1, MaxQueued: 0, MaxQueueWait: 5 * time.Millisecond}
+	addr, srv := startServer(t, cfg, eng.Engine)
+
+	var wg sync.WaitGroup
+	var shed atomic.Int64
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cli := driver.New(driver.Config{Addr: addr, MaxRetries: -1})
+			defer cli.Close()
+			_, err := cli.Query(context.Background(), "stub", "followees", map[string]any{"uid": int64(1)})
+			if errors.Is(err, serve.ErrOverloaded) {
+				shed.Add(1)
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if shed.Load() == 0 {
+		t.Skip("no shed under this scheduling; nothing to assert")
+	}
+	var sn, ok = serve.QueryStatement("stub", "followees"), false
+	for _, s := range srv.QueryStats().Snapshot() {
+		if s.Query != sn {
+			continue
+		}
+		ok = true
+		if s.Shed != uint64(shed.Load()) {
+			t.Fatalf("statement shed=%d, clients saw %d ErrOverloaded", s.Shed, shed.Load())
+		}
+		if s.Calls != 4 {
+			t.Fatalf("statement calls=%d, want 4 (shed attempts are accounted)", s.Calls)
+		}
+	}
+	if !ok {
+		t.Fatalf("no per-statement entry for %s", sn)
+	}
 }

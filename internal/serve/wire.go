@@ -296,12 +296,32 @@ type Hello struct {
 	Version uint32 // protocol version, must equal ProtocolVersion
 }
 
+// FeatureTrace is the HELLO feature flag for the RUN trace-context
+// extension: a server advertising it in its HELLO SUCCESS meta
+// ("features" list) accepts RUN frames carrying a client-assigned
+// query ID and parent span ref after the parameter map. Clients must
+// not send the extension to a server that did not advertise it — the
+// pre-extension decoder enforced strict trailing-byte checks and would
+// reject the frame as a protocol violation.
+const FeatureTrace = "trace"
+
 // Run submits one query.
 type Run struct {
 	Engine       string         // "neo" | "sparksee"
 	Query        string         // catalogue name, e.g. "followees"
 	TimeoutNanos int64          // per-query deadline; 0 = server default
 	Params       map[string]any // query parameters
+
+	// Trace-context extension (FeatureTrace). QueryID is the
+	// client-assigned query ID the server adopts for its qstats rows,
+	// slow-ring entries and log lines — the cross-tier correlation key;
+	// 0 means "none" and the server allocates its own. ParentSpan
+	// optionally references the client-side span the served execution
+	// nests under in a merged trace. Both encode as a trailing field
+	// after Params, present only when either is non-zero, so a RUN with
+	// neither is byte-identical to the pre-extension encoding.
+	QueryID    uint64
+	ParentSpan uint64
 }
 
 // Pull grants credit for up to N result rows.
@@ -346,7 +366,10 @@ func DecodeHello(payload []byte) (Hello, error) {
 	return h, trailing(body)
 }
 
-// EncodeRun marshals a RUN frame payload.
+// EncodeRun marshals a RUN frame payload. The trace-context extension
+// (QueryID, ParentSpan) is appended only when set, keeping the
+// no-extension encoding byte-identical to the pre-extension format —
+// old servers (strict trailing-byte decoders) keep accepting it.
 func EncodeRun(r Run) []byte {
 	b := []byte{MsgRun}
 	b = binary.AppendUvarint(b, uint64(len(r.Engine)))
@@ -354,10 +377,17 @@ func EncodeRun(r Run) []byte {
 	b = binary.AppendUvarint(b, uint64(len(r.Query)))
 	b = append(b, r.Query...)
 	b = binary.AppendVarint(b, r.TimeoutNanos)
-	return appendMap(b, r.Params)
+	b = appendMap(b, r.Params)
+	if r.QueryID != 0 || r.ParentSpan != 0 {
+		b = binary.AppendUvarint(b, r.QueryID)
+		b = binary.AppendUvarint(b, r.ParentSpan)
+	}
+	return b
 }
 
-// DecodeRun unmarshals a RUN payload.
+// DecodeRun unmarshals a RUN payload. An empty tail after the
+// parameter map is a pre-extension client (QueryID/ParentSpan zero); a
+// non-empty tail must be exactly the two extension uvarints.
 func DecodeRun(payload []byte) (Run, error) {
 	var r Run
 	rest, err := msgBody(payload, MsgRun)
@@ -378,7 +408,20 @@ func DecodeRun(payload []byte) (Run, error) {
 	if r.Params, rest, err = decodeMap(rest[sz:]); err != nil {
 		return r, err
 	}
-	return r, trailing(rest)
+	if len(rest) == 0 {
+		return r, nil
+	}
+	qid, sz := binary.Uvarint(rest)
+	if sz <= 0 {
+		return r, fmt.Errorf("serve: bad RUN query-id extension")
+	}
+	rest = rest[sz:]
+	parent, sz := binary.Uvarint(rest)
+	if sz <= 0 {
+		return r, fmt.Errorf("serve: bad RUN parent-span extension")
+	}
+	r.QueryID, r.ParentSpan = qid, parent
+	return r, trailing(rest[sz:])
 }
 
 // EncodePull marshals a PULL frame payload.

@@ -151,3 +151,74 @@ func TestDecodeCountBoundsAllocation(t *testing.T) {
 		t.Fatal("want count-bound error")
 	}
 }
+
+// TestRunTraceExtensionRoundTrip covers the RUN trace extension: the
+// trailing query-id / parent-span uvarints survive the trip, and both
+// fields are independent.
+func TestRunTraceExtensionRoundTrip(t *testing.T) {
+	cases := []Run{
+		{Engine: "neo", Query: "followees", Params: map[string]any{"uid": int64(7)},
+			QueryID: 1<<63 | 12345<<32 | 9},
+		{Engine: "sparksee", Query: "co_mentioned", Params: map[string]any{"uid": int64(1), "n": int64(5)},
+			QueryID: 42, ParentSpan: 7},
+		{Engine: "neo", Query: "users_over", Params: map[string]any{"threshold": int64(3)},
+			ParentSpan: 1},
+	}
+	for _, want := range cases {
+		_, msg, err := DecodeMessage(EncodeRun(want))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		got := msg.(Run)
+		if got.QueryID != want.QueryID || got.ParentSpan != want.ParentSpan {
+			t.Fatalf("extension mismatch: got qid=%d parent=%d, want qid=%d parent=%d",
+				got.QueryID, got.ParentSpan, want.QueryID, want.ParentSpan)
+		}
+	}
+}
+
+// TestRunLegacyEncodingUnchanged pins the compat contract from both
+// sides: a RUN without trace fields encodes byte-identically to the
+// pre-extension format (so old servers with strict trailing checks
+// accept it), and those legacy bytes decode to zero trace fields (so a
+// new server treats an old client as untraced and assigns its own id).
+func TestRunLegacyEncodingUnchanged(t *testing.T) {
+	legacy := Run{Engine: "neo", Query: "followees", TimeoutNanos: 1e9,
+		Params: map[string]any{"uid": int64(7)}}
+	base := EncodeRun(legacy)
+	traced := legacy
+	traced.QueryID = 99
+	ext := EncodeRun(traced)
+	if !bytes.HasPrefix(ext, base) {
+		t.Fatal("extension must append after the legacy encoding, not rewrite it")
+	}
+	if len(ext) == len(base) {
+		t.Fatal("traced RUN must carry extension bytes")
+	}
+	// Legacy bytes (no extension tail) must decode with zero trace fields.
+	_, msg, err := DecodeMessage(base)
+	if err != nil {
+		t.Fatalf("legacy decode: %v", err)
+	}
+	got := msg.(Run)
+	if got.QueryID != 0 || got.ParentSpan != 0 {
+		t.Fatalf("legacy RUN decoded with trace fields: qid=%d parent=%d", got.QueryID, got.ParentSpan)
+	}
+}
+
+// TestRunExtensionRejectsTruncation: a RUN with a garbage extension
+// tail (a truncated uvarint or trailing junk after the two fields)
+// errors instead of panicking or silently succeeding.
+func TestRunExtensionRejectsTruncation(t *testing.T) {
+	good := EncodeRun(Run{Engine: "neo", Query: "followees",
+		Params: map[string]any{"uid": int64(7)}, QueryID: 1 << 62, ParentSpan: 3})
+	// Truncate one byte off the extension: the qid uvarint (9 bytes for
+	// 1<<62) loses its terminator.
+	if _, _, err := DecodeMessage(good[:len(good)-1]); err == nil {
+		t.Fatal("truncated extension: want error")
+	}
+	// Junk after the two extension fields must trip the trailing check.
+	if _, _, err := DecodeMessage(append(append([]byte{}, good...), 0xFF)); err == nil {
+		t.Fatal("trailing junk after extension: want error")
+	}
+}

@@ -84,6 +84,21 @@ func WriteQueryStats(w io.Writer, scope string, snaps []qstats.StatSnapshot) {
 	emit("rows_total", func(sn qstats.StatSnapshot) string {
 		return fmt.Sprintf("%d", sn.Rows)
 	}, false)
+	// Per-statement shed split (serve-level registries): only emitted
+	// when some statement in the batch was shed, so engine scrapes stay
+	// unchanged.
+	anyShed := false
+	for _, sn := range snaps {
+		if sn.Shed > 0 {
+			anyShed = true
+			break
+		}
+	}
+	if anyShed {
+		emit("shed_total", func(sn qstats.StatSnapshot) string {
+			return fmt.Sprintf("%d", sn.Shed)
+		}, false)
+	}
 }
 
 // formatSeconds renders a float without exponent drift between scrapes

@@ -51,6 +51,11 @@ type qstatsSource struct {
 	get  func() *qstats.Stats
 }
 
+type sessionsSource struct {
+	name string
+	get  func() any
+}
+
 // DefaultMetricsTopK bounds how many per-fingerprint statement series
 // each source contributes to /metrics (the full registry stays on
 // /querystats; a scrape should not balloon with ad-hoc statements).
@@ -64,6 +69,7 @@ type Server struct {
 	tracers   []tracerSource
 	health    []healthSource
 	qstats    []qstatsSource
+	sessions  []sessionsSource
 	buildInfo map[string]string
 	topK      int
 	start     time.Time
@@ -118,6 +124,17 @@ func (s *Server) AddQueryStatsFunc(name string, get func() *qstats.Stats) {
 	s.qstats = append(s.qstats, qstatsSource{name, get})
 }
 
+// AddSessions exposes a live-session listing on /sessions. get returns
+// any JSON-serialisable value (the serving layer passes its
+// []serve.SessionInfo; the func type keeps telemetry decoupled from the
+// serve package) and is called per request; nil means "no sessions
+// yet".
+func (s *Server) AddSessions(name string, get func() any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sessions = append(s.sessions, sessionsSource{name, get})
+}
+
 // SetBuildInfo sets the labels of the twigraph_build_info metric
 // (engine, workers, dataset — whatever identifies the process). The
 // go_version label is filled in automatically when absent.
@@ -165,6 +182,12 @@ func (s *Server) qstatsSources() []qstatsSource {
 	return append([]qstatsSource(nil), s.qstats...)
 }
 
+func (s *Server) sessionsSources() []sessionsSource {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]sessionsSource(nil), s.sessions...)
+}
+
 // Handler returns the telemetry mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -172,6 +195,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/slow", s.handleSlow)
 	mux.HandleFunc("/querystats", s.handleQueryStats)
+	mux.HandleFunc("/sessions", s.handleSessions)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -182,7 +206,7 @@ func (s *Server) Handler() http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "twigraph telemetry\n\n/metrics\n/healthz\n/slow\n/querystats\n/debug/pprof/\n")
+		fmt.Fprint(w, "twigraph telemetry\n\n/metrics\n/healthz\n/slow\n/querystats\n/sessions\n/debug/pprof/\n")
 	})
 	return mux
 }
@@ -330,6 +354,33 @@ func (s *Server) handleQueryStats(w http.ResponseWriter, r *http.Request) {
 			snaps = []qstats.StatSnapshot{}
 		}
 		out = append(out, QueryStatsEntry{Source: src.name, Evicted: st.Evictions(), Statements: snaps})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// SessionsEntry is one source's live sessions in the /sessions
+// response.
+type SessionsEntry struct {
+	Source string `json:"source"`
+	// Sessions is the source's live-session listing (for the serving
+	// layer: []serve.SessionInfo — id, remote, opened, queries served,
+	// and the in-flight query's engine/statement/query ID/wire phase).
+	Sessions any `json:"sessions"`
+}
+
+// handleSessions serves every source's live-session listing: which
+// connections are open and what query ID/phase each has in flight —
+// the "who is on the server right now" view next to /querystats'
+// historical aggregates.
+func (s *Server) handleSessions(w http.ResponseWriter, _ *http.Request) {
+	out := []SessionsEntry{}
+	for _, src := range s.sessionsSources() {
+		sessions := src.get()
+		if sessions == nil {
+			sessions = []struct{}{}
+		}
+		out = append(out, SessionsEntry{Source: src.name, Sessions: sessions})
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)

@@ -305,3 +305,47 @@ func mustGetJSON(t *testing.T, url string, wantCode int, out any) {
 		t.Fatalf("GET %s: bad JSON %v\n%s", url, err, body)
 	}
 }
+
+// TestServerSessionsEndpoint: /sessions renders every registered
+// source's live-session snapshot as JSON; a source whose getter returns
+// nil serialises as an empty list, not null.
+func TestServerSessionsEndpoint(t *testing.T) {
+	s := NewServer()
+	type fakeSession struct {
+		ID      int64  `json:"id"`
+		Remote  string `json:"remote"`
+		Queries uint64 `json:"queries"`
+	}
+	s.AddSessions("serve", func() any {
+		return []fakeSession{{ID: 1, Remote: "127.0.0.1:9", Queries: 3}}
+	})
+	s.AddSessions("empty", func() any { return nil })
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var out []SessionsEntry
+	mustGetJSON(t, srv.URL+"/sessions", http.StatusOK, &out)
+	if len(out) != 2 {
+		t.Fatalf("sources = %+v", out)
+	}
+	bySource := map[string]any{}
+	for _, e := range out {
+		bySource[e.Source] = e.Sessions
+	}
+	sessions, ok := bySource["serve"].([]any)
+	if !ok || len(sessions) != 1 {
+		t.Fatalf("serve sessions = %#v", bySource["serve"])
+	}
+	first, _ := sessions[0].(map[string]any)
+	if first["remote"] != "127.0.0.1:9" || first["queries"] != float64(3) {
+		t.Errorf("session = %#v", first)
+	}
+	if empty, ok := bySource["empty"].([]any); !ok || len(empty) != 0 {
+		t.Errorf("nil getter serialised as %#v, want empty list", bySource["empty"])
+	}
+	// The index page links the endpoint.
+	if body := mustGet(t, srv.URL+"/", http.StatusOK); !strings.Contains(string(body), "/sessions") {
+		t.Errorf("index does not mention /sessions: %q", body)
+	}
+}

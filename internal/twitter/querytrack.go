@@ -29,6 +29,7 @@ type runningQuery struct {
 	stats  *qstats.Stats
 	handle qstats.Handle
 	lat    *obs.Histogram
+	silent bool // an outer layer owns accounting; record nothing here
 }
 
 // beginStoreQuery opens tracking for one workload method. name is the
@@ -47,7 +48,20 @@ func beginStoreQuery(name string, tracer *obs.Tracer, stats *qstats.Stats, lat *
 		lat:    lat,
 		cancel: func() {},
 	}
-	qid := qstats.NextQueryID()
+	// Adopt a query ID the caller already assigned (the serving layer
+	// threads the client's wire ID through the base context) so every
+	// attribution surface — here and on the client — shares one ID;
+	// allocate a fresh one only for in-process callers.
+	qid := qstats.QueryID(base)
+	if qid == 0 {
+		qid = qstats.NextQueryID()
+	}
+	// When an outer layer already claimed the accounting (a retried
+	// idempotent wire query whose first attempt was recorded), this
+	// execution runs silently: no histogram, no stats row, no span — the
+	// exactly-once invariant (per-fingerprint sums equal the aggregate
+	// histogram) holds across retries.
+	q.silent = qstats.Accounted(base)
 	ctx := base
 	if timeout > 0 {
 		parent := base
@@ -57,11 +71,13 @@ func beginStoreQuery(name string, tracer *obs.Tracer, stats *qstats.Stats, lat *
 		ctx, q.cancel = context.WithTimeout(parent, timeout)
 	}
 	q.ctx = qstats.MarkAccounted(qstats.WithQueryID(ctx, qid))
-	if tracer.Enabled() {
-		q.span = tracer.Start(name)
-		q.span.SetQuery(qid, q.fp.Hash)
+	if !q.silent {
+		if tracer.Enabled() {
+			q.span = tracer.Start(name)
+			q.span.SetQuery(qid, q.fp.Hash)
+		}
+		q.handle = stats.Begin()
 	}
-	q.handle = stats.Begin()
 	return q
 }
 
@@ -70,6 +86,10 @@ func beginStoreQuery(name string, tracer *obs.Tracer, stats *qstats.Stats, lat *
 // status and row count onto the span. Call it exactly once, usually as
 // `defer func() { q.finish(err, len(out)) }()` over named returns.
 func (q *runningQuery) finish(err error, rows int) {
+	if q.silent {
+		q.cancel()
+		return
+	}
 	d := time.Since(q.start)
 	q.lat.Observe(int64(d))
 	if rows < 0 {
