@@ -40,6 +40,7 @@ func main() {
 	regress := flag.Float64("regress", 0, "with -compare: exit non-zero when any series' p50/p95 (or, with -qstats, any statement's mean) grew more than this percent (0 = warn-only)")
 	floor := flag.Duration("floor", 0, "with -regress: series whose baseline p50 is under this duration report deltas but never gate (noise floor for sub-millisecond series)")
 	qstatsTop := flag.Bool("qstats", false, "print per-statement statistics after the run and fold them into the -json snapshot")
+	sfmax := flag.Float64("sfmax", 0, "scale experiment: largest scale factor to sweep (0 = the experiment default, 1 = full grid)")
 	cfg := bench.DefaultConfig()
 	flag.IntVar(&cfg.Users, "users", cfg.Users, "dataset scale in users")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "dataset PRNG seed")
@@ -70,6 +71,7 @@ func main() {
 	}
 	env.Method = m
 	env.QueryStats = *qstatsTop
+	env.SFMax = *sfmax
 	defer env.Close()
 
 	if *trace != "" {

@@ -12,8 +12,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"twigraph/internal/load"
@@ -31,16 +33,18 @@ func main() {
 	cache := flag.Int64("spark-cache", 0, "sparksee extent-cache bytes (0 = script default, 5 GiB)")
 	materialize := flag.Bool("materialize", false, "sparksee: materialise neighbor indexes during import")
 	verify := flag.Bool("verify", false, "run a structural integrity check on each store after import")
+	spill := flag.Bool("spill", false, "neo: spill import id maps to sorted disk segments after the node phase")
+	noCompress := flag.Bool("no-compress", false, "sparksee: disable run-container compression (writes a legacy v1 image)")
 	flag.Parse()
 
 	if *engine == "neo" || *engine == "both" {
-		if err := loadNeo(*csvDir, filepath.Join(*out, "neo"), *batch, *workers, *groupCommit, *verify); err != nil {
+		if err := loadNeo(*csvDir, filepath.Join(*out, "neo"), *batch, *workers, *groupCommit, *verify, *spill); err != nil {
 			fmt.Fprintln(os.Stderr, "twiload:", err)
 			os.Exit(1)
 		}
 	}
 	if *engine == "sparksee" || *engine == "both" {
-		if err := loadSpark(*csvDir, filepath.Join(*out, "sparksee.img"), *batch, *workers, *cache, *materialize, *verify); err != nil {
+		if err := loadSpark(*csvDir, filepath.Join(*out, "sparksee.img"), *batch, *workers, *cache, *materialize, *verify, *noCompress); err != nil {
 			fmt.Fprintln(os.Stderr, "twiload:", err)
 			os.Exit(1)
 		}
@@ -56,9 +60,36 @@ func rate(rows int, d time.Duration) string {
 	return fmt.Sprintf("%.0f rows/s", float64(rows)/d.Seconds())
 }
 
-func loadNeo(csvDir, dbDir string, batch, workers int, groupCommit, verify bool) error {
+// peakHeapBytes reports the high-water heap footprint: heap pages
+// obtained from the OS, which only grows over a process's life.
+func peakHeapBytes() uint64 {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapSys
+}
+
+// dirBytes sums the file sizes under dir (the on-disk store footprint
+// for the page-store engine).
+func dirBytes(dir string) int64 {
+	var total int64
+	filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total
+}
+
+func loadNeo(csvDir, dbDir string, batch, workers int, groupCommit, verify, spill bool) error {
 	fmt.Printf("== importing into the Neo4j-analog at %s ==\n", dbDir)
 	cfg := neodb.Config{ImportWorkers: workers, ImportGroupCommit: groupCommit}
+	if spill {
+		cfg.ImportSpillDir = dbDir
+	}
 	res, err := load.BuildNeo(csvDir, dbDir, cfg, batch)
 	if err != nil {
 		return err
@@ -70,8 +101,14 @@ func loadNeo(csvDir, dbDir string, batch, workers int, groupCommit, verify bool)
 	r := res.Report
 	fmt.Printf("nodes %d, edges %d\nphases: nodes %v | dense %v | edges %v | indexes %v | total %v\n",
 		r.Nodes, r.Edges, r.NodePhase, r.DensePhase, r.EdgePhase, r.IndexPhase, r.Total)
-	fmt.Printf("throughput: nodes %s | edges %s | overall %s (wall %v)\n\n",
+	fmt.Printf("throughput: nodes %s | edges %s | overall %s (wall %v)\n",
 		rate(r.Nodes, r.NodePhase), rate(r.Edges, r.EdgePhase), rate(r.Nodes+r.Edges, r.Total), r.Total)
+	spilledNote := ""
+	if r.Spilled {
+		spilledNote = " (spilled to disk)"
+	}
+	fmt.Printf("store: nodes %d, edges %d, store bytes %d, id-map bytes %d%s, peak heap %d\n\n",
+		r.Nodes, r.Edges, dirBytes(dbDir), r.IDMapBytes, spilledNote, peakHeapBytes())
 	if verify {
 		rep := res.Store.DB().CheckIntegrity()
 		if !rep.OK() {
@@ -82,14 +119,15 @@ func loadNeo(csvDir, dbDir string, batch, workers int, groupCommit, verify bool)
 	return nil
 }
 
-func loadSpark(csvDir, imagePath string, batch, workers int, cache int64, materialize, verify bool) error {
+func loadSpark(csvDir, imagePath string, batch, workers int, cache int64, materialize, verify, noCompress bool) error {
 	fmt.Printf("== importing into the Sparksee-analog image %s ==\n", imagePath)
 	res, err := load.BuildSpark(csvDir, sparkdb.ScriptOptions{
-		BatchRows:   batch,
-		Workers:     workers,
-		CacheSize:   cache,
-		Materialize: materialize,
-		ImagePath:   imagePath,
+		BatchRows:     batch,
+		Workers:       workers,
+		CacheSize:     cache,
+		Materialize:   materialize,
+		ImagePath:     imagePath,
+		NoCompression: noCompress,
 	})
 	if err != nil {
 		return err
@@ -122,6 +160,13 @@ func loadSpark(csvDir, imagePath string, batch, workers int, cache int64, materi
 		fmt.Printf(" %s %s |", ph, rate(e.rows, e.elapsed))
 	}
 	fmt.Printf(" overall %s (wall %v)\n", rate(r.Nodes+r.Edges, r.Duration), r.Duration)
+	imgBytes := int64(0)
+	if info, err := os.Stat(imagePath); err == nil {
+		imgBytes = info.Size()
+	}
+	st := res.Store.DB().BitmapStats()
+	fmt.Printf("store: nodes %d, edges %d, image bytes %d, containers %d (array %d / run %d / bitset %d), bitmap bytes %d, peak heap %d\n",
+		r.Nodes, r.Edges, imgBytes, st.Containers(), st.Arrays, st.Runs, st.Bitsets, st.MemBytes, peakHeapBytes())
 	if verify {
 		rep := res.Store.DB().CheckIntegrity()
 		if !rep.OK() {

@@ -67,6 +67,11 @@ type Env struct {
 	// on individual query classes, not just the aggregate series.
 	QueryStats bool
 
+	// SFMax caps the scale experiment's sweep: scale factors above it
+	// are skipped. 0 applies the experiment's own default (0.3); 1 runs
+	// the full grid. CI smoke runs pin it to the smallest factor.
+	SFMax float64
+
 	// neoPub/sparkPub publish the built stores for concurrent readers
 	// (the telemetry server scrapes mid-bench from HTTP goroutines; the
 	// sync.Once fields above only synchronise the building goroutines).

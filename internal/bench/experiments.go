@@ -38,6 +38,7 @@ func All() []Experiment {
 		{"matrix", "Algebraic execution: navigational vs masked SpMV/SpGEMM kernels vs auto gate", runMatrix},
 		{"ingest", "Pipelined bulk ingestion: serial vs N-worker import, WAL group commit", runIngest},
 		{"serve", "Network serving layer: wire-protocol latency, fault-injected retries, overload shedding", runServeExp},
+		{"scale", "Scale-factor sweep: streaming gen, ingest throughput, store bytes, container mix, query latency vs SF", runScale},
 	}
 }
 

@@ -3,8 +3,9 @@
 // graphs using a compressed bitmap-based data structure"
 // (Martínez-Bazan et al., IDEAS 2012); this package provides the
 // equivalent: a two-level structure that chunks the key space into
-// 2^16-wide containers, each stored either as a sorted array of 16-bit
-// offsets (sparse) or as a 1024-word bitset (dense).
+// 2^16-wide containers, each stored as a sorted array of 16-bit
+// offsets (sparse), a 1024-word bitset (dense), or a sorted run list
+// (contiguous — see runs.go and Optimize).
 //
 // All set-algebra operations (And, Or, AndNot) operate container-wise,
 // so intersecting a small neighbourhood with a huge type bitmap touches
@@ -31,13 +32,14 @@ const (
 	wordsPerSet   = containerSize / 64 // words in a bitset container
 )
 
-// container holds one 2^16-wide chunk. Exactly one of array/set is
-// non-nil.
+// container holds one 2^16-wide chunk. Exactly one of array/set/runs
+// is non-nil.
 type container struct {
 	key   uint64   // high bits (value >> 16)
-	array []uint16 // sorted, unique; nil when set != nil
-	set   []uint64 // wordsPerSet words; nil when array != nil
-	card  int      // cardinality when set != nil (arrays use len)
+	array []uint16 // sorted, unique; nil otherwise
+	set   []uint64 // wordsPerSet words; nil otherwise
+	runs  []run    // sorted, disjoint, non-adjacent; nil otherwise
+	card  int      // cardinality when set or runs != nil (arrays use len)
 }
 
 // Bitmap is a compressed set of uint64 values. The zero value is an
@@ -162,6 +164,21 @@ func (b *Bitmap) ForEach(fn func(uint64) bool) {
 			}
 			continue
 		}
+		if c.runs != nil {
+			for _, r := range c.runs {
+				v := r.start
+				for {
+					if !fn(base | uint64(v)) {
+						return
+					}
+					if v == r.last() {
+						break
+					}
+					v++
+				}
+			}
+			continue
+		}
 		for w, word := range c.set {
 			for word != 0 {
 				t := bits.TrailingZeros64(word)
@@ -221,10 +238,10 @@ func (b *Bitmap) Equal(o *Bitmap) bool {
 // ---------- container operations ----------
 
 func (c *container) cardinality() int {
-	if c.set != nil {
-		return c.card
+	if c.array != nil {
+		return len(c.array)
 	}
-	return len(c.array)
+	return c.card
 }
 
 func (c *container) clone() *container {
@@ -235,6 +252,9 @@ func (c *container) clone() *container {
 	if c.set != nil {
 		out.set = append([]uint64(nil), c.set...)
 	}
+	if c.runs != nil {
+		out.runs = append([]run(nil), c.runs...)
+	}
 	return out
 }
 
@@ -242,11 +262,22 @@ func (c *container) contains(low uint16) bool {
 	if c.set != nil {
 		return c.set[low>>6]&(1<<(low&63)) != 0
 	}
+	if c.runs != nil {
+		return runsContain(c.runs, low)
+	}
 	i := sort.Search(len(c.array), func(i int) bool { return c.array[i] >= low })
 	return i < len(c.array) && c.array[i] == low
 }
 
 func (c *container) add(low uint16) bool {
+	if c.runs != nil {
+		// Point writes thaw the frozen run representation, but a
+		// membership hit costs only the binary search.
+		if runsContain(c.runs, low) {
+			return false
+		}
+		c.thaw()
+	}
 	if c.set != nil {
 		w, m := low>>6, uint64(1)<<(low&63)
 		if c.set[w]&m != 0 {
@@ -271,6 +302,12 @@ func (c *container) add(low uint16) bool {
 }
 
 func (c *container) remove(low uint16) bool {
+	if c.runs != nil {
+		if !runsContain(c.runs, low) {
+			return false
+		}
+		c.thaw()
+	}
 	if c.set != nil {
 		w, m := low>>6, uint64(1)<<(low&63)
 		if c.set[w]&m == 0 {
@@ -316,6 +353,9 @@ func (c *container) min() uint16 {
 	if c.array != nil {
 		return c.array[0]
 	}
+	if c.runs != nil {
+		return c.runs[0].start
+	}
 	for w, word := range c.set {
 		if word != 0 {
 			return uint16(w*64 + bits.TrailingZeros64(word))
@@ -327,6 +367,9 @@ func (c *container) min() uint16 {
 func (c *container) max() uint16 {
 	if c.array != nil {
 		return c.array[len(c.array)-1]
+	}
+	if c.runs != nil {
+		return c.runs[len(c.runs)-1].last()
 	}
 	for w := len(c.set) - 1; w >= 0; w-- {
 		if c.set[w] != 0 {
@@ -355,12 +398,6 @@ func (c *container) values() []uint16 {
 		return c.array
 	}
 	out := make([]uint16, 0, c.card)
-	for w, word := range c.set {
-		for word != 0 {
-			t := bits.TrailingZeros64(word)
-			out = append(out, uint16(w*64+t))
-			word &^= 1 << t
-		}
-	}
+	c.forEachLow(func(low uint16) { out = append(out, low) })
 	return out
 }

@@ -236,6 +236,33 @@ func Intersects(a, b *Bitmap) bool {
 // ---------- container-wise kernels ----------
 
 func andContainers(a, b *container) *container {
+	if a.runs != nil || b.runs != nil {
+		x, y := a, b
+		if y.runs == nil {
+			x, y = b, a // y is the run side
+		}
+		switch {
+		case x.runs != nil: // both are runs: O(runs) interval merge
+			rs, card := intersectRuns(x.runs, y.runs)
+			return runsToContainer(a.key, rs, card)
+		case x.set != nil:
+			set, card := andRunSet(y.runs, x.set)
+			if card == 0 {
+				return nil
+			}
+			c := &container{key: a.key, set: set, card: card}
+			if card < arrayToBitmapThreshold/2 {
+				c.toArray()
+			}
+			return c
+		default:
+			out := andRunArray(y.runs, x.array, nil)
+			if len(out) == 0 {
+				return nil
+			}
+			return &container{key: a.key, array: out}
+		}
+	}
 	switch {
 	case a.set != nil && b.set != nil:
 		set := make([]uint64, wordsPerSet)
@@ -277,6 +304,20 @@ func andContainers(a, b *container) *container {
 }
 
 func andCardinality(a, b *container) int {
+	if a.runs != nil || b.runs != nil {
+		x, y := a, b
+		if y.runs == nil {
+			x, y = b, a
+		}
+		switch {
+		case x.runs != nil:
+			return intersectRunsCount(x.runs, y.runs)
+		case x.set != nil:
+			return andRunSetCount(y.runs, x.set)
+		default:
+			return andRunArrayCount(y.runs, x.array)
+		}
+	}
 	switch {
 	case a.set != nil && b.set != nil:
 		n := 0
@@ -302,12 +343,18 @@ func andCardinality(a, b *container) int {
 }
 
 func orContainers(a, b *container) *container {
-	if a.set != nil || b.set != nil || len(a.array)+len(b.array) > arrayToBitmapThreshold {
+	if a.array == nil || b.array == nil || len(a.array)+len(b.array) > arrayToBitmapThreshold {
 		set := make([]uint64, wordsPerSet)
 		fill := func(c *container) {
 			if c.set != nil {
 				for w := range set {
 					set[w] |= c.set[w]
+				}
+				return
+			}
+			if c.runs != nil {
+				for _, r := range c.runs {
+					orWordRange(set, r.start, r.last())
 				}
 				return
 			}
@@ -349,6 +396,43 @@ func orContainers(a, b *container) *container {
 }
 
 func andNotContainers(a, b *container) *container {
+	if a.runs != nil {
+		// The minuend thaws to its array/set view once; cheaper than
+		// per-value representation dispatch below.
+		a = a.clone()
+		a.thaw()
+	}
+	if b.runs != nil {
+		if a.set != nil {
+			c := a.clone()
+			for _, r := range b.runs {
+				c.card -= clearWordRange(c.set, r.start, r.last())
+			}
+			if c.card == 0 {
+				return nil
+			}
+			if c.card < arrayToBitmapThreshold/2 {
+				c.toArray()
+			}
+			return c
+		}
+		// a is an array: drop values covered by b's runs in one walk.
+		out := make([]uint16, 0, len(a.array))
+		j := 0
+		for _, v := range a.array {
+			for j < len(b.runs) && b.runs[j].last() < v {
+				j++
+			}
+			if j < len(b.runs) && b.runs[j].start <= v {
+				continue
+			}
+			out = append(out, v)
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		return &container{key: a.key, array: out}
+	}
 	switch {
 	case a.set != nil && b.set != nil:
 		set := make([]uint64, wordsPerSet)
@@ -404,6 +488,18 @@ func andNotContainers(a, b *container) *container {
 // needs demotion: its cardinality is at least max(|c|, |o|), and any
 // set operand already has card ≥ arrayToBitmapThreshold/2.
 func (c *container) unionInPlace(o *container) {
+	if c.runs != nil {
+		c.thaw() // receivers mutate; the run form is read-only
+	}
+	if o.runs != nil {
+		if c.array != nil {
+			c.toSet()
+		}
+		for _, r := range o.runs {
+			c.card += orWordRange(c.set, r.start, r.last())
+		}
+		return
+	}
 	if c.array != nil && o.array != nil {
 		if len(c.array)+len(o.array) <= arrayToBitmapThreshold {
 			c.array = mergeArraysInPlace(c.array, o.array)
@@ -438,6 +534,40 @@ func (c *container) unionInPlace(o *container) {
 // intersected with an array operand (where the result is at most the
 // operand's size).
 func (c *container) intersectInPlace(o *container) {
+	if c.runs != nil {
+		c.thaw()
+	}
+	if o.runs != nil {
+		if c.array != nil {
+			k, j := 0, 0
+			for _, v := range c.array {
+				for j < len(o.runs) && o.runs[j].last() < v {
+					j++
+				}
+				if j < len(o.runs) && o.runs[j].start <= v {
+					c.array[k] = v
+					k++
+				}
+			}
+			c.array = c.array[:k]
+			return
+		}
+		// c is a set: clear everything outside o's runs.
+		prev := 0
+		for _, r := range o.runs {
+			if s := int(r.start); s > prev {
+				c.card -= clearWordRange(c.set, uint16(prev), uint16(s-1))
+			}
+			prev = int(r.last()) + 1
+		}
+		if prev < containerSize {
+			c.card -= clearWordRange(c.set, uint16(prev), containerSize-1)
+		}
+		if c.card > 0 && c.card < arrayToBitmapThreshold/2 {
+			c.toArray()
+		}
+		return
+	}
 	switch {
 	case c.set != nil && o.set != nil:
 		card := 0
@@ -474,6 +604,33 @@ func (c *container) intersectInPlace(o *container) {
 // differenceInPlace removes every value of o from c, editing c's
 // storage in place.
 func (c *container) differenceInPlace(o *container) {
+	if c.runs != nil {
+		c.thaw()
+	}
+	if o.runs != nil {
+		if c.array != nil {
+			k, j := 0, 0
+			for _, v := range c.array {
+				for j < len(o.runs) && o.runs[j].last() < v {
+					j++
+				}
+				if j < len(o.runs) && o.runs[j].start <= v {
+					continue
+				}
+				c.array[k] = v
+				k++
+			}
+			c.array = c.array[:k]
+			return
+		}
+		for _, r := range o.runs {
+			c.card -= clearWordRange(c.set, r.start, r.last())
+		}
+		if c.card > 0 && c.card < arrayToBitmapThreshold/2 {
+			c.toArray()
+		}
+		return
+	}
 	switch {
 	case c.set != nil && o.set != nil:
 		card := 0
@@ -694,6 +851,149 @@ func subtractArraysInPlace(a, b []uint16) []uint16 {
 		k++
 	}
 	return a[:k]
+}
+
+// ---------- run kernels ----------
+
+// intersectRuns returns the interval intersection of two run lists and
+// its cardinality in O(|a| + |b|) interval steps.
+func intersectRuns(a, b []run) ([]run, int) {
+	var out []run
+	card := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		as, ae := int(a[i].start), int(a[i].last())
+		bs, be := int(b[j].start), int(b[j].last())
+		if lo, hi := max(as, bs), min(ae, be); lo <= hi {
+			out = append(out, run{uint16(lo), uint16(hi - lo)})
+			card += hi - lo + 1
+		}
+		if ae < be {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out, card
+}
+
+// intersectRunsCount is the allocation-free counting twin.
+func intersectRunsCount(a, b []run) int {
+	card := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		as, ae := int(a[i].start), int(a[i].last())
+		bs, be := int(b[j].start), int(b[j].last())
+		if lo, hi := max(as, bs), min(ae, be); lo <= hi {
+			card += hi - lo + 1
+		}
+		if ae < be {
+			i++
+		} else {
+			j++
+		}
+	}
+	return card
+}
+
+// runsToContainer materializes a run-list intersection result in the
+// kernels' output convention (array below the threshold, set above).
+func runsToContainer(key uint64, rs []run, card int) *container {
+	if card == 0 {
+		return nil
+	}
+	c := &container{key: key, runs: rs, card: card}
+	c.thaw()
+	return c
+}
+
+// andRunSet intersects a run list with a bitset word-at-a-time,
+// returning a fresh set and its cardinality.
+func andRunSet(rs []run, src []uint64) ([]uint64, int) {
+	set := make([]uint64, wordsPerSet)
+	card := 0
+	for _, r := range rs {
+		fw, lw := int(r.start>>6), int(r.last()>>6)
+		for w := fw; w <= lw; w++ {
+			mask := ^uint64(0)
+			if w == fw {
+				mask &= ^uint64(0) << (r.start & 63)
+			}
+			if w == lw {
+				mask &= ^uint64(0) >> (63 - r.last()&63)
+			}
+			v := src[w] & mask
+			set[w] |= v
+			card += bits.OnesCount64(v)
+		}
+	}
+	return set, card
+}
+
+// andRunSetCount counts |runs ∩ set| with masked popcounts only.
+func andRunSetCount(rs []run, src []uint64) int {
+	card := 0
+	for _, r := range rs {
+		fw, lw := int(r.start>>6), int(r.last()>>6)
+		for w := fw; w <= lw; w++ {
+			mask := ^uint64(0)
+			if w == fw {
+				mask &= ^uint64(0) << (r.start & 63)
+			}
+			if w == lw {
+				mask &= ^uint64(0) >> (63 - r.last()&63)
+			}
+			card += bits.OnesCount64(src[w] & mask)
+		}
+	}
+	return card
+}
+
+// andRunArray intersects a run list with a sorted array by galloping
+// to each run's boundaries and bulk-copying the covered segment,
+// appending into out (which may be nil): O(runs · log n) probes.
+func andRunArray(rs []run, arr []uint16, out []uint16) []uint16 {
+	j := 0
+	for _, r := range rs {
+		j = gallopTo(arr, j, r.start)
+		if j == len(arr) {
+			break
+		}
+		if r.last() == ^uint16(0) {
+			out = append(out, arr[j:]...)
+			break
+		}
+		hi := gallopTo(arr, j, r.last()+1)
+		out = append(out, arr[j:hi]...)
+		j = hi
+		if j == len(arr) {
+			break
+		}
+	}
+	return out
+}
+
+// andRunArrayCount is the allocation-free counting twin of
+// andRunArray.
+func andRunArrayCount(rs []run, arr []uint16) int {
+	n, j := 0, 0
+	for _, r := range rs {
+		j = gallopTo(arr, j, r.start)
+		if j == len(arr) {
+			break
+		}
+		if r.last() == ^uint16(0) {
+			n += len(arr) - j
+			break
+		}
+		hi := gallopTo(arr, j, r.last()+1)
+		n += hi - j
+		j = hi
+		if j == len(arr) {
+			break
+		}
+	}
+	return n
 }
 
 // mergeArraysInPlace merges sorted b into sorted a, reusing (growing)

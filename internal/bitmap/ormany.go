@@ -132,6 +132,12 @@ func orManyContainers(key uint64, cs []*container) *container {
 			}
 			continue
 		}
+		if c.runs != nil {
+			for _, r := range c.runs {
+				orWordRange(set, r.start, r.last())
+			}
+			continue
+		}
 		for _, low := range c.array {
 			set[low>>6] |= 1 << (low & 63)
 		}

@@ -1,0 +1,107 @@
+package ingest
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestIDMapSpill(t *testing.T) {
+	im := NewIDMap()
+	rng := rand.New(rand.NewSource(7))
+	model := map[int64]uint64{}
+	for i := 0; i < 5000; i++ {
+		k := rng.Int63n(1 << 40)
+		v := uint64(i + 1)
+		im.Put(k, v)
+		model[k] = v
+	}
+	if im.MemBytes() == 0 {
+		t.Fatal("MemBytes zero on a populated map")
+	}
+	path := filepath.Join(t.TempDir(), "idmap.seg")
+	if err := im.Spill(path); err != nil {
+		t.Fatal(err)
+	}
+	defer im.Close()
+	if !im.Spilled() {
+		t.Fatal("Spilled false after Spill")
+	}
+	if got := im.MemBytes(); got != 0 {
+		t.Fatalf("MemBytes %d after spill, want 0", got)
+	}
+	if got := im.Len(); got != len(model) {
+		t.Fatalf("Len %d after spill, want %d", got, len(model))
+	}
+	for k, v := range model {
+		got, ok := im.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%d) = (%d,%v), want (%d,true)", k, got, ok, v)
+		}
+	}
+	if _, ok := im.Get(-12345); ok {
+		t.Fatal("Get of absent key found something")
+	}
+
+	// Fresh Puts shadow the segment; a re-spill merges both.
+	var firstKey int64
+	for k := range model {
+		firstKey = k
+		break
+	}
+	im.Put(firstKey, 999_999)
+	im.Put(1<<41, 42)
+	model[firstKey] = 999_999
+	model[1<<41] = 42
+	if got, ok := im.Get(firstKey); !ok || got != 999_999 {
+		t.Fatalf("in-memory entry did not shadow segment: (%d,%v)", got, ok)
+	}
+	if err := im.Spill(path + ".2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := im.Len(); got != len(model) {
+		t.Fatalf("Len %d after merge re-spill, want %d", got, len(model))
+	}
+	for k, v := range model {
+		if got, ok := im.Get(k); !ok || got != v {
+			t.Fatalf("after re-spill Get(%d) = (%d,%v), want (%d,true)", k, got, ok, v)
+		}
+	}
+}
+
+// TestIDMapSpillConcurrentGet mirrors the edge phase: many resolvers
+// reading a spilled map at once.
+func TestIDMapSpillConcurrentGet(t *testing.T) {
+	im := NewIDMap()
+	const n = 2000
+	for i := int64(1); i <= n; i++ {
+		im.Put(i, uint64(i)*3)
+	}
+	if err := im.Spill(filepath.Join(t.TempDir(), "seg")); err != nil {
+		t.Fatal(err)
+	}
+	defer im.Close()
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int64(1); i <= n; i++ {
+				if v, ok := im.Get(i); !ok || v != uint64(i)*3 {
+					select {
+					case errs <- "bad concurrent read":
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, bad := <-errs; bad {
+		t.Fatal(msg)
+	}
+}

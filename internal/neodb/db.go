@@ -81,6 +81,11 @@ type Config struct {
 	// durability to the final checkpoint, and a crash mid-import is
 	// detected by integrity checks rather than recovered.
 	ImportGroupCommit bool
+	// ImportSpillDir, when set, spills each label's external-id map to a
+	// sorted segment file in that directory after its node phase, so the
+	// edge phase resolves endpoints by binary-searching disk instead of
+	// holding every id in memory — the paper-scale ingest path.
+	ImportSpillDir string
 }
 
 // DefaultCachePages gives each store file a 32 MiB cache by default.

@@ -75,6 +75,13 @@ type ImportReport struct {
 	EdgePhase    time.Duration
 	IndexPhase   time.Duration
 	Total        time.Duration
+	// IDMapBytes is the estimated heap held by the external-id maps at
+	// the end of the node phase — the resolver state the edge phase
+	// needs, and what ImportSpillDir trades for disk.
+	IDMapBytes int
+	// Spilled reports whether that state was released to sorted on-disk
+	// segments (ImportSpillDir) before the edge phase ran.
+	Spilled bool
 }
 
 // Importer is the batch import tool. It must be used on a freshly
@@ -90,7 +97,8 @@ type Importer struct {
 	hParse, hResolve, hApply *obs.Histogram
 	cGroupCommits            *obs.Counter
 
-	idMaps map[string]*ingest.IDMap // label -> external id -> node id
+	idMaps   map[string]*ingest.IDMap // label -> external id -> node id
+	spillDir string                   // non-empty: spill id maps after the node phase
 }
 
 // NewImporter creates an importer for db. progress may be nil;
@@ -112,6 +120,7 @@ func (db *DB) NewImporter(batchRows int, progress func(ProgressPoint)) *Importer
 		hApply:        db.reg.Histogram(ingest.HApplyNanos),
 		cGroupCommits: db.reg.Counter(CWALGroupCommits),
 		idMaps:        make(map[string]*ingest.IDMap),
+		spillDir:      db.cfg.ImportSpillDir,
 	}
 }
 
@@ -183,6 +192,24 @@ func (imp *Importer) Run(nodeSpecs []NodeSpec, edgeSpecs []EdgeSpec) (ImportRepo
 			return rep, fmt.Errorf("importing nodes %s: %w", spec.Label, err)
 		}
 		rep.Nodes += n
+	}
+	// Resolver memory accounting — and, when configured, the spill to
+	// sorted on-disk segments the edge phase binary-searches instead.
+	for label, m := range imp.idMaps {
+		rep.IDMapBytes += m.MemBytes()
+		if imp.spillDir != "" {
+			if err := m.Spill(filepath.Join(imp.spillDir, "idmap-"+label+".seg")); err != nil {
+				return rep, fmt.Errorf("spilling id map for %s: %w", label, err)
+			}
+		}
+	}
+	if imp.spillDir != "" {
+		rep.Spilled = true
+		defer func() {
+			for _, m := range imp.idMaps {
+				m.Close()
+			}
+		}()
 	}
 	rep.NodePhase = time.Since(phaseStart)
 

@@ -1,0 +1,182 @@
+package sparkdb
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twigraph/internal/graph"
+)
+
+// buildBulk creates a database with enough contiguous structure for run
+// compression to bite: n users loaded through the bulk path, each
+// following the next k users (wrapping), uid attribute indexed.
+func buildBulk(t *testing.T, n, k int) *DB {
+	t.Helper()
+	db := New(Config{})
+	user, err := db.NewNodeType("user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	follows, err := db.NewEdgeType("follows", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uid, err := db.NewAttribute(user, "uid", graph.KindInt, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oids := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		oid, err := db.NewNode(user)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.SetAttribute(oid, uid, graph.IntValue(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		oids[i] = oid
+	}
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k; j++ {
+			if _, err := db.NewEdge(follows, oids[i], oids[(i+j)%n]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	_ = follows
+	return db
+}
+
+func saveImage(t *testing.T, db *DB, name string) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// TestImageV2RoundTripAndLegacy pins the image format contract: the
+// compressed image is v2 and smaller, it loads back, the loaded
+// database re-saved without compression is byte-identical to a v1 image
+// of the original, and the v1 image itself still loads.
+func TestImageV2RoundTripAndLegacy(t *testing.T) {
+	db := buildBulk(t, 2000, 4)
+
+	v2 := saveImage(t, db, "v2.img")
+	db.SetCompression(false)
+	v1 := saveImage(t, db, "v1.img")
+	db.SetCompression(true)
+
+	if len(v2) >= len(v1) {
+		t.Fatalf("v2 image (%d bytes) not smaller than v1 (%d bytes)", len(v2), len(v1))
+	}
+
+	dir := t.TempDir()
+	for name, img := range map[string][]byte{"v1": v1, "v2": v2} {
+		path := filepath.Join(dir, name+".img")
+		if err := os.WriteFile(path, img, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(path)
+		if err != nil {
+			t.Fatalf("loading %s image: %v", name, err)
+		}
+		// Equivalence: re-save the loaded database in legacy form and
+		// compare against the original's legacy image — v1 bytes are a
+		// canonical content dump (sorted attrs, thawed bitmaps).
+		loaded.SetCompression(false)
+		got := saveImage(t, loaded, name+"-resaved.img")
+		if !bytes.Equal(got, v1) {
+			t.Fatalf("%s image round trip diverged: resaved %d bytes, want %d", name, len(got), len(v1))
+		}
+	}
+}
+
+// TestImageV2ByteStable checks save determinism: saving the same
+// compressed database twice yields identical bytes, independent of the
+// bitmaps' construction history (Optimize canonicalises before write).
+func TestImageV2ByteStable(t *testing.T) {
+	db := buildBulk(t, 500, 3)
+	a := saveImage(t, db, "a.img")
+	b := saveImage(t, db, "b.img")
+	if !bytes.Equal(a, b) {
+		t.Fatalf("repeated saves differ: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// TestBitmapStatsAndGauges checks the container-mix accounting: after
+// Optimize a bulk-loaded database reports run containers, the gauges
+// mirror the stats, and MemBytes is positive.
+func TestBitmapStatsAndGauges(t *testing.T) {
+	db := buildBulk(t, 3000, 2)
+	st := db.Optimize()
+	if st.Runs == 0 {
+		t.Fatalf("no run containers after Optimize on bulk data: %+v", st)
+	}
+	if st.MemBytes <= 0 {
+		t.Fatalf("MemBytes %d", st.MemBytes)
+	}
+	if got := db.Obs().Gauge(GBitmapRunContainers).Load(); got != int64(st.Runs) {
+		t.Fatalf("gauge %s = %d, stats %d", GBitmapRunContainers, got, st.Runs)
+	}
+	if got := db.Obs().Gauge(GBitmapMemBytes).Load(); got != int64(st.MemBytes) {
+		t.Fatalf("gauge %s = %d, stats %d", GBitmapMemBytes, got, st.MemBytes)
+	}
+
+	// Compression off: Optimize thaws everything back.
+	db.SetCompression(false)
+	st = db.Optimize()
+	if st.Runs != 0 {
+		t.Fatalf("run containers survived Thaw: %+v", st)
+	}
+	if !db.Compression() {
+		return // unreachable; silences lint on the accessor
+	}
+}
+
+// TestQueriesUnchangedByOptimize runs a neighborhood probe before and
+// after Optimize/Thaw cycles — compression must be invisible to reads.
+func TestQueriesUnchangedByOptimize(t *testing.T) {
+	db, objs := buildTiny(t)
+	follows := db.FindType("follows")
+
+	probe := func() [][]uint64 {
+		var out [][]uint64
+		for i := 1; i <= 5; i++ {
+			nbrs := db.Neighbors(objs[key("u", i)], follows, graph.Outgoing)
+			out = append(out, nbrs.Slice())
+		}
+		return out
+	}
+
+	before := probe()
+	db.Optimize()
+	after := probe()
+	db.SetCompression(false)
+	db.Optimize()
+	thawed := probe()
+	for i := range before {
+		if !equalU64(before[i], after[i]) || !equalU64(before[i], thawed[i]) {
+			t.Fatalf("probe %d diverged: before %v, optimized %v, thawed %v", i+1, before[i], after[i], thawed[i])
+		}
+	}
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -12,8 +12,16 @@ import (
 	"twigraph/internal/vfs"
 )
 
-// Image format version tag.
-const imageMagic = 0x31444b53 // "SKD1"
+// Image format version tags. v1 is the legacy fixed-width layout; v2
+// (written whenever compression is on, the default) differs in two
+// ways: embedded bitmaps may carry run containers, and edge endpoint
+// arrays are zigzag-delta varint streams instead of 16 fixed bytes per
+// edge — endpoints arrive in near-ascending OID order from the bulk
+// loaders, so deltas are small. Load accepts both versions.
+const (
+	imageMagic   = 0x31444b53 // "SKD1"
+	imageMagicV2 = 0x32444b53 // "SKD2"
+)
 
 // imageTrailerMagic introduces the trailing checksum block: magic plus
 // an IEEE CRC-32 of everything before it. Images written before the
@@ -35,6 +43,10 @@ func (db *DB) Save(path string) error {
 // publish a zero-length "committed" image — and the parent directory is
 // fsynced best-effort afterwards so the rename itself is durable.
 func (db *DB) SaveFS(fsys vfs.FS, path string) error {
+	// Canonicalise every bitmap representation first (compress or thaw,
+	// per configuration): image bytes then depend only on contents, so
+	// the worker-count determinism comparisons keep holding.
+	db.Optimize()
 	tmp := path + ".tmp"
 	f, err := vfs.Create(fsys, tmp)
 	if err != nil {
@@ -95,7 +107,11 @@ func (db *DB) save(w io.Writer) error {
 		return err
 	}
 
-	if err := put32(imageMagic); err != nil {
+	magic := uint32(imageMagic)
+	if !db.noCompression {
+		magic = imageMagicV2
+	}
+	if err := put32(magic); err != nil {
 		return err
 	}
 	if err := put64(db.maxObjects); err != nil {
@@ -126,6 +142,19 @@ func (db *DB) save(w io.Writer) error {
 		if ti.isEdge {
 			if err := put64(uint64(len(ti.tails))); err != nil {
 				return err
+			}
+			if magic == imageMagicV2 {
+				var buf [2 * binary.MaxVarintLen64]byte
+				var prevT, prevH uint64
+				for i := range ti.tails {
+					n := binary.PutUvarint(buf[:], zigzag(int64(ti.tails[i])-int64(prevT)))
+					n += binary.PutUvarint(buf[n:], zigzag(int64(ti.heads[i])-int64(prevH)))
+					prevT, prevH = ti.tails[i], ti.heads[i]
+					if _, err := w.Write(buf[:n]); err != nil {
+						return err
+					}
+				}
+				continue
 			}
 			for i := range ti.tails {
 				if err := put64(ti.tails[i]); err != nil {
@@ -213,6 +242,10 @@ func LoadFS(fsys vfs.FS, path string) (*DB, error) {
 	default:
 		return nil, fmt.Errorf("sparkdb: loading %s: truncated checksum trailer: %w", path, err)
 	}
+	// Re-represent the rebuilt derived structures (link maps, neighbor
+	// indexes, postings) at minimum size and publish the container-mix
+	// gauges for the freshly loaded image.
+	db.Optimize()
 	return db, nil
 }
 
@@ -251,9 +284,10 @@ func (db *DB) load(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	if magic != imageMagic {
+	if magic != imageMagic && magic != imageMagicV2 {
 		return fmt.Errorf("bad magic %#x", magic)
 	}
+	vr := &byteReader{r: r}
 	if db.maxObjects, err = get64(); err != nil {
 		return err
 	}
@@ -295,12 +329,30 @@ func (db *DB) load(r io.Reader) error {
 			}
 			ti.tails = make([]uint64, nEdges)
 			ti.heads = make([]uint64, nEdges)
-			for j := uint64(0); j < nEdges; j++ {
-				if ti.tails[j], err = get64(); err != nil {
-					return err
+			if magic == imageMagicV2 {
+				var prevT, prevH int64
+				for j := uint64(0); j < nEdges; j++ {
+					dt, err := binary.ReadUvarint(vr)
+					if err != nil {
+						return err
+					}
+					dh, err := binary.ReadUvarint(vr)
+					if err != nil {
+						return err
+					}
+					prevT += unzigzag(dt)
+					prevH += unzigzag(dh)
+					ti.tails[j] = uint64(prevT)
+					ti.heads[j] = uint64(prevH)
 				}
-				if ti.heads[j], err = get64(); err != nil {
-					return err
+			} else {
+				for j := uint64(0); j < nEdges; j++ {
+					if ti.tails[j], err = get64(); err != nil {
+						return err
+					}
+					if ti.heads[j], err = get64(); err != nil {
+						return err
+					}
 				}
 			}
 			// Rebuild link maps and neighbor indexes.
@@ -366,4 +418,25 @@ func (db *DB) load(r io.Reader) error {
 		}
 	}
 	return nil
+}
+
+// zigzag maps signed deltas onto small unsigned varints
+// (0, -1, 1, -2 → 0, 1, 2, 3); unzigzag inverts it.
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// byteReader adapts the image body reader (a TeeReader feeding the
+// checksum) to the io.ByteReader that varint decoding needs.
+type byteReader struct {
+	r   io.Reader
+	one [1]byte
+}
+
+func (b *byteReader) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+func (b *byteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.one[:]); err != nil {
+		return 0, err
+	}
+	return b.one[0], nil
 }

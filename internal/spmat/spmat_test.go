@@ -178,6 +178,27 @@ func TestGateThresholds(t *testing.T) {
 	}
 }
 
+// rcSource wraps memSource with the RunCompressed capability.
+type rcSource struct {
+	*memSource
+	rc bool
+}
+
+func (s rcSource) RunCompressed() bool { return s.rc }
+
+func TestLentFraction(t *testing.T) {
+	src := newMemSource(true, map[uint64][]uint64{1: {2, 3}})
+	if got := LentFraction(src); got != LentDensityFraction {
+		t.Fatalf("plain source: LentFraction = %d, want %d", got, LentDensityFraction)
+	}
+	if got := LentFraction(rcSource{src, false}); got != LentDensityFraction {
+		t.Fatalf("capability off: LentFraction = %d, want %d", got, LentDensityFraction)
+	}
+	if got := LentFraction(rcSource{src, true}); got != LentRunDensityFraction {
+		t.Fatalf("run-compressed source: LentFraction = %d, want %d", got, LentRunDensityFraction)
+	}
+}
+
 // bfsRef is the naive reference BFS length.
 func bfsRef(edges map[uint64][]uint64, src, dst uint64, maxHops int) (int, bool) {
 	if src == dst {

@@ -1,0 +1,243 @@
+package twitter_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"twigraph/internal/gen"
+	"twigraph/internal/load"
+	"twigraph/internal/neodb"
+	"twigraph/internal/obs"
+	"twigraph/internal/sparkdb"
+	"twigraph/internal/spmat"
+	"twigraph/internal/twitter"
+)
+
+// TestCompressionDifferential is the run-container compression
+// differential: both engines, with the sparkdb engine loaded twice —
+// compressed (run containers, v2 image) and uncompressed (legacy
+// representations, v1 image) — must return byte-identical results for
+// every workload query under nav/matrix/auto at Workers=1 and
+// Workers=8. Compression only changes how sets are stored, never what
+// they contain.
+func TestCompressionDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential test builds three databases")
+	}
+	dir := t.TempDir()
+	csvDir := filepath.Join(dir, "csv")
+	if _, err := gen.Generate(smallCfg(), csvDir); err != nil {
+		t.Fatal(err)
+	}
+	neoRes, err := load.BuildNeo(csvDir, filepath.Join(dir, "neo"), neodb.Config{CachePages: 1024}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { neoRes.Store.Close() })
+	comp, err := load.BuildSpark(csvDir, sparkdb.ScriptOptions{
+		ImagePath: filepath.Join(dir, "v2.img"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := load.BuildSpark(csvDir, sparkdb.ScriptOptions{
+		ImagePath:     filepath.Join(dir, "v1.img"),
+		NoCompression: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The compressed build must actually hold run containers, and its
+	// image must be meaningfully smaller — the acceptance bar is 30%.
+	if st := comp.Store.DB().BitmapStats(); st.Runs == 0 {
+		t.Fatalf("compressed build has no run containers: %+v", st)
+	}
+	v2, err := os.Stat(filepath.Join(dir, "v2.img"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := os.Stat(filepath.Join(dir, "v1.img"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Size() > v1.Size()*7/10 {
+		t.Errorf("v2 image %d bytes, want <= 70%% of v1 (%d bytes)", v2.Size(), v1.Size())
+	}
+	// The legacy image still loads and serves queries.
+	legacy, err := sparkdb.Load(filepath.Join(dir, "v1.img"))
+	if err != nil {
+		t.Fatalf("legacy v1 image load: %v", err)
+	}
+	legacyStore, err := twitter.NewSparkStore(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	probes := []int64{1, 2, 3, 5, 17, 42, 100, 250, 299}
+	tags := []string{"topic1", "topic2", "topic3", "topic10", "missing"}
+
+	queries := []struct {
+		name string
+		run  func(s twitter.Store) (any, error)
+	}{
+		{"Q1.1-select", func(s twitter.Store) (any, error) {
+			var out [][]int64
+			for _, th := range []int64{0, 1, 5, 20} {
+				r, err := s.UsersWithFollowersOver(th)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, r)
+			}
+			return out, nil
+		}},
+		{"Q2.1-followees", func(s twitter.Store) (any, error) {
+			var out [][]int64
+			for _, uid := range probes {
+				r, err := s.Followees(uid)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, r)
+			}
+			return out, nil
+		}},
+		{"Q3.1-co-mentioned", func(s twitter.Store) (any, error) {
+			var out [][]twitter.Counted
+			for _, uid := range probes {
+				r, err := s.CoMentionedUsers(uid, 10)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, r)
+			}
+			return out, nil
+		}},
+		{"Q3.2-co-occurring-hashtags", func(s twitter.Store) (any, error) {
+			var out [][]twitter.CountedTag
+			for _, tag := range tags {
+				r, err := s.CoOccurringHashtags(tag, 10)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, r)
+			}
+			return out, nil
+		}},
+		{"Q4.1-recommend-followees", func(s twitter.Store) (any, error) {
+			var out [][]twitter.Counted
+			for _, uid := range probes {
+				r, err := s.RecommendFollowees(uid, 10)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, r)
+			}
+			return out, nil
+		}},
+		{"Q5.1-current-influence", func(s twitter.Store) (any, error) {
+			var out [][]twitter.Counted
+			for _, uid := range probes {
+				r, err := s.CurrentInfluence(uid, 10)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, r)
+			}
+			return out, nil
+		}},
+		{"Q6.1-shortest-path", func(s twitter.Store) (any, error) {
+			type res struct {
+				Len   int
+				Found bool
+			}
+			var out []res
+			for _, p := range [][2]int64{{1, 2}, {1, 50}, {5, 250}, {17, 42}, {3, 3}} {
+				l, ok, err := s.ShortestPathLength(p[0], p[1], 3)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, res{l, ok})
+			}
+			return out, nil
+		}},
+	}
+
+	stores := []struct {
+		name string
+		s    methodStore
+	}{
+		{"neo", neoRes.Store},
+		{"spark-compressed", comp.Store},
+		{"spark-plain", plain.Store},
+		{"spark-legacy-image", legacyStore},
+	}
+	methods := []spmat.Method{spmat.MethodNav, spmat.MethodMatrix, spmat.MethodAuto}
+
+	for _, q := range queries {
+		t.Run(q.name, func(t *testing.T) {
+			// Baseline: the uncompressed sparkdb build, navigational,
+			// sequential. Every compressed variant and every method and
+			// worker-count combination must match it exactly; the neo
+			// engine sweeps against its own nav/w1 baseline (cross-engine
+			// row equality is TestDifferentialWorkload's job).
+			plain.Store.SetExecMethod(spmat.MethodNav)
+			plain.Store.SetWorkers(1)
+			sparkBase, err := q.run(plain.Store)
+			if err != nil {
+				t.Fatalf("spark-plain nav/w1: %v", err)
+			}
+			neoRes.Store.SetExecMethod(spmat.MethodNav)
+			neoRes.Store.SetWorkers(1)
+			neoBase, err := q.run(neoRes.Store)
+			if err != nil {
+				t.Fatalf("neo nav/w1: %v", err)
+			}
+			for _, st := range stores {
+				base := sparkBase
+				if st.name == "neo" {
+					base = neoBase
+				}
+				for _, m := range methods {
+					for _, w := range []int{1, 8} {
+						st.s.SetExecMethod(m)
+						st.s.SetWorkers(w)
+						got, err := q.run(st.s)
+						if err != nil {
+							t.Fatalf("%s %v/w%d: %v", st.name, m, w, err)
+						}
+						if !reflect.DeepEqual(got, base) {
+							t.Fatalf("%s %v/w%d diverges from nav/w1 baseline:\n base: %#v\n  got: %#v",
+								st.name, m, w, base, got)
+						}
+					}
+				}
+				st.s.SetExecMethod(spmat.MethodNav)
+				st.s.SetWorkers(0)
+			}
+		})
+	}
+
+	// The compression gauges must be visible through the generic gauge
+	// walk that `:stats` and /metrics render.
+	seen := map[string]int64{}
+	comp.Store.DB().Obs().EachGauge(func(name string, g *obs.Gauge) {
+		seen[name] = g.Load()
+	})
+	for _, name := range []string{
+		sparkdb.GBitmapArrayContainers,
+		sparkdb.GBitmapRunContainers,
+		sparkdb.GBitmapBitsetContainers,
+		sparkdb.GBitmapMemBytes,
+	} {
+		if _, ok := seen[name]; !ok {
+			t.Errorf("gauge %s not registered", name)
+		}
+	}
+	if seen[sparkdb.GBitmapRunContainers] == 0 {
+		t.Errorf("gauge %s is zero on a compressed build", sparkdb.GBitmapRunContainers)
+	}
+}

@@ -45,8 +45,9 @@ func (s *SparkStore) twoHopGather(q *runningQuery, first, second spmat.Source, a
 	// The engine's row access — lent bitmaps when materialised, array-
 	// backed endpoint streams otherwise — is cheap at every density
 	// (no per-edge OID decoding), so the algebraic crossover sits far
-	// below the chain-walking default.
-	g = g.WithFraction(spmat.LentDensityFraction)
+	// below the chain-walking default; run-compressed rows push it
+	// lower again (whole-interval strides instead of word sweeps).
+	g = g.WithFraction(spmat.LentFraction(second))
 	// Auto mode pre-gates on the anchor row's cheap cardinality bound,
 	// so sparse anchors skip the frontier build entirely instead of
 	// paying for one the exact gate below would discard.
